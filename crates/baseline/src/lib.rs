@@ -1,0 +1,29 @@
+//! The kernel-bypass baseline's control plane.
+//!
+//! Kernel-bypass systems (Arrakis \[18\], IX \[3\], Demikernel \[24\], DPDK
+//! applications generally) get their speed from a *static* arrangement:
+//! NIC queues are bound to dedicated cores, flows are steered to queues
+//! by exact-match filters programmed in advance, and each core
+//! busy-polls its queue. The paper's critique (§2) is that this
+//! arrangement is expensive to *change*: "when the workload is dynamic
+//! with many more end-points than spare cores, the up-front cost of
+//! mapping the NIC's demultiplexing to queues onto the scheduling of
+//! applications on cores quickly becomes cumbersome."
+//!
+//! This crate implements that control plane:
+//!
+//! * [`flow_director`] — the exact-match (ntuple) filter table real
+//!   NICs expose, mapping destination ports to queues.
+//! * [`binding`] — the queue↔core↔service binding manager, including
+//!   the cost and drain semantics of *rebinding* (experiment C4's
+//!   dynamic-mix comparison hinges on this).
+//!
+//! The data-plane receive-path costs live in
+//! `lauberhorn_os::netstack::bypass_receive_path`; the event-driven
+//! composition is `lauberhorn-rpc`'s `BypassSim`.
+
+pub mod binding;
+pub mod flow_director;
+
+pub use binding::{BindingManager, RebindCost};
+pub use flow_director::FlowDirector;

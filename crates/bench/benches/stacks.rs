@@ -1,0 +1,26 @@
+//! Macro-benchmarks: wall-clock cost of running the three
+//! whole-machine simulations (useful when sizing longer experiments).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use lauberhorn::prelude::*;
+
+fn bench_stacks(c: &mut Criterion) {
+    let wl = WorkloadSpec::echo_closed(64, 2, 42);
+    for stack in [
+        StackKind::LauberhornEnzian,
+        StackKind::BypassModern,
+        StackKind::KernelModern,
+    ] {
+        c.bench_function(&format!("sim/{}", stack.name().replace('/', "_")), |b| {
+            b.iter(|| Experiment::new(stack).cores(2).run(&wl))
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_stacks
+}
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Regenerates the design-choice ablations.
+
+use lauberhorn::experiments::ablations;
+
+fn main() {
+    let out = lauberhorn_bench::experiment("ABL", "design-choice ablations", || {
+        let mut s = ablations::render(
+            "A1 — user-loop yield policy (TRYAGAINs before returning the core)",
+            &ablations::yield_policy(42),
+        );
+        s.push('\n');
+        s.push_str(&ablations::render(
+            "A2 — TRYAGAIN window sweep (liveness bound, not a latency knob)",
+            &ablations::tryagain_window(42),
+        ));
+        let (cont, kernel) = ablations::continuations();
+        s.push_str(&format!(
+            "\nA3 — nested-RPC reply delivery (§6):\n  via continuation endpoint: {cont:>8.0} ns\n  via kernel dispatch path:  {kernel:>8.0} ns\n"
+        ));
+        s
+    });
+    println!("{out}");
+}

@@ -1,0 +1,84 @@
+//! Runs every figure and claim in sequence — the full paper
+//! reproduction in one command:
+//!
+//! ```text
+//! cargo run --release -p lauberhorn-bench --bin all_figures
+//! ```
+
+use lauberhorn::experiments::{
+    ablations, c1, c2, c3, c4, fig1, fig2, fig3, fig4, fig5, loadsweep, nested, txpath,
+};
+use lauberhorn::rpc::sim_lauberhorn::Machine;
+
+type Runner = Box<dyn FnOnce() -> String>;
+
+fn main() {
+    let runs: Vec<(&str, &str, Runner)> = vec![
+        (
+            "F1",
+            "receive-path steps",
+            Box::new(|| fig1::render(&fig1::run(64))),
+        ),
+        (
+            "F2",
+            "64-byte RTTs",
+            Box::new(|| fig2::render(&fig2::run(10, 42))),
+        ),
+        (
+            "F3",
+            "receive fast path",
+            Box::new(|| fig3::render(&fig3::run(Machine::Enzian, 42))),
+        ),
+        (
+            "F4",
+            "protocol conformance",
+            Box::new(|| fig4::render(&fig4::run())),
+        ),
+        (
+            "F5",
+            "scheduling comparison",
+            Box::new(|| fig5::render(&fig5::run(42))),
+        ),
+        ("C1", "large-message crossover", Box::new(|| c1::render(&c1::run()))),
+        ("C2", "model checking", Box::new(|| c2::render(&c2::run()))),
+        ("C3", "cycles and energy", Box::new(|| c3::render(&c3::run(42)))),
+        (
+            "C4",
+            "dynamic mixes",
+            Box::new(|| {
+                let p = c4::C4Params::default();
+                c4::render(&c4::run(p, 42), p)
+            }),
+        ),
+        (
+            "NEST",
+            "nested RPCs",
+            Box::new(|| nested::render(&nested::run())),
+        ),
+        (
+            "TX",
+            "transmit path over cache lines",
+            Box::new(|| txpath::render(&txpath::run())),
+        ),
+        (
+            "LOAD",
+            "throughput-latency curves",
+            Box::new(|| loadsweep::render(&loadsweep::run(42))),
+        ),
+        (
+            "ABL",
+            "ablations",
+            Box::new(|| {
+                let mut s = ablations::render("A1 — yield policy", &ablations::yield_policy(42));
+                s.push_str(&ablations::render(
+                    "A2 — TRYAGAIN window",
+                    &ablations::tryagain_window(42),
+                ));
+                s
+            }),
+        ),
+    ];
+    for (id, title, body) in runs {
+        println!("{}", lauberhorn_bench::experiment(id, title, body));
+    }
+}

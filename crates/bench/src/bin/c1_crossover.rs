@@ -1,0 +1,15 @@
+//! Regenerates claim C1 (§6): the ~4 KiB cache-line/DMA crossover.
+
+use lauberhorn::experiments::c1;
+
+fn main() {
+    let out = lauberhorn_bench::experiment("C1", "large-message crossover", || {
+        let mut s = c1::render(&c1::run());
+        let (fallbacks, requests) = c1::end_to_end_check(42);
+        s.push_str(&format!(
+            "\nend-to-end check: {fallbacks}/{requests} oversized requests took the DMA fallback\n"
+        ));
+        s
+    });
+    println!("{out}");
+}

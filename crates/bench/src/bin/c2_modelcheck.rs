@@ -1,0 +1,10 @@
+//! Regenerates claim C2 (§6): model checking the protocol races.
+
+use lauberhorn::experiments::c2;
+
+fn main() {
+    let out = lauberhorn_bench::experiment("C2", "model checking the Figure 4 protocol", || {
+        c2::render(&c2::run())
+    });
+    println!("{out}");
+}

@@ -1,0 +1,10 @@
+//! Regenerates claim C3 (§4): cycles per request, energy, bus traffic.
+
+use lauberhorn::experiments::c3;
+
+fn main() {
+    let out = lauberhorn_bench::experiment("C3", "software cycles and energy split", || {
+        c3::render(&c3::run(42))
+    });
+    println!("{out}");
+}

@@ -1,0 +1,11 @@
+//! Regenerates claim C4 (§5.2): dynamic workloads, hot-set rotation.
+
+use lauberhorn::experiments::c4;
+
+fn main() {
+    let out = lauberhorn_bench::experiment("C4", "dynamic service mixes", || {
+        let p = c4::C4Params::default();
+        c4::render(&c4::run(p, 42), p)
+    });
+    println!("{out}");
+}

@@ -1,0 +1,15 @@
+//! Regenerates Figure 1 / §2: the twelve receive-path steps per stack.
+
+use lauberhorn::experiments::fig1;
+
+fn main() {
+    let out = lauberhorn_bench::experiment(
+        "F1",
+        "receive-path steps: who runs what, at what cost",
+        || {
+            let rows = fig1::run(64);
+            fig1::render(&rows)
+        },
+    );
+    println!("{out}");
+}

@@ -1,0 +1,10 @@
+//! Regenerates Figure 4: the NIC↔CPU protocol conformance timeline.
+
+use lauberhorn::experiments::fig4;
+
+fn main() {
+    let out = lauberhorn_bench::experiment("F4", "NIC/CPU cache-line protocol", || {
+        fig4::render(&fig4::run())
+    });
+    println!("{out}");
+}

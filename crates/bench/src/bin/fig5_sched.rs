@@ -1,0 +1,10 @@
+//! Regenerates Figure 5: normal vs NIC-driven scheduling.
+
+use lauberhorn::experiments::fig5;
+
+fn main() {
+    let out = lauberhorn_bench::experiment("F5", "dispatch: normal vs NIC-driven scheduling", || {
+        fig5::render(&fig5::run(42))
+    });
+    println!("{out}");
+}

@@ -1,0 +1,10 @@
+//! Regenerates the extension throughput–latency curves.
+
+use lauberhorn::experiments::loadsweep;
+
+fn main() {
+    let out = lauberhorn_bench::experiment("LOAD", "throughput-latency curves", || {
+        loadsweep::render(&loadsweep::run(42))
+    });
+    println!("{out}");
+}

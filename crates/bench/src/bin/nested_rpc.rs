@@ -1,0 +1,10 @@
+//! Regenerates the §6 nested-RPC continuation demonstration.
+
+use lauberhorn::experiments::nested;
+
+fn main() {
+    let out = lauberhorn_bench::experiment("NEST", "nested RPCs via continuation endpoints", || {
+        nested::render(&nested::run())
+    });
+    println!("{out}");
+}

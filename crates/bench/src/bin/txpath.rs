@@ -1,0 +1,10 @@
+//! Regenerates the TX-path (both-machines-coherent) walkthrough.
+
+use lauberhorn::experiments::txpath;
+
+fn main() {
+    let out = lauberhorn_bench::experiment("TX", "transmit path over cache lines", || {
+        txpath::render(&txpath::run())
+    });
+    println!("{out}");
+}

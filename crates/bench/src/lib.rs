@@ -1,0 +1,17 @@
+//! Shared helpers for the benchmark binaries.
+//!
+//! Each binary in `src/bin/` regenerates one table or figure of the
+//! paper; run them all via `cargo run -p lauberhorn-bench --bin <name>`
+//! or let `all_figures` drive the complete set.
+
+use std::time::Instant;
+
+/// Prints a standard experiment header and runs `body`, timing it.
+pub fn experiment<F: FnOnce() -> String>(id: &str, title: &str, body: F) -> String {
+    let t0 = Instant::now();
+    let out = body();
+    let secs = t0.elapsed().as_secs_f64();
+    format!(
+        "================================================================\n{id} — {title}\n================================================================\n{out}\n[{id} regenerated in {secs:.1}s wall clock]\n"
+    )
+}

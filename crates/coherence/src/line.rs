@@ -1,0 +1,98 @@
+//! Cache-line addressing and per-cache MESI states.
+
+/// Identifier of a caching agent: a core's private cache or the device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CacheId(pub usize);
+
+/// A line-aligned physical address.
+///
+/// Stored as the raw byte address; [`LineAddr::new`] enforces alignment
+/// to the owning system's line size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LineAddr(pub u64);
+
+impl LineAddr {
+    /// Creates a line address, asserting alignment to `line_size`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is not `line_size`-aligned (a construction bug
+    /// in the caller, never data-dependent).
+    pub fn new(addr: u64, line_size: usize) -> Self {
+        assert!(
+            addr.is_multiple_of(line_size as u64),
+            "address {addr:#x} not aligned to {line_size}"
+        );
+        LineAddr(addr)
+    }
+
+    /// The line containing byte address `addr`.
+    pub fn containing(addr: u64, line_size: usize) -> Self {
+        LineAddr(addr - addr % line_size as u64)
+    }
+
+    /// The `n`-th line after this one.
+    pub fn offset(self, n: u64, line_size: usize) -> Self {
+        LineAddr(self.0 + n * line_size as u64)
+    }
+}
+
+/// MESI state of a line in one cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum LineState {
+    /// Not present.
+    #[default]
+    Invalid,
+    /// Present, read-only, possibly also in other caches.
+    Shared,
+    /// Present, read-write, clean, exclusive to this cache.
+    Exclusive,
+    /// Present, read-write, dirty, exclusive to this cache.
+    Modified,
+}
+
+impl LineState {
+    /// Whether a load hits in this state.
+    pub fn readable(self) -> bool {
+        self != LineState::Invalid
+    }
+
+    /// Whether a store hits (no upgrade needed) in this state.
+    pub fn writable(self) -> bool {
+        matches!(self, LineState::Exclusive | LineState::Modified)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alignment_enforced() {
+        let _ = LineAddr::new(0x1000, 128);
+        let r = std::panic::catch_unwind(|| LineAddr::new(0x1001, 128));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn containing_rounds_down() {
+        assert_eq!(LineAddr::containing(0x10f, 128), LineAddr(0x100));
+        assert_eq!(LineAddr::containing(0x80, 128), LineAddr(0x80));
+        assert_eq!(LineAddr::containing(0, 64), LineAddr(0));
+    }
+
+    #[test]
+    fn offset_steps_by_lines() {
+        let a = LineAddr::new(0x1000, 64);
+        assert_eq!(a.offset(2, 64), LineAddr(0x1080));
+    }
+
+    #[test]
+    fn state_predicates() {
+        assert!(!LineState::Invalid.readable());
+        assert!(LineState::Shared.readable());
+        assert!(!LineState::Shared.writable());
+        assert!(LineState::Exclusive.writable());
+        assert!(LineState::Modified.writable());
+    }
+}

@@ -1,0 +1,103 @@
+//! Coherence-protocol message accounting.
+//!
+//! Experiment C3 compares "bus traffic" across stacks: a busy-polling
+//! core re-requests the same line continuously, while a Lauberhorn
+//! blocked load parks one request at the device until data arrives.
+//! These counters make that difference measurable.
+
+use serde::Serialize;
+
+/// Counts of protocol messages by class.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+pub struct CoherenceStats {
+    /// Loads that hit in the requesting cache (no message).
+    pub load_hits: u64,
+    /// Fills served by a home agent (request + data messages).
+    pub fills: u64,
+    /// Fills a device home chose to defer (blocked loads parked).
+    pub deferred_fills: u64,
+    /// Deferred fills completed with data.
+    pub deferred_completions: u64,
+    /// Stores that hit in Exclusive/Modified (no message).
+    pub store_hits: u64,
+    /// Ownership upgrades (Shared → Modified).
+    pub upgrades: u64,
+    /// Invalidation messages sent to sharers.
+    pub invalidations: u64,
+    /// Dirty lines recalled from an owner (interventions/writebacks).
+    pub recalls: u64,
+    /// Device-initiated fetch-exclusive operations (§5.1 response pull).
+    pub device_fetch_excl: u64,
+}
+
+impl CoherenceStats {
+    /// Total messages that crossed a fabric (hits excluded).
+    pub fn fabric_messages(&self) -> u64 {
+        // A fill is two messages (req+data); upgrades/invals/recalls are
+        // modelled as two each (msg + ack); a deferred fill parks the
+        // request (one message) until the completion (data message).
+        2 * self.fills
+            + self.deferred_fills
+            + self.deferred_completions
+            + 2 * (self.upgrades + self.invalidations + self.recalls + self.device_fetch_excl)
+    }
+
+    /// Adds another stats block into this one.
+    pub fn merge(&mut self, o: &CoherenceStats) {
+        self.load_hits += o.load_hits;
+        self.fills += o.fills;
+        self.deferred_fills += o.deferred_fills;
+        self.deferred_completions += o.deferred_completions;
+        self.store_hits += o.store_hits;
+        self.upgrades += o.upgrades;
+        self.invalidations += o.invalidations;
+        self.recalls += o.recalls;
+        self.device_fetch_excl += o.device_fetch_excl;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fabric_messages_counts_pairs() {
+        let s = CoherenceStats {
+            fills: 3,
+            deferred_fills: 2,
+            deferred_completions: 2,
+            upgrades: 1,
+            invalidations: 4,
+            recalls: 1,
+            device_fetch_excl: 1,
+            ..Default::default()
+        };
+        assert_eq!(s.fabric_messages(), 6 + 2 + 2 + 2 * (1 + 4 + 1 + 1));
+    }
+
+    #[test]
+    fn hits_do_not_generate_traffic() {
+        let s = CoherenceStats {
+            load_hits: 1_000_000,
+            store_hits: 1_000_000,
+            ..Default::default()
+        };
+        assert_eq!(s.fabric_messages(), 0);
+    }
+
+    #[test]
+    fn merge_adds_fields() {
+        let mut a = CoherenceStats {
+            fills: 1,
+            ..Default::default()
+        };
+        let b = CoherenceStats {
+            fills: 2,
+            invalidations: 5,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.fills, 3);
+        assert_eq!(a.invalidations, 5);
+    }
+}

@@ -1,0 +1,177 @@
+//! Property-based tests of the coherence protocol: for arbitrary
+//! operation sequences, the single-writer invariant, data integrity,
+//! and token discipline all hold.
+
+use proptest::prelude::*;
+
+use lauberhorn_coherence::{
+    CacheId, CoherentSystem, FabricModel, FillToken, LineAddr, LineState, LoadResult,
+};
+
+const DEV_BASE: u64 = 0x1_0000_0000;
+
+fn system(caches: usize) -> CoherentSystem {
+    CoherentSystem::new(
+        caches,
+        FabricModel::intra_socket(128),
+        FabricModel::eci(),
+        DEV_BASE,
+        DEV_BASE + (1 << 20),
+    )
+}
+
+/// One step of a random protocol exercise.
+#[derive(Debug, Clone)]
+enum Op {
+    Load { cache: usize, line: usize },
+    Store { cache: usize, line: usize, byte: u8 },
+    CompleteOldest { data: u8 },
+    FetchExcl { line: usize },
+    DmaWrite { line: usize, byte: u8 },
+    Drop { cache: usize, line: usize },
+}
+
+fn arb_op(caches: usize, lines: usize) -> impl Strategy<Value = Op> {
+    let c = 0..caches;
+    let l = 0..lines;
+    prop_oneof![
+        (c.clone(), l.clone()).prop_map(|(cache, line)| Op::Load { cache, line }),
+        (c.clone(), l.clone(), any::<u8>())
+            .prop_map(|(cache, line, byte)| Op::Store { cache, line, byte }),
+        any::<u8>().prop_map(|data| Op::CompleteOldest { data }),
+        l.clone().prop_map(|line| Op::FetchExcl { line }),
+        (l.clone(), any::<u8>()).prop_map(|(line, byte)| Op::DmaWrite { line, byte }),
+        (c, l).prop_map(|(cache, line)| Op::Drop { cache, line }),
+    ]
+}
+
+/// Checks the MESI single-writer invariant over all touched lines.
+fn check_invariants(sys: &CoherentSystem, caches: usize, lines: &[LineAddr]) {
+    for &addr in lines {
+        let mut owners = 0;
+        let mut sharers = 0;
+        for c in 0..caches {
+            match sys.state_of(CacheId(c), addr) {
+                LineState::Modified | LineState::Exclusive => owners += 1,
+                LineState::Shared => sharers += 1,
+                LineState::Invalid => {}
+            }
+        }
+        assert!(owners <= 1, "{addr:?}: {owners} exclusive owners");
+        assert!(
+            owners == 0 || sharers == 0,
+            "{addr:?}: owner coexists with {sharers} sharers"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn random_dram_traffic_keeps_mesi_invariants(
+        ops in proptest::collection::vec(arb_op(3, 8), 1..200)
+    ) {
+        let caches = 3;
+        let mut sys = system(caches);
+        let lines: Vec<LineAddr> = (0..8u64).map(|i| LineAddr(i * 128)).collect();
+        for op in ops {
+            match op {
+                Op::Load { cache, line } => {
+                    sys.load(CacheId(cache), lines[line]).unwrap();
+                }
+                Op::Store { cache, line, byte } => {
+                    sys.store(CacheId(cache), lines[line], &[byte]).unwrap();
+                }
+                Op::DmaWrite { line, byte } => {
+                    sys.dma_write(lines[line], &[byte]);
+                }
+                Op::Drop { cache, line } => {
+                    sys.drop_line(CacheId(cache), lines[line]);
+                }
+                // Device ops don't apply to DRAM lines in this test.
+                Op::CompleteOldest { .. } | Op::FetchExcl { .. } => {}
+            }
+            check_invariants(&sys, caches, &lines);
+        }
+    }
+
+    #[test]
+    fn device_lines_park_and_complete_consistently(
+        ops in proptest::collection::vec(arb_op(3, 4), 1..200)
+    ) {
+        let caches = 3;
+        let mut sys = system(caches);
+        let lines: Vec<LineAddr> = (0..4u64).map(|i| LineAddr(DEV_BASE + i * 128)).collect();
+        let mut pending: Vec<(FillToken, usize, usize)> = Vec::new(); // (token, cache, line)
+        // A cache stalled on a load cannot issue more requests.
+        let mut stalled = vec![false; caches];
+        for op in ops {
+            match op {
+                Op::Load { cache, line } => {
+                    if stalled[cache] {
+                        continue;
+                    }
+                    match sys.load(CacheId(cache), lines[line]).unwrap() {
+                        LoadResult::Deferred { token, .. } => {
+                            pending.push((token, cache, line));
+                            stalled[cache] = true;
+                        }
+                        LoadResult::Hit { .. } => {}
+                        LoadResult::Fill { .. } =>
+                            prop_assert!(false, "device line resolved as DRAM fill"),
+                    }
+                }
+                Op::CompleteOldest { data } => {
+                    if let Some((token, cache, _line)) = pending.first().copied() {
+                        pending.remove(0);
+                        let (c, _, _) = sys.complete_fill(token, &[data]).unwrap();
+                        prop_assert_eq!(c.0, cache);
+                        stalled[cache] = false;
+                        // Completing twice must fail.
+                        prop_assert!(sys.complete_fill(token, &[data]).is_err());
+                    }
+                }
+                Op::Store { cache, line, byte } => {
+                    // Only legal when the cache holds the line.
+                    if sys.state_of(CacheId(cache), lines[line]).writable() {
+                        sys.store(CacheId(cache), lines[line], &[byte]).unwrap();
+                    } else if !sys.state_of(CacheId(cache), lines[line]).readable() {
+                        prop_assert!(sys.store(CacheId(cache), lines[line], &[byte]).is_err());
+                    }
+                }
+                Op::FetchExcl { line } => {
+                    sys.device_fetch_exclusive(lines[line]);
+                }
+                Op::DmaWrite { line, byte } => {
+                    sys.dma_write(lines[line], &[byte]);
+                }
+                Op::Drop { cache, line } => {
+                    sys.drop_line(CacheId(cache), lines[line]);
+                }
+            }
+            check_invariants(&sys, caches, &lines);
+            prop_assert_eq!(sys.pending_fills(), pending.len());
+        }
+    }
+
+    #[test]
+    fn store_then_load_reads_back(
+        byte in any::<u8>(), cache in 0usize..3, line in 0u64..8
+    ) {
+        let mut sys = system(3);
+        let addr = LineAddr(line * 128);
+        sys.load(CacheId(cache), addr).unwrap();
+        sys.store(CacheId(cache), addr, &[byte]).unwrap();
+        match sys.load(CacheId(cache), addr).unwrap() {
+            LoadResult::Hit { data, .. } => prop_assert_eq!(data[0], byte),
+            other => prop_assert!(false, "expected hit, got {:?}", other),
+        }
+        // Another cache reads the same value through the protocol.
+        let other_cache = (cache + 1) % 3;
+        match sys.load(CacheId(other_cache), addr).unwrap() {
+            LoadResult::Fill { data, .. } => prop_assert_eq!(data[0], byte),
+            other => prop_assert!(false, "expected fill, got {:?}", other),
+        }
+    }
+}

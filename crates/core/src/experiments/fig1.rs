@@ -1,0 +1,125 @@
+//! Figure 1 / §2: the twelve receive-path steps, costed per stack.
+//!
+//! The paper's analytical core is the list of twelve things that must
+//! happen to turn a packet into a function invocation, and the
+//! observation of *where* each architecture runs them. This experiment
+//! prints that table with the calibrated cycle costs: the kernel stack
+//! pays everything in software, bypass moves steps 5–9 to setup time,
+//! and Lauberhorn executes all but the jump on the NIC.
+
+use lauberhorn_os::netstack::{
+    bypass_receive_path, kernel_receive_path, lauberhorn_receive_path, total_cycles, Executor,
+    Step, StepCost,
+};
+use lauberhorn_os::CostModel;
+
+/// One stack's step breakdown.
+#[derive(Debug, Clone)]
+pub struct StackSteps {
+    /// Stack name.
+    pub stack: &'static str,
+    /// The costed steps.
+    pub steps: Vec<StepCost>,
+    /// Total CPU cycles.
+    pub total_cycles: u64,
+}
+
+/// Produces the breakdown for a `payload`-byte request on a modern
+/// server (the structural comparison is machine-independent).
+pub fn run(payload: usize) -> Vec<StackSteps> {
+    let m = CostModel::linux_server();
+    vec![
+        StackSteps {
+            stack: "kernel (blocked receiver)",
+            steps: kernel_receive_path(&m, payload, true),
+            total_cycles: total_cycles(&kernel_receive_path(&m, payload, true)),
+        },
+        StackSteps {
+            stack: "kernel (running receiver)",
+            steps: kernel_receive_path(&m, payload, false),
+            total_cycles: total_cycles(&kernel_receive_path(&m, payload, false)),
+        },
+        StackSteps {
+            stack: "kernel bypass",
+            steps: bypass_receive_path(&m, payload),
+            total_cycles: total_cycles(&bypass_receive_path(&m, payload)),
+        },
+        StackSteps {
+            stack: "lauberhorn",
+            steps: lauberhorn_receive_path(&m),
+            total_cycles: total_cycles(&lauberhorn_receive_path(&m)),
+        },
+    ]
+}
+
+fn step_label(s: Step) -> &'static str {
+    match s {
+        Step::S1ReadPacket => "1  read packet",
+        Step::S2ProtocolOffload => "2  checksums",
+        Step::S3Demultiplex => "3  demux to queue",
+        Step::S4Interrupt => "4  notify core",
+        Step::S5KernelProtocol => "5  protocol proc",
+        Step::S6IdentifyProcess => "6  find process",
+        Step::S7FindCore => "7  find core",
+        Step::S8Schedule => "8  schedule",
+        Step::S9ContextSwitch => "9  context switch",
+        Step::S10Unmarshal => "10 unmarshal",
+        Step::S11FindFunction => "11 find function",
+        Step::S12Jump => "12 jump",
+    }
+}
+
+fn exec_label(e: Executor) -> &'static str {
+    match e {
+        Executor::Nic => "NIC",
+        Executor::Kernel => "kernel",
+        Executor::User => "user",
+    }
+}
+
+/// Renders the comparison table.
+pub fn render(rows: &[StackSteps]) -> String {
+    let mut out = String::new();
+    for r in rows {
+        out.push_str(&format!(
+            "\n== {}  (total SW cycles: {})\n",
+            r.stack, r.total_cycles
+        ));
+        for s in &r.steps {
+            out.push_str(&format!(
+                "  {:<20} {:<8} {:>7} cycles\n",
+                step_label(s.step),
+                exec_label(s.executor),
+                s.cycles
+            ));
+        }
+    }
+    out.push_str(
+        "\n(steps 1-3 run on NIC hardware in every stack; Lauberhorn additionally\n runs 5-8, 10 and 11 on the NIC, leaving software only the jump)\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_are_strictly_ordered() {
+        let rows = run(64);
+        let t: Vec<u64> = rows.iter().map(|r| r.total_cycles).collect();
+        // kernel-cold > kernel-warm > bypass > lauberhorn.
+        assert!(t[0] > t[1]);
+        assert!(t[1] > t[2]);
+        assert!(t[2] > t[3]);
+        assert!(t[3] < 100);
+    }
+
+    #[test]
+    fn render_contains_all_stacks() {
+        let s = render(&run(64));
+        for name in ["kernel (blocked", "kernel bypass", "lauberhorn"] {
+            assert!(s.contains(name), "missing {name}");
+        }
+    }
+}

@@ -1,0 +1,103 @@
+//! Figure 2: 64-byte message round-trip latencies.
+//!
+//! The paper's only measured figure: the interaction-latency gap
+//! between the coherent interconnect and DMA over PCIe, on Enzian and
+//! on a modern PC server. We run the same closed-loop 64-byte echo
+//! through all six stack/machine combinations over identical wire
+//! conditions; the paper's bars correspond to the RTT medians.
+
+use crate::experiment::{compare, StackKind};
+use lauberhorn_rpc::{Report, ServiceSpec, WorkloadSpec};
+
+/// Runs the Figure 2 measurement.
+///
+/// `duration_ms` of closed-loop 64 B echo per stack; the handler is a
+/// near-null 200-cycle function so the measurement isolates the stack.
+pub fn run(duration_ms: u64, seed: u64) -> Vec<Report> {
+    let services = ServiceSpec::uniform(1, 200, 32);
+    let wl = WorkloadSpec::echo_closed(64, duration_ms, seed);
+    compare(&StackKind::all(), 2, services, &wl)
+}
+
+/// Renders the figure as a table plus a crude horizontal bar chart.
+pub fn render(rows: &[Report]) -> String {
+    let mut out = String::from(
+        "Figure 2 — 64-byte message round-trip latencies (closed loop)\n\n",
+    );
+    let max = rows
+        .iter()
+        .map(|r| r.rtt.p50)
+        .max()
+        .unwrap_or(1)
+        .max(1) as f64;
+    for r in rows {
+        let bar_len = (r.rtt.p50 as f64 / max * 48.0).round() as usize;
+        out.push_str(&format!(
+            "{:<24} {:>8.2} us  |{}\n",
+            r.stack,
+            r.rtt.p50_us(),
+            "#".repeat(bar_len.max(1))
+        ));
+    }
+    out.push_str("\nfull distributions:\n");
+    for r in rows {
+        out.push_str(&format!("{:<24} {}\n", r.stack, r.rtt.to_us_row()));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure2_shape_holds() {
+        let rows = run(3, 42);
+        let p50 = |name: &str| {
+            rows.iter()
+                .find(|r| r.stack == name)
+                .unwrap_or_else(|| panic!("{name} missing"))
+                .rtt
+                .p50
+        };
+        // The paper's ordering: coherent interconnects dramatically
+        // beat DMA on the same machine...
+        assert!(p50("lauberhorn/enzian-eci") < p50("bypass/enzian-pcie-dma"));
+        assert!(p50("lauberhorn/enzian-eci") < p50("kernel/enzian-pcie-dma"));
+        // ...and also beat a modern PC server's DMA path.
+        assert!(p50("lauberhorn/enzian-eci") < p50("bypass/pc-pcie-dma"));
+        // CXL 3.0 brings "comparable gains".
+        assert!(p50("lauberhorn/cxl-server") <= p50("lauberhorn/enzian-eci"));
+        // The CC-NIC-style NUMA emulation also beats every DMA path —
+        // the mechanism doesn't need exotic hardware.
+        assert!(p50("lauberhorn/numa-emulated") < p50("bypass/pc-pcie-dma"));
+        // And within each machine, bypass beats the kernel stack.
+        assert!(p50("bypass/enzian-pcie-dma") < p50("kernel/enzian-pcie-dma"));
+        assert!(p50("bypass/pc-pcie-dma") < p50("kernel/pc-pcie-dma"));
+    }
+
+    #[test]
+    fn factors_are_plausible() {
+        // The gap must be a real factor (paper: "dramatically better"),
+        // not noise — but also not absurd.
+        let rows = run(3, 1);
+        let lb = rows
+            .iter()
+            .find(|r| r.stack == "lauberhorn/enzian-eci")
+            .expect("present");
+        let ke = rows
+            .iter()
+            .find(|r| r.stack == "kernel/enzian-pcie-dma")
+            .expect("present");
+        let factor = ke.rtt.p50 as f64 / lb.rtt.p50 as f64;
+        assert!(factor > 2.0 && factor < 30.0, "factor {factor}");
+    }
+
+    #[test]
+    fn render_has_bars() {
+        let rows = run(2, 9);
+        let s = render(&rows);
+        assert!(s.contains('#'));
+        assert!(s.contains("lauberhorn/enzian-eci"));
+    }
+}

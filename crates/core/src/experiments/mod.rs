@@ -1,0 +1,35 @@
+//! One module per paper artifact, each returning plain data and a
+//! rendered table.
+//!
+//! | Module | Paper artifact |
+//! |--------|----------------|
+//! | [`fig1`] | Figure 1 + §2's twelve steps: receive-path breakdown |
+//! | [`fig2`] | Figure 2: 64-byte message round-trip latencies |
+//! | [`fig3`] | Figure 3: the Lauberhorn receive fast path, phase by phase |
+//! | [`fig4`] | Figure 4: protocol conformance timeline |
+//! | [`fig5`] | Figure 5: normal vs NIC-driven scheduling |
+//! | [`c1`] | §6: cache-line vs DMA crossover (~4 KiB on Enzian) |
+//! | [`c2`] | §6: model-checking the protocol races |
+//! | [`c3`] | §4: per-request cycles, energy split, bus traffic |
+//! | [`c4`] | §5.2: dynamic workloads, hot-set rotation |
+//! | [`nested`] | §6: nested RPCs through continuation endpoints, end to end |
+//! | [`loadsweep`] | extension: throughput–latency curves per stack |
+//! | [`txpath`] | extension: the TX cache-line protocol, both machines coherent |
+//! | [`ablations`] | design-choice ablations (yield policy, TRYAGAIN window, continuations) |
+//!
+//! The `lauberhorn-bench` binaries print these tables; the workspace
+//! integration tests assert on their shapes.
+
+pub mod ablations;
+pub mod c1;
+pub mod c2;
+pub mod c3;
+pub mod c4;
+pub mod fig1;
+pub mod fig2;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod loadsweep;
+pub mod nested;
+pub mod txpath;

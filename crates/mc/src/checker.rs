@@ -1,0 +1,308 @@
+//! A generic explicit-state BFS model checker.
+//!
+//! The checker explores every state reachable from the model's initial
+//! states under every enabled action, checking a safety invariant at
+//! each state and flagging deadlocks (non-final states with no enabled
+//! action). On violation it reconstructs the shortest counterexample
+//! trace — the workflow TLC users know.
+
+use std::collections::{HashMap, VecDeque};
+
+/// A model to check.
+pub trait Model {
+    /// State type; hashing and equality define state identity.
+    type State: Clone + std::hash::Hash + Eq;
+
+    /// Human-readable action labels (appear in counterexample traces).
+    type Action: Clone + std::fmt::Debug;
+
+    /// Initial states.
+    fn initial(&self) -> Vec<Self::State>;
+
+    /// All `(action, successor)` pairs enabled in `state`.
+    fn next(&self, state: &Self::State) -> Vec<(Self::Action, Self::State)>;
+
+    /// The safety invariant; return `Err(reason)` on violation.
+    fn invariant(&self, state: &Self::State) -> Result<(), String>;
+
+    /// Whether a state with no successors is an acceptable terminal
+    /// state (as opposed to a deadlock). Defaults to "no": every
+    /// quiescent state must still have something enabled.
+    fn is_final(&self, _state: &Self::State) -> bool {
+        false
+    }
+}
+
+/// Why checking stopped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckOutcome {
+    /// Every reachable state satisfies the invariant; no deadlocks.
+    Ok,
+    /// An invariant violation was found.
+    InvariantViolated {
+        /// The model's explanation.
+        reason: String,
+    },
+    /// A non-final state had no enabled actions.
+    Deadlock,
+    /// The state bound was hit before exhausting the space.
+    BoundExceeded,
+}
+
+/// Result of a model-checking run.
+#[derive(Debug, Clone)]
+pub struct CheckReport<A> {
+    /// Outcome.
+    pub outcome: CheckOutcome,
+    /// Distinct states explored.
+    pub states: usize,
+    /// Transitions fired.
+    pub transitions: usize,
+    /// Maximum BFS depth reached.
+    pub depth: usize,
+    /// Shortest action trace to the violation, if any.
+    pub trace: Vec<A>,
+}
+
+impl<A> CheckReport<A> {
+    /// Whether the run verified the model.
+    pub fn ok(&self) -> bool {
+        self.outcome == CheckOutcome::Ok
+    }
+}
+
+/// Exhaustively checks `model`, exploring at most `max_states` states.
+///
+/// # Examples
+///
+/// ```
+/// use lauberhorn_mc::checker::check;
+/// use lauberhorn_mc::{LauberhornModel, ProtocolConfig};
+///
+/// let report = check(&LauberhornModel::new(ProtocolConfig::default()), 1_000_000);
+/// assert!(report.ok());
+/// ```
+pub fn check<M: Model>(model: &M, max_states: usize) -> CheckReport<M::Action> {
+    // Parent map for trace reconstruction: state index -> (parent
+    // index, action taken).
+    let mut ids: HashMap<M::State, usize> = HashMap::new();
+    let mut parents: Vec<Option<(usize, M::Action)>> = Vec::new();
+    let mut depths: Vec<usize> = Vec::new();
+    let mut queue: VecDeque<M::State> = VecDeque::new();
+    let mut transitions = 0usize;
+    let mut max_depth = 0usize;
+
+    let trace_to = |parents: &Vec<Option<(usize, M::Action)>>, mut idx: usize| {
+        let mut trace = Vec::new();
+        while let Some((p, a)) = parents[idx].clone() {
+            trace.push(a);
+            idx = p;
+        }
+        trace.reverse();
+        trace
+    };
+
+    for s in model.initial() {
+        if let Err(reason) = model.invariant(&s) {
+            return CheckReport {
+                outcome: CheckOutcome::InvariantViolated { reason },
+                states: 1,
+                transitions: 0,
+                depth: 0,
+                trace: Vec::new(),
+            };
+        }
+        if !ids.contains_key(&s) {
+            let id = ids.len();
+            ids.insert(s.clone(), id);
+            parents.push(None);
+            depths.push(0);
+            queue.push_back(s);
+        }
+    }
+
+    while let Some(state) = queue.pop_front() {
+        let state_id = ids[&state];
+        let depth = depths[state_id];
+        max_depth = max_depth.max(depth);
+        let succs = model.next(&state);
+        if succs.is_empty() && !model.is_final(&state) {
+            return CheckReport {
+                outcome: CheckOutcome::Deadlock,
+                states: ids.len(),
+                transitions,
+                depth: max_depth,
+                trace: trace_to(&parents, state_id),
+            };
+        }
+        for (action, succ) in succs {
+            transitions += 1;
+            if let Some(&_known) = ids.get(&succ) {
+                continue;
+            }
+            let id = ids.len();
+            ids.insert(succ.clone(), id);
+            parents.push(Some((state_id, action)));
+            depths.push(depth + 1);
+            if let Err(reason) = model.invariant(&succ) {
+                return CheckReport {
+                    outcome: CheckOutcome::InvariantViolated { reason },
+                    states: ids.len(),
+                    transitions,
+                    depth: depth + 1,
+                    trace: trace_to(&parents, id),
+                };
+            }
+            if ids.len() >= max_states {
+                return CheckReport {
+                    outcome: CheckOutcome::BoundExceeded,
+                    states: ids.len(),
+                    transitions,
+                    depth: max_depth,
+                    trace: Vec::new(),
+                };
+            }
+            queue.push_back(succ);
+        }
+    }
+
+    CheckReport {
+        outcome: CheckOutcome::Ok,
+        states: ids.len(),
+        transitions,
+        depth: max_depth,
+        trace: Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A counter that must stay below a bound; incrementing past it
+    /// violates the invariant.
+    struct Counter {
+        limit: u32,
+        violate_at: Option<u32>,
+    }
+
+    impl Model for Counter {
+        type State = u32;
+        type Action = &'static str;
+
+        fn initial(&self) -> Vec<u32> {
+            vec![0]
+        }
+
+        fn next(&self, s: &u32) -> Vec<(&'static str, u32)> {
+            let mut out = Vec::new();
+            if *s < self.limit {
+                out.push(("inc", s + 1));
+            }
+            if *s > 0 {
+                out.push(("dec", s - 1));
+            }
+            out
+        }
+
+        fn invariant(&self, s: &u32) -> Result<(), String> {
+            match self.violate_at {
+                Some(v) if *s == v => Err(format!("counter reached {v}")),
+                _ => Ok(()),
+            }
+        }
+    }
+
+    #[test]
+    fn clean_model_verifies() {
+        let m = Counter {
+            limit: 10,
+            violate_at: None,
+        };
+        let r = check(&m, 1000);
+        assert!(r.ok());
+        assert_eq!(r.states, 11);
+        assert_eq!(r.depth, 10);
+    }
+
+    #[test]
+    fn violation_found_with_shortest_trace() {
+        let m = Counter {
+            limit: 10,
+            violate_at: Some(3),
+        };
+        let r = check(&m, 1000);
+        assert_eq!(
+            r.outcome,
+            CheckOutcome::InvariantViolated {
+                reason: "counter reached 3".into()
+            }
+        );
+        // BFS gives the shortest path: three increments.
+        assert_eq!(r.trace, vec!["inc", "inc", "inc"]);
+    }
+
+    /// Two processes taking two locks in opposite orders: the classic
+    /// deadlock.
+    struct DeadlockModel;
+
+    impl Model for DeadlockModel {
+        // (p0 holds, p1 holds): each in {0 = none, 1 = lock A, 2 = A+B
+        // for p0 / B+A for p1, 3 = done}.
+        type State = (u8, u8);
+        type Action = String;
+
+        fn initial(&self) -> Vec<(u8, u8)> {
+            vec![(0, 0)]
+        }
+
+        fn next(&self, s: &(u8, u8)) -> Vec<(String, (u8, u8))> {
+            let mut out = Vec::new();
+            let (p0, p1) = *s;
+            // Lock A is held if p0 in {1,2} or p1 == 2; lock B if p1 in
+            // {1,2} or p0 == 2.
+            let a_held = matches!(p0, 1 | 2) || p1 == 2;
+            let b_held = matches!(p1, 1 | 2) || p0 == 2;
+            match p0 {
+                0 if !a_held => out.push(("p0:takeA".into(), (1, p1))),
+                1 if !b_held => out.push(("p0:takeB".into(), (2, p1))),
+                2 => out.push(("p0:release".into(), (3, p1))),
+                _ => {}
+            }
+            match p1 {
+                0 if !b_held => out.push(("p1:takeB".into(), (p0, 1))),
+                1 if !a_held => out.push(("p1:takeA".into(), (p0, 2))),
+                2 => out.push(("p1:release".into(), (p0, 3))),
+                _ => {}
+            }
+            out
+        }
+
+        fn invariant(&self, _: &(u8, u8)) -> Result<(), String> {
+            Ok(())
+        }
+
+        fn is_final(&self, s: &(u8, u8)) -> bool {
+            *s == (3, 3)
+        }
+    }
+
+    #[test]
+    fn deadlock_detected() {
+        let r = check(&DeadlockModel, 1000);
+        assert_eq!(r.outcome, CheckOutcome::Deadlock);
+        // The shortest deadlock: each takes its first lock.
+        assert_eq!(r.trace.len(), 2);
+    }
+
+    #[test]
+    fn bound_exceeded_reported() {
+        let m = Counter {
+            limit: 1_000_000,
+            violate_at: None,
+        };
+        let r = check(&m, 100);
+        assert_eq!(r.outcome, CheckOutcome::BoundExceeded);
+        assert!(r.states >= 100);
+    }
+}

@@ -1,0 +1,326 @@
+//! Model of the *cross-endpoint response collection* rule.
+//!
+//! The Figure 5 lifecycle creates a subtlety the single-endpoint model
+//! (`crate::protocol`) cannot express: a core that took its request on
+//! the kernel endpoint K writes the response there, then parks on the
+//! process endpoint U — so the NIC must treat a load on a *different*
+//! endpoint as the completion signal for K's response. But a handler
+//! may also park on a *continuation* endpoint C in the middle of a
+//! request (nested RPC, §6), and that load must **not** be read as
+//! completion: the response line has not been written yet, and
+//! collecting it would transmit garbage.
+//!
+//! This model checks the collection rule the implementation uses
+//! (collect on foreign loads only from *kernel*-endpoint donors, and
+//! only issue nested calls from user-endpoint-delivered requests) and
+//! demonstrates that both razor edges cut:
+//!
+//! * allowing user-endpoint donors reproduces the premature-collection
+//!   race found while building `experiments::nested`;
+//! * allowing nested calls from kernel-delivered requests breaks even
+//!   the kernel-donor rule.
+
+use crate::checker::Model;
+
+/// Whether a response line has been written by the core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Slot {
+    /// No response pending on this endpoint.
+    Empty,
+    /// A request was delivered; the response is not yet written.
+    Unwritten,
+    /// The response is written and awaiting collection.
+    Written,
+}
+
+/// Where the core is and what it holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Core {
+    /// Parked on the kernel endpoint.
+    ParkK,
+    /// Handling a kernel-delivered request (`true` once the response is
+    /// written).
+    HandlingK(bool),
+    /// Parked on the user endpoint.
+    ParkU,
+    /// Handling a user-delivered request.
+    HandlingU(bool),
+    /// Parked on the continuation endpoint mid-request; resumes to the
+    /// given handling state.
+    ParkC {
+        /// Whether the suspended request came via the kernel endpoint.
+        from_kernel: bool,
+    },
+}
+
+/// System state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CollState {
+    /// Core phase.
+    pub core: Core,
+    /// Kernel endpoint's response slot.
+    pub k: Slot,
+    /// User endpoint's response slot.
+    pub u: Slot,
+    /// Requests injected.
+    pub injected: u8,
+    /// Responses collected.
+    pub collected: u8,
+    /// A premature collection happened (the violation marker).
+    pub premature: bool,
+}
+
+/// Model parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct CollectionConfig {
+    /// Total requests to inject.
+    pub max_requests: u8,
+    /// BUG 1: collect on foreign loads from *user*-endpoint donors too.
+    pub collect_user_donors: bool,
+    /// BUG 2: allow nested calls (continuation parks) from
+    /// kernel-delivered requests.
+    pub nested_from_kernel: bool,
+}
+
+impl Default for CollectionConfig {
+    fn default() -> Self {
+        CollectionConfig {
+            max_requests: 3,
+            collect_user_donors: false,
+            nested_from_kernel: false,
+        }
+    }
+}
+
+/// The model.
+#[derive(Debug, Clone, Copy)]
+pub struct CollectionModel {
+    /// Parameters.
+    pub cfg: CollectionConfig,
+}
+
+impl CollectionModel {
+    /// Creates the model.
+    pub fn new(cfg: CollectionConfig) -> Self {
+        CollectionModel { cfg }
+    }
+
+    /// The NIC's reaction to a load on an endpoint other than the one
+    /// holding a pending response ("foreign load").
+    fn foreign_load(&self, s: &mut CollState, donor_is_kernel: bool) {
+        let slot = if donor_is_kernel { &mut s.k } else { &mut s.u };
+        let may_collect = donor_is_kernel || self.cfg.collect_user_donors;
+        if may_collect {
+            match *slot {
+                Slot::Written => {
+                    *slot = Slot::Empty;
+                    s.collected += 1;
+                }
+                Slot::Unwritten => {
+                    // Fetch-exclusive of a line the core has not written:
+                    // the transmitted response is garbage.
+                    s.premature = true;
+                }
+                Slot::Empty => {}
+            }
+        }
+    }
+}
+
+impl Model for CollectionModel {
+    type State = CollState;
+    type Action = &'static str;
+
+    fn initial(&self) -> Vec<CollState> {
+        vec![CollState {
+            core: Core::ParkK,
+            k: Slot::Empty,
+            u: Slot::Empty,
+            injected: 0,
+            collected: 0,
+            premature: false,
+        }]
+    }
+
+    fn next(&self, s: &CollState) -> Vec<(&'static str, CollState)> {
+        let mut out = Vec::new();
+        match s.core {
+            Core::ParkK => {
+                // A request arrives via the kernel endpoint.
+                if s.injected < self.cfg.max_requests && s.k == Slot::Empty {
+                    let mut t = *s;
+                    t.injected += 1;
+                    t.k = Slot::Unwritten;
+                    t.core = Core::HandlingK(false);
+                    out.push(("deliver-on-K", t));
+                }
+            }
+            Core::HandlingK(written) => {
+                if !written {
+                    let mut t = *s;
+                    t.k = Slot::Written;
+                    t.core = Core::HandlingK(true);
+                    out.push(("write-response-K", t));
+                    if self.cfg.nested_from_kernel {
+                        let mut t = *s;
+                        t.core = Core::ParkC { from_kernel: true };
+                        // Parking on C is a foreign load; K holds the
+                        // (unwritten) pending response.
+                        self.foreign_load(&mut t, true);
+                        out.push(("nested-park-from-K", t));
+                    }
+                } else {
+                    // Done: move to the user loop (Figure 5). The load
+                    // on U is a foreign load; K's response collects.
+                    let mut t = *s;
+                    t.core = Core::ParkU;
+                    self.foreign_load(&mut t, true);
+                    out.push(("move-to-user-loop", t));
+                }
+            }
+            Core::ParkU => {
+                if s.injected < self.cfg.max_requests && s.u == Slot::Empty {
+                    let mut t = *s;
+                    t.injected += 1;
+                    t.u = Slot::Unwritten;
+                    t.core = Core::HandlingU(false);
+                    out.push(("deliver-on-U", t));
+                }
+                // The idle user loop may be retired back to K; any
+                // written-but-uncollected U response was collected by
+                // its own other-line load before parking, so U is Empty
+                // or this retire waits (modelled by simply moving).
+                if s.u == Slot::Empty {
+                    let mut t = *s;
+                    t.core = Core::ParkK;
+                    out.push(("retire-to-K", t));
+                }
+            }
+            Core::HandlingU(written) => {
+                if !written {
+                    let mut t = *s;
+                    t.u = Slot::Written;
+                    t.core = Core::HandlingU(true);
+                    out.push(("write-response-U", t));
+                    // Nested calls from user-delivered requests are the
+                    // supported case (§6).
+                    let mut t = *s;
+                    t.core = Core::ParkC { from_kernel: false };
+                    self.foreign_load(&mut t, false);
+                    out.push(("nested-park-from-U", t));
+                } else {
+                    // The other-line load on U itself: same-endpoint
+                    // collection (always safe).
+                    let mut t = *s;
+                    debug_assert_eq!(t.u, Slot::Written);
+                    t.u = Slot::Empty;
+                    t.collected += 1;
+                    t.core = Core::ParkU;
+                    out.push(("collect-own-line-U", t));
+                }
+            }
+            Core::ParkC { from_kernel } => {
+                // The nested reply arrives; the handler resumes.
+                let mut t = *s;
+                t.core = if from_kernel {
+                    Core::HandlingK(false)
+                } else {
+                    Core::HandlingU(false)
+                };
+                out.push(("nested-reply", t));
+            }
+        }
+        out
+    }
+
+    fn invariant(&self, s: &CollState) -> Result<(), String> {
+        if s.premature {
+            return Err("collected a response line the core had not written".into());
+        }
+        if s.collected > s.injected {
+            return Err(format!(
+                "collected {} > injected {}",
+                s.collected, s.injected
+            ));
+        }
+        Ok(())
+    }
+
+    fn is_final(&self, s: &CollState) -> bool {
+        // All requests injected and collected, core parked anywhere.
+        s.injected == self.cfg.max_requests
+            && s.collected == s.injected
+            && matches!(s.core, Core::ParkK | Core::ParkU)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checker::{check, CheckOutcome};
+
+    #[test]
+    fn implementation_rule_verifies() {
+        let r = check(&CollectionModel::new(CollectionConfig::default()), 100_000);
+        assert!(r.ok(), "{:?} trace {:?}", r.outcome, r.trace);
+        assert!(r.states > 10, "only {} states", r.states);
+    }
+
+    #[test]
+    fn user_donor_collection_race_found() {
+        // The race hit while building the nested-RPC experiment.
+        let r = check(
+            &CollectionModel::new(CollectionConfig {
+                collect_user_donors: true,
+                ..Default::default()
+            }),
+            100_000,
+        );
+        match r.outcome {
+            CheckOutcome::InvariantViolated { reason } => {
+                assert!(reason.contains("had not written"), "{reason}");
+            }
+            other => panic!("race not found: {other:?}"),
+        }
+        // The counterexample goes through a nested park from U.
+        assert!(r.trace.contains(&"nested-park-from-U"), "{:?}", r.trace);
+    }
+
+    #[test]
+    fn nested_from_kernel_race_found() {
+        let r = check(
+            &CollectionModel::new(CollectionConfig {
+                nested_from_kernel: true,
+                ..Default::default()
+            }),
+            100_000,
+        );
+        match r.outcome {
+            CheckOutcome::InvariantViolated { reason } => {
+                assert!(reason.contains("had not written"), "{reason}");
+            }
+            other => panic!("race not found: {other:?}"),
+        }
+        assert!(r.trace.contains(&"nested-park-from-K"), "{:?}", r.trace);
+    }
+
+    #[test]
+    fn scales_with_request_bound() {
+        let small = check(
+            &CollectionModel::new(CollectionConfig {
+                max_requests: 2,
+                ..Default::default()
+            }),
+            100_000,
+        );
+        let large = check(
+            &CollectionModel::new(CollectionConfig {
+                max_requests: 8,
+                ..Default::default()
+            }),
+            100_000,
+        );
+        assert!(small.ok() && large.ok());
+        assert!(large.states > small.states);
+    }
+}

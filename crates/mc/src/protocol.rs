@@ -1,0 +1,424 @@
+//! A small-state model of the Figure 4 protocol.
+//!
+//! The model captures one endpoint (two CONTROL lines), its serving
+//! core, the NIC's endpoint engine, and the environment (request
+//! injection, the TRYAGAIN timer, kernel preemption, RETIRE). NIC
+//! response delivery is atomized with the state change it causes at the
+//! core — the interleavings that remain are exactly the races the
+//! paper worries about: request arrival vs. timeout, preemption vs.
+//! delivery, retire vs. queued work.
+//!
+//! Checked invariants:
+//!
+//! * **I1 conservation** — every injected request is delivered or
+//!   queued; none lost, none duplicated.
+//! * **I2 exactly-once responses** — one response is transmitted per
+//!   completed handler, and at most one response is ever awaiting
+//!   collection.
+//! * **I3 park consistency** — the NIC believes a fill is parked on
+//!   line *i* iff the core is stalled on line *i*.
+//! * **I4 no silent block** — whenever the core is stalled, the
+//!   TRYAGAIN timer is enabled (the coherence protocol can always be
+//!   unblocked before its fatal timeout).
+//! * **I5 collection safety** — a response is only collected from a
+//!   line the core has finished writing.
+//! * **I6 retire safety** — RETIRE is only delivered when no queued
+//!   request would be stranded.
+//!
+//! The config's `inject_stale_timeout_bug` flag removes the generation
+//! guard on the timer (a real race in an early design sketch): the
+//! checker then produces a counterexample where a TRYAGAIN overwrites
+//! a just-delivered request — demonstrating the checker can find
+//! non-benign races, not merely bless correct ones.
+
+use crate::checker::Model;
+
+/// What the core is doing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CorePhase {
+    /// Stalled on a load of CONTROL\[i\].
+    Waiting(u8),
+    /// Received a request on CONTROL\[i\]; handler running.
+    Handling(u8),
+    /// Wrote the response into CONTROL\[i\]; about to load the other line.
+    Wrote(u8),
+    /// Received TRYAGAIN on CONTROL\[i\]; will re-issue the load.
+    GotTryAgain(u8),
+    /// In the kernel after a preemption IPI; will resume by re-loading
+    /// CONTROL\[i\].
+    InKernel(u8),
+    /// Received RETIRE; core returned to the scheduler (final).
+    Retired,
+    /// A protocol violation landed the core here (only reachable with
+    /// an injected bug).
+    Broken,
+}
+
+/// Full system state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ProtoState {
+    /// Core phase.
+    pub core: CorePhase,
+    /// CONTROL line the NIC will deliver the next request on.
+    pub expect: u8,
+    /// Line a fill is parked on, if any.
+    pub parked: Option<u8>,
+    /// Requests queued at the NIC.
+    pub queued: u8,
+    /// Line holding an uncollected response, if any.
+    pub outstanding: Option<u8>,
+    /// Requests injected so far.
+    pub injected: u8,
+    /// Requests delivered to the core.
+    pub delivered: u8,
+    /// Handlers completed.
+    pub completed: u8,
+    /// Responses transmitted.
+    pub responses: u8,
+    /// Preemptions so far.
+    pub preemptions: u8,
+    /// Whether a RETIRE has been requested by the kernel.
+    pub retire_requested: bool,
+}
+
+/// Model parameters (bounds keep the state space finite).
+#[derive(Debug, Clone, Copy)]
+pub struct ProtocolConfig {
+    /// Total requests the environment injects.
+    pub max_requests: u8,
+    /// NIC ready-queue capacity.
+    pub queue_cap: u8,
+    /// Maximum preemptions the kernel performs.
+    pub max_preemptions: u8,
+    /// Whether the kernel may request a RETIRE.
+    pub allow_retire: bool,
+    /// Inject the stale-timeout race (checker must find it).
+    pub inject_stale_timeout_bug: bool,
+}
+
+impl Default for ProtocolConfig {
+    fn default() -> Self {
+        ProtocolConfig {
+            max_requests: 3,
+            queue_cap: 2,
+            max_preemptions: 1,
+            allow_retire: true,
+            inject_stale_timeout_bug: false,
+        }
+    }
+}
+
+/// The model.
+#[derive(Debug, Clone, Copy)]
+pub struct LauberhornModel {
+    /// Parameters.
+    pub cfg: ProtocolConfig,
+}
+
+impl LauberhornModel {
+    /// Creates the model.
+    pub fn new(cfg: ProtocolConfig) -> Self {
+        LauberhornModel { cfg }
+    }
+
+    /// Delivery of the front request into a parked fill on `line`.
+    fn deliver(mut s: ProtoState, line: u8, from_queue: bool) -> ProtoState {
+        debug_assert_eq!(s.parked, Some(line));
+        s.parked = None;
+        if from_queue {
+            s.queued -= 1;
+        } else {
+            s.injected += 1;
+        }
+        s.delivered += 1;
+        s.core = CorePhase::Handling(line);
+        s.expect = 1 - line;
+        s
+    }
+}
+
+impl Model for LauberhornModel {
+    type State = ProtoState;
+    type Action = &'static str;
+
+    fn initial(&self) -> Vec<ProtoState> {
+        // The core starts by issuing its first load on CONTROL[0]; the
+        // NIC parks it.
+        vec![ProtoState {
+            core: CorePhase::Waiting(0),
+            expect: 0,
+            parked: Some(0),
+            queued: 0,
+            outstanding: None,
+            injected: 0,
+            delivered: 0,
+            completed: 0,
+            responses: 0,
+            preemptions: 0,
+            retire_requested: false,
+        }]
+    }
+
+    fn next(&self, s: &ProtoState) -> Vec<(&'static str, ProtoState)> {
+        let mut out: Vec<(&'static str, ProtoState)> = Vec::new();
+        let cfg = &self.cfg;
+
+        // --- Environment: inject a request. ---
+        if s.injected < cfg.max_requests && s.core != CorePhase::Retired {
+            match s.parked {
+                Some(line) if s.expect == line => {
+                    out.push(("inject/deliver", Self::deliver(*s, line, false)));
+                }
+                _ => {
+                    if s.queued < cfg.queue_cap {
+                        let mut t = *s;
+                        t.queued += 1;
+                        t.injected += 1;
+                        out.push(("inject/queue", t));
+                    }
+                }
+            }
+        }
+
+        // --- NIC: TRYAGAIN timer fires on a parked fill. ---
+        if let Some(line) = s.parked {
+            let mut t = *s;
+            t.parked = None;
+            t.core = CorePhase::GotTryAgain(line);
+            out.push(("timeout/tryagain", t));
+        } else if cfg.inject_stale_timeout_bug {
+            // BUG: without the generation guard, a stale timer answers a
+            // load that was already answered — the TRYAGAIN line lands
+            // while the core is handling the request, corrupting it.
+            if matches!(s.core, CorePhase::Handling(_)) {
+                let mut t = *s;
+                t.core = CorePhase::Broken;
+                out.push(("stale-timeout/bug", t));
+            }
+        }
+
+        // --- Kernel: preempt a stalled core (IPI + TRYAGAIN, §5.1). ---
+        if s.preemptions < cfg.max_preemptions {
+            if let Some(line) = s.parked {
+                let mut t = *s;
+                t.parked = None;
+                t.preemptions += 1;
+                t.core = CorePhase::InKernel(line);
+                out.push(("preempt/ipi", t));
+            }
+        }
+
+        // --- Kernel: request a RETIRE (core reallocation, §5.2). ---
+        if cfg.allow_retire && !s.retire_requested && s.core != CorePhase::Retired {
+            let mut t = *s;
+            t.retire_requested = true;
+            out.push(("retire/request", t));
+        }
+        // NIC delivers RETIRE into a parked fill, but only when no
+        // queued request would be stranded (I6).
+        if s.retire_requested && s.queued == 0 && s.outstanding.is_none() {
+            if let Some(_line) = s.parked {
+                let mut t = *s;
+                t.parked = None;
+                t.core = CorePhase::Retired;
+                out.push(("retire/deliver", t));
+            }
+        }
+
+        // --- Core transitions. ---
+        match s.core {
+            CorePhase::Handling(line) => {
+                let mut t = *s;
+                t.core = CorePhase::Wrote(line);
+                t.completed += 1;
+                t.outstanding = Some(line);
+                out.push(("core/handler-done", t));
+            }
+            CorePhase::Wrote(line) => {
+                // Core loads the other line; the NIC first collects the
+                // response from `line` (fetch-exclusive + transmit),
+                // then either delivers a queued request or parks.
+                let other = 1 - line;
+                let mut t = *s;
+                debug_assert_eq!(t.outstanding, Some(line));
+                t.outstanding = None;
+                t.responses += 1;
+                t.parked = Some(other);
+                t.core = CorePhase::Waiting(other);
+                if t.queued > 0 && t.expect == other {
+                    out.push(("core/load-other+deliver", Self::deliver(t, other, true)));
+                } else {
+                    out.push(("core/load-other+park", t));
+                }
+            }
+            CorePhase::GotTryAgain(line) | CorePhase::InKernel(line) => {
+                // Re-issue the load on the same line.
+                let mut t = *s;
+                t.parked = Some(line);
+                t.core = CorePhase::Waiting(line);
+                if t.queued > 0 && t.expect == line {
+                    out.push(("core/reload+deliver", Self::deliver(t, line, true)));
+                } else {
+                    out.push(("core/reload+park", t));
+                }
+            }
+            CorePhase::Waiting(_) | CorePhase::Retired | CorePhase::Broken => {}
+        }
+
+        out
+    }
+
+    fn invariant(&self, s: &ProtoState) -> Result<(), String> {
+        // I1: conservation.
+        if s.injected != s.delivered + s.queued {
+            return Err(format!(
+                "I1: injected {} != delivered {} + queued {}",
+                s.injected, s.delivered, s.queued
+            ));
+        }
+        // I2: exactly-once responses.
+        let uncollected = u8::from(s.outstanding.is_some());
+        if s.responses + uncollected != s.completed {
+            return Err(format!(
+                "I2: responses {} + outstanding {} != completed {}",
+                s.responses, uncollected, s.completed
+            ));
+        }
+        if s.completed > s.delivered {
+            return Err("I2: more completions than deliveries".into());
+        }
+        // I3: park consistency.
+        let core_waiting = matches!(s.core, CorePhase::Waiting(_));
+        if core_waiting != s.parked.is_some() {
+            return Err(format!(
+                "I3: core {:?} but parked = {:?}",
+                s.core, s.parked
+            ));
+        }
+        if let (CorePhase::Waiting(i), Some(p)) = (s.core, s.parked) {
+            if i != p {
+                return Err(format!("I3: core waits on {i} but park is on {p}"));
+            }
+        }
+        // I5: collection safety — outstanding response implies the core
+        // is past the write on that line (never Handling it).
+        if let (Some(line), CorePhase::Handling(h)) = (s.outstanding, s.core) {
+            if line == h {
+                return Err("I5: response outstanding on a line still being handled".into());
+            }
+        }
+        // I6: a retired core leaves nothing queued.
+        if s.core == CorePhase::Retired && s.queued > 0 {
+            return Err("I6: core retired with queued requests".into());
+        }
+        // The bug marker itself is a violation.
+        if s.core == CorePhase::Broken {
+            return Err("TRYAGAIN delivered to a non-waiting core".into());
+        }
+        // I4 is structural: Waiting(i) states always enable
+        // timeout/tryagain (asserted by construction in `next`); the
+        // deadlock check covers the rest.
+        Ok(())
+    }
+
+    fn is_final(&self, s: &ProtoState) -> bool {
+        s.core == CorePhase::Retired
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checker::{check, CheckOutcome};
+
+    #[test]
+    fn correct_protocol_verifies() {
+        let m = LauberhornModel::new(ProtocolConfig::default());
+        let r = check(&m, 1_000_000);
+        assert!(r.ok(), "outcome: {:?}, trace: {:?}", r.outcome, r.trace);
+        // The space is non-trivial.
+        assert!(r.states > 100, "only {} states", r.states);
+    }
+
+    #[test]
+    fn scales_with_bounds() {
+        let small = check(
+            &LauberhornModel::new(ProtocolConfig {
+                max_requests: 2,
+                ..Default::default()
+            }),
+            1_000_000,
+        );
+        let large = check(
+            &LauberhornModel::new(ProtocolConfig {
+                max_requests: 6,
+                queue_cap: 4,
+                max_preemptions: 2,
+                ..Default::default()
+            }),
+            1_000_000,
+        );
+        assert!(small.ok() && large.ok());
+        assert!(large.states > small.states);
+    }
+
+    #[test]
+    fn stale_timeout_bug_is_caught() {
+        let m = LauberhornModel::new(ProtocolConfig {
+            inject_stale_timeout_bug: true,
+            ..Default::default()
+        });
+        let r = check(&m, 1_000_000);
+        match r.outcome {
+            CheckOutcome::InvariantViolated { reason } => {
+                assert!(reason.contains("non-waiting core"), "{reason}");
+            }
+            other => panic!("bug not found: {other:?}"),
+        }
+        // The counterexample ends with the buggy action.
+        assert_eq!(r.trace.last().copied(), Some("stale-timeout/bug"));
+    }
+
+    #[test]
+    fn without_retire_no_final_state_needed() {
+        let m = LauberhornModel::new(ProtocolConfig {
+            allow_retire: false,
+            ..Default::default()
+        });
+        let r = check(&m, 1_000_000);
+        assert!(r.ok(), "{:?}", r.outcome);
+    }
+
+    #[test]
+    fn every_waiting_state_has_timeout_enabled() {
+        // I4, checked exhaustively over the reachable space.
+        let m = LauberhornModel::new(ProtocolConfig::default());
+        let mut stack = m.initial();
+        let mut seen = std::collections::HashSet::new();
+        while let Some(s) = stack.pop() {
+            if !seen.insert(s) {
+                continue;
+            }
+            let succs = m.next(&s);
+            if matches!(s.core, CorePhase::Waiting(_)) {
+                assert!(
+                    succs.iter().any(|(a, _)| *a == "timeout/tryagain"),
+                    "waiting state without timeout: {s:?}"
+                );
+            }
+            stack.extend(succs.into_iter().map(|(_, t)| t));
+        }
+        assert!(seen.len() > 100);
+    }
+
+    #[test]
+    fn preemption_and_delivery_race_is_benign() {
+        // With many preemptions allowed the space still verifies.
+        let m = LauberhornModel::new(ProtocolConfig {
+            max_preemptions: 3,
+            ..Default::default()
+        });
+        let r = check(&m, 2_000_000);
+        assert!(r.ok(), "{:?}", r.outcome);
+    }
+}

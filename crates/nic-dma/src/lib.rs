@@ -1,0 +1,30 @@
+//! The traditional descriptor-ring DMA NIC — the paper's Figure 1.
+//!
+//! "Incoming packets are demultiplexed and transferred using Direct
+//! Memory Access (DMA) into one of a set of descriptor-based queues,
+//! with interrupts used for synchronization when the OS has stopped
+//! polling the queue" (§2). This crate implements that device:
+//!
+//! * [`ring`] — RX/TX descriptor rings with producer/consumer indices
+//!   and doorbells, as drivers and NICs actually share them.
+//! * [`rss`] — Receive-Side Scaling: a Toeplitz hash over the 5-tuple
+//!   selecting a queue through an indirection table (the paper's §3
+//!   example of "offload without involving the OS at all").
+//! * [`moderation`] — interrupt moderation (ITR) with a holdoff timer.
+//! * [`nic`] — [`nic::DmaNic`]: the composed receive and transmit
+//!   paths, performing steps 1–4 of the paper's twelve-step list and
+//!   charging every PCIe and IOMMU cost along the way.
+//!
+//! Both the kernel-stack and kernel-bypass baselines in `lauberhorn-rpc`
+//! drive this same device; they differ only in what the software side
+//! does after step 4.
+
+pub mod moderation;
+pub mod nic;
+pub mod ring;
+pub mod rss;
+
+pub use moderation::Moderation;
+pub use nic::{DmaNic, DmaNicConfig, NicStats, RxDelivery};
+pub use ring::{DescRing, RingError, RxDescriptor, TxDescriptor};
+pub use rss::RssTable;

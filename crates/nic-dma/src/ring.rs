@@ -1,0 +1,223 @@
+//! Descriptor rings shared between driver and NIC.
+//!
+//! Modelled after the ubiquitous producer/consumer scheme (e1000,
+//! ixgbe, mlx5): the driver posts buffers and advances the tail with a
+//! doorbell write; the NIC consumes from the head and writes back
+//! completions. One slot is kept empty to distinguish full from empty.
+
+/// An RX descriptor: a host buffer the NIC may fill.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RxDescriptor {
+    /// I/O virtual address of the buffer (translated by the IOMMU).
+    pub buf_iova: u64,
+    /// Buffer capacity in bytes.
+    pub buf_len: u32,
+}
+
+/// A TX descriptor: a host buffer the NIC should transmit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TxDescriptor {
+    /// I/O virtual address of the frame.
+    pub buf_iova: u64,
+    /// Frame length in bytes.
+    pub len: u32,
+}
+
+/// Ring errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RingError {
+    /// Producer tried to post into a full ring.
+    Full,
+    /// Consumer tried to take from an empty ring.
+    Empty,
+}
+
+impl std::fmt::Display for RingError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RingError::Full => write!(f, "descriptor ring full"),
+            RingError::Empty => write!(f, "descriptor ring empty"),
+        }
+    }
+}
+
+impl std::error::Error for RingError {}
+
+/// A circular descriptor ring.
+#[derive(Debug, Clone)]
+pub struct DescRing<T: Copy> {
+    slots: Vec<Option<T>>,
+    /// Next slot the consumer (NIC for RX-free / TX, driver for
+    /// completions) will take.
+    head: usize,
+    /// Next slot the producer will fill.
+    tail: usize,
+}
+
+impl<T: Copy> DescRing<T> {
+    /// Creates a ring with `capacity` slots (usable capacity is
+    /// `capacity - 1`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity < 2`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 2, "ring needs at least 2 slots");
+        DescRing {
+            slots: vec![None; capacity],
+            head: 0,
+            tail: 0,
+        }
+    }
+
+    /// Number of posted, unconsumed descriptors.
+    pub fn len(&self) -> usize {
+        (self.tail + self.slots.len() - self.head) % self.slots.len()
+    }
+
+    /// Whether no descriptors are posted.
+    pub fn is_empty(&self) -> bool {
+        self.head == self.tail
+    }
+
+    /// Whether the ring cannot accept another descriptor.
+    pub fn is_full(&self) -> bool {
+        (self.tail + 1) % self.slots.len() == self.head
+    }
+
+    /// Free slots available to the producer.
+    pub fn free(&self) -> usize {
+        self.slots.len() - 1 - self.len()
+    }
+
+    /// Producer posts one descriptor.
+    pub fn post(&mut self, desc: T) -> Result<(), RingError> {
+        if self.is_full() {
+            return Err(RingError::Full);
+        }
+        self.slots[self.tail] = Some(desc);
+        self.tail = (self.tail + 1) % self.slots.len();
+        Ok(())
+    }
+
+    /// Consumer takes the oldest descriptor.
+    pub fn take(&mut self) -> Result<T, RingError> {
+        if self.is_empty() {
+            return Err(RingError::Empty);
+        }
+        let desc = self.slots[self.head].take().expect("posted slot has value");
+        self.head = (self.head + 1) % self.slots.len();
+        Ok(desc)
+    }
+
+    /// Peeks at the oldest descriptor without consuming.
+    pub fn peek(&self) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            self.slots[self.head].as_ref()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn post_take_fifo() {
+        let mut r = DescRing::new(4);
+        for i in 0..3u64 {
+            r.post(RxDescriptor {
+                buf_iova: i,
+                buf_len: 2048,
+            })
+            .unwrap();
+        }
+        assert!(r.is_full());
+        assert_eq!(r.post(RxDescriptor { buf_iova: 9, buf_len: 1 }), Err(RingError::Full));
+        for i in 0..3u64 {
+            assert_eq!(r.take().unwrap().buf_iova, i);
+        }
+        assert_eq!(r.take().map(|d| d.buf_iova), Err(RingError::Empty));
+    }
+
+    #[test]
+    fn wraparound_preserves_order() {
+        let mut r = DescRing::new(4);
+        let mut next_post = 0u64;
+        let mut next_take = 0u64;
+        for _ in 0..10 {
+            while !r.is_full() {
+                r.post(TxDescriptor {
+                    buf_iova: next_post,
+                    len: 64,
+                })
+                .unwrap();
+                next_post += 1;
+            }
+            while !r.is_empty() {
+                assert_eq!(r.take().unwrap().buf_iova, next_take);
+                next_take += 1;
+            }
+        }
+        assert_eq!(next_take, 30);
+    }
+
+    #[test]
+    fn len_and_free_track() {
+        let mut r: DescRing<RxDescriptor> = DescRing::new(8);
+        assert_eq!(r.free(), 7);
+        for i in 0..5 {
+            r.post(RxDescriptor {
+                buf_iova: i,
+                buf_len: 0,
+            })
+            .unwrap();
+        }
+        assert_eq!(r.len(), 5);
+        assert_eq!(r.free(), 2);
+        r.take().unwrap();
+        assert_eq!(r.len(), 4);
+    }
+
+    #[test]
+    fn peek_does_not_consume() {
+        let mut r = DescRing::new(2);
+        assert!(r.peek().is_none());
+        r.post(RxDescriptor {
+            buf_iova: 5,
+            buf_len: 1,
+        })
+        .unwrap();
+        assert_eq!(r.peek().unwrap().buf_iova, 5);
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn tiny_ring_rejected() {
+        let _: DescRing<RxDescriptor> = DescRing::new(1);
+    }
+
+    proptest! {
+        #[test]
+        fn ring_never_loses_or_reorders(ops in proptest::collection::vec(any::<bool>(), 1..200)) {
+            let mut r: DescRing<TxDescriptor> = DescRing::new(5);
+            let mut posted = 0u64;
+            let mut taken = 0u64;
+            for is_post in ops {
+                if is_post {
+                    if r.post(TxDescriptor { buf_iova: posted, len: 0 }).is_ok() {
+                        posted += 1;
+                    }
+                } else if let Ok(d) = r.take() {
+                    prop_assert_eq!(d.buf_iova, taken);
+                    taken += 1;
+                }
+            }
+            prop_assert_eq!(r.len() as u64, posted - taken);
+        }
+    }
+}

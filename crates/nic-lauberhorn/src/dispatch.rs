@@ -1,0 +1,328 @@
+//! The dispatch line: what the NIC returns into a stalled load.
+//!
+//! Layout of the first CONTROL line (big-endian lengths, little-endian
+//! pointers — matching what the CPU consumes directly):
+//!
+//! ```text
+//! 0        8         16          24        26       28    29      30        32
+//! | code_ptr | data_ptr | request_id | service | method | kind | n_aux | arg_len |
+//! 32 ..                                    line_size
+//! | inline argument bytes (fixed dispatch form) ... |
+//! ```
+//!
+//! Arguments beyond the inline capacity continue in AUX lines; payloads
+//! past the DMA threshold arrive via the fallback path and the line
+//! carries a buffer descriptor instead.
+
+use lauberhorn_packet::{PacketError, Result};
+
+/// Fixed header bytes before the inline arguments.
+pub const DISPATCH_HEADER_LEN: usize = 32;
+
+/// What kind of message a CONTROL line carries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DispatchKind {
+    /// A dispatched RPC: code/data pointers and arguments.
+    Rpc,
+    /// The TRYAGAIN dummy (§5.1): no request arrived within the
+    /// coherence-safe window; the core should re-issue the load (or
+    /// enter the kernel if an IPI is pending).
+    TryAgain,
+    /// RETIRE (§5.2): the kernel is reallocating this core; the thread
+    /// must return to the scheduler.
+    Retire,
+    /// Large-message fallback: the payload was DMAed to a buffer; the
+    /// inline bytes hold `(buffer_addr: u64, length: u64)`.
+    DmaDescriptor,
+}
+
+impl DispatchKind {
+    fn to_u8(self) -> u8 {
+        match self {
+            DispatchKind::Rpc => 1,
+            DispatchKind::TryAgain => 2,
+            DispatchKind::Retire => 3,
+            DispatchKind::DmaDescriptor => 4,
+        }
+    }
+
+    fn from_u8(v: u8) -> Result<Self> {
+        match v {
+            1 => Ok(DispatchKind::Rpc),
+            2 => Ok(DispatchKind::TryAgain),
+            3 => Ok(DispatchKind::Retire),
+            4 => Ok(DispatchKind::DmaDescriptor),
+            _ => Err(PacketError::BadField {
+                layer: "dispatch",
+                field: "kind",
+            }),
+        }
+    }
+}
+
+/// A decoded dispatch line (plus any AUX continuation bytes).
+///
+/// # Examples
+///
+/// ```
+/// use lauberhorn_nic::dispatch::{DispatchKind, DispatchLine};
+///
+/// let line = DispatchLine {
+///     code_ptr: 0x7f00_0000_1000,
+///     data_ptr: 0x7f00_0000_2000,
+///     request_id: 7,
+///     service_id: 1,
+///     method_id: 0,
+///     kind: DispatchKind::Rpc,
+///     args: vec![1, 2, 3],
+/// };
+/// let (ctrl, aux) = line.encode(128).unwrap();
+/// assert_eq!(DispatchLine::decode(&ctrl, &aux).unwrap(), line);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DispatchLine {
+    /// Virtual address of the handler's first instruction (§4).
+    pub code_ptr: u64,
+    /// Per-service data pointer (e.g. the service's state object).
+    pub data_ptr: u64,
+    /// Request id, echoed into the response.
+    pub request_id: u64,
+    /// Service the request targets.
+    pub service_id: u16,
+    /// Method within the service.
+    pub method_id: u16,
+    /// Message kind.
+    pub kind: DispatchKind,
+    /// Argument bytes in fixed dispatch form.
+    pub args: Vec<u8>,
+}
+
+impl DispatchLine {
+    /// A TRYAGAIN line.
+    pub fn try_again() -> Self {
+        DispatchLine {
+            code_ptr: 0,
+            data_ptr: 0,
+            request_id: 0,
+            service_id: 0,
+            method_id: 0,
+            kind: DispatchKind::TryAgain,
+            args: Vec::new(),
+        }
+    }
+
+    /// A RETIRE line.
+    pub fn retire() -> Self {
+        DispatchLine {
+            kind: DispatchKind::Retire,
+            ..Self::try_again()
+        }
+    }
+
+    /// Inline argument capacity of the first line for `line_size`.
+    pub fn inline_capacity(line_size: usize) -> usize {
+        line_size - DISPATCH_HEADER_LEN
+    }
+
+    /// Number of AUX lines needed for `arg_len` argument bytes.
+    pub fn aux_lines_needed(arg_len: usize, line_size: usize) -> usize {
+        arg_len
+            .saturating_sub(Self::inline_capacity(line_size))
+            .div_ceil(line_size)
+    }
+
+    /// Encodes into the first CONTROL line plus AUX lines of
+    /// `line_size` bytes each.
+    ///
+    /// Returns `(control_line, aux_lines)`.
+    pub fn encode(&self, line_size: usize) -> Result<(Vec<u8>, Vec<Vec<u8>>)> {
+        let inline_cap = Self::inline_capacity(line_size);
+        let n_aux = Self::aux_lines_needed(self.args.len(), line_size);
+        if n_aux > u8::MAX as usize {
+            return Err(PacketError::BadField {
+                layer: "dispatch",
+                field: "n_aux",
+            });
+        }
+        if self.args.len() > u16::MAX as usize {
+            return Err(PacketError::BadField {
+                layer: "dispatch",
+                field: "arg_len",
+            });
+        }
+        let mut ctrl = vec![0u8; line_size];
+        ctrl[0..8].copy_from_slice(&self.code_ptr.to_le_bytes());
+        ctrl[8..16].copy_from_slice(&self.data_ptr.to_le_bytes());
+        ctrl[16..24].copy_from_slice(&self.request_id.to_le_bytes());
+        ctrl[24..26].copy_from_slice(&self.service_id.to_be_bytes());
+        ctrl[26..28].copy_from_slice(&self.method_id.to_be_bytes());
+        ctrl[28] = self.kind.to_u8();
+        ctrl[29] = n_aux as u8;
+        ctrl[30..32].copy_from_slice(&(self.args.len() as u16).to_be_bytes());
+        let inline = self.args.len().min(inline_cap);
+        ctrl[DISPATCH_HEADER_LEN..DISPATCH_HEADER_LEN + inline]
+            .copy_from_slice(&self.args[..inline]);
+        let mut aux = Vec::with_capacity(n_aux);
+        let mut off = inline;
+        while off < self.args.len() {
+            let take = (self.args.len() - off).min(line_size);
+            let mut line = vec![0u8; line_size];
+            line[..take].copy_from_slice(&self.args[off..off + take]);
+            aux.push(line);
+            off += take;
+        }
+        debug_assert_eq!(aux.len(), n_aux);
+        Ok((ctrl, aux))
+    }
+
+    /// Decodes from a CONTROL line and its AUX lines.
+    pub fn decode(ctrl: &[u8], aux: &[Vec<u8>]) -> Result<Self> {
+        if ctrl.len() < DISPATCH_HEADER_LEN {
+            return Err(PacketError::Truncated {
+                layer: "dispatch",
+                need: DISPATCH_HEADER_LEN,
+                have: ctrl.len(),
+            });
+        }
+        let kind = DispatchKind::from_u8(ctrl[28])?;
+        let n_aux = ctrl[29] as usize;
+        let arg_len = u16::from_be_bytes([ctrl[30], ctrl[31]]) as usize;
+        if aux.len() < n_aux {
+            return Err(PacketError::Truncated {
+                layer: "dispatch",
+                need: n_aux,
+                have: aux.len(),
+            });
+        }
+        let line_size = ctrl.len();
+        let inline_cap = Self::inline_capacity(line_size);
+        let mut args = Vec::with_capacity(arg_len);
+        let inline = arg_len.min(inline_cap);
+        args.extend_from_slice(&ctrl[DISPATCH_HEADER_LEN..DISPATCH_HEADER_LEN + inline]);
+        let mut remaining = arg_len - inline;
+        for line in aux.iter().take(n_aux) {
+            let take = remaining.min(line_size);
+            if line.len() < take {
+                return Err(PacketError::Truncated {
+                    layer: "dispatch",
+                    need: take,
+                    have: line.len(),
+                });
+            }
+            args.extend_from_slice(&line[..take]);
+            remaining -= take;
+        }
+        if remaining != 0 {
+            return Err(PacketError::Truncated {
+                layer: "dispatch",
+                need: arg_len,
+                have: arg_len - remaining,
+            });
+        }
+        Ok(DispatchLine {
+            code_ptr: u64::from_le_bytes(ctrl[0..8].try_into().expect("8 bytes")),
+            data_ptr: u64::from_le_bytes(ctrl[8..16].try_into().expect("8 bytes")),
+            request_id: u64::from_le_bytes(ctrl[16..24].try_into().expect("8 bytes")),
+            service_id: u16::from_be_bytes([ctrl[24], ctrl[25]]),
+            method_id: u16::from_be_bytes([ctrl[26], ctrl[27]]),
+            kind,
+            args,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(args: Vec<u8>) -> DispatchLine {
+        DispatchLine {
+            code_ptr: 0x7fff_0000_1000,
+            data_ptr: 0x7fff_0000_2000,
+            request_id: 99,
+            service_id: 4,
+            method_id: 2,
+            kind: DispatchKind::Rpc,
+            args,
+        }
+    }
+
+    #[test]
+    fn small_args_fit_inline_128() {
+        let d = sample(vec![0xAB; 64]);
+        let (ctrl, aux) = d.encode(128).unwrap();
+        assert_eq!(ctrl.len(), 128);
+        assert!(aux.is_empty());
+        assert_eq!(DispatchLine::decode(&ctrl, &aux).unwrap(), d);
+    }
+
+    #[test]
+    fn boundary_exactly_fills_inline() {
+        let cap = DispatchLine::inline_capacity(128);
+        let d = sample(vec![7; cap]);
+        let (ctrl, aux) = d.encode(128).unwrap();
+        assert!(aux.is_empty());
+        assert_eq!(DispatchLine::decode(&ctrl, &aux).unwrap(), d);
+    }
+
+    #[test]
+    fn larger_args_spill_to_aux() {
+        let cap = DispatchLine::inline_capacity(128);
+        let d = sample((0..=255u8).cycle().take(cap + 300).collect());
+        let (ctrl, aux) = d.encode(128).unwrap();
+        assert_eq!(aux.len(), 300usize.div_ceil(128));
+        assert_eq!(DispatchLine::decode(&ctrl, &aux).unwrap(), d);
+    }
+
+    #[test]
+    fn works_with_64_byte_lines() {
+        // CXL-class 64 B lines: less inline room, more AUX.
+        let d = sample(vec![9; 100]);
+        let (ctrl, aux) = d.encode(64).unwrap();
+        assert_eq!(ctrl.len(), 64);
+        assert_eq!(
+            aux.len(),
+            DispatchLine::aux_lines_needed(100, 64)
+        );
+        assert_eq!(DispatchLine::decode(&ctrl, &aux).unwrap(), d);
+    }
+
+    #[test]
+    fn tryagain_and_retire_round_trip() {
+        for d in [DispatchLine::try_again(), DispatchLine::retire()] {
+            let (ctrl, aux) = d.encode(128).unwrap();
+            assert_eq!(DispatchLine::decode(&ctrl, &aux).unwrap().kind, d.kind);
+        }
+    }
+
+    #[test]
+    fn missing_aux_detected() {
+        let cap = DispatchLine::inline_capacity(128);
+        let d = sample(vec![1; cap + 10]);
+        let (ctrl, _) = d.encode(128).unwrap();
+        assert!(matches!(
+            DispatchLine::decode(&ctrl, &[]),
+            Err(PacketError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_kind_rejected() {
+        let d = sample(vec![]);
+        let (mut ctrl, aux) = d.encode(128).unwrap();
+        ctrl[28] = 0;
+        assert!(matches!(
+            DispatchLine::decode(&ctrl, &aux),
+            Err(PacketError::BadField { field: "kind", .. })
+        ));
+    }
+
+    #[test]
+    fn aux_lines_needed_math() {
+        assert_eq!(DispatchLine::aux_lines_needed(0, 128), 0);
+        assert_eq!(DispatchLine::aux_lines_needed(96, 128), 0);
+        assert_eq!(DispatchLine::aux_lines_needed(97, 128), 1);
+        assert_eq!(DispatchLine::aux_lines_needed(96 + 128, 128), 1);
+        assert_eq!(DispatchLine::aux_lines_needed(96 + 129, 128), 2);
+    }
+}

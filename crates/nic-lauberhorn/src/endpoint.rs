@@ -1,0 +1,677 @@
+//! The per-endpoint NIC↔CPU protocol of Figure 4.
+//!
+//! Each endpoint comprises two CONTROL cache lines plus AUX lines, all
+//! homed on the NIC. The protocol, as the paper describes it (§5.1):
+//!
+//! 1. The core loads CONTROL\[i\] and stalls; the NIC parks the fill.
+//! 2. When a request arrives (or was queued), the NIC answers the fill
+//!    with the prepared dispatch line; the next request will use
+//!    CONTROL\[1-i\].
+//! 3. The core runs the handler, writes the response into CONTROL\[i\]
+//!    (which it holds Exclusive), and loads CONTROL\[1-i\].
+//! 4. Seeing the load on CONTROL\[1-i\], the NIC knows request *i* is
+//!    done: it fetch-exclusives CONTROL\[i\], obtaining the response, and
+//!    transmits it — then answers the new load when the next request
+//!    arrives.
+//! 5. If no request arrives within [`TRYAGAIN_TIMEOUT`], the NIC
+//!    answers with a TRYAGAIN dummy so the coherence protocol never
+//!    times out fatally; the core simply re-issues the load.
+//! 6. RETIRE tells a waiting thread to return to the scheduler (§5.2).
+//!
+//! The state machine here is *pure*: it consumes events and emits
+//! [`Effect`]s; the composed NIC (`crate::nic`) turns effects into
+//! coherence operations and timer arms. This purity is what lets the
+//! `lauberhorn-mc` crate model-check the same logic.
+
+use std::collections::VecDeque;
+
+use lauberhorn_coherence::{FillToken, LineAddr};
+use lauberhorn_os::ProcessId;
+use lauberhorn_packet::frame::EndpointAddr;
+use lauberhorn_sim::{SimDuration, SimTime};
+
+use crate::dispatch::{DispatchKind, DispatchLine};
+
+/// The TRYAGAIN window: the paper returns dummies "after 15 ms" to stay
+/// inside the coherence protocol's timeout.
+pub const TRYAGAIN_TIMEOUT: SimDuration = SimDuration::from_ms(15);
+
+/// Identifier of an endpoint on one NIC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EndpointId(pub u32);
+
+/// Everything needed to route a response back to the caller.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RequestCtx {
+    /// Request id echoed into the response.
+    pub request_id: u64,
+    /// Service the request targeted.
+    pub service_id: u16,
+    /// Method within the service.
+    pub method_id: u16,
+    /// Where the response goes.
+    pub client: EndpointAddr,
+    /// Continuation-endpoint hint from the request (nested RPC, §6).
+    pub cont_hint: u32,
+}
+
+/// Effects the endpoint asks the NIC to perform.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Effect {
+    /// Answer a parked fill with this line data.
+    Respond {
+        /// The parked fill.
+        token: FillToken,
+        /// Line contents (a [`DispatchLine`] encoding, or AUX bytes).
+        data: Vec<u8>,
+    },
+    /// Arm the TRYAGAIN timer; fire [`Endpoint::on_timeout`] with this
+    /// generation at `deadline` (stale generations are ignored).
+    ArmTimeout {
+        /// Generation to echo back.
+        generation: u64,
+        /// When to fire.
+        deadline: SimTime,
+    },
+    /// The previous request's response is ready in `line`:
+    /// fetch-exclusive it and transmit to `ctx.client`.
+    CollectResponse {
+        /// CONTROL line holding the response.
+        line: LineAddr,
+        /// Response routing context.
+        ctx: RequestCtx,
+    },
+}
+
+/// Outcome of offering a request to the endpoint.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RequestOutcome {
+    /// A parked load consumed it immediately (the fast path).
+    DeliveredToParked(Vec<Effect>),
+    /// Queued at the endpoint; depth after queueing.
+    Queued {
+        /// Resulting queue depth.
+        depth: usize,
+    },
+    /// The endpoint queue is full; the NIC must fall back (kernel
+    /// delivery or drop).
+    Rejected,
+}
+
+/// Endpoint statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EndpointStats {
+    /// Requests delivered into a parked load (zero-software-cost path).
+    pub delivered_parked: u64,
+    /// Requests delivered from the queue when the core next loaded.
+    pub delivered_queued: u64,
+    /// TRYAGAIN dummies returned.
+    pub tryagains: u64,
+    /// RETIRE messages returned.
+    pub retires: u64,
+    /// Responses collected and transmitted.
+    pub responses: u64,
+    /// Maximum queue depth observed.
+    pub max_queue: usize,
+}
+
+/// Addressing of an endpoint's cache lines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EndpointLayout {
+    /// Address of CONTROL\[0\]; CONTROL\[1\] and AUX lines follow.
+    pub base: LineAddr,
+    /// Line size in bytes.
+    pub line_size: usize,
+    /// Number of AUX lines.
+    pub n_aux: usize,
+}
+
+impl EndpointLayout {
+    /// Address of CONTROL\[i\] (i in 0..2).
+    pub fn ctrl(&self, i: usize) -> LineAddr {
+        debug_assert!(i < 2);
+        self.base.offset(i as u64, self.line_size)
+    }
+
+    /// Address of AUX\[j\].
+    pub fn aux(&self, j: usize) -> LineAddr {
+        debug_assert!(j < self.n_aux);
+        self.base.offset(2 + j as u64, self.line_size)
+    }
+
+    /// Total lines (2 CONTROL + AUX).
+    pub fn total_lines(&self) -> usize {
+        2 + self.n_aux
+    }
+
+    /// Which role an address plays for this endpoint, if any.
+    pub fn role_of(&self, addr: LineAddr) -> Option<LineRole> {
+        let step = self.line_size as u64;
+        if addr.0 < self.base.0 {
+            return None;
+        }
+        let idx = (addr.0 - self.base.0) / step;
+        if !(addr.0 - self.base.0).is_multiple_of(step) {
+            return None;
+        }
+        match idx {
+            0 | 1 => Some(LineRole::Control(idx as usize)),
+            j if (j as usize) < self.total_lines() => Some(LineRole::Aux(j as usize - 2)),
+            _ => None,
+        }
+    }
+}
+
+/// Role of a line within an endpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LineRole {
+    /// CONTROL\[i\].
+    Control(usize),
+    /// AUX\[j\].
+    Aux(usize),
+}
+
+#[derive(Debug, Clone)]
+struct QueuedRequest {
+    line: DispatchLine,
+    ctx: RequestCtx,
+}
+
+/// One endpoint's protocol state.
+#[derive(Debug)]
+pub struct Endpoint {
+    /// Endpoint id.
+    pub id: EndpointId,
+    /// Owning process (the isolation domain requests dispatch into).
+    pub process: ProcessId,
+    /// Line addressing.
+    pub layout: EndpointLayout,
+    /// Which CONTROL line the next request will be delivered on.
+    expect: usize,
+    /// Parked load, if any: `(token, control index, generation)`.
+    parked: Option<(FillToken, usize, u64)>,
+    /// Monotonic generation for timeout staleness.
+    generation: u64,
+    /// Response awaiting collection: `(control index, ctx)`.
+    outstanding: Option<(usize, RequestCtx)>,
+    /// Ready requests not yet delivered.
+    queue: VecDeque<QueuedRequest>,
+    /// Max ready-queue length before rejecting.
+    queue_cap: usize,
+    /// AUX data for the currently delivered request.
+    aux_data: Vec<Vec<u8>>,
+    /// Deliver RETIRE at the next opportunity.
+    retire_pending: bool,
+    /// TRYAGAIN window for this endpoint (the paper: 15 ms).
+    timeout: SimDuration,
+    stats: EndpointStats,
+}
+
+impl Endpoint {
+    /// Creates an idle endpoint with the paper's 15 ms TRYAGAIN window.
+    pub fn new(id: EndpointId, process: ProcessId, layout: EndpointLayout, queue_cap: usize) -> Self {
+        Self::with_timeout(id, process, layout, queue_cap, TRYAGAIN_TIMEOUT)
+    }
+
+    /// Creates an idle endpoint with an explicit TRYAGAIN window
+    /// (the `abl_tryagain` ablation sweeps this).
+    pub fn with_timeout(
+        id: EndpointId,
+        process: ProcessId,
+        layout: EndpointLayout,
+        queue_cap: usize,
+        timeout: SimDuration,
+    ) -> Self {
+        Endpoint {
+            id,
+            process,
+            layout,
+            expect: 0,
+            parked: None,
+            generation: 0,
+            outstanding: None,
+            queue: VecDeque::new(),
+            queue_cap,
+            aux_data: Vec::new(),
+            retire_pending: false,
+            timeout,
+            stats: EndpointStats::default(),
+        }
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> EndpointStats {
+        self.stats
+    }
+
+    /// Whether a load is currently parked here.
+    pub fn is_parked(&self) -> bool {
+        self.parked.is_some()
+    }
+
+    /// Ready-queue depth.
+    pub fn queue_depth(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Which CONTROL line the next request will be delivered on.
+    pub fn expect_line(&self) -> usize {
+        self.expect
+    }
+
+    fn deliver(&mut self, token: FillToken, req: QueuedRequest) -> Vec<Effect> {
+        let line_size = self.layout.line_size;
+        let (ctrl, aux) = req
+            .line
+            .encode(line_size)
+            .expect("dispatch lines built by the NIC always encode");
+        self.aux_data = aux;
+        // The response for this request will appear in the line we are
+        // delivering on, and will be collected when the *other* line is
+        // next loaded.
+        self.outstanding = Some((self.expect, req.ctx));
+        self.expect = 1 - self.expect;
+        vec![Effect::Respond { token, data: ctrl }]
+    }
+
+    /// A core's load on `role` was parked with `token` at time `now`.
+    pub fn on_load(&mut self, role: LineRole, token: FillToken, now: SimTime) -> Vec<Effect> {
+        match role {
+            LineRole::Aux(j) => {
+                // AUX fills are always answerable immediately: the data
+                // was staged when the request was delivered.
+                let data = self.aux_data.get(j).cloned().unwrap_or_else(|| {
+                    vec![0; self.layout.line_size]
+                });
+                vec![Effect::Respond { token, data }]
+            }
+            LineRole::Control(i) => {
+                let mut effects = Vec::new();
+                // Loading a CONTROL line signals the previous request (on
+                // the other line) is complete: collect its response.
+                if let Some((line_idx, ctx)) = self.outstanding.take() {
+                    if line_idx != i {
+                        self.stats.responses += 1;
+                        effects.push(Effect::CollectResponse {
+                            line: self.layout.ctrl(line_idx),
+                            ctx,
+                        });
+                    } else {
+                        // A re-load of the same line (after TRYAGAIN the
+                        // core re-issues on the same parity): response not
+                        // ready yet, keep it outstanding.
+                        self.outstanding = Some((line_idx, ctx));
+                    }
+                }
+                if self.retire_pending {
+                    self.retire_pending = false;
+                    self.stats.retires += 1;
+                    let (ctrl, _) = DispatchLine::retire()
+                        .encode(self.layout.line_size)
+                        .expect("retire encodes");
+                    effects.push(Effect::Respond { token, data: ctrl });
+                    return effects;
+                }
+                if let Some(req) = self.queue.pop_front() {
+                    self.stats.delivered_queued += 1;
+                    effects.extend(self.deliver(token, req));
+                    return effects;
+                }
+                // Nothing ready: park and arm the TRYAGAIN timer.
+                self.generation += 1;
+                self.parked = Some((token, i, self.generation));
+                effects.push(Effect::ArmTimeout {
+                    generation: self.generation,
+                    deadline: now + self.timeout,
+                });
+                effects
+            }
+        }
+    }
+
+    /// A deserialized request arrives for this endpoint.
+    pub fn on_request(&mut self, line: DispatchLine, ctx: RequestCtx) -> RequestOutcome {
+        debug_assert!(
+            matches!(line.kind, DispatchKind::Rpc | DispatchKind::DmaDescriptor),
+            "only dispatchable kinds may be offered"
+        );
+        let req = QueuedRequest { line, ctx };
+        if let Some((token, _i, _gen)) = self.parked.take() {
+            self.stats.delivered_parked += 1;
+            return RequestOutcome::DeliveredToParked(self.deliver(token, req));
+        }
+        if self.queue.len() >= self.queue_cap {
+            return RequestOutcome::Rejected;
+        }
+        self.queue.push_back(req);
+        self.stats.max_queue = self.stats.max_queue.max(self.queue.len());
+        RequestOutcome::Queued {
+            depth: self.queue.len(),
+        }
+    }
+
+    /// The TRYAGAIN timer for `generation` fired.
+    pub fn on_timeout(&mut self, generation: u64) -> Vec<Effect> {
+        match self.parked {
+            Some((token, _i, gen)) if gen == generation => {
+                self.parked = None;
+                self.stats.tryagains += 1;
+                let (ctrl, _) = DispatchLine::try_again()
+                    .encode(self.layout.line_size)
+                    .expect("tryagain encodes");
+                vec![Effect::Respond { token, data: ctrl }]
+            }
+            _ => Vec::new(), // Stale: a request beat the timer.
+        }
+    }
+
+    /// Removes and returns the oldest queued request, if any.
+    ///
+    /// Used by the NIC to migrate work between kernel endpoints: a core
+    /// parking on its own (empty) kernel endpoint steals the oldest
+    /// request queued at a sibling, so no request waits for one
+    /// specific core.
+    pub fn steal_request(&mut self) -> Option<(DispatchLine, RequestCtx)> {
+        self.queue.pop_front().map(|q| (q.line, q.ctx))
+    }
+
+    /// Removes and returns the oldest queued request whose context
+    /// satisfies `pred` (used by the NIC to migrate kernel-queued
+    /// requests to a matching user endpoint that just parked).
+    pub fn steal_where(
+        &mut self,
+        pred: impl Fn(&RequestCtx) -> bool,
+    ) -> Option<(DispatchLine, RequestCtx)> {
+        let pos = self.queue.iter().position(|q| pred(&q.ctx))?;
+        let q = self.queue.remove(pos).expect("position exists");
+        Some((q.line, q.ctx))
+    }
+
+    /// Takes the uncollected response, if any.
+    ///
+    /// Used for *cross-endpoint* collection: in the Figure 5 lifecycle a
+    /// core that took a request on the kernel endpoint parks next on the
+    /// process's own endpoint, so the NIC treats that first foreign load
+    /// as the completion signal and collects the kernel endpoint's
+    /// response through this method.
+    pub fn take_outstanding(&mut self) -> Option<(LineAddr, RequestCtx)> {
+        let (line_idx, ctx) = self.outstanding.take()?;
+        self.stats.responses += 1;
+        Some((self.layout.ctrl(line_idx), ctx))
+    }
+
+    /// Whether a response awaits collection.
+    pub fn has_outstanding(&self) -> bool {
+        self.outstanding.is_some()
+    }
+
+    /// The kernel (or the NIC's load logic) retires this endpoint's
+    /// waiter so the core can be reallocated (§5.2).
+    pub fn retire(&mut self) -> Vec<Effect> {
+        match self.parked.take() {
+            Some((token, _i, _gen)) => {
+                self.stats.retires += 1;
+                let (ctrl, _) = DispatchLine::retire()
+                    .encode(self.layout.line_size)
+                    .expect("retire encodes");
+                vec![Effect::Respond { token, data: ctrl }]
+            }
+            None => {
+                self.retire_pending = true;
+                Vec::new()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layout() -> EndpointLayout {
+        EndpointLayout {
+            base: LineAddr(0x1_0000_0000),
+            line_size: 128,
+            n_aux: 4,
+        }
+    }
+
+    fn ep() -> Endpoint {
+        Endpoint::new(EndpointId(0), ProcessId(1), layout(), 8)
+    }
+
+    fn rpc(request_id: u64, args: &[u8]) -> (DispatchLine, RequestCtx) {
+        (
+            DispatchLine {
+                code_ptr: 0x1000,
+                data_ptr: 0x2000,
+                request_id,
+                service_id: 1,
+                method_id: 1,
+                kind: DispatchKind::Rpc,
+                args: args.to_vec(),
+            },
+            RequestCtx {
+                request_id,
+                service_id: 1,
+                method_id: 1,
+                client: EndpointAddr::host(9, 999),
+                cont_hint: 0,
+            },
+        )
+    }
+
+    fn tok(n: u64) -> FillToken {
+        FillToken(n)
+    }
+
+    #[test]
+    fn layout_addressing() {
+        let l = layout();
+        assert_eq!(l.ctrl(0), LineAddr(0x1_0000_0000));
+        assert_eq!(l.ctrl(1), LineAddr(0x1_0000_0080));
+        assert_eq!(l.aux(0), LineAddr(0x1_0000_0100));
+        assert_eq!(l.role_of(LineAddr(0x1_0000_0080)), Some(LineRole::Control(1)));
+        assert_eq!(l.role_of(LineAddr(0x1_0000_0180)), Some(LineRole::Aux(1)));
+        assert_eq!(l.role_of(LineAddr(0x1_0000_0081)), None);
+        assert_eq!(l.role_of(LineAddr(0x0)), None);
+        assert_eq!(l.role_of(LineAddr(0x1_0000_0000 + 6 * 128)), None);
+    }
+
+    #[test]
+    fn park_then_request_fast_path() {
+        let mut e = ep();
+        let fx = e.on_load(LineRole::Control(0), tok(1), SimTime::ZERO);
+        assert!(matches!(fx[0], Effect::ArmTimeout { generation: 1, .. }));
+        assert!(e.is_parked());
+        let (line, ctx) = rpc(7, b"abc");
+        let out = e.on_request(line, ctx);
+        match out {
+            RequestOutcome::DeliveredToParked(fx) => {
+                let Effect::Respond { token, data } = &fx[0] else {
+                    panic!("expected respond")
+                };
+                assert_eq!(*token, tok(1));
+                let d = DispatchLine::decode(data, &[]).unwrap();
+                assert_eq!(d.request_id, 7);
+                assert_eq!(d.args, b"abc");
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(e.expect_line(), 1);
+        assert_eq!(e.stats().delivered_parked, 1);
+    }
+
+    #[test]
+    fn request_then_load_queued_path() {
+        let mut e = ep();
+        let (line, ctx) = rpc(1, b"x");
+        assert_eq!(e.on_request(line, ctx), RequestOutcome::Queued { depth: 1 });
+        let fx = e.on_load(LineRole::Control(0), tok(2), SimTime::ZERO);
+        assert!(matches!(fx[0], Effect::Respond { .. }));
+        assert_eq!(e.stats().delivered_queued, 1);
+    }
+
+    #[test]
+    fn response_collected_on_next_load() {
+        let mut e = ep();
+        // Deliver request on CONTROL[0].
+        e.on_load(LineRole::Control(0), tok(1), SimTime::ZERO);
+        let (line, ctx) = rpc(5, b"req");
+        e.on_request(line, ctx);
+        // Core handles it, writes response in CONTROL[0], loads CONTROL[1].
+        let fx = e.on_load(LineRole::Control(1), tok(2), SimTime::from_us(3));
+        let collect = fx
+            .iter()
+            .find_map(|f| match f {
+                Effect::CollectResponse { line, ctx } => Some((line, ctx)),
+                _ => None,
+            })
+            .expect("collects the response");
+        assert_eq!(*collect.0, layout().ctrl(0));
+        assert_eq!(collect.1.request_id, 5);
+        assert_eq!(e.stats().responses, 1);
+    }
+
+    #[test]
+    fn pipelined_requests_alternate_lines() {
+        let mut e = ep();
+        e.on_load(LineRole::Control(0), tok(1), SimTime::ZERO);
+        let (l1, c1) = rpc(1, b"a");
+        e.on_request(l1, c1); // Delivered on line 0.
+        let (l2, c2) = rpc(2, b"b");
+        e.on_request(l2, c2); // Queued.
+        // Core finishes req 1, loads line 1: collect resp 1 AND deliver req 2.
+        let fx = e.on_load(LineRole::Control(1), tok(2), SimTime::from_us(1));
+        assert!(fx.iter().any(|f| matches!(f, Effect::CollectResponse { .. })));
+        assert!(fx.iter().any(|f| matches!(f, Effect::Respond { .. })));
+        assert_eq!(e.expect_line(), 0);
+        // Core finishes req 2, loads line 0: collect resp 2, park.
+        let fx = e.on_load(LineRole::Control(0), tok(3), SimTime::from_us(2));
+        let collected: Vec<_> = fx
+            .iter()
+            .filter_map(|f| match f {
+                Effect::CollectResponse { ctx, .. } => Some(ctx.request_id),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(collected, vec![2]);
+        assert!(e.is_parked());
+    }
+
+    #[test]
+    fn timeout_returns_tryagain_only_when_fresh() {
+        let mut e = ep();
+        e.on_load(LineRole::Control(0), tok(1), SimTime::ZERO);
+        // Request arrives before the timer: delivered.
+        let (l, c) = rpc(1, b"z");
+        e.on_request(l, c);
+        // Old timer fires: stale, no effect.
+        assert!(e.on_timeout(1).is_empty());
+        assert_eq!(e.stats().tryagains, 0);
+        // Core loads line 1 (collect), parks again; this timer is fresh.
+        e.on_load(LineRole::Control(1), tok(2), SimTime::from_us(5));
+        let fx = e.on_timeout(2);
+        let Effect::Respond { data, .. } = &fx[0] else {
+            panic!("expected respond")
+        };
+        assert_eq!(
+            DispatchLine::decode(data, &[]).unwrap().kind,
+            DispatchKind::TryAgain
+        );
+        assert!(!e.is_parked());
+        assert_eq!(e.stats().tryagains, 1);
+    }
+
+    #[test]
+    fn tryagain_does_not_flip_parity() {
+        let mut e = ep();
+        e.on_load(LineRole::Control(0), tok(1), SimTime::ZERO);
+        e.on_timeout(1);
+        assert_eq!(e.expect_line(), 0);
+        // Core re-loads the same line; next request delivered there.
+        e.on_load(LineRole::Control(0), tok(2), SimTime::from_ms(15));
+        let (l, c) = rpc(3, b"c");
+        let out = e.on_request(l, c);
+        assert!(matches!(out, RequestOutcome::DeliveredToParked(_)));
+        assert_eq!(e.expect_line(), 1);
+    }
+
+    #[test]
+    fn reload_same_line_does_not_collect_own_response() {
+        let mut e = ep();
+        e.on_load(LineRole::Control(0), tok(1), SimTime::ZERO);
+        let (l, c) = rpc(1, b"a");
+        e.on_request(l, c); // Delivered on line 0; outstanding = line 0.
+        // TRYAGAIN cannot happen here (not parked), but a buggy or
+        // preempted core might re-load line 0. The response in line 0 is
+        // NOT ready to collect (the core would be overwriting it).
+        let fx = e.on_load(LineRole::Control(0), tok(2), SimTime::from_us(1));
+        assert!(!fx.iter().any(|f| matches!(f, Effect::CollectResponse { .. })));
+        // Parked now; when the core later loads line 1, collection happens.
+        e.on_timeout(e.generation); // Unpark via tryagain to keep state sane.
+        let fx = e.on_load(LineRole::Control(1), tok(3), SimTime::from_us(2));
+        assert!(fx.iter().any(|f| matches!(f, Effect::CollectResponse { .. })));
+    }
+
+    #[test]
+    fn queue_overflow_rejects() {
+        let mut e = Endpoint::new(EndpointId(0), ProcessId(1), layout(), 2);
+        let (l, c) = rpc(1, b"");
+        e.on_request(l.clone(), c.clone());
+        e.on_request(l.clone(), c.clone());
+        assert_eq!(e.on_request(l, c), RequestOutcome::Rejected);
+        assert_eq!(e.queue_depth(), 2);
+        assert_eq!(e.stats().max_queue, 2);
+    }
+
+    #[test]
+    fn retire_parked_waiter() {
+        let mut e = ep();
+        e.on_load(LineRole::Control(0), tok(1), SimTime::ZERO);
+        let fx = e.retire();
+        let Effect::Respond { data, .. } = &fx[0] else {
+            panic!("expected respond")
+        };
+        assert_eq!(
+            DispatchLine::decode(data, &[]).unwrap().kind,
+            DispatchKind::Retire
+        );
+        assert!(!e.is_parked());
+    }
+
+    #[test]
+    fn retire_pending_delivered_on_next_load() {
+        let mut e = ep();
+        assert!(e.retire().is_empty());
+        let fx = e.on_load(LineRole::Control(0), tok(1), SimTime::ZERO);
+        let Effect::Respond { data, .. } = &fx[0] else {
+            panic!("expected respond, got {fx:?}")
+        };
+        assert_eq!(
+            DispatchLine::decode(data, &[]).unwrap().kind,
+            DispatchKind::Retire
+        );
+    }
+
+    #[test]
+    fn aux_loads_answer_immediately_with_staged_data() {
+        let mut e = ep();
+        e.on_load(LineRole::Control(0), tok(1), SimTime::ZERO);
+        let big = vec![0x5A; 96 + 200]; // Spills into 2 AUX lines.
+        let (l, c) = rpc(1, &big);
+        e.on_request(l, c);
+        // Inline capacity is 96; AUX[0] carries bytes 96..224 and
+        // AUX[1] the remaining 72 bytes.
+        let fx = e.on_load(LineRole::Aux(0), tok(2), SimTime::from_us(1));
+        let Effect::Respond { data, .. } = &fx[0] else {
+            panic!("expected respond")
+        };
+        assert_eq!(data[..], big[96..224]);
+        let fx = e.on_load(LineRole::Aux(1), tok(3), SimTime::from_us(1));
+        let Effect::Respond { data, .. } = &fx[0] else {
+            panic!("expected respond")
+        };
+        assert_eq!(data[..big.len() - 224], big[224..]);
+    }
+}

@@ -1,0 +1,202 @@
+//! Per-service load statistics gathered by the NIC (§4, §5.2).
+//!
+//! "The NIC gathers load information and requests the OS to reschedule
+//! processes in response to new packets arriving over the network."
+//! The tracker keeps an EWMA of per-service arrival rate and queue
+//! depth, and produces scaling advice the OS consumes (experiment C4's
+//! dynamic core reallocation).
+
+use std::collections::HashMap;
+
+use lauberhorn_sim::stats::Ewma;
+use lauberhorn_sim::SimTime;
+
+/// Scaling advice for one service.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Advice {
+    /// Give the service more cores.
+    ScaleUp,
+    /// The service can release a core.
+    ScaleDown,
+    /// Keep the current allocation.
+    Hold,
+}
+
+#[derive(Debug)]
+struct ServiceLoad {
+    rate: Ewma,             // Requests per second.
+    queue_depth: Ewma,      // Smoothed ready-queue depth.
+    last_arrival: Option<SimTime>,
+    arrivals: u64,
+    cores: usize,           // Cores currently serving, as told by the OS.
+}
+
+impl Default for ServiceLoad {
+    fn default() -> Self {
+        ServiceLoad {
+            rate: Ewma::new(0.05),
+            queue_depth: Ewma::new(0.1),
+            last_arrival: None,
+            arrivals: 0,
+            cores: 0,
+        }
+    }
+}
+
+/// The per-service load tracker.
+#[derive(Debug, Default)]
+pub struct LoadTracker {
+    services: HashMap<u16, ServiceLoad>,
+    /// A single core's service capacity in requests/second, used to
+    /// convert rate into a core demand. Configured per machine.
+    core_capacity_rps: f64,
+}
+
+impl LoadTracker {
+    /// Creates a tracker; `core_capacity_rps` is the per-core service
+    /// rate (1 / mean service time).
+    pub fn new(core_capacity_rps: f64) -> Self {
+        LoadTracker {
+            services: HashMap::new(),
+            core_capacity_rps,
+        }
+    }
+
+    /// Records a request arrival for `service` at `now`.
+    pub fn record_arrival(&mut self, service: u16, now: SimTime) {
+        let s = self.services.entry(service).or_default();
+        if let Some(last) = s.last_arrival {
+            let gap = now.since(last).as_secs_f64();
+            if gap > 0.0 {
+                s.rate.observe(1.0 / gap);
+            }
+        }
+        s.last_arrival = Some(now);
+        s.arrivals += 1;
+    }
+
+    /// Records the observed ready-queue depth for `service`.
+    pub fn record_queue_depth(&mut self, service: u16, depth: usize) {
+        self.services
+            .entry(service)
+            .or_default()
+            .queue_depth
+            .observe(depth as f64);
+    }
+
+    /// The OS informs the tracker how many cores serve `service`.
+    pub fn set_cores(&mut self, service: u16, cores: usize) {
+        self.services.entry(service).or_default().cores = cores;
+    }
+
+    /// Smoothed arrival rate (requests/second).
+    pub fn rate(&self, service: u16) -> f64 {
+        self.services.get(&service).map_or(0.0, |s| s.rate.value())
+    }
+
+    /// Total arrivals observed.
+    pub fn arrivals(&self, service: u16) -> u64 {
+        self.services.get(&service).map_or(0, |s| s.arrivals)
+    }
+
+    /// Scaling advice: scale up when demand exceeds ~80% of allocated
+    /// capacity or queues are building; scale down below ~30% with more
+    /// than one core.
+    pub fn advice(&self, service: u16) -> Advice {
+        let Some(s) = self.services.get(&service) else {
+            return Advice::Hold;
+        };
+        let capacity = s.cores as f64 * self.core_capacity_rps;
+        let demand = s.rate.value();
+        if s.cores == 0 {
+            return if demand > 0.0 { Advice::ScaleUp } else { Advice::Hold };
+        }
+        if demand > 0.8 * capacity || s.queue_depth.value() > 4.0 {
+            Advice::ScaleUp
+        } else if s.cores > 1 && demand < 0.3 * capacity && s.queue_depth.value() < 0.5 {
+            Advice::ScaleDown
+        } else {
+            Advice::Hold
+        }
+    }
+
+    /// Services known to the tracker.
+    pub fn services(&self) -> Vec<u16> {
+        let mut v: Vec<u16> = self.services.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feed_arrivals(t: &mut LoadTracker, service: u16, rps: f64, n: usize) {
+        let gap_ps = (1e12 / rps) as u64;
+        for i in 0..n {
+            t.record_arrival(service, SimTime::from_ps(1 + i as u64 * gap_ps));
+        }
+    }
+
+    #[test]
+    fn rate_converges_to_offered_load() {
+        let mut t = LoadTracker::new(100_000.0);
+        feed_arrivals(&mut t, 1, 50_000.0, 400);
+        let r = t.rate(1);
+        assert!((r - 50_000.0).abs() / 50_000.0 < 0.05, "rate was {r}");
+        assert_eq!(t.arrivals(1), 400);
+    }
+
+    #[test]
+    fn overload_advises_scale_up() {
+        let mut t = LoadTracker::new(100_000.0);
+        t.set_cores(1, 1);
+        feed_arrivals(&mut t, 1, 90_000.0, 400); // 90% of one core.
+        assert_eq!(t.advice(1), Advice::ScaleUp);
+    }
+
+    #[test]
+    fn light_load_advises_scale_down_with_spare_cores() {
+        let mut t = LoadTracker::new(100_000.0);
+        t.set_cores(1, 4);
+        feed_arrivals(&mut t, 1, 20_000.0, 400); // 5% of 4 cores.
+        assert_eq!(t.advice(1), Advice::ScaleDown);
+    }
+
+    #[test]
+    fn single_core_never_scales_below_one() {
+        let mut t = LoadTracker::new(100_000.0);
+        t.set_cores(1, 1);
+        feed_arrivals(&mut t, 1, 1_000.0, 100);
+        assert_eq!(t.advice(1), Advice::Hold);
+    }
+
+    #[test]
+    fn queue_buildup_forces_scale_up() {
+        let mut t = LoadTracker::new(100_000.0);
+        t.set_cores(1, 2);
+        feed_arrivals(&mut t, 1, 10_000.0, 50);
+        for _ in 0..50 {
+            t.record_queue_depth(1, 10);
+        }
+        assert_eq!(t.advice(1), Advice::ScaleUp);
+    }
+
+    #[test]
+    fn unknown_or_unserved_service() {
+        let mut t = LoadTracker::new(100_000.0);
+        assert_eq!(t.advice(42), Advice::Hold);
+        feed_arrivals(&mut t, 42, 1000.0, 10);
+        // Arrivals but zero cores allocated: needs one.
+        assert_eq!(t.advice(42), Advice::ScaleUp);
+    }
+
+    #[test]
+    fn services_enumerated_sorted() {
+        let mut t = LoadTracker::new(1.0);
+        t.record_arrival(3, SimTime::ZERO);
+        t.record_arrival(1, SimTime::ZERO);
+        assert_eq!(t.services(), vec![1, 3]);
+    }
+}

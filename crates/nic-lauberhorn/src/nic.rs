@@ -1,0 +1,1426 @@
+//! The composed Lauberhorn NIC.
+//!
+//! [`LauberhornNic`] owns all device-resident state — demux tables,
+//! endpoint protocol engines, the scheduler mirror, load statistics,
+//! continuations — and exposes three event entry points the machine
+//! simulation drives:
+//!
+//! * [`LauberhornNic::on_core_load`] — a core's load on a device-homed
+//!   line was parked by the coherence system,
+//! * [`LauberhornNic::on_request_frame`] — a frame arrived from the
+//!   wire,
+//! * [`LauberhornNic::on_timeout`] — a TRYAGAIN timer fired.
+//!
+//! Each returns [`NicAction`]s: timestamped instructions for the
+//! simulation (answer this fill, fetch-exclusive and transmit, DMA this
+//! buffer, …). Keeping the NIC pure in this sense makes every decision
+//! unit-testable and lets the model checker drive the same logic.
+
+use std::collections::HashMap;
+
+use lauberhorn_coherence::{FillToken, LineAddr};
+use lauberhorn_os::ProcessId;
+use lauberhorn_packet::frame::EndpointAddr;
+use lauberhorn_packet::marshal::transform_to_dispatch_form;
+use lauberhorn_packet::{build_udp_frame, parse_udp_frame, RpcHeader, RpcKind};
+use lauberhorn_sim::{SimDuration, SimTime};
+use serde::Serialize;
+
+use crate::continuation::ContinuationTable;
+use crate::demux::{DemuxError, DemuxTable};
+use crate::dispatch::{DispatchKind, DispatchLine};
+use crate::endpoint::{
+    Endpoint, EndpointId, EndpointLayout, LineRole, RequestCtx, RequestOutcome,
+};
+use crate::large::LargeTransferModel;
+use crate::load::{Advice, LoadTracker};
+use crate::sched_mirror::SchedMirror;
+
+/// Static configuration.
+#[derive(Debug, Clone)]
+pub struct LauberhornNicConfig {
+    /// Base of the device-homed address range endpoints are carved from.
+    pub device_base: u64,
+    /// Cache-line size (must match the coherence domain).
+    pub line_size: usize,
+    /// AUX lines per endpoint.
+    pub n_aux: usize,
+    /// Ready-queue capacity per endpoint.
+    pub endpoint_queue_cap: usize,
+    /// Wire → parsed/demultiplexed latency of the hardware pipeline.
+    pub pipeline_latency: SimDuration,
+    /// Fixed latency of the deserialization offload.
+    pub deser_fixed: SimDuration,
+    /// Additional deserialization latency per 64 bytes of wire payload.
+    pub deser_per_64b: SimDuration,
+    /// Internal decision latency for protocol events (load handling).
+    pub nic_proc: SimDuration,
+    /// Transfer model for the large-message fallback.
+    pub transfer: LargeTransferModel,
+    /// Payload size (bytes of wire arguments) at which the DMA fallback
+    /// engages. The paper's Enzian figure: ~4 KiB.
+    pub dma_threshold: usize,
+    /// Base host address DMA fallback buffers are allocated from.
+    pub dma_buffer_base: u64,
+    /// TRYAGAIN window for all endpoints (the paper: 15 ms, chosen to
+    /// stay inside the coherence protocol's fatal timeout).
+    pub tryagain_timeout: lauberhorn_sim::SimDuration,
+    /// Queue depth at a busy user endpoint beyond which the NIC routes
+    /// the request to a kernel dispatcher instead, recruiting another
+    /// core for the service (§5.2's "dynamic scaling of the cores used
+    /// for RPC based on load").
+    pub scale_up_queue_threshold: usize,
+    /// The NIC's own network address (source of responses).
+    pub nic_addr: EndpointAddr,
+}
+
+impl LauberhornNicConfig {
+    /// Lauberhorn on Enzian, as the paper prototypes it.
+    pub fn enzian(nic_addr: EndpointAddr) -> Self {
+        let transfer = LargeTransferModel::enzian();
+        LauberhornNicConfig {
+            device_base: 0x1_0000_0000,
+            line_size: transfer.fabric.line_size,
+            n_aux: 30, // ~4 KiB of AUX per endpoint at 128 B lines.
+            endpoint_queue_cap: 64,
+            pipeline_latency: SimDuration::from_ns(300),
+            deser_fixed: SimDuration::from_ns(80),
+            deser_per_64b: SimDuration::from_ns(10),
+            nic_proc: SimDuration::from_ns(40),
+            transfer,
+            dma_threshold: transfer.crossover_bytes(),
+            dma_buffer_base: 0x4000_0000,
+            tryagain_timeout: crate::endpoint::TRYAGAIN_TIMEOUT,
+            scale_up_queue_threshold: 2,
+            nic_addr,
+        }
+    }
+
+    /// The CC-NIC configuration \[22\]: the NIC emulated by a second
+    /// NUMA node over the processor interconnect.
+    pub fn numa_emulated(nic_addr: EndpointAddr) -> Self {
+        let transfer = LargeTransferModel::numa_emulated();
+        LauberhornNicConfig {
+            transfer,
+            dma_threshold: transfer.crossover_bytes(),
+            line_size: transfer.fabric.line_size,
+            ..Self::cxl_server(nic_addr)
+        }
+    }
+
+    /// A projected CXL 3.0 server implementation.
+    pub fn cxl_server(nic_addr: EndpointAddr) -> Self {
+        let transfer = LargeTransferModel::cxl_server();
+        LauberhornNicConfig {
+            device_base: 0x1_0000_0000,
+            line_size: transfer.fabric.line_size,
+            n_aux: 62,
+            endpoint_queue_cap: 64,
+            pipeline_latency: SimDuration::from_ns(250),
+            deser_fixed: SimDuration::from_ns(60),
+            deser_per_64b: SimDuration::from_ns(8),
+            nic_proc: SimDuration::from_ns(30),
+            transfer,
+            dma_threshold: transfer.crossover_bytes(),
+            dma_buffer_base: 0x4000_0000,
+            tryagain_timeout: crate::endpoint::TRYAGAIN_TIMEOUT,
+            scale_up_queue_threshold: 2,
+            nic_addr,
+        }
+    }
+}
+
+/// Why the NIC dropped a frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DropReason {
+    /// Frame failed header parsing or checksums.
+    BadFrame,
+    /// No RPC header / bad magic.
+    BadRpcHeader,
+    /// Service not registered.
+    UnknownService(u16),
+    /// Method not registered.
+    UnknownMethod(u16, u16),
+    /// Arguments failed the deserialization offload.
+    Malformed,
+    /// Every candidate queue was full.
+    Overflow,
+    /// A response arrived with an unknown continuation hint.
+    UnknownContinuation(u32),
+}
+
+/// Timestamped instructions for the machine simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NicAction {
+    /// Answer a parked fill with this line data at `at`.
+    CompleteFill {
+        /// The parked fill to answer.
+        token: FillToken,
+        /// Line contents.
+        data: Vec<u8>,
+        /// When the NIC issues the response.
+        at: SimTime,
+    },
+    /// Schedule [`LauberhornNic::on_timeout`] for this endpoint.
+    ArmTimeout {
+        /// Endpoint whose timer is armed.
+        endpoint: EndpointId,
+        /// Generation to pass back.
+        generation: u64,
+        /// Fire time.
+        at: SimTime,
+    },
+    /// Fetch-exclusive `line` and transmit the response it contains to
+    /// `ctx.client`.
+    CollectAndTransmit {
+        /// Line holding the response.
+        line: LineAddr,
+        /// Routing context.
+        ctx: RequestCtx,
+        /// When the fetch begins.
+        at: SimTime,
+    },
+    /// DMA-fallback payload write into host memory.
+    DmaWrite {
+        /// Destination host buffer.
+        buffer: u64,
+        /// Payload bytes.
+        bytes: Vec<u8>,
+        /// When the DMA completes.
+        done_at: SimTime,
+    },
+    /// A request was handed to the kernel dispatch path on `core` for
+    /// `process` (Figure 5 right side): the sim charges the software
+    /// context switch before the handler runs.
+    KernelDelivery {
+        /// Core whose kernel thread took the request.
+        core: usize,
+        /// Process the request targets.
+        process: ProcessId,
+        /// Delivery time.
+        at: SimTime,
+    },
+    /// A request is waiting but no core is parked anywhere useful: the
+    /// NIC asks the OS to preempt `core` (a user-loop poller) back into
+    /// the kernel dispatch loop (§4: the NIC "requests the OS to
+    /// reschedule processes in response to new packets arriving").
+    RequestPreempt {
+        /// Victim core (currently parked in a user-mode loop).
+        core: usize,
+        /// When the request is raised.
+        at: SimTime,
+    },
+    /// The NIC's load statistics recommend rescheduling (§5.2).
+    ScaleHint {
+        /// Service concerned.
+        service: u16,
+        /// Recommendation.
+        advice: Advice,
+        /// When issued.
+        at: SimTime,
+    },
+    /// Frame dropped.
+    Dropped {
+        /// Why.
+        reason: DropReason,
+    },
+}
+
+/// NIC-level counters.
+#[derive(Debug, Clone, Copy, Default, Serialize)]
+pub struct LbNicStats {
+    /// RPC request frames accepted.
+    pub rx_requests: u64,
+    /// Requests delivered straight into a parked user-mode load.
+    pub fast_path: u64,
+    /// Requests queued at a user endpoint.
+    pub queued_user: u64,
+    /// Requests handed to a parked kernel-mode dispatch loop.
+    pub kernel_path: u64,
+    /// Requests queued at a kernel endpoint (no core was parked).
+    pub queued_kernel: u64,
+    /// Large messages diverted through the DMA fallback.
+    pub dma_fallbacks: u64,
+    /// Frames dropped (all reasons).
+    pub dropped: u64,
+    /// Responses transmitted.
+    pub responses_tx: u64,
+    /// Nested-RPC replies dispatched via continuations.
+    pub continuations_hit: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EpMode {
+    User,
+    Kernel { core: usize },
+}
+
+/// The Lauberhorn NIC device model.
+#[derive(Debug)]
+pub struct LauberhornNic {
+    cfg: LauberhornNicConfig,
+    demux: DemuxTable,
+    endpoints: HashMap<EndpointId, Endpoint>,
+    modes: HashMap<EndpointId, EpMode>,
+    /// Endpoint lookup by base address (endpoints are allocated
+    /// contiguously, each `total_lines` long).
+    addr_index: Vec<(u64, u64, EndpointId)>,
+    parked_core: HashMap<EndpointId, usize>,
+    /// Core → endpoint holding an uncollected response that core
+    /// produced (for cross-endpoint collection, Figure 5 lifecycle).
+    pending_response_by_core: HashMap<usize, EndpointId>,
+    mirror: SchedMirror,
+    load: LoadTracker,
+    conts: ContinuationTable,
+    kernel_eps: Vec<Option<EndpointId>>,
+    next_ep: u32,
+    alloc_cursor: u64,
+    dma_cursor: u64,
+    stats: LbNicStats,
+}
+
+impl LauberhornNic {
+    /// Creates the NIC for a machine with `num_cores` cores.
+    pub fn new(cfg: LauberhornNicConfig, num_cores: usize, core_capacity_rps: f64) -> Self {
+        LauberhornNic {
+            alloc_cursor: cfg.device_base,
+            dma_cursor: cfg.dma_buffer_base,
+            demux: DemuxTable::new(),
+            endpoints: HashMap::new(),
+            modes: HashMap::new(),
+            addr_index: Vec::new(),
+            parked_core: HashMap::new(),
+            pending_response_by_core: HashMap::new(),
+            mirror: SchedMirror::new(num_cores),
+            load: LoadTracker::new(core_capacity_rps),
+            conts: ContinuationTable::new(4096),
+            kernel_eps: vec![None; num_cores],
+            next_ep: 0,
+            stats: LbNicStats::default(),
+            cfg,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &LauberhornNicConfig {
+        &self.cfg
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> LbNicStats {
+        self.stats
+    }
+
+    /// The scheduler mirror (read access for experiments).
+    pub fn mirror(&self) -> &SchedMirror {
+        &self.mirror
+    }
+
+    /// The load tracker (read access for experiments).
+    pub fn load(&self) -> &LoadTracker {
+        &self.load
+    }
+
+    /// The continuation table.
+    pub fn continuations_mut(&mut self) -> &mut ContinuationTable {
+        &mut self.conts
+    }
+
+    /// The demux table (service registration).
+    pub fn demux_mut(&mut self) -> &mut DemuxTable {
+        &mut self.demux
+    }
+
+    /// Read access to the demux table.
+    pub fn demux(&self) -> &DemuxTable {
+        &self.demux
+    }
+
+    /// End of the device-homed range currently allocated.
+    pub fn device_limit(&self) -> u64 {
+        self.alloc_cursor.max(self.cfg.device_base + 1)
+    }
+
+    fn alloc_endpoint(&mut self, process: ProcessId, mode: EpMode) -> (EndpointId, EndpointLayout) {
+        let id = EndpointId(self.next_ep);
+        self.next_ep += 1;
+        let layout = EndpointLayout {
+            base: LineAddr::new(self.alloc_cursor, self.cfg.line_size),
+            line_size: self.cfg.line_size,
+            n_aux: self.cfg.n_aux,
+        };
+        let span = (layout.total_lines() * self.cfg.line_size) as u64;
+        self.addr_index
+            .push((self.alloc_cursor, self.alloc_cursor + span, id));
+        self.alloc_cursor += span;
+        self.endpoints.insert(
+            id,
+            Endpoint::with_timeout(
+                id,
+                process,
+                layout,
+                self.cfg.endpoint_queue_cap,
+                self.cfg.tryagain_timeout,
+            ),
+        );
+        self.modes.insert(id, mode);
+        (id, layout)
+    }
+
+    /// Creates a user-mode endpoint for `process`.
+    pub fn create_endpoint(&mut self, process: ProcessId) -> (EndpointId, EndpointLayout) {
+        self.alloc_endpoint(process, EpMode::User)
+    }
+
+    /// Creates the kernel-mode endpoint for `core` (Figure 5's
+    /// dispatch-loop channel).
+    pub fn create_kernel_endpoint(&mut self, core: usize) -> (EndpointId, EndpointLayout) {
+        let (id, layout) = self.alloc_endpoint(ProcessId(u32::MAX), EpMode::Kernel { core });
+        self.kernel_eps[core] = Some(id);
+        (id, layout)
+    }
+
+    /// The endpoint covering `addr`, with the line's role.
+    pub fn endpoint_at(&self, addr: LineAddr) -> Option<(EndpointId, LineRole)> {
+        let (_, _, id) = self
+            .addr_index
+            .iter()
+            .find(|(base, limit, _)| (*base..*limit).contains(&addr.0))?;
+        let ep = self.endpoints.get(id)?;
+        ep.layout.role_of(addr).map(|r| (*id, r))
+    }
+
+    /// Read access to an endpoint (tests/experiments).
+    pub fn endpoint(&self, id: EndpointId) -> Option<&Endpoint> {
+        self.endpoints.get(&id)
+    }
+
+    /// Sum of all endpoints' protocol statistics.
+    pub fn total_endpoint_stats(&self) -> crate::endpoint::EndpointStats {
+        let mut total = crate::endpoint::EndpointStats::default();
+        for e in self.endpoints.values() {
+            let s = e.stats();
+            total.delivered_parked += s.delivered_parked;
+            total.delivered_queued += s.delivered_queued;
+            total.tryagains += s.tryagains;
+            total.retires += s.retires;
+            total.responses += s.responses;
+            total.max_queue = total.max_queue.max(s.max_queue);
+        }
+        total
+    }
+
+    /// Kernel push: `process` now runs on `core` (cost:
+    /// [`crate::sched_mirror::MIRROR_PUSH_COST`], charged by the caller).
+    pub fn push_running(&mut self, core: usize, process: Option<ProcessId>, now: SimTime) {
+        self.mirror.set_running(core, process, now);
+    }
+
+    /// The OS tells the load tracker how many cores serve `service`.
+    pub fn set_service_cores(&mut self, service: u16, cores: usize) {
+        self.load.set_cores(service, cores);
+    }
+
+    fn map_effects(
+        &mut self,
+        id: EndpointId,
+        effects: Vec<crate::endpoint::Effect>,
+        at: SimTime,
+        loading_core: Option<usize>,
+    ) -> Vec<NicAction> {
+        use crate::endpoint::Effect;
+        let mut out = Vec::with_capacity(effects.len());
+        for e in effects {
+            match e {
+                Effect::Respond { token, data } => {
+                    // Answering a fill unparks whatever core was waiting.
+                    let core = self.parked_core.remove(&id).or(loading_core);
+                    if let Some(core) = core {
+                        self.mirror.observe_unpark(core, at);
+                        // An RPC (or DMA-descriptor) delivery means this
+                        // core will produce a response on this endpoint;
+                        // remember it for cross-endpoint collection.
+                        if data.len() > 28 && (data[28] == 1 || data[28] == 4) {
+                            self.pending_response_by_core.insert(core, id);
+                        }
+                    }
+                    out.push(NicAction::CompleteFill { token, data, at });
+                }
+                Effect::ArmTimeout {
+                    generation,
+                    deadline,
+                } => out.push(NicAction::ArmTimeout {
+                    endpoint: id,
+                    generation,
+                    at: deadline,
+                }),
+                Effect::CollectResponse { line, ctx } => {
+                    self.stats.responses_tx += 1;
+                    if let Some(core) = loading_core {
+                        self.pending_response_by_core.remove(&core);
+                    }
+                    out.push(NicAction::CollectAndTransmit { line, ctx, at });
+                }
+            }
+        }
+        out
+    }
+
+    /// A core's load on device line `addr` was parked with `token`.
+    pub fn on_core_load(
+        &mut self,
+        now: SimTime,
+        core: usize,
+        token: FillToken,
+        addr: LineAddr,
+    ) -> Vec<NicAction> {
+        let at = now + self.cfg.nic_proc;
+        let Some((id, role)) = self.endpoint_at(addr) else {
+            // Not an endpoint line: answer zeros (device register space).
+            return vec![NicAction::CompleteFill {
+                token,
+                data: vec![0; self.cfg.line_size],
+                at,
+            }];
+        };
+        let is_kernel = matches!(self.modes.get(&id), Some(EpMode::Kernel { .. }));
+        // Kernel-endpoint work stealing: a core parking on an empty
+        // kernel endpoint takes the oldest request queued at any other
+        // kernel endpoint, so queued work never waits for one specific
+        // core to return to the dispatch loop.
+        if is_kernel
+            && matches!(role, LineRole::Control(_))
+            && self.endpoints.get(&id).is_some_and(|e| e.queue_depth() == 0)
+        {
+            let donor = self
+                .kernel_eps
+                .iter()
+                .flatten()
+                .filter(|d| **d != id)
+                .max_by_key(|d| self.endpoints.get(d).map_or(0, |e| e.queue_depth()))
+                .copied();
+            if let Some(donor) = donor {
+                let stolen = self
+                    .endpoints
+                    .get_mut(&donor)
+                    .and_then(|e| e.steal_request());
+                if let Some((line, ctx)) = stolen {
+                    let ep = self.endpoints.get_mut(&id).expect("endpoint exists");
+                    let outcome = ep.on_request(line, ctx);
+                    debug_assert!(
+                        matches!(outcome, RequestOutcome::Queued { .. }),
+                        "not parked yet, so the steal queues"
+                    );
+                }
+            }
+        }
+        // Cross-endpoint collection: if this core took its request on
+        // the *kernel* endpoint and now parks on the process endpoint
+        // (the Figure 5 lifecycle), this load is the completion signal
+        // for the response it wrote there. The donor must be a kernel
+        // endpoint: a handler parking on a *continuation* endpoint
+        // mid-request (nested RPC, §6) has not finished its request,
+        // so user-endpoint responses are only ever collected by the
+        // endpoint's own other-line load.
+        let mut pre = Vec::new();
+        if let Some(prev) = self.pending_response_by_core.get(&core).copied() {
+            let prev_is_kernel = matches!(self.modes.get(&prev), Some(EpMode::Kernel { .. }));
+            if prev != id && prev_is_kernel {
+                if let Some(pep) = self.endpoints.get_mut(&prev) {
+                    if let Some((line, ctx)) = pep.take_outstanding() {
+                        self.stats.responses_tx += 1;
+                        pre.push(NicAction::CollectAndTransmit { line, ctx, at });
+                    }
+                }
+                self.pending_response_by_core.remove(&core);
+            }
+        }
+        let effects = {
+            let ep = self.endpoints.get_mut(&id).expect("indexed endpoint exists");
+            ep.on_load(role, token, now)
+        };
+        // If the load parked (an ArmTimeout was emitted), record the
+        // poller; the NIC infers user/kernel mode from the address (§4).
+        let parked = effects
+            .iter()
+            .any(|e| matches!(e, crate::endpoint::Effect::ArmTimeout { .. }));
+        let mut effects = effects;
+        if parked {
+            self.parked_core.insert(id, core);
+            self.mirror.observe_poll(core, id, is_kernel, now);
+            if !is_kernel && self.kernel_queue_depth() > 0 {
+                // A user loop just went idle while requests wait in the
+                // kernel dispatch queues. If any of them target *this*
+                // endpoint's process, migrate one straight into the
+                // parked load (no context switch needed); otherwise,
+                // load-driven rescheduling (§5.2): RETIRE the waiter so
+                // the core can serve the other process — the NIC
+                // "provides dynamic load information to the kernel ...
+                // to reallocate cores".
+                let process = self
+                    .endpoints
+                    .get(&id)
+                    .expect("endpoint exists")
+                    .process;
+                let matching = {
+                    let demux = &self.demux;
+                    let kernel_eps: Vec<EndpointId> =
+                        self.kernel_eps.iter().flatten().copied().collect();
+                    let mut found = None;
+                    for kid in kernel_eps {
+                        let stolen = self.endpoints.get_mut(&kid).and_then(|e| {
+                            e.steal_where(|ctx| {
+                                demux
+                                    .service(ctx.service_id)
+                                    .map(|s| s.process == process)
+                                    .unwrap_or(false)
+                            })
+                        });
+                        if stolen.is_some() {
+                            found = stolen;
+                            break;
+                        }
+                    }
+                    found
+                };
+                if let Some((line, ctx)) = matching {
+                    self.stats.fast_path += 1;
+                    let outcome = self
+                        .endpoints
+                        .get_mut(&id)
+                        .expect("endpoint exists")
+                        .on_request(line, ctx);
+                    let RequestOutcome::DeliveredToParked(fx) = outcome else {
+                        unreachable!("endpoint just parked");
+                    };
+                    effects.extend(fx);
+                } else {
+                    let retire_fx = self
+                        .endpoints
+                        .get_mut(&id)
+                        .expect("endpoint exists")
+                        .retire();
+                    effects.extend(retire_fx);
+                }
+            }
+        }
+        let mut actions = pre;
+        actions.extend(self.map_effects(id, effects, at, Some(core)));
+        actions
+    }
+
+    /// Total requests waiting in kernel dispatch queues.
+    fn kernel_queue_depth(&self) -> usize {
+        self.kernel_eps
+            .iter()
+            .flatten()
+            .map(|id| self.endpoints.get(id).map_or(0, |e| e.queue_depth()))
+            .sum()
+    }
+
+    /// A TRYAGAIN timer fired.
+    pub fn on_timeout(
+        &mut self,
+        now: SimTime,
+        endpoint: EndpointId,
+        generation: u64,
+    ) -> Vec<NicAction> {
+        let at = now + self.cfg.nic_proc;
+        let effects = match self.endpoints.get_mut(&endpoint) {
+            Some(ep) => ep.on_timeout(generation),
+            None => Vec::new(),
+        };
+        self.map_effects(endpoint, effects, at, None)
+    }
+
+    /// Retires the waiter parked on `endpoint` (§5.2 core reallocation).
+    pub fn retire_endpoint(&mut self, now: SimTime, endpoint: EndpointId) -> Vec<NicAction> {
+        let at = now + self.cfg.nic_proc;
+        let effects = match self.endpoints.get_mut(&endpoint) {
+            Some(ep) => ep.retire(),
+            None => Vec::new(),
+        };
+        self.map_effects(endpoint, effects, at, None)
+    }
+
+    fn deser_time(&self, wire_len: usize) -> SimDuration {
+        self.cfg.deser_fixed
+            + self
+                .cfg
+                .deser_per_64b
+                .saturating_mul(wire_len.div_ceil(64) as u64)
+    }
+
+    /// Builds the response frame for `ctx` carrying `payload`.
+    pub fn build_response_frame(&self, ctx: &RequestCtx, payload: &[u8]) -> Vec<u8> {
+        let header = RpcHeader {
+            kind: RpcKind::Response,
+            service_id: ctx.service_id,
+            method_id: ctx.method_id,
+            request_id: ctx.request_id,
+            payload_len: payload.len() as u32,
+            cont_hint: ctx.cont_hint,
+        };
+        let msg = header.encode_message(payload).expect("sized correctly");
+        build_udp_frame(self.cfg.nic_addr, ctx.client, &msg, 0)
+            .expect("response frame builds")
+    }
+
+    /// Aux capacity of one endpoint in argument bytes.
+    fn aux_capacity(&self) -> usize {
+        DispatchLine::inline_capacity(self.cfg.line_size) + self.cfg.n_aux * self.cfg.line_size
+    }
+
+    fn drop_frame(&mut self, reason: DropReason) -> Vec<NicAction> {
+        self.stats.dropped += 1;
+        vec![NicAction::Dropped { reason }]
+    }
+
+    /// A frame arrives from the wire at `now`.
+    pub fn on_request_frame(&mut self, now: SimTime, raw: &[u8]) -> Vec<NicAction> {
+        let Ok(frame) = parse_udp_frame(raw) else {
+            return self.drop_frame(DropReason::BadFrame);
+        };
+        let Ok((header, wire_payload)) = RpcHeader::decode_message(&frame.payload) else {
+            return self.drop_frame(DropReason::BadRpcHeader);
+        };
+        let client = EndpointAddr {
+            mac: frame.eth.src,
+            ip: frame.ip.src,
+            port: frame.udp.src_port,
+        };
+        let mut t = now + self.cfg.pipeline_latency;
+        match header.kind {
+            RpcKind::Request => {
+                self.handle_request(t, header, wire_payload, client)
+            }
+            RpcKind::Response | RpcKind::Error => {
+                // A reply for a nested RPC: dispatch via continuation.
+                let Ok(cont) = self.conts.resolve(header.cont_hint) else {
+                    return self.drop_frame(DropReason::UnknownContinuation(header.cont_hint));
+                };
+                self.stats.continuations_hit += 1;
+                t += self.deser_time(wire_payload.len());
+                let line = DispatchLine {
+                    code_ptr: 0,
+                    data_ptr: 0,
+                    request_id: header.request_id,
+                    service_id: header.service_id,
+                    method_id: header.method_id,
+                    kind: DispatchKind::Rpc,
+                    args: wire_payload.to_vec(),
+                };
+                let ctx = RequestCtx {
+                    request_id: header.request_id,
+                    service_id: header.service_id,
+                    method_id: header.method_id,
+                    client,
+                    cont_hint: 0,
+                };
+                let id = cont.endpoint;
+                let outcome = match self.endpoints.get_mut(&id) {
+                    Some(ep) => ep.on_request(line, ctx),
+                    None => return self.drop_frame(DropReason::Overflow),
+                };
+                match outcome {
+                    RequestOutcome::DeliveredToParked(effects) => self.map_effects(id, effects, t, None),
+                    RequestOutcome::Queued { .. } => Vec::new(),
+                    RequestOutcome::Rejected => self.drop_frame(DropReason::Overflow),
+                }
+            }
+        }
+    }
+
+    fn handle_request(
+        &mut self,
+        mut t: SimTime,
+        header: RpcHeader,
+        wire_payload: &[u8],
+        client: EndpointAddr,
+    ) -> Vec<NicAction> {
+        let (code_ptr, data_ptr, process, endpoints) =
+            match self.demux.method(header.service_id, header.method_id) {
+                Ok(m) => {
+                    let svc = self
+                        .demux
+                        .service(header.service_id)
+                        .expect("method implies service");
+                    (
+                        m.code_ptr,
+                        m.data_ptr,
+                        svc.process,
+                        svc.endpoints.clone(),
+                    )
+                }
+                Err(DemuxError::UnknownService(s)) => {
+                    return self.drop_frame(DropReason::UnknownService(s))
+                }
+                Err(DemuxError::UnknownMethod { service, method }) => {
+                    return self.drop_frame(DropReason::UnknownMethod(service, method))
+                }
+            };
+        // Deserialization offload: wire form → dispatch form (§5.1).
+        let signature = self
+            .demux
+            .method(header.service_id, header.method_id)
+            .expect("checked above")
+            .signature
+            .clone();
+        let Ok(args) = transform_to_dispatch_form(&signature, wire_payload) else {
+            return self.drop_frame(DropReason::Malformed);
+        };
+        t += self.deser_time(wire_payload.len());
+        self.stats.rx_requests += 1;
+        self.load.record_arrival(header.service_id, t);
+        let ctx = RequestCtx {
+            request_id: header.request_id,
+            service_id: header.service_id,
+            method_id: header.method_id,
+            client,
+            cont_hint: header.cont_hint,
+        };
+        // Large-message fallback (§6): payload too big for the line
+        // protocol goes through DMA and the line carries a descriptor.
+        let mut pre_actions = Vec::new();
+        let line = if args.len() > self.aux_capacity() || args.len() >= self.cfg.dma_threshold {
+            self.stats.dma_fallbacks += 1;
+            let buffer = self.dma_cursor;
+            self.dma_cursor += (args.len() as u64).div_ceil(4096) * 4096;
+            let done_at = t + self.cfg.transfer.dma_time(args.len());
+            let mut desc = Vec::with_capacity(16);
+            desc.extend_from_slice(&buffer.to_le_bytes());
+            desc.extend_from_slice(&(args.len() as u64).to_le_bytes());
+            pre_actions.push(NicAction::DmaWrite {
+                buffer,
+                bytes: args,
+                done_at,
+            });
+            t = done_at;
+            DispatchLine {
+                code_ptr,
+                data_ptr,
+                request_id: header.request_id,
+                service_id: header.service_id,
+                method_id: header.method_id,
+                kind: DispatchKind::DmaDescriptor,
+                args: desc,
+            }
+        } else {
+            DispatchLine {
+                code_ptr,
+                data_ptr,
+                request_id: header.request_id,
+                service_id: header.service_id,
+                method_id: header.method_id,
+                kind: DispatchKind::Rpc,
+                args,
+            }
+        };
+        // Target selection, in the paper's preference order (§5.2):
+        // 1. a core parked on a user-mode endpoint of this service;
+        let parked_user = endpoints
+            .iter()
+            .find(|id| self.endpoints.get(id).is_some_and(|e| e.is_parked()));
+        if let Some(&id) = parked_user {
+            self.stats.fast_path += 1;
+            let outcome = self
+                .endpoints
+                .get_mut(&id)
+                .expect("endpoint exists")
+                .on_request(line, ctx);
+            let RequestOutcome::DeliveredToParked(effects) = outcome else {
+                unreachable!("endpoint was parked");
+            };
+            let mut actions = pre_actions;
+            actions.extend(self.map_effects(id, effects, t, None));
+            return actions;
+        }
+        // 2. the process is running (busy): queue at its least-loaded
+        //    endpoint — unless the queue has built past the scale-up
+        //    threshold and a kernel dispatcher is free, in which case
+        //    the NIC recruits another core for the service (§5.2);
+        if self.mirror.is_running(process) && !endpoints.is_empty() {
+            let id = *endpoints
+                .iter()
+                .min_by_key(|id| self.endpoints.get(id).map_or(usize::MAX, |e| e.queue_depth()))
+                .expect("non-empty");
+            let depth = self.endpoints.get(&id).map_or(0, |e| e.queue_depth());
+            let scale_out = depth >= self.cfg.scale_up_queue_threshold
+                && !self.mirror.kernel_pollers().is_empty();
+            if !scale_out {
+            let depth_now = {
+                let ep = self.endpoints.get_mut(&id).expect("endpoint exists");
+                match ep.on_request(line.clone(), ctx.clone()) {
+                    RequestOutcome::Queued { depth } => Some(depth),
+                    RequestOutcome::DeliveredToParked(effects) => {
+                        // Raced with a park between the check and now.
+                        self.stats.fast_path += 1;
+                        let mut actions = pre_actions;
+                        actions.extend(self.map_effects(id, effects, t, None));
+                        return actions;
+                    }
+                    RequestOutcome::Rejected => None,
+                }
+            };
+            if let Some(depth) = depth_now {
+                self.stats.queued_user += 1;
+                self.load.record_queue_depth(header.service_id, depth);
+                let mut actions = pre_actions;
+                let advice = self.load.advice(header.service_id);
+                if advice != Advice::Hold {
+                    actions.push(NicAction::ScaleHint {
+                        service: header.service_id,
+                        advice,
+                        at: t,
+                    });
+                }
+                return actions;
+            }
+            // Fall through to kernel delivery on overflow.
+            }
+        }
+        // 3. a core parked in the kernel-mode dispatch loop takes it;
+        if let Some((core, kep)) = self.mirror.kernel_pollers().first().copied() {
+            self.stats.kernel_path += 1;
+            let outcome = self
+                .endpoints
+                .get_mut(&kep)
+                .expect("kernel endpoint exists")
+                .on_request(line, ctx);
+            let RequestOutcome::DeliveredToParked(effects) = outcome else {
+                unreachable!("kernel poller was parked");
+            };
+            let mut actions = pre_actions;
+            actions.push(NicAction::KernelDelivery {
+                core,
+                process,
+                at: t,
+            });
+            actions.extend(self.map_effects(kep, effects, t, None));
+            return actions;
+        }
+        // 4. queue at the least-loaded kernel endpoint; with every core
+        //    busy in user loops, additionally ask the OS to preempt one
+        //    back to the dispatch loop so the queue drains promptly.
+        let kq = self
+            .kernel_eps
+            .iter()
+            .flatten()
+            .min_by_key(|id| self.endpoints.get(id).map_or(usize::MAX, |e| e.queue_depth()))
+            .copied();
+        if let Some(id) = kq {
+            let outcome = self
+                .endpoints
+                .get_mut(&id)
+                .expect("kernel endpoint exists")
+                .on_request(line.clone(), ctx.clone());
+            match outcome {
+                RequestOutcome::Queued { .. } => {
+                    self.stats.queued_kernel += 1;
+                    let mut actions = pre_actions;
+                    if let Some(core) = self.preemption_victim() {
+                        actions.push(NicAction::RequestPreempt { core, at: t });
+                    }
+                    return actions;
+                }
+                RequestOutcome::DeliveredToParked(effects) => {
+                    self.stats.kernel_path += 1;
+                    let core = match self.modes.get(&id) {
+                        Some(EpMode::Kernel { core }) => *core,
+                        _ => 0,
+                    };
+                    let mut actions = pre_actions;
+                    actions.push(NicAction::KernelDelivery {
+                        core,
+                        process,
+                        at: t,
+                    });
+                    actions.extend(self.map_effects(id, effects, t, None));
+                    return actions;
+                }
+                RequestOutcome::Rejected => {}
+            }
+        }
+        // 5. last resort: queue at a user endpoint of the service even
+        //    if the process is not known to be running (better than
+        //    dropping; the process will drain it when scheduled).
+        if let Some(&id) = endpoints
+            .iter()
+            .min_by_key(|id| self.endpoints.get(id).map_or(usize::MAX, |e| e.queue_depth()))
+        {
+            if let Some(ep) = self.endpoints.get_mut(&id) {
+                match ep.on_request(line, ctx) {
+                    RequestOutcome::Queued { depth } => {
+                        self.stats.queued_user += 1;
+                        self.load.record_queue_depth(header.service_id, depth);
+                        return pre_actions;
+                    }
+                    RequestOutcome::DeliveredToParked(effects) => {
+                        self.stats.fast_path += 1;
+                        let mut actions = pre_actions;
+                        actions.extend(self.map_effects(id, effects, t, None));
+                        return actions;
+                    }
+                    RequestOutcome::Rejected => {}
+                }
+            }
+        }
+        self.drop_frame(DropReason::Overflow)
+    }
+
+    /// Picks a user-loop poller to preempt back into the kernel
+    /// dispatch loop: prefer one whose endpoint has nothing queued.
+    fn preemption_victim(&self) -> Option<usize> {
+        if !self.mirror.kernel_pollers().is_empty() {
+            return None;
+        }
+        let mut best: Option<(usize, usize)> = None; // (queue depth, core)
+        for core in 0..self.mirror.num_cores() {
+            if let crate::sched_mirror::CoreMode::PollingUser(ep) = self.mirror.core(core).mode {
+                let depth = self.endpoints.get(&ep).map_or(0, |e| e.queue_depth());
+                if best.is_none_or(|(d, _)| depth < d) {
+                    best = Some((depth, core));
+                }
+            }
+        }
+        best.map(|(_, core)| core)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lauberhorn_packet::marshal::{ArgType, Signature, Value, VarintCodec};
+    use lauberhorn_packet::marshal::Codec;
+
+    fn nic() -> LauberhornNic {
+        let mut n = LauberhornNic::new(
+            LauberhornNicConfig::enzian(EndpointAddr::host(100, 9000)),
+            4,
+            100_000.0,
+        );
+        n.demux_mut().register_service(1, ProcessId(10));
+        n.demux_mut()
+            .register_method(1, 0xAAAA, 0xBBBB, Signature::of(&[ArgType::U64]))
+            .unwrap();
+        n
+    }
+
+    fn request_frame(request_id: u64, value: u64) -> Vec<u8> {
+        let sig = Signature::of(&[ArgType::U64]);
+        let payload = VarintCodec.encode(&sig, &[Value::U64(value)]).unwrap();
+        let header = RpcHeader {
+            kind: RpcKind::Request,
+            service_id: 1,
+            method_id: 0,
+            request_id,
+            payload_len: payload.len() as u32,
+            cont_hint: 0,
+        };
+        let msg = header.encode_message(&payload).unwrap();
+        build_udp_frame(
+            EndpointAddr::host(5, 700),
+            EndpointAddr::host(100, 9000),
+            &msg,
+            0,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn fast_path_delivers_into_parked_load() {
+        let mut n = nic();
+        let (ep, layout) = n.create_endpoint(ProcessId(10));
+        n.demux_mut().add_endpoint(1, ep).unwrap();
+        // Core 2 parks on CONTROL[0].
+        let acts = n.on_core_load(SimTime::ZERO, 2, FillToken(1), layout.ctrl(0));
+        assert!(matches!(acts[0], NicAction::ArmTimeout { .. }));
+        // A request arrives: the fill is answered with the dispatch line.
+        let acts = n.on_request_frame(SimTime::from_us(1), &request_frame(7, 42));
+        let fill = acts
+            .iter()
+            .find_map(|a| match a {
+                NicAction::CompleteFill { token, data, at } => Some((token, data, at)),
+                _ => None,
+            })
+            .expect("fill answered");
+        assert_eq!(*fill.0, FillToken(1));
+        let line = DispatchLine::decode(fill.1, &[]).unwrap();
+        assert_eq!(line.code_ptr, 0xAAAA);
+        assert_eq!(line.request_id, 7);
+        // Args are in fixed dispatch form: little-endian u64.
+        assert_eq!(u64::from_le_bytes(line.args[..8].try_into().unwrap()), 42);
+        assert!(*fill.2 > SimTime::from_us(1));
+        assert_eq!(n.stats().fast_path, 1);
+    }
+
+    #[test]
+    fn unknown_service_dropped() {
+        let mut n = nic();
+        let sig = Signature::of(&[ArgType::U64]);
+        let payload = VarintCodec.encode(&sig, &[Value::U64(1)]).unwrap();
+        let header = RpcHeader {
+            kind: RpcKind::Request,
+            service_id: 99,
+            method_id: 0,
+            request_id: 1,
+            payload_len: payload.len() as u32,
+            cont_hint: 0,
+        };
+        let msg = header.encode_message(&payload).unwrap();
+        let raw = build_udp_frame(
+            EndpointAddr::host(5, 700),
+            EndpointAddr::host(100, 9000),
+            &msg,
+            0,
+        )
+        .unwrap();
+        let acts = n.on_request_frame(SimTime::ZERO, &raw);
+        assert_eq!(
+            acts,
+            vec![NicAction::Dropped {
+                reason: DropReason::UnknownService(99)
+            }]
+        );
+    }
+
+    #[test]
+    fn busy_process_queues_at_endpoint() {
+        let mut n = nic();
+        let (ep, _layout) = n.create_endpoint(ProcessId(10));
+        n.demux_mut().add_endpoint(1, ep).unwrap();
+        // Process is running (pushed by the kernel) but not parked.
+        n.push_running(0, Some(ProcessId(10)), SimTime::ZERO);
+        let acts = n.on_request_frame(SimTime::from_us(1), &request_frame(1, 1));
+        assert!(acts.is_empty(), "queued silently: {acts:?}");
+        assert_eq!(n.stats().queued_user, 1);
+        assert_eq!(n.endpoint(ep).unwrap().queue_depth(), 1);
+    }
+
+    #[test]
+    fn not_running_goes_to_kernel_poller() {
+        let mut n = nic();
+        let (ep, _) = n.create_endpoint(ProcessId(10));
+        n.demux_mut().add_endpoint(1, ep).unwrap();
+        let (_kep, klayout) = n.create_kernel_endpoint(3);
+        // Core 3 parks on the kernel endpoint.
+        n.on_core_load(SimTime::ZERO, 3, FillToken(9), klayout.ctrl(0));
+        let acts = n.on_request_frame(SimTime::from_us(1), &request_frame(2, 5));
+        assert!(acts
+            .iter()
+            .any(|a| matches!(a, NicAction::KernelDelivery { core: 3, .. })));
+        assert!(acts
+            .iter()
+            .any(|a| matches!(a, NicAction::CompleteFill { token: FillToken(9), .. })));
+        assert_eq!(n.stats().kernel_path, 1);
+    }
+
+    #[test]
+    fn nothing_available_queues_at_kernel_endpoint() {
+        let mut n = nic();
+        let (ep, _) = n.create_endpoint(ProcessId(10));
+        n.demux_mut().add_endpoint(1, ep).unwrap();
+        n.create_kernel_endpoint(0);
+        let acts = n.on_request_frame(SimTime::from_us(1), &request_frame(3, 5));
+        assert!(acts.is_empty());
+        assert_eq!(n.stats().queued_kernel, 1);
+    }
+
+    #[test]
+    fn timeout_path_returns_tryagain() {
+        let mut n = nic();
+        let (ep, layout) = n.create_endpoint(ProcessId(10));
+        n.demux_mut().add_endpoint(1, ep).unwrap();
+        let acts = n.on_core_load(SimTime::ZERO, 0, FillToken(1), layout.ctrl(0));
+        let NicAction::ArmTimeout {
+            endpoint,
+            generation,
+            at,
+        } = acts[0]
+        else {
+            panic!("expected arm")
+        };
+        assert_eq!(at, SimTime::ZERO + crate::endpoint::TRYAGAIN_TIMEOUT);
+        let acts = n.on_timeout(at, endpoint, generation);
+        let NicAction::CompleteFill { data, .. } = &acts[0] else {
+            panic!("expected fill")
+        };
+        assert_eq!(
+            DispatchLine::decode(data, &[]).unwrap().kind,
+            DispatchKind::TryAgain
+        );
+    }
+
+    #[test]
+    fn response_collection_emits_transmit() {
+        let mut n = nic();
+        let (ep, layout) = n.create_endpoint(ProcessId(10));
+        n.demux_mut().add_endpoint(1, ep).unwrap();
+        n.on_core_load(SimTime::ZERO, 0, FillToken(1), layout.ctrl(0));
+        n.on_request_frame(SimTime::from_us(1), &request_frame(7, 42));
+        // Core handled it and loads CONTROL[1].
+        let acts = n.on_core_load(SimTime::from_us(5), 0, FillToken(2), layout.ctrl(1));
+        let collect = acts
+            .iter()
+            .find_map(|a| match a {
+                NicAction::CollectAndTransmit { line, ctx, .. } => Some((line, ctx)),
+                _ => None,
+            })
+            .expect("collects response");
+        assert_eq!(*collect.0, layout.ctrl(0));
+        assert_eq!(collect.1.request_id, 7);
+        assert_eq!(n.stats().responses_tx, 1);
+    }
+
+    #[test]
+    fn large_payload_takes_dma_fallback() {
+        let mut n = nic();
+        let (ep, layout) = n.create_endpoint(ProcessId(10));
+        n.demux_mut().add_endpoint(1, ep).unwrap();
+        n.demux_mut()
+            .register_method(1, 0xCCCC, 0xDDDD, Signature::of(&[ArgType::Bytes]))
+            .unwrap();
+        n.on_core_load(SimTime::ZERO, 0, FillToken(1), layout.ctrl(0));
+        // Build a request with a payload beyond the DMA threshold.
+        let big = vec![0xEE; n.config().dma_threshold + 1000];
+        let sig = Signature::of(&[ArgType::Bytes]);
+        let payload = VarintCodec.encode(&sig, &[Value::Bytes(big)]).unwrap();
+        let header = RpcHeader {
+            kind: RpcKind::Request,
+            service_id: 1,
+            method_id: 1,
+            request_id: 11,
+            payload_len: payload.len() as u32,
+            cont_hint: 0,
+        };
+        let msg = header.encode_message(&payload).unwrap();
+        let raw = build_udp_frame(
+            EndpointAddr::host(5, 700),
+            EndpointAddr::host(100, 9000),
+            &msg,
+            0,
+        )
+        .unwrap();
+        let acts = n.on_request_frame(SimTime::from_us(1), &raw);
+        let dma = acts
+            .iter()
+            .find_map(|a| match a {
+                NicAction::DmaWrite { buffer, bytes, done_at } => Some((buffer, bytes, done_at)),
+                _ => None,
+            })
+            .expect("dma fallback");
+        let fill = acts
+            .iter()
+            .find_map(|a| match a {
+                NicAction::CompleteFill { data, at, .. } => Some((data, at)),
+                _ => None,
+            })
+            .expect("dispatch line still delivered");
+        let line = DispatchLine::decode(fill.0, &[]).unwrap();
+        assert_eq!(line.kind, DispatchKind::DmaDescriptor);
+        let buf = u64::from_le_bytes(line.args[0..8].try_into().unwrap());
+        let len = u64::from_le_bytes(line.args[8..16].try_into().unwrap());
+        assert_eq!(buf, *dma.0);
+        assert_eq!(len as usize, dma.1.len());
+        // The line is delivered only after the DMA completes.
+        assert!(fill.1 >= dma.2);
+        assert_eq!(n.stats().dma_fallbacks, 1);
+    }
+
+    #[test]
+    fn continuation_reply_dispatches_to_client_endpoint() {
+        let mut n = nic();
+        let (cep, clayout) = n.create_endpoint(ProcessId(10));
+        let hint = n
+            .continuations_mut()
+            .create(cep, ProcessId(10), true)
+            .unwrap();
+        // Client parks on its continuation endpoint.
+        n.on_core_load(SimTime::ZERO, 1, FillToken(4), clayout.ctrl(0));
+        // A response frame arrives with the hint.
+        let header = RpcHeader {
+            kind: RpcKind::Response,
+            service_id: 1,
+            method_id: 0,
+            request_id: 77,
+            payload_len: 4,
+            cont_hint: hint,
+        };
+        let msg = header.encode_message(b"okay").unwrap();
+        let raw = build_udp_frame(
+            EndpointAddr::host(5, 700),
+            EndpointAddr::host(100, 9000),
+            &msg,
+            0,
+        )
+        .unwrap();
+        let acts = n.on_request_frame(SimTime::from_us(2), &raw);
+        let NicAction::CompleteFill { data, .. } = &acts[0] else {
+            panic!("expected fill, got {acts:?}")
+        };
+        let line = DispatchLine::decode(data, &[]).unwrap();
+        assert_eq!(line.request_id, 77);
+        assert_eq!(line.args, b"okay");
+        assert_eq!(n.stats().continuations_hit, 1);
+        // One-shot: a second reply with the same hint is dropped.
+        let acts = n.on_request_frame(SimTime::from_us(3), &raw);
+        assert!(matches!(
+            acts[0],
+            NicAction::Dropped {
+                reason: DropReason::UnknownContinuation(_)
+            }
+        ));
+    }
+
+    #[test]
+    fn response_frame_round_trips() {
+        let n = nic();
+        let ctx = RequestCtx {
+            request_id: 9,
+            service_id: 1,
+            method_id: 0,
+            client: EndpointAddr::host(5, 700),
+            cont_hint: 3,
+        };
+        let raw = n.build_response_frame(&ctx, b"result");
+        let frame = parse_udp_frame(&raw).unwrap();
+        let (h, payload) = RpcHeader::decode_message(&frame.payload).unwrap();
+        assert_eq!(h.kind, RpcKind::Response);
+        assert_eq!(h.request_id, 9);
+        assert_eq!(h.cont_hint, 3);
+        assert_eq!(payload, b"result");
+        assert_eq!(frame.udp.dst_port, 700);
+    }
+
+    #[test]
+    fn endpoint_at_resolves_addresses() {
+        let mut n = nic();
+        let (ep0, l0) = n.create_endpoint(ProcessId(10));
+        let (ep1, l1) = n.create_endpoint(ProcessId(11));
+        assert_eq!(n.endpoint_at(l0.ctrl(0)), Some((ep0, LineRole::Control(0))));
+        assert_eq!(n.endpoint_at(l1.ctrl(1)), Some((ep1, LineRole::Control(1))));
+        assert_eq!(n.endpoint_at(l1.aux(0)), Some((ep1, LineRole::Aux(0))));
+        assert_eq!(n.endpoint_at(LineAddr(0x9_0000_0000)), None);
+    }
+
+    #[test]
+    fn kernel_endpoints_steal_queued_work() {
+        let mut n = nic();
+        let (_k0, _l0) = n.create_kernel_endpoint(0);
+        let (_k1, l1) = n.create_kernel_endpoint(1);
+        // Two requests queue while no core is parked; both land on the
+        // least-loaded kernel endpoints (one each).
+        n.on_request_frame(SimTime::from_us(1), &request_frame(1, 10));
+        n.on_request_frame(SimTime::from_us(2), &request_frame(2, 20));
+        assert_eq!(n.stats().queued_kernel, 2);
+        // Core 1 parks on ITS endpoint: it serves its own queued
+        // request first...
+        let acts = n.on_core_load(SimTime::from_us(3), 1, FillToken(1), l1.ctrl(0));
+        assert!(acts
+            .iter()
+            .any(|a| matches!(a, NicAction::CompleteFill { .. })));
+        // ...and when it parks again, steals core 0's queued request
+        // rather than leaving it stranded.
+        let acts = n.on_core_load(SimTime::from_us(4), 1, FillToken(2), l1.ctrl(1));
+        let fill = acts.iter().find_map(|a| match a {
+            NicAction::CompleteFill { data, .. } => Some(data),
+            _ => None,
+        });
+        let line = DispatchLine::decode(fill.expect("stolen request delivered"), &[]).unwrap();
+        assert!(line.request_id == 1 || line.request_id == 2);
+    }
+
+    #[test]
+    fn preemption_requested_when_all_cores_hoard_user_loops() {
+        let mut n = nic();
+        n.create_kernel_endpoint(0);
+        n.create_kernel_endpoint(1);
+        // Both cores park in user loops of service 1.
+        let (ep0, l0) = n.create_endpoint(ProcessId(10));
+        let (ep1, l1) = n.create_endpoint(ProcessId(10));
+        n.demux_mut().add_endpoint(1, ep0).unwrap();
+        n.demux_mut().add_endpoint(1, ep1).unwrap();
+        n.on_core_load(SimTime::ZERO, 0, FillToken(1), l0.ctrl(0));
+        n.on_core_load(SimTime::ZERO, 1, FillToken(2), l1.ctrl(0));
+        // A request for an *unknown-process* service: register service 2
+        // with no endpoints; it must queue at a kernel endpoint and ask
+        // the OS to preempt one of the user pollers.
+        n.demux_mut().register_service(2, ProcessId(20));
+        n.demux_mut()
+            .register_method(2, 0x2222, 0x3333, Signature::of(&[ArgType::U64]))
+            .unwrap();
+        let sig = Signature::of(&[ArgType::U64]);
+        let payload = VarintCodec.encode(&sig, &[Value::U64(1)]).unwrap();
+        let header = RpcHeader {
+            kind: RpcKind::Request,
+            service_id: 2,
+            method_id: 0,
+            request_id: 9,
+            payload_len: payload.len() as u32,
+            cont_hint: 0,
+        };
+        let msg = header.encode_message(&payload).unwrap();
+        let raw = build_udp_frame(
+            EndpointAddr::host(5, 700),
+            EndpointAddr::host(100, 9000),
+            &msg,
+            0,
+        )
+        .unwrap();
+        let acts = n.on_request_frame(SimTime::from_us(1), &raw);
+        assert!(
+            acts.iter()
+                .any(|a| matches!(a, NicAction::RequestPreempt { .. })),
+            "no preemption requested: {acts:?}"
+        );
+        assert_eq!(n.stats().queued_kernel, 1);
+    }
+
+    #[test]
+    fn no_preemption_request_when_a_kernel_poller_exists() {
+        let mut n = nic();
+        let (_k0, kl0) = n.create_kernel_endpoint(0);
+        // Core 0 parks in the kernel loop; the request is delivered
+        // there directly — no preemption needed.
+        n.on_core_load(SimTime::ZERO, 0, FillToken(1), kl0.ctrl(0));
+        let acts = n.on_request_frame(SimTime::from_us(1), &request_frame(7, 7));
+        assert!(!acts
+            .iter()
+            .any(|a| matches!(a, NicAction::RequestPreempt { .. })));
+        assert!(acts
+            .iter()
+            .any(|a| matches!(a, NicAction::KernelDelivery { core: 0, .. })));
+    }
+
+    #[test]
+    fn malformed_args_dropped_by_deserializer() {
+        let mut n = nic();
+        let (ep, layout) = n.create_endpoint(ProcessId(10));
+        n.demux_mut().add_endpoint(1, ep).unwrap();
+        n.on_core_load(SimTime::ZERO, 0, FillToken(1), layout.ctrl(0));
+        // Garbage payload that is not a valid varint encoding.
+        let header = RpcHeader {
+            kind: RpcKind::Request,
+            service_id: 1,
+            method_id: 0,
+            request_id: 1,
+            payload_len: 3,
+            cont_hint: 0,
+        };
+        let msg = header.encode_message(&[0xff, 0xff, 0xff]).unwrap();
+        let raw = build_udp_frame(
+            EndpointAddr::host(5, 700),
+            EndpointAddr::host(100, 9000),
+            &msg,
+            0,
+        )
+        .unwrap();
+        let acts = n.on_request_frame(SimTime::ZERO, &raw);
+        assert_eq!(
+            acts,
+            vec![NicAction::Dropped {
+                reason: DropReason::Malformed
+            }]
+        );
+    }
+}

@@ -1,0 +1,28 @@
+//! The OS model: processes, scheduling, and kernel-path costs.
+//!
+//! The paper's core claim is about *which component holds which state*:
+//! the OS holds scheduling state (which process runs where, who is
+//! waiting), the NIC holds demultiplexing state, and the cost of the
+//! traditional receive path (steps 5–9 of §2) comes from software
+//! consulting and updating that OS state. This crate models exactly
+//! that state and those costs:
+//!
+//! * [`proc`] — processes and threads with run states.
+//! * [`cost`] — the calibrated cycle-cost model of every kernel path
+//!   segment the experiments charge (IRQ entry, softirq, socket
+//!   demultiplex, wakeup, context switch, IPI, syscall, copies).
+//! * [`sched`] — a CFS-like scheduler over per-core run queues with
+//!   wakeup placement, preemption via IPI, and the blocked/runnable
+//!   bookkeeping the NIC mirrors in the Lauberhorn design (§5.2).
+//! * [`netstack`] — the kernel UDP receive path as a sequence of
+//!   costed steps (the software half of Figure 1, and the left side of
+//!   Figure 5).
+
+pub mod cost;
+pub mod netstack;
+pub mod proc;
+pub mod sched;
+
+pub use cost::CostModel;
+pub use proc::{ProcessId, ThreadId, ThreadState};
+pub use sched::{OsScheduler, WakeDecision};

@@ -1,0 +1,258 @@
+//! The kernel UDP receive path, as a sequence of costed steps.
+//!
+//! This is the software half of the paper's Figure 1 (and the left,
+//! "normal task scheduling" side of Figure 5): everything between the
+//! NIC's interrupt (step 4) and the application's `recvmsg` returning
+//! (steps 5–10). Each segment is attributed to a paper step so the
+//! `fig1_steps` experiment can print the breakdown table.
+
+use serde::Serialize;
+
+use crate::cost::CostModel;
+
+/// The twelve steps of §2 of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub enum Step {
+    /// 1: read the packet contents.
+    S1ReadPacket,
+    /// 2: protocol processing (checksums etc.).
+    S2ProtocolOffload,
+    /// 3: demultiplex to an in-memory queue.
+    S3Demultiplex,
+    /// 4: interrupt a core.
+    S4Interrupt,
+    /// 5: general protocol processing (IP/UDP in software).
+    S5KernelProtocol,
+    /// 6: identify the destination process.
+    S6IdentifyProcess,
+    /// 7: find a core to run it.
+    S7FindCore,
+    /// 8: schedule the process.
+    S8Schedule,
+    /// 9: context switch.
+    S9ContextSwitch,
+    /// 10: unmarshal arguments and function name.
+    S10Unmarshal,
+    /// 11: find the function address.
+    S11FindFunction,
+    /// 12: jump to it.
+    S12Jump,
+}
+
+/// Who executes a step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum Executor {
+    /// NIC hardware.
+    Nic,
+    /// Kernel software.
+    Kernel,
+    /// User-space software.
+    User,
+}
+
+/// One costed segment of a receive path.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct StepCost {
+    /// Which of the paper's steps this segment belongs to.
+    pub step: Step,
+    /// Who runs it.
+    pub executor: Executor,
+    /// CPU cycles consumed (0 for NIC-hardware steps).
+    pub cycles: u64,
+}
+
+/// The kernel receive path for one UDP packet of `payload` bytes,
+/// from hard IRQ to the woken receiver having its data and jumping to
+/// the handler. `fresh_wakeup` selects whether the receiver was blocked
+/// (the common dynamic-workload case: wakeup + context switch) or
+/// already running and about to call `recvmsg` again.
+pub fn kernel_receive_path(m: &CostModel, payload: usize, fresh_wakeup: bool) -> Vec<StepCost> {
+    let mut steps = vec![
+        StepCost {
+            step: Step::S4Interrupt,
+            executor: Executor::Kernel,
+            cycles: m.irq_entry + m.softirq_dispatch + m.irq_exit,
+        },
+        StepCost {
+            step: Step::S5KernelProtocol,
+            executor: Executor::Kernel,
+            cycles: m.netstack_per_pkt + m.skb_management,
+        },
+        StepCost {
+            step: Step::S6IdentifyProcess,
+            executor: Executor::Kernel,
+            cycles: m.socket_lookup,
+        },
+    ];
+    if fresh_wakeup {
+        steps.push(StepCost {
+            step: Step::S7FindCore,
+            executor: Executor::Kernel,
+            cycles: m.sched_pick,
+        });
+        steps.push(StepCost {
+            step: Step::S8Schedule,
+            executor: Executor::Kernel,
+            cycles: m.wakeup,
+        });
+        steps.push(StepCost {
+            step: Step::S9ContextSwitch,
+            executor: Executor::Kernel,
+            cycles: m.full_context_switch(),
+        });
+    }
+    // recvmsg: syscall + copyout, then software unmarshal and dispatch.
+    steps.push(StepCost {
+        step: Step::S10Unmarshal,
+        executor: Executor::User,
+        cycles: m.syscall + m.copy(payload) + m.unmarshal(payload),
+    });
+    steps.push(StepCost {
+        step: Step::S11FindFunction,
+        executor: Executor::User,
+        cycles: 60, // Hash-table lookup of the method.
+    });
+    steps.push(StepCost {
+        step: Step::S12Jump,
+        executor: Executor::User,
+        cycles: 5,
+    });
+    steps
+}
+
+/// The kernel-bypass receive path (IX/Demikernel style): the packet is
+/// already in a user-mapped queue; a spinning core finds it.
+pub fn bypass_receive_path(m: &CostModel, payload: usize) -> Vec<StepCost> {
+    vec![
+        StepCost {
+            step: Step::S4Interrupt,
+            executor: Executor::User,
+            // No interrupt: one poll iteration discovers the packet.
+            cycles: m.poll_iteration,
+        },
+        StepCost {
+            step: Step::S5KernelProtocol,
+            executor: Executor::User,
+            // Minimal user-space UDP processing.
+            cycles: 250,
+        },
+        StepCost {
+            step: Step::S6IdentifyProcess,
+            executor: Executor::User,
+            // Queue is statically bound to this process: trivial.
+            cycles: 30,
+        },
+        StepCost {
+            step: Step::S10Unmarshal,
+            executor: Executor::User,
+            cycles: m.unmarshal(payload),
+        },
+        StepCost {
+            step: Step::S11FindFunction,
+            executor: Executor::User,
+            cycles: 60,
+        },
+        StepCost {
+            step: Step::S12Jump,
+            executor: Executor::User,
+            cycles: 5,
+        },
+    ]
+}
+
+/// The Lauberhorn fast path: the NIC did steps 1–3, 5–8, 10 and 11 in
+/// hardware; software consumes the dispatch form and jumps (§4: "just
+/// the arguments and virtual address of the first instruction").
+pub fn lauberhorn_receive_path(m: &CostModel) -> Vec<StepCost> {
+    vec![
+        StepCost {
+            step: Step::S10Unmarshal,
+            executor: Executor::User,
+            cycles: m.dispatch_form_consume,
+        },
+        StepCost {
+            step: Step::S12Jump,
+            executor: Executor::User,
+            cycles: 5,
+        },
+    ]
+}
+
+/// Sums the CPU cycles of a path (NIC steps cost zero CPU).
+pub fn total_cycles(steps: &[StepCost]) -> u64 {
+    steps.iter().map(|s| s.cycles).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernel_path_is_heaviest() {
+        let m = CostModel::linux_server();
+        let k = total_cycles(&kernel_receive_path(&m, 64, true));
+        let b = total_cycles(&bypass_receive_path(&m, 64));
+        let l = total_cycles(&lauberhorn_receive_path(&m));
+        assert!(k > b, "kernel {k} must exceed bypass {b}");
+        assert!(b > l, "bypass {b} must exceed lauberhorn {l}");
+        // The paper's claim: essentially zero cycles. Under 100.
+        assert!(l < 100, "lauberhorn path was {l} cycles");
+    }
+
+    #[test]
+    fn fresh_wakeup_adds_schedule_and_switch() {
+        let m = CostModel::linux_server();
+        let cold = total_cycles(&kernel_receive_path(&m, 64, true));
+        let warm = total_cycles(&kernel_receive_path(&m, 64, false));
+        assert_eq!(
+            cold - warm,
+            m.sched_pick + m.wakeup + m.full_context_switch()
+        );
+    }
+
+    #[test]
+    fn payload_size_scales_kernel_and_bypass_only() {
+        let m = CostModel::linux_server();
+        let k64 = total_cycles(&kernel_receive_path(&m, 64, false));
+        let k4k = total_cycles(&kernel_receive_path(&m, 4096, false));
+        assert!(k4k > k64);
+        let l = total_cycles(&lauberhorn_receive_path(&m));
+        // Lauberhorn's software cost is payload-independent (the NIC
+        // unmarshals); nothing to vary.
+        assert_eq!(l, total_cycles(&lauberhorn_receive_path(&m)));
+    }
+
+    #[test]
+    fn steps_cover_the_papers_numbering() {
+        let m = CostModel::linux_server();
+        let steps = kernel_receive_path(&m, 64, true);
+        let have: Vec<Step> = steps.iter().map(|s| s.step).collect();
+        for s in [
+            Step::S4Interrupt,
+            Step::S5KernelProtocol,
+            Step::S6IdentifyProcess,
+            Step::S7FindCore,
+            Step::S8Schedule,
+            Step::S9ContextSwitch,
+            Step::S10Unmarshal,
+            Step::S11FindFunction,
+            Step::S12Jump,
+        ] {
+            assert!(have.contains(&s), "missing {s:?}");
+        }
+    }
+
+    #[test]
+    fn executors_match_the_architecture() {
+        let m = CostModel::linux_server();
+        assert!(kernel_receive_path(&m, 64, true)
+            .iter()
+            .any(|s| s.executor == Executor::Kernel));
+        assert!(bypass_receive_path(&m, 64)
+            .iter()
+            .all(|s| s.executor == Executor::User));
+        assert!(lauberhorn_receive_path(&m)
+            .iter()
+            .all(|s| s.executor == Executor::User));
+    }
+}

@@ -1,0 +1,109 @@
+//! Property-based tests of the scheduler: arbitrary operation
+//! sequences preserve the core/queue bookkeeping invariants.
+
+use proptest::prelude::*;
+
+use lauberhorn_os::proc::{ProcessId, ThreadId, ThreadState};
+use lauberhorn_os::OsScheduler;
+use lauberhorn_sim::SimDuration;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Wakeup(u32),
+    Block(usize),
+    Preempt(usize),
+    Account(usize, u64),
+    Dispatch(usize),
+}
+
+fn arb_op(threads: u32, cores: usize) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..threads).prop_map(Op::Wakeup),
+        (0..cores).prop_map(Op::Block),
+        (0..cores).prop_map(Op::Preempt),
+        ((0..cores), 1u64..10_000).prop_map(|(c, n)| Op::Account(c, n)),
+        (0..cores).prop_map(Op::Dispatch),
+    ]
+}
+
+fn check(s: &OsScheduler, threads: u32, cores: usize) {
+    // 1. A thread is Running on exactly the core that claims it.
+    let mut running_threads = std::collections::HashSet::new();
+    for c in 0..cores {
+        if let Some(t) = s.current(c) {
+            assert_eq!(
+                s.state(t),
+                Some(ThreadState::Running { core: c }),
+                "core {c} claims {t:?}"
+            );
+            assert!(running_threads.insert(t), "{t:?} on two cores");
+        }
+    }
+    // 2. Every registered thread has a coherent state.
+    let mut runnable = 0;
+    for t in 0..threads {
+        match s.state(ThreadId(t)) {
+            Some(ThreadState::Running { core }) => {
+                assert_eq!(s.current(core), Some(ThreadId(t)));
+            }
+            Some(ThreadState::Runnable) => runnable += 1,
+            Some(ThreadState::Blocked) | Some(ThreadState::Inactive) => {}
+            None => panic!("thread {t} unregistered"),
+        }
+    }
+    // 3. Queue accounting matches the states.
+    assert_eq!(s.total_queued(), runnable, "queued != runnable");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn scheduler_invariants_hold(ops in proptest::collection::vec(arb_op(6, 3), 1..200)) {
+        let threads = 6u32;
+        let cores = 3usize;
+        let mut s = OsScheduler::new(cores);
+        for t in 0..threads {
+            s.register(ThreadId(t), ProcessId(t), None);
+        }
+        for op in ops {
+            match op {
+                Op::Wakeup(t) => {
+                    s.wakeup(ThreadId(t)).unwrap();
+                }
+                Op::Block(c) => {
+                    s.block_current(c).unwrap();
+                }
+                Op::Preempt(c) => {
+                    s.preempt(c).unwrap();
+                }
+                Op::Account(c, n) => {
+                    s.account(c, SimDuration::from_ns(n)).unwrap();
+                }
+                Op::Dispatch(c) => {
+                    s.dispatch(c);
+                }
+            }
+            check(&s, threads, cores);
+        }
+    }
+
+    #[test]
+    fn work_conserving_under_wakeups(wakes in proptest::collection::vec(0u32..8, 1..50)) {
+        // As long as there are idle cores, no woken thread may sit on a
+        // queue.
+        let mut s = OsScheduler::new(4);
+        for t in 0..8 {
+            s.register(ThreadId(t), ProcessId(t), None);
+        }
+        for w in wakes {
+            s.wakeup(ThreadId(w)).unwrap();
+            let idle = s.idle_cores().len();
+            let queued = s.total_queued();
+            prop_assert!(
+                idle == 0 || queued == 0,
+                "{idle} idle cores with {queued} queued threads"
+            );
+        }
+    }
+}

@@ -1,0 +1,176 @@
+//! Ethernet II framing.
+
+use crate::{PacketError, Result};
+
+/// Length of an Ethernet II header (dst, src, ethertype), without VLAN
+/// tags (the reproduction does not model VLANs) or the FCS.
+pub const ETH_HEADER_LEN: usize = 14;
+
+/// A 48-bit IEEE MAC address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct MacAddr(pub [u8; 6]);
+
+impl MacAddr {
+    /// The broadcast address `ff:ff:ff:ff:ff:ff`.
+    pub const BROADCAST: MacAddr = MacAddr([0xff; 6]);
+
+    /// A deterministic locally administered unicast address derived from
+    /// an integer id; used to give simulated hosts distinct MACs.
+    pub fn local(id: u32) -> Self {
+        let b = id.to_be_bytes();
+        // 0x02 sets the locally-administered bit, clears multicast.
+        MacAddr([0x02, 0x00, b[0], b[1], b[2], b[3]])
+    }
+
+    /// Whether the multicast (group) bit is set.
+    pub fn is_multicast(&self) -> bool {
+        self.0[0] & 0x01 != 0
+    }
+}
+
+impl std::fmt::Display for MacAddr {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let o = self.0;
+        write!(
+            f,
+            "{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}",
+            o[0], o[1], o[2], o[3], o[4], o[5]
+        )
+    }
+}
+
+/// Ethertype values the reproduction understands.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum EtherType {
+    /// IPv4 (0x0800).
+    Ipv4,
+    /// Anything else, preserved verbatim.
+    Other(u16),
+}
+
+impl EtherType {
+    /// Wire representation.
+    pub fn to_u16(self) -> u16 {
+        match self {
+            EtherType::Ipv4 => 0x0800,
+            EtherType::Other(v) => v,
+        }
+    }
+
+    /// Decodes from the wire representation.
+    pub fn from_u16(v: u16) -> Self {
+        match v {
+            0x0800 => EtherType::Ipv4,
+            other => EtherType::Other(other),
+        }
+    }
+}
+
+/// A parsed Ethernet II header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EthernetHeader {
+    /// Destination MAC.
+    pub dst: MacAddr,
+    /// Source MAC.
+    pub src: MacAddr,
+    /// Payload ethertype.
+    pub ethertype: EtherType,
+}
+
+impl EthernetHeader {
+    /// Serialises the header into `out`, which must hold at least
+    /// [`ETH_HEADER_LEN`] bytes.
+    pub fn write(&self, out: &mut [u8]) -> Result<usize> {
+        if out.len() < ETH_HEADER_LEN {
+            return Err(PacketError::Truncated {
+                layer: "eth",
+                need: ETH_HEADER_LEN,
+                have: out.len(),
+            });
+        }
+        out[0..6].copy_from_slice(&self.dst.0);
+        out[6..12].copy_from_slice(&self.src.0);
+        out[12..14].copy_from_slice(&self.ethertype.to_u16().to_be_bytes());
+        Ok(ETH_HEADER_LEN)
+    }
+
+    /// Parses a header from the front of `data`, returning it and the
+    /// number of bytes consumed.
+    pub fn parse(data: &[u8]) -> Result<(Self, usize)> {
+        if data.len() < ETH_HEADER_LEN {
+            return Err(PacketError::Truncated {
+                layer: "eth",
+                need: ETH_HEADER_LEN,
+                have: data.len(),
+            });
+        }
+        let mut dst = [0u8; 6];
+        let mut src = [0u8; 6];
+        dst.copy_from_slice(&data[0..6]);
+        src.copy_from_slice(&data[6..12]);
+        let ethertype = EtherType::from_u16(u16::from_be_bytes([data[12], data[13]]));
+        Ok((
+            EthernetHeader {
+                dst: MacAddr(dst),
+                src: MacAddr(src),
+                ethertype,
+            },
+            ETH_HEADER_LEN,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip() {
+        let h = EthernetHeader {
+            dst: MacAddr::local(7),
+            src: MacAddr::local(9),
+            ethertype: EtherType::Ipv4,
+        };
+        let mut buf = [0u8; ETH_HEADER_LEN];
+        assert_eq!(h.write(&mut buf).unwrap(), ETH_HEADER_LEN);
+        let (parsed, used) = EthernetHeader::parse(&buf).unwrap();
+        assert_eq!(parsed, h);
+        assert_eq!(used, ETH_HEADER_LEN);
+    }
+
+    #[test]
+    fn truncated_buffers_error() {
+        let h = EthernetHeader {
+            dst: MacAddr::BROADCAST,
+            src: MacAddr::local(1),
+            ethertype: EtherType::Other(0x88cc),
+        };
+        let mut small = [0u8; 10];
+        assert!(matches!(
+            h.write(&mut small),
+            Err(PacketError::Truncated { layer: "eth", .. })
+        ));
+        assert!(EthernetHeader::parse(&small).is_err());
+    }
+
+    #[test]
+    fn local_macs_are_unicast_and_distinct() {
+        let a = MacAddr::local(1);
+        let b = MacAddr::local(2);
+        assert_ne!(a, b);
+        assert!(!a.is_multicast());
+        assert!(MacAddr::BROADCAST.is_multicast());
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(format!("{}", MacAddr::local(0x0102)), "02:00:00:00:01:02");
+    }
+
+    #[test]
+    fn unknown_ethertype_preserved() {
+        let t = EtherType::from_u16(0x86dd);
+        assert_eq!(t, EtherType::Other(0x86dd));
+        assert_eq!(t.to_u16(), 0x86dd);
+    }
+}

@@ -1,0 +1,247 @@
+//! The Lauberhorn RPC wire header.
+//!
+//! Carried as the first bytes of the UDP payload. The header gives the
+//! NIC everything it needs for demultiplexing (service), dispatch
+//! (method) and matching (request id) without touching the argument
+//! bytes — exactly the information the paper's demultiplexer consumes
+//! before the deserialization stage (§5.1).
+//!
+//! Wire layout (24 bytes, big-endian):
+//!
+//! ```text
+//! 0      2      3      4           6           8                16
+//! | magic | ver | kind | service_id | method_id | request_id ... |
+//! 16             20            24
+//! | payload_len  | cont_hint   |
+//! ```
+//!
+//! `cont_hint` supports the nested-RPC continuations of §6: a response
+//! can be steered to an ephemeral continuation endpoint the client
+//! allocated when issuing the request.
+
+use crate::{PacketError, Result};
+
+/// Magic bytes `LH` identifying a Lauberhorn RPC message.
+pub const RPC_MAGIC: u16 = 0x4c48;
+
+/// Wire protocol version implemented by this crate.
+pub const RPC_VERSION: u8 = 1;
+
+/// Serialized header length in bytes.
+pub const RPC_HEADER_LEN: usize = 24;
+
+/// Message kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RpcKind {
+    /// A call request.
+    Request,
+    /// A successful response.
+    Response,
+    /// An error response (service-level failure).
+    Error,
+}
+
+impl RpcKind {
+    fn to_u8(self) -> u8 {
+        match self {
+            RpcKind::Request => 0,
+            RpcKind::Response => 1,
+            RpcKind::Error => 2,
+        }
+    }
+
+    fn from_u8(v: u8) -> Result<Self> {
+        match v {
+            0 => Ok(RpcKind::Request),
+            1 => Ok(RpcKind::Response),
+            2 => Ok(RpcKind::Error),
+            _ => Err(PacketError::BadField {
+                layer: "rpc",
+                field: "kind",
+            }),
+        }
+    }
+}
+
+/// A parsed RPC header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RpcHeader {
+    /// Request or response.
+    pub kind: RpcKind,
+    /// Target service (demultiplexing key).
+    pub service_id: u16,
+    /// Target method within the service (dispatch key).
+    pub method_id: u16,
+    /// Request identifier, echoed in the response.
+    pub request_id: u64,
+    /// Length of the argument payload that follows.
+    pub payload_len: u32,
+    /// Continuation-endpoint hint for nested RPC replies (0 = none).
+    pub cont_hint: u32,
+}
+
+impl RpcHeader {
+    /// Serialises into `out`.
+    pub fn write(&self, out: &mut [u8]) -> Result<usize> {
+        if out.len() < RPC_HEADER_LEN {
+            return Err(PacketError::Truncated {
+                layer: "rpc",
+                need: RPC_HEADER_LEN,
+                have: out.len(),
+            });
+        }
+        out[0..2].copy_from_slice(&RPC_MAGIC.to_be_bytes());
+        out[2] = RPC_VERSION;
+        out[3] = self.kind.to_u8();
+        out[4..6].copy_from_slice(&self.service_id.to_be_bytes());
+        out[6..8].copy_from_slice(&self.method_id.to_be_bytes());
+        out[8..16].copy_from_slice(&self.request_id.to_be_bytes());
+        out[16..20].copy_from_slice(&self.payload_len.to_be_bytes());
+        out[20..24].copy_from_slice(&self.cont_hint.to_be_bytes());
+        Ok(RPC_HEADER_LEN)
+    }
+
+    /// Parses from the front of `data`, validating magic and version.
+    pub fn parse(data: &[u8]) -> Result<(Self, usize)> {
+        if data.len() < RPC_HEADER_LEN {
+            return Err(PacketError::Truncated {
+                layer: "rpc",
+                need: RPC_HEADER_LEN,
+                have: data.len(),
+            });
+        }
+        if u16::from_be_bytes([data[0], data[1]]) != RPC_MAGIC {
+            return Err(PacketError::BadField {
+                layer: "rpc",
+                field: "magic",
+            });
+        }
+        if data[2] != RPC_VERSION {
+            return Err(PacketError::BadField {
+                layer: "rpc",
+                field: "version",
+            });
+        }
+        let kind = RpcKind::from_u8(data[3])?;
+        Ok((
+            RpcHeader {
+                kind,
+                service_id: u16::from_be_bytes([data[4], data[5]]),
+                method_id: u16::from_be_bytes([data[6], data[7]]),
+                request_id: u64::from_be_bytes(data[8..16].try_into().expect("8 bytes")),
+                payload_len: u32::from_be_bytes(data[16..20].try_into().expect("4 bytes")),
+                cont_hint: u32::from_be_bytes(data[20..24].try_into().expect("4 bytes")),
+            },
+            RPC_HEADER_LEN,
+        ))
+    }
+
+    /// Builds a request+payload message as a single buffer.
+    pub fn encode_message(&self, payload: &[u8]) -> Result<Vec<u8>> {
+        debug_assert_eq!(self.payload_len as usize, payload.len());
+        let mut buf = vec![0u8; RPC_HEADER_LEN + payload.len()];
+        self.write(&mut buf)?;
+        buf[RPC_HEADER_LEN..].copy_from_slice(payload);
+        Ok(buf)
+    }
+
+    /// Parses a whole message into header and payload slice, checking
+    /// the declared payload length against the buffer.
+    pub fn decode_message(data: &[u8]) -> Result<(Self, &[u8])> {
+        let (h, off) = Self::parse(data)?;
+        let end = off + h.payload_len as usize;
+        if end > data.len() {
+            return Err(PacketError::Truncated {
+                layer: "rpc",
+                need: end,
+                have: data.len(),
+            });
+        }
+        Ok((h, &data[off..end]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RpcHeader {
+        RpcHeader {
+            kind: RpcKind::Request,
+            service_id: 7,
+            method_id: 3,
+            request_id: 0xdead_beef_cafe_f00d,
+            payload_len: 5,
+            cont_hint: 0,
+        }
+    }
+
+    #[test]
+    fn round_trip() {
+        let h = sample();
+        let msg = h.encode_message(b"argsz").unwrap();
+        assert_eq!(msg.len(), RPC_HEADER_LEN + 5);
+        let (parsed, payload) = RpcHeader::decode_message(&msg).unwrap();
+        assert_eq!(parsed, h);
+        assert_eq!(payload, b"argsz");
+    }
+
+    #[test]
+    fn rejects_bad_magic_version_kind() {
+        let h = sample();
+        let msg = h.encode_message(b"argsz").unwrap();
+        let mut bad = msg.clone();
+        bad[0] = 0;
+        assert!(matches!(
+            RpcHeader::parse(&bad),
+            Err(PacketError::BadField { field: "magic", .. })
+        ));
+        let mut bad = msg.clone();
+        bad[2] = 99;
+        assert!(matches!(
+            RpcHeader::parse(&bad),
+            Err(PacketError::BadField { field: "version", .. })
+        ));
+        let mut bad = msg;
+        bad[3] = 42;
+        assert!(matches!(
+            RpcHeader::parse(&bad),
+            Err(PacketError::BadField { field: "kind", .. })
+        ));
+    }
+
+    #[test]
+    fn declared_length_is_validated() {
+        let mut h = sample();
+        h.payload_len = 100;
+        let mut buf = vec![0u8; RPC_HEADER_LEN + 5];
+        h.write(&mut buf).unwrap();
+        assert!(matches!(
+            RpcHeader::decode_message(&buf),
+            Err(PacketError::Truncated { layer: "rpc", .. })
+        ));
+    }
+
+    #[test]
+    fn all_kinds_round_trip() {
+        for kind in [RpcKind::Request, RpcKind::Response, RpcKind::Error] {
+            let h = RpcHeader { kind, ..sample() };
+            let mut buf = [0u8; RPC_HEADER_LEN];
+            h.write(&mut buf).unwrap();
+            let (p, _) = RpcHeader::parse(&buf).unwrap();
+            assert_eq!(p.kind, kind);
+        }
+    }
+
+    #[test]
+    fn cont_hint_round_trips() {
+        let h = RpcHeader {
+            cont_hint: 0x1234_5678,
+            ..sample()
+        };
+        let mut buf = [0u8; RPC_HEADER_LEN];
+        h.write(&mut buf).unwrap();
+        let (p, _) = RpcHeader::parse(&buf).unwrap();
+        assert_eq!(p.cont_hint, 0x1234_5678);
+    }
+}

@@ -1,0 +1,197 @@
+//! UDP headers (RFC 768) with pseudo-header checksums.
+
+use std::net::Ipv4Addr;
+
+use crate::checksum::Checksum;
+use crate::ipv4::PROTO_UDP;
+use crate::{PacketError, Result};
+
+/// Length of a UDP header.
+pub const UDP_HEADER_LEN: usize = 8;
+
+/// A parsed UDP header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UdpHeader {
+    /// Source port.
+    pub src_port: u16,
+    /// Destination port.
+    pub dst_port: u16,
+    /// Length field: header plus payload.
+    pub length: u16,
+}
+
+fn pseudo_header_sum(src: Ipv4Addr, dst: Ipv4Addr, udp_len: u16) -> Checksum {
+    let mut ck = Checksum::new();
+    ck.add_bytes(&src.octets());
+    ck.add_bytes(&dst.octets());
+    ck.add_u16(PROTO_UDP as u16);
+    ck.add_u16(udp_len);
+    ck
+}
+
+impl UdpHeader {
+    /// Builds a header for `payload_len` bytes of payload.
+    pub fn for_payload(src_port: u16, dst_port: u16, payload_len: usize) -> Result<Self> {
+        let length = payload_len
+            .checked_add(UDP_HEADER_LEN)
+            .filter(|&l| l <= u16::MAX as usize)
+            .ok_or(PacketError::BadField {
+                layer: "udp",
+                field: "length",
+            })?;
+        Ok(UdpHeader {
+            src_port,
+            dst_port,
+            length: length as u16,
+        })
+    }
+
+    /// Serialises header and checksum into `out`, which must already
+    /// contain the payload at `out[UDP_HEADER_LEN..]`.
+    ///
+    /// The checksum covers the IPv4 pseudo-header, so the addresses are
+    /// required.
+    pub fn write(&self, src: Ipv4Addr, dst: Ipv4Addr, out: &mut [u8]) -> Result<usize> {
+        let need = self.length as usize;
+        if out.len() < need {
+            return Err(PacketError::Truncated {
+                layer: "udp",
+                need,
+                have: out.len(),
+            });
+        }
+        out[0..2].copy_from_slice(&self.src_port.to_be_bytes());
+        out[2..4].copy_from_slice(&self.dst_port.to_be_bytes());
+        out[4..6].copy_from_slice(&self.length.to_be_bytes());
+        out[6..8].fill(0);
+        let mut ck = pseudo_header_sum(src, dst, self.length);
+        ck.add_bytes(&out[..need]);
+        let mut sum = ck.finish();
+        if sum == 0 {
+            // RFC 768: transmitted zero means "no checksum"; an actual
+            // zero sum is sent as all ones.
+            sum = 0xffff;
+        }
+        out[6..8].copy_from_slice(&sum.to_be_bytes());
+        Ok(UDP_HEADER_LEN)
+    }
+
+    /// Parses and verifies a UDP datagram at the front of `data`.
+    ///
+    /// Returns the header and the payload slice.
+    pub fn parse(src: Ipv4Addr, dst: Ipv4Addr, data: &[u8]) -> Result<(Self, &[u8])> {
+        if data.len() < UDP_HEADER_LEN {
+            return Err(PacketError::Truncated {
+                layer: "udp",
+                need: UDP_HEADER_LEN,
+                have: data.len(),
+            });
+        }
+        let length = u16::from_be_bytes([data[4], data[5]]) as usize;
+        if length < UDP_HEADER_LEN || length > data.len() {
+            return Err(PacketError::Truncated {
+                layer: "udp",
+                need: length.max(UDP_HEADER_LEN),
+                have: data.len(),
+            });
+        }
+        let wire_ck = u16::from_be_bytes([data[6], data[7]]);
+        if wire_ck != 0 {
+            let mut ck = pseudo_header_sum(src, dst, length as u16);
+            ck.add_bytes(&data[..length]);
+            if ck.finish() != 0 {
+                return Err(PacketError::BadChecksum { layer: "udp" });
+            }
+        }
+        let header = UdpHeader {
+            src_port: u16::from_be_bytes([data[0], data[1]]),
+            dst_port: u16::from_be_bytes([data[2], data[3]]),
+            length: length as u16,
+        };
+        Ok((header, &data[UDP_HEADER_LEN..length]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SRC: Ipv4Addr = Ipv4Addr::new(192, 168, 1, 1);
+    const DST: Ipv4Addr = Ipv4Addr::new(192, 168, 1, 2);
+
+    fn build(payload: &[u8]) -> Vec<u8> {
+        let h = UdpHeader::for_payload(1111, 2222, payload.len()).unwrap();
+        let mut buf = vec![0u8; UDP_HEADER_LEN + payload.len()];
+        buf[UDP_HEADER_LEN..].copy_from_slice(payload);
+        h.write(SRC, DST, &mut buf).unwrap();
+        buf
+    }
+
+    #[test]
+    fn round_trip_with_payload() {
+        let buf = build(b"hello lauberhorn");
+        let (h, payload) = UdpHeader::parse(SRC, DST, &buf).unwrap();
+        assert_eq!(h.src_port, 1111);
+        assert_eq!(h.dst_port, 2222);
+        assert_eq!(payload, b"hello lauberhorn");
+    }
+
+    #[test]
+    fn corrupt_payload_fails_checksum() {
+        let mut buf = build(b"data");
+        *buf.last_mut().unwrap() ^= 0x01;
+        assert_eq!(
+            UdpHeader::parse(SRC, DST, &buf),
+            Err(PacketError::BadChecksum { layer: "udp" })
+        );
+    }
+
+    #[test]
+    fn wrong_pseudo_header_fails_checksum() {
+        let buf = build(b"data");
+        let other = Ipv4Addr::new(10, 9, 8, 7);
+        assert_eq!(
+            UdpHeader::parse(other, DST, &buf),
+            Err(PacketError::BadChecksum { layer: "udp" })
+        );
+    }
+
+    #[test]
+    fn zero_checksum_skips_verification() {
+        let mut buf = build(b"data");
+        buf[6] = 0;
+        buf[7] = 0;
+        // Zero wire checksum means "not computed" and must parse.
+        assert!(UdpHeader::parse(SRC, DST, &buf).is_ok());
+    }
+
+    #[test]
+    fn empty_payload() {
+        let buf = build(b"");
+        let (h, payload) = UdpHeader::parse(SRC, DST, &buf).unwrap();
+        assert_eq!(h.length as usize, UDP_HEADER_LEN);
+        assert!(payload.is_empty());
+    }
+
+    #[test]
+    fn length_field_bounds_are_checked() {
+        let mut buf = build(b"abcdef");
+        // Claim a longer datagram than the buffer holds.
+        buf[4..6].copy_from_slice(&100u16.to_be_bytes());
+        assert!(matches!(
+            UdpHeader::parse(SRC, DST, &buf),
+            Err(PacketError::Truncated { layer: "udp", .. })
+        ));
+        // Claim a shorter-than-header length.
+        buf[4..6].copy_from_slice(&4u16.to_be_bytes());
+        assert!(UdpHeader::parse(SRC, DST, &buf).is_err());
+    }
+
+    #[test]
+    fn trailing_bytes_beyond_length_ignored() {
+        let mut buf = build(b"xyz");
+        buf.extend_from_slice(b"garbage");
+        let (_, payload) = UdpHeader::parse(SRC, DST, &buf).unwrap();
+        assert_eq!(payload, b"xyz");
+    }
+}

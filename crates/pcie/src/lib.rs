@@ -1,0 +1,26 @@
+//! PCIe-era device interaction models.
+//!
+//! Figure 1 of the paper — "the traditional NIC paradigm" — is built
+//! from exactly three mechanisms, all modelled here:
+//!
+//! * [`link`] — MMIO doorbells and DMA transfers over a PCIe link, with
+//!   TLP segmentation and per-generation latency/bandwidth calibration.
+//! * [`msix`] — MSI-X interrupt vectors with masking and per-vector
+//!   steering.
+//! * [`iommu`] — the IOMMU/SMMU: IOVA→physical page tables, an IOTLB,
+//!   translation faults. Section 3 of the paper discusses how the
+//!   IOMMU's two conflated roles (translation convenience vs.
+//!   firewalling an untrusted device) cemented the OS/NIC split; the
+//!   DMA baseline pays its translation costs on every descriptor and
+//!   payload access.
+//!
+//! The `lauberhorn-nic-dma` crate composes these into a complete
+//! descriptor-ring NIC.
+
+pub mod iommu;
+pub mod link;
+pub mod msix;
+
+pub use iommu::{Iommu, IommuError, IommuStats};
+pub use link::{PcieGen, PcieLink};
+pub use msix::{MsixTable, MsixVector};

@@ -1,0 +1,167 @@
+//! PCIe link latency and bandwidth model.
+//!
+//! Calibration sources: published round-trip measurements of MMIO reads
+//! (≈ 1 µs on FPGA endpoints, 500–800 ns on ASIC NICs), DMA read
+//! round trips (≈ 600–900 ns), and posted-write delivery (≈ 300 ns).
+//! Enzian's FPGA PCIe endpoint (Gen3 x8, the paper's DMA comparison
+//! point in Figure 2) sits at the slow end; a modern server NIC
+//! (Gen4 x16) at the fast end.
+
+use lauberhorn_sim::SimDuration;
+
+/// PCIe generation; fixes per-lane bandwidth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PcieGen {
+    /// 8 GT/s per lane (128b/130b): ~0.985 GB/s/lane.
+    Gen3,
+    /// 16 GT/s per lane: ~1.969 GB/s/lane.
+    Gen4,
+    /// 32 GT/s per lane: ~3.938 GB/s/lane.
+    Gen5,
+}
+
+impl PcieGen {
+    /// Usable payload bandwidth per lane in bytes/second (after
+    /// 128b/130b coding; protocol overhead is charged per TLP instead).
+    pub fn lane_bandwidth(self) -> f64 {
+        match self {
+            PcieGen::Gen3 => 0.985e9,
+            PcieGen::Gen4 => 1.969e9,
+            PcieGen::Gen5 => 3.938e9,
+        }
+    }
+}
+
+/// One PCIe link between host and device.
+#[derive(Debug, Clone, Copy)]
+pub struct PcieLink {
+    /// Link generation.
+    pub gen: PcieGen,
+    /// Lane count (x4/x8/x16).
+    pub lanes: u32,
+    /// Max TLP payload size in bytes (typically 256 or 512).
+    pub max_payload: usize,
+    /// Latency for a posted MMIO write to reach the device (doorbell).
+    pub mmio_write_delivery: SimDuration,
+    /// CPU-side cost to issue a posted write (store + write-combining
+    /// drain), charged to the issuing core.
+    pub mmio_write_cpu: SimDuration,
+    /// Round-trip latency of an MMIO read (non-posted, CPU stalls).
+    pub mmio_read_rtt: SimDuration,
+    /// Round-trip latency of a device-initiated DMA read (descriptor or
+    /// payload fetch) for the first TLP.
+    pub dma_read_rtt: SimDuration,
+    /// One-way delivery latency of a device-initiated DMA write (first
+    /// TLP).
+    pub dma_write_delivery: SimDuration,
+}
+
+impl PcieLink {
+    /// Enzian's FPGA PCIe endpoint: Gen3 x8, FPGA-added latency.
+    pub fn enzian_fpga() -> Self {
+        PcieLink {
+            gen: PcieGen::Gen3,
+            lanes: 8,
+            max_payload: 256,
+            mmio_write_delivery: SimDuration::from_ns(500),
+            mmio_write_cpu: SimDuration::from_ns(60),
+            mmio_read_rtt: SimDuration::from_ns(1200),
+            dma_read_rtt: SimDuration::from_ns(900),
+            dma_write_delivery: SimDuration::from_ns(500),
+        }
+    }
+
+    /// A modern server ASIC NIC: Gen4 x16.
+    pub fn modern_server() -> Self {
+        PcieLink {
+            gen: PcieGen::Gen4,
+            lanes: 16,
+            max_payload: 512,
+            mmio_write_delivery: SimDuration::from_ns(300),
+            mmio_write_cpu: SimDuration::from_ns(40),
+            mmio_read_rtt: SimDuration::from_ns(700),
+            dma_read_rtt: SimDuration::from_ns(600),
+            dma_write_delivery: SimDuration::from_ns(300),
+        }
+    }
+
+    /// Total usable bandwidth in bytes/second.
+    pub fn bandwidth(&self) -> f64 {
+        self.gen.lane_bandwidth() * self.lanes as f64
+    }
+
+    /// Number of TLPs needed for `bytes` of payload.
+    pub fn tlp_count(&self, bytes: usize) -> usize {
+        bytes.div_ceil(self.max_payload).max(1)
+    }
+
+    /// Serialization time for `bytes` of payload moved in one direction,
+    /// including ~24 B of TLP header/framing overhead per TLP.
+    pub fn serialize_time(&self, bytes: usize) -> SimDuration {
+        let tlps = self.tlp_count(bytes);
+        let on_wire = bytes + tlps * 24;
+        SimDuration::from_ns_f64(on_wire as f64 / self.bandwidth() * 1e9)
+    }
+
+    /// Total time for a device-initiated DMA write of `bytes`: first-TLP
+    /// latency plus serialization of the remainder.
+    pub fn dma_write_time(&self, bytes: usize) -> SimDuration {
+        self.dma_write_delivery + self.serialize_time(bytes)
+    }
+
+    /// Total time for a device-initiated DMA read of `bytes` (request,
+    /// then completions streaming back).
+    pub fn dma_read_time(&self, bytes: usize) -> SimDuration {
+        self.dma_read_rtt + self.serialize_time(bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generations_order_bandwidth() {
+        assert!(PcieGen::Gen3.lane_bandwidth() < PcieGen::Gen4.lane_bandwidth());
+        assert!(PcieGen::Gen4.lane_bandwidth() < PcieGen::Gen5.lane_bandwidth());
+    }
+
+    #[test]
+    fn modern_link_is_faster_than_enzian_fpga() {
+        let e = PcieLink::enzian_fpga();
+        let m = PcieLink::modern_server();
+        assert!(m.mmio_read_rtt < e.mmio_read_rtt);
+        assert!(m.dma_read_rtt < e.dma_read_rtt);
+        assert!(m.bandwidth() > e.bandwidth());
+    }
+
+    #[test]
+    fn tlp_segmentation() {
+        let l = PcieLink::enzian_fpga(); // 256 B payloads.
+        assert_eq!(l.tlp_count(0), 1);
+        assert_eq!(l.tlp_count(256), 1);
+        assert_eq!(l.tlp_count(257), 2);
+        assert_eq!(l.tlp_count(4096), 16);
+    }
+
+    #[test]
+    fn serialization_scales_with_size() {
+        let l = PcieLink::modern_server();
+        let small = l.serialize_time(64);
+        let big = l.serialize_time(64 * 1024);
+        assert!(big > small * 100);
+        // 64 KiB over ~31.5 GB/s is about 2 µs.
+        let us = big.as_us_f64();
+        assert!((1.5..4.0).contains(&us), "64 KiB took {us} us");
+    }
+
+    #[test]
+    fn dma_latency_dominated_by_first_tlp_for_small_transfers() {
+        let l = PcieLink::enzian_fpga();
+        let t64 = l.dma_write_time(64);
+        // A 64 B write is essentially the base delivery latency.
+        assert!(t64 < l.dma_write_delivery + SimDuration::from_ns(100));
+        // Reads cost a round trip and are slower than writes.
+        assert!(l.dma_read_time(64) > t64);
+    }
+}

@@ -1,0 +1,33 @@
+//! Whole-machine RPC simulations.
+//!
+//! This crate composes every substrate into three complete server
+//! stacks and runs workloads through them:
+//!
+//! * [`sim_lauberhorn`] — the paper's system: a Lauberhorn NIC on a
+//!   cache-coherent fabric, cores alternating between the Figure 5
+//!   kernel dispatch loop and per-process user loops, blocked loads
+//!   instead of polling.
+//! * [`sim_bypass`] — the kernel-bypass baseline: a DMA NIC with
+//!   flow-director steering, dedicated spinning cores, static
+//!   service↔core bindings with costly rebinds.
+//! * [`sim_kernel`] — the traditional kernel stack: the same DMA NIC
+//!   with RSS, interrupts, softirq processing, socket wakeups, and
+//!   context switches.
+//!
+//! All three consume the same [`spec`] service definitions and
+//! [`wire`]-level request frames, and produce the same [`report`]
+//! metrics, so every experiment is an apples-to-apples comparison over
+//! identical byte streams.
+
+pub mod report;
+pub mod sim_bypass;
+pub mod sim_kernel;
+pub mod sim_lauberhorn;
+pub mod spec;
+pub mod wire;
+
+pub use report::Report;
+pub use sim_bypass::BypassSim;
+pub use sim_kernel::KernelSim;
+pub use sim_lauberhorn::LauberhornSim;
+pub use spec::{ServiceSpec, WorkloadSpec};

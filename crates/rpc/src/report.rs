@@ -1,0 +1,161 @@
+//! Experiment results, comparable across all three stacks.
+
+use lauberhorn_sim::energy::CycleAccount;
+use lauberhorn_sim::{Histogram, SimDuration, Summary};
+use serde::Serialize;
+
+/// Metrics from one simulation run.
+#[derive(Debug, Clone, Serialize)]
+pub struct Report {
+    /// Stack name.
+    pub stack: String,
+    /// Requests offered by the generator.
+    pub offered: u64,
+    /// Requests completed (response received by the client).
+    pub completed: u64,
+    /// Requests dropped anywhere in the stack.
+    pub dropped: u64,
+    /// Simulated duration.
+    pub duration: SimDuration,
+    /// Client-observed round-trip latency (picosecond samples).
+    pub rtt: Summary,
+    /// Server end-system latency: NIC arrival → response leaving.
+    pub end_system: Summary,
+    /// Dispatch latency: NIC arrival → handler start.
+    pub dispatch: Summary,
+    /// Mean CPU cycles of software work per completed request
+    /// (excludes handler cycles — this is the *stack overhead*).
+    pub sw_cycles_per_req: f64,
+    /// Aggregate core-time split over the run.
+    pub energy: CycleAccount,
+    /// Relative dynamic-energy proxy (see `CycleAccount::energy_proxy`).
+    pub energy_proxy: f64,
+    /// Coherence-fabric / PCIe message count (bus traffic).
+    pub fabric_messages: u64,
+    /// `(request_id, response payload)` pairs, when the workload set
+    /// `record_responses` (application-logic verification).
+    pub recorded: Vec<(u64, Vec<u8>)>,
+}
+
+impl Report {
+    /// Completed requests per second.
+    pub fn throughput_rps(&self) -> f64 {
+        let s = self.duration.as_secs_f64();
+        if s == 0.0 {
+            0.0
+        } else {
+            self.completed as f64 / s
+        }
+    }
+
+    /// One summary line per stack, for experiment tables.
+    pub fn row(&self) -> String {
+        format!(
+            "{:<22} n={:<7} rtt_p50={:>8.2}us rtt_p99={:>8.2}us endsys_p50={:>8.2}us disp_p50={:>8.2}us sw_cyc/req={:>7.0} act={:>5.1}% xput={:>10.0}rps",
+            self.stack,
+            self.completed,
+            self.rtt.p50_us(),
+            self.rtt.p99_us(),
+            self.end_system.p50_us(),
+            self.dispatch.p50_us(),
+            self.sw_cycles_per_req,
+            self.energy.active_fraction() * 100.0,
+            self.throughput_rps(),
+        )
+    }
+}
+
+/// Accumulates per-request measurements during a run.
+#[derive(Debug, Default)]
+pub struct MetricsCollector {
+    /// Client RTTs.
+    pub rtt: Histogram,
+    /// Server end-system latencies.
+    pub end_system: Histogram,
+    /// Dispatch latencies.
+    pub dispatch: Histogram,
+    /// Offered requests.
+    pub offered: u64,
+    /// Completed requests.
+    pub completed: u64,
+    /// Dropped requests.
+    pub dropped: u64,
+    /// Software overhead cycles (stack work, not handlers).
+    pub sw_cycles: u64,
+    /// Completions counted toward `sw_cycles` (warmed only).
+    pub measured: u64,
+    /// Recorded responses (when requested by the workload).
+    pub recorded: Vec<(u64, Vec<u8>)>,
+}
+
+impl MetricsCollector {
+    /// Finalises into a [`Report`].
+    pub fn finish(
+        self,
+        stack: impl Into<String>,
+        duration: SimDuration,
+        energy: CycleAccount,
+        fabric_messages: u64,
+    ) -> Report {
+        Report {
+            stack: stack.into(),
+            offered: self.offered,
+            completed: self.completed,
+            dropped: self.dropped,
+            duration,
+            rtt: self.rtt.summary(),
+            end_system: self.end_system.summary(),
+            dispatch: self.dispatch.summary(),
+            sw_cycles_per_req: if self.measured == 0 {
+                0.0
+            } else {
+                self.sw_cycles as f64 / self.measured as f64
+            },
+            energy_proxy: energy.energy_proxy(),
+            energy,
+            fabric_messages,
+            recorded: self.recorded,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lauberhorn_sim::SimTime;
+
+    #[test]
+    fn throughput_math() {
+        let m = MetricsCollector {
+            completed: 1000,
+            offered: 1000,
+            ..Default::default()
+        };
+        let r = m.finish(
+            "test",
+            SimTime::from_ms(100) - SimTime::ZERO,
+            CycleAccount::default(),
+            0,
+        );
+        assert!((r.throughput_rps() - 10_000.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn sw_cycles_averaged_over_measured() {
+        let m = MetricsCollector {
+            sw_cycles: 5000,
+            measured: 10,
+            completed: 12,
+            ..Default::default()
+        };
+        let r = m.finish("t", SimDuration::from_ms(1), CycleAccount::default(), 0);
+        assert_eq!(r.sw_cycles_per_req, 500.0);
+    }
+
+    #[test]
+    fn row_renders() {
+        let m = MetricsCollector::default();
+        let r = m.finish("kernel", SimDuration::from_ms(1), CycleAccount::default(), 0);
+        assert!(r.row().contains("kernel"));
+    }
+}

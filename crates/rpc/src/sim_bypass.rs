@@ -1,0 +1,501 @@
+//! The kernel-bypass machine simulation.
+//!
+//! An IX/Demikernel/DPDK-style dataplane: each dedicated core busy-polls
+//! one RX queue on the DMA NIC; flows are steered to queues by
+//! exact-match flow-director rules programmed per service; handlers run
+//! to completion on the owning core. The strengths (no interrupts, no
+//! kernel, no context switches) and the weaknesses (cores burn cycles
+//! while idle; requests for unbound services are dropped; changing a
+//! binding costs a control-plane operation and a drain window) both
+//! fall out of the structure.
+
+use std::collections::{HashMap, VecDeque};
+
+use lauberhorn_baseline::{BindingManager, FlowDirector, RebindCost};
+use lauberhorn_nic_dma::nic::RxDrop;
+use lauberhorn_nic_dma::ring::{RxDescriptor, TxDescriptor};
+use lauberhorn_nic_dma::{DmaNic, DmaNicConfig};
+use lauberhorn_os::CostModel;
+use lauberhorn_packet::frame::{EndpointAddr, FRAME_OVERHEAD};
+use lauberhorn_packet::rpcwire::RPC_HEADER_LEN;
+use lauberhorn_sim::energy::{CoreState, EnergyMeter};
+use lauberhorn_sim::{EventQueue, SimDuration, SimRng, SimTime};
+
+use crate::report::{MetricsCollector, Report};
+use crate::spec::{LoadMode, ServiceSpec, WorkloadSpec};
+use crate::wire::{build_request, RequestTimes, WireModel};
+
+/// Base UDP port: service `s` listens on `BASE_PORT + s`.
+pub const BASE_PORT: u16 = 10_000;
+
+/// Which machine the bypass stack runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BypassMachine {
+    /// A modern x86 server with a Gen4 NIC (the usual bypass target).
+    ModernServer,
+    /// Enzian's FPGA as a conventional PCIe DMA NIC (Figure 2's
+    /// same-machine DMA series).
+    EnzianFpga,
+}
+
+/// Configuration.
+#[derive(Debug, Clone)]
+pub struct BypassSimConfig {
+    /// Machine model.
+    pub machine: BypassMachine,
+    /// Dedicated dataplane cores (one RX queue each).
+    pub cores: usize,
+    /// Rebind cost model.
+    pub rebind: RebindCost,
+    /// Rebind hot services to cores at every mix epoch (the policy a
+    /// static stack is forced into under a rotating hot set);
+    /// otherwise bindings are fixed at start.
+    pub rebind_on_epoch: bool,
+    /// Network model.
+    pub wire: WireModel,
+}
+
+impl BypassSimConfig {
+    /// Bypass on a modern server.
+    pub fn modern(cores: usize) -> Self {
+        BypassSimConfig {
+            machine: BypassMachine::ModernServer,
+            cores,
+            rebind: RebindCost::default(),
+            rebind_on_epoch: false,
+            wire: WireModel::same_rack_100g(),
+        }
+    }
+
+    /// Bypass on Enzian's PCIe DMA path.
+    pub fn enzian(cores: usize) -> Self {
+        BypassSimConfig {
+            machine: BypassMachine::EnzianFpga,
+            ..Self::modern(cores)
+        }
+    }
+}
+
+#[derive(Debug)]
+struct PendingPkt {
+    ready_at: SimTime,
+    request_id: u64,
+    service: u16,
+    payload_len: usize,
+}
+
+#[derive(Debug)]
+enum Ev {
+    Gen { client: usize },
+    FrameAtNic { raw: Vec<u8>, request_id: u64 },
+    CoreCheck { core: usize },
+    HandlerDone { core: usize, request_id: u64, service: u16 },
+    ResponseAtClient { request_id: u64 },
+    EpochRebind,
+}
+
+/// The bypass server simulation.
+pub struct BypassSim {
+    cfg: BypassSimConfig,
+    cost: CostModel,
+    services: Vec<ServiceSpec>,
+    nic: DmaNic,
+    fdir: FlowDirector,
+    bindings: BindingManager,
+    energy: EnergyMeter,
+    pending: Vec<VecDeque<PendingPkt>>,
+    busy_until: Vec<SimTime>,
+    check_scheduled: Vec<bool>,
+    q: EventQueue<Ev>,
+    rng: SimRng,
+    times: HashMap<u64, RequestTimes>,
+    client_of: HashMap<u64, usize>,
+    next_request_id: u64,
+    next_buf: u64,
+    metrics: MetricsCollector,
+    end_of_load: SimTime,
+    hard_end: SimTime,
+    server_ip: EndpointAddr,
+    client_addr: EndpointAddr,
+}
+
+impl BypassSim {
+    /// Builds the dataplane and binds every service round-robin over
+    /// the dedicated cores.
+    pub fn new(cfg: BypassSimConfig, services: Vec<ServiceSpec>) -> Self {
+        let nic_cfg = match cfg.machine {
+            BypassMachine::ModernServer => DmaNicConfig {
+                // Bypass masks interrupts and polls.
+                interrupt_holdoff: SimDuration::ZERO,
+                ..DmaNicConfig::modern_server(cfg.cores as u32)
+            },
+            BypassMachine::EnzianFpga => DmaNicConfig {
+                interrupt_holdoff: SimDuration::ZERO,
+                ..DmaNicConfig::enzian_fpga(cfg.cores as u32)
+            },
+        };
+        let mut nic = DmaNic::new(nic_cfg);
+        // Map a large buffer arena and post descriptors everywhere.
+        nic.iommu_mut().map(0x100_0000, 0x100_0000, 256 << 20, true);
+        for qi in 0..cfg.cores as u32 {
+            for b in 0..128u64 {
+                nic.post_rx(
+                    qi,
+                    RxDescriptor {
+                        buf_iova: 0x100_0000 + (qi as u64 * 128 + b) * 16384,
+                        buf_len: 16384,
+                    },
+                )
+                .expect("fresh ring has room");
+            }
+            nic.mask_queue(qi); // Polled mode: interrupts never fire.
+        }
+        let mut fdir = FlowDirector::new(4096);
+        let mut bindings = BindingManager::new(cfg.cores, cfg.rebind);
+        for (i, s) in services.iter().enumerate() {
+            let core = i % cfg.cores;
+            bindings.bind(s.service_id, core, SimTime::ZERO);
+            fdir.program(BASE_PORT + s.service_id, core as u32)
+                .expect("table sized for the experiments");
+        }
+        let cost = match cfg.machine {
+            BypassMachine::ModernServer => CostModel::linux_server(),
+            BypassMachine::EnzianFpga => CostModel::enzian(),
+        };
+        BypassSim {
+            cost,
+            nic,
+            fdir,
+            bindings,
+            energy: EnergyMeter::new(cfg.cores),
+            pending: (0..cfg.cores).map(|_| VecDeque::new()).collect(),
+            busy_until: vec![SimTime::ZERO; cfg.cores],
+            check_scheduled: vec![false; cfg.cores],
+            q: EventQueue::new(),
+            rng: SimRng::root(0),
+            times: HashMap::new(),
+            client_of: HashMap::new(),
+            next_request_id: 0,
+            next_buf: 0,
+            metrics: MetricsCollector::default(),
+            end_of_load: SimTime::ZERO,
+            hard_end: SimTime::ZERO,
+            server_ip: EndpointAddr::host(1, BASE_PORT),
+            client_addr: EndpointAddr::host(2, 7000),
+            services,
+            cfg,
+        }
+    }
+
+    /// Read access to the NIC.
+    pub fn nic(&self) -> &DmaNic {
+        &self.nic
+    }
+
+    /// Rebinds performed over the run.
+    pub fn rebinds(&self) -> u64 {
+        self.bindings.rebinds()
+    }
+
+    fn spec_of(&self, service: u16) -> &ServiceSpec {
+        self.services
+            .iter()
+            .find(|s| s.service_id == service)
+            .expect("request targets a registered service")
+    }
+
+    fn schedule_check(&mut self, core: usize, at: SimTime) {
+        if !self.check_scheduled[core] {
+            self.check_scheduled[core] = true;
+            self.q.schedule(at, Ev::CoreCheck { core });
+        }
+    }
+
+    fn send_request(&mut self, client: usize, now: SimTime, workload: &WorkloadSpec) {
+        let request_id = self.next_request_id;
+        self.next_request_id += 1;
+        let service = workload.mix.sample(&mut self.rng, now);
+        let size = workload.request_bytes.sample(&mut self.rng);
+        let payload: Vec<u8> = (0..size).map(|i| (i as u8) ^ (request_id as u8)).collect();
+        let server = EndpointAddr {
+            port: BASE_PORT + service,
+            ..self.server_ip
+        };
+        let raw = build_request(
+            self.client_addr,
+            server,
+            service,
+            0,
+            request_id,
+            &payload,
+            0,
+        );
+        self.metrics.offered += 1;
+        self.times.insert(
+            request_id,
+            RequestTimes {
+                sent: now,
+                ..Default::default()
+            },
+        );
+        self.client_of.insert(request_id, client);
+        let arrive = now + self.cfg.wire.deliver(raw.len());
+        self.q.schedule(arrive, Ev::FrameAtNic { raw, request_id });
+    }
+
+    fn on_frame(&mut self, raw: Vec<u8>, request_id: u64, now: SimTime) {
+        if let Some(t) = self.times.get_mut(&request_id) {
+            t.nic_arrival = now;
+        }
+        // Steering: exact-match rule, else drop (no kernel to fall back
+        // to in a pure bypass deployment).
+        let frame = lauberhorn_packet::parse_udp_frame(&raw).expect("client built a valid frame");
+        let Some(queue) = self.fdir.steer(frame.udp.dst_port) else {
+            self.metrics.dropped += 1;
+            self.times.remove(&request_id);
+            return;
+        };
+        let service = frame.udp.dst_port - BASE_PORT;
+        let payload_len = raw.len() - FRAME_OVERHEAD - RPC_HEADER_LEN;
+        match self.nic.rx_packet_steered(now, &raw, queue) {
+            Ok(delivery) => {
+                // The driver recycles the buffer (refill happens in the
+                // poll loop on real systems; the copy to user space has
+                // completed by then).
+                self.nic
+                    .post_rx(queue, delivery.desc)
+                    .expect("slot was just freed");
+                let core = queue as usize;
+                self.pending[core].push_back(PendingPkt {
+                    ready_at: delivery.ready_at,
+                    request_id,
+                    service,
+                    payload_len,
+                });
+                self.schedule_check(core, delivery.ready_at);
+            }
+            Err(RxDrop::NoDescriptor { .. }) => {
+                self.metrics.dropped += 1;
+                self.times.remove(&request_id);
+            }
+            Err(e) => unreachable!("rx failed: {e:?}"),
+        }
+    }
+
+    fn on_core_check(&mut self, core: usize, now: SimTime) {
+        self.check_scheduled[core] = false;
+        let Some(front) = self.pending[core].front() else {
+            return;
+        };
+        let service = front.service;
+        let ready_at = front.ready_at;
+        // The service may be mid-rebind (drain window).
+        let bind_ok = self.bindings.available(service, now);
+        let start = now.max(self.busy_until[core]).max(ready_at);
+        if start > now || !bind_ok {
+            let retry = if bind_ok {
+                start
+            } else {
+                now + SimDuration::from_us(5)
+            };
+            self.schedule_check(core, retry);
+            return;
+        }
+        let pkt = self.pending[core].pop_front().expect("front existed");
+        // The bypass receive path: one poll iteration found the packet,
+        // minimal user-space protocol handling, dispatch, software
+        // unmarshal (no NIC offload here), then the handler.
+        let m = &self.cost;
+        let sw = m.poll_iteration + 250 + 30 + m.unmarshal(pkt.payload_len) + 60;
+        let spec_time = self.spec_of(service).service_time;
+        let handler = spec_time.sample(&mut self.rng);
+        if let Some(t) = self.times.get_mut(&pkt.request_id) {
+            t.handler_start = now + self.cost.cycles(sw);
+        }
+        self.metrics.sw_cycles += sw + m.copy(self.spec_of(service).response_bytes);
+        let done = now + self.cost.cycles(sw + handler);
+        self.busy_until[core] = done;
+        self.q.schedule(
+            done,
+            Ev::HandlerDone {
+                core,
+                request_id: pkt.request_id,
+                service,
+            },
+        );
+    }
+
+    fn on_handler_done(&mut self, core: usize, request_id: u64, service: u16, now: SimTime) {
+        // Transmit the response: build descriptor, ring the doorbell.
+        let resp_len = self.spec_of(service).response_bytes;
+        let frame_len = FRAME_OVERHEAD + RPC_HEADER_LEN + resp_len;
+        self.next_buf = (self.next_buf + 1) % 1024;
+        let tx_done = match self.nic.tx_packet(
+            now + self.nic.doorbell_cost(),
+            TxDescriptor {
+                buf_iova: 0x100_0000 + self.next_buf * 16384,
+                len: frame_len as u32,
+            },
+        ) {
+            Ok(t) => t,
+            Err(e) => unreachable!("tx failed: {e:?}"),
+        };
+        if let Some(t) = self.times.get_mut(&request_id) {
+            t.handler_end = now;
+            t.response_tx = tx_done;
+        }
+        let arrive = tx_done + self.cfg.wire.deliver(frame_len);
+        self.q.schedule(arrive, Ev::ResponseAtClient { request_id });
+        self.busy_until[core] = self.busy_until[core].max(now + self.nic.doorbell_cost());
+        // Back to polling.
+        if !self.pending[core].is_empty() {
+            self.schedule_check(core, self.busy_until[core]);
+        }
+    }
+
+    fn on_epoch_rebind(&mut self, now: SimTime, workload: &WorkloadSpec) {
+        // The forced reconfiguration of a static stack under a rotating
+        // hot set: put the top-`cores` services on dedicated cores.
+        let hot = workload.mix.hot_set(self.cfg.cores, now);
+        for (i, s) in hot.iter().enumerate() {
+            self.bindings.bind(*s, i, now);
+            self.fdir
+                .program(BASE_PORT + s, i as u32)
+                .expect("table capacity");
+        }
+    }
+
+    /// The epoch length of `workload`'s mix, in picoseconds, found by
+    /// bisecting `epoch_at`.
+    fn epoch_len_ps(workload: &WorkloadSpec) -> u64 {
+        let mut hi = 1u64;
+        while workload.mix.epoch_at(SimTime::from_ps(hi)) == 0 {
+            if hi > u64::MAX / 2 {
+                return u64::MAX;
+            }
+            hi *= 2;
+        }
+        let mut lo = hi / 2;
+        while lo + 1 < hi {
+            let mid = lo + (hi - lo) / 2;
+            if workload.mix.epoch_at(SimTime::from_ps(mid)) == 0 {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        hi
+    }
+
+    /// Runs `workload` and reports.
+    pub fn run(&mut self, workload: &WorkloadSpec) -> Report {
+        self.rng = SimRng::stream(workload.seed, "bypass");
+        self.end_of_load = SimTime::ZERO + workload.duration;
+        self.hard_end = self.end_of_load + SimDuration::from_ms(20);
+        // Dedicated cores spin from t = 0 to the end: always Active.
+        for c in 0..self.cfg.cores {
+            self.energy.set_state(c, CoreState::Active, SimTime::ZERO);
+        }
+        match &workload.mode {
+            LoadMode::Open { .. } => {
+                self.q.schedule(SimTime::from_ns(1), Ev::Gen { client: 0 });
+            }
+            LoadMode::Closed { clients, .. } => {
+                for c in 0..*clients {
+                    self.q
+                        .schedule(SimTime::from_ns(1 + c as u64 * 100), Ev::Gen { client: c });
+                }
+            }
+        }
+        if self.cfg.rebind_on_epoch {
+            let epoch_ps = Self::epoch_len_ps(workload);
+            let mut t = epoch_ps;
+            while epoch_ps != u64::MAX && SimTime::from_ps(t) <= self.end_of_load {
+                self.q.schedule(SimTime::from_ps(t), Ev::EpochRebind);
+                t = t.saturating_add(epoch_ps);
+            }
+        }
+        let mut arrivals = match &workload.mode {
+            LoadMode::Open { arrivals } => Some(arrivals.clone()),
+            LoadMode::Closed { .. } => None,
+        };
+        while let Some((now, ev)) = self.q.pop() {
+            if now > self.hard_end {
+                break;
+            }
+            // Once the load is over and every offered request has been
+            // accounted for, only housekeeping (TRYAGAIN timers) remains.
+            if now > self.end_of_load
+                && self.metrics.completed + self.metrics.dropped >= self.metrics.offered
+            {
+                break;
+            }
+            match ev {
+                Ev::Gen { client } => {
+                    if now <= self.end_of_load {
+                        self.send_request(client, now, workload);
+                        if let Some(arr) = arrivals.as_mut() {
+                            let gap = arr.next_gap(&mut self.rng);
+                            self.q.schedule(now + gap, Ev::Gen { client });
+                        }
+                    }
+                }
+                Ev::FrameAtNic { raw, request_id } => self.on_frame(raw, request_id, now),
+                Ev::CoreCheck { core } => self.on_core_check(core, now),
+                Ev::HandlerDone {
+                    core,
+                    request_id,
+                    service,
+                } => self.on_handler_done(core, request_id, service, now),
+                Ev::ResponseAtClient { request_id } => {
+                    self.metrics.completed += 1;
+                    let warmed = self.metrics.completed > workload.warmup;
+                    if let Some(times) = self.times.remove(&request_id) {
+                        if warmed {
+                            self.metrics.rtt.record_duration(now.since(times.sent));
+                            self.metrics
+                                .end_system
+                                .record_duration(times.end_system());
+                            self.metrics.dispatch.record_duration(times.dispatch());
+                            self.metrics.measured += 1;
+                        }
+                    }
+                    if let LoadMode::Closed { think, .. } = &workload.mode {
+                        let client = self.client_of.remove(&request_id).unwrap_or(0);
+                        if now + *think <= self.end_of_load {
+                            self.q.schedule(now + *think, Ev::Gen { client });
+                        }
+                    } else {
+                        self.client_of.remove(&request_id);
+                    }
+                }
+                Ev::EpochRebind => self.on_epoch_rebind(now, workload),
+            }
+        }
+        let end = self.q.now().min(self.hard_end);
+        let energy = std::mem::replace(&mut self.energy, EnergyMeter::new(self.cfg.cores));
+        let accounts = energy.finish(end);
+        let mut total = lauberhorn_sim::energy::CycleAccount::default();
+        for a in &accounts {
+            total.merge(a);
+        }
+        // Bus traffic: PCIe transactions ≈ 4 per rx (descriptor fetch,
+        // payload write, completion write, refill) + 3 per tx, plus one
+        // memory poll per spin iteration (the dominant idle-time term).
+        let stats = self.nic.stats();
+        let spin_time: SimDuration = accounts.iter().map(|a| a.active).sum();
+        let per_poll = self.cost.cycles(self.cost.poll_iteration);
+        let spin_reads = spin_time.as_ps() / per_poll.as_ps().max(1);
+        let fabric = stats.rx_delivered * 4 + stats.tx_frames * 3 + spin_reads;
+        let metrics = std::mem::take(&mut self.metrics);
+        metrics.finish(
+            match self.cfg.machine {
+                BypassMachine::ModernServer => "bypass/pc-pcie-dma",
+                BypassMachine::EnzianFpga => "bypass/enzian-pcie-dma",
+            },
+            end.since(SimTime::ZERO),
+            total,
+            fabric,
+        )
+    }
+}

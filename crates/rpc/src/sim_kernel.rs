@@ -1,0 +1,596 @@
+//! The traditional kernel-stack machine simulation.
+//!
+//! The Figure 1 receive path, end to end: the DMA NIC steers by RSS and
+//! DMAs frames into ring buffers; an MSI-X interrupt enters the kernel;
+//! NAPI masks the vector and polls the ring in softirq context; each
+//! packet pays driver + IP + UDP processing and a socket lookup; the
+//! blocked receiver thread is woken through the scheduler (IPI if it
+//! lands on another core); a context switch and a `recvmsg` copyout
+//! later, user space unmarshals and finally calls the handler. The
+//! response pays `sendmsg`, a doorbell, and two DMA reads on the NIC.
+//!
+//! The flexibility the paper credits this design with is real and
+//! modelled: any service runs anywhere, cores sleep when idle, and no
+//! reconfiguration is ever needed — the costs are just paid per packet.
+
+use std::collections::{HashMap, VecDeque};
+
+use lauberhorn_coherence::cache::{Access, SetAssocCache};
+use lauberhorn_coherence::LineAddr;
+use lauberhorn_nic_dma::nic::RxDrop;
+use lauberhorn_nic_dma::ring::{RxDescriptor, TxDescriptor};
+use lauberhorn_nic_dma::{DmaNic, DmaNicConfig};
+use lauberhorn_os::proc::ThreadId;
+use lauberhorn_os::sched::WakeDecision;
+use lauberhorn_os::{CostModel, OsScheduler};
+use lauberhorn_packet::frame::{EndpointAddr, FRAME_OVERHEAD};
+use lauberhorn_packet::rpcwire::RPC_HEADER_LEN;
+use lauberhorn_sim::energy::{CoreState, EnergyMeter};
+use lauberhorn_sim::{EventQueue, SimDuration, SimRng, SimTime};
+
+use crate::report::{MetricsCollector, Report};
+use crate::sim_bypass::BASE_PORT;
+use crate::spec::{LoadMode, ServiceSpec, WorkloadSpec};
+use crate::wire::{build_request, RequestTimes, WireModel};
+
+/// Which machine the kernel stack runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelMachine {
+    /// A modern x86 server.
+    ModernServer,
+    /// Enzian with its FPGA as a conventional PCIe DMA NIC.
+    EnzianFpga,
+}
+
+/// Configuration.
+#[derive(Debug, Clone)]
+pub struct KernelSimConfig {
+    /// Machine model.
+    pub machine: KernelMachine,
+    /// Cores available to the OS.
+    pub cores: usize,
+    /// NAPI poll budget (packets per softirq pass).
+    pub napi_budget: usize,
+    /// Whether the NIC allocates incoming payloads into the LLC
+    /// (DDIO-style). Off, every payload copy misses to DRAM.
+    pub ddio: bool,
+    /// Network model.
+    pub wire: WireModel,
+}
+
+impl KernelSimConfig {
+    /// Kernel stack on a modern server.
+    pub fn modern(cores: usize) -> Self {
+        KernelSimConfig {
+            machine: KernelMachine::ModernServer,
+            cores,
+            napi_budget: 16,
+            ddio: true,
+            wire: WireModel::same_rack_100g(),
+        }
+    }
+
+    /// Kernel stack on Enzian.
+    pub fn enzian(cores: usize) -> Self {
+        KernelSimConfig {
+            machine: KernelMachine::EnzianFpga,
+            ..Self::modern(cores)
+        }
+    }
+}
+
+#[derive(Debug)]
+struct PendingPkt {
+    ready_at: SimTime,
+    request_id: u64,
+    service: u16,
+    payload_len: usize,
+    buf_iova: u64,
+}
+
+#[derive(Debug)]
+enum Ev {
+    Gen { client: usize },
+    FrameAtNic { raw: Vec<u8>, request_id: u64 },
+    Irq { queue: u32, core: usize },
+    SoftirqPoll { queue: u32, core: usize },
+    UserRun { core: usize, service: u16, fresh: bool },
+    HandlerDone { core: usize, request_id: u64, service: u16 },
+    ResponseAtClient { request_id: u64 },
+}
+
+/// The kernel-stack server simulation.
+pub struct KernelSim {
+    cfg: KernelSimConfig,
+    cost: CostModel,
+    services: Vec<ServiceSpec>,
+    nic: DmaNic,
+    sched: OsScheduler,
+    energy: EnergyMeter,
+    pending: Vec<VecDeque<PendingPkt>>,
+    socket_q: HashMap<u16, VecDeque<(u64, usize, u64)>>,
+    /// LLC model for DDIO: did the payload land in cache before the
+    /// copy touches it?
+    llc: SetAssocCache,
+    poll_active: Vec<bool>,
+    busy_until: Vec<SimTime>,
+    q: EventQueue<Ev>,
+    rng: SimRng,
+    times: HashMap<u64, RequestTimes>,
+    client_of: HashMap<u64, usize>,
+    sw_cycles_by_req: HashMap<u64, u64>,
+    next_request_id: u64,
+    next_buf: u64,
+    metrics: MetricsCollector,
+    end_of_load: SimTime,
+    hard_end: SimTime,
+    server_ip: EndpointAddr,
+    client_addr: EndpointAddr,
+}
+
+impl KernelSim {
+    /// Builds the machine; one receiver thread per service, all blocked
+    /// in `recvmsg`.
+    pub fn new(cfg: KernelSimConfig, services: Vec<ServiceSpec>) -> Self {
+        let queues = cfg.cores.min(16) as u32;
+        let nic_cfg = match cfg.machine {
+            KernelMachine::ModernServer => DmaNicConfig {
+                interrupt_holdoff: SimDuration::ZERO, // NAPI masking governs.
+                ..DmaNicConfig::modern_server(queues)
+            },
+            KernelMachine::EnzianFpga => DmaNicConfig {
+                interrupt_holdoff: SimDuration::ZERO,
+                ..DmaNicConfig::enzian_fpga(queues)
+            },
+        };
+        let mut nic = DmaNic::new(nic_cfg);
+        nic.iommu_mut().map(0x100_0000, 0x100_0000, 256 << 20, true);
+        for qi in 0..queues {
+            for b in 0..128u64 {
+                nic.post_rx(
+                    qi,
+                    RxDescriptor {
+                        buf_iova: 0x100_0000 + (qi as u64 * 128 + b) * 16384,
+                        buf_len: 16384,
+                    },
+                )
+                .expect("fresh ring has room");
+            }
+            nic.steer_queue(qi, qi as usize % cfg.cores);
+        }
+        let mut sched = OsScheduler::new(cfg.cores);
+        for s in &services {
+            sched.register(ThreadId(s.service_id as u32), s.process, None);
+        }
+        let cost = match cfg.machine {
+            KernelMachine::ModernServer => CostModel::linux_server(),
+            KernelMachine::EnzianFpga => CostModel::enzian(),
+        };
+        KernelSim {
+            cost,
+            nic,
+            sched,
+            energy: EnergyMeter::new(cfg.cores),
+            pending: (0..queues as usize).map(|_| VecDeque::new()).collect(),
+            socket_q: HashMap::new(),
+            // A 1 MiB slice of LLC capacity for network buffers.
+            llc: SetAssocCache::new(1 << 20, 16, 64),
+            poll_active: vec![false; queues as usize],
+            busy_until: vec![SimTime::ZERO; cfg.cores],
+            q: EventQueue::new(),
+            rng: SimRng::root(0),
+            times: HashMap::new(),
+            client_of: HashMap::new(),
+            sw_cycles_by_req: HashMap::new(),
+            next_request_id: 0,
+            next_buf: 0,
+            metrics: MetricsCollector::default(),
+            end_of_load: SimTime::ZERO,
+            hard_end: SimTime::ZERO,
+            server_ip: EndpointAddr::host(1, BASE_PORT),
+            client_addr: EndpointAddr::host(2, 7000),
+            services,
+            cfg,
+        }
+    }
+
+    /// Read access to the NIC.
+    pub fn nic(&self) -> &DmaNic {
+        &self.nic
+    }
+
+    fn spec_of(&self, service: u16) -> &ServiceSpec {
+        self.services
+            .iter()
+            .find(|s| s.service_id == service)
+            .expect("request targets a registered service")
+    }
+
+    /// Runs `cycles` of work on `core` no earlier than `earliest`,
+    /// serialized behind whatever the core was doing. Returns
+    /// `(start, end)`.
+    fn charge_core(&mut self, core: usize, earliest: SimTime, cycles: u64) -> (SimTime, SimTime) {
+        let start = earliest.max(self.busy_until[core]);
+        let end = start + self.cost.cycles(cycles);
+        self.energy.set_state(core, CoreState::Active, start);
+        self.energy.set_state(core, CoreState::Idle, end);
+        self.busy_until[core] = end;
+        (start, end)
+    }
+
+    fn send_request(&mut self, client: usize, now: SimTime, workload: &WorkloadSpec) {
+        let request_id = self.next_request_id;
+        self.next_request_id += 1;
+        let service = workload.mix.sample(&mut self.rng, now);
+        let size = workload.request_bytes.sample(&mut self.rng);
+        let payload: Vec<u8> = (0..size).map(|i| (i as u8) ^ (request_id as u8)).collect();
+        let server = EndpointAddr {
+            port: BASE_PORT + service,
+            ..self.server_ip
+        };
+        let raw = build_request(
+            self.client_addr,
+            server,
+            service,
+            0,
+            request_id,
+            &payload,
+            0,
+        );
+        self.metrics.offered += 1;
+        self.times.insert(
+            request_id,
+            RequestTimes {
+                sent: now,
+                ..Default::default()
+            },
+        );
+        self.client_of.insert(request_id, client);
+        let arrive = now + self.cfg.wire.deliver(raw.len());
+        self.q.schedule(arrive, Ev::FrameAtNic { raw, request_id });
+    }
+
+    fn on_frame(&mut self, raw: Vec<u8>, request_id: u64, now: SimTime) {
+        if let Some(t) = self.times.get_mut(&request_id) {
+            t.nic_arrival = now;
+        }
+        let frame = lauberhorn_packet::parse_udp_frame(&raw).expect("client built a valid frame");
+        let service = frame.udp.dst_port - BASE_PORT;
+        let payload_len = raw.len() - FRAME_OVERHEAD - RPC_HEADER_LEN;
+        match self.nic.rx_packet(now, &raw) {
+            Ok(delivery) => {
+                let queue = delivery.queue;
+                // Recycle the buffer (drivers refill during NAPI polls).
+                self.nic
+                    .post_rx(queue, delivery.desc)
+                    .expect("slot was just freed");
+                // DDIO: the DMA write allocates the payload into the LLC.
+                if self.cfg.ddio {
+                    let lines = (raw.len()).div_ceil(64) as u64;
+                    for i in 0..lines {
+                        self.llc
+                            .install(LineAddr::containing(delivery.desc.buf_iova + i * 64, 64));
+                    }
+                }
+                self.pending[queue as usize].push_back(PendingPkt {
+                    ready_at: delivery.ready_at,
+                    request_id,
+                    service,
+                    payload_len,
+                    buf_iova: delivery.desc.buf_iova,
+                });
+                if let Some((core, at)) = delivery.interrupt {
+                    self.q.schedule(at, Ev::Irq { queue, core });
+                }
+                // If the vector was masked, NAPI is active (or the
+                // unmask on poll completion will re-raise).
+            }
+            Err(RxDrop::NoDescriptor { .. }) => {
+                self.metrics.dropped += 1;
+                self.times.remove(&request_id);
+            }
+            Err(e) => unreachable!("rx failed: {e:?}"),
+        }
+    }
+
+    fn on_irq(&mut self, queue: u32, core: usize, now: SimTime) {
+        // Hard IRQ: mask the vector, schedule the softirq.
+        self.nic.mask_queue(queue);
+        self.poll_active[queue as usize] = true;
+        let (_, end) = self.charge_core(
+            core,
+            now,
+            self.cost.irq_entry + self.cost.softirq_dispatch,
+        );
+        self.q.schedule(end, Ev::SoftirqPoll { queue, core });
+    }
+
+    fn on_softirq(&mut self, queue: u32, core: usize, now: SimTime) {
+        let mut t = now.max(self.busy_until[core]);
+        let mut processed = 0usize;
+        while processed < self.cfg.napi_budget {
+            let Some(front) = self.pending[queue as usize].front() else {
+                break;
+            };
+            if front.ready_at > t {
+                break;
+            }
+            let pkt = self.pending[queue as usize].pop_front().expect("front exists");
+            let per_pkt =
+                self.cost.netstack_per_pkt + self.cost.skb_management + self.cost.socket_lookup;
+            let (_, end) = self.charge_core(core, t, per_pkt);
+            t = end;
+            *self.sw_cycles_by_req.entry(pkt.request_id).or_insert(0) += per_pkt;
+            // Enqueue on the destination socket and wake its thread.
+            self.socket_q
+                .entry(pkt.service)
+                .or_default()
+                .push_back((pkt.request_id, pkt.payload_len, pkt.buf_iova));
+            let tid = ThreadId(pkt.service as u32);
+            match self.sched.wakeup(tid) {
+                Ok(WakeDecision::RunOn { core: target }) => {
+                    let wake = self.cost.wakeup + self.cost.sched_pick;
+                    let (_, end) = self.charge_core(core, t, wake);
+                    t = end;
+                    *self.sw_cycles_by_req.entry(pkt.request_id).or_insert(0) += wake;
+                    let mut start_at = t;
+                    if target != core {
+                        // Cross-core wakeup: IPI.
+                        let (_, e2) = self.charge_core(core, t, self.cost.ipi_send);
+                        t = e2;
+                        start_at = e2 + self.cost.cycles(self.cost.ipi_receive);
+                        *self.sw_cycles_by_req.entry(pkt.request_id).or_insert(0) +=
+                            self.cost.ipi_send + self.cost.ipi_receive;
+                    }
+                    self.q.schedule(
+                        start_at,
+                        Ev::UserRun {
+                            core: target,
+                            service: pkt.service,
+                            fresh: true,
+                        },
+                    );
+                }
+                Ok(WakeDecision::Enqueued { .. }) | Ok(WakeDecision::AlreadyActive) => {
+                    // The thread is running or queued; it will drain its
+                    // socket when it gets the CPU.
+                    let wake = self.cost.wakeup;
+                    let (_, end) = self.charge_core(core, t, wake);
+                    t = end;
+                }
+                Err(e) => unreachable!("wakeup: {e}"),
+            }
+            processed += 1;
+        }
+        if !self.pending[queue as usize].is_empty() {
+            // More work (or not yet DMA-complete): poll again.
+            let next_ready = self.pending[queue as usize]
+                .front()
+                .map(|p| p.ready_at)
+                .expect("non-empty");
+            self.q
+                .schedule(t.max(next_ready), Ev::SoftirqPoll { queue, core });
+        } else {
+            // Drained: exit softirq, unmask; a latched interrupt
+            // re-enters immediately.
+            self.poll_active[queue as usize] = false;
+            let (_, end) = self.charge_core(core, t, self.cost.irq_exit);
+            if let Some(target) = self.nic.unmask_queue(queue) {
+                self.q.schedule(end, Ev::Irq { queue, core: target });
+            }
+        }
+    }
+
+    fn on_user_run(&mut self, core: usize, service: u16, fresh: bool, now: SimTime) {
+        let Some(queue) = self.socket_q.get_mut(&service) else {
+            // Spurious wakeup: block again.
+            self.block_and_dispatch(core, now);
+            return;
+        };
+        let Some((request_id, payload_len, buf_iova)) = queue.pop_front() else {
+            self.block_and_dispatch(core, now);
+            return;
+        };
+        // The recvmsg copy touches every payload line: LLC hits are the
+        // base copy cost; misses stall to DRAM (~180 cycles each).
+        let mut miss_cycles = 0u64;
+        for i in 0..(payload_len.div_ceil(64) as u64) {
+            if let Access::Miss { .. } = self
+                .llc
+                .access(LineAddr::containing(buf_iova + i * 64, 64))
+            {
+                miss_cycles += 180;
+            }
+        }
+        let m = &self.cost;
+        let mut sw =
+            m.syscall + m.copy(payload_len) + miss_cycles + m.unmarshal(payload_len) + 60 + 5;
+        if fresh {
+            sw += m.full_context_switch();
+        }
+        let (_, handler_start) = self.charge_core(core, now, sw);
+        *self.sw_cycles_by_req.entry(request_id).or_insert(0) += sw;
+        if let Some(t) = self.times.get_mut(&request_id) {
+            t.handler_start = handler_start;
+        }
+        let spec_time = self.spec_of(service).service_time;
+        let handler = spec_time.sample(&mut self.rng);
+        let (_, done) = self.charge_core(core, handler_start, handler);
+        self.q.schedule(
+            done,
+            Ev::HandlerDone {
+                core,
+                request_id,
+                service,
+            },
+        );
+    }
+
+    fn block_and_dispatch(&mut self, core: usize, now: SimTime) {
+        match self.sched.block_current(core) {
+            Ok(Some(next)) => {
+                let service = next.0 as u16;
+                let (_, end) = self.charge_core(core, now, self.cost.sched_pick);
+                self.q.schedule(
+                    end,
+                    Ev::UserRun {
+                        core,
+                        service,
+                        fresh: true,
+                    },
+                );
+            }
+            Ok(None) => {
+                self.energy.set_state(core, CoreState::Idle, now);
+            }
+            Err(e) => unreachable!("block: {e}"),
+        }
+    }
+
+    fn on_handler_done(&mut self, core: usize, request_id: u64, service: u16, now: SimTime) {
+        let resp_len = self.spec_of(service).response_bytes;
+        let frame_len = FRAME_OVERHEAD + RPC_HEADER_LEN + resp_len;
+        // sendmsg: syscall, copy, doorbell.
+        let sw = self.cost.syscall + self.cost.copy(resp_len);
+        let (_, end) = self.charge_core(core, now, sw);
+        *self.sw_cycles_by_req.entry(request_id).or_insert(0) += sw;
+        self.next_buf = (self.next_buf + 1) % 1024;
+        let tx_done = match self.nic.tx_packet(
+            end + self.nic.doorbell_cost(),
+            TxDescriptor {
+                buf_iova: 0x100_0000 + self.next_buf * 16384,
+                len: frame_len as u32,
+            },
+        ) {
+            Ok(t) => t,
+            Err(e) => unreachable!("tx failed: {e:?}"),
+        };
+        if let Some(t) = self.times.get_mut(&request_id) {
+            t.handler_end = now;
+            t.response_tx = tx_done;
+        }
+        let arrive = tx_done + self.cfg.wire.deliver(frame_len);
+        self.q.schedule(arrive, Ev::ResponseAtClient { request_id });
+        // More requests on this socket? Stay in recvmsg loop (warm).
+        let more = self
+            .socket_q
+            .get(&service)
+            .is_some_and(|q| !q.is_empty());
+        if more {
+            self.q.schedule(
+                end,
+                Ev::UserRun {
+                    core,
+                    service,
+                    fresh: false,
+                },
+            );
+        } else {
+            self.block_and_dispatch(core, end);
+        }
+    }
+
+    /// Runs `workload` and reports.
+    pub fn run(&mut self, workload: &WorkloadSpec) -> Report {
+        self.rng = SimRng::stream(workload.seed, "kernel");
+        self.end_of_load = SimTime::ZERO + workload.duration;
+        self.hard_end = self.end_of_load + SimDuration::from_ms(20);
+        match &workload.mode {
+            LoadMode::Open { .. } => {
+                self.q.schedule(SimTime::from_ns(1), Ev::Gen { client: 0 });
+            }
+            LoadMode::Closed { clients, .. } => {
+                for c in 0..*clients {
+                    self.q
+                        .schedule(SimTime::from_ns(1 + c as u64 * 100), Ev::Gen { client: c });
+                }
+            }
+        }
+        let mut arrivals = match &workload.mode {
+            LoadMode::Open { arrivals } => Some(arrivals.clone()),
+            LoadMode::Closed { .. } => None,
+        };
+        while let Some((now, ev)) = self.q.pop() {
+            if now > self.hard_end {
+                break;
+            }
+            // Once the load is over and every offered request has been
+            // accounted for, only housekeeping (TRYAGAIN timers) remains.
+            if now > self.end_of_load
+                && self.metrics.completed + self.metrics.dropped >= self.metrics.offered
+            {
+                break;
+            }
+            match ev {
+                Ev::Gen { client } => {
+                    if now <= self.end_of_load {
+                        self.send_request(client, now, workload);
+                        if let Some(arr) = arrivals.as_mut() {
+                            let gap = arr.next_gap(&mut self.rng);
+                            self.q.schedule(now + gap, Ev::Gen { client });
+                        }
+                    }
+                }
+                Ev::FrameAtNic { raw, request_id } => self.on_frame(raw, request_id, now),
+                Ev::Irq { queue, core } => self.on_irq(queue, core, now),
+                Ev::SoftirqPoll { queue, core } => self.on_softirq(queue, core, now),
+                Ev::UserRun {
+                    core,
+                    service,
+                    fresh,
+                } => self.on_user_run(core, service, fresh, now),
+                Ev::HandlerDone {
+                    core,
+                    request_id,
+                    service,
+                } => self.on_handler_done(core, request_id, service, now),
+                Ev::ResponseAtClient { request_id } => {
+                    self.metrics.completed += 1;
+                    let warmed = self.metrics.completed > workload.warmup;
+                    if let Some(times) = self.times.remove(&request_id) {
+                        if warmed {
+                            self.metrics.rtt.record_duration(now.since(times.sent));
+                            self.metrics
+                                .end_system
+                                .record_duration(times.end_system());
+                            self.metrics.dispatch.record_duration(times.dispatch());
+                            if let Some(c) = self.sw_cycles_by_req.remove(&request_id) {
+                                self.metrics.sw_cycles += c;
+                            }
+                            self.metrics.measured += 1;
+                        } else {
+                            self.sw_cycles_by_req.remove(&request_id);
+                        }
+                    }
+                    if let LoadMode::Closed { think, .. } = &workload.mode {
+                        let client = self.client_of.remove(&request_id).unwrap_or(0);
+                        if now + *think <= self.end_of_load {
+                            self.q.schedule(now + *think, Ev::Gen { client });
+                        }
+                    } else {
+                        self.client_of.remove(&request_id);
+                    }
+                }
+            }
+        }
+        let end = self.q.now().min(self.hard_end);
+        let energy = std::mem::replace(&mut self.energy, EnergyMeter::new(self.cfg.cores));
+        let accounts = energy.finish(end);
+        let mut total = lauberhorn_sim::energy::CycleAccount::default();
+        for a in &accounts {
+            total.merge(a);
+        }
+        let stats = self.nic.stats();
+        let fabric = stats.rx_delivered * 4 + stats.tx_frames * 3 + stats.interrupts;
+        let metrics = std::mem::take(&mut self.metrics);
+        metrics.finish(
+            match self.cfg.machine {
+                KernelMachine::ModernServer => "kernel/pc-pcie-dma",
+                KernelMachine::EnzianFpga => "kernel/enzian-pcie-dma",
+            },
+            end.since(SimTime::ZERO),
+            total,
+            fabric,
+        )
+    }
+}

@@ -1,0 +1,797 @@
+//! The Lauberhorn machine simulation.
+//!
+//! Composes the coherent fabric ([`lauberhorn_coherence`]), the
+//! Lauberhorn NIC device model ([`lauberhorn_nic`]) and the OS cost
+//! model into one event-driven server, implementing the full Figure 5
+//! core lifecycle:
+//!
+//! * cores configured as *kernel dispatchers* park on kernel-mode
+//!   CONTROL lines; the NIC can dispatch a request for any process
+//!   there, paying one software context switch;
+//! * after serving a kernel-delivered request the core *stays* in that
+//!   process and parks on the process's dedicated CONTROL lines, where
+//!   subsequent requests dispatch with essentially zero software cost;
+//! * a core whose user loop sees `yield_after` consecutive TRYAGAINs
+//!   returns to the kernel dispatch loop (releasing the service's
+//!   residency), and RETIRE does the same on kernel demand.
+//!
+//! Every request is a real frame: built by the client model, parsed and
+//! checksummed by the NIC, transformed by the deserialization offload,
+//! and delivered as real bytes through the coherence protocol.
+
+use std::collections::HashMap;
+
+use lauberhorn_coherence::{CacheId, CoherentSystem, FabricModel, LineAddr, LoadResult};
+use lauberhorn_nic::demux::DemuxError;
+use lauberhorn_nic::dispatch::DispatchKind;
+use lauberhorn_nic::endpoint::{EndpointId, EndpointLayout};
+use lauberhorn_nic::nic::DropReason;
+use lauberhorn_nic::sched_mirror::MIRROR_PUSH_COST;
+use lauberhorn_nic::{LauberhornNic, LauberhornNicConfig, NicAction};
+use lauberhorn_os::CostModel;
+use lauberhorn_packet::frame::EndpointAddr;
+use lauberhorn_sim::energy::{CoreState, EnergyMeter};
+use lauberhorn_sim::{EventQueue, SimDuration, SimRng, SimTime, Trace};
+
+use crate::report::{MetricsCollector, Report};
+use crate::spec::{Behavior, LoadMode, PayloadGen, ServiceSpec, WorkloadSpec};
+use crate::wire::{build_request, RequestTimes, WireModel};
+
+/// Which machine the simulation models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Machine {
+    /// Enzian: 2 GHz ARMv8, ECI fabric, 128 B lines.
+    Enzian,
+    /// A projected CXL 3.0 x86 server.
+    CxlServer,
+    /// A NUMA-emulated coherent NIC (the CC-NIC configuration \[22\]): a
+    /// second socket's home agent stands in for the device, over the
+    /// processor interconnect. Faster than ECI, no special hardware —
+    /// the emulation vehicle the paper cites from prior work.
+    NumaEmulated,
+}
+
+/// Simulation configuration.
+#[derive(Debug, Clone)]
+pub struct LauberhornSimConfig {
+    /// Machine model.
+    pub machine: Machine,
+    /// Cores participating in RPC serving.
+    pub cores: usize,
+    /// How many of those cores start in the kernel dispatch loop
+    /// (the rest start idle and are not used — the experiments size
+    /// this explicitly).
+    pub kernel_dispatchers: usize,
+    /// Consecutive TRYAGAINs before a user loop yields its core back
+    /// to the kernel dispatch loop.
+    pub yield_after: u32,
+    /// Overrides the 15 ms TRYAGAIN window (ablation `abl_tryagain`).
+    pub tryagain_timeout: Option<lauberhorn_sim::SimDuration>,
+    /// Network model.
+    pub wire: WireModel,
+}
+
+impl LauberhornSimConfig {
+    /// The paper's prototype machine.
+    pub fn enzian(cores: usize) -> Self {
+        LauberhornSimConfig {
+            machine: Machine::Enzian,
+            cores,
+            kernel_dispatchers: cores,
+            yield_after: 1,
+            tryagain_timeout: None,
+            wire: WireModel::same_rack_100g(),
+        }
+    }
+
+    /// The projected CXL server.
+    pub fn cxl_server(cores: usize) -> Self {
+        LauberhornSimConfig {
+            machine: Machine::CxlServer,
+            ..Self::enzian(cores)
+        }
+    }
+
+    /// The CC-NIC-style NUMA emulation.
+    pub fn numa_emulated(cores: usize) -> Self {
+        LauberhornSimConfig {
+            machine: Machine::NumaEmulated,
+            ..Self::enzian(cores)
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum LoopMode {
+    Kernel,
+    User { service: u16 },
+}
+
+#[derive(Debug)]
+struct CoreCtx {
+    mode: LoopMode,
+    kernel_ep: (EndpointId, EndpointLayout),
+    user_ep: Option<(u16, EndpointId, EndpointLayout)>,
+    tryagain_streak: u32,
+    /// The line the current request was delivered on (response target).
+    resp_addr: Option<LineAddr>,
+}
+
+#[derive(Debug)]
+enum Ev {
+    /// Open-loop generator tick / closed-loop client send.
+    Gen { client: usize },
+    /// A request frame reaches the server NIC.
+    FrameAtNic { raw: Vec<u8>, request_id: u64 },
+    /// The NIC answers a parked fill (deferred CompleteFill action).
+    DoCompleteFill { token: lauberhorn_coherence::FillToken, data: Vec<u8> },
+    /// A fill response lands at the core.
+    FillAtCore { core: usize, addr: LineAddr, data: Vec<u8> },
+    /// The NIC observes a core's load (request message arrived).
+    NicSeesLoad { core: usize, token: lauberhorn_coherence::FillToken, addr: LineAddr },
+    /// A TRYAGAIN timer fires.
+    Timeout { ep: EndpointId, generation: u64 },
+    /// The handler on `core` finishes.
+    HandlerDone { core: usize, request_id: u64 },
+    /// The NIC begins collecting a response line.
+    DoCollect { line: LineAddr, ctx: lauberhorn_nic::endpoint::RequestCtx },
+    /// The response frame reaches the client.
+    ResponseAtClient { request_id: u64 },
+    /// A core finishes transition code and issues its next load.
+    IssueLoad { core: usize },
+    /// The NIC asked the OS to pull `core` back to the dispatch loop.
+    Preempt { core: usize },
+}
+
+/// The composed Lauberhorn server simulation.
+pub struct LauberhornSim {
+    cfg: LauberhornSimConfig,
+    cost: CostModel,
+    services: Vec<ServiceSpec>,
+    coh: CoherentSystem,
+    nic: LauberhornNic,
+    energy: EnergyMeter,
+    cores: Vec<CoreCtx>,
+    user_eps: HashMap<(u16, usize), (EndpointId, EndpointLayout)>,
+    q: EventQueue<Ev>,
+    rng: SimRng,
+    times: HashMap<u64, RequestTimes>,
+    sw_cycles_by_req: HashMap<u64, u64>,
+    client_of: HashMap<u64, usize>,
+    /// Response payloads produced by real handlers, by request id.
+    resp_payload: HashMap<u64, Vec<u8>>,
+    record_responses: bool,
+    next_request_id: u64,
+    metrics: MetricsCollector,
+    end_of_load: SimTime,
+    hard_end: SimTime,
+    server_addr: EndpointAddr,
+    client_addr: EndpointAddr,
+    trace: Trace,
+}
+
+impl LauberhornSim {
+    /// Builds the machine and registers `services` with the NIC.
+    pub fn new(cfg: LauberhornSimConfig, services: Vec<ServiceSpec>) -> Self {
+        let server_addr = EndpointAddr::host(1, 9000);
+        let client_addr = EndpointAddr::host(2, 7000);
+        let (mut nic_cfg, cost, host_fabric) = match cfg.machine {
+            Machine::Enzian => (
+                LauberhornNicConfig::enzian(server_addr),
+                CostModel::enzian(),
+                FabricModel::intra_socket(128),
+            ),
+            Machine::CxlServer => (
+                LauberhornNicConfig::cxl_server(server_addr),
+                CostModel::linux_server(),
+                FabricModel::intra_socket(64),
+            ),
+            Machine::NumaEmulated => (
+                LauberhornNicConfig::numa_emulated(server_addr),
+                CostModel::linux_server(),
+                FabricModel::intra_socket(64),
+            ),
+        };
+        if let Some(t) = cfg.tryagain_timeout {
+            nic_cfg.tryagain_timeout = t;
+        }
+        let device_fabric = nic_cfg.transfer.fabric;
+        let device_base = nic_cfg.device_base;
+        // Reserve plenty of device-homed space for endpoints.
+        let coh = CoherentSystem::new(
+            cfg.cores,
+            host_fabric,
+            device_fabric,
+            device_base,
+            device_base + (64 << 20),
+        );
+        // Per-core service capacity for the load tracker: rough 1/µs.
+        let mut nic = LauberhornNic::new(nic_cfg, cfg.cores, 1_000_000.0);
+        for s in &services {
+            nic.demux_mut().register_service(s.service_id, s.process);
+            nic.demux_mut()
+                .register_method(
+                    s.service_id,
+                    0x4000_0000 + s.service_id as u64 * 0x1000,
+                    0x5000_0000 + s.service_id as u64 * 0x1000,
+                    ServiceSpec::signature(),
+                )
+                .expect("service just registered");
+        }
+        let cores = (0..cfg.cores)
+            .map(|c| CoreCtx {
+                mode: LoopMode::Kernel,
+                kernel_ep: nic.create_kernel_endpoint(c),
+                user_ep: None,
+                tryagain_streak: 0,
+                resp_addr: None,
+            })
+            .collect();
+        LauberhornSim {
+            energy: EnergyMeter::new(cfg.cores),
+            cost,
+            services,
+            coh,
+            nic,
+            cores,
+            user_eps: HashMap::new(),
+            q: EventQueue::new(),
+            rng: SimRng::root(0),
+            times: HashMap::new(),
+            sw_cycles_by_req: HashMap::new(),
+            client_of: HashMap::new(),
+            resp_payload: HashMap::new(),
+            record_responses: false,
+            next_request_id: 0,
+            metrics: MetricsCollector::default(),
+            end_of_load: SimTime::ZERO,
+            hard_end: SimTime::ZERO,
+            server_addr,
+            client_addr,
+            trace: Trace::disabled(),
+            cfg,
+        }
+    }
+
+    /// Enables event tracing (§6's tracing/statistics integration),
+    /// retaining at most `cap` events.
+    pub fn enable_trace(&mut self, cap: usize) {
+        self.trace = Trace::enabled(cap);
+    }
+
+    /// The recorded trace.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Read access to the NIC (experiments inspect its stats).
+    pub fn nic(&self) -> &LauberhornNic {
+        &self.nic
+    }
+
+    /// Read access to the coherence domain.
+    pub fn coherence(&self) -> &CoherentSystem {
+        &self.coh
+    }
+
+    fn spec_of(&self, service: u16) -> &ServiceSpec {
+        self.services
+            .iter()
+            .find(|s| s.service_id == service)
+            .expect("request targets a registered service")
+    }
+
+    fn apply_actions(&mut self, actions: Vec<NicAction>) {
+        for a in actions {
+            match a {
+                NicAction::CompleteFill { token, data, at } => {
+                    self.q.schedule(at, Ev::DoCompleteFill { token, data });
+                }
+                NicAction::ArmTimeout {
+                    endpoint,
+                    generation,
+                    at,
+                } => {
+                    self.q.schedule(at, Ev::Timeout { ep: endpoint, generation });
+                }
+                NicAction::CollectAndTransmit { line, ctx, at } => {
+                    self.q.schedule(at, Ev::DoCollect { line, ctx });
+                }
+                NicAction::DmaWrite { .. } => {
+                    // Timing is already folded into the delayed fill.
+                }
+                NicAction::KernelDelivery { .. } | NicAction::ScaleHint { .. } => {
+                    // Stats only; the core-mode logic charges the costs.
+                }
+                NicAction::RequestPreempt { core, at } => {
+                    self.q.schedule(at, Ev::Preempt { core });
+                }
+                NicAction::Dropped { reason } => {
+                    self.metrics.dropped += 1;
+                    debug_assert!(
+                        !matches!(reason, DropReason::UnknownService(_)),
+                        "generator targeted an unregistered service"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Charges `cycles` of software work on `core` starting at `now`,
+    /// attributing them to `request_id` if given. Returns the end time.
+    fn charge(&mut self, core: usize, now: SimTime, cycles: u64, request_id: Option<u64>) -> SimTime {
+        self.energy.set_state(core, CoreState::Active, now);
+        if let Some(id) = request_id {
+            *self.sw_cycles_by_req.entry(id).or_insert(0) += cycles;
+        }
+        now + self.cost.cycles(cycles)
+    }
+
+    fn issue_load(&mut self, core: usize, now: SimTime) {
+        let ctx = &self.cores[core];
+        let (ep, layout) = match ctx.mode {
+            LoopMode::Kernel => ctx.kernel_ep,
+            LoopMode::User { .. } => {
+                let (_, ep, layout) = ctx.user_ep.expect("user mode implies user endpoint");
+                (ep, layout)
+            }
+        };
+        let parity = self
+            .nic
+            .endpoint(ep)
+            .expect("endpoint exists")
+            .expect_line();
+        let addr = layout.ctrl(parity);
+        // Drop any stale copy (self-invalidating grants) so the load
+        // reaches the device.
+        self.coh.drop_line(CacheId(core), addr);
+        self.energy.set_state(core, CoreState::Stalled, now);
+        match self.coh.load(CacheId(core), addr) {
+            Ok(LoadResult::Deferred {
+                token,
+                request_arrival,
+            }) => {
+                self.q.schedule(
+                    now + request_arrival,
+                    Ev::NicSeesLoad { core, token, addr },
+                );
+            }
+            other => unreachable!("device-line load must defer, got {other:?}"),
+        }
+    }
+
+    fn enter_kernel_loop(&mut self, core: usize, now: SimTime, request_id: Option<u64>) {
+        // Yield path: syscall back into the kernel, context switch to the
+        // kernel dispatch thread, tell the NIC.
+        let cycles = self.cost.syscall + self.cost.full_context_switch();
+        let end = self.charge(core, now, cycles, request_id);
+        if let Some((svc, ep, _)) = self.cores[core].user_ep {
+            self.nic.demux_mut().remove_endpoint(svc, ep);
+        }
+        self.cores[core].mode = LoopMode::Kernel;
+        self.cores[core].tryagain_streak = 0;
+        self.nic.push_running(core, None, end + MIRROR_PUSH_COST);
+        self.q.schedule(end + MIRROR_PUSH_COST, Ev::IssueLoad { core });
+    }
+
+    fn enter_user_loop(&mut self, core: usize, service: u16, now: SimTime) -> SimTime {
+        // The Figure 5 transition: the core context-switches into the
+        // target process and will thereafter park on that process's
+        // dedicated endpoint.
+        let process = self.spec_of(service).process;
+        let cycles = self.cost.sched_pick + self.cost.full_context_switch();
+        let end = self.charge(core, now, cycles, None);
+        let (ep, layout) = match self.user_eps.get(&(service, core)) {
+            Some(e) => *e,
+            None => {
+                let e = self.nic.create_endpoint(process);
+                self.user_eps.insert((service, core), e);
+                e
+            }
+        };
+        match self.nic.demux_mut().add_endpoint(service, ep) {
+            Ok(()) | Err(DemuxError::UnknownService(_)) => {}
+            Err(e) => unreachable!("add_endpoint: {e}"),
+        }
+        self.cores[core].mode = LoopMode::User { service };
+        self.cores[core].user_ep = Some((service, ep, layout));
+        self.cores[core].tryagain_streak = 0;
+        self.nic.push_running(core, Some(process), end + MIRROR_PUSH_COST);
+        end + MIRROR_PUSH_COST
+    }
+
+    fn parse_ctrl(data: &[u8]) -> (DispatchKind, u64, u8, usize, u16) {
+        // Field offsets per `lauberhorn_nic::dispatch`.
+        let request_id = u64::from_le_bytes(data[16..24].try_into().expect("8 bytes"));
+        let service = u16::from_be_bytes([data[24], data[25]]);
+        let kind = match data[28] {
+            1 => DispatchKind::Rpc,
+            2 => DispatchKind::TryAgain,
+            3 => DispatchKind::Retire,
+            4 => DispatchKind::DmaDescriptor,
+            k => unreachable!("NIC never emits kind {k}"),
+        };
+        let n_aux = data[29];
+        let arg_len = u16::from_be_bytes([data[30], data[31]]) as usize;
+        (kind, request_id, n_aux, arg_len, service)
+    }
+
+    fn on_fill_at_core(&mut self, core: usize, addr: LineAddr, data: Vec<u8>, now: SimTime) {
+        let (kind, request_id, n_aux, arg_len, service) = Self::parse_ctrl(&data);
+        match kind {
+            DispatchKind::TryAgain => {
+                if self.trace.is_enabled() {
+                    self.trace
+                        .emit(now, "nic.tryagain", format!("core {core} unblocked"));
+                }
+                self.coh.drop_line(CacheId(core), addr);
+                self.cores[core].tryagain_streak += 1;
+                let is_user = matches!(self.cores[core].mode, LoopMode::User { .. });
+                // Never yield with requests queued on this endpoint (a
+                // request may have raced the TRYAGAIN timer).
+                let queued_here = self.cores[core]
+                    .user_ep
+                    .and_then(|(_, ep, _)| self.nic.endpoint(ep))
+                    .is_some_and(|e| e.queue_depth() > 0);
+                if is_user && !queued_here && self.cores[core].tryagain_streak >= self.cfg.yield_after
+                {
+                    self.enter_kernel_loop(core, now, None);
+                } else {
+                    // Re-issue the load after a couple of cycles.
+                    let end = self.charge(core, now, 20, None);
+                    self.q.schedule(end, Ev::IssueLoad { core });
+                }
+            }
+            DispatchKind::Retire => {
+                if self.trace.is_enabled() {
+                    self.trace
+                        .emit(now, "os.retire", format!("core {core} reallocated"));
+                }
+                self.coh.drop_line(CacheId(core), addr);
+                self.enter_kernel_loop(core, now, None);
+            }
+            DispatchKind::Rpc | DispatchKind::DmaDescriptor => {
+                self.cores[core].tryagain_streak = 0;
+                let mut t = now;
+                let mut sw = 0u64;
+                // Fetch any AUX lines the payload spilled into: they
+                // stream behind the CONTROL line, a quarter line-time
+                // apart (they were prefetched by the NIC's delivery).
+                if n_aux > 0 {
+                    let per_line = self.coh.device_fabric().data_lat / 4;
+                    t += per_line * n_aux as u64;
+                }
+                if self.cores[core].mode == LoopMode::Kernel {
+                    // Figure 5 kernel path: switch into the process.
+                    if self.trace.is_enabled() {
+                        self.trace.emit(
+                            now,
+                            "os.dispatch",
+                            format!("request {request_id} via kernel loop on core {core}"),
+                        );
+                    }
+                    t = self.enter_user_loop(core, service, t);
+                    sw += self.cost.sched_pick + self.cost.full_context_switch();
+                } else {
+                    if self.trace.is_enabled() {
+                        self.trace.emit(
+                            now,
+                            "nic.fastpath",
+                            format!("request {request_id} into parked core {core}"),
+                        );
+                    }
+                    // User fast path: consume the dispatch form.
+                    t = self.charge(core, t, self.cost.dispatch_form_consume, Some(request_id));
+                    sw += self.cost.dispatch_form_consume;
+                }
+                if kind == DispatchKind::DmaDescriptor {
+                    // Handler pulls the payload from the DMA buffer.
+                    let len = u64::from_le_bytes(data[40..48].try_into().expect("8 bytes"))
+                        as usize;
+                    let copy = self.cost.copy(len);
+                    t = self.charge(core, t, copy, Some(request_id));
+                    sw += copy;
+                } else {
+                    let _ = arg_len; // Args arrived in-line: already in registers.
+                }
+                *self.sw_cycles_by_req.entry(request_id).or_insert(0) += sw;
+                if let Some(times) = self.times.get_mut(&request_id) {
+                    times.handler_start = t;
+                }
+                // Application logic: run the real handler over the bytes
+                // that actually arrived through the stack.
+                if kind == DispatchKind::Rpc && n_aux == 0 {
+                    if let Behavior::Handler(f) = &self.spec_of(service).behavior {
+                        let f = f.clone();
+                        if let Ok(line) = lauberhorn_nic::dispatch::DispatchLine::decode(&data, &[])
+                        {
+                            // The dispatch form of `[Bytes]`: u32 LE length
+                            // then the application payload.
+                            use lauberhorn_packet::marshal::{Codec, FixedCodec, Value};
+                            let sig = ServiceSpec::signature();
+                            if let Ok(vals) = FixedCodec.decode(&sig, &line.args) {
+                                if let Some(Value::Bytes(app)) = vals.first() {
+                                    let resp = f(app);
+                                    debug_assert!(
+                                        resp.len() + 2 <= self.coh.line_size(),
+                                        "handler response exceeds the control line"
+                                    );
+                                    self.resp_payload.insert(request_id, resp);
+                                }
+                            }
+                        }
+                    }
+                }
+                self.energy.set_state(core, CoreState::Active, t);
+                let service_time = self.spec_of(service).service_time;
+                let handler = service_time.sample(&mut self.rng);
+                self.cores[core].resp_addr = Some(addr);
+                self.q.schedule(
+                    t + self.cost.cycles(handler),
+                    Ev::HandlerDone { core, request_id },
+                );
+            }
+        }
+    }
+
+    fn on_handler_done(&mut self, core: usize, request_id: u64, now: SimTime) {
+        if let Some(times) = self.times.get_mut(&request_id) {
+            times.handler_end = now;
+        }
+        // Write the response into the CONTROL line we hold Exclusive.
+        let addr = self.cores[core]
+            .resp_addr
+            .take()
+            .expect("handler had a request line");
+        let service = match self.cores[core].mode {
+            LoopMode::User { service } => service,
+            LoopMode::Kernel => unreachable!("handler runs in user mode"),
+        };
+        let resp: Vec<u8> = match self.resp_payload.get(&request_id) {
+            Some(r) => r.clone(),
+            None => {
+                let resp_len = self.spec_of(service).response_bytes;
+                (0..resp_len.min(self.coh.line_size()))
+                    .map(|i| (request_id as u8).wrapping_add(i as u8))
+                    .collect()
+            }
+        };
+        let end = self.charge(core, now, 15, Some(request_id)); // Store + fence.
+        self.coh
+            .store(CacheId(core), addr, &resp)
+            .expect("core holds the line exclusive");
+        self.q.schedule(end, Ev::IssueLoad { core });
+    }
+
+    fn on_collect(&mut self, line: LineAddr, ctx: lauberhorn_nic::endpoint::RequestCtx, now: SimTime) {
+        let (data, lat) = self.coh.device_fetch_exclusive(line);
+        let resp_len = match self.resp_payload.remove(&ctx.request_id) {
+            Some(expected) => {
+                // End-to-end data integrity: the bytes pulled out of the
+                // core's cache are exactly what the handler produced.
+                let n = expected.len().min(data.len());
+                debug_assert_eq!(
+                    &data[..n],
+                    &expected[..n],
+                    "coherence protocol corrupted the response"
+                );
+                n
+            }
+            None => self.spec_of(ctx.service_id).response_bytes.min(data.len()),
+        };
+        if self.record_responses {
+            self.metrics
+                .recorded
+                .push((ctx.request_id, data[..resp_len].to_vec()));
+        }
+        let frame = self.nic.build_response_frame(&ctx, &data[..resp_len]);
+        let tx_time = now + lat;
+        if let Some(times) = self.times.get_mut(&ctx.request_id) {
+            times.response_tx = tx_time;
+        }
+        let arrive = tx_time + self.cfg.wire.deliver(frame.len());
+        self.q.schedule(
+            arrive,
+            Ev::ResponseAtClient {
+                request_id: ctx.request_id,
+            },
+        );
+    }
+
+    fn send_request(&mut self, client: usize, now: SimTime, workload: &WorkloadSpec) {
+        let request_id = self.next_request_id;
+        self.next_request_id += 1;
+        let service = workload.mix.sample(&mut self.rng, now);
+        let payload: Vec<u8> = match &workload.payload {
+            Some(PayloadGen::Script(f)) => f(request_id),
+            Some(PayloadGen::Random(d)) => {
+                let size = d.sample(&mut self.rng);
+                (0..size).map(|i| (i as u8) ^ (request_id as u8)).collect()
+            }
+            None => {
+                let size = workload.request_bytes.sample(&mut self.rng);
+                (0..size).map(|i| (i as u8) ^ (request_id as u8)).collect()
+            }
+        };
+        let raw = build_request(
+            self.client_addr,
+            self.server_addr,
+            service,
+            0,
+            request_id,
+            &payload,
+            0,
+        );
+        self.metrics.offered += 1;
+        self.times.insert(
+            request_id,
+            RequestTimes {
+                sent: now,
+                ..Default::default()
+            },
+        );
+        self.client_of.insert(request_id, client);
+        let arrive = now + self.cfg.wire.deliver(raw.len());
+        self.q.schedule(arrive, Ev::FrameAtNic { raw, request_id });
+    }
+
+    /// Runs `workload` to completion and reports.
+    pub fn run(&mut self, workload: &WorkloadSpec) -> Report {
+        self.rng = SimRng::stream(workload.seed, "lauberhorn");
+        self.record_responses = workload.record_responses;
+        self.end_of_load = SimTime::ZERO + workload.duration;
+        self.hard_end = self.end_of_load + SimDuration::from_ms(20);
+        // Kernel dispatcher cores park at t=0.
+        for core in 0..self.cfg.kernel_dispatchers.min(self.cfg.cores) {
+            self.q.schedule(SimTime::ZERO, Ev::IssueLoad { core });
+        }
+        // Prime the generator(s).
+        match &workload.mode {
+            LoadMode::Open { .. } => {
+                self.q.schedule(SimTime::from_ns(1), Ev::Gen { client: 0 });
+            }
+            LoadMode::Closed { clients, .. } => {
+                for c in 0..*clients {
+                    self.q
+                        .schedule(SimTime::from_ns(1 + c as u64 * 100), Ev::Gen { client: c });
+                }
+            }
+        }
+        let mut arrivals = match &workload.mode {
+            LoadMode::Open { arrivals } => Some(arrivals.clone()),
+            LoadMode::Closed { .. } => None,
+        };
+        while let Some((now, ev)) = self.q.pop() {
+            if now > self.hard_end {
+                break;
+            }
+            // Once the load is over and every offered request has been
+            // accounted for, only housekeeping (TRYAGAIN timers) remains.
+            if now > self.end_of_load
+                && self.metrics.completed + self.metrics.dropped >= self.metrics.offered
+            {
+                break;
+            }
+            match ev {
+                Ev::Gen { client } => {
+                    if now <= self.end_of_load {
+                        self.send_request(client, now, workload);
+                        if let Some(arr) = arrivals.as_mut() {
+                            let gap = arr.next_gap(&mut self.rng);
+                            self.q.schedule(now + gap, Ev::Gen { client });
+                        }
+                    }
+                }
+                Ev::FrameAtNic { raw, request_id } => {
+                    if let Some(t) = self.times.get_mut(&request_id) {
+                        t.nic_arrival = now;
+                    }
+                    if self.trace.is_enabled() {
+                        self.trace.emit(
+                            now,
+                            "nic.rx",
+                            format!("request {request_id} ({} B frame)", raw.len()),
+                        );
+                    }
+                    let actions = self.nic.on_request_frame(now, &raw);
+                    self.apply_actions(actions);
+                }
+                Ev::DoCompleteFill { token, data } => {
+                    match self.coh.complete_fill(token, &data) {
+                        Ok((cache, addr, lat)) => {
+                            self.q.schedule(
+                                now + lat,
+                                Ev::FillAtCore {
+                                    core: cache.0,
+                                    addr,
+                                    data,
+                                },
+                            );
+                        }
+                        Err(e) => unreachable!("fill token is fresh: {e}"),
+                    }
+                }
+                Ev::FillAtCore { core, addr, data } => {
+                    self.on_fill_at_core(core, addr, data, now);
+                }
+                Ev::NicSeesLoad { core, token, addr } => {
+                    let actions = self.nic.on_core_load(now, core, token, addr);
+                    self.apply_actions(actions);
+                }
+                Ev::Timeout { ep, generation } => {
+                    let actions = self.nic.on_timeout(now, ep, generation);
+                    self.apply_actions(actions);
+                }
+                Ev::HandlerDone { core, request_id } => {
+                    self.on_handler_done(core, request_id, now);
+                }
+                Ev::DoCollect { line, ctx } => {
+                    self.on_collect(line, ctx, now);
+                }
+                Ev::ResponseAtClient { request_id } => {
+                    self.metrics.completed += 1;
+                    let warmed = self.metrics.completed > workload.warmup;
+                    if let Some(times) = self.times.remove(&request_id) {
+                        if warmed {
+                            self.metrics.rtt.record_duration(now.since(times.sent));
+                            self.metrics
+                                .end_system
+                                .record_duration(times.end_system());
+                            self.metrics.dispatch.record_duration(times.dispatch());
+                            if let Some(c) = self.sw_cycles_by_req.remove(&request_id) {
+                                self.metrics.sw_cycles += c;
+                                self.metrics.measured += 1;
+                            } else {
+                                self.metrics.measured += 1;
+                            }
+                        } else {
+                            self.sw_cycles_by_req.remove(&request_id);
+                        }
+                    }
+                    // Closed loop: this client sends its next request.
+                    if let LoadMode::Closed { think, .. } = &workload.mode {
+                        let client = self.client_of.remove(&request_id).unwrap_or(0);
+                        if now + *think <= self.end_of_load {
+                            self.q.schedule(now + *think, Ev::Gen { client });
+                        }
+                    } else {
+                        self.client_of.remove(&request_id);
+                    }
+                }
+                Ev::IssueLoad { core } => {
+                    self.issue_load(core, now);
+                }
+                Ev::Preempt { core } => {
+                    // Kernel + NIC cooperate (§5.1): IPI the core, then
+                    // the NIC unblocks its parked load with RETIRE. We
+                    // model it as a RETIRE on the core's user endpoint;
+                    // the IPI cost is charged when the core transitions.
+                    if let LoopMode::User { .. } = self.cores[core].mode {
+                        if let Some((_, ep, _)) = self.cores[core].user_ep {
+                            let actions = self.nic.retire_endpoint(now, ep);
+                            self.apply_actions(actions);
+                        }
+                    }
+                }
+            }
+        }
+        let end = self.q.now().min(self.hard_end);
+        let energy = std::mem::replace(&mut self.energy, EnergyMeter::new(self.cfg.cores));
+        let accounts = energy.finish(end);
+        let mut total = lauberhorn_sim::energy::CycleAccount::default();
+        for a in &accounts {
+            total.merge(a);
+        }
+        let metrics = std::mem::take(&mut self.metrics);
+        metrics.finish(
+            match self.cfg.machine {
+                Machine::Enzian => "lauberhorn/enzian-eci",
+                Machine::CxlServer => "lauberhorn/cxl-server",
+                Machine::NumaEmulated => "lauberhorn/numa-emulated",
+            },
+            end.since(SimTime::ZERO),
+            total,
+            self.coh.stats().fabric_messages(),
+        )
+    }
+}

@@ -1,0 +1,161 @@
+//! Client-side frame construction and the network model.
+//!
+//! Clients are modelled as remote machines that build *real* request
+//! frames (varint-marshalled arguments under the RPC wire header,
+//! inside checksummed Eth/IPv4/UDP) and receive real response frames.
+//! The wire adds a configurable one-way latency plus serialization at
+//! line rate.
+
+use lauberhorn_packet::frame::EndpointAddr;
+use lauberhorn_packet::marshal::{Codec, Signature, Value, VarintCodec};
+use lauberhorn_packet::{build_udp_frame, parse_udp_frame, RpcHeader, RpcKind};
+use lauberhorn_sim::{SimDuration, SimTime};
+
+/// The network between client and server.
+#[derive(Debug, Clone, Copy)]
+pub struct WireModel {
+    /// One-way propagation + switching latency.
+    pub one_way: SimDuration,
+    /// Link rate in bits per second (serialization delay).
+    pub gbps: f64,
+}
+
+impl WireModel {
+    /// A same-rack 100 Gb/s network (the paper's Enzian testbed class).
+    pub fn same_rack_100g() -> Self {
+        WireModel {
+            one_way: SimDuration::from_ns(350),
+            gbps: 100.0,
+        }
+    }
+
+    /// Time for `bytes` to arrive at the far end.
+    pub fn deliver(&self, bytes: usize) -> SimDuration {
+        self.one_way + SimDuration::from_ns_f64(bytes as f64 * 8.0 / self.gbps)
+    }
+}
+
+/// Builds a request frame for the uniform `\[Bytes\]` benchmark signature.
+pub fn build_request(
+    client: EndpointAddr,
+    server: EndpointAddr,
+    service_id: u16,
+    method_id: u16,
+    request_id: u64,
+    payload: &[u8],
+    cont_hint: u32,
+) -> Vec<u8> {
+    let sig = Signature::of(&[lauberhorn_packet::marshal::ArgType::Bytes]);
+    let args = VarintCodec
+        .encode(&sig, &[Value::Bytes(payload.to_vec())])
+        .expect("bytes arg always encodes");
+    let header = RpcHeader {
+        kind: RpcKind::Request,
+        service_id,
+        method_id,
+        request_id,
+        payload_len: args.len() as u32,
+        cont_hint,
+    };
+    let msg = header.encode_message(&args).expect("sized correctly");
+    build_udp_frame(client, server, &msg, (request_id & 0xffff) as u16)
+        .expect("request frame builds")
+}
+
+/// Parses a response frame, returning `(request_id, payload_len)`.
+pub fn parse_response(raw: &[u8]) -> Option<(u64, usize)> {
+    let frame = parse_udp_frame(raw).ok()?;
+    let (h, payload) = RpcHeader::decode_message(&frame.payload).ok()?;
+    (h.kind == RpcKind::Response).then_some((h.request_id, payload.len()))
+}
+
+/// A pending request's timestamps, for latency accounting.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RequestTimes {
+    /// Client issued (frame left the client).
+    pub sent: SimTime,
+    /// Frame reached the server NIC.
+    pub nic_arrival: SimTime,
+    /// Dispatch line (or software delivery) reached the handler.
+    pub handler_start: SimTime,
+    /// Handler finished; response written.
+    pub handler_end: SimTime,
+    /// Response left the server NIC.
+    pub response_tx: SimTime,
+}
+
+impl RequestTimes {
+    /// Server end-system latency: NIC arrival to response leaving,
+    /// minus nothing — the paper's end-system metric includes NIC
+    /// processing, dispatch and the handler.
+    pub fn end_system(&self) -> SimDuration {
+        self.response_tx.since(self.nic_arrival)
+    }
+
+    /// Dispatch latency: NIC arrival to handler start (the cost of
+    /// steps 1–9 of §2, however they are split).
+    pub fn dispatch(&self) -> SimDuration {
+        self.handler_start.since(self.nic_arrival)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_builds_and_parses_as_frame() {
+        let raw = build_request(
+            EndpointAddr::host(1, 100),
+            EndpointAddr::host(2, 200),
+            7,
+            0,
+            42,
+            b"ping",
+            0,
+        );
+        let frame = parse_udp_frame(&raw).unwrap();
+        let (h, _) = RpcHeader::decode_message(&frame.payload).unwrap();
+        assert_eq!(h.kind, RpcKind::Request);
+        assert_eq!(h.service_id, 7);
+        assert_eq!(h.request_id, 42);
+    }
+
+    #[test]
+    fn response_parse_rejects_requests() {
+        let raw = build_request(
+            EndpointAddr::host(1, 100),
+            EndpointAddr::host(2, 200),
+            7,
+            0,
+            42,
+            b"ping",
+            0,
+        );
+        assert!(parse_response(&raw).is_none());
+    }
+
+    #[test]
+    fn wire_latency_scales_with_size() {
+        let w = WireModel::same_rack_100g();
+        let small = w.deliver(64);
+        let big = w.deliver(64 * 1024);
+        assert!(big > small);
+        // 64 KiB at 100 Gb/s is ~5.2 µs of serialization.
+        assert!(big - small > SimDuration::from_us(5));
+        assert!(big - small < SimDuration::from_us(6));
+    }
+
+    #[test]
+    fn latency_accessors() {
+        let t = RequestTimes {
+            sent: SimTime::from_us(0),
+            nic_arrival: SimTime::from_us(1),
+            handler_start: SimTime::from_us(2),
+            handler_end: SimTime::from_us(3),
+            response_tx: SimTime::from_us(4),
+        };
+        assert_eq!(t.end_system(), SimDuration::from_us(3));
+        assert_eq!(t.dispatch(), SimDuration::from_us(1));
+    }
+}

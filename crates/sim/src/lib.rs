@@ -1,0 +1,30 @@
+//! Deterministic discrete-event simulation engine.
+//!
+//! This crate is the foundation of the Lauberhorn reproduction: every
+//! hardware component the paper relies on (the ECI coherence fabric, the
+//! PCIe DMA NIC, CPU cores, the OS scheduler) is simulated as a set of
+//! state machines driven by a single, deterministic event queue.
+//!
+//! The engine is deliberately simple and fully deterministic:
+//!
+//! * time is an integer count of picoseconds ([`SimTime`]),
+//! * events with equal timestamps are delivered in insertion order,
+//! * all randomness flows from a seeded [`rng::SimRng`].
+//!
+//! Higher crates build protocol models on top (see `lauberhorn-coherence`
+//! and friends) and the `lauberhorn-rpc` crate wires them into
+//! whole-machine simulations.
+
+pub mod energy;
+pub mod queue;
+pub mod rng;
+pub mod stats;
+pub mod time;
+pub mod trace;
+
+pub use energy::{CoreState, CycleAccount, EnergyMeter};
+pub use queue::EventQueue;
+pub use rng::SimRng;
+pub use stats::{Histogram, Summary};
+pub use time::{SimDuration, SimTime};
+pub use trace::{Trace, TraceEvent};

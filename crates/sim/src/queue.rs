@@ -1,0 +1,255 @@
+//! The deterministic event queue at the heart of every simulation.
+//!
+//! Events are `(time, payload)` pairs. Ties in time are broken by
+//! insertion order (a monotonically increasing sequence number), so a
+//! simulation is a pure function of its inputs and RNG seed.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+/// Opaque handle to a scheduled event, usable for cancellation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventId(u64);
+
+struct Entry<E> {
+    at: SimTime,
+    seq: u64,
+    id: EventId,
+    payload: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest event pops
+        // first, with the lowest sequence number breaking ties.
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A deterministic priority queue of timestamped events.
+///
+/// # Examples
+///
+/// ```
+/// use lauberhorn_sim::{EventQueue, SimTime};
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(SimTime::from_ns(20), "late");
+/// q.schedule(SimTime::from_ns(10), "early");
+/// let (t, e) = q.pop().unwrap();
+/// assert_eq!((t, e), (SimTime::from_ns(10), "early"));
+/// ```
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+    now: SimTime,
+    live: std::collections::HashSet<EventId>,
+    cancelled: std::collections::HashSet<EventId>,
+    popped: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue with the clock at zero.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            now: SimTime::ZERO,
+            live: std::collections::HashSet::new(),
+            cancelled: std::collections::HashSet::new(),
+            popped: 0,
+        }
+    }
+
+    /// The current simulated time: the timestamp of the most recently
+    /// popped event (zero before the first pop).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of events delivered so far.
+    pub fn delivered(&self) -> u64 {
+        self.popped
+    }
+
+    /// Schedules `payload` for delivery at absolute time `at`.
+    ///
+    /// Scheduling in the past is a logic error in the caller; it is
+    /// clamped to `now` so the event still fires (and a debug build
+    /// asserts).
+    pub fn schedule(&mut self, at: SimTime, payload: E) -> EventId {
+        debug_assert!(at >= self.now, "scheduling into the past");
+        let at = at.max(self.now);
+        let id = EventId(self.next_seq);
+        self.heap.push(Entry {
+            at,
+            seq: self.next_seq,
+            id,
+            payload,
+        });
+        self.live.insert(id);
+        self.next_seq += 1;
+        id
+    }
+
+    /// Cancels a previously scheduled event.
+    ///
+    /// Returns `true` if the event had not yet fired (or been cancelled).
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        if self.live.remove(&id) {
+            self.cancelled.insert(id);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Pops the earliest non-cancelled event, advancing the clock to its
+    /// timestamp.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        while let Some(entry) = self.heap.pop() {
+            if self.cancelled.remove(&entry.id) {
+                continue;
+            }
+            self.live.remove(&entry.id);
+            debug_assert!(entry.at >= self.now, "time went backwards");
+            self.now = entry.at;
+            self.popped += 1;
+            return Some((entry.at, entry.payload));
+        }
+        None
+    }
+
+    /// Timestamp of the next pending event, if any.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        // Drop cancelled entries from the top so the peek is accurate.
+        while let Some(top) = self.heap.peek() {
+            if self.cancelled.contains(&top.id) {
+                let e = self.heap.pop().expect("peeked entry must exist");
+                self.cancelled.remove(&e.id);
+            } else {
+                return Some(top.at);
+            }
+        }
+        None
+    }
+
+    /// Whether any events remain (`&mut` because it prunes cancelled
+    /// entries from the heap top).
+    #[allow(clippy::wrong_self_convention)]
+    pub fn is_empty(&mut self) -> bool {
+        self.peek_time().is_none()
+    }
+
+    /// Number of pending (non-cancelled) events.
+    #[allow(clippy::len_without_is_empty)] // `is_empty` exists but takes &mut.
+    pub fn len(&self) -> usize {
+        self.live.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_ns(30), 3);
+        q.schedule(SimTime::from_ns(10), 1);
+        q.schedule(SimTime::from_ns(20), 2);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_ns(5);
+        for i in 0..100 {
+            q.schedule(t, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_monotonically() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_ns(10), ());
+        q.schedule(SimTime::from_ns(10), ());
+        q.schedule(SimTime::from_ns(40), ());
+        let mut last = SimTime::ZERO;
+        while let Some((t, ())) = q.pop() {
+            assert!(t >= last);
+            last = t;
+        }
+        assert_eq!(q.now(), SimTime::from_ns(40));
+        assert_eq!(q.delivered(), 3);
+    }
+
+    #[test]
+    fn cancellation_suppresses_delivery() {
+        let mut q = EventQueue::new();
+        let keep = q.schedule(SimTime::from_ns(10), "keep");
+        let drop_id = q.schedule(SimTime::from_ns(5), "drop");
+        assert!(q.cancel(drop_id));
+        // Double-cancel reports false.
+        assert!(!q.cancel(drop_id));
+        let (_, e) = q.pop().unwrap();
+        assert_eq!(e, "keep");
+        assert!(q.pop().is_none());
+        // Cancelling an already-fired event reports false.
+        assert!(!q.cancel(keep));
+    }
+
+    #[test]
+    fn peek_skips_cancelled_head() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(SimTime::from_ns(1), 'a');
+        q.schedule(SimTime::from_ns(2), 'b');
+        q.cancel(a);
+        assert_eq!(q.peek_time(), Some(SimTime::from_ns(2)));
+        assert_eq!(q.len(), 1);
+        assert!(!q.is_empty());
+    }
+
+    #[test]
+    fn relative_scheduling_pattern() {
+        // The common usage: schedule relative to `now()`.
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_ns(10), 0u32);
+        while let Some((t, n)) = q.pop() {
+            if n < 3 {
+                q.schedule(t + SimDuration::from_ns(10), n + 1);
+            }
+        }
+        assert_eq!(q.now(), SimTime::from_ns(40));
+    }
+}

@@ -1,0 +1,200 @@
+//! Deterministic, stream-splittable randomness.
+//!
+//! Every stochastic element of a simulation (arrival processes, service
+//! times, RSS hashes of random flows, …) draws from a [`SimRng`] derived
+//! from the experiment's single seed plus a human-readable stream label.
+//! Two consequences:
+//!
+//! * runs are bit-for-bit reproducible given the seed, and
+//! * adding a new consumer of randomness does not perturb the draws seen
+//!   by existing consumers (each stream is independent).
+
+use rand::distributions::uniform::{SampleRange, SampleUniform};
+use rand::{Rng, RngCore, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// A named, deterministic random stream.
+pub struct SimRng {
+    inner: ChaCha8Rng,
+}
+
+/// Stable 64-bit FNV-1a hash of a label, used to derive per-stream seeds.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+impl SimRng {
+    /// Creates the root stream for an experiment seed.
+    pub fn root(seed: u64) -> Self {
+        SimRng {
+            inner: ChaCha8Rng::seed_from_u64(seed),
+        }
+    }
+
+    /// Creates a stream named `label`, derived from `seed`.
+    ///
+    /// The same `(seed, label)` pair always yields the same stream, and
+    /// distinct labels yield independent streams.
+    pub fn stream(seed: u64, label: &str) -> Self {
+        SimRng {
+            inner: ChaCha8Rng::seed_from_u64(seed ^ fnv1a(label.as_bytes())),
+        }
+    }
+
+    /// Derives a child stream from this one; used when a component wants
+    /// to hand isolated randomness to a sub-component.
+    pub fn fork(&mut self, label: &str) -> Self {
+        let s = self.inner.next_u64();
+        SimRng {
+            inner: ChaCha8Rng::seed_from_u64(s ^ fnv1a(label.as_bytes())),
+        }
+    }
+
+    /// Uniform sample from a range.
+    pub fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        T: SampleUniform,
+        R: SampleRange<T>,
+    {
+        self.inner.gen_range(range)
+    }
+
+    /// A uniform f64 in `[0, 1)`.
+    pub fn gen_f64(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// A uniform u64.
+    pub fn gen_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    /// Bernoulli draw with probability `p`.
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.inner.gen_bool(p.clamp(0.0, 1.0))
+    }
+
+    /// Exponentially distributed sample with the given mean.
+    ///
+    /// Used for Poisson inter-arrival times and memoryless service times.
+    pub fn exp(&mut self, mean: f64) -> f64 {
+        debug_assert!(mean > 0.0);
+        // Inverse-CDF; 1-u avoids ln(0).
+        let u: f64 = self.inner.gen();
+        -mean * (1.0 - u).ln()
+    }
+
+    /// Log-normally distributed sample parameterised by the mean and
+    /// sigma of the underlying normal (natural log scale).
+    pub fn lognormal(&mut self, mu: f64, sigma: f64) -> f64 {
+        (mu + sigma * self.normal()).exp()
+    }
+
+    /// Standard normal sample (Box–Muller).
+    pub fn normal(&mut self) -> f64 {
+        let u1: f64 = 1.0 - self.inner.gen::<f64>();
+        let u2: f64 = self.inner.gen();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+    }
+
+    /// Fills `buf` with random bytes (e.g. synthetic payloads).
+    pub fn fill_bytes(&mut self, buf: &mut [u8]) {
+        self.inner.fill_bytes(buf);
+    }
+
+    /// Chooses an index in `0..n` weighted by `weights` (need not be
+    /// normalised). Returns `None` when `weights` is empty or sums to 0.
+    pub fn weighted_index(&mut self, weights: &[f64]) -> Option<usize> {
+        let total: f64 = weights.iter().sum();
+        if total <= 0.0 || total.is_nan() {
+            return None;
+        }
+        let mut x = self.gen_f64() * total;
+        for (i, &w) in weights.iter().enumerate() {
+            if x < w {
+                return Some(i);
+            }
+            x -= w;
+        }
+        Some(weights.len() - 1)
+    }
+}
+
+impl std::fmt::Debug for SimRng {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimRng").finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_and_label_reproduce() {
+        let mut a = SimRng::stream(42, "arrivals");
+        let mut b = SimRng::stream(42, "arrivals");
+        for _ in 0..100 {
+            assert_eq!(a.gen_u64(), b.gen_u64());
+        }
+    }
+
+    #[test]
+    fn different_labels_are_independent() {
+        let mut a = SimRng::stream(42, "arrivals");
+        let mut b = SimRng::stream(42, "service");
+        let same = (0..64).filter(|_| a.gen_u64() == b.gen_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn exp_mean_is_close() {
+        let mut r = SimRng::stream(7, "exp");
+        let n = 200_000;
+        let mean: f64 = (0..n).map(|_| r.exp(3.0)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.05, "mean was {mean}");
+    }
+
+    #[test]
+    fn normal_moments_are_close() {
+        let mut r = SimRng::stream(7, "norm");
+        let n = 200_000;
+        let xs: Vec<f64> = (0..n).map(|_| r.normal()).collect();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.02, "mean was {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var was {var}");
+    }
+
+    #[test]
+    fn weighted_index_respects_weights() {
+        let mut r = SimRng::stream(9, "w");
+        let w = [1.0, 0.0, 3.0];
+        let mut counts = [0u32; 3];
+        for _ in 0..40_000 {
+            counts[r.weighted_index(&w).unwrap()] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        let ratio = counts[2] as f64 / counts[0] as f64;
+        assert!((ratio - 3.0).abs() < 0.3, "ratio was {ratio}");
+    }
+
+    #[test]
+    fn weighted_index_empty_or_zero() {
+        let mut r = SimRng::stream(9, "w2");
+        assert_eq!(r.weighted_index(&[]), None);
+        assert_eq!(r.weighted_index(&[0.0, 0.0]), None);
+    }
+
+    #[test]
+    fn fork_differs_from_parent() {
+        let mut a = SimRng::stream(1, "p");
+        let mut child = a.fork("c");
+        assert_ne!(a.gen_u64(), child.gen_u64());
+    }
+}

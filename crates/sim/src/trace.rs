@@ -1,0 +1,162 @@
+//! Lightweight event tracing.
+//!
+//! Section 6 of the paper notes that tracing/debugging "presents
+//! interesting properties for further close integration with the OS".
+//! We provide the hook the prototype would need: any component can emit
+//! `(time, category, message)` records into a shared [`Trace`], and
+//! experiments can dump or filter them. Tracing is off by default and
+//! costs one branch when disabled.
+
+use std::fmt;
+
+use crate::time::SimTime;
+
+/// One trace record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// When the event happened.
+    pub at: SimTime,
+    /// Component category, e.g. `"nic.rx"` or `"os.sched"`.
+    pub category: &'static str,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{:>14}] {:<16} {}", self.at, self.category, self.message)
+    }
+}
+
+/// An append-only trace buffer with an on/off switch and a size cap.
+#[derive(Debug)]
+pub struct Trace {
+    enabled: bool,
+    cap: usize,
+    dropped: u64,
+    events: Vec<TraceEvent>,
+}
+
+impl Default for Trace {
+    fn default() -> Self {
+        Self::disabled()
+    }
+}
+
+impl Trace {
+    /// A disabled trace: all emissions are no-ops.
+    pub fn disabled() -> Self {
+        Trace {
+            enabled: false,
+            cap: 0,
+            dropped: 0,
+            events: Vec::new(),
+        }
+    }
+
+    /// An enabled trace retaining at most `cap` events (older events are
+    /// kept; overflowing events are counted as dropped).
+    pub fn enabled(cap: usize) -> Self {
+        Trace {
+            enabled: true,
+            cap,
+            dropped: 0,
+            events: Vec::new(),
+        }
+    }
+
+    /// Whether emissions are recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Emits an event; `message` is only evaluated by the caller, so hot
+    /// paths should guard with [`Trace::is_enabled`] when formatting is
+    /// costly.
+    pub fn emit(&mut self, at: SimTime, category: &'static str, message: impl Into<String>) {
+        if !self.enabled {
+            return;
+        }
+        if self.events.len() >= self.cap {
+            self.dropped += 1;
+            return;
+        }
+        self.events.push(TraceEvent {
+            at,
+            category,
+            message: message.into(),
+        });
+    }
+
+    /// All recorded events, in emission order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Events whose category starts with `prefix`.
+    pub fn filter<'a>(&'a self, prefix: &'a str) -> impl Iterator<Item = &'a TraceEvent> + 'a {
+        self.events.iter().filter(move |e| e.category.starts_with(prefix))
+    }
+
+    /// Number of events dropped due to the cap.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Renders the whole trace, one event per line.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for e in &self.events {
+            out.push_str(&format!("{e}\n"));
+        }
+        if self.dropped > 0 {
+            out.push_str(&format!("... {} events dropped\n", self.dropped));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let mut t = Trace::disabled();
+        t.emit(SimTime::ZERO, "nic.rx", "packet");
+        assert!(t.events().is_empty());
+        assert_eq!(t.dropped(), 0);
+    }
+
+    #[test]
+    fn enabled_trace_records_in_order() {
+        let mut t = Trace::enabled(16);
+        t.emit(SimTime::from_ns(1), "nic.rx", "a");
+        t.emit(SimTime::from_ns(2), "os.sched", "b");
+        assert_eq!(t.events().len(), 2);
+        assert_eq!(t.events()[0].message, "a");
+        assert_eq!(t.events()[1].category, "os.sched");
+    }
+
+    #[test]
+    fn cap_counts_drops() {
+        let mut t = Trace::enabled(2);
+        for i in 0..5 {
+            t.emit(SimTime::from_ns(i), "x", format!("{i}"));
+        }
+        assert_eq!(t.events().len(), 2);
+        assert_eq!(t.dropped(), 3);
+        assert!(t.render().contains("3 events dropped"));
+    }
+
+    #[test]
+    fn filter_by_prefix() {
+        let mut t = Trace::enabled(16);
+        t.emit(SimTime::ZERO, "nic.rx", "a");
+        t.emit(SimTime::ZERO, "nic.tx", "b");
+        t.emit(SimTime::ZERO, "os.sched", "c");
+        assert_eq!(t.filter("nic").count(), 2);
+        assert_eq!(t.filter("os").count(), 1);
+        assert_eq!(t.filter("zzz").count(), 0);
+    }
+}

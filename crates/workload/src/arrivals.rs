@@ -1,0 +1,135 @@
+//! Arrival processes.
+
+use lauberhorn_sim::{SimDuration, SimRng};
+
+/// A request arrival process: a stream of inter-arrival gaps.
+#[derive(Debug, Clone)]
+pub enum ArrivalProcess {
+    /// Poisson arrivals at `rate_rps` requests per second.
+    Poisson {
+        /// Mean arrival rate (requests/second).
+        rate_rps: f64,
+    },
+    /// Fixed-gap arrivals at `rate_rps` (closed pacing).
+    Deterministic {
+        /// Arrival rate (requests/second).
+        rate_rps: f64,
+    },
+    /// Two-state Markov-modulated Poisson process: bursts of `high_rps`
+    /// arrivals interleaved with quiet periods of `low_rps`, switching
+    /// state with mean dwell `dwell` seconds.
+    Bursty {
+        /// Rate in the high state.
+        high_rps: f64,
+        /// Rate in the low state.
+        low_rps: f64,
+        /// Mean dwell time per state, seconds.
+        dwell_s: f64,
+        /// Current state (true = high).
+        high: bool,
+        /// Time left in the current state, seconds.
+        remaining_s: f64,
+    },
+}
+
+impl ArrivalProcess {
+    /// A bursty process starting in the high state.
+    pub fn bursty(high_rps: f64, low_rps: f64, dwell_s: f64) -> Self {
+        ArrivalProcess::Bursty {
+            high_rps,
+            low_rps,
+            dwell_s,
+            high: true,
+            remaining_s: dwell_s,
+        }
+    }
+
+    /// Draws the next inter-arrival gap.
+    pub fn next_gap(&mut self, rng: &mut SimRng) -> SimDuration {
+        match self {
+            ArrivalProcess::Poisson { rate_rps } => {
+                SimDuration::from_ns_f64(rng.exp(1e9 / *rate_rps))
+            }
+            ArrivalProcess::Deterministic { rate_rps } => {
+                SimDuration::from_ns_f64(1e9 / *rate_rps)
+            }
+            ArrivalProcess::Bursty {
+                high_rps,
+                low_rps,
+                dwell_s,
+                high,
+                remaining_s,
+            } => {
+                let rate = if *high { *high_rps } else { *low_rps };
+                let gap_s = rng.exp(1.0 / rate);
+                // Spend the gap against the dwell clock, switching state
+                // as needed.
+                *remaining_s -= gap_s;
+                while *remaining_s <= 0.0 {
+                    *high = !*high;
+                    *remaining_s += rng.exp(*dwell_s);
+                }
+                SimDuration::from_ns_f64(gap_s * 1e9)
+            }
+        }
+    }
+
+    /// The long-run mean rate in requests/second.
+    pub fn mean_rate(&self) -> f64 {
+        match self {
+            ArrivalProcess::Poisson { rate_rps } => *rate_rps,
+            ArrivalProcess::Deterministic { rate_rps } => *rate_rps,
+            ArrivalProcess::Bursty {
+                high_rps, low_rps, ..
+            } => (high_rps + low_rps) / 2.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mean_gap_ns(p: &mut ArrivalProcess, rng: &mut SimRng, n: usize) -> f64 {
+        (0..n).map(|_| p.next_gap(rng).as_ns_f64()).sum::<f64>() / n as f64
+    }
+
+    #[test]
+    fn poisson_rate_is_respected() {
+        let mut p = ArrivalProcess::Poisson { rate_rps: 100_000.0 };
+        let mut rng = SimRng::stream(1, "arr");
+        let mean = mean_gap_ns(&mut p, &mut rng, 100_000);
+        // 100k rps => 10 µs mean gap.
+        assert!((mean - 10_000.0).abs() / 10_000.0 < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn deterministic_gaps_are_constant() {
+        let mut p = ArrivalProcess::Deterministic { rate_rps: 1_000.0 };
+        let mut rng = SimRng::stream(1, "arr");
+        let a = p.next_gap(&mut rng);
+        let b = p.next_gap(&mut rng);
+        assert_eq!(a, b);
+        assert_eq!(a, SimDuration::from_us(1000));
+    }
+
+    #[test]
+    fn bursty_mixes_two_rates() {
+        let mut p = ArrivalProcess::bursty(1_000_000.0, 1_000.0, 0.001);
+        let mut rng = SimRng::stream(3, "arr");
+        let gaps: Vec<f64> = (0..50_000).map(|_| p.next_gap(&mut rng).as_ns_f64()).collect();
+        let short = gaps.iter().filter(|g| **g < 10_000.0).count();
+        let long = gaps.iter().filter(|g| **g > 100_000.0).count();
+        assert!(short > 1000, "bursts present ({short})");
+        assert!(long > 10, "quiet gaps present ({long})");
+    }
+
+    #[test]
+    fn mean_rate_reported() {
+        assert_eq!(
+            ArrivalProcess::Poisson { rate_rps: 5.0 }.mean_rate(),
+            5.0
+        );
+        assert_eq!(ArrivalProcess::bursty(10.0, 2.0, 1.0).mean_rate(), 6.0);
+    }
+}

@@ -1,0 +1,30 @@
+//! Workload generation for the Lauberhorn experiments.
+//!
+//! The paper's quantitative claims are workload-conditional: the fast
+//! path wins for "relatively stable RPC and serverless workloads", and
+//! the OS-integration argument bites "when the workload is dynamic with
+//! many more end-points than spare cores" (§2, §4). This crate provides
+//! the generators those experiments need:
+//!
+//! * [`arrivals`] — Poisson, deterministic, and bursty (MMPP-2) arrival
+//!   processes.
+//! * [`sizes`] — RPC payload sizes, including a cloud mixture modelled
+//!   on the characterization of Seemakhupt et al. \[23\] ("the great
+//!   majority of RPC requests and responses are small").
+//! * [`service`] — handler service-time distributions (fixed,
+//!   exponential, bimodal à la Shinjuku).
+//! * [`zipf`] — Zipf popularity sampling.
+//! * [`mix`] — dynamic service mixes: Zipf popularity over S services
+//!   with a rotating hot set (experiment C4).
+
+pub mod arrivals;
+pub mod mix;
+pub mod service;
+pub mod sizes;
+pub mod zipf;
+
+pub use arrivals::ArrivalProcess;
+pub use mix::DynamicMix;
+pub use service::ServiceTime;
+pub use sizes::SizeDist;
+pub use zipf::Zipf;

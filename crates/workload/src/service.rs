@@ -1,0 +1,108 @@
+//! Handler service-time distributions.
+
+use lauberhorn_sim::SimRng;
+
+/// Service time of an RPC handler, in CPU cycles.
+#[derive(Debug, Clone, Copy)]
+pub enum ServiceTime {
+    /// Constant.
+    Fixed {
+        /// Handler cost in cycles.
+        cycles: u64,
+    },
+    /// Exponential with the given mean.
+    Exp {
+        /// Mean handler cost in cycles.
+        mean_cycles: f64,
+    },
+    /// Bimodal (Shinjuku's motivating case): mostly-short handlers with
+    /// occasional long ones.
+    Bimodal {
+        /// Probability of the long mode.
+        p_long: f64,
+        /// Short-mode cost.
+        short_cycles: u64,
+        /// Long-mode cost.
+        long_cycles: u64,
+    },
+}
+
+impl ServiceTime {
+    /// Draws a handler cost in cycles (at least 1).
+    pub fn sample(&self, rng: &mut SimRng) -> u64 {
+        match self {
+            ServiceTime::Fixed { cycles } => (*cycles).max(1),
+            ServiceTime::Exp { mean_cycles } => (rng.exp(*mean_cycles).round() as u64).max(1),
+            ServiceTime::Bimodal {
+                p_long,
+                short_cycles,
+                long_cycles,
+            } => {
+                if rng.gen_bool(*p_long) {
+                    (*long_cycles).max(1)
+                } else {
+                    (*short_cycles).max(1)
+                }
+            }
+        }
+    }
+
+    /// Mean cost in cycles.
+    pub fn mean(&self) -> f64 {
+        match self {
+            ServiceTime::Fixed { cycles } => *cycles as f64,
+            ServiceTime::Exp { mean_cycles } => *mean_cycles,
+            ServiceTime::Bimodal {
+                p_long,
+                short_cycles,
+                long_cycles,
+            } => p_long * *long_cycles as f64 + (1.0 - p_long) * *short_cycles as f64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_is_constant() {
+        let mut rng = SimRng::stream(1, "st");
+        let d = ServiceTime::Fixed { cycles: 500 };
+        assert_eq!(d.sample(&mut rng), 500);
+        assert_eq!(d.mean(), 500.0);
+    }
+
+    #[test]
+    fn exp_mean_converges() {
+        let mut rng = SimRng::stream(2, "st");
+        let d = ServiceTime::Exp { mean_cycles: 2000.0 };
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| d.sample(&mut rng) as f64).sum::<f64>() / n as f64;
+        assert!((mean - 2000.0).abs() / 2000.0 < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn bimodal_fraction_and_mean() {
+        let mut rng = SimRng::stream(3, "st");
+        let d = ServiceTime::Bimodal {
+            p_long: 0.01,
+            short_cycles: 1_000,
+            long_cycles: 100_000,
+        };
+        let n = 200_000;
+        let longs = (0..n).filter(|_| d.sample(&mut rng) == 100_000).count();
+        let frac = longs as f64 / n as f64;
+        assert!((frac - 0.01).abs() < 0.002, "long fraction {frac}");
+        assert!((d.mean() - (0.99 * 1000.0 + 0.01 * 100_000.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn samples_never_zero() {
+        let mut rng = SimRng::stream(4, "st");
+        let d = ServiceTime::Exp { mean_cycles: 0.1 };
+        for _ in 0..1000 {
+            assert!(d.sample(&mut rng) >= 1);
+        }
+    }
+}

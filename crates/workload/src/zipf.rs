@@ -1,0 +1,108 @@
+//! Zipf-distributed popularity sampling.
+
+use lauberhorn_sim::SimRng;
+
+/// A Zipf(s) distribution over ranks `0..n` (rank 0 most popular),
+/// sampled by inverse CDF over precomputed cumulative weights.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cumulative: Vec<f64>,
+}
+
+impl Zipf {
+    /// Creates a Zipf distribution over `n` items with exponent `s`
+    /// (s = 0 is uniform; s ≈ 1 is the classic web/service skew).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf over zero items");
+        let mut cumulative = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for k in 1..=n {
+            total += 1.0 / (k as f64).powf(s);
+            cumulative.push(total);
+        }
+        for c in &mut cumulative {
+            *c /= total;
+        }
+        Zipf { cumulative }
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// Whether the distribution is over zero items (never true).
+    pub fn is_empty(&self) -> bool {
+        self.cumulative.is_empty()
+    }
+
+    /// Samples a rank in `0..n`.
+    pub fn sample(&self, rng: &mut SimRng) -> usize {
+        let u = rng.gen_f64();
+        self.cumulative.partition_point(|c| *c < u).min(self.len() - 1)
+    }
+
+    /// Probability mass of rank `k`.
+    pub fn pmf(&self, k: usize) -> f64 {
+        if k == 0 {
+            self.cumulative[0]
+        } else {
+            self.cumulative[k] - self.cumulative[k - 1]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rank_zero_is_most_popular() {
+        let z = Zipf::new(100, 1.0);
+        let mut rng = SimRng::stream(1, "z");
+        let mut counts = vec![0u32; 100];
+        for _ in 0..100_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[10]);
+        assert!(counts[10] > counts[90]);
+    }
+
+    #[test]
+    fn frequencies_match_pmf() {
+        let z = Zipf::new(10, 1.2);
+        let mut rng = SimRng::stream(2, "z");
+        let n = 500_000;
+        let mut counts = [0u32; 10];
+        for _ in 0..n {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        for (k, count) in counts.iter().enumerate() {
+            let emp = *count as f64 / n as f64;
+            let exp = z.pmf(k);
+            assert!(
+                (emp - exp).abs() < 0.01,
+                "rank {k}: empirical {emp}, expected {exp}"
+            );
+        }
+    }
+
+    #[test]
+    fn s_zero_is_uniform() {
+        let z = Zipf::new(4, 0.0);
+        for k in 0..4 {
+            assert!((z.pmf(k) - 0.25).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn single_item() {
+        let z = Zipf::new(1, 1.0);
+        let mut rng = SimRng::stream(3, "z");
+        assert_eq!(z.sample(&mut rng), 0);
+    }
+}

@@ -1,0 +1,87 @@
+//! Property-based tests for the workload generators.
+
+use proptest::prelude::*;
+
+use lauberhorn_sim::{SimRng, SimTime};
+use lauberhorn_workload::{ArrivalProcess, DynamicMix, ServiceTime, SizeDist, Zipf};
+
+proptest! {
+    #[test]
+    fn sizes_stay_within_their_bounds(seed in any::<u64>(), n in 1usize..500) {
+        let mut rng = SimRng::stream(seed, "sizes");
+        for _ in 0..n {
+            let v = SizeDist::CloudRpc.sample(&mut rng);
+            prop_assert!(v >= 1);
+            prop_assert!(v <= 56 * 1024, "tail escaped the UDP cap: {v}");
+            let u = SizeDist::Uniform { lo: 5, hi: 50 }.sample(&mut rng);
+            prop_assert!((5..=50).contains(&u));
+        }
+    }
+
+    #[test]
+    fn zipf_pmf_sums_to_one(n in 1usize..200, s in 0.0f64..3.0) {
+        let z = Zipf::new(n, s);
+        let total: f64 = (0..n).map(|k| z.pmf(k)).sum();
+        prop_assert!((total - 1.0).abs() < 1e-9, "pmf sums to {total}");
+        // PMF is non-increasing in rank.
+        for k in 1..n {
+            prop_assert!(z.pmf(k) <= z.pmf(k - 1) + 1e-12);
+        }
+    }
+
+    #[test]
+    fn mix_samples_are_always_valid_services(
+        services in 1usize..64,
+        s in 0.0f64..2.0,
+        rotate in 0usize..10,
+        epoch_us in 1u64..10_000,
+        times in proptest::collection::vec(0u64..10_000_000, 1..100),
+    ) {
+        let m = DynamicMix::new(services, s, rotate, epoch_us);
+        let mut rng = SimRng::stream(7, "mix");
+        for t in times {
+            let svc = m.sample(&mut rng, SimTime::from_us(t));
+            prop_assert!((svc as usize) < services);
+        }
+    }
+
+    #[test]
+    fn hot_set_has_no_duplicates(
+        services in 2usize..64,
+        k in 1usize..16,
+        t in 0u64..1_000_000,
+    ) {
+        let m = DynamicMix::new(services, 1.0, 3, 100);
+        let hot = m.hot_set(k, SimTime::from_us(t));
+        let mut dedup = hot.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        prop_assert_eq!(dedup.len(), hot.len().min(services));
+    }
+
+    #[test]
+    fn arrival_gaps_are_positive(seed in any::<u64>(), rate in 1.0f64..1e7) {
+        let mut rng = SimRng::stream(seed, "arr");
+        let mut p = ArrivalProcess::Poisson { rate_rps: rate };
+        let mut b = ArrivalProcess::bursty(rate, rate / 10.0, 0.001);
+        for _ in 0..100 {
+            // Gaps may round to zero ps only for absurd rates; at these
+            // bounds they must be representable and non-negative.
+            let _ = p.next_gap(&mut rng);
+            let _ = b.next_gap(&mut rng);
+        }
+    }
+
+    #[test]
+    fn service_time_mean_matches_analytic(cycles in 1u64..100_000) {
+        let d = ServiceTime::Fixed { cycles };
+        prop_assert_eq!(d.mean(), cycles as f64);
+        let b = ServiceTime::Bimodal {
+            p_long: 0.25,
+            short_cycles: cycles,
+            long_cycles: cycles * 10,
+        };
+        let expected = 0.75 * cycles as f64 + 0.25 * (cycles * 10) as f64;
+        prop_assert!((b.mean() - expected).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,33 @@
+//! Quickstart: run one workload through the paper's system and both
+//! baselines, and print the comparison.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use lauberhorn::prelude::*;
+
+fn main() {
+    // A single echo service: 1000-cycle handler, 32-byte responses.
+    let services = ServiceSpec::uniform(1, 1000, 32);
+
+    // 64-byte requests, closed loop (one outstanding request), 10 ms of
+    // simulated time, fixed seed — the run is fully deterministic.
+    let workload = WorkloadSpec::echo_closed(64, 10, 42);
+
+    println!("64-byte echo RPCs, one client, closed loop:\n");
+    for stack in StackKind::all() {
+        let report = Experiment::new(stack)
+            .cores(2)
+            .services(services.clone())
+            .run(&workload);
+        println!("{}", report.row());
+    }
+
+    println!(
+        "\nReading the rows: Lauberhorn over the coherent interconnect answers an\n\
+         RPC in ~1-3 us round trip with <100 software cycles per request and\n\
+         cores stalled (not spinning) while idle; kernel bypass pays ~10x the\n\
+         cycles and burns 100% CPU; the kernel stack pays ~100x the cycles."
+    );
+}

@@ -1,0 +1,63 @@
+//! A serverless scenario: many more functions than cores, bursty
+//! arrivals, rotating popularity — the "dynamic application mix" the
+//! paper argues kernel bypass handles poorly (§2, §5.2).
+//!
+//! Watch three things in the output: tail latency (static bindings
+//! suffer when the hot set moves), CPU time (bypass burns cores
+//! spinning between bursts), and software cycles per request.
+//!
+//! ```text
+//! cargo run --example serverless_burst
+//! ```
+
+use lauberhorn::prelude::*;
+use lauberhorn::rpc::spec::LoadMode;
+
+fn main() {
+    // 32 serverless functions on a 4-core worker.
+    let services = ServiceSpec::uniform(32, 4000, 48);
+
+    let workload = WorkloadSpec {
+        // Bursts of 400k rps alternating with near-idle periods.
+        mode: LoadMode::Open {
+            arrivals: ArrivalProcess::bursty(400_000.0, 5_000.0, 0.002),
+        },
+        // Hot set of functions rotates every 2 ms.
+        mix: DynamicMix::new(32, 1.5, 7, 2_000),
+        request_bytes: SizeDist::Fixed { bytes: 128 },
+        payload: None,
+        record_responses: false,
+        duration: SimDuration::from_ms(30),
+        seed: 99,
+        warmup: 300,
+    };
+
+    println!("serverless burst: 32 functions, 4 cores, bursty + rotating hot set\n");
+    for (label, stack, rebind) in [
+        ("lauberhorn", StackKind::LauberhornCxl, false),
+        ("bypass/static", StackKind::BypassModern, false),
+        ("bypass/rebinding", StackKind::BypassModern, true),
+        ("kernel", StackKind::KernelModern, false),
+    ] {
+        let report = Experiment::new(stack)
+            .cores(4)
+            .services(services.clone())
+            .rebind_on_epoch(rebind)
+            .run(&workload);
+        println!(
+            "{:<18} rtt p50={:>8.1}us p99={:>9.1}us completed={:>5.1}% active={:>5.1}% energy={:.4}",
+            label,
+            report.rtt.p50_us(),
+            report.rtt.p99_us(),
+            report.completed as f64 / report.offered.max(1) as f64 * 100.0,
+            report.energy.active_fraction() * 100.0,
+            report.energy_proxy,
+        );
+    }
+    println!(
+        "\nBetween bursts, Lauberhorn's cores sit stalled on CONTROL-line loads\n\
+         (near-zero dynamic power); the bypass cores spin at 100%. When the hot\n\
+         set rotates, Lauberhorn re-targets via the shared scheduling state —\n\
+         no queue reprogramming, no drain windows."
+    );
+}

@@ -1,0 +1,165 @@
+//! Workspace-level end-to-end tests: the paper's headline claims,
+//! checked through the complete stack (client frames → NIC models →
+//! coherence/PCIe → OS → handler → response frames).
+
+use lauberhorn::experiments::{c1, c2, fig1, fig2};
+use lauberhorn::mc::checker::CheckOutcome;
+use lauberhorn::prelude::*;
+
+#[test]
+fn headline_every_stack_answers_real_byte_streams() {
+    // Every stack consumes the same checksummed frames and produces
+    // parseable responses; nothing in the pipeline is a stub.
+    let wl = WorkloadSpec::echo_closed(64, 3, 1);
+    for stack in StackKind::all() {
+        let r = Experiment::new(stack).run(&wl);
+        assert!(r.completed > 100, "{}: {}", stack.name(), r.completed);
+        assert_eq!(r.dropped, 0, "{} dropped frames", stack.name());
+    }
+}
+
+#[test]
+fn headline_figure2_and_cycle_claims() {
+    let rows = fig2::run(3, 77);
+    let get = |name: &str| rows.iter().find(|r| r.stack == name).expect("present");
+    let lb = get("lauberhorn/enzian-eci");
+    let by_enzian = get("bypass/enzian-pcie-dma");
+    let by_pc = get("bypass/pc-pcie-dma");
+    let ke_pc = get("kernel/pc-pcie-dma");
+    // "performance for RPC workloads better than the fastest
+    // kernel-bypass approaches" — on the same machine and against a
+    // faster machine's bypass.
+    assert!(lb.rtt.p50 < by_enzian.rtt.p50);
+    assert!(lb.rtt.p50 < by_pc.rtt.p50);
+    // "reduce the CPU cycle overhead of a small RPC call to
+    // essentially zero".
+    assert!(lb.sw_cycles_per_req < 150.0, "{}", lb.sw_cycles_per_req);
+    assert!(ke_pc.sw_cycles_per_req > 5_000.0);
+}
+
+#[test]
+fn headline_steps_table_is_consistent_with_measurements() {
+    // The analytic step table (fig1) and the measured simulations must
+    // agree on ordering.
+    let steps = fig1::run(64);
+    let analytic: Vec<u64> = steps.iter().map(|s| s.total_cycles).collect();
+    assert!(analytic[0] > analytic[2], "kernel > bypass analytically");
+    assert!(analytic[2] > analytic[3], "bypass > lauberhorn analytically");
+}
+
+#[test]
+fn headline_crossover_and_modelcheck() {
+    // §6's two supporting claims in one sweep each.
+    let sweeps = c1::run();
+    assert!((2048..=8192).contains(&sweeps[0].crossover_bytes));
+    let runs = c2::run();
+    let verified = runs
+        .iter()
+        .filter(|r| r.outcome == CheckOutcome::Ok)
+        .count();
+    assert!(verified >= 4, "only {verified} configurations verified");
+    assert!(runs
+        .iter()
+        .any(|r| matches!(r.outcome, CheckOutcome::InvariantViolated { .. })));
+}
+
+#[test]
+fn saturation_behavior_is_sane() {
+    // Drive Lauberhorn well past one core's capacity: throughput should
+    // approach the multi-core service rate and nothing should wedge.
+    let services = ServiceSpec::uniform(1, 2000, 32);
+    let wl = WorkloadSpec::open_poisson(
+        400_000.0,
+        1,
+        0.0,
+        SizeDist::Fixed { bytes: 64 },
+        10,
+        3,
+    );
+    let r = Experiment::new(StackKind::LauberhornCxl)
+        .cores(4)
+        .services(services)
+        .run(&wl);
+    let frac = r.completed as f64 / r.offered.max(1) as f64;
+    assert!(frac > 0.9, "completed {frac}");
+    assert!(r.throughput_rps() > 300_000.0, "{}", r.throughput_rps());
+}
+
+#[test]
+fn large_payloads_survive_every_stack() {
+    // 8 KiB requests: Lauberhorn diverts through the DMA fallback, the
+    // DMA stacks take them natively; everyone must deliver.
+    let services = ServiceSpec::uniform(1, 3000, 32);
+    let wl = WorkloadSpec {
+        request_bytes: SizeDist::Fixed { bytes: 8192 },
+        ..WorkloadSpec::echo_closed(64, 3, 5)
+    };
+    for stack in [
+        StackKind::LauberhornEnzian,
+        StackKind::BypassModern,
+        StackKind::KernelModern,
+    ] {
+        let r = Experiment::new(stack).services(services.clone()).run(&wl);
+        assert!(r.completed > 50, "{}: {}", stack.name(), r.completed);
+    }
+}
+
+#[test]
+fn mixed_sizes_cloud_distribution() {
+    // The paper's motivating workload shape: mostly small with a tail.
+    let services = ServiceSpec::uniform(4, 1500, 48);
+    let wl = WorkloadSpec::open_poisson(60_000.0, 4, 1.0, SizeDist::CloudRpc, 10, 9);
+    let r = Experiment::new(StackKind::LauberhornEnzian)
+        .cores(4)
+        .services(services)
+        .run(&wl);
+    let frac = r.completed as f64 / r.offered.max(1) as f64;
+    assert!(frac > 0.95, "completed {frac}");
+}
+
+#[test]
+fn application_bytes_survive_the_whole_stack() {
+    // A stateful counter service: the handler sums the bytes it was
+    // *delivered* and returns a running total — any corruption or
+    // reordering anywhere in the stack changes the final value.
+    use lauberhorn::rpc::sim_lauberhorn::{LauberhornSim, LauberhornSimConfig};
+    use lauberhorn::rpc::spec::{LoadMode, PayloadGen};
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    let total = Arc::new(AtomicU64::new(0));
+    let server_total = total.clone();
+    let service = lauberhorn::rpc::ServiceSpec::with_handler(0, 800, move |args| {
+        let sum: u64 = args.iter().map(|b| *b as u64).sum();
+        let t = server_total.fetch_add(sum, Ordering::SeqCst) + sum;
+        t.to_le_bytes().to_vec()
+    });
+    let wl = WorkloadSpec {
+        mode: LoadMode::Closed {
+            clients: 1,
+            think: SimDuration::ZERO,
+        },
+        mix: lauberhorn::workload::DynamicMix::stable(1, 0.0),
+        request_bytes: SizeDist::Fixed { bytes: 0 },
+        payload: Some(PayloadGen::Script(Arc::new(|id| {
+            vec![(id % 251) as u8; 1 + (id as usize % 40)]
+        }))),
+        record_responses: true,
+        duration: SimDuration::from_ms(3),
+        seed: 17,
+        warmup: 0,
+    };
+    let mut sim = LauberhornSim::new(LauberhornSimConfig::enzian(1), vec![service]);
+    let report = sim.run(&wl);
+    assert!(report.completed > 200, "{} completed", report.completed);
+    // Replay: the recorded responses must equal the reference totals.
+    let mut recorded = report.recorded.clone();
+    recorded.sort_by_key(|(id, _)| *id);
+    let mut reference = 0u64;
+    for (id, resp) in &recorded {
+        let args = vec![(id % 251) as u8; 1 + (*id as usize % 40)];
+        reference += args.iter().map(|b| *b as u64).sum::<u64>();
+        let got = u64::from_le_bytes(resp[..8].try_into().expect("8 bytes"));
+        assert_eq!(got, reference, "request {id} diverged");
+    }
+}
