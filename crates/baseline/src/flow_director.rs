@@ -73,10 +73,7 @@ impl FlowDirector {
 
     /// Steers a packet: rule hit, else default queue, else `None` (drop).
     pub fn steer(&self, dst_port: u16) -> Option<u32> {
-        self.rules
-            .get(&dst_port)
-            .copied()
-            .or(self.default_queue)
+        self.rules.get(&dst_port).copied().or(self.default_queue)
     }
 
     /// Rules currently installed.

@@ -27,7 +27,7 @@ fn main() {
         (
             "F3",
             "receive fast path",
-            Box::new(|| fig3::render(&fig3::run(Machine::Enzian, 42))),
+            Box::new(|| fig3::render(&fig3::run(Machine::EnzianEci, 42))),
         ),
         (
             "F4",
@@ -39,9 +39,17 @@ fn main() {
             "scheduling comparison",
             Box::new(|| fig5::render(&fig5::run(42))),
         ),
-        ("C1", "large-message crossover", Box::new(|| c1::render(&c1::run()))),
+        (
+            "C1",
+            "large-message crossover",
+            Box::new(|| c1::render(&c1::run())),
+        ),
         ("C2", "model checking", Box::new(|| c2::render(&c2::run()))),
-        ("C3", "cycles and energy", Box::new(|| c3::render(&c3::run(42)))),
+        (
+            "C3",
+            "cycles and energy",
+            Box::new(|| c3::render(&c3::run(42))),
+        ),
         (
             "C4",
             "dynamic mixes",

@@ -4,17 +4,13 @@ use lauberhorn::calib;
 use lauberhorn::experiments::fig2;
 
 fn main() {
-    let out = lauberhorn_bench::experiment(
-        "F2",
-        "64-byte message round-trip latencies",
-        || {
-            let mut s = String::from("calibration:\n");
-            s.push_str(&calib::calibration_table());
-            s.push('\n');
-            let rows = fig2::run(10, 42);
-            s.push_str(&fig2::render(&rows));
-            s
-        },
-    );
+    let out = lauberhorn_bench::experiment("F2", "64-byte message round-trip latencies", || {
+        let mut s = String::from("calibration:\n");
+        s.push_str(&calib::calibration_table());
+        s.push('\n');
+        let rows = fig2::run(10, 42);
+        s.push_str(&fig2::render(&rows));
+        s
+    });
     println!("{out}");
 }

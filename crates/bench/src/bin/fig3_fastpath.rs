@@ -5,9 +5,9 @@ use lauberhorn::rpc::sim_lauberhorn::Machine;
 
 fn main() {
     let out = lauberhorn_bench::experiment("F3", "receive fast path, phase by phase", || {
-        let mut s = fig3::render(&fig3::run(Machine::Enzian, 42));
+        let mut s = fig3::render(&fig3::run(Machine::EnzianEci, 42));
         s.push('\n');
-        s.push_str(&fig3::render(&fig3::run(Machine::CxlServer, 42)));
+        s.push_str(&fig3::render(&fig3::run(Machine::CxlProjected, 42)));
         s
     });
     println!("{out}");

@@ -3,8 +3,9 @@
 use lauberhorn::experiments::fig5;
 
 fn main() {
-    let out = lauberhorn_bench::experiment("F5", "dispatch: normal vs NIC-driven scheduling", || {
-        fig5::render(&fig5::run(42))
-    });
+    let out =
+        lauberhorn_bench::experiment("F5", "dispatch: normal vs NIC-driven scheduling", || {
+            fig5::render(&fig5::run(42))
+        });
     println!("{out}");
 }

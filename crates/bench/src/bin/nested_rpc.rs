@@ -3,8 +3,9 @@
 use lauberhorn::experiments::nested;
 
 fn main() {
-    let out = lauberhorn_bench::experiment("NEST", "nested RPCs via continuation endpoints", || {
-        nested::render(&nested::run())
-    });
+    let out =
+        lauberhorn_bench::experiment("NEST", "nested RPCs via continuation endpoints", || {
+            nested::render(&nested::run())
+        });
     println!("{out}");
 }

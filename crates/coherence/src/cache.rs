@@ -118,7 +118,9 @@ impl SetAssocCache {
 
     /// Whether `line` is currently present.
     pub fn contains(&self, line: LineAddr) -> bool {
-        self.sets[self.set_index(line)].iter().any(|(l, _)| *l == line)
+        self.sets[self.set_index(line)]
+            .iter()
+            .any(|(l, _)| *l == line)
     }
 
     /// `(hits, misses)` counted so far.

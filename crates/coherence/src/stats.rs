@@ -5,10 +5,8 @@
 //! blocked load parks one request at the device until data arrives.
 //! These counters make that difference measurable.
 
-use serde::Serialize;
-
 /// Counts of protocol messages by class.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CoherenceStats {
     /// Loads that hit in the requesting cache (no message).
     pub load_hits: u64,

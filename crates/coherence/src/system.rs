@@ -351,7 +351,11 @@ impl CoherentSystem {
             }
             LineState::Shared => {
                 // Upgrade: invalidate other sharers via the home.
-                let fabric = if is_device { device_fabric } else { host_fabric };
+                let fabric = if is_device {
+                    device_fabric
+                } else {
+                    host_fabric
+                };
                 let others;
                 {
                     let e = self.entry(addr);
@@ -487,7 +491,12 @@ impl CoherentSystem {
             // Nothing cached: local to the device.
             SimDuration::from_ns(5)
         };
-        let data = self.dirs.get(&addr).expect("entry created above").data.clone();
+        let data = self
+            .dirs
+            .get(&addr)
+            .expect("entry created above")
+            .data
+            .clone();
         (data, latency)
     }
 

@@ -1,12 +1,14 @@
-//! Property-based tests of the coherence protocol: for arbitrary
+//! Randomized tests of the coherence protocol: for arbitrary
 //! operation sequences, the single-writer invariant, data integrity,
 //! and token discipline all hold.
-
-use proptest::prelude::*;
+//!
+//! Deterministic in-tree replacement for an external property-testing
+//! framework: cases are generated from seeded `SimRng` streams.
 
 use lauberhorn_coherence::{
     CacheId, CoherentSystem, FabricModel, FillToken, LineAddr, LineState, LoadResult,
 };
+use lauberhorn_sim::SimRng;
 
 const DEV_BASE: u64 = 0x1_0000_0000;
 
@@ -31,18 +33,37 @@ enum Op {
     Drop { cache: usize, line: usize },
 }
 
-fn arb_op(caches: usize, lines: usize) -> impl Strategy<Value = Op> {
-    let c = 0..caches;
-    let l = 0..lines;
-    prop_oneof![
-        (c.clone(), l.clone()).prop_map(|(cache, line)| Op::Load { cache, line }),
-        (c.clone(), l.clone(), any::<u8>())
-            .prop_map(|(cache, line, byte)| Op::Store { cache, line, byte }),
-        any::<u8>().prop_map(|data| Op::CompleteOldest { data }),
-        l.clone().prop_map(|line| Op::FetchExcl { line }),
-        (l.clone(), any::<u8>()).prop_map(|(line, byte)| Op::DmaWrite { line, byte }),
-        (c, l).prop_map(|(cache, line)| Op::Drop { cache, line }),
-    ]
+fn arb_op(rng: &mut SimRng, caches: usize, lines: usize) -> Op {
+    match rng.gen_range(0..=5) {
+        0 => Op::Load {
+            cache: rng.gen_range(0..=caches - 1),
+            line: rng.gen_range(0..=lines - 1),
+        },
+        1 => Op::Store {
+            cache: rng.gen_range(0..=caches - 1),
+            line: rng.gen_range(0..=lines - 1),
+            byte: rng.gen_u64() as u8,
+        },
+        2 => Op::CompleteOldest {
+            data: rng.gen_u64() as u8,
+        },
+        3 => Op::FetchExcl {
+            line: rng.gen_range(0..=lines - 1),
+        },
+        4 => Op::DmaWrite {
+            line: rng.gen_range(0..=lines - 1),
+            byte: rng.gen_u64() as u8,
+        },
+        _ => Op::Drop {
+            cache: rng.gen_range(0..=caches - 1),
+            line: rng.gen_range(0..=lines - 1),
+        },
+    }
+}
+
+fn arb_ops(rng: &mut SimRng, caches: usize, lines: usize, max: usize) -> Vec<Op> {
+    let n = rng.gen_range(1..=max);
+    (0..n).map(|_| arb_op(rng, caches, lines)).collect()
 }
 
 /// Checks the MESI single-writer invariant over all touched lines.
@@ -65,14 +86,12 @@ fn check_invariants(sys: &CoherentSystem, caches: usize, lines: &[LineAddr]) {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn random_dram_traffic_keeps_mesi_invariants(
-        ops in proptest::collection::vec(arb_op(3, 8), 1..200)
-    ) {
+#[test]
+fn random_dram_traffic_keeps_mesi_invariants() {
+    for case in 0..64u64 {
+        let mut rng = SimRng::stream(case, "coh-dram");
         let caches = 3;
+        let ops = arb_ops(&mut rng, caches, 8, 200);
         let mut sys = system(caches);
         let lines: Vec<LineAddr> = (0..8u64).map(|i| LineAddr(i * 128)).collect();
         for op in ops {
@@ -95,16 +114,18 @@ proptest! {
             check_invariants(&sys, caches, &lines);
         }
     }
+}
 
-    #[test]
-    fn device_lines_park_and_complete_consistently(
-        ops in proptest::collection::vec(arb_op(3, 4), 1..200)
-    ) {
+#[test]
+fn device_lines_park_and_complete_consistently() {
+    for case in 0..64u64 {
+        let mut rng = SimRng::stream(case, "coh-dev");
         let caches = 3;
+        let ops = arb_ops(&mut rng, caches, 4, 200);
         let mut sys = system(caches);
         let lines: Vec<LineAddr> = (0..4u64).map(|i| LineAddr(DEV_BASE + i * 128)).collect();
         let mut pending: Vec<(FillToken, usize, usize)> = Vec::new(); // (token, cache, line)
-        // A cache stalled on a load cannot issue more requests.
+                                                                      // A cache stalled on a load cannot issue more requests.
         let mut stalled = vec![false; caches];
         for op in ops {
             match op {
@@ -118,18 +139,19 @@ proptest! {
                             stalled[cache] = true;
                         }
                         LoadResult::Hit { .. } => {}
-                        LoadResult::Fill { .. } =>
-                            prop_assert!(false, "device line resolved as DRAM fill"),
+                        LoadResult::Fill { .. } => {
+                            panic!("device line resolved as DRAM fill")
+                        }
                     }
                 }
                 Op::CompleteOldest { data } => {
                     if let Some((token, cache, _line)) = pending.first().copied() {
                         pending.remove(0);
                         let (c, _, _) = sys.complete_fill(token, &[data]).unwrap();
-                        prop_assert_eq!(c.0, cache);
+                        assert_eq!(c.0, cache);
                         stalled[cache] = false;
                         // Completing twice must fail.
-                        prop_assert!(sys.complete_fill(token, &[data]).is_err());
+                        assert!(sys.complete_fill(token, &[data]).is_err());
                     }
                 }
                 Op::Store { cache, line, byte } => {
@@ -137,7 +159,7 @@ proptest! {
                     if sys.state_of(CacheId(cache), lines[line]).writable() {
                         sys.store(CacheId(cache), lines[line], &[byte]).unwrap();
                     } else if !sys.state_of(CacheId(cache), lines[line]).readable() {
-                        prop_assert!(sys.store(CacheId(cache), lines[line], &[byte]).is_err());
+                        assert!(sys.store(CacheId(cache), lines[line], &[byte]).is_err());
                     }
                 }
                 Op::FetchExcl { line } => {
@@ -151,27 +173,31 @@ proptest! {
                 }
             }
             check_invariants(&sys, caches, &lines);
-            prop_assert_eq!(sys.pending_fills(), pending.len());
+            assert_eq!(sys.pending_fills(), pending.len());
         }
     }
+}
 
-    #[test]
-    fn store_then_load_reads_back(
-        byte in any::<u8>(), cache in 0usize..3, line in 0u64..8
-    ) {
+#[test]
+fn store_then_load_reads_back() {
+    for case in 0..64u64 {
+        let mut rng = SimRng::stream(case, "coh-rw");
+        let byte = rng.gen_u64() as u8;
+        let cache = rng.gen_range(0..=2);
+        let line = rng.gen_range(0..=7) as u64;
         let mut sys = system(3);
         let addr = LineAddr(line * 128);
         sys.load(CacheId(cache), addr).unwrap();
         sys.store(CacheId(cache), addr, &[byte]).unwrap();
         match sys.load(CacheId(cache), addr).unwrap() {
-            LoadResult::Hit { data, .. } => prop_assert_eq!(data[0], byte),
-            other => prop_assert!(false, "expected hit, got {:?}", other),
+            LoadResult::Hit { data, .. } => assert_eq!(data[0], byte),
+            other => panic!("expected hit, got {other:?}"),
         }
         // Another cache reads the same value through the protocol.
         let other_cache = (cache + 1) % 3;
         match sys.load(CacheId(other_cache), addr).unwrap() {
-            LoadResult::Fill { data, .. } => prop_assert_eq!(data[0], byte),
-            other => prop_assert!(false, "expected fill, got {:?}", other),
+            LoadResult::Fill { data, .. } => assert_eq!(data[0], byte),
+            other => panic!("expected fill, got {other:?}"),
         }
     }
 }

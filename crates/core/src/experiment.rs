@@ -3,7 +3,7 @@
 use lauberhorn_rpc::sim_bypass::{BypassSim, BypassSimConfig};
 use lauberhorn_rpc::sim_kernel::{KernelSim, KernelSimConfig};
 use lauberhorn_rpc::sim_lauberhorn::{LauberhornSim, LauberhornSimConfig};
-use lauberhorn_rpc::{Report, ServiceSpec, WorkloadSpec};
+use lauberhorn_rpc::{driver, Machine, Report, ServerStack, ServiceSpec, WorkloadSpec};
 
 /// A server stack on a concrete machine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -51,6 +51,17 @@ impl StackKind {
             StackKind::KernelModern => "kernel/pc-pcie-dma",
         }
     }
+
+    /// The machine this stack runs on, from the centralized catalogue.
+    pub fn machine(self) -> Machine {
+        match self {
+            StackKind::LauberhornEnzian => Machine::EnzianEci,
+            StackKind::LauberhornCxl => Machine::CxlProjected,
+            StackKind::LauberhornNuma => Machine::NumaEmulated,
+            StackKind::BypassEnzian | StackKind::KernelEnzian => Machine::EnzianPcie,
+            StackKind::BypassModern | StackKind::KernelModern => Machine::PcPcie,
+        }
+    }
 }
 
 /// A configured experiment.
@@ -91,42 +102,47 @@ impl Experiment {
         self
     }
 
-    /// Runs `workload` and reports.
-    pub fn run(&self, workload: &WorkloadSpec) -> Report {
+    /// Builds the configured stack as a trait object the generic
+    /// driver can run (the single construction point for every
+    /// experiment and sweep).
+    pub fn build(&self) -> Box<dyn ServerStack> {
         match self.stack {
-            StackKind::LauberhornEnzian => {
-                LauberhornSim::new(LauberhornSimConfig::enzian(self.cores), self.services.clone())
-                    .run(workload)
-            }
-            StackKind::LauberhornCxl => LauberhornSim::new(
+            StackKind::LauberhornEnzian => Box::new(LauberhornSim::new(
+                LauberhornSimConfig::enzian(self.cores),
+                self.services.clone(),
+            )),
+            StackKind::LauberhornCxl => Box::new(LauberhornSim::new(
                 LauberhornSimConfig::cxl_server(self.cores),
                 self.services.clone(),
-            )
-            .run(workload),
-            StackKind::LauberhornNuma => LauberhornSim::new(
+            )),
+            StackKind::LauberhornNuma => Box::new(LauberhornSim::new(
                 LauberhornSimConfig::numa_emulated(self.cores),
                 self.services.clone(),
-            )
-            .run(workload),
+            )),
             StackKind::BypassEnzian => {
                 let mut cfg = BypassSimConfig::enzian(self.cores);
                 cfg.rebind_on_epoch = self.rebind_on_epoch;
-                BypassSim::new(cfg, self.services.clone()).run(workload)
+                Box::new(BypassSim::new(cfg, self.services.clone()))
             }
             StackKind::BypassModern => {
                 let mut cfg = BypassSimConfig::modern(self.cores);
                 cfg.rebind_on_epoch = self.rebind_on_epoch;
-                BypassSim::new(cfg, self.services.clone()).run(workload)
+                Box::new(BypassSim::new(cfg, self.services.clone()))
             }
-            StackKind::KernelEnzian => {
-                KernelSim::new(KernelSimConfig::enzian(self.cores), self.services.clone())
-                    .run(workload)
-            }
-            StackKind::KernelModern => {
-                KernelSim::new(KernelSimConfig::modern(self.cores), self.services.clone())
-                    .run(workload)
-            }
+            StackKind::KernelEnzian => Box::new(KernelSim::new(
+                KernelSimConfig::enzian(self.cores),
+                self.services.clone(),
+            )),
+            StackKind::KernelModern => Box::new(KernelSim::new(
+                KernelSimConfig::modern(self.cores),
+                self.services.clone(),
+            )),
         }
+    }
+
+    /// Runs `workload` through the generic driver and reports.
+    pub fn run(&self, workload: &WorkloadSpec) -> Report {
+        driver::run(&mut *self.build(), workload)
     }
 }
 
@@ -140,18 +156,19 @@ pub fn replicate_p50_us(
     workload: &WorkloadSpec,
     seeds: &[u64],
 ) -> (f64, f64) {
-    let samples: Vec<f64> = seeds
+    let points: Vec<crate::sweep::SweepPoint> = seeds
         .iter()
         .map(|&seed| {
             let mut wl = workload.clone();
             wl.seed = seed;
-            Experiment::new(stack)
+            crate::sweep::SweepPoint::new(stack, wl)
                 .cores(cores)
                 .services(services.clone())
-                .run(&wl)
-                .rtt
-                .p50_us()
         })
+        .collect();
+    let samples: Vec<f64> = crate::sweep::run_parallel(&points, 0)
+        .iter()
+        .map(|r| r.rtt.p50_us())
         .collect();
     let n = samples.len().max(1) as f64;
     let mean = samples.iter().sum::<f64>() / n;
@@ -159,22 +176,23 @@ pub fn replicate_p50_us(
     (mean, var.sqrt())
 }
 
-/// Runs the same workload across several stacks and returns the rows.
+/// Runs the same workload across several stacks (in parallel, one
+/// simulation per thread) and returns the rows in stack order.
 pub fn compare(
     stacks: &[StackKind],
     cores: usize,
     services: Vec<ServiceSpec>,
     workload: &WorkloadSpec,
 ) -> Vec<Report> {
-    stacks
+    let points: Vec<crate::sweep::SweepPoint> = stacks
         .iter()
-        .map(|s| {
-            Experiment::new(*s)
+        .map(|&s| {
+            crate::sweep::SweepPoint::new(s, workload.clone())
                 .cores(cores)
                 .services(services.clone())
-                .run(workload)
         })
-        .collect()
+        .collect();
+    crate::sweep::run_parallel(&points, 0)
 }
 
 #[cfg(test)]
@@ -186,7 +204,12 @@ mod tests {
         let wl = WorkloadSpec::echo_closed(64, 2, 5);
         for stack in StackKind::all() {
             let r = Experiment::new(stack).run(&wl);
-            assert!(r.completed > 50, "{}: {} completed", stack.name(), r.completed);
+            assert!(
+                r.completed > 50,
+                "{}: {} completed",
+                stack.name(),
+                r.completed
+            );
             assert_eq!(r.stack, stack.name());
         }
     }

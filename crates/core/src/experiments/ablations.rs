@@ -95,45 +95,53 @@ pub fn yield_policy(seed: u64) -> Vec<Labelled> {
 /// TRYAGAIN protocol traffic. Under steady load (see
 /// [`tryagain_window_steady`]) it never appears on the critical path.
 pub fn tryagain_window(seed: u64) -> Vec<Labelled> {
-    [SimDuration::from_ms(1), SimDuration::from_ms(15), SimDuration::from_ms(60)]
-        .into_iter()
-        .map(|t| {
-            let mut cfg = LauberhornSimConfig::enzian(4);
-            cfg.tryagain_timeout = Some(t);
-            cfg.yield_after = 4;
-            run_variant(
-                format!("TRYAGAIN window {t}"),
-                cfg,
-                16,
-                &sparse_wl(16, 1_500.0, 400, seed),
-            )
-        })
-        .collect()
+    [
+        SimDuration::from_ms(1),
+        SimDuration::from_ms(15),
+        SimDuration::from_ms(60),
+    ]
+    .into_iter()
+    .map(|t| {
+        let mut cfg = LauberhornSimConfig::enzian(4);
+        cfg.tryagain_timeout = Some(t);
+        cfg.yield_after = 4;
+        run_variant(
+            format!("TRYAGAIN window {t}"),
+            cfg,
+            16,
+            &sparse_wl(16, 1_500.0, 400, seed),
+        )
+    })
+    .collect()
 }
 
 /// The same window sweep under steady load: the window never fires on
 /// the hot path, so all metrics coincide.
 pub fn tryagain_window_steady(seed: u64) -> Vec<Labelled> {
-    [SimDuration::from_ms(1), SimDuration::from_ms(15), SimDuration::from_ms(60)]
-        .into_iter()
-        .map(|t| {
-            let mut cfg = LauberhornSimConfig::enzian(4);
-            cfg.tryagain_timeout = Some(t);
-            let wl = WorkloadSpec {
-                mode: LoadMode::Open {
-                    arrivals: ArrivalProcess::Poisson { rate_rps: 80_000.0 },
-                },
-                mix: DynamicMix::stable(4, 0.0),
-                request_bytes: SizeDist::Fixed { bytes: 64 },
-                payload: None,
-                record_responses: false,
-                duration: SimDuration::from_ms(10),
-                seed,
-                warmup: 100,
-            };
-            run_variant(format!("TRYAGAIN window {t} (steady)"), cfg, 4, &wl)
-        })
-        .collect()
+    [
+        SimDuration::from_ms(1),
+        SimDuration::from_ms(15),
+        SimDuration::from_ms(60),
+    ]
+    .into_iter()
+    .map(|t| {
+        let mut cfg = LauberhornSimConfig::enzian(4);
+        cfg.tryagain_timeout = Some(t);
+        let wl = WorkloadSpec {
+            mode: LoadMode::Open {
+                arrivals: ArrivalProcess::Poisson { rate_rps: 80_000.0 },
+            },
+            mix: DynamicMix::stable(4, 0.0),
+            request_bytes: SizeDist::Fixed { bytes: 64 },
+            payload: None,
+            record_responses: false,
+            duration: SimDuration::from_ms(10),
+            seed,
+            warmup: 100,
+        };
+        run_variant(format!("TRYAGAIN window {t} (steady)"), cfg, 4, &wl)
+    })
+    .collect()
 }
 
 /// Continuation cost comparison (analytic, from the calibrated model):
@@ -148,8 +156,7 @@ pub fn continuations() -> (f64, f64) {
     let cont = CONTINUATION_CREATE_COST + fabric.data_lat;
     // Reply without: kernel endpoint dispatch + context switch into the
     // caller.
-    let kernel =
-        fabric.data_lat + m.cycles(m.sched_pick + m.full_context_switch());
+    let kernel = fabric.data_lat + m.cycles(m.sched_pick + m.full_context_switch());
     (cont.as_ns_f64(), kernel.as_ns_f64())
 }
 

@@ -43,8 +43,14 @@ pub struct Crossover {
 pub fn run() -> Vec<Crossover> {
     let sizes: Vec<usize> = (7..=16).map(|p| 1usize << p).collect(); // 128 B … 64 KiB.
     [
-        ("enzian (ECI vs FPGA PCIe DMA)", LargeTransferModel::enzian()),
-        ("cxl-server (CXL vs Gen4 DMA)", LargeTransferModel::cxl_server()),
+        (
+            "enzian (ECI vs FPGA PCIe DMA)",
+            LargeTransferModel::enzian(),
+        ),
+        (
+            "cxl-server (CXL vs Gen4 DMA)",
+            LargeTransferModel::cxl_server(),
+        ),
     ]
     .into_iter()
     .map(|(platform, m)| Crossover {

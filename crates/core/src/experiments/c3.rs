@@ -7,7 +7,8 @@
 //! quantitative form of "reduce the CPU cycle overhead of a small RPC
 //! call to essentially zero" plus "no energy wasted in spinning".
 
-use crate::experiment::{Experiment, StackKind};
+use crate::experiment::StackKind;
+use crate::sweep::{self, SweepPoint};
 use lauberhorn_rpc::{Report, ServiceSpec, WorkloadSpec};
 
 /// One sweep point.
@@ -20,7 +21,8 @@ pub struct Point {
     pub reports: Vec<Report>,
 }
 
-/// Runs the sweep.
+/// Runs the sweep: all `rate × stack` points fan out over the
+/// parallel executor and fold back into per-rate rows.
 pub fn run(seed: u64) -> Vec<Point> {
     let services = ServiceSpec::uniform(1, 1000, 32);
     let stacks = [
@@ -28,29 +30,34 @@ pub fn run(seed: u64) -> Vec<Point> {
         StackKind::BypassModern,
         StackKind::KernelModern,
     ];
-    [10_000.0f64, 50_000.0, 200_000.0]
+    let rates = [10_000.0f64, 50_000.0, 200_000.0];
+    let mut points = Vec::with_capacity(rates.len() * stacks.len());
+    for &rate in &rates {
+        for &stack in &stacks {
+            let mut wl = WorkloadSpec::open_poisson(
+                rate,
+                1,
+                0.0,
+                lauberhorn_workload::SizeDist::Fixed { bytes: 64 },
+                20,
+                seed,
+            );
+            wl.warmup = 50;
+            points.push(
+                SweepPoint::new(stack, wl)
+                    .cores(2)
+                    .services(services.clone()),
+            );
+        }
+    }
+    let mut reports = sweep::run_parallel(&points, 0).into_iter();
+    rates
         .into_iter()
         .map(|rate| Point {
             rate_rps: rate,
             reports: stacks
                 .iter()
-                .map(|s| {
-                    Experiment::new(*s)
-                        .cores(2)
-                        .services(services.clone())
-                        .run(&{
-                            let mut wl = WorkloadSpec::open_poisson(
-                                rate,
-                                1,
-                                0.0,
-                                lauberhorn_workload::SizeDist::Fixed { bytes: 64 },
-                                20,
-                                seed,
-                            );
-                            wl.warmup = 50;
-                            wl
-                        })
-                })
+                .map(|_| reports.next().expect("one per point"))
                 .collect(),
         })
         .collect()
@@ -58,9 +65,8 @@ pub fn run(seed: u64) -> Vec<Point> {
 
 /// Renders the sweep.
 pub fn render(points: &[Point]) -> String {
-    let mut out = String::from(
-        "C3 — software cycles per request, energy split, bus traffic (§4)\n",
-    );
+    let mut out =
+        String::from("C3 — software cycles per request, energy split, bus traffic (§4)\n");
     for p in points {
         out.push_str(&format!("\n== offered load {:.0} rps\n", p.rate_rps));
         out.push_str(&format!(

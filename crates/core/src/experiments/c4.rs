@@ -9,7 +9,8 @@
 //! services by taking one kernel-loop dispatch, then serve from the
 //! user loop.
 
-use crate::experiment::{Experiment, StackKind};
+use crate::experiment::StackKind;
+use crate::sweep::{self, SweepPoint};
 use lauberhorn_rpc::spec::LoadMode;
 use lauberhorn_rpc::{Report, ServiceSpec, WorkloadSpec};
 use lauberhorn_sim::SimDuration;
@@ -63,7 +64,9 @@ pub fn run(p: C4Params, seed: u64) -> Vec<Contender> {
     let services = ServiceSpec::uniform(p.services, p.handler_cycles, 32);
     let wl = WorkloadSpec {
         mode: LoadMode::Open {
-            arrivals: ArrivalProcess::Poisson { rate_rps: p.rate_rps },
+            arrivals: ArrivalProcess::Poisson {
+                rate_rps: p.rate_rps,
+            },
         },
         mix: DynamicMix::new(p.services, p.zipf_s, 5, p.epoch_us),
         request_bytes: SizeDist::Fixed { bytes: 64 },
@@ -73,40 +76,33 @@ pub fn run(p: C4Params, seed: u64) -> Vec<Contender> {
         seed,
         warmup: 500,
     };
-    vec![
-        Contender {
-            // Same machine class as the DMA stacks (3 GHz PC server)
-            // so the comparison is architectural, not a clock-speed
-            // artefact.
-            label: "lauberhorn (NIC-driven scheduling)",
-            report: Experiment::new(StackKind::LauberhornCxl)
+    // Same machine class for every contender (3 GHz PC server) so the
+    // comparison is architectural, not a clock-speed artefact. The four
+    // contenders run concurrently on the sweep executor.
+    let contenders: [(&'static str, StackKind, bool); 4] = [
+        (
+            "lauberhorn (NIC-driven scheduling)",
+            StackKind::LauberhornCxl,
+            false,
+        ),
+        ("bypass (static bindings)", StackKind::BypassModern, false),
+        ("bypass (rebind every epoch)", StackKind::BypassModern, true),
+        ("kernel stack", StackKind::KernelModern, false),
+    ];
+    let points: Vec<SweepPoint> = contenders
+        .iter()
+        .map(|&(_, stack, rebind)| {
+            SweepPoint::new(stack, wl.clone())
                 .cores(p.cores)
                 .services(services.clone())
-                .run(&wl),
-        },
-        Contender {
-            label: "bypass (static bindings)",
-            report: Experiment::new(StackKind::BypassModern)
-                .cores(p.cores)
-                .services(services.clone())
-                .run(&wl),
-        },
-        Contender {
-            label: "bypass (rebind every epoch)",
-            report: Experiment::new(StackKind::BypassModern)
-                .cores(p.cores)
-                .services(services.clone())
-                .rebind_on_epoch(true)
-                .run(&wl),
-        },
-        Contender {
-            label: "kernel stack",
-            report: Experiment::new(StackKind::KernelModern)
-                .cores(p.cores)
-                .services(services)
-                .run(&wl),
-        },
-    ]
+                .rebind_on_epoch(rebind)
+        })
+        .collect();
+    contenders
+        .iter()
+        .zip(sweep::run_parallel(&points, 0))
+        .map(|(&(label, _, _), report)| Contender { label, report })
+        .collect()
 }
 
 /// Renders the comparison.

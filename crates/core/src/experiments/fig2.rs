@@ -21,15 +21,8 @@ pub fn run(duration_ms: u64, seed: u64) -> Vec<Report> {
 
 /// Renders the figure as a table plus a crude horizontal bar chart.
 pub fn render(rows: &[Report]) -> String {
-    let mut out = String::from(
-        "Figure 2 — 64-byte message round-trip latencies (closed loop)\n\n",
-    );
-    let max = rows
-        .iter()
-        .map(|r| r.rtt.p50)
-        .max()
-        .unwrap_or(1)
-        .max(1) as f64;
+    let mut out = String::from("Figure 2 — 64-byte message round-trip latencies (closed loop)\n\n");
+    let max = rows.iter().map(|r| r.rtt.p50).max().unwrap_or(1).max(1) as f64;
     for r in rows {
         let bar_len = (r.rtt.p50 as f64 / max * 48.0).round() as usize;
         out.push_str(&format!(

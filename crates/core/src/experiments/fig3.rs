@@ -38,14 +38,15 @@ pub struct FastPath {
 pub fn run(machine: Machine, seed: u64) -> FastPath {
     let addr = EndpointAddr::host(1, 9000);
     let nic_cfg = match machine {
-        Machine::Enzian => LauberhornNicConfig::enzian(addr),
-        Machine::CxlServer => LauberhornNicConfig::cxl_server(addr),
+        Machine::EnzianEci => LauberhornNicConfig::enzian(addr),
+        Machine::CxlProjected => LauberhornNicConfig::cxl_server(addr),
         Machine::NumaEmulated => LauberhornNicConfig::numa_emulated(addr),
+        m => panic!("fig3 decomposes the Lauberhorn fast path; {m:?} has no coherent NIC"),
     };
     let handler_cycles = 1000u64;
     let freq = match machine {
-        Machine::Enzian => 2.0,
-        Machine::CxlServer | Machine::NumaEmulated => 3.0,
+        Machine::EnzianEci => 2.0,
+        _ => 3.0,
     };
     let fabric = nic_cfg.transfer.fabric;
     let phases = vec![
@@ -81,9 +82,9 @@ pub fn run(machine: Machine, seed: u64) -> FastPath {
     let analytic_total = phases.iter().map(|p| p.latency).sum();
     // Cross-check against the full simulation.
     let cfg = match machine {
-        Machine::Enzian => LauberhornSimConfig::enzian(2),
-        Machine::CxlServer => LauberhornSimConfig::cxl_server(2),
+        Machine::CxlProjected => LauberhornSimConfig::cxl_server(2),
         Machine::NumaEmulated => LauberhornSimConfig::numa_emulated(2),
+        _ => LauberhornSimConfig::enzian(2),
     };
     let mut sim = LauberhornSim::new(cfg, ServiceSpec::uniform(1, handler_cycles, 32));
     let measured = sim.run(&WorkloadSpec::echo_closed(64, 4, seed));
@@ -101,11 +102,16 @@ pub fn run(machine: Machine, seed: u64) -> FastPath {
 pub fn render(fp: &FastPath) -> String {
     let mut out = String::from("Figure 3 — Lauberhorn receive fast path\n\n");
     for p in &fp.phases {
-        out.push_str(&format!("  {:<34} {:>10}\n", p.name, format!("{}", p.latency)));
+        out.push_str(&format!(
+            "  {:<34} {:>10}\n",
+            p.name,
+            format!("{}", p.latency)
+        ));
     }
     out.push_str(&format!(
         "  {:<34} {:>10}\n",
-        "— analytic total", format!("{}", fp.analytic_total)
+        "— analytic total",
+        format!("{}", fp.analytic_total)
     ));
     out.push_str(&format!(
         "\nmeasured end-system p50: {:.2} us  (fast-path fraction {:.1}%)\n",
@@ -121,7 +127,7 @@ mod tests {
 
     #[test]
     fn analytic_and_measured_agree() {
-        let fp = run(Machine::Enzian, 3);
+        let fp = run(Machine::EnzianEci, 3);
         let analytic = fp.analytic_total.as_us_f64();
         let measured = fp.measured.end_system.p50_us();
         let ratio = measured / analytic;
@@ -133,7 +139,7 @@ mod tests {
 
     #[test]
     fn fast_path_dominates_when_resident() {
-        let fp = run(Machine::Enzian, 4);
+        let fp = run(Machine::EnzianEci, 4);
         assert!(
             fp.fast_path_fraction > 0.95,
             "fast-path fraction {}",
@@ -143,8 +149,8 @@ mod tests {
 
     #[test]
     fn cxl_is_faster_than_eci() {
-        let e = run(Machine::Enzian, 5);
-        let c = run(Machine::CxlServer, 5);
+        let e = run(Machine::EnzianEci, 5);
+        let c = run(Machine::CxlProjected, 5);
         assert!(c.analytic_total < e.analytic_total);
     }
 }

@@ -97,10 +97,10 @@ pub fn run() -> Timeline {
 
     // Helper: core loads a control line; NIC observes after req_lat.
     let park = |coh: &mut CoherentSystem,
-                    nic: &mut LauberhornNic,
-                    tl: &mut Timeline,
-                    now: SimTime,
-                    line: usize|
+                nic: &mut LauberhornNic,
+                tl: &mut Timeline,
+                now: SimTime,
+                line: usize|
      -> (Vec<NicAction>, SimTime) {
         let addr = layout.ctrl(line);
         coh.drop_line(core, addr);
@@ -127,7 +127,12 @@ pub fn run() -> Timeline {
     let NicAction::ArmTimeout { at: deadline0, .. } = actions[0] else {
         unreachable!("park arms the TRYAGAIN timer");
     };
-    log(&mut tl, now, "nic", "fill parked; TRYAGAIN timer armed (15ms)".into());
+    log(
+        &mut tl,
+        now,
+        "nic",
+        "fill parked; TRYAGAIN timer armed (15ms)".into(),
+    );
 
     // --- 2. Request A arrives; NIC answers the parked fill. ---
     now += SimDuration::from_us(2);
@@ -186,13 +191,24 @@ pub fn run() -> Timeline {
 
     // --- 3. Core handles A, writes response into CONTROL[0]. ---
     now += SimDuration::from_ns(500);
-    coh.store(core, layout.ctrl(0), b"response-A").expect("held E");
-    log(&mut tl, now, "core", "handler A done; response written to CONTROL[0]".into());
+    coh.store(core, layout.ctrl(0), b"response-A")
+        .expect("held E");
+    log(
+        &mut tl,
+        now,
+        "core",
+        "handler A done; response written to CONTROL[0]".into(),
+    );
 
     // --- 4. Request B already in flight, queued at the NIC. ---
     let actions = nic.on_request_frame(now, &request_frame(0xB, &[0xBB; 64]));
     assert!(actions.is_empty(), "B queues silently: {actions:?}");
-    log(&mut tl, now, "net", "request B arrives; queued (core busy)".into());
+    log(
+        &mut tl,
+        now,
+        "net",
+        "request B arrives; queued (core busy)".into(),
+    );
 
     // --- 5. Core loads CONTROL[1]: response A collected AND B delivered. ---
     let (actions, seen) = park(&mut coh, &mut nic, &mut tl, now, 1);
@@ -202,8 +218,14 @@ pub fn run() -> Timeline {
 
     // --- 6. Core handles B, writes response, loads CONTROL[0]. ---
     now += SimDuration::from_ns(500);
-    coh.store(core, layout.ctrl(1), b"response-B").expect("held E");
-    log(&mut tl, now, "core", "handler B done; response written to CONTROL[1]".into());
+    coh.store(core, layout.ctrl(1), b"response-B")
+        .expect("held E");
+    log(
+        &mut tl,
+        now,
+        "core",
+        "handler B done; response written to CONTROL[1]".into(),
+    );
     let (actions, seen) = park(&mut coh, &mut nic, &mut tl, now, 0);
     now = seen;
     let NicAction::ArmTimeout {
@@ -220,10 +242,18 @@ pub fn run() -> Timeline {
     deliver(&mut coh, &mut tl, actions);
 
     // --- 7. Nothing arrives: the 15 ms TRYAGAIN fires. ---
-    assert_eq!(deadline.since(now), lauberhorn_nic::endpoint::TRYAGAIN_TIMEOUT);
+    assert_eq!(
+        deadline.since(now),
+        lauberhorn_nic::endpoint::TRYAGAIN_TIMEOUT
+    );
     let actions = nic.on_timeout(deadline, endpoint, generation);
     now = deliver(&mut coh, &mut tl, actions).max(deadline);
-    log(&mut tl, now, "core", "TRYAGAIN consumed; re-issuing load".into());
+    log(
+        &mut tl,
+        now,
+        "core",
+        "TRYAGAIN consumed; re-issuing load".into(),
+    );
 
     // --- 8. Core re-parks; the kernel retires it (§5.2). ---
     let (actions, seen) = park(&mut coh, &mut nic, &mut tl, now, 0);
@@ -231,7 +261,12 @@ pub fn run() -> Timeline {
     deliver(&mut coh, &mut tl, actions);
     let actions = nic.retire_endpoint(now, ep);
     deliver(&mut coh, &mut tl, actions);
-    log(&mut tl, now, "core", "RETIRE consumed; thread returns to scheduler".into());
+    log(
+        &mut tl,
+        now,
+        "core",
+        "RETIRE consumed; thread returns to scheduler".into(),
+    );
 
     let _ = deadline0;
     tl
@@ -243,7 +278,12 @@ pub fn render(tl: &Timeline) -> String {
     let mut events = tl.events.clone();
     events.sort_by_key(|e| e.at);
     for e in &events {
-        out.push_str(&format!("[{:>12}] {:<5} {}\n", format!("{}", e.at), e.actor, e.what));
+        out.push_str(&format!(
+            "[{:>12}] {:<5} {}\n",
+            format!("{}", e.at),
+            e.actor,
+            e.what
+        ));
     }
     out.push_str(&format!(
         "\ndelivered={} responses={} tryagains={} retires={}\n",

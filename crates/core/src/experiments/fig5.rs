@@ -35,7 +35,12 @@ pub struct Scenario {
 }
 
 fn workload(rate_rps: f64, duration_ms: u64, warmup: u64, seed: u64) -> WorkloadSpec {
-    workload_with(ArrivalProcess::Poisson { rate_rps }, duration_ms, warmup, seed)
+    workload_with(
+        ArrivalProcess::Poisson { rate_rps },
+        duration_ms,
+        warmup,
+        seed,
+    )
 }
 
 fn workload_with(
@@ -60,8 +65,7 @@ fn workload_with(
 pub fn run(seed: u64) -> Vec<Scenario> {
     let services = ServiceSpec::uniform(1, 1000, 32);
     // Resident: 50k rps keeps the user loop hot (20 µs gaps ≪ 15 ms).
-    let mut resident_sim =
-        LauberhornSim::new(LauberhornSimConfig::enzian(2), services.clone());
+    let mut resident_sim = LauberhornSim::new(LauberhornSimConfig::enzian(2), services.clone());
     let resident = resident_sim.run(&workload(50_000.0, 10, 50, seed));
     let resident_stats = resident_sim.nic().stats();
 
@@ -92,9 +96,7 @@ pub fn run(seed: u64) -> Vec<Scenario> {
         },
         Scenario {
             label: "lauberhorn/cold (kernel dispatch loop)",
-            fast_fraction: Some(
-                cold_stats.fast_path as f64 / cold_stats.rx_requests.max(1) as f64,
-            ),
+            fast_fraction: Some(cold_stats.fast_path as f64 / cold_stats.rx_requests.max(1) as f64),
             report: cold,
         },
         Scenario {
@@ -107,9 +109,7 @@ pub fn run(seed: u64) -> Vec<Scenario> {
 
 /// Renders the comparison.
 pub fn render(rows: &[Scenario]) -> String {
-    let mut out = String::from(
-        "Figure 5 — dispatch latency: normal vs NIC-driven scheduling\n\n",
-    );
+    let mut out = String::from("Figure 5 — dispatch latency: normal vs NIC-driven scheduling\n\n");
     out.push_str(&format!(
         "{:<42} {:>12} {:>12} {:>12} {:>10}\n",
         "scenario", "disp p50", "disp p99", "sw cyc/req", "fastpath"
@@ -156,8 +156,14 @@ mod tests {
     #[test]
     fn residency_matches_the_rates() {
         let rows = run(13);
-        assert!(rows[0].fast_fraction.unwrap() > 0.9, "resident mostly fast path");
-        assert!(rows[1].fast_fraction.unwrap() < 0.3, "cold mostly kernel path");
+        assert!(
+            rows[0].fast_fraction.unwrap() > 0.9,
+            "resident mostly fast path"
+        );
+        assert!(
+            rows[1].fast_fraction.unwrap() < 0.3,
+            "cold mostly kernel path"
+        );
     }
 
     #[test]

@@ -11,7 +11,8 @@
 //! * the kernel stack's knee arrives earliest (its per-request cycles
 //!   saturate the cores first).
 
-use crate::experiment::{Experiment, StackKind};
+use crate::experiment::StackKind;
+use crate::sweep::{self, SweepPoint};
 use lauberhorn_rpc::{Report, ServiceSpec, WorkloadSpec};
 use lauberhorn_workload::SizeDist;
 
@@ -50,6 +51,8 @@ impl Curve {
 }
 
 /// Runs the sweep: 2 cores, one 1000-cycle service, 64 B requests.
+/// All `stacks × loads` points fan out over the parallel sweep
+/// executor; the results fold back into per-stack curves.
 pub fn run(seed: u64) -> Vec<Curve> {
     let services = ServiceSpec::uniform(1, 1000, 32);
     let loads = [
@@ -60,37 +63,38 @@ pub fn run(seed: u64) -> Vec<Curve> {
         400_000.0,
         800_000.0,
     ];
-    [
+    let stacks = [
         StackKind::LauberhornCxl,
         StackKind::BypassModern,
         StackKind::KernelModern,
-    ]
-    .into_iter()
-    .map(|stack| Curve {
-        stack,
-        points: loads
-            .iter()
-            .map(|&rate| CurvePoint {
-                offered_rps: rate,
-                report: Experiment::new(stack)
+    ];
+    let mut points = Vec::with_capacity(stacks.len() * loads.len());
+    for &stack in &stacks {
+        for &rate in &loads {
+            let mut wl =
+                WorkloadSpec::open_poisson(rate, 1, 0.0, SizeDist::Fixed { bytes: 64 }, 15, seed);
+            wl.warmup = 100;
+            points.push(
+                SweepPoint::new(stack, wl)
                     .cores(2)
-                    .services(services.clone())
-                    .run(&{
-                        let mut wl = WorkloadSpec::open_poisson(
-                            rate,
-                            1,
-                            0.0,
-                            SizeDist::Fixed { bytes: 64 },
-                            15,
-                            seed,
-                        );
-                        wl.warmup = 100;
-                        wl
-                    }),
-            })
-            .collect(),
-    })
-    .collect()
+                    .services(services.clone()),
+            );
+        }
+    }
+    let mut reports = sweep::run_parallel(&points, 0).into_iter();
+    stacks
+        .into_iter()
+        .map(|stack| Curve {
+            stack,
+            points: loads
+                .iter()
+                .map(|&rate| CurvePoint {
+                    offered_rps: rate,
+                    report: reports.next().expect("one report per point"),
+                })
+                .collect(),
+        })
+        .collect()
 }
 
 /// Renders the curves.

@@ -58,8 +58,7 @@ fn request_frame(
         payload_len: args.len() as u32,
         cont_hint,
     };
-    build_udp_frame(from, to, &header.encode_message(&args).expect("sized"), 0)
-        .expect("builds")
+    build_udp_frame(from, to, &header.encode_message(&args).expect("sized"), 0).expect("builds")
 }
 
 /// Runs the scripted nested call; panics (test failure) if any protocol
@@ -95,10 +94,10 @@ pub fn run() -> NestedRun {
     let mut timeline: Vec<(SimTime, String)> = Vec::new();
     // Parks a core's load and returns the NIC's reaction.
     let park = |coh: &mut CoherentSystem,
-                    nic: &mut LauberhornNic,
-                    core: usize,
-                    addr: lauberhorn_coherence::LineAddr,
-                    now: SimTime|
+                nic: &mut LauberhornNic,
+                core: usize,
+                addr: lauberhorn_coherence::LineAddr,
+                now: SimTime|
      -> (Vec<NicAction>, SimTime) {
         coh.drop_line(CacheId(core), addr);
         let LoadResult::Deferred {
@@ -157,7 +156,10 @@ pub fn run() -> NestedRun {
         .create(ep_c, ProcessId(1), true)
         .expect("table has room");
     let t_cont = a_start + CONTINUATION_CREATE_COST;
-    timeline.push((t_cont, format!("continuation {hint} created ({CONTINUATION_CREATE_COST})")));
+    timeline.push((
+        t_cont,
+        format!("continuation {hint} created ({CONTINUATION_CREATE_COST})"),
+    ));
     // The nested request loops back through the NIC (self-addressed).
     let nested = request_frame(nic_addr, nic_addr, 2, 0xB22, hint);
     let t_nested_sent = t_cont + SimDuration::from_ns(200); // Marshal + doorbell-free tx.
@@ -173,21 +175,22 @@ pub fn run() -> NestedRun {
     // A's load on a *different* endpoint is NOT a completion signal for
     // its in-progress request (cross-endpoint collection only triggers
     // after the response is written); the NIC must not have collected.
-    assert!(
-        collects.is_empty(),
-        "premature collection: {collects:?}"
-    );
+    assert!(collects.is_empty(), "premature collection: {collects:?}");
 
     // --- B finishes; its response is routed via the continuation. ---
     let b_done = b_start + SimDuration::from_us(1);
-    coh.store(CacheId(1), lay_b.ctrl(0), b"B-result").expect("held E");
+    coh.store(CacheId(1), lay_b.ctrl(0), b"B-result")
+        .expect("held E");
     let (b_next, _) = park(&mut coh, &mut nic, 1, lay_b.ctrl(1), b_done);
     let (_, collects) = deliver(&mut coh, b_next);
     assert_eq!(collects.len(), 1, "B's response collected");
     let (bctx, b_tx) = &collects[0];
     assert_eq!(bctx.request_id, 0xB22);
     assert_eq!(bctx.cont_hint, hint, "reply carries the hint");
-    timeline.push((*b_tx, "B's response collected; routed via continuation".into()));
+    timeline.push((
+        *b_tx,
+        "B's response collected; routed via continuation".into(),
+    ));
     // The reply frame (self-addressed) re-enters the NIC.
     let reply = nic.build_response_frame(bctx, b"B-result");
     let actions = nic.on_request_frame(*b_tx + wire, &reply);
@@ -199,7 +202,8 @@ pub fn run() -> NestedRun {
 
     // --- A completes and answers the original client. ---
     let a_done = a_resume + SimDuration::from_ns(500);
-    coh.store(CacheId(0), lay_a.ctrl(0), b"A-result").expect("held E");
+    coh.store(CacheId(0), lay_a.ctrl(0), b"A-result")
+        .expect("held E");
     let (a_next, _) = park(&mut coh, &mut nic, 0, lay_a.ctrl(1), a_done);
     let (_, collects) = deliver(&mut coh, a_next);
     assert_eq!(collects.len(), 1, "A's response collected");

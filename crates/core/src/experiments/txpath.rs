@@ -88,7 +88,11 @@ pub fn run() -> TxPathRun {
         unreachable!("device line defers")
     };
     snic.on_core_load(SimTime::ZERO + request_arrival, 0, stoken, slayout.ctrl(0));
-    timeline.push((SimTime::ZERO, "server", "core parked on service endpoint".into()));
+    timeline.push((
+        SimTime::ZERO,
+        "server",
+        "core parked on service endpoint".into(),
+    ));
 
     // --- 1. Client core writes the request into its TX line. ---
     let t0 = SimTime::from_us(1);
@@ -115,7 +119,11 @@ pub fn run() -> TxPathRun {
     ccoh.complete_fill(token, &[]).expect("granted");
     ccoh.store(CacheId(0), wline, &ctrl_bytes).expect("held E");
     let t_written = t0 + SimDuration::from_ns(20);
-    timeline.push((t_written, "client", "request written into TX-CONTROL[0]".into()));
+    timeline.push((
+        t_written,
+        "client",
+        "request written into TX-CONTROL[0]".into(),
+    ));
 
     // --- 2. Doorbell: load the other TX line. ---
     let dline = tx_layout.ctrl(1 - tx.write_line());
@@ -182,12 +190,17 @@ pub fn run() -> TxPathRun {
             let line = DispatchLine::decode(&data, &[]).expect("decodes");
             assert_eq!(line.request_id, 0xF00D);
             t_deliver = at + lat;
-            timeline.push((t_deliver, "server", "request in the core's registers".into()));
+            timeline.push((
+                t_deliver,
+                "server",
+                "request in the core's registers".into(),
+            ));
         }
     }
     // Handler + response + collection.
     let t_done = t_deliver + SimDuration::from_ns(500);
-    scoh.store(CacheId(0), slayout.ctrl(0), b"pong").expect("held E");
+    scoh.store(CacheId(0), slayout.ctrl(0), b"pong")
+        .expect("held E");
     scoh.drop_line(CacheId(0), slayout.ctrl(1));
     let LoadResult::Deferred {
         token: t2,
@@ -203,13 +216,21 @@ pub fn run() -> TxPathRun {
             let (_, lat) = scoh.device_fetch_exclusive(line);
             assert_eq!(ctx.request_id, 0xF00D);
             t_resp_tx = at + lat;
-            timeline.push((t_resp_tx, "server", "response collected and transmitted".into()));
+            timeline.push((
+                t_resp_tx,
+                "server",
+                "response collected and transmitted".into(),
+            ));
         }
     }
     // Response crosses back; the client receives it on its RX endpoint
     // (one fill into a parked load — same as the server side).
     let t_back = t_resp_tx + wire + eci.data_lat;
-    timeline.push((t_back, "client", "response in the client core's registers".into()));
+    timeline.push((
+        t_back,
+        "client",
+        "response in the client core's registers".into(),
+    ));
     let rtt = t_back.since(t_written);
 
     // --- DMA comparison for the same submission. ---

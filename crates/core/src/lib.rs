@@ -68,11 +68,13 @@ pub use lauberhorn_workload as workload;
 pub mod calib;
 pub mod experiment;
 pub mod experiments;
+pub mod sweep;
 
 /// Commonly used types, one import away.
 pub mod prelude {
     pub use crate::experiment::{Experiment, StackKind};
-    pub use crate::rpc::{Report, ServiceSpec, WorkloadSpec};
+    pub use crate::rpc::{Machine, MachineConfig, Report, ServerStack, ServiceSpec, WorkloadSpec};
     pub use crate::sim::{SimDuration, SimTime};
+    pub use crate::sweep::SweepPoint;
     pub use crate::workload::{ArrivalProcess, DynamicMix, ServiceTime, SizeDist};
 }

@@ -1,0 +1,72 @@
+//! Determinism of the sweep executor: fanning a sweep out over
+//! threads must be invisible in the results. Every simulation derives
+//! its randomness from its workload seed alone, so the parallel
+//! executor returns reports bit-identical to the serial one, in the
+//! same order. The comparison is over the full `Debug` rendering of
+//! each report — every field, every histogram percentile.
+
+use lauberhorn::experiment::StackKind;
+use lauberhorn::prelude::*;
+use lauberhorn::sweep;
+use lauberhorn::workload::SizeDist;
+
+fn mixed_points() -> Vec<SweepPoint> {
+    let mut points = Vec::new();
+    for (i, stack) in [
+        StackKind::LauberhornEnzian,
+        StackKind::LauberhornCxl,
+        StackKind::BypassModern,
+        StackKind::BypassEnzian,
+        StackKind::KernelModern,
+        StackKind::KernelEnzian,
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        // Two points per stack: a closed-loop echo and an open Poisson
+        // stream, distinct seeds so no two points share a trajectory.
+        points.push(SweepPoint::new(
+            stack,
+            WorkloadSpec::echo_closed(64, 2, 100 + i as u64),
+        ));
+        let mut wl = WorkloadSpec::open_poisson(
+            60_000.0,
+            2,
+            0.9,
+            SizeDist::Fixed { bytes: 64 },
+            4,
+            200 + i as u64,
+        );
+        wl.warmup = 50;
+        points.push(SweepPoint::new(stack, wl).cores(2));
+    }
+    points
+}
+
+#[test]
+fn serial_equals_parallel() {
+    let points = mixed_points();
+    let serial = sweep::run_serial(&points);
+    let parallel = sweep::run_parallel(&points, 4);
+    assert_eq!(serial.len(), parallel.len());
+    for (i, (s, p)) in serial.iter().zip(&parallel).enumerate() {
+        assert_eq!(
+            format!("{s:?}"),
+            format!("{p:?}"),
+            "point {i} ({}) differs between serial and parallel runs",
+            points[i].stack.name()
+        );
+    }
+}
+
+#[test]
+fn parallel_is_self_consistent() {
+    // Re-running the same parallel sweep (different thread counts, so
+    // different work interleavings) must reproduce itself exactly.
+    let points = mixed_points();
+    let two = sweep::run_parallel(&points, 2);
+    let many = sweep::run_parallel(&points, 8);
+    for (a, b) in two.iter().zip(&many) {
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+    }
+}

@@ -290,10 +290,7 @@ impl Model for LauberhornModel {
         // I3: park consistency.
         let core_waiting = matches!(s.core, CorePhase::Waiting(_));
         if core_waiting != s.parked.is_some() {
-            return Err(format!(
-                "I3: core {:?} but parked = {:?}",
-                s.core, s.parked
-            ));
+            return Err(format!("I3: core {:?} but parked = {:?}", s.core, s.parked));
         }
         if let (CorePhase::Waiting(i), Some(p)) = (s.core, s.parked) {
             if i != p {

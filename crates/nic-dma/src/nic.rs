@@ -12,7 +12,6 @@ use lauberhorn_pcie::iommu::IommuError;
 use lauberhorn_pcie::msix::MSIX_DELIVERY;
 use lauberhorn_pcie::{Iommu, MsixTable, PcieLink};
 use lauberhorn_sim::{SimDuration, SimTime};
-use serde::Serialize;
 
 use crate::moderation::Moderation;
 use crate::ring::{DescRing, RxDescriptor, TxDescriptor};
@@ -94,7 +93,7 @@ pub struct RxDelivery {
 }
 
 /// Device counters.
-#[derive(Debug, Clone, Copy, Default, Serialize)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct NicStats {
     /// Frames delivered to host memory.
     pub rx_delivered: u64,

@@ -197,7 +197,10 @@ mod tests {
         t.add_endpoint(2, EndpointId(4)).unwrap();
         t.add_endpoint(2, EndpointId(4)).unwrap(); // Idempotent.
         t.add_endpoint(2, EndpointId(5)).unwrap();
-        assert_eq!(t.service(2).unwrap().endpoints, vec![EndpointId(4), EndpointId(5)]);
+        assert_eq!(
+            t.service(2).unwrap().endpoints,
+            vec![EndpointId(4), EndpointId(5)]
+        );
         t.remove_endpoint(2, EndpointId(4));
         assert_eq!(t.service(2).unwrap().endpoints, vec![EndpointId(5)]);
     }

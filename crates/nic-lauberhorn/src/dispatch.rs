@@ -280,10 +280,7 @@ mod tests {
         let d = sample(vec![9; 100]);
         let (ctrl, aux) = d.encode(64).unwrap();
         assert_eq!(ctrl.len(), 64);
-        assert_eq!(
-            aux.len(),
-            DispatchLine::aux_lines_needed(100, 64)
-        );
+        assert_eq!(aux.len(), DispatchLine::aux_lines_needed(100, 64));
         assert_eq!(DispatchLine::decode(&ctrl, &aux).unwrap(), d);
     }
 

@@ -209,7 +209,12 @@ pub struct Endpoint {
 
 impl Endpoint {
     /// Creates an idle endpoint with the paper's 15 ms TRYAGAIN window.
-    pub fn new(id: EndpointId, process: ProcessId, layout: EndpointLayout, queue_cap: usize) -> Self {
+    pub fn new(
+        id: EndpointId,
+        process: ProcessId,
+        layout: EndpointLayout,
+        queue_cap: usize,
+    ) -> Self {
         Self::with_timeout(id, process, layout, queue_cap, TRYAGAIN_TIMEOUT)
     }
 
@@ -280,9 +285,11 @@ impl Endpoint {
             LineRole::Aux(j) => {
                 // AUX fills are always answerable immediately: the data
                 // was staged when the request was delivered.
-                let data = self.aux_data.get(j).cloned().unwrap_or_else(|| {
-                    vec![0; self.layout.line_size]
-                });
+                let data = self
+                    .aux_data
+                    .get(j)
+                    .cloned()
+                    .unwrap_or_else(|| vec![0; self.layout.line_size]);
                 vec![Effect::Respond { token, data }]
             }
             LineRole::Control(i) => {
@@ -471,7 +478,10 @@ mod tests {
         assert_eq!(l.ctrl(0), LineAddr(0x1_0000_0000));
         assert_eq!(l.ctrl(1), LineAddr(0x1_0000_0080));
         assert_eq!(l.aux(0), LineAddr(0x1_0000_0100));
-        assert_eq!(l.role_of(LineAddr(0x1_0000_0080)), Some(LineRole::Control(1)));
+        assert_eq!(
+            l.role_of(LineAddr(0x1_0000_0080)),
+            Some(LineRole::Control(1))
+        );
         assert_eq!(l.role_of(LineAddr(0x1_0000_0180)), Some(LineRole::Aux(1)));
         assert_eq!(l.role_of(LineAddr(0x1_0000_0081)), None);
         assert_eq!(l.role_of(LineAddr(0x0)), None);
@@ -541,9 +551,11 @@ mod tests {
         e.on_request(l1, c1); // Delivered on line 0.
         let (l2, c2) = rpc(2, b"b");
         e.on_request(l2, c2); // Queued.
-        // Core finishes req 1, loads line 1: collect resp 1 AND deliver req 2.
+                              // Core finishes req 1, loads line 1: collect resp 1 AND deliver req 2.
         let fx = e.on_load(LineRole::Control(1), tok(2), SimTime::from_us(1));
-        assert!(fx.iter().any(|f| matches!(f, Effect::CollectResponse { .. })));
+        assert!(fx
+            .iter()
+            .any(|f| matches!(f, Effect::CollectResponse { .. })));
         assert!(fx.iter().any(|f| matches!(f, Effect::Respond { .. })));
         assert_eq!(e.expect_line(), 0);
         // Core finishes req 2, loads line 0: collect resp 2, park.
@@ -603,15 +615,19 @@ mod tests {
         e.on_load(LineRole::Control(0), tok(1), SimTime::ZERO);
         let (l, c) = rpc(1, b"a");
         e.on_request(l, c); // Delivered on line 0; outstanding = line 0.
-        // TRYAGAIN cannot happen here (not parked), but a buggy or
-        // preempted core might re-load line 0. The response in line 0 is
-        // NOT ready to collect (the core would be overwriting it).
+                            // TRYAGAIN cannot happen here (not parked), but a buggy or
+                            // preempted core might re-load line 0. The response in line 0 is
+                            // NOT ready to collect (the core would be overwriting it).
         let fx = e.on_load(LineRole::Control(0), tok(2), SimTime::from_us(1));
-        assert!(!fx.iter().any(|f| matches!(f, Effect::CollectResponse { .. })));
+        assert!(!fx
+            .iter()
+            .any(|f| matches!(f, Effect::CollectResponse { .. })));
         // Parked now; when the core later loads line 1, collection happens.
         e.on_timeout(e.generation); // Unpark via tryagain to keep state sane.
         let fx = e.on_load(LineRole::Control(1), tok(3), SimTime::from_us(2));
-        assert!(fx.iter().any(|f| matches!(f, Effect::CollectResponse { .. })));
+        assert!(fx
+            .iter()
+            .any(|f| matches!(f, Effect::CollectResponse { .. })));
     }
 
     #[test]

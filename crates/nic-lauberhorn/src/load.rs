@@ -24,11 +24,11 @@ pub enum Advice {
 
 #[derive(Debug)]
 struct ServiceLoad {
-    rate: Ewma,             // Requests per second.
-    queue_depth: Ewma,      // Smoothed ready-queue depth.
+    rate: Ewma,        // Requests per second.
+    queue_depth: Ewma, // Smoothed ready-queue depth.
     last_arrival: Option<SimTime>,
     arrivals: u64,
-    cores: usize,           // Cores currently serving, as told by the OS.
+    cores: usize, // Cores currently serving, as told by the OS.
 }
 
 impl Default for ServiceLoad {
@@ -109,7 +109,11 @@ impl LoadTracker {
         let capacity = s.cores as f64 * self.core_capacity_rps;
         let demand = s.rate.value();
         if s.cores == 0 {
-            return if demand > 0.0 { Advice::ScaleUp } else { Advice::Hold };
+            return if demand > 0.0 {
+                Advice::ScaleUp
+            } else {
+                Advice::Hold
+            };
         }
         if demand > 0.8 * capacity || s.queue_depth.value() > 4.0 {
             Advice::ScaleUp

@@ -24,14 +24,11 @@ use lauberhorn_packet::frame::EndpointAddr;
 use lauberhorn_packet::marshal::transform_to_dispatch_form;
 use lauberhorn_packet::{build_udp_frame, parse_udp_frame, RpcHeader, RpcKind};
 use lauberhorn_sim::{SimDuration, SimTime};
-use serde::Serialize;
 
 use crate::continuation::ContinuationTable;
 use crate::demux::{DemuxError, DemuxTable};
 use crate::dispatch::{DispatchKind, DispatchLine};
-use crate::endpoint::{
-    Endpoint, EndpointId, EndpointLayout, LineRole, RequestCtx, RequestOutcome,
-};
+use crate::endpoint::{Endpoint, EndpointId, EndpointLayout, LineRole, RequestCtx, RequestOutcome};
 use crate::large::LargeTransferModel;
 use crate::load::{Advice, LoadTracker};
 use crate::sched_mirror::SchedMirror;
@@ -227,7 +224,7 @@ pub enum NicAction {
 }
 
 /// NIC-level counters.
-#[derive(Debug, Clone, Copy, Default, Serialize)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct LbNicStats {
     /// RPC request frames accepted.
     pub rx_requests: u64,
@@ -490,7 +487,10 @@ impl LauberhornNic {
         // core to return to the dispatch loop.
         if is_kernel
             && matches!(role, LineRole::Control(_))
-            && self.endpoints.get(&id).is_some_and(|e| e.queue_depth() == 0)
+            && self
+                .endpoints
+                .get(&id)
+                .is_some_and(|e| e.queue_depth() == 0)
         {
             let donor = self
                 .kernel_eps
@@ -536,7 +536,10 @@ impl LauberhornNic {
             }
         }
         let effects = {
-            let ep = self.endpoints.get_mut(&id).expect("indexed endpoint exists");
+            let ep = self
+                .endpoints
+                .get_mut(&id)
+                .expect("indexed endpoint exists");
             ep.on_load(role, token, now)
         };
         // If the load parked (an ArmTimeout was emitted), record the
@@ -557,11 +560,7 @@ impl LauberhornNic {
                 // the core can serve the other process — the NIC
                 // "provides dynamic load information to the kernel ...
                 // to reallocate cores".
-                let process = self
-                    .endpoints
-                    .get(&id)
-                    .expect("endpoint exists")
-                    .process;
+                let process = self.endpoints.get(&id).expect("endpoint exists").process;
                 let matching = {
                     let demux = &self.demux;
                     let kernel_eps: Vec<EndpointId> =
@@ -662,8 +661,7 @@ impl LauberhornNic {
             cont_hint: ctx.cont_hint,
         };
         let msg = header.encode_message(payload).expect("sized correctly");
-        build_udp_frame(self.cfg.nic_addr, ctx.client, &msg, 0)
-            .expect("response frame builds")
+        build_udp_frame(self.cfg.nic_addr, ctx.client, &msg, 0).expect("response frame builds")
     }
 
     /// Aux capacity of one endpoint in argument bytes.
@@ -691,9 +689,7 @@ impl LauberhornNic {
         };
         let mut t = now + self.cfg.pipeline_latency;
         match header.kind {
-            RpcKind::Request => {
-                self.handle_request(t, header, wire_payload, client)
-            }
+            RpcKind::Request => self.handle_request(t, header, wire_payload, client),
             RpcKind::Response | RpcKind::Error => {
                 // A reply for a nested RPC: dispatch via continuation.
                 let Ok(cont) = self.conts.resolve(header.cont_hint) else {
@@ -723,7 +719,9 @@ impl LauberhornNic {
                     None => return self.drop_frame(DropReason::Overflow),
                 };
                 match outcome {
-                    RequestOutcome::DeliveredToParked(effects) => self.map_effects(id, effects, t, None),
+                    RequestOutcome::DeliveredToParked(effects) => {
+                        self.map_effects(id, effects, t, None)
+                    }
                     RequestOutcome::Queued { .. } => Vec::new(),
                     RequestOutcome::Rejected => self.drop_frame(DropReason::Overflow),
                 }
@@ -745,12 +743,7 @@ impl LauberhornNic {
                         .demux
                         .service(header.service_id)
                         .expect("method implies service");
-                    (
-                        m.code_ptr,
-                        m.data_ptr,
-                        svc.process,
-                        svc.endpoints.clone(),
-                    )
+                    (m.code_ptr, m.data_ptr, svc.process, svc.endpoints.clone())
                 }
                 Err(DemuxError::UnknownService(s)) => {
                     return self.drop_frame(DropReason::UnknownService(s))
@@ -842,41 +835,45 @@ impl LauberhornNic {
         if self.mirror.is_running(process) && !endpoints.is_empty() {
             let id = *endpoints
                 .iter()
-                .min_by_key(|id| self.endpoints.get(id).map_or(usize::MAX, |e| e.queue_depth()))
+                .min_by_key(|id| {
+                    self.endpoints
+                        .get(id)
+                        .map_or(usize::MAX, |e| e.queue_depth())
+                })
                 .expect("non-empty");
             let depth = self.endpoints.get(&id).map_or(0, |e| e.queue_depth());
             let scale_out = depth >= self.cfg.scale_up_queue_threshold
                 && !self.mirror.kernel_pollers().is_empty();
             if !scale_out {
-            let depth_now = {
-                let ep = self.endpoints.get_mut(&id).expect("endpoint exists");
-                match ep.on_request(line.clone(), ctx.clone()) {
-                    RequestOutcome::Queued { depth } => Some(depth),
-                    RequestOutcome::DeliveredToParked(effects) => {
-                        // Raced with a park between the check and now.
-                        self.stats.fast_path += 1;
-                        let mut actions = pre_actions;
-                        actions.extend(self.map_effects(id, effects, t, None));
-                        return actions;
+                let depth_now = {
+                    let ep = self.endpoints.get_mut(&id).expect("endpoint exists");
+                    match ep.on_request(line.clone(), ctx.clone()) {
+                        RequestOutcome::Queued { depth } => Some(depth),
+                        RequestOutcome::DeliveredToParked(effects) => {
+                            // Raced with a park between the check and now.
+                            self.stats.fast_path += 1;
+                            let mut actions = pre_actions;
+                            actions.extend(self.map_effects(id, effects, t, None));
+                            return actions;
+                        }
+                        RequestOutcome::Rejected => None,
                     }
-                    RequestOutcome::Rejected => None,
+                };
+                if let Some(depth) = depth_now {
+                    self.stats.queued_user += 1;
+                    self.load.record_queue_depth(header.service_id, depth);
+                    let mut actions = pre_actions;
+                    let advice = self.load.advice(header.service_id);
+                    if advice != Advice::Hold {
+                        actions.push(NicAction::ScaleHint {
+                            service: header.service_id,
+                            advice,
+                            at: t,
+                        });
+                    }
+                    return actions;
                 }
-            };
-            if let Some(depth) = depth_now {
-                self.stats.queued_user += 1;
-                self.load.record_queue_depth(header.service_id, depth);
-                let mut actions = pre_actions;
-                let advice = self.load.advice(header.service_id);
-                if advice != Advice::Hold {
-                    actions.push(NicAction::ScaleHint {
-                        service: header.service_id,
-                        advice,
-                        at: t,
-                    });
-                }
-                return actions;
-            }
-            // Fall through to kernel delivery on overflow.
+                // Fall through to kernel delivery on overflow.
             }
         }
         // 3. a core parked in the kernel-mode dispatch loop takes it;
@@ -906,7 +903,11 @@ impl LauberhornNic {
             .kernel_eps
             .iter()
             .flatten()
-            .min_by_key(|id| self.endpoints.get(id).map_or(usize::MAX, |e| e.queue_depth()))
+            .min_by_key(|id| {
+                self.endpoints
+                    .get(id)
+                    .map_or(usize::MAX, |e| e.queue_depth())
+            })
             .copied();
         if let Some(id) = kq {
             let outcome = self
@@ -944,10 +945,11 @@ impl LauberhornNic {
         // 5. last resort: queue at a user endpoint of the service even
         //    if the process is not known to be running (better than
         //    dropping; the process will drain it when scheduled).
-        if let Some(&id) = endpoints
-            .iter()
-            .min_by_key(|id| self.endpoints.get(id).map_or(usize::MAX, |e| e.queue_depth()))
-        {
+        if let Some(&id) = endpoints.iter().min_by_key(|id| {
+            self.endpoints
+                .get(id)
+                .map_or(usize::MAX, |e| e.queue_depth())
+        }) {
             if let Some(ep) = self.endpoints.get_mut(&id) {
                 match ep.on_request(line, ctx) {
                     RequestOutcome::Queued { depth } => {
@@ -990,8 +992,8 @@ impl LauberhornNic {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use lauberhorn_packet::marshal::{ArgType, Signature, Value, VarintCodec};
     use lauberhorn_packet::marshal::Codec;
+    use lauberhorn_packet::marshal::{ArgType, Signature, Value, VarintCodec};
 
     fn nic() -> LauberhornNic {
         let mut n = LauberhornNic::new(
@@ -1109,9 +1111,13 @@ mod tests {
         assert!(acts
             .iter()
             .any(|a| matches!(a, NicAction::KernelDelivery { core: 3, .. })));
-        assert!(acts
-            .iter()
-            .any(|a| matches!(a, NicAction::CompleteFill { token: FillToken(9), .. })));
+        assert!(acts.iter().any(|a| matches!(
+            a,
+            NicAction::CompleteFill {
+                token: FillToken(9),
+                ..
+            }
+        )));
         assert_eq!(n.stats().kernel_path, 1);
     }
 
@@ -1205,7 +1211,11 @@ mod tests {
         let dma = acts
             .iter()
             .find_map(|a| match a {
-                NicAction::DmaWrite { buffer, bytes, done_at } => Some((buffer, bytes, done_at)),
+                NicAction::DmaWrite {
+                    buffer,
+                    bytes,
+                    done_at,
+                } => Some((buffer, bytes, done_at)),
                 _ => None,
             })
             .expect("dma fallback");

@@ -93,7 +93,10 @@ impl SchedMirror {
     /// The core stopped polling (its fill was answered).
     pub fn observe_unpark(&mut self, core: usize, now: SimTime) {
         let v = &mut self.cores[core];
-        if matches!(v.mode, CoreMode::PollingUser(_) | CoreMode::PollingKernel(_)) {
+        if matches!(
+            v.mode,
+            CoreMode::PollingUser(_) | CoreMode::PollingKernel(_)
+        ) {
             v.mode = if v.running.is_some() {
                 CoreMode::Running
             } else {

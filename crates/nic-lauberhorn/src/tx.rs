@@ -292,7 +292,9 @@ mod tests {
                 TxEffect::FetchAndSend {
                     line: layout().ctrl(0)
                 },
-                TxEffect::Credit { token: FillToken(1) },
+                TxEffect::Credit {
+                    token: FillToken(1)
+                },
             ]
         );
         assert_eq!(tx.write_line(), 1);
@@ -317,7 +319,9 @@ mod tests {
         // Queue drains: the credit is released to the same token.
         assert_eq!(
             tx.on_credit_available(),
-            Some(TxEffect::Credit { token: FillToken(5) })
+            Some(TxEffect::Credit {
+                token: FillToken(5)
+            })
         );
         assert!(!tx.is_backpressured());
         assert_eq!(tx.on_credit_available(), None);
@@ -332,12 +336,7 @@ mod tests {
         let eci = FabricModel::eci();
         let tx_submit = eci.req_lat + eci.data_lat; // Fetch-exclusive RTT.
         let link = PcieLink::enzian_fpga();
-        let dma_submit = link.mmio_write_delivery
-            + link.dma_read_time(16)
-            + link.dma_read_time(64);
-        assert!(
-            tx_submit < dma_submit,
-            "tx {tx_submit} !< dma {dma_submit}"
-        );
+        let dma_submit = link.mmio_write_delivery + link.dma_read_time(16) + link.dma_read_time(64);
+        assert!(tx_submit < dma_submit, "tx {tx_submit} !< dma {dma_submit}");
     }
 }

@@ -1,9 +1,10 @@
-//! Property-based tests of the endpoint protocol engine: arbitrary
+//! Randomized tests of the endpoint protocol engine: arbitrary
 //! interleavings of loads, requests, timeouts and retires never lose a
 //! request, never answer a fill twice, and never collect a response
 //! that was not produced.
-
-use proptest::prelude::*;
+//!
+//! Deterministic in-tree replacement for an external property-testing
+//! framework: cases are generated from seeded `SimRng` streams.
 
 use lauberhorn_coherence::{FillToken, LineAddr};
 use lauberhorn_nic::dispatch::{DispatchKind, DispatchLine};
@@ -12,7 +13,7 @@ use lauberhorn_nic::endpoint::{
 };
 use lauberhorn_os::ProcessId;
 use lauberhorn_packet::frame::EndpointAddr;
-use lauberhorn_sim::SimTime;
+use lauberhorn_sim::{SimRng, SimTime};
 
 #[derive(Debug, Clone)]
 enum Step {
@@ -26,16 +27,17 @@ enum Step {
     Retire,
 }
 
-fn arb_steps() -> impl Strategy<Value = Vec<Step>> {
-    proptest::collection::vec(
-        prop_oneof![
-            3 => Just(Step::CoreLoad),
-            3 => Just(Step::Request),
-            1 => Just(Step::Timeout),
-            1 => Just(Step::Retire),
-        ],
-        1..120,
-    )
+fn arb_steps(rng: &mut SimRng) -> Vec<Step> {
+    let n = rng.gen_range(1..=120);
+    (0..n)
+        // Weighted 3:3:1:1 like the original strategy.
+        .map(|_| match rng.gen_range(0..=7) {
+            0..=2 => Step::CoreLoad,
+            3..=5 => Step::Request,
+            6 => Step::Timeout,
+            _ => Step::Retire,
+        })
+        .collect()
 }
 
 fn layout() -> EndpointLayout {
@@ -82,11 +84,11 @@ enum CoreState {
     Retired,
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn endpoint_protocol_holds_invariants(steps in arb_steps()) {
+#[test]
+fn endpoint_protocol_holds_invariants() {
+    for case in 0..256u64 {
+        let mut rng = SimRng::stream(case, "ep-steps");
+        let steps = arb_steps(&mut rng);
         let mut ep = Endpoint::new(EndpointId(0), ProcessId(1), layout(), 4);
         let mut core = CoreState::Ready(0);
         let mut next_token = 0u64;
@@ -103,12 +105,12 @@ proptest! {
 
         // Applies one batch of effects, updating the core mirror.
         let apply = |effects: Vec<Effect>,
-                         core: &mut CoreState,
-                         armed_gen: &mut Option<u64>,
-                         collected: &mut u64,
-                         delivered: &mut u64,
-                         answered: &mut std::collections::HashSet<u64>,
-                         outstanding: &mut std::collections::HashSet<u64>| {
+                     core: &mut CoreState,
+                     armed_gen: &mut Option<u64>,
+                     collected: &mut u64,
+                     delivered: &mut u64,
+                     answered: &mut std::collections::HashSet<u64>,
+                     outstanding: &mut std::collections::HashSet<u64>| {
             for e in effects {
                 match e {
                     Effect::Respond { token, data } => {
@@ -116,10 +118,7 @@ proptest! {
                             outstanding.remove(&token.0),
                             "answered a token that was not parked: {token:?}"
                         );
-                        assert!(
-                            answered.insert(token.0),
-                            "token {token:?} answered twice"
-                        );
+                        assert!(answered.insert(token.0), "token {token:?} answered twice");
                         let line = DispatchLine::decode(&data, &[]).expect("decodes");
                         let CoreState::Waiting(p) = *core else {
                             panic!("fill arrived while core not waiting: {core:?}");
@@ -156,8 +155,15 @@ proptest! {
                         outstanding_tokens.insert(token.0);
                         core = CoreState::Waiting(p);
                         let fx = ep.on_load(LineRole::Control(p), token, SimTime::ZERO);
-                        apply(fx, &mut core, &mut armed_gen, &mut collected,
-                              &mut delivered, &mut answered_tokens, &mut outstanding_tokens);
+                        apply(
+                            fx,
+                            &mut core,
+                            &mut armed_gen,
+                            &mut collected,
+                            &mut delivered,
+                            &mut answered_tokens,
+                            &mut outstanding_tokens,
+                        );
                     }
                     CoreState::Holding(p) => {
                         // Core finished the handler: write response (not
@@ -169,8 +175,15 @@ proptest! {
                         outstanding_tokens.insert(token.0);
                         core = CoreState::Waiting(other);
                         let fx = ep.on_load(LineRole::Control(other), token, SimTime::ZERO);
-                        apply(fx, &mut core, &mut armed_gen, &mut collected,
-                              &mut delivered, &mut answered_tokens, &mut outstanding_tokens);
+                        apply(
+                            fx,
+                            &mut core,
+                            &mut armed_gen,
+                            &mut collected,
+                            &mut delivered,
+                            &mut answered_tokens,
+                            &mut outstanding_tokens,
+                        );
                     }
                     CoreState::Waiting(_) | CoreState::Retired => {}
                 },
@@ -180,8 +193,15 @@ proptest! {
                     injected += 1;
                     match ep.on_request(line, ctx) {
                         RequestOutcome::DeliveredToParked(fx) => {
-                            apply(fx, &mut core, &mut armed_gen, &mut collected,
-                                  &mut delivered, &mut answered_tokens, &mut outstanding_tokens);
+                            apply(
+                                fx,
+                                &mut core,
+                                &mut armed_gen,
+                                &mut collected,
+                                &mut delivered,
+                                &mut answered_tokens,
+                                &mut outstanding_tokens,
+                            );
                         }
                         RequestOutcome::Queued { .. } => {}
                         RequestOutcome::Rejected => rejected += 1,
@@ -190,38 +210,52 @@ proptest! {
                 Step::Timeout => {
                     if let Some(g) = armed_gen.take() {
                         let fx = ep.on_timeout(g);
-                        apply(fx, &mut core, &mut armed_gen, &mut collected,
-                              &mut delivered, &mut answered_tokens, &mut outstanding_tokens);
+                        apply(
+                            fx,
+                            &mut core,
+                            &mut armed_gen,
+                            &mut collected,
+                            &mut delivered,
+                            &mut answered_tokens,
+                            &mut outstanding_tokens,
+                        );
                     }
                 }
                 Step::Retire => {
                     let fx = ep.retire();
-                    apply(fx, &mut core, &mut armed_gen, &mut collected,
-                          &mut delivered, &mut answered_tokens, &mut outstanding_tokens);
+                    apply(
+                        fx,
+                        &mut core,
+                        &mut armed_gen,
+                        &mut collected,
+                        &mut delivered,
+                        &mut answered_tokens,
+                        &mut outstanding_tokens,
+                    );
                 }
             }
             // Conservation: every injected request is delivered, queued,
             // or rejected.
-            prop_assert_eq!(
+            assert_eq!(
                 injected,
                 delivered + ep.queue_depth() as u64 + rejected,
                 "conservation violated"
             );
             // The core and the endpoint agree on parking.
-            prop_assert_eq!(
+            assert_eq!(
                 matches!(core, CoreState::Waiting(_)),
                 ep.is_parked(),
-                "park state diverged: core {:?}", core
+                "park state diverged: core {core:?}"
             );
             // Responses: the endpoint marks a response outstanding at
             // *delivery* time (it will appear in the delivered line);
             // collection happens at the next other-line load. At most
             // one response is ever uncollected.
-            prop_assert!(collected <= delivered);
-            prop_assert!(delivered - collected <= 1);
-            prop_assert_eq!(ep.has_outstanding(), delivered > collected);
+            assert!(collected <= delivered);
+            assert!(delivered - collected <= 1);
+            assert_eq!(ep.has_outstanding(), delivered > collected);
             // The handler mirror can never be ahead of deliveries.
-            prop_assert!(completed <= delivered);
+            assert!(completed <= delivered);
         }
     }
 }

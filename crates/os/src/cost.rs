@@ -10,7 +10,6 @@
 //! reproduction is not an artefact of pessimistic constants.
 
 use lauberhorn_sim::SimDuration;
-use serde::Serialize;
 
 /// Cycle costs of the software path segments used by the experiments.
 ///
@@ -24,7 +23,7 @@ use serde::Serialize;
 /// let t = m.cycles(m.full_context_switch());
 /// assert!(t.as_ns_f64() > 500.0 && t.as_ns_f64() < 2000.0);
 /// ```
-#[derive(Debug, Clone, Copy, Serialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct CostModel {
     /// CPU clock in GHz (converts cycles to time).
     pub freq_ghz: f64,

@@ -6,12 +6,10 @@
 //! (steps 5–10). Each segment is attributed to a paper step so the
 //! `fig1_steps` experiment can print the breakdown table.
 
-use serde::Serialize;
-
 use crate::cost::CostModel;
 
 /// The twelve steps of §2 of the paper.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Step {
     /// 1: read the packet contents.
     S1ReadPacket,
@@ -40,7 +38,7 @@ pub enum Step {
 }
 
 /// Who executes a step.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Executor {
     /// NIC hardware.
     Nic,
@@ -51,7 +49,7 @@ pub enum Executor {
 }
 
 /// One costed segment of a receive path.
-#[derive(Debug, Clone, Copy, Serialize)]
+#[derive(Debug, Clone, Copy)]
 pub struct StepCost {
     /// Which of the paper's steps this segment belongs to.
     pub step: Step,

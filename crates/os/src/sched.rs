@@ -272,10 +272,7 @@ impl OsScheduler {
             q.remove(&(vr, tid));
         }
         let vr = vr.max(self.min_vruntime[to_core]);
-        self.threads
-            .get_mut(&tid)
-            .expect("checked above")
-            .vruntime = vr;
+        self.threads.get_mut(&tid).expect("checked above").vruntime = vr;
         self.queues[to_core].insert((vr, tid));
         Ok(())
     }
@@ -433,10 +430,7 @@ mod tests {
     #[test]
     fn errors_on_bad_ids() {
         let mut s = sched_with(1, 1);
-        assert_eq!(
-            s.wakeup(tid(9)),
-            Err(SchedError::UnknownThread(tid(9)))
-        );
+        assert_eq!(s.wakeup(tid(9)), Err(SchedError::UnknownThread(tid(9))));
         assert_eq!(s.block_current(4), Err(SchedError::BadCore(4)));
         assert_eq!(s.preempt(4), Err(SchedError::BadCore(4)));
         assert_eq!(s.migrate(tid(0), 7), Err(SchedError::BadCore(7)));

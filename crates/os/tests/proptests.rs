@@ -1,11 +1,12 @@
-//! Property-based tests of the scheduler: arbitrary operation
-//! sequences preserve the core/queue bookkeeping invariants.
-
-use proptest::prelude::*;
+//! Randomized tests of the scheduler: arbitrary operation sequences
+//! preserve the core/queue bookkeeping invariants.
+//!
+//! Deterministic in-tree replacement for an external property-testing
+//! framework: cases are generated from seeded `SimRng` streams.
 
 use lauberhorn_os::proc::{ProcessId, ThreadId, ThreadState};
 use lauberhorn_os::OsScheduler;
-use lauberhorn_sim::SimDuration;
+use lauberhorn_sim::{SimDuration, SimRng};
 
 #[derive(Debug, Clone)]
 enum Op {
@@ -16,14 +17,17 @@ enum Op {
     Dispatch(usize),
 }
 
-fn arb_op(threads: u32, cores: usize) -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (0..threads).prop_map(Op::Wakeup),
-        (0..cores).prop_map(Op::Block),
-        (0..cores).prop_map(Op::Preempt),
-        ((0..cores), 1u64..10_000).prop_map(|(c, n)| Op::Account(c, n)),
-        (0..cores).prop_map(Op::Dispatch),
-    ]
+fn arb_op(rng: &mut SimRng, threads: u32, cores: usize) -> Op {
+    match rng.gen_range(0..=4) {
+        0 => Op::Wakeup(rng.gen_range(0..=threads as usize - 1) as u32),
+        1 => Op::Block(rng.gen_range(0..=cores - 1)),
+        2 => Op::Preempt(rng.gen_range(0..=cores - 1)),
+        3 => Op::Account(
+            rng.gen_range(0..=cores - 1),
+            rng.gen_range(1..=9_999) as u64,
+        ),
+        _ => Op::Dispatch(rng.gen_range(0..=cores - 1)),
+    }
 }
 
 fn check(s: &OsScheduler, threads: u32, cores: usize) {
@@ -55,19 +59,19 @@ fn check(s: &OsScheduler, threads: u32, cores: usize) {
     assert_eq!(s.total_queued(), runnable, "queued != runnable");
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn scheduler_invariants_hold(ops in proptest::collection::vec(arb_op(6, 3), 1..200)) {
+#[test]
+fn scheduler_invariants_hold() {
+    for case in 0..128u64 {
+        let mut rng = SimRng::stream(case, "sched-inv");
         let threads = 6u32;
         let cores = 3usize;
+        let n_ops = rng.gen_range(1..=200);
         let mut s = OsScheduler::new(cores);
         for t in 0..threads {
             s.register(ThreadId(t), ProcessId(t), None);
         }
-        for op in ops {
-            match op {
+        for _ in 0..n_ops {
+            match arb_op(&mut rng, threads, cores) {
                 Op::Wakeup(t) => {
                     s.wakeup(ThreadId(t)).unwrap();
                 }
@@ -87,20 +91,25 @@ proptest! {
             check(&s, threads, cores);
         }
     }
+}
 
-    #[test]
-    fn work_conserving_under_wakeups(wakes in proptest::collection::vec(0u32..8, 1..50)) {
-        // As long as there are idle cores, no woken thread may sit on a
-        // queue.
+#[test]
+fn work_conserving_under_wakeups() {
+    // As long as there are idle cores, no woken thread may sit on a
+    // queue.
+    for case in 0..128u64 {
+        let mut rng = SimRng::stream(case, "sched-wc");
+        let n_wakes = rng.gen_range(1..=50);
         let mut s = OsScheduler::new(4);
         for t in 0..8 {
             s.register(ThreadId(t), ProcessId(t), None);
         }
-        for w in wakes {
+        for _ in 0..n_wakes {
+            let w = rng.gen_range(0..=7) as u32;
             s.wakeup(ThreadId(w)).unwrap();
             let idle = s.idle_cores().len();
             let queued = s.total_queued();
-            prop_assert!(
+            assert!(
                 idle == 0 || queued == 0,
                 "{idle} idle cores with {queued} queued threads"
             );

@@ -205,7 +205,10 @@ mod tests {
         arp[12..14].copy_from_slice(&0x0806u16.to_be_bytes());
         assert!(matches!(
             parse_udp_frame(&arp),
-            Err(PacketError::BadField { field: "ethertype", .. })
+            Err(PacketError::BadField {
+                field: "ethertype",
+                ..
+            })
         ));
         // Claim TCP: must also fix the IP checksum so we reach the
         // protocol check.
@@ -215,7 +218,10 @@ mod tests {
         frame[ETH_HEADER_LEN + 10..ETH_HEADER_LEN + 12].copy_from_slice(&ck.to_be_bytes());
         assert!(matches!(
             parse_udp_frame(&frame),
-            Err(PacketError::BadField { field: "protocol", .. })
+            Err(PacketError::BadField {
+                field: "protocol",
+                ..
+            })
         ));
     }
 

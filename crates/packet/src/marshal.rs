@@ -470,7 +470,9 @@ mod tests {
             VarintCodec.encode(&sig, &args).unwrap(),
         ] {
             let cut = &codec_out[..codec_out.len() - 2];
-            assert!(FixedCodec.decode(&sig, cut).is_err() || VarintCodec.decode(&sig, cut).is_err());
+            assert!(
+                FixedCodec.decode(&sig, cut).is_err() || VarintCodec.decode(&sig, cut).is_err()
+            );
         }
     }
 
@@ -481,7 +483,10 @@ mod tests {
         enc.push(0xff);
         assert!(matches!(
             FixedCodec.decode(&sig, &enc),
-            Err(PacketError::BadField { field: "trailing", .. })
+            Err(PacketError::BadField {
+                field: "trailing",
+                ..
+            })
         ));
         let mut enc = VarintCodec.encode(&sig, &[Value::Bool(false)]).unwrap();
         enc.push(0x00);
@@ -495,7 +500,7 @@ mod tests {
             .encode(&sig, &[Value::Bytes(vec![0xff, 0xfe])])
             .err();
         assert!(enc.is_some()); // Type mismatch already.
-        // Hand-craft invalid UTF-8 in the fixed layout.
+                                // Hand-craft invalid UTF-8 in the fixed layout.
         let mut raw = 2u32.to_le_bytes().to_vec();
         raw.extend_from_slice(&[0xff, 0xfe]);
         assert!(matches!(
@@ -513,7 +518,10 @@ mod tests {
         raw.push(0x01);
         assert!(matches!(
             VarintCodec.decode(&sig, &raw),
-            Err(PacketError::BadField { field: "varint", .. })
+            Err(PacketError::BadField {
+                field: "varint",
+                ..
+            })
         ));
     }
 

@@ -200,7 +200,10 @@ mod tests {
         bad[2] = 99;
         assert!(matches!(
             RpcHeader::parse(&bad),
-            Err(PacketError::BadField { field: "version", .. })
+            Err(PacketError::BadField {
+                field: "version",
+                ..
+            })
         ));
         let mut bad = msg;
         bad[3] = 42;

@@ -1,65 +1,115 @@
-//! Property-based tests for the packet formats: round-trips hold for
+//! Randomized tests for the packet formats: round-trips hold for
 //! arbitrary inputs, and corruption never passes verification silently
 //! where a checksum covers it.
-
-use proptest::prelude::*;
+//!
+//! Deterministic in-tree replacement for an external property-testing
+//! framework: cases are generated from a seeded SplitMix64 stream.
 
 use lauberhorn_packet::frame::{build_udp_frame, parse_udp_frame, EndpointAddr};
 use lauberhorn_packet::marshal::{ArgType, Codec, FixedCodec, Signature, Value, VarintCodec};
 use lauberhorn_packet::{RpcHeader, RpcKind};
 
-fn arb_value() -> impl Strategy<Value = Value> {
-    prop_oneof![
-        any::<u64>().prop_map(Value::U64),
-        any::<i64>().prop_map(Value::I64),
-        any::<bool>().prop_map(Value::Bool),
-        proptest::collection::vec(any::<u8>(), 0..200).prop_map(Value::Bytes),
-        "[a-zA-Z0-9 ]{0,64}".prop_map(Value::Str),
-    ]
+/// Deterministic SplitMix64 (the packet crate has no RNG dependency).
+struct TestRng(u64);
+
+impl TestRng {
+    fn new(seed: u64) -> Self {
+        TestRng(seed)
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+
+    fn bytes(&mut self, len: usize) -> Vec<u8> {
+        (0..len).map(|_| self.next() as u8).collect()
+    }
 }
 
-fn arb_args() -> impl Strategy<Value = Vec<Value>> {
-    proptest::collection::vec(arb_value(), 0..8)
+fn arb_value(rng: &mut TestRng) -> Value {
+    match rng.below(5) {
+        0 => Value::U64(rng.next()),
+        1 => Value::I64(rng.next() as i64),
+        2 => Value::Bool(rng.below(2) == 1),
+        3 => {
+            let len = rng.below(200) as usize;
+            Value::Bytes(rng.bytes(len))
+        }
+        _ => {
+            const ALPHABET: &[u8] = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJ0123456789 ";
+            let len = rng.below(65) as usize;
+            Value::Str(
+                (0..len)
+                    .map(|_| ALPHABET[rng.below(ALPHABET.len() as u64) as usize] as char)
+                    .collect(),
+            )
+        }
+    }
+}
+
+fn arb_args(rng: &mut TestRng) -> Vec<Value> {
+    let n = rng.below(8) as usize;
+    (0..n).map(|_| arb_value(rng)).collect()
 }
 
 fn signature_of(args: &[Value]) -> Signature {
     Signature(args.iter().map(|v| v.arg_type()).collect())
 }
 
-proptest! {
-    #[test]
-    fn fixed_codec_round_trips(args in arb_args()) {
+#[test]
+fn fixed_codec_round_trips() {
+    for case in 0..256 {
+        let mut rng = TestRng::new(case);
+        let args = arb_args(&mut rng);
         let sig = signature_of(&args);
         let enc = FixedCodec.encode(&sig, &args).unwrap();
-        prop_assert_eq!(FixedCodec.decode(&sig, &enc).unwrap(), args);
+        assert_eq!(FixedCodec.decode(&sig, &enc).unwrap(), args);
     }
+}
 
-    #[test]
-    fn varint_codec_round_trips(args in arb_args()) {
+#[test]
+fn varint_codec_round_trips() {
+    for case in 0..256 {
+        let mut rng = TestRng::new(1000 + case);
+        let args = arb_args(&mut rng);
         let sig = signature_of(&args);
         let enc = VarintCodec.encode(&sig, &args).unwrap();
-        prop_assert_eq!(VarintCodec.decode(&sig, &enc).unwrap(), args);
+        assert_eq!(VarintCodec.decode(&sig, &enc).unwrap(), args);
     }
+}
 
-    #[test]
-    fn nic_transform_equals_software_path(args in arb_args()) {
+#[test]
+fn nic_transform_equals_software_path() {
+    for case in 0..256 {
+        let mut rng = TestRng::new(2000 + case);
+        let args = arb_args(&mut rng);
         // The deserialization offload must agree with decode+encode.
         let sig = signature_of(&args);
         let wire = VarintCodec.encode(&sig, &args).unwrap();
         let transformed =
             lauberhorn_packet::marshal::transform_to_dispatch_form(&sig, &wire).unwrap();
-        prop_assert_eq!(transformed, FixedCodec.encode(&sig, &args).unwrap());
+        assert_eq!(transformed, FixedCodec.encode(&sig, &args).unwrap());
     }
+}
 
-    #[test]
-    fn varint_decode_never_panics_on_garbage(
-        data in proptest::collection::vec(any::<u8>(), 0..256),
-        types in proptest::collection::vec(0u8..5, 0..6),
-    ) {
+#[test]
+fn varint_decode_never_panics_on_garbage() {
+    for case in 0..512 {
+        let mut rng = TestRng::new(3000 + case);
+        let dlen = rng.below(256) as usize;
+        let data = rng.bytes(dlen);
+        let n_types = rng.below(6) as usize;
         let sig = Signature(
-            types
-                .into_iter()
-                .map(|t| match t {
+            (0..n_types)
+                .map(|_| match rng.below(5) {
                     0 => ArgType::U64,
                     1 => ArgType::I64,
                     2 => ArgType::Bool,
@@ -72,66 +122,83 @@ proptest! {
         let _ = VarintCodec.decode(&sig, &data);
         let _ = FixedCodec.decode(&sig, &data);
     }
+}
 
-    #[test]
-    fn frames_round_trip(payload in proptest::collection::vec(any::<u8>(), 0..2048),
-                         sport in any::<u16>(), dport in any::<u16>(),
-                         ident in any::<u16>()) {
+#[test]
+fn frames_round_trip() {
+    for case in 0..256 {
+        let mut rng = TestRng::new(4000 + case);
+        let plen = rng.below(2048) as usize;
+        let payload = rng.bytes(plen);
+        let sport = rng.next() as u16;
+        let dport = rng.next() as u16;
+        let ident = rng.next() as u16;
         let src = EndpointAddr::host(1, sport);
         let dst = EndpointAddr::host(2, dport);
         let raw = build_udp_frame(src, dst, &payload, ident).unwrap();
         let parsed = parse_udp_frame(&raw).unwrap();
-        prop_assert_eq!(parsed.payload, payload);
-        prop_assert_eq!(parsed.udp.src_port, sport);
-        prop_assert_eq!(parsed.udp.dst_port, dport);
-        prop_assert_eq!(parsed.ip.ident, ident);
+        assert_eq!(parsed.payload, payload);
+        assert_eq!(parsed.udp.src_port, sport);
+        assert_eq!(parsed.udp.dst_port, dport);
+        assert_eq!(parsed.ip.ident, ident);
     }
+}
 
-    #[test]
-    fn single_bit_flips_past_eth_are_caught(
-        payload in proptest::collection::vec(any::<u8>(), 1..256),
-        byte_frac in 0.0f64..1.0,
-        bit in 0u8..8,
-    ) {
+#[test]
+fn single_bit_flips_past_eth_are_caught() {
+    for case in 0..256 {
+        let mut rng = TestRng::new(5000 + case);
+        let plen = 1 + rng.below(255) as usize;
+        let payload = rng.bytes(plen);
         let src = EndpointAddr::host(1, 100);
         let dst = EndpointAddr::host(2, 200);
         let raw = build_udp_frame(src, dst, &payload, 0).unwrap();
         // The Ethernet header (14 bytes) carries no checksum once the
         // FCS is stripped; everything after it is covered.
         let lo = 14usize;
-        let byte = lo + ((raw.len() - lo - 1) as f64 * byte_frac) as usize;
+        let byte = lo + rng.below((raw.len() - lo) as u64) as usize;
+        let bit = rng.below(8) as u8;
         let mut corrupt = raw.clone();
         corrupt[byte] ^= 1 << bit;
-        prop_assert!(parse_udp_frame(&corrupt).is_err(),
-            "undetected corruption at byte {} bit {}", byte, bit);
+        assert!(
+            parse_udp_frame(&corrupt).is_err(),
+            "undetected corruption at byte {byte} bit {bit}"
+        );
     }
+}
 
-    #[test]
-    fn rpc_header_round_trips(service in any::<u16>(), method in any::<u16>(),
-                              request in any::<u64>(), hint in any::<u32>(),
-                              payload in proptest::collection::vec(any::<u8>(), 0..512),
-                              kind in 0u8..3) {
-        let kind = match kind {
+#[test]
+fn rpc_header_round_trips() {
+    for case in 0..256 {
+        let mut rng = TestRng::new(6000 + case);
+        let kind = match rng.below(3) {
             0 => RpcKind::Request,
             1 => RpcKind::Response,
             _ => RpcKind::Error,
         };
+        let plen = rng.below(512) as usize;
+        let payload = rng.bytes(plen);
         let h = RpcHeader {
             kind,
-            service_id: service,
-            method_id: method,
-            request_id: request,
+            service_id: rng.next() as u16,
+            method_id: rng.next() as u16,
+            request_id: rng.next(),
             payload_len: payload.len() as u32,
-            cont_hint: hint,
+            cont_hint: rng.next() as u32,
         };
         let msg = h.encode_message(&payload).unwrap();
         let (parsed, body) = RpcHeader::decode_message(&msg).unwrap();
-        prop_assert_eq!(parsed, h);
-        prop_assert_eq!(body, &payload[..]);
+        assert_eq!(parsed, h);
+        assert_eq!(body, &payload[..]);
     }
+}
 
-    #[test]
-    fn rpc_header_parse_never_panics(data in proptest::collection::vec(any::<u8>(), 0..64)) {
+#[test]
+fn rpc_header_parse_never_panics() {
+    for case in 0..512 {
+        let mut rng = TestRng::new(7000 + case);
+        let dlen = rng.below(64) as usize;
+        let data = rng.bytes(dlen);
         let _ = RpcHeader::decode_message(&data);
     }
 }

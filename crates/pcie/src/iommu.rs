@@ -10,13 +10,12 @@
 use std::collections::HashMap;
 
 use lauberhorn_sim::SimDuration;
-use serde::Serialize;
 
 /// Page size used by the I/O page tables.
 pub const IO_PAGE_SIZE: u64 = 4096;
 
 /// Translation statistics.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct IommuStats {
     /// IOTLB hits.
     pub iotlb_hits: u64,

@@ -1,47 +1,56 @@
-//! Property-based tests for the IOMMU and MSI-X models.
-
-use proptest::prelude::*;
+//! Randomized tests for the IOMMU and MSI-X models.
+//!
+//! Deterministic in-tree replacement for an external property-testing
+//! framework: cases are generated from seeded `SimRng` streams.
 
 use lauberhorn_pcie::iommu::IO_PAGE_SIZE;
 use lauberhorn_pcie::{Iommu, MsixTable};
+use lauberhorn_sim::SimRng;
 
-proptest! {
-    #[test]
-    fn translations_match_the_mapping(
-        pages in 1u64..16,
-        offsets in proptest::collection::vec((0u64..16, 0u64..4096), 1..50)
-    ) {
+#[test]
+fn translations_match_the_mapping() {
+    for case in 0..64u64 {
+        let mut rng = SimRng::stream(case, "iommu-map");
+        let pages = rng.gen_range(1..=15) as u64;
+        let n = rng.gen_range(1..=50);
         let mut io = Iommu::new(8);
         let iova_base = 0x10_0000u64;
         let phys_base = 0x90_0000u64;
         io.map(iova_base, phys_base, pages * IO_PAGE_SIZE, true);
-        for (page, off) in offsets {
+        for _ in 0..n {
+            let page = rng.gen_u64() % 16;
+            let off = rng.gen_u64() % 4096;
             let iova = iova_base + (page % pages) * IO_PAGE_SIZE + off % IO_PAGE_SIZE;
             let len = (IO_PAGE_SIZE - iova % IO_PAGE_SIZE).min(64);
             let (phys, _) = io.translate(iova, len, true).unwrap();
-            prop_assert_eq!(phys - phys_base, iova - iova_base);
+            assert_eq!(phys - phys_base, iova - iova_base);
         }
     }
+}
 
-    #[test]
-    fn unmapped_addresses_always_fault(
-        addrs in proptest::collection::vec(0u64..0x100_0000, 1..50)
-    ) {
+#[test]
+fn unmapped_addresses_always_fault() {
+    for case in 0..64u64 {
+        let mut rng = SimRng::stream(case, "iommu-fault");
+        let n = rng.gen_range(1..=50);
         let mut io = Iommu::new(8);
         // Map only one page; everything outside must fault.
         io.map(0x5000, 0x9000, IO_PAGE_SIZE, true);
-        for a in addrs {
+        for _ in 0..n {
+            let a = rng.gen_u64() % 0x100_0000;
             let in_page = (0x5000..0x6000).contains(&a);
             let r = io.translate(a, 1, false);
-            prop_assert_eq!(r.is_ok(), in_page, "at {:#x}", a);
+            assert_eq!(r.is_ok(), in_page, "at {a:#x}");
         }
     }
+}
 
-    #[test]
-    fn range_translation_covers_every_byte(
-        start_off in 0u64..4096,
-        len in 1u64..20_000
-    ) {
+#[test]
+fn range_translation_covers_every_byte() {
+    for case in 0..64u64 {
+        let mut rng = SimRng::stream(case, "iommu-range");
+        let start_off = rng.gen_u64() % 4096;
+        let len = 1 + rng.gen_u64() % 19_999;
         let mut io = Iommu::new(16);
         let pages = 8u64;
         io.map(0, 0x100_0000, pages * IO_PAGE_SIZE, true);
@@ -49,32 +58,34 @@ proptest! {
         let (segs, _) = io.translate_range(start_off, len, true).unwrap();
         // Segments are contiguous in IOVA space and sum to len.
         let total: u64 = segs.iter().map(|(_, l)| l).sum();
-        prop_assert_eq!(total, len);
+        assert_eq!(total, len);
         // No segment crosses a page boundary.
         for (phys, l) in &segs {
-            prop_assert!(phys % IO_PAGE_SIZE + l <= IO_PAGE_SIZE);
+            assert!(phys % IO_PAGE_SIZE + l <= IO_PAGE_SIZE);
         }
     }
+}
 
-    #[test]
-    fn msix_latching_never_loses_the_last_event(
-        ops in proptest::collection::vec(0u8..3, 1..100)
-    ) {
+#[test]
+fn msix_latching_never_loses_the_last_event() {
+    for case in 0..64u64 {
+        let mut rng = SimRng::stream(case, "msix");
+        let n_ops = rng.gen_range(1..=100);
         // Ops: 0 = raise, 1 = mask, 2 = unmask. Invariant: after any
         // sequence, if an event was raised while masked and we unmask,
         // we get exactly one delivery for the latched window.
         let mut t = MsixTable::new(1);
         let mut masked = false;
         let mut latched = false;
-        for op in ops {
-            match op {
+        for _ in 0..n_ops {
+            match rng.gen_range(0..=2) {
                 0 => {
                     let r = t.raise(0);
                     if masked {
-                        prop_assert!(r.is_none());
+                        assert!(r.is_none());
                         latched = true;
                     } else {
-                        prop_assert!(r.is_some());
+                        assert!(r.is_some());
                     }
                 }
                 1 => {
@@ -83,7 +94,7 @@ proptest! {
                 }
                 _ => {
                     let r = t.unmask(0);
-                    prop_assert_eq!(r.is_some(), masked && latched);
+                    assert_eq!(r.is_some(), masked && latched);
                     masked = false;
                     latched = false;
                 }

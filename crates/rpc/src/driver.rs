@@ -1,0 +1,224 @@
+//! The generic experiment driver: one client model, one load
+//! generator, one warmup/metrics policy for every [`ServerStack`].
+//!
+//! The client side — open/closed-loop generation, request marshalling,
+//! RTT bookkeeping — used to be copy-pasted into each of the three
+//! stack simulations, which made "are we comparing the stacks on the
+//! same workload?" a diff exercise. Here it exists once: the driver
+//! owns the client RNG stream, builds identical request byte streams
+//! for every stack under the same seed (pinned by a running FNV-1a
+//! digest in the report), interleaves client events with the stack's
+//! internal event queue in time order, and emits the common [`Report`].
+
+use lauberhorn_packet::frame::EndpointAddr;
+use lauberhorn_sim::{SimRng, SimTime};
+
+use crate::report::Report;
+use crate::spec::{LoadMode, PayloadGen, WorkloadSpec};
+use crate::stack::ServerStack;
+use crate::wire::{build_request, RequestTimes};
+
+/// Client-side events, interleaved with the stack's internal queue.
+#[derive(Debug)]
+pub(crate) enum ClientEv {
+    /// A load-generator tick for the given (closed-loop) client.
+    Gen { client: usize },
+    /// The response frame reached the client.
+    Response { request_id: u64 },
+}
+
+/// Running FNV-1a digest over the generated request stream; equal
+/// digests across stacks prove they were offered identical bytes.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct RequestDigest(pub u64);
+
+impl RequestDigest {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    pub(crate) fn new() -> Self {
+        RequestDigest(Self::OFFSET)
+    }
+
+    fn absorb(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(Self::PRIME);
+        }
+    }
+
+    fn absorb_request(&mut self, request_id: u64, service: u16, payload: &[u8]) {
+        self.absorb(&request_id.to_le_bytes());
+        self.absorb(&service.to_le_bytes());
+        self.absorb(payload);
+    }
+}
+
+/// Runs `workload` against `stack` and reports.
+///
+/// The driver alternates between the client queue and the stack's
+/// internal queue, always processing the globally-earliest event
+/// (client first on ties, so request injection at time `t` is visible
+/// to a stack event at the same `t`).
+pub fn run(stack: &mut (impl ServerStack + ?Sized), workload: &WorkloadSpec) -> Report {
+    stack.common().begin(workload);
+    stack.prepare(workload);
+
+    // The client's randomness is a stream of its own, independent of
+    // the stack: every stack sees the same services, sizes and gaps.
+    let mut client_rng = SimRng::stream(workload.seed, "client");
+    let client_addr = EndpointAddr::host(2, 7000);
+    let mut digest = RequestDigest::new();
+    let mut next_request_id = 0u64;
+    let mut client_of = std::collections::HashMap::new();
+
+    match &workload.mode {
+        LoadMode::Open { .. } => {
+            stack
+                .common()
+                .client_q
+                .schedule(SimTime::from_ns(1), ClientEv::Gen { client: 0 });
+        }
+        LoadMode::Closed { clients, .. } => {
+            for c in 0..*clients {
+                stack.common().client_q.schedule(
+                    SimTime::from_ns(1 + c as u64 * 100),
+                    ClientEv::Gen { client: c },
+                );
+            }
+        }
+    }
+    let mut arrivals = match &workload.mode {
+        LoadMode::Open { arrivals } => Some(arrivals.clone()),
+        LoadMode::Closed { .. } => None,
+    };
+
+    let mut last_now = SimTime::ZERO;
+    loop {
+        // Pick the earliest event across both queues.
+        let client_t = stack.common().client_q.peek_time();
+        let stack_t = stack.next_event_time();
+        let client_side = match (client_t, stack_t) {
+            (Some(c), Some(s)) => c <= s,
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            (None, None) => break,
+        };
+
+        if client_side {
+            let (now, ev) = stack
+                .common()
+                .client_q
+                .pop()
+                .expect("peeked time implies an event");
+            last_now = now;
+            let common = stack.common();
+            if now > common.hard_end {
+                break;
+            }
+            if now > common.end_of_load
+                && common.metrics.completed + common.metrics.dropped >= common.metrics.offered
+            {
+                break;
+            }
+            match ev {
+                ClientEv::Gen { client } => {
+                    if now <= stack.common().end_of_load {
+                        let request_id = next_request_id;
+                        next_request_id += 1;
+                        let service = workload.mix.sample(&mut client_rng, now);
+                        let payload: Vec<u8> = match &workload.payload {
+                            Some(PayloadGen::Script(f)) => f(request_id),
+                            Some(PayloadGen::Random(d)) => {
+                                let size = d.sample(&mut client_rng);
+                                (0..size).map(|i| (i as u8) ^ (request_id as u8)).collect()
+                            }
+                            None => {
+                                let size = workload.request_bytes.sample(&mut client_rng);
+                                (0..size).map(|i| (i as u8) ^ (request_id as u8)).collect()
+                            }
+                        };
+                        digest.absorb_request(request_id, service, &payload);
+                        let raw = build_request(
+                            client_addr,
+                            stack.server_addr(service),
+                            service,
+                            0,
+                            request_id,
+                            &payload,
+                            0,
+                        );
+                        client_of.insert(request_id, client);
+                        let common = stack.common();
+                        common.metrics.offered += 1;
+                        common.times.insert(
+                            request_id,
+                            RequestTimes {
+                                sent: now,
+                                ..Default::default()
+                            },
+                        );
+                        let arrive = now + common.wire.deliver(raw.len());
+                        stack.inject_frame(arrive, raw, request_id);
+                        if let Some(arr) = arrivals.as_mut() {
+                            let gap = arr.next_gap(&mut client_rng);
+                            stack
+                                .common()
+                                .client_q
+                                .schedule(now + gap, ClientEv::Gen { client });
+                        }
+                    }
+                }
+                ClientEv::Response { request_id } => {
+                    let common = stack.common();
+                    common.metrics.completed += 1;
+                    let warmed = common.metrics.completed > workload.warmup;
+                    if let Some(times) = common.times.remove(&request_id) {
+                        if warmed {
+                            common.metrics.rtt.record_duration(now.since(times.sent));
+                            common
+                                .metrics
+                                .end_system
+                                .record_duration(times.end_system());
+                            common.metrics.dispatch.record_duration(times.dispatch());
+                            if let Some(c) = common.sw_cycles_by_req.remove(&request_id) {
+                                common.metrics.sw_cycles += c;
+                            }
+                            common.metrics.measured += 1;
+                        } else {
+                            common.sw_cycles_by_req.remove(&request_id);
+                        }
+                    }
+                    let client = client_of.remove(&request_id).unwrap_or(0);
+                    if let LoadMode::Closed { think, .. } = &workload.mode {
+                        if now + *think <= common.end_of_load {
+                            common
+                                .client_q
+                                .schedule(now + *think, ClientEv::Gen { client });
+                        }
+                    }
+                }
+            }
+        } else {
+            let now = stack_t.expect("stack side chosen implies an event");
+            last_now = now;
+            let common = stack.common();
+            if now > common.hard_end {
+                break;
+            }
+            if now > common.end_of_load
+                && common.metrics.completed + common.metrics.dropped >= common.metrics.offered
+            {
+                break;
+            }
+            stack.step(workload);
+        }
+    }
+
+    let end = last_now.min(stack.common().hard_end);
+    let (energy, fabric) = stack.finish(end);
+    let common = stack.common();
+    common.metrics.request_digest = digest.0;
+    let metrics = std::mem::take(&mut common.metrics);
+    metrics.finish(stack.name(), end.since(SimTime::ZERO), energy, fabric)
+}

@@ -14,16 +14,20 @@
 //!   with RSS, interrupts, softirq processing, socket wakeups, and
 //!   context switches.
 //!
-//! All three consume the same [`spec`] service definitions and
-//! [`wire`]-level request frames, and produce the same [`report`]
-//! metrics, so every experiment is an apples-to-apples comparison over
-//! identical byte streams.
+//! All three implement the [`stack::ServerStack`] trait and are run by
+//! the one generic [`driver`]: they consume the same [`spec`] service
+//! definitions and [`wire`]-level request frames — byte-identical
+//! streams, pinned by the report's request digest — and produce the
+//! same [`report`] metrics, so every experiment is an apples-to-apples
+//! comparison.
 
+pub mod driver;
 pub mod report;
 pub mod sim_bypass;
 pub mod sim_kernel;
 pub mod sim_lauberhorn;
 pub mod spec;
+pub mod stack;
 pub mod wire;
 
 pub use report::Report;
@@ -31,3 +35,4 @@ pub use sim_bypass::BypassSim;
 pub use sim_kernel::KernelSim;
 pub use sim_lauberhorn::LauberhornSim;
 pub use spec::{ServiceSpec, WorkloadSpec};
+pub use stack::{Machine, MachineConfig, ServerStack};

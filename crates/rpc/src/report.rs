@@ -2,10 +2,9 @@
 
 use lauberhorn_sim::energy::CycleAccount;
 use lauberhorn_sim::{Histogram, SimDuration, Summary};
-use serde::Serialize;
 
 /// Metrics from one simulation run.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Report {
     /// Stack name.
     pub stack: String,
@@ -32,6 +31,10 @@ pub struct Report {
     pub energy_proxy: f64,
     /// Coherence-fabric / PCIe message count (bus traffic).
     pub fabric_messages: u64,
+    /// FNV-1a digest of the generated request stream (ids, services,
+    /// payload bytes). Two runs with equal digests were offered
+    /// byte-identical workloads, regardless of stack.
+    pub request_digest: u64,
     /// `(request_id, response payload)` pairs, when the workload set
     /// `record_responses` (application-logic verification).
     pub recorded: Vec<(u64, Vec<u8>)>,
@@ -84,6 +87,8 @@ pub struct MetricsCollector {
     pub sw_cycles: u64,
     /// Completions counted toward `sw_cycles` (warmed only).
     pub measured: u64,
+    /// Digest of the offered request stream (set by the driver).
+    pub request_digest: u64,
     /// Recorded responses (when requested by the workload).
     pub recorded: Vec<(u64, Vec<u8>)>,
 }
@@ -114,6 +119,7 @@ impl MetricsCollector {
             energy_proxy: energy.energy_proxy(),
             energy,
             fabric_messages,
+            request_digest: self.request_digest,
             recorded: self.recorded,
         }
     }
@@ -155,7 +161,12 @@ mod tests {
     #[test]
     fn row_renders() {
         let m = MetricsCollector::default();
-        let r = m.finish("kernel", SimDuration::from_ms(1), CycleAccount::default(), 0);
+        let r = m.finish(
+            "kernel",
+            SimDuration::from_ms(1),
+            CycleAccount::default(),
+            0,
+        );
         assert!(r.row().contains("kernel"));
     }
 }

@@ -9,7 +9,7 @@
 //! binding costs a control-plane operation and a drain window) both
 //! fall out of the structure.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 use lauberhorn_baseline::{BindingManager, FlowDirector, RebindCost};
 use lauberhorn_nic_dma::nic::RxDrop;
@@ -18,31 +18,23 @@ use lauberhorn_nic_dma::{DmaNic, DmaNicConfig};
 use lauberhorn_os::CostModel;
 use lauberhorn_packet::frame::{EndpointAddr, FRAME_OVERHEAD};
 use lauberhorn_packet::rpcwire::RPC_HEADER_LEN;
-use lauberhorn_sim::energy::{CoreState, EnergyMeter};
-use lauberhorn_sim::{EventQueue, SimDuration, SimRng, SimTime};
+use lauberhorn_sim::energy::{CoreState, CycleAccount, EnergyMeter};
+use lauberhorn_sim::{EventQueue, SimDuration, SimTime};
 
-use crate::report::{MetricsCollector, Report};
-use crate::spec::{LoadMode, ServiceSpec, WorkloadSpec};
-use crate::wire::{build_request, RequestTimes, WireModel};
+use crate::report::Report;
+use crate::spec::{ServiceSpec, WorkloadSpec};
+use crate::stack::{Machine, MachineConfig, ServerStack, StackCommon};
+use crate::wire::WireModel;
 
-/// Base UDP port: service `s` listens on `BASE_PORT + s`.
-pub const BASE_PORT: u16 = 10_000;
-
-/// Which machine the bypass stack runs on.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum BypassMachine {
-    /// A modern x86 server with a Gen4 NIC (the usual bypass target).
-    ModernServer,
-    /// Enzian's FPGA as a conventional PCIe DMA NIC (Figure 2's
-    /// same-machine DMA series).
-    EnzianFpga,
-}
+// The canonical home of this constant is the centralized machine
+// catalogue; re-exported here for the historical import path.
+pub use crate::stack::BASE_PORT;
 
 /// Configuration.
 #[derive(Debug, Clone)]
 pub struct BypassSimConfig {
-    /// Machine model.
-    pub machine: BypassMachine,
+    /// Machine model ([`Machine::PcPcie`] or [`Machine::EnzianPcie`]).
+    pub machine: Machine,
     /// Dedicated dataplane cores (one RX queue each).
     pub cores: usize,
     /// Rebind cost model.
@@ -59,7 +51,7 @@ impl BypassSimConfig {
     /// Bypass on a modern server.
     pub fn modern(cores: usize) -> Self {
         BypassSimConfig {
-            machine: BypassMachine::ModernServer,
+            machine: Machine::PcPcie,
             cores,
             rebind: RebindCost::default(),
             rebind_on_epoch: false,
@@ -70,7 +62,7 @@ impl BypassSimConfig {
     /// Bypass on Enzian's PCIe DMA path.
     pub fn enzian(cores: usize) -> Self {
         BypassSimConfig {
-            machine: BypassMachine::EnzianFpga,
+            machine: Machine::EnzianPcie,
             ..Self::modern(cores)
         }
     }
@@ -86,11 +78,18 @@ struct PendingPkt {
 
 #[derive(Debug)]
 enum Ev {
-    Gen { client: usize },
-    FrameAtNic { raw: Vec<u8>, request_id: u64 },
-    CoreCheck { core: usize },
-    HandlerDone { core: usize, request_id: u64, service: u16 },
-    ResponseAtClient { request_id: u64 },
+    FrameAtNic {
+        raw: Vec<u8>,
+        request_id: u64,
+    },
+    CoreCheck {
+        core: usize,
+    },
+    HandlerDone {
+        core: usize,
+        request_id: u64,
+        service: u16,
+    },
     EpochRebind,
 }
 
@@ -107,16 +106,9 @@ pub struct BypassSim {
     busy_until: Vec<SimTime>,
     check_scheduled: Vec<bool>,
     q: EventQueue<Ev>,
-    rng: SimRng,
-    times: HashMap<u64, RequestTimes>,
-    client_of: HashMap<u64, usize>,
-    next_request_id: u64,
+    common: StackCommon,
     next_buf: u64,
-    metrics: MetricsCollector,
-    end_of_load: SimTime,
-    hard_end: SimTime,
     server_ip: EndpointAddr,
-    client_addr: EndpointAddr,
 }
 
 impl BypassSim {
@@ -124,14 +116,14 @@ impl BypassSim {
     /// the dedicated cores.
     pub fn new(cfg: BypassSimConfig, services: Vec<ServiceSpec>) -> Self {
         let nic_cfg = match cfg.machine {
-            BypassMachine::ModernServer => DmaNicConfig {
-                // Bypass masks interrupts and polls.
-                interrupt_holdoff: SimDuration::ZERO,
-                ..DmaNicConfig::modern_server(cfg.cores as u32)
-            },
-            BypassMachine::EnzianFpga => DmaNicConfig {
+            Machine::EnzianPcie => DmaNicConfig {
                 interrupt_holdoff: SimDuration::ZERO,
                 ..DmaNicConfig::enzian_fpga(cfg.cores as u32)
+            },
+            // Bypass masks interrupts and polls.
+            _ => DmaNicConfig {
+                interrupt_holdoff: SimDuration::ZERO,
+                ..DmaNicConfig::modern_server(cfg.cores as u32)
             },
         };
         let mut nic = DmaNic::new(nic_cfg);
@@ -158,10 +150,7 @@ impl BypassSim {
             fdir.program(BASE_PORT + s.service_id, core as u32)
                 .expect("table sized for the experiments");
         }
-        let cost = match cfg.machine {
-            BypassMachine::ModernServer => CostModel::linux_server(),
-            BypassMachine::EnzianFpga => CostModel::enzian(),
-        };
+        let cost = cfg.machine.cost_model();
         BypassSim {
             cost,
             nic,
@@ -172,16 +161,9 @@ impl BypassSim {
             busy_until: vec![SimTime::ZERO; cfg.cores],
             check_scheduled: vec![false; cfg.cores],
             q: EventQueue::new(),
-            rng: SimRng::root(0),
-            times: HashMap::new(),
-            client_of: HashMap::new(),
-            next_request_id: 0,
+            common: StackCommon::new(cfg.wire),
             next_buf: 0,
-            metrics: MetricsCollector::default(),
-            end_of_load: SimTime::ZERO,
-            hard_end: SimTime::ZERO,
             server_ip: EndpointAddr::host(1, BASE_PORT),
-            client_addr: EndpointAddr::host(2, 7000),
             services,
             cfg,
         }
@@ -211,48 +193,13 @@ impl BypassSim {
         }
     }
 
-    fn send_request(&mut self, client: usize, now: SimTime, workload: &WorkloadSpec) {
-        let request_id = self.next_request_id;
-        self.next_request_id += 1;
-        let service = workload.mix.sample(&mut self.rng, now);
-        let size = workload.request_bytes.sample(&mut self.rng);
-        let payload: Vec<u8> = (0..size).map(|i| (i as u8) ^ (request_id as u8)).collect();
-        let server = EndpointAddr {
-            port: BASE_PORT + service,
-            ..self.server_ip
-        };
-        let raw = build_request(
-            self.client_addr,
-            server,
-            service,
-            0,
-            request_id,
-            &payload,
-            0,
-        );
-        self.metrics.offered += 1;
-        self.times.insert(
-            request_id,
-            RequestTimes {
-                sent: now,
-                ..Default::default()
-            },
-        );
-        self.client_of.insert(request_id, client);
-        let arrive = now + self.cfg.wire.deliver(raw.len());
-        self.q.schedule(arrive, Ev::FrameAtNic { raw, request_id });
-    }
-
     fn on_frame(&mut self, raw: Vec<u8>, request_id: u64, now: SimTime) {
-        if let Some(t) = self.times.get_mut(&request_id) {
-            t.nic_arrival = now;
-        }
+        self.common.note_arrival(request_id, now);
         // Steering: exact-match rule, else drop (no kernel to fall back
         // to in a pure bypass deployment).
         let frame = lauberhorn_packet::parse_udp_frame(&raw).expect("client built a valid frame");
         let Some(queue) = self.fdir.steer(frame.udp.dst_port) else {
-            self.metrics.dropped += 1;
-            self.times.remove(&request_id);
+            self.common.drop_request(request_id);
             return;
         };
         let service = frame.udp.dst_port - BASE_PORT;
@@ -275,8 +222,7 @@ impl BypassSim {
                 self.schedule_check(core, delivery.ready_at);
             }
             Err(RxDrop::NoDescriptor { .. }) => {
-                self.metrics.dropped += 1;
-                self.times.remove(&request_id);
+                self.common.drop_request(request_id);
             }
             Err(e) => unreachable!("rx failed: {e:?}"),
         }
@@ -307,12 +253,15 @@ impl BypassSim {
         // unmarshal (no NIC offload here), then the handler.
         let m = &self.cost;
         let sw = m.poll_iteration + 250 + 30 + m.unmarshal(pkt.payload_len) + 60;
+        let sw_total = sw + m.copy(self.spec_of(service).response_bytes);
         let spec_time = self.spec_of(service).service_time;
-        let handler = spec_time.sample(&mut self.rng);
-        if let Some(t) = self.times.get_mut(&pkt.request_id) {
+        let handler = spec_time.sample(&mut self.common.rng);
+        if let Some(t) = self.common.times.get_mut(&pkt.request_id) {
             t.handler_start = now + self.cost.cycles(sw);
         }
-        self.metrics.sw_cycles += sw + m.copy(self.spec_of(service).response_bytes);
+        // Attributed per request (the driver folds it in only for
+        // warmed completions, like the other stacks).
+        self.common.charge_req(pkt.request_id, sw_total);
         let done = now + self.cost.cycles(sw + handler);
         self.busy_until[core] = done;
         self.q.schedule(
@@ -340,12 +289,12 @@ impl BypassSim {
             Ok(t) => t,
             Err(e) => unreachable!("tx failed: {e:?}"),
         };
-        if let Some(t) = self.times.get_mut(&request_id) {
+        if let Some(t) = self.common.times.get_mut(&request_id) {
             t.handler_end = now;
             t.response_tx = tx_done;
         }
-        let arrive = tx_done + self.cfg.wire.deliver(frame_len);
-        self.q.schedule(arrive, Ev::ResponseAtClient { request_id });
+        let arrive = tx_done + self.common.wire.deliver(frame_len);
+        self.common.complete(arrive, request_id);
         self.busy_until[core] = self.busy_until[core].max(now + self.nic.doorbell_cost());
         // Back to polling.
         if !self.pending[core].is_empty() {
@@ -387,95 +336,88 @@ impl BypassSim {
         hi
     }
 
-    /// Runs `workload` and reports.
+    /// Runs `workload` under the generic driver and reports.
     pub fn run(&mut self, workload: &WorkloadSpec) -> Report {
-        self.rng = SimRng::stream(workload.seed, "bypass");
-        self.end_of_load = SimTime::ZERO + workload.duration;
-        self.hard_end = self.end_of_load + SimDuration::from_ms(20);
+        crate::driver::run(self, workload)
+    }
+}
+
+impl ServerStack for BypassSim {
+    fn build(machine: MachineConfig, services: Vec<ServiceSpec>) -> Self {
+        assert!(
+            !machine.machine.is_coherent(),
+            "the bypass stack needs a DMA NIC, not a coherent fabric"
+        );
+        let cfg = BypassSimConfig {
+            machine: machine.machine,
+            cores: machine.cores,
+            wire: machine.wire,
+            ..BypassSimConfig::modern(machine.cores)
+        };
+        BypassSim::new(cfg, services)
+    }
+
+    fn name(&self) -> &'static str {
+        match self.cfg.machine {
+            Machine::EnzianPcie => "bypass/enzian-pcie-dma",
+            _ => "bypass/pc-pcie-dma",
+        }
+    }
+
+    fn server_addr(&self, service: u16) -> EndpointAddr {
+        EndpointAddr {
+            port: BASE_PORT + service,
+            ..self.server_ip
+        }
+    }
+
+    fn common(&mut self) -> &mut StackCommon {
+        &mut self.common
+    }
+
+    fn prepare(&mut self, workload: &WorkloadSpec) {
         // Dedicated cores spin from t = 0 to the end: always Active.
         for c in 0..self.cfg.cores {
             self.energy.set_state(c, CoreState::Active, SimTime::ZERO);
         }
-        match &workload.mode {
-            LoadMode::Open { .. } => {
-                self.q.schedule(SimTime::from_ns(1), Ev::Gen { client: 0 });
-            }
-            LoadMode::Closed { clients, .. } => {
-                for c in 0..*clients {
-                    self.q
-                        .schedule(SimTime::from_ns(1 + c as u64 * 100), Ev::Gen { client: c });
-                }
-            }
-        }
         if self.cfg.rebind_on_epoch {
             let epoch_ps = Self::epoch_len_ps(workload);
             let mut t = epoch_ps;
-            while epoch_ps != u64::MAX && SimTime::from_ps(t) <= self.end_of_load {
+            while epoch_ps != u64::MAX && SimTime::from_ps(t) <= self.common.end_of_load {
                 self.q.schedule(SimTime::from_ps(t), Ev::EpochRebind);
                 t = t.saturating_add(epoch_ps);
             }
         }
-        let mut arrivals = match &workload.mode {
-            LoadMode::Open { arrivals } => Some(arrivals.clone()),
-            LoadMode::Closed { .. } => None,
+    }
+
+    fn next_event_time(&mut self) -> Option<SimTime> {
+        self.q.peek_time()
+    }
+
+    fn step(&mut self, workload: &WorkloadSpec) {
+        let Some((now, ev)) = self.q.pop() else {
+            return;
         };
-        while let Some((now, ev)) = self.q.pop() {
-            if now > self.hard_end {
-                break;
-            }
-            // Once the load is over and every offered request has been
-            // accounted for, only housekeeping (TRYAGAIN timers) remains.
-            if now > self.end_of_load
-                && self.metrics.completed + self.metrics.dropped >= self.metrics.offered
-            {
-                break;
-            }
-            match ev {
-                Ev::Gen { client } => {
-                    if now <= self.end_of_load {
-                        self.send_request(client, now, workload);
-                        if let Some(arr) = arrivals.as_mut() {
-                            let gap = arr.next_gap(&mut self.rng);
-                            self.q.schedule(now + gap, Ev::Gen { client });
-                        }
-                    }
-                }
-                Ev::FrameAtNic { raw, request_id } => self.on_frame(raw, request_id, now),
-                Ev::CoreCheck { core } => self.on_core_check(core, now),
-                Ev::HandlerDone {
-                    core,
-                    request_id,
-                    service,
-                } => self.on_handler_done(core, request_id, service, now),
-                Ev::ResponseAtClient { request_id } => {
-                    self.metrics.completed += 1;
-                    let warmed = self.metrics.completed > workload.warmup;
-                    if let Some(times) = self.times.remove(&request_id) {
-                        if warmed {
-                            self.metrics.rtt.record_duration(now.since(times.sent));
-                            self.metrics
-                                .end_system
-                                .record_duration(times.end_system());
-                            self.metrics.dispatch.record_duration(times.dispatch());
-                            self.metrics.measured += 1;
-                        }
-                    }
-                    if let LoadMode::Closed { think, .. } = &workload.mode {
-                        let client = self.client_of.remove(&request_id).unwrap_or(0);
-                        if now + *think <= self.end_of_load {
-                            self.q.schedule(now + *think, Ev::Gen { client });
-                        }
-                    } else {
-                        self.client_of.remove(&request_id);
-                    }
-                }
-                Ev::EpochRebind => self.on_epoch_rebind(now, workload),
-            }
+        match ev {
+            Ev::FrameAtNic { raw, request_id } => self.on_frame(raw, request_id, now),
+            Ev::CoreCheck { core } => self.on_core_check(core, now),
+            Ev::HandlerDone {
+                core,
+                request_id,
+                service,
+            } => self.on_handler_done(core, request_id, service, now),
+            Ev::EpochRebind => self.on_epoch_rebind(now, workload),
         }
-        let end = self.q.now().min(self.hard_end);
+    }
+
+    fn inject_frame(&mut self, at: SimTime, raw: Vec<u8>, request_id: u64) {
+        self.q.schedule(at, Ev::FrameAtNic { raw, request_id });
+    }
+
+    fn finish(&mut self, end: SimTime) -> (CycleAccount, u64) {
         let energy = std::mem::replace(&mut self.energy, EnergyMeter::new(self.cfg.cores));
         let accounts = energy.finish(end);
-        let mut total = lauberhorn_sim::energy::CycleAccount::default();
+        let mut total = CycleAccount::default();
         for a in &accounts {
             total.merge(a);
         }
@@ -487,15 +429,6 @@ impl BypassSim {
         let per_poll = self.cost.cycles(self.cost.poll_iteration);
         let spin_reads = spin_time.as_ps() / per_poll.as_ps().max(1);
         let fabric = stats.rx_delivered * 4 + stats.tx_frames * 3 + spin_reads;
-        let metrics = std::mem::take(&mut self.metrics);
-        metrics.finish(
-            match self.cfg.machine {
-                BypassMachine::ModernServer => "bypass/pc-pcie-dma",
-                BypassMachine::EnzianFpga => "bypass/enzian-pcie-dma",
-            },
-            end.since(SimTime::ZERO),
-            total,
-            fabric,
-        )
+        (total, fabric)
     }
 }

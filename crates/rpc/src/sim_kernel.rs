@@ -25,28 +25,19 @@ use lauberhorn_os::sched::WakeDecision;
 use lauberhorn_os::{CostModel, OsScheduler};
 use lauberhorn_packet::frame::{EndpointAddr, FRAME_OVERHEAD};
 use lauberhorn_packet::rpcwire::RPC_HEADER_LEN;
-use lauberhorn_sim::energy::{CoreState, EnergyMeter};
-use lauberhorn_sim::{EventQueue, SimDuration, SimRng, SimTime};
+use lauberhorn_sim::energy::{CoreState, CycleAccount, EnergyMeter};
+use lauberhorn_sim::{EventQueue, SimDuration, SimTime};
 
-use crate::report::{MetricsCollector, Report};
-use crate::sim_bypass::BASE_PORT;
-use crate::spec::{LoadMode, ServiceSpec, WorkloadSpec};
-use crate::wire::{build_request, RequestTimes, WireModel};
-
-/// Which machine the kernel stack runs on.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum KernelMachine {
-    /// A modern x86 server.
-    ModernServer,
-    /// Enzian with its FPGA as a conventional PCIe DMA NIC.
-    EnzianFpga,
-}
+use crate::report::Report;
+use crate::spec::{ServiceSpec, WorkloadSpec};
+use crate::stack::{Machine, MachineConfig, ServerStack, StackCommon, BASE_PORT};
+use crate::wire::WireModel;
 
 /// Configuration.
 #[derive(Debug, Clone)]
 pub struct KernelSimConfig {
-    /// Machine model.
-    pub machine: KernelMachine,
+    /// Machine model ([`Machine::PcPcie`] or [`Machine::EnzianPcie`]).
+    pub machine: Machine,
     /// Cores available to the OS.
     pub cores: usize,
     /// NAPI poll budget (packets per softirq pass).
@@ -62,7 +53,7 @@ impl KernelSimConfig {
     /// Kernel stack on a modern server.
     pub fn modern(cores: usize) -> Self {
         KernelSimConfig {
-            machine: KernelMachine::ModernServer,
+            machine: Machine::PcPcie,
             cores,
             napi_budget: 16,
             ddio: true,
@@ -73,7 +64,7 @@ impl KernelSimConfig {
     /// Kernel stack on Enzian.
     pub fn enzian(cores: usize) -> Self {
         KernelSimConfig {
-            machine: KernelMachine::EnzianFpga,
+            machine: Machine::EnzianPcie,
             ..Self::modern(cores)
         }
     }
@@ -90,13 +81,28 @@ struct PendingPkt {
 
 #[derive(Debug)]
 enum Ev {
-    Gen { client: usize },
-    FrameAtNic { raw: Vec<u8>, request_id: u64 },
-    Irq { queue: u32, core: usize },
-    SoftirqPoll { queue: u32, core: usize },
-    UserRun { core: usize, service: u16, fresh: bool },
-    HandlerDone { core: usize, request_id: u64, service: u16 },
-    ResponseAtClient { request_id: u64 },
+    FrameAtNic {
+        raw: Vec<u8>,
+        request_id: u64,
+    },
+    Irq {
+        queue: u32,
+        core: usize,
+    },
+    SoftirqPoll {
+        queue: u32,
+        core: usize,
+    },
+    UserRun {
+        core: usize,
+        service: u16,
+        fresh: bool,
+    },
+    HandlerDone {
+        core: usize,
+        request_id: u64,
+        service: u16,
+    },
 }
 
 /// The kernel-stack server simulation.
@@ -115,17 +121,9 @@ pub struct KernelSim {
     poll_active: Vec<bool>,
     busy_until: Vec<SimTime>,
     q: EventQueue<Ev>,
-    rng: SimRng,
-    times: HashMap<u64, RequestTimes>,
-    client_of: HashMap<u64, usize>,
-    sw_cycles_by_req: HashMap<u64, u64>,
-    next_request_id: u64,
+    common: StackCommon,
     next_buf: u64,
-    metrics: MetricsCollector,
-    end_of_load: SimTime,
-    hard_end: SimTime,
     server_ip: EndpointAddr,
-    client_addr: EndpointAddr,
 }
 
 impl KernelSim {
@@ -134,13 +132,14 @@ impl KernelSim {
     pub fn new(cfg: KernelSimConfig, services: Vec<ServiceSpec>) -> Self {
         let queues = cfg.cores.min(16) as u32;
         let nic_cfg = match cfg.machine {
-            KernelMachine::ModernServer => DmaNicConfig {
-                interrupt_holdoff: SimDuration::ZERO, // NAPI masking governs.
-                ..DmaNicConfig::modern_server(queues)
-            },
-            KernelMachine::EnzianFpga => DmaNicConfig {
+            Machine::EnzianPcie => DmaNicConfig {
                 interrupt_holdoff: SimDuration::ZERO,
                 ..DmaNicConfig::enzian_fpga(queues)
+            },
+            // NAPI masking governs interrupt moderation.
+            _ => DmaNicConfig {
+                interrupt_holdoff: SimDuration::ZERO,
+                ..DmaNicConfig::modern_server(queues)
             },
         };
         let mut nic = DmaNic::new(nic_cfg);
@@ -162,10 +161,7 @@ impl KernelSim {
         for s in &services {
             sched.register(ThreadId(s.service_id as u32), s.process, None);
         }
-        let cost = match cfg.machine {
-            KernelMachine::ModernServer => CostModel::linux_server(),
-            KernelMachine::EnzianFpga => CostModel::enzian(),
-        };
+        let cost = cfg.machine.cost_model();
         KernelSim {
             cost,
             nic,
@@ -178,17 +174,9 @@ impl KernelSim {
             poll_active: vec![false; queues as usize],
             busy_until: vec![SimTime::ZERO; cfg.cores],
             q: EventQueue::new(),
-            rng: SimRng::root(0),
-            times: HashMap::new(),
-            client_of: HashMap::new(),
-            sw_cycles_by_req: HashMap::new(),
-            next_request_id: 0,
+            common: StackCommon::new(cfg.wire),
             next_buf: 0,
-            metrics: MetricsCollector::default(),
-            end_of_load: SimTime::ZERO,
-            hard_end: SimTime::ZERO,
             server_ip: EndpointAddr::host(1, BASE_PORT),
-            client_addr: EndpointAddr::host(2, 7000),
             services,
             cfg,
         }
@@ -218,42 +206,8 @@ impl KernelSim {
         (start, end)
     }
 
-    fn send_request(&mut self, client: usize, now: SimTime, workload: &WorkloadSpec) {
-        let request_id = self.next_request_id;
-        self.next_request_id += 1;
-        let service = workload.mix.sample(&mut self.rng, now);
-        let size = workload.request_bytes.sample(&mut self.rng);
-        let payload: Vec<u8> = (0..size).map(|i| (i as u8) ^ (request_id as u8)).collect();
-        let server = EndpointAddr {
-            port: BASE_PORT + service,
-            ..self.server_ip
-        };
-        let raw = build_request(
-            self.client_addr,
-            server,
-            service,
-            0,
-            request_id,
-            &payload,
-            0,
-        );
-        self.metrics.offered += 1;
-        self.times.insert(
-            request_id,
-            RequestTimes {
-                sent: now,
-                ..Default::default()
-            },
-        );
-        self.client_of.insert(request_id, client);
-        let arrive = now + self.cfg.wire.deliver(raw.len());
-        self.q.schedule(arrive, Ev::FrameAtNic { raw, request_id });
-    }
-
     fn on_frame(&mut self, raw: Vec<u8>, request_id: u64, now: SimTime) {
-        if let Some(t) = self.times.get_mut(&request_id) {
-            t.nic_arrival = now;
-        }
+        self.common.note_arrival(request_id, now);
         let frame = lauberhorn_packet::parse_udp_frame(&raw).expect("client built a valid frame");
         let service = frame.udp.dst_port - BASE_PORT;
         let payload_len = raw.len() - FRAME_OVERHEAD - RPC_HEADER_LEN;
@@ -286,8 +240,7 @@ impl KernelSim {
                 // unmask on poll completion will re-raise).
             }
             Err(RxDrop::NoDescriptor { .. }) => {
-                self.metrics.dropped += 1;
-                self.times.remove(&request_id);
+                self.common.drop_request(request_id);
             }
             Err(e) => unreachable!("rx failed: {e:?}"),
         }
@@ -297,11 +250,8 @@ impl KernelSim {
         // Hard IRQ: mask the vector, schedule the softirq.
         self.nic.mask_queue(queue);
         self.poll_active[queue as usize] = true;
-        let (_, end) = self.charge_core(
-            core,
-            now,
-            self.cost.irq_entry + self.cost.softirq_dispatch,
-        );
+        let (_, end) =
+            self.charge_core(core, now, self.cost.irq_entry + self.cost.softirq_dispatch);
         self.q.schedule(end, Ev::SoftirqPoll { queue, core });
     }
 
@@ -315,32 +265,35 @@ impl KernelSim {
             if front.ready_at > t {
                 break;
             }
-            let pkt = self.pending[queue as usize].pop_front().expect("front exists");
+            let pkt = self.pending[queue as usize]
+                .pop_front()
+                .expect("front exists");
             let per_pkt =
                 self.cost.netstack_per_pkt + self.cost.skb_management + self.cost.socket_lookup;
             let (_, end) = self.charge_core(core, t, per_pkt);
             t = end;
-            *self.sw_cycles_by_req.entry(pkt.request_id).or_insert(0) += per_pkt;
+            self.common.charge_req(pkt.request_id, per_pkt);
             // Enqueue on the destination socket and wake its thread.
-            self.socket_q
-                .entry(pkt.service)
-                .or_default()
-                .push_back((pkt.request_id, pkt.payload_len, pkt.buf_iova));
+            self.socket_q.entry(pkt.service).or_default().push_back((
+                pkt.request_id,
+                pkt.payload_len,
+                pkt.buf_iova,
+            ));
             let tid = ThreadId(pkt.service as u32);
             match self.sched.wakeup(tid) {
                 Ok(WakeDecision::RunOn { core: target }) => {
                     let wake = self.cost.wakeup + self.cost.sched_pick;
                     let (_, end) = self.charge_core(core, t, wake);
                     t = end;
-                    *self.sw_cycles_by_req.entry(pkt.request_id).or_insert(0) += wake;
+                    self.common.charge_req(pkt.request_id, wake);
                     let mut start_at = t;
                     if target != core {
                         // Cross-core wakeup: IPI.
                         let (_, e2) = self.charge_core(core, t, self.cost.ipi_send);
                         t = e2;
                         start_at = e2 + self.cost.cycles(self.cost.ipi_receive);
-                        *self.sw_cycles_by_req.entry(pkt.request_id).or_insert(0) +=
-                            self.cost.ipi_send + self.cost.ipi_receive;
+                        self.common
+                            .charge_req(pkt.request_id, self.cost.ipi_send + self.cost.ipi_receive);
                     }
                     self.q.schedule(
                         start_at,
@@ -376,7 +329,13 @@ impl KernelSim {
             self.poll_active[queue as usize] = false;
             let (_, end) = self.charge_core(core, t, self.cost.irq_exit);
             if let Some(target) = self.nic.unmask_queue(queue) {
-                self.q.schedule(end, Ev::Irq { queue, core: target });
+                self.q.schedule(
+                    end,
+                    Ev::Irq {
+                        queue,
+                        core: target,
+                    },
+                );
             }
         }
     }
@@ -395,9 +354,8 @@ impl KernelSim {
         // base copy cost; misses stall to DRAM (~180 cycles each).
         let mut miss_cycles = 0u64;
         for i in 0..(payload_len.div_ceil(64) as u64) {
-            if let Access::Miss { .. } = self
-                .llc
-                .access(LineAddr::containing(buf_iova + i * 64, 64))
+            if let Access::Miss { .. } =
+                self.llc.access(LineAddr::containing(buf_iova + i * 64, 64))
             {
                 miss_cycles += 180;
             }
@@ -409,12 +367,12 @@ impl KernelSim {
             sw += m.full_context_switch();
         }
         let (_, handler_start) = self.charge_core(core, now, sw);
-        *self.sw_cycles_by_req.entry(request_id).or_insert(0) += sw;
-        if let Some(t) = self.times.get_mut(&request_id) {
+        self.common.charge_req(request_id, sw);
+        if let Some(t) = self.common.times.get_mut(&request_id) {
             t.handler_start = handler_start;
         }
         let spec_time = self.spec_of(service).service_time;
-        let handler = spec_time.sample(&mut self.rng);
+        let handler = spec_time.sample(&mut self.common.rng);
         let (_, done) = self.charge_core(core, handler_start, handler);
         self.q.schedule(
             done,
@@ -453,7 +411,7 @@ impl KernelSim {
         // sendmsg: syscall, copy, doorbell.
         let sw = self.cost.syscall + self.cost.copy(resp_len);
         let (_, end) = self.charge_core(core, now, sw);
-        *self.sw_cycles_by_req.entry(request_id).or_insert(0) += sw;
+        self.common.charge_req(request_id, sw);
         self.next_buf = (self.next_buf + 1) % 1024;
         let tx_done = match self.nic.tx_packet(
             end + self.nic.doorbell_cost(),
@@ -465,17 +423,14 @@ impl KernelSim {
             Ok(t) => t,
             Err(e) => unreachable!("tx failed: {e:?}"),
         };
-        if let Some(t) = self.times.get_mut(&request_id) {
+        if let Some(t) = self.common.times.get_mut(&request_id) {
             t.handler_end = now;
             t.response_tx = tx_done;
         }
-        let arrive = tx_done + self.cfg.wire.deliver(frame_len);
-        self.q.schedule(arrive, Ev::ResponseAtClient { request_id });
+        let arrive = tx_done + self.common.wire.deliver(frame_len);
+        self.common.complete(arrive, request_id);
         // More requests on this socket? Stay in recvmsg loop (warm).
-        let more = self
-            .socket_q
-            .get(&service)
-            .is_some_and(|q| !q.is_empty());
+        let more = self.socket_q.get(&service).is_some_and(|q| !q.is_empty());
         if more {
             self.q.schedule(
                 end,
@@ -490,107 +445,85 @@ impl KernelSim {
         }
     }
 
-    /// Runs `workload` and reports.
+    /// Runs `workload` under the generic driver and reports.
     pub fn run(&mut self, workload: &WorkloadSpec) -> Report {
-        self.rng = SimRng::stream(workload.seed, "kernel");
-        self.end_of_load = SimTime::ZERO + workload.duration;
-        self.hard_end = self.end_of_load + SimDuration::from_ms(20);
-        match &workload.mode {
-            LoadMode::Open { .. } => {
-                self.q.schedule(SimTime::from_ns(1), Ev::Gen { client: 0 });
-            }
-            LoadMode::Closed { clients, .. } => {
-                for c in 0..*clients {
-                    self.q
-                        .schedule(SimTime::from_ns(1 + c as u64 * 100), Ev::Gen { client: c });
-                }
-            }
-        }
-        let mut arrivals = match &workload.mode {
-            LoadMode::Open { arrivals } => Some(arrivals.clone()),
-            LoadMode::Closed { .. } => None,
+        crate::driver::run(self, workload)
+    }
+}
+
+impl ServerStack for KernelSim {
+    fn build(machine: MachineConfig, services: Vec<ServiceSpec>) -> Self {
+        assert!(
+            !machine.machine.is_coherent(),
+            "the kernel stack needs a DMA NIC, not a coherent fabric"
+        );
+        let cfg = KernelSimConfig {
+            machine: machine.machine,
+            cores: machine.cores,
+            wire: machine.wire,
+            ..KernelSimConfig::modern(machine.cores)
         };
-        while let Some((now, ev)) = self.q.pop() {
-            if now > self.hard_end {
-                break;
-            }
-            // Once the load is over and every offered request has been
-            // accounted for, only housekeeping (TRYAGAIN timers) remains.
-            if now > self.end_of_load
-                && self.metrics.completed + self.metrics.dropped >= self.metrics.offered
-            {
-                break;
-            }
-            match ev {
-                Ev::Gen { client } => {
-                    if now <= self.end_of_load {
-                        self.send_request(client, now, workload);
-                        if let Some(arr) = arrivals.as_mut() {
-                            let gap = arr.next_gap(&mut self.rng);
-                            self.q.schedule(now + gap, Ev::Gen { client });
-                        }
-                    }
-                }
-                Ev::FrameAtNic { raw, request_id } => self.on_frame(raw, request_id, now),
-                Ev::Irq { queue, core } => self.on_irq(queue, core, now),
-                Ev::SoftirqPoll { queue, core } => self.on_softirq(queue, core, now),
-                Ev::UserRun {
-                    core,
-                    service,
-                    fresh,
-                } => self.on_user_run(core, service, fresh, now),
-                Ev::HandlerDone {
-                    core,
-                    request_id,
-                    service,
-                } => self.on_handler_done(core, request_id, service, now),
-                Ev::ResponseAtClient { request_id } => {
-                    self.metrics.completed += 1;
-                    let warmed = self.metrics.completed > workload.warmup;
-                    if let Some(times) = self.times.remove(&request_id) {
-                        if warmed {
-                            self.metrics.rtt.record_duration(now.since(times.sent));
-                            self.metrics
-                                .end_system
-                                .record_duration(times.end_system());
-                            self.metrics.dispatch.record_duration(times.dispatch());
-                            if let Some(c) = self.sw_cycles_by_req.remove(&request_id) {
-                                self.metrics.sw_cycles += c;
-                            }
-                            self.metrics.measured += 1;
-                        } else {
-                            self.sw_cycles_by_req.remove(&request_id);
-                        }
-                    }
-                    if let LoadMode::Closed { think, .. } = &workload.mode {
-                        let client = self.client_of.remove(&request_id).unwrap_or(0);
-                        if now + *think <= self.end_of_load {
-                            self.q.schedule(now + *think, Ev::Gen { client });
-                        }
-                    } else {
-                        self.client_of.remove(&request_id);
-                    }
-                }
-            }
+        KernelSim::new(cfg, services)
+    }
+
+    fn name(&self) -> &'static str {
+        match self.cfg.machine {
+            Machine::EnzianPcie => "kernel/enzian-pcie-dma",
+            _ => "kernel/pc-pcie-dma",
         }
-        let end = self.q.now().min(self.hard_end);
+    }
+
+    fn server_addr(&self, service: u16) -> EndpointAddr {
+        EndpointAddr {
+            port: BASE_PORT + service,
+            ..self.server_ip
+        }
+    }
+
+    fn common(&mut self) -> &mut StackCommon {
+        &mut self.common
+    }
+
+    fn prepare(&mut self, _workload: &WorkloadSpec) {}
+
+    fn next_event_time(&mut self) -> Option<SimTime> {
+        self.q.peek_time()
+    }
+
+    fn step(&mut self, _workload: &WorkloadSpec) {
+        let Some((now, ev)) = self.q.pop() else {
+            return;
+        };
+        match ev {
+            Ev::FrameAtNic { raw, request_id } => self.on_frame(raw, request_id, now),
+            Ev::Irq { queue, core } => self.on_irq(queue, core, now),
+            Ev::SoftirqPoll { queue, core } => self.on_softirq(queue, core, now),
+            Ev::UserRun {
+                core,
+                service,
+                fresh,
+            } => self.on_user_run(core, service, fresh, now),
+            Ev::HandlerDone {
+                core,
+                request_id,
+                service,
+            } => self.on_handler_done(core, request_id, service, now),
+        }
+    }
+
+    fn inject_frame(&mut self, at: SimTime, raw: Vec<u8>, request_id: u64) {
+        self.q.schedule(at, Ev::FrameAtNic { raw, request_id });
+    }
+
+    fn finish(&mut self, end: SimTime) -> (CycleAccount, u64) {
         let energy = std::mem::replace(&mut self.energy, EnergyMeter::new(self.cfg.cores));
         let accounts = energy.finish(end);
-        let mut total = lauberhorn_sim::energy::CycleAccount::default();
+        let mut total = CycleAccount::default();
         for a in &accounts {
             total.merge(a);
         }
         let stats = self.nic.stats();
         let fabric = stats.rx_delivered * 4 + stats.tx_frames * 3 + stats.interrupts;
-        let metrics = std::mem::take(&mut self.metrics);
-        metrics.finish(
-            match self.cfg.machine {
-                KernelMachine::ModernServer => "kernel/pc-pcie-dma",
-                KernelMachine::EnzianFpga => "kernel/enzian-pcie-dma",
-            },
-            end.since(SimTime::ZERO),
-            total,
-            fabric,
-        )
+        (total, fabric)
     }
 }

@@ -30,31 +30,23 @@ use lauberhorn_nic::sched_mirror::MIRROR_PUSH_COST;
 use lauberhorn_nic::{LauberhornNic, LauberhornNicConfig, NicAction};
 use lauberhorn_os::CostModel;
 use lauberhorn_packet::frame::EndpointAddr;
-use lauberhorn_sim::energy::{CoreState, EnergyMeter};
-use lauberhorn_sim::{EventQueue, SimDuration, SimRng, SimTime, Trace};
+use lauberhorn_sim::energy::{CoreState, CycleAccount, EnergyMeter};
+use lauberhorn_sim::{EventQueue, SimTime, Trace};
 
-use crate::report::{MetricsCollector, Report};
-use crate::spec::{Behavior, LoadMode, PayloadGen, ServiceSpec, WorkloadSpec};
-use crate::wire::{build_request, RequestTimes, WireModel};
+use crate::report::Report;
+use crate::spec::{Behavior, ServiceSpec, WorkloadSpec};
+use crate::stack::{MachineConfig, ServerStack, StackCommon};
+use crate::wire::WireModel;
 
-/// Which machine the simulation models.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Machine {
-    /// Enzian: 2 GHz ARMv8, ECI fabric, 128 B lines.
-    Enzian,
-    /// A projected CXL 3.0 x86 server.
-    CxlServer,
-    /// A NUMA-emulated coherent NIC (the CC-NIC configuration \[22\]): a
-    /// second socket's home agent stands in for the device, over the
-    /// processor interconnect. Faster than ECI, no special hardware —
-    /// the emulation vehicle the paper cites from prior work.
-    NumaEmulated,
-}
+// The machine catalogue lives in the centralized `stack` module;
+// re-exported here for the historical import path.
+pub use crate::stack::Machine;
 
 /// Simulation configuration.
 #[derive(Debug, Clone)]
 pub struct LauberhornSimConfig {
-    /// Machine model.
+    /// Machine model ([`Machine::EnzianEci`], [`Machine::CxlProjected`]
+    /// or [`Machine::NumaEmulated`]).
     pub machine: Machine,
     /// Cores participating in RPC serving.
     pub cores: usize,
@@ -75,7 +67,7 @@ impl LauberhornSimConfig {
     /// The paper's prototype machine.
     pub fn enzian(cores: usize) -> Self {
         LauberhornSimConfig {
-            machine: Machine::Enzian,
+            machine: Machine::EnzianEci,
             cores,
             kernel_dispatchers: cores,
             yield_after: 1,
@@ -87,7 +79,7 @@ impl LauberhornSimConfig {
     /// The projected CXL server.
     pub fn cxl_server(cores: usize) -> Self {
         LauberhornSimConfig {
-            machine: Machine::CxlServer,
+            machine: Machine::CxlProjected,
             ..Self::enzian(cores)
         }
     }
@@ -119,24 +111,34 @@ struct CoreCtx {
 
 #[derive(Debug)]
 enum Ev {
-    /// Open-loop generator tick / closed-loop client send.
-    Gen { client: usize },
     /// A request frame reaches the server NIC.
     FrameAtNic { raw: Vec<u8>, request_id: u64 },
     /// The NIC answers a parked fill (deferred CompleteFill action).
-    DoCompleteFill { token: lauberhorn_coherence::FillToken, data: Vec<u8> },
+    DoCompleteFill {
+        token: lauberhorn_coherence::FillToken,
+        data: Vec<u8>,
+    },
     /// A fill response lands at the core.
-    FillAtCore { core: usize, addr: LineAddr, data: Vec<u8> },
+    FillAtCore {
+        core: usize,
+        addr: LineAddr,
+        data: Vec<u8>,
+    },
     /// The NIC observes a core's load (request message arrived).
-    NicSeesLoad { core: usize, token: lauberhorn_coherence::FillToken, addr: LineAddr },
+    NicSeesLoad {
+        core: usize,
+        token: lauberhorn_coherence::FillToken,
+        addr: LineAddr,
+    },
     /// A TRYAGAIN timer fires.
     Timeout { ep: EndpointId, generation: u64 },
     /// The handler on `core` finishes.
     HandlerDone { core: usize, request_id: u64 },
     /// The NIC begins collecting a response line.
-    DoCollect { line: LineAddr, ctx: lauberhorn_nic::endpoint::RequestCtx },
-    /// The response frame reaches the client.
-    ResponseAtClient { request_id: u64 },
+    DoCollect {
+        line: LineAddr,
+        ctx: lauberhorn_nic::endpoint::RequestCtx,
+    },
     /// A core finishes transition code and issues its next load.
     IssueLoad { core: usize },
     /// The NIC asked the OS to pull `core` back to the dispatch loop.
@@ -154,19 +156,11 @@ pub struct LauberhornSim {
     cores: Vec<CoreCtx>,
     user_eps: HashMap<(u16, usize), (EndpointId, EndpointLayout)>,
     q: EventQueue<Ev>,
-    rng: SimRng,
-    times: HashMap<u64, RequestTimes>,
-    sw_cycles_by_req: HashMap<u64, u64>,
-    client_of: HashMap<u64, usize>,
+    common: StackCommon,
     /// Response payloads produced by real handlers, by request id.
     resp_payload: HashMap<u64, Vec<u8>>,
     record_responses: bool,
-    next_request_id: u64,
-    metrics: MetricsCollector,
-    end_of_load: SimTime,
-    hard_end: SimTime,
     server_addr: EndpointAddr,
-    client_addr: EndpointAddr,
     trace: Trace,
 }
 
@@ -174,24 +168,22 @@ impl LauberhornSim {
     /// Builds the machine and registers `services` with the NIC.
     pub fn new(cfg: LauberhornSimConfig, services: Vec<ServiceSpec>) -> Self {
         let server_addr = EndpointAddr::host(1, 9000);
-        let client_addr = EndpointAddr::host(2, 7000);
-        let (mut nic_cfg, cost, host_fabric) = match cfg.machine {
-            Machine::Enzian => (
+        let (mut nic_cfg, host_fabric) = match cfg.machine {
+            Machine::EnzianEci => (
                 LauberhornNicConfig::enzian(server_addr),
-                CostModel::enzian(),
                 FabricModel::intra_socket(128),
             ),
-            Machine::CxlServer => (
+            Machine::CxlProjected => (
                 LauberhornNicConfig::cxl_server(server_addr),
-                CostModel::linux_server(),
                 FabricModel::intra_socket(64),
             ),
             Machine::NumaEmulated => (
                 LauberhornNicConfig::numa_emulated(server_addr),
-                CostModel::linux_server(),
                 FabricModel::intra_socket(64),
             ),
+            m => panic!("the Lauberhorn stack needs a coherent fabric, not {m:?}"),
         };
+        let cost = cfg.machine.cost_model();
         if let Some(t) = cfg.tryagain_timeout {
             nic_cfg.tryagain_timeout = t;
         }
@@ -236,18 +228,10 @@ impl LauberhornSim {
             cores,
             user_eps: HashMap::new(),
             q: EventQueue::new(),
-            rng: SimRng::root(0),
-            times: HashMap::new(),
-            sw_cycles_by_req: HashMap::new(),
-            client_of: HashMap::new(),
+            common: StackCommon::new(cfg.wire),
             resp_payload: HashMap::new(),
             record_responses: false,
-            next_request_id: 0,
-            metrics: MetricsCollector::default(),
-            end_of_load: SimTime::ZERO,
-            hard_end: SimTime::ZERO,
             server_addr,
-            client_addr,
             trace: Trace::disabled(),
             cfg,
         }
@@ -292,7 +276,13 @@ impl LauberhornSim {
                     generation,
                     at,
                 } => {
-                    self.q.schedule(at, Ev::Timeout { ep: endpoint, generation });
+                    self.q.schedule(
+                        at,
+                        Ev::Timeout {
+                            ep: endpoint,
+                            generation,
+                        },
+                    );
                 }
                 NicAction::CollectAndTransmit { line, ctx, at } => {
                     self.q.schedule(at, Ev::DoCollect { line, ctx });
@@ -307,7 +297,7 @@ impl LauberhornSim {
                     self.q.schedule(at, Ev::Preempt { core });
                 }
                 NicAction::Dropped { reason } => {
-                    self.metrics.dropped += 1;
+                    self.common.metrics.dropped += 1;
                     debug_assert!(
                         !matches!(reason, DropReason::UnknownService(_)),
                         "generator targeted an unregistered service"
@@ -319,10 +309,16 @@ impl LauberhornSim {
 
     /// Charges `cycles` of software work on `core` starting at `now`,
     /// attributing them to `request_id` if given. Returns the end time.
-    fn charge(&mut self, core: usize, now: SimTime, cycles: u64, request_id: Option<u64>) -> SimTime {
+    fn charge(
+        &mut self,
+        core: usize,
+        now: SimTime,
+        cycles: u64,
+        request_id: Option<u64>,
+    ) -> SimTime {
         self.energy.set_state(core, CoreState::Active, now);
         if let Some(id) = request_id {
-            *self.sw_cycles_by_req.entry(id).or_insert(0) += cycles;
+            self.common.charge_req(id, cycles);
         }
         now + self.cost.cycles(cycles)
     }
@@ -351,10 +347,8 @@ impl LauberhornSim {
                 token,
                 request_arrival,
             }) => {
-                self.q.schedule(
-                    now + request_arrival,
-                    Ev::NicSeesLoad { core, token, addr },
-                );
+                self.q
+                    .schedule(now + request_arrival, Ev::NicSeesLoad { core, token, addr });
             }
             other => unreachable!("device-line load must defer, got {other:?}"),
         }
@@ -371,7 +365,8 @@ impl LauberhornSim {
         self.cores[core].mode = LoopMode::Kernel;
         self.cores[core].tryagain_streak = 0;
         self.nic.push_running(core, None, end + MIRROR_PUSH_COST);
-        self.q.schedule(end + MIRROR_PUSH_COST, Ev::IssueLoad { core });
+        self.q
+            .schedule(end + MIRROR_PUSH_COST, Ev::IssueLoad { core });
     }
 
     fn enter_user_loop(&mut self, core: usize, service: u16, now: SimTime) -> SimTime {
@@ -396,7 +391,8 @@ impl LauberhornSim {
         self.cores[core].mode = LoopMode::User { service };
         self.cores[core].user_ep = Some((service, ep, layout));
         self.cores[core].tryagain_streak = 0;
-        self.nic.push_running(core, Some(process), end + MIRROR_PUSH_COST);
+        self.nic
+            .push_running(core, Some(process), end + MIRROR_PUSH_COST);
         end + MIRROR_PUSH_COST
     }
 
@@ -433,7 +429,9 @@ impl LauberhornSim {
                     .user_ep
                     .and_then(|(_, ep, _)| self.nic.endpoint(ep))
                     .is_some_and(|e| e.queue_depth() > 0);
-                if is_user && !queued_here && self.cores[core].tryagain_streak >= self.cfg.yield_after
+                if is_user
+                    && !queued_here
+                    && self.cores[core].tryagain_streak >= self.cfg.yield_after
                 {
                     self.enter_kernel_loop(core, now, None);
                 } else {
@@ -486,16 +484,16 @@ impl LauberhornSim {
                 }
                 if kind == DispatchKind::DmaDescriptor {
                     // Handler pulls the payload from the DMA buffer.
-                    let len = u64::from_le_bytes(data[40..48].try_into().expect("8 bytes"))
-                        as usize;
+                    let len =
+                        u64::from_le_bytes(data[40..48].try_into().expect("8 bytes")) as usize;
                     let copy = self.cost.copy(len);
                     t = self.charge(core, t, copy, Some(request_id));
                     sw += copy;
                 } else {
                     let _ = arg_len; // Args arrived in-line: already in registers.
                 }
-                *self.sw_cycles_by_req.entry(request_id).or_insert(0) += sw;
-                if let Some(times) = self.times.get_mut(&request_id) {
+                self.common.charge_req(request_id, sw);
+                if let Some(times) = self.common.times.get_mut(&request_id) {
                     times.handler_start = t;
                 }
                 // Application logic: run the real handler over the bytes
@@ -524,7 +522,7 @@ impl LauberhornSim {
                 }
                 self.energy.set_state(core, CoreState::Active, t);
                 let service_time = self.spec_of(service).service_time;
-                let handler = service_time.sample(&mut self.rng);
+                let handler = service_time.sample(&mut self.common.rng);
                 self.cores[core].resp_addr = Some(addr);
                 self.q.schedule(
                     t + self.cost.cycles(handler),
@@ -535,7 +533,7 @@ impl LauberhornSim {
     }
 
     fn on_handler_done(&mut self, core: usize, request_id: u64, now: SimTime) {
-        if let Some(times) = self.times.get_mut(&request_id) {
+        if let Some(times) = self.common.times.get_mut(&request_id) {
             times.handler_end = now;
         }
         // Write the response into the CONTROL line we hold Exclusive.
@@ -563,7 +561,12 @@ impl LauberhornSim {
         self.q.schedule(end, Ev::IssueLoad { core });
     }
 
-    fn on_collect(&mut self, line: LineAddr, ctx: lauberhorn_nic::endpoint::RequestCtx, now: SimTime) {
+    fn on_collect(
+        &mut self,
+        line: LineAddr,
+        ctx: lauberhorn_nic::endpoint::RequestCtx,
+        now: SimTime,
+    ) {
         let (data, lat) = self.coh.device_fetch_exclusive(line);
         let resp_len = match self.resp_payload.remove(&ctx.request_id) {
             Some(expected) => {
@@ -580,218 +583,142 @@ impl LauberhornSim {
             None => self.spec_of(ctx.service_id).response_bytes.min(data.len()),
         };
         if self.record_responses {
-            self.metrics
+            self.common
+                .metrics
                 .recorded
                 .push((ctx.request_id, data[..resp_len].to_vec()));
         }
         let frame = self.nic.build_response_frame(&ctx, &data[..resp_len]);
         let tx_time = now + lat;
-        if let Some(times) = self.times.get_mut(&ctx.request_id) {
+        if let Some(times) = self.common.times.get_mut(&ctx.request_id) {
             times.response_tx = tx_time;
         }
-        let arrive = tx_time + self.cfg.wire.deliver(frame.len());
-        self.q.schedule(
-            arrive,
-            Ev::ResponseAtClient {
-                request_id: ctx.request_id,
-            },
-        );
+        let arrive = tx_time + self.common.wire.deliver(frame.len());
+        self.common.complete(arrive, ctx.request_id);
     }
 
-    fn send_request(&mut self, client: usize, now: SimTime, workload: &WorkloadSpec) {
-        let request_id = self.next_request_id;
-        self.next_request_id += 1;
-        let service = workload.mix.sample(&mut self.rng, now);
-        let payload: Vec<u8> = match &workload.payload {
-            Some(PayloadGen::Script(f)) => f(request_id),
-            Some(PayloadGen::Random(d)) => {
-                let size = d.sample(&mut self.rng);
-                (0..size).map(|i| (i as u8) ^ (request_id as u8)).collect()
-            }
-            None => {
-                let size = workload.request_bytes.sample(&mut self.rng);
-                (0..size).map(|i| (i as u8) ^ (request_id as u8)).collect()
-            }
-        };
-        let raw = build_request(
-            self.client_addr,
-            self.server_addr,
-            service,
-            0,
-            request_id,
-            &payload,
-            0,
-        );
-        self.metrics.offered += 1;
-        self.times.insert(
-            request_id,
-            RequestTimes {
-                sent: now,
-                ..Default::default()
-            },
-        );
-        self.client_of.insert(request_id, client);
-        let arrive = now + self.cfg.wire.deliver(raw.len());
-        self.q.schedule(arrive, Ev::FrameAtNic { raw, request_id });
-    }
-
-    /// Runs `workload` to completion and reports.
+    /// Runs `workload` under the generic driver and reports.
     pub fn run(&mut self, workload: &WorkloadSpec) -> Report {
-        self.rng = SimRng::stream(workload.seed, "lauberhorn");
+        crate::driver::run(self, workload)
+    }
+}
+
+impl ServerStack for LauberhornSim {
+    fn build(machine: MachineConfig, services: Vec<ServiceSpec>) -> Self {
+        assert!(
+            machine.machine.is_coherent(),
+            "the Lauberhorn stack needs a coherent fabric"
+        );
+        let mut cfg = LauberhornSimConfig::enzian(machine.cores);
+        cfg.machine = machine.machine;
+        cfg.wire = machine.wire;
+        LauberhornSim::new(cfg, services)
+    }
+
+    fn name(&self) -> &'static str {
+        match self.cfg.machine {
+            Machine::CxlProjected => "lauberhorn/cxl-server",
+            Machine::NumaEmulated => "lauberhorn/numa-emulated",
+            _ => "lauberhorn/enzian-eci",
+        }
+    }
+
+    fn server_addr(&self, _service: u16) -> EndpointAddr {
+        self.server_addr
+    }
+
+    fn common(&mut self) -> &mut StackCommon {
+        &mut self.common
+    }
+
+    fn prepare(&mut self, workload: &WorkloadSpec) {
         self.record_responses = workload.record_responses;
-        self.end_of_load = SimTime::ZERO + workload.duration;
-        self.hard_end = self.end_of_load + SimDuration::from_ms(20);
         // Kernel dispatcher cores park at t=0.
         for core in 0..self.cfg.kernel_dispatchers.min(self.cfg.cores) {
             self.q.schedule(SimTime::ZERO, Ev::IssueLoad { core });
         }
-        // Prime the generator(s).
-        match &workload.mode {
-            LoadMode::Open { .. } => {
-                self.q.schedule(SimTime::from_ns(1), Ev::Gen { client: 0 });
-            }
-            LoadMode::Closed { clients, .. } => {
-                for c in 0..*clients {
-                    self.q
-                        .schedule(SimTime::from_ns(1 + c as u64 * 100), Ev::Gen { client: c });
-                }
-            }
-        }
-        let mut arrivals = match &workload.mode {
-            LoadMode::Open { arrivals } => Some(arrivals.clone()),
-            LoadMode::Closed { .. } => None,
+    }
+
+    fn next_event_time(&mut self) -> Option<SimTime> {
+        self.q.peek_time()
+    }
+
+    fn step(&mut self, _workload: &WorkloadSpec) {
+        let Some((now, ev)) = self.q.pop() else {
+            return;
         };
-        while let Some((now, ev)) = self.q.pop() {
-            if now > self.hard_end {
-                break;
+        match ev {
+            Ev::FrameAtNic { raw, request_id } => {
+                self.common.note_arrival(request_id, now);
+                if self.trace.is_enabled() {
+                    self.trace.emit(
+                        now,
+                        "nic.rx",
+                        format!("request {request_id} ({} B frame)", raw.len()),
+                    );
+                }
+                let actions = self.nic.on_request_frame(now, &raw);
+                self.apply_actions(actions);
             }
-            // Once the load is over and every offered request has been
-            // accounted for, only housekeeping (TRYAGAIN timers) remains.
-            if now > self.end_of_load
-                && self.metrics.completed + self.metrics.dropped >= self.metrics.offered
-            {
-                break;
+            Ev::DoCompleteFill { token, data } => match self.coh.complete_fill(token, &data) {
+                Ok((cache, addr, lat)) => {
+                    self.q.schedule(
+                        now + lat,
+                        Ev::FillAtCore {
+                            core: cache.0,
+                            addr,
+                            data,
+                        },
+                    );
+                }
+                Err(e) => unreachable!("fill token is fresh: {e}"),
+            },
+            Ev::FillAtCore { core, addr, data } => {
+                self.on_fill_at_core(core, addr, data, now);
             }
-            match ev {
-                Ev::Gen { client } => {
-                    if now <= self.end_of_load {
-                        self.send_request(client, now, workload);
-                        if let Some(arr) = arrivals.as_mut() {
-                            let gap = arr.next_gap(&mut self.rng);
-                            self.q.schedule(now + gap, Ev::Gen { client });
-                        }
-                    }
-                }
-                Ev::FrameAtNic { raw, request_id } => {
-                    if let Some(t) = self.times.get_mut(&request_id) {
-                        t.nic_arrival = now;
-                    }
-                    if self.trace.is_enabled() {
-                        self.trace.emit(
-                            now,
-                            "nic.rx",
-                            format!("request {request_id} ({} B frame)", raw.len()),
-                        );
-                    }
-                    let actions = self.nic.on_request_frame(now, &raw);
-                    self.apply_actions(actions);
-                }
-                Ev::DoCompleteFill { token, data } => {
-                    match self.coh.complete_fill(token, &data) {
-                        Ok((cache, addr, lat)) => {
-                            self.q.schedule(
-                                now + lat,
-                                Ev::FillAtCore {
-                                    core: cache.0,
-                                    addr,
-                                    data,
-                                },
-                            );
-                        }
-                        Err(e) => unreachable!("fill token is fresh: {e}"),
-                    }
-                }
-                Ev::FillAtCore { core, addr, data } => {
-                    self.on_fill_at_core(core, addr, data, now);
-                }
-                Ev::NicSeesLoad { core, token, addr } => {
-                    let actions = self.nic.on_core_load(now, core, token, addr);
-                    self.apply_actions(actions);
-                }
-                Ev::Timeout { ep, generation } => {
-                    let actions = self.nic.on_timeout(now, ep, generation);
-                    self.apply_actions(actions);
-                }
-                Ev::HandlerDone { core, request_id } => {
-                    self.on_handler_done(core, request_id, now);
-                }
-                Ev::DoCollect { line, ctx } => {
-                    self.on_collect(line, ctx, now);
-                }
-                Ev::ResponseAtClient { request_id } => {
-                    self.metrics.completed += 1;
-                    let warmed = self.metrics.completed > workload.warmup;
-                    if let Some(times) = self.times.remove(&request_id) {
-                        if warmed {
-                            self.metrics.rtt.record_duration(now.since(times.sent));
-                            self.metrics
-                                .end_system
-                                .record_duration(times.end_system());
-                            self.metrics.dispatch.record_duration(times.dispatch());
-                            if let Some(c) = self.sw_cycles_by_req.remove(&request_id) {
-                                self.metrics.sw_cycles += c;
-                                self.metrics.measured += 1;
-                            } else {
-                                self.metrics.measured += 1;
-                            }
-                        } else {
-                            self.sw_cycles_by_req.remove(&request_id);
-                        }
-                    }
-                    // Closed loop: this client sends its next request.
-                    if let LoadMode::Closed { think, .. } = &workload.mode {
-                        let client = self.client_of.remove(&request_id).unwrap_or(0);
-                        if now + *think <= self.end_of_load {
-                            self.q.schedule(now + *think, Ev::Gen { client });
-                        }
-                    } else {
-                        self.client_of.remove(&request_id);
-                    }
-                }
-                Ev::IssueLoad { core } => {
-                    self.issue_load(core, now);
-                }
-                Ev::Preempt { core } => {
-                    // Kernel + NIC cooperate (§5.1): IPI the core, then
-                    // the NIC unblocks its parked load with RETIRE. We
-                    // model it as a RETIRE on the core's user endpoint;
-                    // the IPI cost is charged when the core transitions.
-                    if let LoopMode::User { .. } = self.cores[core].mode {
-                        if let Some((_, ep, _)) = self.cores[core].user_ep {
-                            let actions = self.nic.retire_endpoint(now, ep);
-                            self.apply_actions(actions);
-                        }
+            Ev::NicSeesLoad { core, token, addr } => {
+                let actions = self.nic.on_core_load(now, core, token, addr);
+                self.apply_actions(actions);
+            }
+            Ev::Timeout { ep, generation } => {
+                let actions = self.nic.on_timeout(now, ep, generation);
+                self.apply_actions(actions);
+            }
+            Ev::HandlerDone { core, request_id } => {
+                self.on_handler_done(core, request_id, now);
+            }
+            Ev::DoCollect { line, ctx } => {
+                self.on_collect(line, ctx, now);
+            }
+            Ev::IssueLoad { core } => {
+                self.issue_load(core, now);
+            }
+            Ev::Preempt { core } => {
+                // Kernel + NIC cooperate (§5.1): IPI the core, then
+                // the NIC unblocks its parked load with RETIRE. We
+                // model it as a RETIRE on the core's user endpoint;
+                // the IPI cost is charged when the core transitions.
+                if let LoopMode::User { .. } = self.cores[core].mode {
+                    if let Some((_, ep, _)) = self.cores[core].user_ep {
+                        let actions = self.nic.retire_endpoint(now, ep);
+                        self.apply_actions(actions);
                     }
                 }
             }
         }
-        let end = self.q.now().min(self.hard_end);
+    }
+
+    fn inject_frame(&mut self, at: SimTime, raw: Vec<u8>, request_id: u64) {
+        self.q.schedule(at, Ev::FrameAtNic { raw, request_id });
+    }
+
+    fn finish(&mut self, end: SimTime) -> (CycleAccount, u64) {
         let energy = std::mem::replace(&mut self.energy, EnergyMeter::new(self.cfg.cores));
         let accounts = energy.finish(end);
-        let mut total = lauberhorn_sim::energy::CycleAccount::default();
+        let mut total = CycleAccount::default();
         for a in &accounts {
             total.merge(a);
         }
-        let metrics = std::mem::take(&mut self.metrics);
-        metrics.finish(
-            match self.cfg.machine {
-                Machine::Enzian => "lauberhorn/enzian-eci",
-                Machine::CxlServer => "lauberhorn/cxl-server",
-                Machine::NumaEmulated => "lauberhorn/numa-emulated",
-            },
-            end.since(SimTime::ZERO),
-            total,
-            self.coh.stats().fabric_messages(),
-        )
+        (total, self.coh.stats().fabric_messages())
     }
 }

@@ -1,0 +1,231 @@
+//! The [`ServerStack`] abstraction: one interface over all three
+//! whole-machine simulations, plus the centralized machine catalogue.
+//!
+//! Before this module existed each `sim_*.rs` carried its own copy of
+//! the client model, the open/closed-loop generator, warmup handling
+//! and metrics finalisation. Now a stack only implements the
+//! *server-side mechanics* (what happens to a frame once it reaches
+//! the NIC) and the generic driver in [`crate::driver`] does the rest,
+//! so every stack is measured by exactly the same harness over exactly
+//! the same request byte stream.
+
+use std::collections::HashMap;
+
+use lauberhorn_os::CostModel;
+use lauberhorn_packet::frame::EndpointAddr;
+use lauberhorn_sim::energy::CycleAccount;
+use lauberhorn_sim::{EventQueue, SimDuration, SimRng, SimTime};
+
+use crate::driver::ClientEv;
+use crate::report::MetricsCollector;
+use crate::spec::{ServiceSpec, WorkloadSpec};
+use crate::wire::{RequestTimes, WireModel};
+
+/// Base UDP port: in the DMA stacks, service `s` listens on
+/// `BASE_PORT + s`.
+pub const BASE_PORT: u16 = 10_000;
+
+/// Every concrete machine an experiment can run on, in one place.
+///
+/// The paper compares the same software architectures across hardware
+/// substrates; centralizing the catalogue keeps "which machine is
+/// this?" decisions out of the individual simulators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Machine {
+    /// Enzian with the Lauberhorn NIC on the ECI coherent fabric
+    /// (2 GHz ARMv8, 128 B lines) — the paper's prototype.
+    EnzianEci,
+    /// Enzian's FPGA exposed as a conventional PCIe DMA NIC.
+    EnzianPcie,
+    /// A modern x86 PC server with a Gen4 PCIe DMA NIC.
+    PcPcie,
+    /// A projected CXL 3.0 x86 server carrying the Lauberhorn NIC.
+    CxlProjected,
+    /// A NUMA-emulated coherent NIC (the CC-NIC configuration \[22\]):
+    /// a second socket's home agent stands in for the device, over the
+    /// processor interconnect. No special hardware required.
+    NumaEmulated,
+}
+
+impl Machine {
+    /// The OS/software cost model for this machine's cores.
+    pub fn cost_model(self) -> CostModel {
+        match self {
+            Machine::EnzianEci | Machine::EnzianPcie => CostModel::enzian(),
+            Machine::PcPcie | Machine::CxlProjected | Machine::NumaEmulated => {
+                CostModel::linux_server()
+            }
+        }
+    }
+
+    /// Short machine label used in stack names.
+    pub fn label(self) -> &'static str {
+        match self {
+            Machine::EnzianEci => "enzian-eci",
+            Machine::EnzianPcie => "enzian-pcie-dma",
+            Machine::PcPcie => "pc-pcie-dma",
+            Machine::CxlProjected => "cxl-server",
+            Machine::NumaEmulated => "numa-emulated",
+        }
+    }
+
+    /// Whether the machine exposes a coherent (Lauberhorn-capable)
+    /// fabric, as opposed to a plain PCIe DMA path.
+    pub fn is_coherent(self) -> bool {
+        matches!(
+            self,
+            Machine::EnzianEci | Machine::CxlProjected | Machine::NumaEmulated
+        )
+    }
+}
+
+/// The machine-level configuration every stack shares: which hardware,
+/// how many cores, and what network sits in front of it.
+#[derive(Debug, Clone, Copy)]
+pub struct MachineConfig {
+    /// The hardware substrate.
+    pub machine: Machine,
+    /// Cores available for RPC serving.
+    pub cores: usize,
+    /// Client↔server network model.
+    pub wire: WireModel,
+}
+
+impl MachineConfig {
+    /// A machine with the default same-rack 100 Gb/s network.
+    pub fn new(machine: Machine, cores: usize) -> Self {
+        MachineConfig {
+            machine,
+            cores,
+            wire: WireModel::same_rack_100g(),
+        }
+    }
+}
+
+/// Driver-visible state every stack owns: metrics, per-request
+/// bookkeeping, the server-side RNG, and the client-side event queue
+/// the generic driver drains.
+///
+/// Stacks mutate this directly from their event handlers (noting
+/// arrival times, charging software cycles, completing or dropping
+/// requests); the driver owns generation, warmup and finalisation.
+pub struct StackCommon {
+    /// Network model between client and server.
+    pub wire: WireModel,
+    /// Server-side randomness (handler service times). The *client*
+    /// stream lives in the driver so that every stack sees an
+    /// identical request byte stream for a given seed.
+    pub rng: SimRng,
+    /// Accumulating run metrics.
+    pub metrics: MetricsCollector,
+    /// Timestamps of in-flight requests.
+    pub times: HashMap<u64, RequestTimes>,
+    /// Software overhead cycles attributed per request.
+    pub sw_cycles_by_req: HashMap<u64, u64>,
+    /// Load generation stops here.
+    pub end_of_load: SimTime,
+    /// Absolute simulation cutoff (`end_of_load` + drain window).
+    pub hard_end: SimTime,
+    /// Client-side events (generation ticks, response arrivals),
+    /// interleaved with the stack's own queue by the driver.
+    pub(crate) client_q: EventQueue<ClientEv>,
+}
+
+impl StackCommon {
+    /// Fresh driver state for a stack fronted by `wire`.
+    pub fn new(wire: WireModel) -> Self {
+        StackCommon {
+            wire,
+            rng: SimRng::root(0),
+            metrics: MetricsCollector::default(),
+            times: HashMap::new(),
+            sw_cycles_by_req: HashMap::new(),
+            end_of_load: SimTime::ZERO,
+            hard_end: SimTime::ZERO,
+            client_q: EventQueue::new(),
+        }
+    }
+
+    /// Resets per-run state. Called by the driver before `prepare`.
+    pub fn begin(&mut self, workload: &WorkloadSpec) {
+        self.rng = SimRng::stream(workload.seed, "server");
+        self.metrics = MetricsCollector::default();
+        self.times.clear();
+        self.sw_cycles_by_req.clear();
+        self.end_of_load = SimTime::ZERO + workload.duration;
+        self.hard_end = self.end_of_load + SimDuration::from_ms(20);
+        self.client_q = EventQueue::new();
+    }
+
+    /// Records that `request_id`'s frame reached the server NIC.
+    pub fn note_arrival(&mut self, request_id: u64, now: SimTime) {
+        if let Some(t) = self.times.get_mut(&request_id) {
+            t.nic_arrival = now;
+        }
+    }
+
+    /// Attributes `cycles` of stack software overhead to `request_id`.
+    pub fn charge_req(&mut self, request_id: u64, cycles: u64) {
+        *self.sw_cycles_by_req.entry(request_id).or_insert(0) += cycles;
+    }
+
+    /// The response for `request_id` reaches the client at `arrive`;
+    /// the driver does the warmup/metrics/closed-loop bookkeeping.
+    pub fn complete(&mut self, arrive: SimTime, request_id: u64) {
+        self.client_q
+            .schedule(arrive, ClientEv::Response { request_id });
+    }
+
+    /// `request_id` was dropped somewhere in the stack.
+    pub fn drop_request(&mut self, request_id: u64) {
+        self.metrics.dropped += 1;
+        self.times.remove(&request_id);
+        self.sw_cycles_by_req.remove(&request_id);
+    }
+}
+
+/// A whole-machine server simulation the generic driver can run.
+///
+/// Implementations provide the server-side mechanics; the driver in
+/// [`crate::driver`] provides the client model, load generation,
+/// warmup, metrics collection and report emission, identically for
+/// every stack.
+pub trait ServerStack {
+    /// Builds this stack on `machine` with its default stack-specific
+    /// knobs, serving `services`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `machine` cannot carry this stack (e.g. the kernel
+    /// stack on [`Machine::EnzianEci`], which has no DMA NIC).
+    fn build(machine: MachineConfig, services: Vec<ServiceSpec>) -> Self
+    where
+        Self: Sized;
+
+    /// The stack's display name, e.g. `"kernel/pc-pcie-dma"`.
+    fn name(&self) -> &'static str;
+
+    /// Where clients address requests for `service`.
+    fn server_addr(&self, service: u16) -> EndpointAddr;
+
+    /// The shared driver-visible state.
+    fn common(&mut self) -> &mut StackCommon;
+
+    /// One-time per-run setup (park cores, arm epoch timers, …).
+    /// Called after [`StackCommon::begin`] and before the event loop.
+    fn prepare(&mut self, workload: &WorkloadSpec);
+
+    /// The time of the stack's earliest pending internal event.
+    fn next_event_time(&mut self) -> Option<SimTime>;
+
+    /// Processes exactly one internal event (the one `next_event_time`
+    /// reported).
+    fn step(&mut self, workload: &WorkloadSpec);
+
+    /// Schedules a client request frame to reach the NIC at `at`.
+    fn inject_frame(&mut self, at: SimTime, raw: Vec<u8>, request_id: u64);
+
+    /// Finalises the run at `end`: returns the aggregate core-time
+    /// account and the fabric/bus message count for the report.
+    fn finish(&mut self, end: SimTime) -> (CycleAccount, u64);
+}

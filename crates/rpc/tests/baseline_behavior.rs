@@ -97,7 +97,11 @@ fn bypass_rebinding_actually_rebinds() {
     cfg.rebind_on_epoch = true;
     let mut sim = BypassSim::new(cfg, services.clone());
     sim.run(&wl);
-    assert!(sim.rebinds() > 5, "only {} rebinds over 10 epochs", sim.rebinds());
+    assert!(
+        sim.rebinds() > 5,
+        "only {} rebinds over 10 epochs",
+        sim.rebinds()
+    );
 
     // Without the policy, zero rebinds.
     let mut sim = BypassSim::new(BypassSimConfig::modern(2), services);
@@ -137,8 +141,7 @@ fn ddio_saves_the_payload_copy_misses() {
         request_bytes: SizeDist::Fixed { bytes: 8192 },
         ..WorkloadSpec::echo_closed(64, 5, 21)
     };
-    let with_ddio =
-        KernelSim::new(KernelSimConfig::modern(2), services.clone()).run(&wl);
+    let with_ddio = KernelSim::new(KernelSimConfig::modern(2), services.clone()).run(&wl);
     let mut cfg = KernelSimConfig::modern(2);
     cfg.ddio = false;
     let without = KernelSim::new(cfg, services).run(&wl);

@@ -87,14 +87,7 @@ fn figure2_ordering_holds() {
 fn energy_split_matches_the_claim() {
     // Lauberhorn cores are stalled (not active) while idle; bypass
     // cores are active the whole time.
-    let wl = WorkloadSpec::open_poisson(
-        10_000.0,
-        1,
-        0.0,
-        SizeDist::Fixed { bytes: 64 },
-        5,
-        3,
-    );
+    let wl = WorkloadSpec::open_poisson(10_000.0, 1, 0.0, SizeDist::Fixed { bytes: 64 }, 5, 3);
     let lb = LauberhornSim::new(LauberhornSimConfig::enzian(2), services_one()).run(&wl);
     let by = BypassSim::new(BypassSimConfig::modern(2), services_one()).run(&wl);
     assert!(
@@ -112,14 +105,7 @@ fn energy_split_matches_the_claim() {
 
 #[test]
 fn open_loop_all_stacks_sustain_moderate_load() {
-    let wl = WorkloadSpec::open_poisson(
-        50_000.0,
-        4,
-        1.0,
-        SizeDist::Fixed { bytes: 64 },
-        5,
-        11,
-    );
+    let wl = WorkloadSpec::open_poisson(50_000.0, 4, 1.0, SizeDist::Fixed { bytes: 64 }, 5, 11);
     let svcs = ServiceSpec::uniform(4, 2000, 32);
     let lb = LauberhornSim::new(LauberhornSimConfig::enzian(4), svcs.clone()).run(&wl);
     let by = BypassSim::new(BypassSimConfig::modern(4), svcs.clone()).run(&wl);

@@ -14,12 +14,10 @@
 //! each stack, which is the quantitative form of the paper's "no energy
 //! wasted in spinning" claim.
 
-use serde::Serialize;
-
 use crate::time::{SimDuration, SimTime};
 
 /// What a core is doing during an interval.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CoreState {
     /// Executing instructions.
     Active,
@@ -30,7 +28,7 @@ pub enum CoreState {
 }
 
 /// Accumulated time per state for one core.
-#[derive(Debug, Clone, Copy, Default, Serialize)]
+#[derive(Debug, Clone, Copy, Default)]
 pub struct CycleAccount {
     /// Time spent executing instructions.
     pub active: SimDuration,
@@ -62,7 +60,8 @@ impl CycleAccount {
     /// core roughly a third (clock still toggling, pipelines quiesced),
     /// and a halted core roughly a twentieth.
     pub fn energy_proxy(&self) -> f64 {
-        self.active.as_secs_f64() + 0.33 * self.stalled.as_secs_f64()
+        self.active.as_secs_f64()
+            + 0.33 * self.stalled.as_secs_f64()
             + 0.05 * self.idle.as_secs_f64()
     }
 

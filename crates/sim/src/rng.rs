@@ -8,14 +8,126 @@
 //! * runs are bit-for-bit reproducible given the seed, and
 //! * adding a new consumer of randomness does not perturb the draws seen
 //!   by existing consumers (each stream is independent).
+//!
+//! The generator is an in-tree ChaCha8: cryptographic-quality mixing,
+//! no external dependency, and a stable output stream across toolchains
+//! (the parallel sweep executor relies on runs being a pure function of
+//! `(seed, label)` regardless of which thread executes them).
 
-use rand::distributions::uniform::{SampleRange, SampleUniform};
-use rand::{Rng, RngCore, SeedableRng};
-use rand_chacha::ChaCha8Rng;
+/// The ChaCha8 block function over a 16-word state.
+#[derive(Clone)]
+struct ChaCha8 {
+    /// Key words (state words 4..12).
+    key: [u32; 8],
+    /// Block counter (state words 12..14).
+    counter: u64,
+    /// Buffered keystream block.
+    block: [u32; 16],
+    /// Next unread word in `block` (16 = exhausted).
+    word: usize,
+}
+
+#[inline(always)]
+fn quarter(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+impl ChaCha8 {
+    fn new(key: [u32; 8]) -> Self {
+        ChaCha8 {
+            key,
+            counter: 0,
+            block: [0; 16],
+            word: 16,
+        }
+    }
+
+    fn refill(&mut self) {
+        let mut s: [u32; 16] = [
+            0x6170_7865,
+            0x3320_646e,
+            0x7962_2d32,
+            0x6b20_6574,
+            self.key[0],
+            self.key[1],
+            self.key[2],
+            self.key[3],
+            self.key[4],
+            self.key[5],
+            self.key[6],
+            self.key[7],
+            self.counter as u32,
+            (self.counter >> 32) as u32,
+            0,
+            0,
+        ];
+        let init = s;
+        for _ in 0..4 {
+            // Two rounds (one column + one diagonal pass) per iteration.
+            quarter(&mut s, 0, 4, 8, 12);
+            quarter(&mut s, 1, 5, 9, 13);
+            quarter(&mut s, 2, 6, 10, 14);
+            quarter(&mut s, 3, 7, 11, 15);
+            quarter(&mut s, 0, 5, 10, 15);
+            quarter(&mut s, 1, 6, 11, 12);
+            quarter(&mut s, 2, 7, 8, 13);
+            quarter(&mut s, 3, 4, 9, 14);
+        }
+        for i in 0..16 {
+            self.block[i] = s[i].wrapping_add(init[i]);
+        }
+        self.counter = self.counter.wrapping_add(1);
+        self.word = 0;
+    }
+
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        if self.word == 16 {
+            self.refill();
+        }
+        let w = self.block[self.word];
+        self.word += 1;
+        w
+    }
+
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        let lo = self.next_u32() as u64;
+        let hi = self.next_u32() as u64;
+        (hi << 32) | lo
+    }
+}
+
+/// SplitMix64 step, used to expand a 64-bit seed into a ChaCha key.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn key_from_seed(seed: u64) -> [u32; 8] {
+    let mut s = seed;
+    let mut key = [0u32; 8];
+    for pair in key.chunks_mut(2) {
+        let w = splitmix64(&mut s);
+        pair[0] = w as u32;
+        pair[1] = (w >> 32) as u32;
+    }
+    key
+}
 
 /// A named, deterministic random stream.
 pub struct SimRng {
-    inner: ChaCha8Rng,
+    inner: ChaCha8,
 }
 
 /// Stable 64-bit FNV-1a hash of a label, used to derive per-stream seeds.
@@ -32,7 +144,7 @@ impl SimRng {
     /// Creates the root stream for an experiment seed.
     pub fn root(seed: u64) -> Self {
         SimRng {
-            inner: ChaCha8Rng::seed_from_u64(seed),
+            inner: ChaCha8::new(key_from_seed(seed)),
         }
     }
 
@@ -41,32 +153,53 @@ impl SimRng {
     /// The same `(seed, label)` pair always yields the same stream, and
     /// distinct labels yield independent streams.
     pub fn stream(seed: u64, label: &str) -> Self {
-        SimRng {
-            inner: ChaCha8Rng::seed_from_u64(seed ^ fnv1a(label.as_bytes())),
-        }
+        Self::root(seed ^ fnv1a(label.as_bytes()))
     }
 
     /// Derives a child stream from this one; used when a component wants
     /// to hand isolated randomness to a sub-component.
     pub fn fork(&mut self, label: &str) -> Self {
         let s = self.inner.next_u64();
-        SimRng {
-            inner: ChaCha8Rng::seed_from_u64(s ^ fnv1a(label.as_bytes())),
-        }
+        Self::root(s ^ fnv1a(label.as_bytes()))
     }
 
-    /// Uniform sample from a range.
-    pub fn gen_range<T, R>(&mut self, range: R) -> T
-    where
-        T: SampleUniform,
-        R: SampleRange<T>,
-    {
-        self.inner.gen_range(range)
+    /// Uniform sample from an integer range (rejection sampling,
+    /// unbiased). Accepts `lo..hi` and `lo..=hi`.
+    pub fn gen_range(&mut self, range: impl std::ops::RangeBounds<usize>) -> usize {
+        use std::ops::Bound;
+        let lo = match range.start_bound() {
+            Bound::Included(&v) => v as u64,
+            Bound::Excluded(&v) => v as u64 + 1,
+            Bound::Unbounded => 0,
+        };
+        let hi = match range.end_bound() {
+            Bound::Included(&v) => v as u64,
+            Bound::Excluded(&v) => (v as u64).checked_sub(1).expect("empty range"),
+            Bound::Unbounded => usize::MAX as u64,
+        };
+        debug_assert!(lo <= hi);
+        lo.wrapping_add(self.below((hi - lo).wrapping_add(1))) as usize
+    }
+
+    /// Uniform u64 in `[0, n)`; `n == 0` means the full 64-bit range.
+    fn below(&mut self, n: u64) -> u64 {
+        if n == 0 {
+            return self.inner.next_u64();
+        }
+        // Rejection sampling on the top of the range keeps it unbiased.
+        let zone = u64::MAX - (u64::MAX - n + 1) % n;
+        loop {
+            let v = self.inner.next_u64();
+            if v <= zone {
+                return v % n;
+            }
+        }
     }
 
     /// A uniform f64 in `[0, 1)`.
     pub fn gen_f64(&mut self) -> f64 {
-        self.inner.gen::<f64>()
+        // 53 random mantissa bits.
+        (self.inner.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
     }
 
     /// A uniform u64.
@@ -76,7 +209,7 @@ impl SimRng {
 
     /// Bernoulli draw with probability `p`.
     pub fn gen_bool(&mut self, p: f64) -> bool {
-        self.inner.gen_bool(p.clamp(0.0, 1.0))
+        self.gen_f64() < p.clamp(0.0, 1.0)
     }
 
     /// Exponentially distributed sample with the given mean.
@@ -85,7 +218,7 @@ impl SimRng {
     pub fn exp(&mut self, mean: f64) -> f64 {
         debug_assert!(mean > 0.0);
         // Inverse-CDF; 1-u avoids ln(0).
-        let u: f64 = self.inner.gen();
+        let u = self.gen_f64();
         -mean * (1.0 - u).ln()
     }
 
@@ -97,14 +230,17 @@ impl SimRng {
 
     /// Standard normal sample (Box–Muller).
     pub fn normal(&mut self) -> f64 {
-        let u1: f64 = 1.0 - self.inner.gen::<f64>();
-        let u2: f64 = self.inner.gen();
+        let u1 = 1.0 - self.gen_f64();
+        let u2 = self.gen_f64();
         (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
     }
 
     /// Fills `buf` with random bytes (e.g. synthetic payloads).
     pub fn fill_bytes(&mut self, buf: &mut [u8]) {
-        self.inner.fill_bytes(buf);
+        for chunk in buf.chunks_mut(8) {
+            let w = self.inner.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&w[..chunk.len()]);
+        }
     }
 
     /// Chooses an index in `0..n` weighted by `weights` (need not be
@@ -153,6 +289,30 @@ mod tests {
     }
 
     #[test]
+    fn chacha_keystream_is_well_distributed() {
+        // Bit-balance sanity: over 64k words the ones-density must sit
+        // near 50%.
+        let mut r = SimRng::root(1234);
+        let ones: u32 = (0..65_536).map(|_| r.gen_u64().count_ones()).sum::<u32>();
+        let density = ones as f64 / (65_536.0 * 64.0);
+        assert!((density - 0.5).abs() < 0.005, "density {density}");
+    }
+
+    #[test]
+    fn gen_range_is_inclusive_and_bounded() {
+        let mut r = SimRng::stream(3, "range");
+        let mut hit_lo = false;
+        let mut hit_hi = false;
+        for _ in 0..10_000 {
+            let v = r.gen_range(5..=8);
+            assert!((5..=8).contains(&v));
+            hit_lo |= v == 5;
+            hit_hi |= v == 8;
+        }
+        assert!(hit_lo && hit_hi);
+    }
+
+    #[test]
     fn exp_mean_is_close() {
         let mut r = SimRng::stream(7, "exp");
         let n = 200_000;
@@ -196,5 +356,14 @@ mod tests {
         let mut a = SimRng::stream(1, "p");
         let mut child = a.fork("c");
         assert_ne!(a.gen_u64(), child.gen_u64());
+    }
+
+    #[test]
+    fn fill_bytes_covers_partial_chunks() {
+        let mut r = SimRng::stream(2, "bytes");
+        let mut buf = [0u8; 13];
+        r.fill_bytes(&mut buf);
+        // 13 random bytes being all zero has probability 2^-104.
+        assert!(buf.iter().any(|&b| b != 0));
     }
 }

@@ -6,8 +6,6 @@
 //! log-linear bucketing: values are recorded exactly for small inputs
 //! and with bounded relative error (< 1/64) for large ones.
 
-use serde::Serialize;
-
 use crate::time::SimDuration;
 
 const SUB_BUCKET_BITS: u32 = 6; // 64 sub-buckets per octave => <1.6% error.
@@ -174,7 +172,7 @@ impl Histogram {
 ///
 /// All values carry whatever unit was recorded (the reproduction records
 /// picoseconds for latencies and raw counts for everything else).
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Summary {
     /// Number of samples.
     pub count: u64,

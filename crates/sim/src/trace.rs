@@ -24,7 +24,11 @@ pub struct TraceEvent {
 
 impl fmt::Display for TraceEvent {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "[{:>14}] {:<16} {}", self.at, self.category, self.message)
+        write!(
+            f,
+            "[{:>14}] {:<16} {}",
+            self.at, self.category, self.message
+        )
     }
 }
 
@@ -95,7 +99,9 @@ impl Trace {
 
     /// Events whose category starts with `prefix`.
     pub fn filter<'a>(&'a self, prefix: &'a str) -> impl Iterator<Item = &'a TraceEvent> + 'a {
-        self.events.iter().filter(move |e| e.category.starts_with(prefix))
+        self.events
+            .iter()
+            .filter(move |e| e.category.starts_with(prefix))
     }
 
     /// Number of events dropped due to the cap.

@@ -1,14 +1,20 @@
-//! Property-based tests of the simulation engine primitives.
+//! Randomized property tests of the simulation engine primitives.
+//!
+//! Deterministic in-tree replacement for an external property-testing
+//! framework: each property is checked over many seeded random cases.
 
-use proptest::prelude::*;
+use lauberhorn_sim::{EventQueue, Histogram, SimDuration, SimRng, SimTime};
 
-use lauberhorn_sim::{EventQueue, Histogram, SimDuration, SimTime};
+fn vec_u64(rng: &mut SimRng, lo: u64, hi: u64, min_len: usize, max_len: usize) -> Vec<u64> {
+    let len = rng.gen_range(min_len..=max_len);
+    (0..len).map(|_| lo + rng.gen_u64() % (hi - lo)).collect()
+}
 
-proptest! {
-    #[test]
-    fn event_queue_is_a_stable_time_sort(
-        times in proptest::collection::vec(0u64..1_000, 1..200)
-    ) {
+#[test]
+fn event_queue_is_a_stable_time_sort() {
+    for case in 0..100u64 {
+        let mut rng = SimRng::stream(case, "pq-sort");
+        let times = vec_u64(&mut rng, 0, 1_000, 1, 200);
         let mut q = EventQueue::new();
         for (i, t) in times.iter().enumerate() {
             q.schedule(SimTime::from_ns(*t), (*t, i));
@@ -19,46 +25,45 @@ proptest! {
         }
         // Sorted by time; equal times preserve insertion order.
         for w in out.windows(2) {
-            prop_assert!(w[0].0 < w[1].0 || (w[0].0 == w[1].0 && w[0].1 < w[1].1));
+            assert!(w[0].0 < w[1].0 || (w[0].0 == w[1].0 && w[0].1 < w[1].1));
         }
-        prop_assert_eq!(out.len(), times.len());
+        assert_eq!(out.len(), times.len());
     }
+}
 
-    #[test]
-    fn cancelled_events_never_fire(
-        times in proptest::collection::vec(0u64..1_000, 1..100),
-        cancel_mask in proptest::collection::vec(any::<bool>(), 1..100)
-    ) {
+#[test]
+fn cancelled_events_never_fire() {
+    for case in 0..100u64 {
+        let mut rng = SimRng::stream(case, "pq-cancel");
+        let times = vec_u64(&mut rng, 0, 1_000, 1, 100);
+        let cancel_mask: Vec<bool> = (0..times.len()).map(|_| rng.gen_bool(0.5)).collect();
         let mut q = EventQueue::new();
         let ids: Vec<_> = times
             .iter()
             .enumerate()
-            .map(|(i, t)| q.schedule(SimTime::from_ns(*t), i))
+            .map(|(i, t)| (i, q.schedule(SimTime::from_ns(*t), i)))
             .collect();
         let mut cancelled = std::collections::HashSet::new();
-        for (id, c) in ids.iter().zip(cancel_mask.iter().cycle()) {
+        for ((i, id), c) in ids.iter().zip(cancel_mask.iter()) {
             if *c {
                 q.cancel(*id);
-            }
-        }
-        for (i, (id, c)) in ids.iter().zip(cancel_mask.iter().cycle()).enumerate() {
-            let _ = id;
-            if *c {
-                cancelled.insert(i);
+                cancelled.insert(*i);
             }
         }
         let mut fired = std::collections::HashSet::new();
         while let Some((_, i)) = q.pop() {
             fired.insert(i);
         }
-        prop_assert!(fired.is_disjoint(&cancelled));
-        prop_assert_eq!(fired.len() + cancelled.len(), times.len());
+        assert!(fired.is_disjoint(&cancelled));
+        assert_eq!(fired.len() + cancelled.len(), times.len());
     }
+}
 
-    #[test]
-    fn histogram_quantiles_are_monotone_and_bounded(
-        samples in proptest::collection::vec(1u64..10_000_000, 1..500)
-    ) {
+#[test]
+fn histogram_quantiles_are_monotone_and_bounded() {
+    for case in 0..100u64 {
+        let mut rng = SimRng::stream(case, "hist-mono");
+        let samples = vec_u64(&mut rng, 1, 10_000_000, 1, 500);
         let mut h = Histogram::new();
         for s in &samples {
             h.record(*s);
@@ -66,22 +71,24 @@ proptest! {
         let mut last = 0;
         for q in [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0] {
             let v = h.quantile(q);
-            prop_assert!(v >= last, "quantile {q} went backwards");
+            assert!(v >= last, "quantile {q} went backwards");
             last = v;
         }
         let min = *samples.iter().min().unwrap();
         let max = *samples.iter().max().unwrap();
-        prop_assert!(h.quantile(0.0) >= min.min(h.min()));
-        prop_assert!(h.quantile(1.0) <= max);
-        prop_assert_eq!(h.min(), min);
-        prop_assert_eq!(h.max(), max);
+        assert!(h.quantile(0.0) >= min.min(h.min()));
+        assert!(h.quantile(1.0) <= max);
+        assert_eq!(h.min(), min);
+        assert_eq!(h.max(), max);
     }
+}
 
-    #[test]
-    fn histogram_quantile_relative_error_bounded(
-        samples in proptest::collection::vec(1u64..100_000_000, 50..300),
-        q in 0.01f64..0.99
-    ) {
+#[test]
+fn histogram_quantile_relative_error_bounded() {
+    for case in 0..100u64 {
+        let mut rng = SimRng::stream(case, "hist-err");
+        let samples = vec_u64(&mut rng, 1, 100_000_000, 50, 300);
+        let q = 0.01 + rng.gen_f64() * 0.98;
         let mut h = Histogram::new();
         for s in &samples {
             h.record(*s);
@@ -94,24 +101,33 @@ proptest! {
         // HDR-style bucketing: < ~4% relative error (one bucket width
         // plus rank rounding slack on small samples).
         let err = (approx - exact).abs() / exact.max(1.0);
-        prop_assert!(err < 0.04, "q={q} exact={exact} approx={approx} err={err}");
+        assert!(err < 0.04, "q={q} exact={exact} approx={approx} err={err}");
     }
+}
 
-    #[test]
-    fn duration_arithmetic_is_consistent(a in 0u64..u32::MAX as u64, b in 0u64..u32::MAX as u64) {
+#[test]
+fn duration_arithmetic_is_consistent() {
+    let mut rng = SimRng::stream(1, "dur");
+    for _ in 0..500 {
+        let a = rng.gen_u64() % u32::MAX as u64;
+        let b = rng.gen_u64() % u32::MAX as u64;
         let da = SimDuration::from_ps(a);
         let db = SimDuration::from_ps(b);
-        prop_assert_eq!((da + db).as_ps(), a + b);
-        prop_assert_eq!(da.saturating_sub(db).as_ps(), a.saturating_sub(b));
+        assert_eq!((da + db).as_ps(), a + b);
+        assert_eq!(da.saturating_sub(db).as_ps(), a.saturating_sub(b));
         let t = SimTime::from_ps(a) + db;
-        prop_assert_eq!(t.since(SimTime::from_ps(a)), db);
+        assert_eq!(t.since(SimTime::from_ps(a)), db);
     }
+}
 
-    #[test]
-    fn cycles_round_trip_within_one_cycle(cycles in 0u64..1_000_000, ghz in 1usize..5) {
-        let f = ghz as f64;
+#[test]
+fn cycles_round_trip_within_one_cycle() {
+    let mut rng = SimRng::stream(2, "cycles");
+    for _ in 0..500 {
+        let cycles = rng.gen_u64() % 1_000_000;
+        let f = rng.gen_range(1..=4) as f64;
         let d = SimDuration::from_cycles(cycles, f);
         let back = d.as_cycles(f);
-        prop_assert!(back.abs_diff(cycles) <= 1, "{cycles} -> {back}");
+        assert!(back.abs_diff(cycles) <= 1, "{cycles} -> {back}");
     }
 }

@@ -50,9 +50,7 @@ impl ArrivalProcess {
             ArrivalProcess::Poisson { rate_rps } => {
                 SimDuration::from_ns_f64(rng.exp(1e9 / *rate_rps))
             }
-            ArrivalProcess::Deterministic { rate_rps } => {
-                SimDuration::from_ns_f64(1e9 / *rate_rps)
-            }
+            ArrivalProcess::Deterministic { rate_rps } => SimDuration::from_ns_f64(1e9 / *rate_rps),
             ArrivalProcess::Bursty {
                 high_rps,
                 low_rps,
@@ -96,7 +94,9 @@ mod tests {
 
     #[test]
     fn poisson_rate_is_respected() {
-        let mut p = ArrivalProcess::Poisson { rate_rps: 100_000.0 };
+        let mut p = ArrivalProcess::Poisson {
+            rate_rps: 100_000.0,
+        };
         let mut rng = SimRng::stream(1, "arr");
         let mean = mean_gap_ns(&mut p, &mut rng, 100_000);
         // 100k rps => 10 µs mean gap.
@@ -117,7 +117,9 @@ mod tests {
     fn bursty_mixes_two_rates() {
         let mut p = ArrivalProcess::bursty(1_000_000.0, 1_000.0, 0.001);
         let mut rng = SimRng::stream(3, "arr");
-        let gaps: Vec<f64> = (0..50_000).map(|_| p.next_gap(&mut rng).as_ns_f64()).collect();
+        let gaps: Vec<f64> = (0..50_000)
+            .map(|_| p.next_gap(&mut rng).as_ns_f64())
+            .collect();
         let short = gaps.iter().filter(|g| **g < 10_000.0).count();
         let long = gaps.iter().filter(|g| **g > 100_000.0).count();
         assert!(short > 1000, "bursts present ({short})");
@@ -126,10 +128,7 @@ mod tests {
 
     #[test]
     fn mean_rate_reported() {
-        assert_eq!(
-            ArrivalProcess::Poisson { rate_rps: 5.0 }.mean_rate(),
-            5.0
-        );
+        assert_eq!(ArrivalProcess::Poisson { rate_rps: 5.0 }.mean_rate(), 5.0);
         assert_eq!(ArrivalProcess::bursty(10.0, 2.0, 1.0).mean_rate(), 6.0);
     }
 }

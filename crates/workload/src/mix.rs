@@ -103,8 +103,7 @@ mod tests {
         let m = DynamicMix::new(32, 1.2, 1, 1_000_000);
         let mut rng = SimRng::stream(1, "mix");
         let now = SimTime::from_us(10);
-        let hot: std::collections::HashSet<u16> =
-            m.hot_set(4, now).into_iter().collect();
+        let hot: std::collections::HashSet<u16> = m.hot_set(4, now).into_iter().collect();
         let n = 50_000;
         let in_hot = (0..n)
             .filter(|_| hot.contains(&m.sample(&mut rng, now)))

@@ -76,7 +76,9 @@ mod tests {
     #[test]
     fn exp_mean_converges() {
         let mut rng = SimRng::stream(2, "st");
-        let d = ServiceTime::Exp { mean_cycles: 2000.0 };
+        let d = ServiceTime::Exp {
+            mean_cycles: 2000.0,
+        };
         let n = 100_000;
         let mean: f64 = (0..n).map(|_| d.sample(&mut rng) as f64).sum::<f64>() / n as f64;
         assert!((mean - 2000.0).abs() / 2000.0 < 0.02, "mean {mean}");

@@ -92,9 +92,7 @@ mod tests {
         let mut rng = SimRng::stream(2, "sz");
         let d = SizeDist::CloudRpc;
         let n = 100_000;
-        let small = (0..n)
-            .filter(|_| d.sample(&mut rng) <= 512)
-            .count();
+        let small = (0..n).filter(|_| d.sample(&mut rng) <= 512).count();
         let frac = small as f64 / n as f64;
         assert!(frac > 0.75, "only {frac} of RPCs were ≤512 B");
     }

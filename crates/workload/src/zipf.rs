@@ -43,7 +43,9 @@ impl Zipf {
     /// Samples a rank in `0..n`.
     pub fn sample(&self, rng: &mut SimRng) -> usize {
         let u = rng.gen_f64();
-        self.cumulative.partition_point(|c| *c < u).min(self.len() - 1)
+        self.cumulative
+            .partition_point(|c| *c < u)
+            .min(self.len() - 1)
     }
 
     /// Probability mass of rank `k`.

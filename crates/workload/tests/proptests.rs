@@ -1,66 +1,85 @@
-//! Property-based tests for the workload generators.
-
-use proptest::prelude::*;
+//! Randomized tests for the workload generators.
+//!
+//! Deterministic in-tree replacement for an external property-testing
+//! framework: cases are generated from seeded `SimRng` streams.
 
 use lauberhorn_sim::{SimRng, SimTime};
 use lauberhorn_workload::{ArrivalProcess, DynamicMix, ServiceTime, SizeDist, Zipf};
 
-proptest! {
-    #[test]
-    fn sizes_stay_within_their_bounds(seed in any::<u64>(), n in 1usize..500) {
+#[test]
+fn sizes_stay_within_their_bounds() {
+    for case in 0..64u64 {
+        let mut meta = SimRng::stream(case, "sizes-meta");
+        let seed = meta.gen_u64();
+        let n = meta.gen_range(1..=500);
         let mut rng = SimRng::stream(seed, "sizes");
         for _ in 0..n {
             let v = SizeDist::CloudRpc.sample(&mut rng);
-            prop_assert!(v >= 1);
-            prop_assert!(v <= 56 * 1024, "tail escaped the UDP cap: {v}");
+            assert!(v >= 1);
+            assert!(v <= 56 * 1024, "tail escaped the UDP cap: {v}");
             let u = SizeDist::Uniform { lo: 5, hi: 50 }.sample(&mut rng);
-            prop_assert!((5..=50).contains(&u));
+            assert!((5..=50).contains(&u));
         }
     }
+}
 
-    #[test]
-    fn zipf_pmf_sums_to_one(n in 1usize..200, s in 0.0f64..3.0) {
+#[test]
+fn zipf_pmf_sums_to_one() {
+    for case in 0..64u64 {
+        let mut rng = SimRng::stream(case, "zipf");
+        let n = rng.gen_range(1..=200);
+        let s = rng.gen_f64() * 3.0;
         let z = Zipf::new(n, s);
         let total: f64 = (0..n).map(|k| z.pmf(k)).sum();
-        prop_assert!((total - 1.0).abs() < 1e-9, "pmf sums to {total}");
+        assert!((total - 1.0).abs() < 1e-9, "pmf sums to {total}");
         // PMF is non-increasing in rank.
         for k in 1..n {
-            prop_assert!(z.pmf(k) <= z.pmf(k - 1) + 1e-12);
+            assert!(z.pmf(k) <= z.pmf(k - 1) + 1e-12);
         }
     }
+}
 
-    #[test]
-    fn mix_samples_are_always_valid_services(
-        services in 1usize..64,
-        s in 0.0f64..2.0,
-        rotate in 0usize..10,
-        epoch_us in 1u64..10_000,
-        times in proptest::collection::vec(0u64..10_000_000, 1..100),
-    ) {
+#[test]
+fn mix_samples_are_always_valid_services() {
+    for case in 0..64u64 {
+        let mut rng = SimRng::stream(case, "mix-valid");
+        let services = rng.gen_range(1..=63);
+        let s = rng.gen_f64() * 2.0;
+        let rotate = rng.gen_range(0..=9);
+        let epoch_us = rng.gen_range(1..=9_999) as u64;
+        let n_times = rng.gen_range(1..=100);
         let m = DynamicMix::new(services, s, rotate, epoch_us);
-        let mut rng = SimRng::stream(7, "mix");
-        for t in times {
-            let svc = m.sample(&mut rng, SimTime::from_us(t));
-            prop_assert!((svc as usize) < services);
+        let mut sample_rng = SimRng::stream(7, "mix");
+        for _ in 0..n_times {
+            let t = rng.gen_u64() % 10_000_000;
+            let svc = m.sample(&mut sample_rng, SimTime::from_us(t));
+            assert!((svc as usize) < services);
         }
     }
+}
 
-    #[test]
-    fn hot_set_has_no_duplicates(
-        services in 2usize..64,
-        k in 1usize..16,
-        t in 0u64..1_000_000,
-    ) {
+#[test]
+fn hot_set_has_no_duplicates() {
+    for case in 0..64u64 {
+        let mut rng = SimRng::stream(case, "hotset");
+        let services = rng.gen_range(2..=63);
+        let k = rng.gen_range(1..=15);
+        let t = rng.gen_u64() % 1_000_000;
         let m = DynamicMix::new(services, 1.0, 3, 100);
         let hot = m.hot_set(k, SimTime::from_us(t));
         let mut dedup = hot.clone();
         dedup.sort_unstable();
         dedup.dedup();
-        prop_assert_eq!(dedup.len(), hot.len().min(services));
+        assert_eq!(dedup.len(), hot.len().min(services));
     }
+}
 
-    #[test]
-    fn arrival_gaps_are_positive(seed in any::<u64>(), rate in 1.0f64..1e7) {
+#[test]
+fn arrival_gaps_are_positive() {
+    for case in 0..64u64 {
+        let mut meta = SimRng::stream(case, "arr-meta");
+        let seed = meta.gen_u64();
+        let rate = 1.0 + meta.gen_f64() * (1e7 - 1.0);
         let mut rng = SimRng::stream(seed, "arr");
         let mut p = ArrivalProcess::Poisson { rate_rps: rate };
         let mut b = ArrivalProcess::bursty(rate, rate / 10.0, 0.001);
@@ -71,17 +90,21 @@ proptest! {
             let _ = b.next_gap(&mut rng);
         }
     }
+}
 
-    #[test]
-    fn service_time_mean_matches_analytic(cycles in 1u64..100_000) {
+#[test]
+fn service_time_mean_matches_analytic() {
+    for case in 0..64u64 {
+        let mut rng = SimRng::stream(case, "svc-mean");
+        let cycles = rng.gen_range(1..=99_999) as u64;
         let d = ServiceTime::Fixed { cycles };
-        prop_assert_eq!(d.mean(), cycles as f64);
+        assert_eq!(d.mean(), cycles as f64);
         let b = ServiceTime::Bimodal {
             p_long: 0.25,
             short_cycles: cycles,
             long_cycles: cycles * 10,
         };
         let expected = 0.75 * cycles as f64 + 0.25 * (cycles * 10) as f64;
-        prop_assert!((b.mean() - expected).abs() < 1e-6);
+        assert!((b.mean() - expected).abs() < 1e-6);
     }
 }

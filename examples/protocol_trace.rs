@@ -39,7 +39,10 @@ fn main() {
     let (_ep, layout) = nic.create_endpoint(ProcessId(1));
 
     let ctrl0 = layout.ctrl(0);
-    println!("endpoint CONTROL[0] at {ctrl0:?}, line size {} B", layout.line_size);
+    println!(
+        "endpoint CONTROL[0] at {ctrl0:?}, line size {} B",
+        layout.line_size
+    );
     match coh.load(CacheId(0), ctrl0).expect("valid cache") {
         LoadResult::Deferred {
             token,

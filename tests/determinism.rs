@@ -3,7 +3,13 @@
 use lauberhorn::prelude::*;
 
 fn fingerprint(r: &lauberhorn::rpc::Report) -> (u64, u64, u64, u64, u64) {
-    (r.completed, r.offered, r.rtt.p50, r.rtt.p999, r.fabric_messages)
+    (
+        r.completed,
+        r.offered,
+        r.rtt.p50,
+        r.rtt.p999,
+        r.fabric_messages,
+    )
 }
 
 #[test]
@@ -13,23 +19,13 @@ fn identical_seeds_reproduce_bit_for_bit() {
         StackKind::BypassModern,
         StackKind::KernelModern,
     ] {
-        let wl = WorkloadSpec::open_poisson(
-            80_000.0,
-            4,
-            1.0,
-            SizeDist::CloudRpc,
-            5,
-            1234,
-        );
+        let wl = WorkloadSpec::open_poisson(80_000.0, 4, 1.0, SizeDist::CloudRpc, 5, 1234);
         let services = ServiceSpec::uniform(4, 1500, 32);
         let a = Experiment::new(stack)
             .cores(2)
             .services(services.clone())
             .run(&wl);
-        let b = Experiment::new(stack)
-            .cores(2)
-            .services(services)
-            .run(&wl);
+        let b = Experiment::new(stack).cores(2).services(services).run(&wl);
         assert_eq!(
             fingerprint(&a),
             fingerprint(&b),

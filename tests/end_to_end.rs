@@ -44,7 +44,10 @@ fn headline_steps_table_is_consistent_with_measurements() {
     let steps = fig1::run(64);
     let analytic: Vec<u64> = steps.iter().map(|s| s.total_cycles).collect();
     assert!(analytic[0] > analytic[2], "kernel > bypass analytically");
-    assert!(analytic[2] > analytic[3], "bypass > lauberhorn analytically");
+    assert!(
+        analytic[2] > analytic[3],
+        "bypass > lauberhorn analytically"
+    );
 }
 
 #[test]
@@ -68,14 +71,7 @@ fn saturation_behavior_is_sane() {
     // Drive Lauberhorn well past one core's capacity: throughput should
     // approach the multi-core service rate and nothing should wedge.
     let services = ServiceSpec::uniform(1, 2000, 32);
-    let wl = WorkloadSpec::open_poisson(
-        400_000.0,
-        1,
-        0.0,
-        SizeDist::Fixed { bytes: 64 },
-        10,
-        3,
-    );
+    let wl = WorkloadSpec::open_poisson(400_000.0, 1, 0.0, SizeDist::Fixed { bytes: 64 }, 10, 3);
     let r = Experiment::new(StackKind::LauberhornCxl)
         .cores(4)
         .services(services)

@@ -186,10 +186,7 @@ fn endpoint_queue_overflow_spills_to_kernel_not_panic() {
         )
         .expect("builds");
         let acts = nic.on_request_frame(SimTime::from_us(i), &raw);
-        if !acts
-            .iter()
-            .any(|a| matches!(a, NicAction::Dropped { .. }))
-        {
+        if !acts.iter().any(|a| matches!(a, NicAction::Dropped { .. })) {
             accepted += 1;
         }
     }
@@ -230,14 +227,7 @@ fn overloaded_open_loop_drops_rather_than_wedges() {
     // with completion+drop accounting for all offered requests the
     // simulation had time to resolve.
     let services = ServiceSpec::uniform(1, 20_000, 32);
-    let wl = WorkloadSpec::open_poisson(
-        300_000.0,
-        1,
-        0.0,
-        SizeDist::Fixed { bytes: 64 },
-        5,
-        2,
-    );
+    let wl = WorkloadSpec::open_poisson(300_000.0, 1, 0.0, SizeDist::Fixed { bytes: 64 }, 5, 2);
     let r = Experiment::new(StackKind::LauberhornEnzian)
         .cores(1)
         .services(services)
