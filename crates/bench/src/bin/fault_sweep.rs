@@ -1,0 +1,10 @@
+//! Regenerates the wire-loss fault sweep.
+
+use lauberhorn::experiments::fault;
+
+fn main() {
+    let out = lauberhorn_bench::experiment("FAULT", "goodput and tails under wire loss", || {
+        fault::render(&fault::run(42))
+    });
+    println!("{out}");
+}

@@ -45,6 +45,8 @@ fn sparse_wl(services: usize, rate_rps: f64, duration_ms: u64, seed: u64) -> Wor
         duration: SimDuration::from_ms(duration_ms),
         seed,
         warmup: 30,
+        faults: Default::default(),
+        retry: None,
     }
 }
 
@@ -138,6 +140,8 @@ pub fn tryagain_window_steady(seed: u64) -> Vec<Labelled> {
             duration: SimDuration::from_ms(10),
             seed,
             warmup: 100,
+            faults: Default::default(),
+            retry: None,
         };
         run_variant(format!("TRYAGAIN window {t} (steady)"), cfg, 4, &wl)
     })

@@ -8,7 +8,10 @@
 //! generation guard), so "all green" is meaningful.
 
 use lauberhorn_mc::checker::{check, CheckOutcome};
-use lauberhorn_mc::{CollectionConfig, CollectionModel, LauberhornModel, ProtocolConfig};
+use lauberhorn_mc::{
+    CollectionConfig, CollectionModel, LauberhornModel, LossyRpcConfig, LossyRpcModel,
+    ProtocolConfig,
+};
 
 /// One checking run.
 #[derive(Debug, Clone)]
@@ -41,6 +44,7 @@ pub fn run() -> Vec<Run> {
                 max_preemptions: 0,
                 allow_retire: true,
                 inject_stale_timeout_bug: false,
+                max_losses: 0,
             },
         ),
         (
@@ -55,6 +59,7 @@ pub fn run() -> Vec<Run> {
                 max_preemptions: 2,
                 allow_retire: true,
                 inject_stale_timeout_bug: false,
+                max_losses: 0,
             },
         ),
         (
@@ -65,6 +70,14 @@ pub fn run() -> Vec<Run> {
                 max_preemptions: 3,
                 allow_retire: true,
                 inject_stale_timeout_bug: false,
+                max_losses: 0,
+            },
+        ),
+        (
+            "3 reqs, q=2, 1 preempt, 2 wire losses".to_string(),
+            ProtocolConfig {
+                max_losses: 2,
+                ..Default::default()
             },
         ),
         (
@@ -122,6 +135,29 @@ pub fn run() -> Vec<Run> {
             outcome: r.outcome,
         });
     }
+    for (label, cfg) in [
+        (
+            "lossy RPC: retry + at-most-once dedup".to_string(),
+            LossyRpcConfig::default(),
+        ),
+        (
+            "BUG INJECTED: retry without dedup window".to_string(),
+            LossyRpcConfig {
+                server_dedup: false,
+                ..Default::default()
+            },
+        ),
+    ] {
+        let r = check(&LossyRpcModel::new(cfg), 1_000_000);
+        out.push(Run {
+            label,
+            states: r.states,
+            transitions: r.transitions,
+            depth: r.depth,
+            trace_len: r.trace.len(),
+            outcome: r.outcome,
+        });
+    }
     out
 }
 
@@ -147,7 +183,7 @@ pub fn render(runs: &[Run]) -> String {
         ));
     }
     out.push_str(
-        "\ninvariants: I1 conservation, I2 exactly-once responses, I3 park\nconsistency, I4 no silent block, I5 collection safety, I6 retire safety,\nplus deadlock freedom.\n",
+        "\ninvariants: I1 conservation (incl. lost frames), I2 exactly-once responses,\nI3 park consistency, I4 no silent block, I5 collection safety, I6 retire\nsafety, at-most-once execution under loss, plus deadlock freedom.\n",
     );
     out
 }

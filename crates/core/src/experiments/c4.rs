@@ -75,6 +75,8 @@ pub fn run(p: C4Params, seed: u64) -> Vec<Contender> {
         duration: SimDuration::from_ms(p.duration_ms),
         seed,
         warmup: 500,
+        faults: Default::default(),
+        retry: None,
     };
     // Same machine class for every contender (3 GHz PC server) so the
     // comparison is architectural, not a clock-speed artefact. The four

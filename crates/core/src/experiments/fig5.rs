@@ -58,6 +58,8 @@ fn workload_with(
         duration: SimDuration::from_ms(duration_ms),
         seed,
         warmup,
+        faults: Default::default(),
+        retry: None,
     }
 }
 

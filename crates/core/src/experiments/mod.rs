@@ -14,6 +14,7 @@
 //! | [`c4`] | §5.2: dynamic workloads, hot-set rotation |
 //! | [`nested`] | §6: nested RPCs through continuation endpoints, end to end |
 //! | [`loadsweep`] | extension: throughput–latency curves per stack |
+//! | [`fault`] | extension: goodput and tails under injected wire loss |
 //! | [`txpath`] | extension: the TX cache-line protocol, both machines coherent |
 //! | [`ablations`] | design-choice ablations (yield policy, TRYAGAIN window, continuations) |
 //!
@@ -25,6 +26,7 @@ pub mod c1;
 pub mod c2;
 pub mod c3;
 pub mod c4;
+pub mod fault;
 pub mod fig1;
 pub mod fig2;
 pub mod fig3;

@@ -192,7 +192,9 @@ pub fn run() -> NestedRun {
         "B's response collected; routed via continuation".into(),
     ));
     // The reply frame (self-addressed) re-enters the NIC.
-    let reply = nic.build_response_frame(bctx, b"B-result");
+    let reply = nic
+        .build_response_frame(bctx, b"B-result")
+        .expect("response fits a UDP frame");
     let actions = nic.on_request_frame(*b_tx + wire, &reply);
     let (fill, _) = deliver(&mut coh, actions);
     let (rline, a_resume) = fill.expect("reply dispatched into A's continuation load");

@@ -1,0 +1,119 @@
+//! Chaos soak: every injector armed at once, aggressive rates, and —
+//! on Lauberhorn — a process crash mid-run. The stacks must survive
+//! without panicking, keep the at-most-once guarantee, and reproduce
+//! the same report from the same seed.
+
+use lauberhorn::experiment::StackKind;
+use lauberhorn::prelude::*;
+use lauberhorn::rpc::RetryPolicy;
+use lauberhorn::sim::fault::{CrashSpec, FaultPlan, FaultSpec};
+use lauberhorn::sim::SimDuration;
+use lauberhorn::workload::SizeDist;
+
+fn chaos_spec() -> FaultSpec {
+    let mut spec = FaultSpec::loss(0.02);
+    spec.corrupt = 0.01;
+    spec.duplicate = 0.01;
+    spec.reorder = 0.01;
+    spec.delay_spike = 0.01;
+    spec
+}
+
+fn chaos_plan(crash: bool) -> FaultPlan {
+    FaultPlan {
+        wire_tx: chaos_spec(),
+        wire_rx: chaos_spec(),
+        fill: FaultSpec::loss(0.01),
+        crash: crash.then_some(CrashSpec {
+            at: SimDuration::from_ms(5),
+            service: 0,
+        }),
+    }
+}
+
+fn chaos_workload(crash: bool, seed: u64) -> WorkloadSpec {
+    let mut wl =
+        WorkloadSpec::open_poisson(80_000.0, 2, 0.9, SizeDist::Fixed { bytes: 64 }, 40, seed);
+    wl.warmup = 100;
+    wl.with_faults(chaos_plan(crash))
+        .with_retry(RetryPolicy::same_rack())
+}
+
+fn soak(stack: StackKind, crash: bool, seed: u64) -> lauberhorn::rpc::Report {
+    Experiment::new(stack)
+        .cores(4)
+        .services(ServiceSpec::uniform(2, 1000, 32))
+        .run(&chaos_workload(crash, seed))
+}
+
+#[test]
+fn every_stack_survives_the_storm() {
+    for stack in [
+        StackKind::LauberhornEnzian,
+        StackKind::BypassModern,
+        StackKind::KernelModern,
+    ] {
+        let r = soak(stack, false, 4242);
+        let f = &r.faults;
+        // The storm actually raged.
+        assert!(
+            f.wire_tx_lost + f.wire_rx_lost > 0,
+            "{stack:?}: no frames lost"
+        );
+        assert!(f.corrupted > 0, "{stack:?}: no frames corrupted");
+        assert!(f.retransmits > 0, "{stack:?}: no retransmissions");
+        // Corruption was caught, never silently executed.
+        assert!(
+            f.checksum_dropped > 0,
+            "{stack:?}: corrupt frames were never rejected"
+        );
+        // At-most-once held.
+        assert_eq!(f.dup_executions, 0, "{stack:?}: handler ran twice");
+        // Request conservation: everything offered is accounted for.
+        assert!(
+            r.completed + r.dropped <= r.offered,
+            "{stack:?}: completed {} + dropped {} > offered {}",
+            r.completed,
+            r.dropped,
+            r.offered
+        );
+        // The retry layer kept most of the goodput despite ~6% of
+        // frames being mangled per leg.
+        let frac = r.completed as f64 / r.offered.max(1) as f64;
+        assert!(frac >= 0.80, "{stack:?}: goodput collapsed to {frac:.2}");
+    }
+}
+
+#[test]
+fn lauberhorn_recovers_from_process_crash() {
+    let r = soak(StackKind::LauberhornEnzian, true, 77);
+    assert!(
+        r.faults.crashes_recovered >= 1,
+        "crash was scheduled but never recovered: {:?}",
+        r.faults
+    );
+    assert_eq!(r.faults.dup_executions, 0, "crash recovery double-executed");
+    // The victim service's orphaned requests were requeued, not lost
+    // en masse: the run still completes the bulk of the offered load.
+    let frac = r.completed as f64 / r.offered.max(1) as f64;
+    assert!(frac >= 0.75, "goodput after crash: {frac:.2}");
+}
+
+#[test]
+fn chaos_is_reproducible() {
+    // Same seed, same storm, same report — fault injection is part of
+    // the deterministic simulation, not noise layered on top.
+    for stack in [
+        StackKind::LauberhornEnzian,
+        StackKind::BypassModern,
+        StackKind::KernelModern,
+    ] {
+        let a = soak(stack, stack == StackKind::LauberhornEnzian, 99);
+        let b = soak(stack, stack == StackKind::LauberhornEnzian, 99);
+        assert_eq!(
+            format!("{a:?}"),
+            format!("{b:?}"),
+            "{stack:?}: chaos run not reproducible"
+        );
+    }
+}

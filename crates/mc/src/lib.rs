@@ -21,14 +21,20 @@
 //! * [`collection`] — a multi-endpoint model of the cross-endpoint
 //!   response-collection rule the Figure 5 lifecycle needs, including
 //!   the premature-collection races an over-eager rule admits.
+//! * [`lossy`] — the retransmission layer over a lossy wire: client
+//!   retry, bounded frame loss, and the server's at-most-once dedup
+//!   window. Removing the window (the injected bug) yields the
+//!   premature-timeout double-execution counterexample.
 //!
 //! Experiment C2 runs the checker over increasing bounds and reports
 //! the state-space sizes and verified invariants.
 
 pub mod checker;
 pub mod collection;
+pub mod lossy;
 pub mod protocol;
 
 pub use checker::{CheckOutcome, CheckReport, Model};
 pub use collection::{CollectionConfig, CollectionModel};
+pub use lossy::{LossyRpcConfig, LossyRpcModel};
 pub use protocol::{LauberhornModel, ProtocolConfig};

@@ -1,0 +1,271 @@
+//! A client/server RPC model over a lossy wire.
+//!
+//! The fault-injection work (wire drops, retransmission, the server's
+//! at-most-once dedup window) adds a layer *above* the Figure 4
+//! protocol: the client retransmits on timeout, so the same request id
+//! can reach the server more than once. This model checks the safety
+//! property that layer must preserve — **at-most-once execution** —
+//! and demonstrates that the checker finds the classic bug when the
+//! dedup window is removed: a premature client timeout plus a retry
+//! makes the handler run twice.
+//!
+//! The wire may lose a bounded number of frames (requests or
+//! responses). Exhausted retries are a legitimate terminal state (the
+//! client reports failure), not a deadlock; with the loss budget below
+//! the retransmit budget, a successful delivery is always reachable —
+//! the liveness-under-fairness argument for the retry layer.
+
+use crate::checker::Model;
+
+/// Model parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct LossyRpcConfig {
+    /// Frames (request or response copies) the wire may lose.
+    pub max_losses: u8,
+    /// Retransmissions the client may attempt after the first send.
+    pub max_retries: u8,
+    /// Whether the server keeps the at-most-once dedup window.
+    /// Disabling it is the injected bug the checker must catch.
+    pub server_dedup: bool,
+}
+
+impl Default for LossyRpcConfig {
+    fn default() -> Self {
+        LossyRpcConfig {
+            max_losses: 2,
+            max_retries: 2,
+            server_dedup: true,
+        }
+    }
+}
+
+/// Full system state for one request id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LossyState {
+    /// Request copies currently on the wire.
+    pub req_in_flight: u8,
+    /// Response copies currently on the wire.
+    pub resp_in_flight: u8,
+    /// Transmissions so far (first send + retries).
+    pub sent: u8,
+    /// Times the handler actually ran.
+    pub executions: u8,
+    /// The server's dedup window marks this id Done.
+    pub server_done: bool,
+    /// The client accepted a response.
+    pub client_done: bool,
+    /// Frames lost so far.
+    pub losses: u8,
+}
+
+/// The model.
+#[derive(Debug, Clone, Copy)]
+pub struct LossyRpcModel {
+    /// Parameters.
+    pub cfg: LossyRpcConfig,
+}
+
+impl LossyRpcModel {
+    /// Creates the model.
+    pub fn new(cfg: LossyRpcConfig) -> Self {
+        LossyRpcModel { cfg }
+    }
+
+    fn max_sends(&self) -> u8 {
+        1 + self.cfg.max_retries
+    }
+}
+
+impl Model for LossyRpcModel {
+    type State = LossyState;
+    type Action = &'static str;
+
+    fn initial(&self) -> Vec<LossyState> {
+        vec![LossyState {
+            req_in_flight: 0,
+            resp_in_flight: 0,
+            sent: 0,
+            executions: 0,
+            server_done: false,
+            client_done: false,
+            losses: 0,
+        }]
+    }
+
+    fn next(&self, s: &LossyState) -> Vec<(&'static str, LossyState)> {
+        let mut out: Vec<(&'static str, LossyState)> = Vec::new();
+
+        // Client: first transmission.
+        if s.sent == 0 {
+            let mut t = *s;
+            t.sent = 1;
+            t.req_in_flight += 1;
+            out.push(("client/send", t));
+        }
+        // Client: the retry timer fires. The timer knows nothing about
+        // the wire, so this is enabled whenever a response has not yet
+        // been accepted — including *prematurely*, while the original
+        // request or its response is still in flight. That freedom is
+        // exactly what makes the no-dedup bug reachable.
+        if s.sent >= 1 && s.sent < self.max_sends() && !s.client_done {
+            let mut t = *s;
+            t.sent += 1;
+            t.req_in_flight += 1;
+            out.push(("client/retry", t));
+        }
+        // Wire: lose a frame (bounded).
+        if s.losses < self.cfg.max_losses {
+            if s.req_in_flight > 0 {
+                let mut t = *s;
+                t.req_in_flight -= 1;
+                t.losses += 1;
+                out.push(("wire/lose-request", t));
+            }
+            if s.resp_in_flight > 0 {
+                let mut t = *s;
+                t.resp_in_flight -= 1;
+                t.losses += 1;
+                out.push(("wire/lose-response", t));
+            }
+        }
+        // Server: a request copy arrives.
+        if s.req_in_flight > 0 {
+            let mut t = *s;
+            t.req_in_flight -= 1;
+            if self.cfg.server_dedup && t.server_done {
+                // Dedup window: replay the cached response, no re-run.
+                t.resp_in_flight += 1;
+                out.push(("server/replay", t));
+            } else {
+                // First sighting — or, without the window, *any*
+                // sighting: run the handler and answer.
+                t.executions += 1;
+                t.server_done = true;
+                t.resp_in_flight += 1;
+                out.push(("server/execute", t));
+            }
+        }
+        // Client: a response copy arrives.
+        if s.resp_in_flight > 0 {
+            let mut t = *s;
+            t.resp_in_flight -= 1;
+            if s.client_done {
+                out.push(("client/absorb-dup", t));
+            } else {
+                t.client_done = true;
+                out.push(("client/receive", t));
+            }
+        }
+
+        out
+    }
+
+    fn invariant(&self, s: &LossyState) -> Result<(), String> {
+        if s.executions > 1 {
+            return Err(format!(
+                "at-most-once violated: handler ran {} times",
+                s.executions
+            ));
+        }
+        // Frame conservation: every transmission is in flight, lost,
+        // or was consumed by the server.
+        let consumed = s
+            .sent
+            .checked_sub(s.req_in_flight)
+            .and_then(|x| x.checked_sub(s.losses.min(s.sent)));
+        if consumed.is_none() {
+            return Err(format!(
+                "conservation violated: sent {} < in-flight {} + losses",
+                s.sent, s.req_in_flight
+            ));
+        }
+        Ok(())
+    }
+
+    fn is_final(&self, s: &LossyState) -> bool {
+        // Success, or a legitimate give-up: every transmission either
+        // died on the wire or was answered with a response that died on
+        // the wire, and the retry budget is spent.
+        s.client_done
+            || (s.sent == self.max_sends() && s.req_in_flight == 0 && s.resp_in_flight == 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checker::{check, CheckOutcome, Model};
+
+    #[test]
+    fn dedup_preserves_at_most_once() {
+        let m = LossyRpcModel::new(LossyRpcConfig::default());
+        let r = check(&m, 1_000_000);
+        assert!(r.ok(), "outcome: {:?}, trace: {:?}", r.outcome, r.trace);
+        assert!(r.states > 20, "only {} states", r.states);
+    }
+
+    #[test]
+    fn no_dedup_double_execution_found() {
+        // The injected bug: retry without a server dedup window. The
+        // checker must produce the premature-timeout counterexample.
+        let m = LossyRpcModel::new(LossyRpcConfig {
+            server_dedup: false,
+            ..Default::default()
+        });
+        let r = check(&m, 1_000_000);
+        match r.outcome {
+            CheckOutcome::InvariantViolated { reason } => {
+                assert!(reason.contains("at-most-once"), "{reason}");
+            }
+            other => panic!("bug not found: {other:?}"),
+        }
+        // The shortest trace needs no wire loss at all: send, execute,
+        // premature retry, execute again.
+        let executes = r.trace.iter().filter(|a| **a == "server/execute").count();
+        assert_eq!(executes, 2, "trace: {:?}", r.trace);
+    }
+
+    #[test]
+    fn no_dedup_but_no_retries_is_safe() {
+        // Sanity: the bug needs the retry layer; without retransmission
+        // a missing dedup window cannot double-execute.
+        let m = LossyRpcModel::new(LossyRpcConfig {
+            server_dedup: false,
+            max_retries: 0,
+            ..Default::default()
+        });
+        let r = check(&m, 1_000_000);
+        assert!(r.ok(), "{:?}", r.outcome);
+    }
+
+    #[test]
+    fn exhausted_retries_are_final_not_deadlock() {
+        // Loss budget covers every send: total loss must terminate as
+        // a reported failure, not a checker deadlock.
+        let m = LossyRpcModel::new(LossyRpcConfig {
+            max_losses: 3,
+            max_retries: 2,
+            server_dedup: true,
+        });
+        let r = check(&m, 1_000_000);
+        assert!(r.ok(), "{:?}", r.outcome);
+    }
+
+    #[test]
+    fn success_reachable_under_fairness() {
+        // Delivery under fairness: some reachable state has the client
+        // holding a response, even at the full loss budget.
+        let m = LossyRpcModel::new(LossyRpcConfig::default());
+        let mut stack = m.initial();
+        let mut seen = std::collections::HashSet::new();
+        let mut success = false;
+        while let Some(s) = stack.pop() {
+            if !seen.insert(s) {
+                continue;
+            }
+            success |= s.client_done;
+            stack.extend(m.next(&s).into_iter().map(|(_, t)| t));
+        }
+        assert!(success, "no reachable state delivered the response");
+    }
+}

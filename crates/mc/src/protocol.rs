@@ -30,6 +30,12 @@
 //! checker then produces a counterexample where a TRYAGAIN overwrites
 //! a just-delivered request — demonstrating the checker can find
 //! non-benign races, not merely bless correct ones.
+//!
+//! With `max_losses > 0` the wire becomes lossy: an injected request
+//! may die in flight and is later retransmitted by the client. The
+//! conservation invariant widens to account for in-flight losses, and
+//! RETIRE delivery is additionally gated on `lost == 0` so no
+//! retransmission arrives at a retired core.
 
 use crate::checker::Model;
 
@@ -79,6 +85,9 @@ pub struct ProtoState {
     pub preemptions: u8,
     /// Whether a RETIRE has been requested by the kernel.
     pub retire_requested: bool,
+    /// Injected requests currently lost on the wire (awaiting their
+    /// client retransmission).
+    pub lost: u8,
 }
 
 /// Model parameters (bounds keep the state space finite).
@@ -94,6 +103,9 @@ pub struct ProtocolConfig {
     pub allow_retire: bool,
     /// Inject the stale-timeout race (checker must find it).
     pub inject_stale_timeout_bug: bool,
+    /// Wire frames that may be lost in flight (0 = reliable wire;
+    /// lost requests are retransmitted by the client).
+    pub max_losses: u8,
 }
 
 impl Default for ProtocolConfig {
@@ -104,6 +116,7 @@ impl Default for ProtocolConfig {
             max_preemptions: 1,
             allow_retire: true,
             inject_stale_timeout_bug: false,
+            max_losses: 0,
         }
     }
 }
@@ -156,6 +169,7 @@ impl Model for LauberhornModel {
             responses: 0,
             preemptions: 0,
             retire_requested: false,
+            lost: 0,
         }]
     }
 
@@ -175,6 +189,39 @@ impl Model for LauberhornModel {
                         t.queued += 1;
                         t.injected += 1;
                         out.push(("inject/queue", t));
+                    }
+                }
+            }
+            // Lossy wire: the frame dies in flight instead. The
+            // client's retry timer owns it from here.
+            if s.lost < cfg.max_losses {
+                let mut t = *s;
+                t.injected += 1;
+                t.lost += 1;
+                out.push(("inject/lose", t));
+            }
+        }
+
+        // --- Client: retransmit a lost request. The retransmission
+        // arrives at the NIC like any frame: straight into a parked
+        // fill on the expected line, or onto the ready queue. ---
+        if s.lost > 0 && s.core != CorePhase::Retired {
+            match s.parked {
+                Some(line) if s.expect == line => {
+                    let mut t = *s;
+                    t.lost -= 1;
+                    t.parked = None;
+                    t.delivered += 1;
+                    t.core = CorePhase::Handling(line);
+                    t.expect = 1 - line;
+                    out.push(("retransmit/deliver", t));
+                }
+                _ => {
+                    if s.queued < cfg.queue_cap {
+                        let mut t = *s;
+                        t.lost -= 1;
+                        t.queued += 1;
+                        out.push(("retransmit/queue", t));
                     }
                 }
             }
@@ -215,8 +262,9 @@ impl Model for LauberhornModel {
             out.push(("retire/request", t));
         }
         // NIC delivers RETIRE into a parked fill, but only when no
-        // queued request would be stranded (I6).
-        if s.retire_requested && s.queued == 0 && s.outstanding.is_none() {
+        // queued request would be stranded (I6) — and, on a lossy
+        // wire, no retransmission is still owed to this core.
+        if s.retire_requested && s.queued == 0 && s.outstanding.is_none() && s.lost == 0 {
             if let Some(_line) = s.parked {
                 let mut t = *s;
                 t.parked = None;
@@ -269,11 +317,13 @@ impl Model for LauberhornModel {
     }
 
     fn invariant(&self, s: &ProtoState) -> Result<(), String> {
-        // I1: conservation.
-        if s.injected != s.delivered + s.queued {
+        // I1: conservation — every injected request is delivered,
+        // queued, or lost-awaiting-retransmit; none vanishes, none
+        // duplicates.
+        if s.injected != s.delivered + s.queued + s.lost {
             return Err(format!(
-                "I1: injected {} != delivered {} + queued {}",
-                s.injected, s.delivered, s.queued
+                "I1: injected {} != delivered {} + queued {} + lost {}",
+                s.injected, s.delivered, s.queued, s.lost
             ));
         }
         // I2: exactly-once responses.
@@ -304,9 +354,12 @@ impl Model for LauberhornModel {
                 return Err("I5: response outstanding on a line still being handled".into());
             }
         }
-        // I6: a retired core leaves nothing queued.
+        // I6: a retired core leaves nothing queued and nothing owed.
         if s.core == CorePhase::Retired && s.queued > 0 {
             return Err("I6: core retired with queued requests".into());
+        }
+        if s.core == CorePhase::Retired && s.lost > 0 {
+            return Err("I6: core retired with a retransmission owed".into());
         }
         // The bug marker itself is a violation.
         if s.core == CorePhase::Broken {
@@ -406,6 +459,71 @@ mod tests {
             stack.extend(succs.into_iter().map(|(_, t)| t));
         }
         assert!(seen.len() > 100);
+    }
+
+    #[test]
+    fn lossy_wire_verifies_with_retransmission() {
+        // The Figure 4 model over a lossy wire: frames die in flight
+        // and come back as retransmissions. Safety and deadlock
+        // freedom must survive, and the space must grow.
+        let clean = check(&LauberhornModel::new(ProtocolConfig::default()), 2_000_000);
+        let lossy = check(
+            &LauberhornModel::new(ProtocolConfig {
+                max_losses: 2,
+                ..Default::default()
+            }),
+            2_000_000,
+        );
+        assert!(
+            lossy.ok(),
+            "outcome: {:?}, trace: {:?}",
+            lossy.outcome,
+            lossy.trace
+        );
+        assert!(
+            lossy.states > clean.states,
+            "loss transitions added no states ({} vs {})",
+            lossy.states,
+            clean.states
+        );
+    }
+
+    #[test]
+    fn every_lost_request_can_be_retransmitted() {
+        // Delivery under fairness: from every reachable state with a
+        // lost request, some path leads to a state with fewer losses —
+        // the retransmission is never permanently stranded (e.g. by a
+        // full queue that can no longer drain).
+        let m = LauberhornModel::new(ProtocolConfig {
+            max_losses: 2,
+            ..Default::default()
+        });
+        let mut stack = m.initial();
+        let mut seen = std::collections::HashSet::new();
+        while let Some(s) = stack.pop() {
+            if !seen.insert(s) {
+                continue;
+            }
+            stack.extend(m.next(&s).into_iter().map(|(_, t)| t));
+        }
+        assert!(seen.len() > 100);
+        let recovers = |start: &ProtoState| {
+            let mut stack = vec![*start];
+            let mut visited = std::collections::HashSet::new();
+            while let Some(s) = stack.pop() {
+                if s.lost < start.lost {
+                    return true;
+                }
+                if !visited.insert(s) {
+                    continue;
+                }
+                stack.extend(m.next(&s).into_iter().map(|(_, t)| t));
+            }
+            false
+        };
+        for s in seen.iter().filter(|s| s.lost > 0) {
+            assert!(recovers(s), "lost request stranded from {s:?}");
+        }
     }
 
     #[test]

@@ -220,6 +220,9 @@ pub enum NicAction {
     Dropped {
         /// Why.
         reason: DropReason,
+        /// Request the frame carried, when the header parsed far
+        /// enough to know (lets the host account the loss per-request).
+        request_id: Option<u64>,
     },
 }
 
@@ -651,7 +654,15 @@ impl LauberhornNic {
     }
 
     /// Builds the response frame for `ctx` carrying `payload`.
-    pub fn build_response_frame(&self, ctx: &RequestCtx, payload: &[u8]) -> Vec<u8> {
+    ///
+    /// Fails if the payload cannot fit a UDP datagram (a handler
+    /// producing > 64 KiB); callers drop the response rather than
+    /// crash the NIC pipeline.
+    pub fn build_response_frame(
+        &self,
+        ctx: &RequestCtx,
+        payload: &[u8],
+    ) -> Result<Vec<u8>, lauberhorn_packet::PacketError> {
         let header = RpcHeader {
             kind: RpcKind::Response,
             service_id: ctx.service_id,
@@ -660,8 +671,8 @@ impl LauberhornNic {
             payload_len: payload.len() as u32,
             cont_hint: ctx.cont_hint,
         };
-        let msg = header.encode_message(payload).expect("sized correctly");
-        build_udp_frame(self.cfg.nic_addr, ctx.client, &msg, 0).expect("response frame builds")
+        let msg = header.encode_message(payload)?;
+        build_udp_frame(self.cfg.nic_addr, ctx.client, &msg, 0)
     }
 
     /// Aux capacity of one endpoint in argument bytes.
@@ -669,18 +680,18 @@ impl LauberhornNic {
         DispatchLine::inline_capacity(self.cfg.line_size) + self.cfg.n_aux * self.cfg.line_size
     }
 
-    fn drop_frame(&mut self, reason: DropReason) -> Vec<NicAction> {
+    fn drop_frame(&mut self, reason: DropReason, request_id: Option<u64>) -> Vec<NicAction> {
         self.stats.dropped += 1;
-        vec![NicAction::Dropped { reason }]
+        vec![NicAction::Dropped { reason, request_id }]
     }
 
     /// A frame arrives from the wire at `now`.
     pub fn on_request_frame(&mut self, now: SimTime, raw: &[u8]) -> Vec<NicAction> {
         let Ok(frame) = parse_udp_frame(raw) else {
-            return self.drop_frame(DropReason::BadFrame);
+            return self.drop_frame(DropReason::BadFrame, None);
         };
         let Ok((header, wire_payload)) = RpcHeader::decode_message(&frame.payload) else {
-            return self.drop_frame(DropReason::BadRpcHeader);
+            return self.drop_frame(DropReason::BadRpcHeader, None);
         };
         let client = EndpointAddr {
             mac: frame.eth.src,
@@ -693,7 +704,10 @@ impl LauberhornNic {
             RpcKind::Response | RpcKind::Error => {
                 // A reply for a nested RPC: dispatch via continuation.
                 let Ok(cont) = self.conts.resolve(header.cont_hint) else {
-                    return self.drop_frame(DropReason::UnknownContinuation(header.cont_hint));
+                    return self.drop_frame(
+                        DropReason::UnknownContinuation(header.cont_hint),
+                        Some(header.request_id),
+                    );
                 };
                 self.stats.continuations_hit += 1;
                 t += self.deser_time(wire_payload.len());
@@ -716,14 +730,16 @@ impl LauberhornNic {
                 let id = cont.endpoint;
                 let outcome = match self.endpoints.get_mut(&id) {
                     Some(ep) => ep.on_request(line, ctx),
-                    None => return self.drop_frame(DropReason::Overflow),
+                    None => return self.drop_frame(DropReason::Overflow, Some(header.request_id)),
                 };
                 match outcome {
                     RequestOutcome::DeliveredToParked(effects) => {
                         self.map_effects(id, effects, t, None)
                     }
                     RequestOutcome::Queued { .. } => Vec::new(),
-                    RequestOutcome::Rejected => self.drop_frame(DropReason::Overflow),
+                    RequestOutcome::Rejected => {
+                        self.drop_frame(DropReason::Overflow, Some(header.request_id))
+                    }
                 }
             }
         }
@@ -746,10 +762,13 @@ impl LauberhornNic {
                     (m.code_ptr, m.data_ptr, svc.process, svc.endpoints.clone())
                 }
                 Err(DemuxError::UnknownService(s)) => {
-                    return self.drop_frame(DropReason::UnknownService(s))
+                    return self.drop_frame(DropReason::UnknownService(s), Some(header.request_id))
                 }
                 Err(DemuxError::UnknownMethod { service, method }) => {
-                    return self.drop_frame(DropReason::UnknownMethod(service, method))
+                    return self.drop_frame(
+                        DropReason::UnknownMethod(service, method),
+                        Some(header.request_id),
+                    )
                 }
             };
         // Deserialization offload: wire form → dispatch form (§5.1).
@@ -760,7 +779,7 @@ impl LauberhornNic {
             .signature
             .clone();
         let Ok(args) = transform_to_dispatch_form(&signature, wire_payload) else {
-            return self.drop_frame(DropReason::Malformed);
+            return self.drop_frame(DropReason::Malformed, Some(header.request_id));
         };
         t += self.deser_time(wire_payload.len());
         self.stats.rx_requests += 1;
@@ -876,25 +895,36 @@ impl LauberhornNic {
                 // Fall through to kernel delivery on overflow.
             }
         }
-        // 3. a core parked in the kernel-mode dispatch loop takes it;
+        // 3. a core parked in the kernel-mode dispatch loop takes it.
+        //    The mirror is the NIC's view of scheduler state and may be
+        //    stale; a poller that left (or an endpoint that was torn
+        //    down) between observations is not a crash, the request
+        //    just falls through to the kernel queues.
         if let Some((core, kep)) = self.mirror.kernel_pollers().first().copied() {
-            self.stats.kernel_path += 1;
             let outcome = self
                 .endpoints
                 .get_mut(&kep)
-                .expect("kernel endpoint exists")
-                .on_request(line, ctx);
-            let RequestOutcome::DeliveredToParked(effects) = outcome else {
-                unreachable!("kernel poller was parked");
-            };
-            let mut actions = pre_actions;
-            actions.push(NicAction::KernelDelivery {
-                core,
-                process,
-                at: t,
-            });
-            actions.extend(self.map_effects(kep, effects, t, None));
-            return actions;
+                .map(|ep| ep.on_request(line.clone(), ctx.clone()));
+            match outcome {
+                Some(RequestOutcome::DeliveredToParked(effects)) => {
+                    self.stats.kernel_path += 1;
+                    let mut actions = pre_actions;
+                    actions.push(NicAction::KernelDelivery {
+                        core,
+                        process,
+                        at: t,
+                    });
+                    actions.extend(self.map_effects(kep, effects, t, None));
+                    return actions;
+                }
+                Some(RequestOutcome::Queued { .. }) => {
+                    // Stale mirror: the poller had already woken, but
+                    // the request is safely queued at its endpoint.
+                    self.stats.queued_kernel += 1;
+                    return pre_actions;
+                }
+                Some(RequestOutcome::Rejected) | None => {}
+            }
         }
         // 4. queue at the least-loaded kernel endpoint; with every core
         //    busy in user loops, additionally ask the OS to preempt one
@@ -967,7 +997,119 @@ impl LauberhornNic {
                 }
             }
         }
-        self.drop_frame(DropReason::Overflow)
+        self.drop_frame(DropReason::Overflow, Some(header.request_id))
+    }
+
+    /// Re-queues a request salvaged from a crashed process onto the
+    /// kernel dispatch path — steps 3–4 of the delivery preference
+    /// order: a parked kernel poller takes it immediately, otherwise it
+    /// queues at the least-loaded kernel endpoint (asking the OS to
+    /// preempt a user poller when every core is busy).
+    pub fn redeliver_to_kernel(
+        &mut self,
+        now: SimTime,
+        line: DispatchLine,
+        ctx: RequestCtx,
+    ) -> Vec<NicAction> {
+        let t = now + self.cfg.nic_proc;
+        let request_id = ctx.request_id;
+        let process = match self.demux.service(ctx.service_id) {
+            Ok(svc) => svc.process,
+            Err(_) => {
+                return self
+                    .drop_frame(DropReason::UnknownService(ctx.service_id), Some(request_id))
+            }
+        };
+        // As in `handle_request`, tolerate a stale mirror: a poller
+        // that vanished means the request falls through to the queues.
+        if let Some((core, kep)) = self.mirror.kernel_pollers().first().copied() {
+            let outcome = self
+                .endpoints
+                .get_mut(&kep)
+                .map(|ep| ep.on_request(line.clone(), ctx.clone()));
+            match outcome {
+                Some(RequestOutcome::DeliveredToParked(effects)) => {
+                    self.stats.kernel_path += 1;
+                    let mut actions = vec![NicAction::KernelDelivery {
+                        core,
+                        process,
+                        at: t,
+                    }];
+                    actions.extend(self.map_effects(kep, effects, t, None));
+                    return actions;
+                }
+                Some(RequestOutcome::Queued { .. }) => {
+                    self.stats.queued_kernel += 1;
+                    return Vec::new();
+                }
+                Some(RequestOutcome::Rejected) | None => {}
+            }
+        }
+        let kq = self
+            .kernel_eps
+            .iter()
+            .flatten()
+            .min_by_key(|id| {
+                self.endpoints
+                    .get(id)
+                    .map_or(usize::MAX, |e| e.queue_depth())
+            })
+            .copied();
+        if let Some(id) = kq {
+            match self
+                .endpoints
+                .get_mut(&id)
+                .expect("kernel endpoint exists")
+                .on_request(line, ctx)
+            {
+                RequestOutcome::Queued { .. } => {
+                    self.stats.queued_kernel += 1;
+                    let mut actions = Vec::new();
+                    if let Some(core) = self.preemption_victim() {
+                        actions.push(NicAction::RequestPreempt { core, at: t });
+                    }
+                    return actions;
+                }
+                RequestOutcome::DeliveredToParked(effects) => {
+                    self.stats.kernel_path += 1;
+                    let core = match self.modes.get(&id) {
+                        Some(EpMode::Kernel { core }) => *core,
+                        _ => 0,
+                    };
+                    let mut actions = vec![NicAction::KernelDelivery {
+                        core,
+                        process,
+                        at: t,
+                    }];
+                    actions.extend(self.map_effects(id, effects, t, None));
+                    return actions;
+                }
+                RequestOutcome::Rejected => {}
+            }
+        }
+        self.drop_frame(DropReason::Overflow, Some(request_id))
+    }
+
+    /// Drains every request queued at `endpoint` (used when its owning
+    /// process crashes: the salvaged requests are re-delivered through
+    /// [`LauberhornNic::redeliver_to_kernel`]).
+    pub fn drain_endpoint_queue(
+        &mut self,
+        endpoint: EndpointId,
+    ) -> Vec<(DispatchLine, RequestCtx)> {
+        let mut out = Vec::new();
+        if let Some(ep) = self.endpoints.get_mut(&endpoint) {
+            while let Some(pair) = ep.steal_request() {
+                out.push(pair);
+            }
+        }
+        out
+    }
+
+    /// Forgets the uncollected-response bookkeeping for `core` (its
+    /// process crashed before the response could be collected).
+    pub fn forget_pending_response(&mut self, core: usize) {
+        self.pending_response_by_core.remove(&core);
     }
 
     /// Picks a user-loop poller to preempt back into the kernel
@@ -1081,7 +1223,8 @@ mod tests {
         assert_eq!(
             acts,
             vec![NicAction::Dropped {
-                reason: DropReason::UnknownService(99)
+                reason: DropReason::UnknownService(99),
+                request_id: Some(1),
             }]
         );
     }
@@ -1277,7 +1420,8 @@ mod tests {
         assert!(matches!(
             acts[0],
             NicAction::Dropped {
-                reason: DropReason::UnknownContinuation(_)
+                reason: DropReason::UnknownContinuation(_),
+                ..
             }
         ));
     }
@@ -1292,7 +1436,7 @@ mod tests {
             client: EndpointAddr::host(5, 700),
             cont_hint: 3,
         };
-        let raw = n.build_response_frame(&ctx, b"result");
+        let raw = n.build_response_frame(&ctx, b"result").unwrap();
         let frame = parse_udp_frame(&raw).unwrap();
         let (h, payload) = RpcHeader::decode_message(&frame.payload).unwrap();
         assert_eq!(h.kind, RpcKind::Response);
@@ -1429,7 +1573,8 @@ mod tests {
         assert_eq!(
             acts,
             vec![NicAction::Dropped {
-                reason: DropReason::Malformed
+                reason: DropReason::Malformed,
+                request_id: Some(1),
             }]
         );
     }

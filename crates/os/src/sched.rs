@@ -69,6 +69,7 @@ pub struct OsScheduler {
 impl OsScheduler {
     /// Creates a scheduler for `num_cores` cores, all idle.
     pub fn new(num_cores: usize) -> Self {
+        assert!(num_cores > 0, "scheduler needs at least one core");
         OsScheduler {
             cores: vec![None; num_cores],
             threads: HashMap::new(),
@@ -120,12 +121,16 @@ impl OsScheduler {
     }
 
     /// Run-queue length of `core` (excluding the running thread).
+    /// Out-of-range cores have no queue.
     pub fn queue_len(&self, core: usize) -> usize {
-        self.queues[core].len()
+        self.queues.get(core).map_or(0, |q| q.len())
     }
 
     fn place_core(&self, info: &ThreadInfo) -> usize {
-        if let Some(core) = info.affinity {
+        // An out-of-range affinity (a thread registered for a core this
+        // machine doesn't have) falls back to normal placement rather
+        // than indexing past the core array.
+        if let Some(core) = info.affinity.filter(|&c| c < self.cores.len()) {
             return core;
         }
         // Prefer an idle core; otherwise the shortest queue.
@@ -240,8 +245,11 @@ impl OsScheduler {
     }
 
     /// If `core` is idle, pulls the lowest-vruntime runnable thread
-    /// onto it.
+    /// onto it. Out-of-range cores dispatch nothing.
     pub fn dispatch(&mut self, core: usize) -> Option<ThreadId> {
+        if core >= self.cores.len() {
+            return None;
+        }
         if self.cores[core].is_some() {
             return self.cores[core];
         }

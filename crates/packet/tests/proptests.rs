@@ -168,6 +168,68 @@ fn single_bit_flips_past_eth_are_caught() {
 }
 
 #[test]
+fn every_single_bit_flip_is_caught() {
+    // Exhaustive, not sampled: flip every bit of every checksummed
+    // byte of one representative frame and require a parse error.
+    let payload = b"fault injection probe payload!";
+    let src = EndpointAddr::host(1, 100);
+    let dst = EndpointAddr::host(2, 200);
+    let raw = build_udp_frame(src, dst, payload, 7).unwrap();
+    for byte in 14..raw.len() {
+        for bit in 0..8 {
+            let mut corrupt = raw.clone();
+            corrupt[byte] ^= 1 << bit;
+            assert!(
+                parse_udp_frame(&corrupt).is_err(),
+                "undetected corruption at byte {byte} bit {bit}"
+            );
+        }
+    }
+}
+
+#[test]
+fn truncated_frames_fail_cleanly() {
+    // Every proper prefix of a valid frame must parse to an error —
+    // no panic, no partial success.
+    let payload = b"truncation probe";
+    let src = EndpointAddr::host(1, 100);
+    let dst = EndpointAddr::host(2, 200);
+    let raw = build_udp_frame(src, dst, payload, 0).unwrap();
+    for len in 0..raw.len() {
+        assert!(
+            parse_udp_frame(&raw[..len]).is_err(),
+            "truncated frame of {len}/{} bytes parsed",
+            raw.len()
+        );
+    }
+    assert!(parse_udp_frame(&raw).is_ok());
+}
+
+#[test]
+fn truncated_rpc_messages_fail_cleanly() {
+    // Same property one layer up: every proper prefix of a valid RPC
+    // message is rejected by the header/payload length checks.
+    let payload = b"rpc truncation probe";
+    let h = RpcHeader {
+        kind: RpcKind::Request,
+        service_id: 3,
+        method_id: 1,
+        request_id: 42,
+        payload_len: payload.len() as u32,
+        cont_hint: 0,
+    };
+    let msg = h.encode_message(payload).unwrap();
+    for len in 0..msg.len() {
+        assert!(
+            RpcHeader::decode_message(&msg[..len]).is_err(),
+            "truncated message of {len}/{} bytes parsed",
+            msg.len()
+        );
+    }
+    assert!(RpcHeader::decode_message(&msg).is_ok());
+}
+
+#[test]
 fn rpc_header_round_trips() {
     for case in 0..256 {
         let mut rng = TestRng::new(6000 + case);

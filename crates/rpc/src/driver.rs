@@ -10,13 +10,15 @@
 //! digest in the report), interleaves client events with the stack's
 //! internal event queue in time order, and emits the common [`Report`].
 
+use lauberhorn_packet::eth::ETH_HEADER_LEN;
 use lauberhorn_packet::frame::EndpointAddr;
-use lauberhorn_sim::{SimRng, SimTime};
+use lauberhorn_sim::fault::{FaultDecision, FaultInjector};
+use lauberhorn_sim::{SimDuration, SimRng, SimTime};
 
 use crate::report::Report;
 use crate::spec::{LoadMode, PayloadGen, WorkloadSpec};
 use crate::stack::ServerStack;
-use crate::wire::{build_request, RequestTimes};
+use crate::wire::{build_request, RequestTimes, RetryPolicy};
 
 /// Client-side events, interleaved with the stack's internal queue.
 #[derive(Debug)]
@@ -25,6 +27,9 @@ pub(crate) enum ClientEv {
     Gen { client: usize },
     /// The response frame reached the client.
     Response { request_id: u64 },
+    /// The retransmission timer for `request_id` fired; `attempt` is
+    /// the transmission it was armed after (1 = the original send).
+    Retry { request_id: u64, attempt: u32 },
 }
 
 /// Running FNV-1a digest over the generated request stream; equal
@@ -54,6 +59,61 @@ impl RequestDigest {
     }
 }
 
+/// Client-side record of an unanswered request, kept while a
+/// [`RetryPolicy`] is in force.
+struct Outstanding {
+    /// The exact frame bytes, for retransmission.
+    raw: Vec<u8>,
+    /// Which closed-loop client issued it.
+    client: usize,
+}
+
+/// Puts one request frame on the wire, applying transmit-leg faults.
+/// Clean path (no injector): one `inject_frame`, nothing else.
+fn send_frame(
+    stack: &mut (impl ServerStack + ?Sized),
+    tx_fault: &mut Option<FaultInjector>,
+    now: SimTime,
+    raw: Vec<u8>,
+    request_id: u64,
+) {
+    let arrive = now + stack.common().wire.deliver(raw.len());
+    let Some(inj) = tx_fault.as_mut() else {
+        stack.inject_frame(arrive, raw, request_id);
+        return;
+    };
+    match inj.decide_frame(raw.len(), ETH_HEADER_LEN) {
+        FaultDecision::Deliver => stack.inject_frame(arrive, raw, request_id),
+        FaultDecision::Drop => {
+            stack.common().metrics.faults.wire_tx_lost += 1;
+        }
+        FaultDecision::Corrupt { offset, bit } => {
+            let mut raw = raw;
+            FaultInjector::apply_corruption(&mut raw, offset, bit);
+            stack.common().metrics.faults.corrupted += 1;
+            stack.inject_frame(arrive, raw, request_id);
+        }
+        FaultDecision::Duplicate { gap } => {
+            stack.inject_frame(arrive, raw.clone(), request_id);
+            stack.inject_frame(arrive + gap, raw, request_id);
+        }
+        FaultDecision::Delay { extra } => {
+            stack.inject_frame(arrive + extra, raw, request_id);
+        }
+    }
+}
+
+/// The retransmission delay after `attempt` transmissions: the
+/// policy's exponential RTO, jittered from the dedicated stream.
+fn jittered_rto(policy: &RetryPolicy, attempt: u32, rng: &mut SimRng) -> SimDuration {
+    let base = policy.rto(attempt);
+    if policy.jitter_frac <= 0.0 {
+        return base;
+    }
+    let u = rng.gen_f64() * 2.0 - 1.0;
+    SimDuration::from_ns_f64(base.as_ns_f64() * (1.0 + policy.jitter_frac * u))
+}
+
 /// Runs `workload` against `stack` and reports.
 ///
 /// The driver alternates between the client queue and the stack's
@@ -71,6 +131,20 @@ pub fn run(stack: &mut (impl ServerStack + ?Sized), workload: &WorkloadSpec) -> 
     let mut digest = RequestDigest::new();
     let mut next_request_id = 0u64;
     let mut client_of = std::collections::HashMap::new();
+
+    // Fault/retry machinery: all `None`/empty on a clean run, in which
+    // case no extra RNG stream is created and no extra event is ever
+    // scheduled — the clean schedule is bit-identical to pre-fault
+    // builds.
+    let retry = workload.effective_retry();
+    let mut retry_rng = retry.map(|_| SimRng::stream(workload.seed, "retry"));
+    let mut tx_fault = workload
+        .faults
+        .wire_tx
+        .enabled()
+        .then(|| FaultInjector::new(workload.faults.wire_tx, workload.seed, "fault.wire.tx"));
+    let mut outstanding: std::collections::HashMap<u64, Outstanding> =
+        std::collections::HashMap::new();
 
     match &workload.mode {
         LoadMode::Open { .. } => {
@@ -158,8 +232,25 @@ pub fn run(stack: &mut (impl ServerStack + ?Sized), workload: &WorkloadSpec) -> 
                                 ..Default::default()
                             },
                         );
-                        let arrive = now + common.wire.deliver(raw.len());
-                        stack.inject_frame(arrive, raw, request_id);
+                        if let Some(policy) = &retry {
+                            outstanding.insert(
+                                request_id,
+                                Outstanding {
+                                    raw: raw.clone(),
+                                    client,
+                                },
+                            );
+                            let rng = retry_rng.as_mut().expect("retry implies its stream");
+                            let rto = jittered_rto(policy, 1, rng);
+                            common.client_q.schedule(
+                                now + rto,
+                                ClientEv::Retry {
+                                    request_id,
+                                    attempt: 1,
+                                },
+                            );
+                        }
+                        send_frame(stack, &mut tx_fault, now, raw, request_id);
                         if let Some(arr) = arrivals.as_mut() {
                             let gap = arr.next_gap(&mut client_rng);
                             stack
@@ -170,6 +261,14 @@ pub fn run(stack: &mut (impl ServerStack + ?Sized), workload: &WorkloadSpec) -> 
                     }
                 }
                 ClientEv::Response { request_id } => {
+                    // Duplicate deliveries (a replayed dedup answer
+                    // racing the original, or a duplicated response
+                    // frame) are ignored: the first answer won.
+                    let Some(client) = client_of.remove(&request_id) else {
+                        stack.common().metrics.faults.dup_responses += 1;
+                        continue;
+                    };
+                    outstanding.remove(&request_id);
                     let common = stack.common();
                     common.metrics.completed += 1;
                     let warmed = common.metrics.completed > workload.warmup;
@@ -189,13 +288,60 @@ pub fn run(stack: &mut (impl ServerStack + ?Sized), workload: &WorkloadSpec) -> 
                             common.sw_cycles_by_req.remove(&request_id);
                         }
                     }
-                    let client = client_of.remove(&request_id).unwrap_or(0);
                     if let LoadMode::Closed { think, .. } = &workload.mode {
                         if now + *think <= common.end_of_load {
                             common
                                 .client_q
                                 .schedule(now + *think, ClientEv::Gen { client });
                         }
+                    }
+                }
+                ClientEv::Retry {
+                    request_id,
+                    attempt,
+                } => {
+                    let policy = retry.expect("a retry event implies a policy");
+                    if !outstanding.contains_key(&request_id) {
+                        // Answered (or already abandoned): stale timer.
+                        continue;
+                    }
+                    if attempt >= policy.max_attempts {
+                        let o = outstanding
+                            .remove(&request_id)
+                            .expect("checked contains_key above");
+                        client_of.remove(&request_id);
+                        let common = stack.common();
+                        common.metrics.faults.retries_exhausted += 1;
+                        common.abandon_request(request_id);
+                        common.dedup_forget(request_id);
+                        if let LoadMode::Closed { think, .. } = &workload.mode {
+                            // Keep the closed-loop client alive: it
+                            // gives up on this request and moves on.
+                            if now + *think <= common.end_of_load {
+                                common
+                                    .client_q
+                                    .schedule(now + *think, ClientEv::Gen { client: o.client });
+                            }
+                        }
+                    } else {
+                        let raw = outstanding
+                            .get(&request_id)
+                            .expect("checked contains_key above")
+                            .raw
+                            .clone();
+                        let common = stack.common();
+                        common.metrics.faults.retransmits += 1;
+                        let rng = retry_rng.as_mut().expect("retry implies its stream");
+                        let next = attempt + 1;
+                        let rto = jittered_rto(&policy, next, rng);
+                        common.client_q.schedule(
+                            now + rto,
+                            ClientEv::Retry {
+                                request_id,
+                                attempt: next,
+                            },
+                        );
+                        send_frame(stack, &mut tx_fault, now, raw, request_id);
                     }
                 }
             }

@@ -30,9 +30,10 @@ pub mod spec;
 pub mod stack;
 pub mod wire;
 
-pub use report::Report;
+pub use report::{FaultCounters, Report};
 pub use sim_bypass::BypassSim;
 pub use sim_kernel::KernelSim;
 pub use sim_lauberhorn::LauberhornSim;
 pub use spec::{ServiceSpec, WorkloadSpec};
-pub use stack::{Machine, MachineConfig, ServerStack};
+pub use stack::{Machine, MachineConfig, RxGate, ServerStack};
+pub use wire::RetryPolicy;

@@ -3,6 +3,62 @@
 use lauberhorn_sim::energy::CycleAccount;
 use lauberhorn_sim::{Histogram, SimDuration, Summary};
 
+/// Fault-path counters, present in every report (all-zero on a
+/// fault-free run).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultCounters {
+    /// Request frames the injector discarded on the client→server leg.
+    pub wire_tx_lost: u64,
+    /// Response deliveries discarded on the server→client leg.
+    pub wire_rx_lost: u64,
+    /// Frames corrupted in flight (whether or not later caught).
+    pub corrupted: u64,
+    /// Corrupted/truncated frames the server stack rejected via
+    /// checksum or parse failure.
+    pub checksum_dropped: u64,
+    /// Client retransmissions sent.
+    pub retransmits: u64,
+    /// Requests abandoned after the retry budget ran out.
+    pub retries_exhausted: u64,
+    /// Duplicate request frames suppressed by the server dedup window.
+    pub dedup_dropped: u64,
+    /// Duplicate requests answered by replaying the cached completion.
+    pub dedup_replayed: u64,
+    /// Duplicate response frames the client ignored.
+    pub dup_responses: u64,
+    /// Requests that *executed* more than once — must stay zero while
+    /// the dedup window is on (the at-most-once proof).
+    pub dup_executions: u64,
+    /// Coherence-fabric fill faults absorbed (retried/ECC-corrected
+    /// deliveries, stale duplicate fills ignored).
+    pub fill_faults: u64,
+    /// Process crashes recovered by requeueing orphaned state.
+    pub crashes_recovered: u64,
+}
+
+impl FaultCounters {
+    /// One summary line for experiment tables; empty on a clean run.
+    pub fn row(&self) -> String {
+        if *self == FaultCounters::default() {
+            return String::new();
+        }
+        format!(
+            "lost_tx={} lost_rx={} cksum_drop={} rexmit={} exhausted={} dedup={}+{} dup_resp={} dup_exec={} fill_faults={} crashes={}",
+            self.wire_tx_lost,
+            self.wire_rx_lost,
+            self.checksum_dropped,
+            self.retransmits,
+            self.retries_exhausted,
+            self.dedup_dropped,
+            self.dedup_replayed,
+            self.dup_responses,
+            self.dup_executions,
+            self.fill_faults,
+            self.crashes_recovered,
+        )
+    }
+}
+
 /// Metrics from one simulation run.
 #[derive(Debug, Clone)]
 pub struct Report {
@@ -38,6 +94,8 @@ pub struct Report {
     /// `(request_id, response payload)` pairs, when the workload set
     /// `record_responses` (application-logic verification).
     pub recorded: Vec<(u64, Vec<u8>)>,
+    /// Fault-path counters (all zero on a fault-free run).
+    pub faults: FaultCounters,
 }
 
 impl Report {
@@ -91,6 +149,8 @@ pub struct MetricsCollector {
     pub request_digest: u64,
     /// Recorded responses (when requested by the workload).
     pub recorded: Vec<(u64, Vec<u8>)>,
+    /// Fault-path counters (all zero on a fault-free run).
+    pub faults: FaultCounters,
 }
 
 impl MetricsCollector {
@@ -121,6 +181,7 @@ impl MetricsCollector {
             fabric_messages,
             request_digest: self.request_digest,
             recorded: self.recorded,
+            faults: self.faults,
         }
     }
 }

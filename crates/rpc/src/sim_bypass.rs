@@ -195,14 +195,22 @@ impl BypassSim {
 
     fn on_frame(&mut self, raw: Vec<u8>, request_id: u64, now: SimTime) {
         self.common.note_arrival(request_id, now);
+        // The NIC validates the IPv4/UDP checksums before steering: a
+        // corrupted frame never reaches a descriptor.
+        let Ok(frame) = lauberhorn_packet::parse_udp_frame(&raw) else {
+            self.common.reject_corrupt(request_id);
+            return;
+        };
         // Steering: exact-match rule, else drop (no kernel to fall back
         // to in a pure bypass deployment).
-        let frame = lauberhorn_packet::parse_udp_frame(&raw).expect("client built a valid frame");
         let Some(queue) = self.fdir.steer(frame.udp.dst_port) else {
             self.common.drop_request(request_id);
             return;
         };
-        let service = frame.udp.dst_port - BASE_PORT;
+        if self.common.rx_gate(request_id, now) == crate::stack::RxGate::Duplicate {
+            return;
+        }
+        let service = frame.udp.dst_port.wrapping_sub(BASE_PORT);
         let payload_len = raw.len() - FRAME_OVERHEAD - RPC_HEADER_LEN;
         match self.nic.rx_packet_steered(now, &raw, queue) {
             Ok(delivery) => {

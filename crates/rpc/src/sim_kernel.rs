@@ -208,8 +208,16 @@ impl KernelSim {
 
     fn on_frame(&mut self, raw: Vec<u8>, request_id: u64, now: SimTime) {
         self.common.note_arrival(request_id, now);
-        let frame = lauberhorn_packet::parse_udp_frame(&raw).expect("client built a valid frame");
-        let service = frame.udp.dst_port - BASE_PORT;
+        // The real IPv4/UDP checksums catch in-flight corruption here,
+        // exactly where a kernel NIC driver would discard the frame.
+        let Ok(frame) = lauberhorn_packet::parse_udp_frame(&raw) else {
+            self.common.reject_corrupt(request_id);
+            return;
+        };
+        let service = frame.udp.dst_port.wrapping_sub(BASE_PORT);
+        if self.common.rx_gate(request_id, now) == crate::stack::RxGate::Duplicate {
+            return;
+        }
         let payload_len = raw.len() - FRAME_OVERHEAD - RPC_HEADER_LEN;
         match self.nic.rx_packet(now, &raw) {
             Ok(delivery) => {
@@ -311,7 +319,15 @@ impl KernelSim {
                     let (_, end) = self.charge_core(core, t, wake);
                     t = end;
                 }
-                Err(e) => unreachable!("wakeup: {e}"),
+                Err(_) => {
+                    // No thread serves this socket (the workload asked
+                    // for a service nobody registered): the kernel
+                    // discards the datagram instead of crashing.
+                    self.socket_q
+                        .get_mut(&pkt.service)
+                        .and_then(|q| q.pop_back());
+                    self.common.drop_request(pkt.request_id);
+                }
             }
             processed += 1;
         }

@@ -19,7 +19,7 @@
 //! checksummed by the NIC, transformed by the deserialization offload,
 //! and delivered as real bytes through the coherence protocol.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use lauberhorn_coherence::{CacheId, CoherentSystem, FabricModel, LineAddr, LoadResult};
 use lauberhorn_nic::demux::DemuxError;
@@ -31,7 +31,8 @@ use lauberhorn_nic::{LauberhornNic, LauberhornNicConfig, NicAction};
 use lauberhorn_os::CostModel;
 use lauberhorn_packet::frame::EndpointAddr;
 use lauberhorn_sim::energy::{CoreState, CycleAccount, EnergyMeter};
-use lauberhorn_sim::{EventQueue, SimTime, Trace};
+use lauberhorn_sim::fault::FaultDecision;
+use lauberhorn_sim::{EventQueue, SimDuration, SimTime, Trace};
 
 use crate::report::Report;
 use crate::spec::{Behavior, ServiceSpec, WorkloadSpec};
@@ -107,6 +108,8 @@ struct CoreCtx {
     tryagain_streak: u32,
     /// The line the current request was delivered on (response target).
     resp_addr: Option<LineAddr>,
+    /// The request whose handler is currently running on this core.
+    cur_req: Option<u64>,
 }
 
 #[derive(Debug)]
@@ -143,6 +146,10 @@ enum Ev {
     IssueLoad { core: usize },
     /// The NIC asked the OS to pull `core` back to the dispatch loop.
     Preempt { core: usize },
+    /// Fault injection: the process backing `service` crashes. If no
+    /// core is currently serving it, the crash re-arms a few times so
+    /// it lands mid-request under load.
+    Crash { service: u16, tries: u32 },
 }
 
 /// The composed Lauberhorn server simulation.
@@ -162,6 +169,13 @@ pub struct LauberhornSim {
     record_responses: bool,
     server_addr: EndpointAddr,
     trace: Trace,
+    /// Requests whose handler was killed by an injected crash: their
+    /// pending `HandlerDone` events must be ignored.
+    crashed: HashSet<u64>,
+    /// Set when the run injects faults: stale fill completions (from
+    /// duplicated fills or crash-retired endpoints) are then expected
+    /// and absorbed instead of flagged as protocol bugs.
+    fault_tolerant: bool,
 }
 
 impl LauberhornSim {
@@ -217,6 +231,7 @@ impl LauberhornSim {
                 user_ep: None,
                 tryagain_streak: 0,
                 resp_addr: None,
+                cur_req: None,
             })
             .collect();
         LauberhornSim {
@@ -233,6 +248,8 @@ impl LauberhornSim {
             record_responses: false,
             server_addr,
             trace: Trace::disabled(),
+            crashed: HashSet::new(),
+            fault_tolerant: false,
             cfg,
         }
     }
@@ -269,7 +286,7 @@ impl LauberhornSim {
         for a in actions {
             match a {
                 NicAction::CompleteFill { token, data, at } => {
-                    self.q.schedule(at, Ev::DoCompleteFill { token, data });
+                    self.schedule_fill(token, data, at);
                 }
                 NicAction::ArmTimeout {
                     endpoint,
@@ -296,13 +313,82 @@ impl LauberhornSim {
                 NicAction::RequestPreempt { core, at } => {
                     self.q.schedule(at, Ev::Preempt { core });
                 }
-                NicAction::Dropped { reason } => {
-                    self.common.metrics.dropped += 1;
+                NicAction::Dropped { reason, request_id } => {
                     debug_assert!(
                         !matches!(reason, DropReason::UnknownService(_)),
                         "generator targeted an unregistered service"
                     );
+                    match request_id {
+                        // Known request: release it properly (under
+                        // retransmission the client's timer takes over).
+                        Some(id) => self.common.drop_request(id),
+                        None => self.common.metrics.dropped += 1,
+                    }
                 }
+            }
+        }
+    }
+
+    /// Schedules a NIC fill response, subject to coherence-fabric fault
+    /// injection. A dropped or corrupted fill is not silently lost —
+    /// the fabric's link-level retry/ECC recovers it — so both manifest
+    /// as a delivery delayed by the recovery spike. A duplicated fill
+    /// arrives twice; the second copy hits a consumed token and is
+    /// absorbed by the protocol (counted in `fill_faults`).
+    fn schedule_fill(
+        &mut self,
+        token: lauberhorn_coherence::FillToken,
+        data: Vec<u8>,
+        at: SimTime,
+    ) {
+        let Some(inj) = self.common.fill_fault.as_mut() else {
+            self.q.schedule(at, Ev::DoCompleteFill { token, data });
+            return;
+        };
+        let spike = inj.spec().spike;
+        match inj.decide_frame(data.len(), 0) {
+            FaultDecision::Deliver => {
+                self.q.schedule(at, Ev::DoCompleteFill { token, data });
+            }
+            FaultDecision::Drop | FaultDecision::Corrupt { .. } => {
+                self.common.metrics.faults.fill_faults += 1;
+                if self.trace.is_enabled() {
+                    self.trace.emit(
+                        at,
+                        "fault.fill",
+                        format!("fill for {token:?} lost; fabric retry after {spike:?}"),
+                    );
+                }
+                self.q
+                    .schedule(at + spike, Ev::DoCompleteFill { token, data });
+            }
+            FaultDecision::Duplicate { gap } => {
+                self.common.metrics.faults.fill_faults += 1;
+                if self.trace.is_enabled() {
+                    self.trace
+                        .emit(at, "fault.fill", format!("fill for {token:?} duplicated"));
+                }
+                self.q.schedule(
+                    at,
+                    Ev::DoCompleteFill {
+                        token,
+                        data: data.clone(),
+                    },
+                );
+                self.q
+                    .schedule(at + gap, Ev::DoCompleteFill { token, data });
+            }
+            FaultDecision::Delay { extra } => {
+                self.common.metrics.faults.fill_faults += 1;
+                if self.trace.is_enabled() {
+                    self.trace.emit(
+                        at,
+                        "fault.fill",
+                        format!("fill for {token:?} delayed by {extra:?}"),
+                    );
+                }
+                self.q
+                    .schedule(at + extra, Ev::DoCompleteFill { token, data });
             }
         }
     }
@@ -524,6 +610,7 @@ impl LauberhornSim {
                 let service_time = self.spec_of(service).service_time;
                 let handler = service_time.sample(&mut self.common.rng);
                 self.cores[core].resp_addr = Some(addr);
+                self.cores[core].cur_req = Some(request_id);
                 self.q.schedule(
                     t + self.cost.cycles(handler),
                     Ev::HandlerDone { core, request_id },
@@ -533,6 +620,7 @@ impl LauberhornSim {
     }
 
     fn on_handler_done(&mut self, core: usize, request_id: u64, now: SimTime) {
+        self.cores[core].cur_req = None;
         if let Some(times) = self.common.times.get_mut(&request_id) {
             times.handler_end = now;
         }
@@ -588,13 +676,108 @@ impl LauberhornSim {
                 .recorded
                 .push((ctx.request_id, data[..resp_len].to_vec()));
         }
-        let frame = self.nic.build_response_frame(&ctx, &data[..resp_len]);
+        let frame = match self.nic.build_response_frame(&ctx, &data[..resp_len]) {
+            Ok(frame) => frame,
+            Err(_) => {
+                // Response too large for a UDP datagram: drop it; the
+                // client's retry budget (if any) decides the outcome.
+                self.common.drop_request(ctx.request_id);
+                return;
+            }
+        };
         let tx_time = now + lat;
         if let Some(times) = self.common.times.get_mut(&ctx.request_id) {
             times.response_tx = tx_time;
         }
         let arrive = tx_time + self.common.wire.deliver(frame.len());
         self.common.complete(arrive, ctx.request_id);
+    }
+
+    /// An injected process crash ([`lauberhorn_sim::fault::CrashSpec`])
+    /// hits every core currently serving `service`. The OS reaps the
+    /// process: handlers die mid-request, the NIC RETIREs the orphaned
+    /// CONTROL-line state so the cores fall back to the kernel dispatch
+    /// loop, and requests queued at the dead process's endpoints are
+    /// salvaged and re-queued on the kernel endpoints. A killed
+    /// in-flight execution is released from the dedup window: it never
+    /// answered, so a retransmit may legally run it again.
+    fn on_crash(&mut self, service: u16, tries: u32, now: SimTime) {
+        let victims: Vec<usize> = (0..self.cores.len())
+            .filter(|&c| self.cores[c].mode == LoopMode::User { service })
+            .collect();
+        if victims.is_empty() {
+            // The service is not on-core right now: re-arm (bounded)
+            // so the crash lands mid-request under load.
+            if tries < 500 {
+                self.q.schedule(
+                    now + SimDuration::from_us(10),
+                    Ev::Crash {
+                        service,
+                        tries: tries + 1,
+                    },
+                );
+            }
+            return;
+        }
+        if self.trace.is_enabled() {
+            self.trace.emit(
+                now,
+                "fault.crash",
+                format!("process for service {service} crashed on cores {victims:?}"),
+            );
+        }
+        // Tear the dead process's endpoints out of the demux table
+        // first, so no new request is routed to it while the recovery
+        // events are in flight.
+        let eps: Vec<EndpointId> = victims
+            .iter()
+            .filter_map(|&c| self.cores[c].user_ep.map(|(_, ep, _)| ep))
+            .collect();
+        for &ep in &eps {
+            self.nic.demux_mut().remove_endpoint(service, ep);
+        }
+        // Salvage queued-but-undelivered requests onto the kernel path.
+        let mut salvaged = Vec::new();
+        for &ep in &eps {
+            salvaged.extend(self.nic.drain_endpoint_queue(ep));
+        }
+        for (line, ctx) in salvaged {
+            if self.trace.is_enabled() {
+                self.trace.emit(
+                    now,
+                    "fault.crash",
+                    format!("request {} requeued to kernel endpoint", ctx.request_id),
+                );
+            }
+            let actions = self.nic.redeliver_to_kernel(now, line, ctx);
+            self.apply_actions(actions);
+        }
+        for &core in &victims {
+            if let Some(rid) = self.cores[core].cur_req.take() {
+                // Mid-handler: the execution is lost with the process.
+                self.crashed.insert(rid);
+                self.resp_payload.remove(&rid);
+                self.common.dedup_forget(rid);
+                self.common.drop_request(rid);
+                if let Some(addr) = self.cores[core].resp_addr.take() {
+                    self.coh.drop_line(CacheId(core), addr);
+                }
+                self.nic.forget_pending_response(core);
+                // The OS reaps the core synchronously: back to the
+                // kernel dispatch loop.
+                self.enter_kernel_loop(core, now, None);
+                self.cores[core].user_ep = None;
+            } else if let Some((_, ep, _)) = self.cores[core].user_ep {
+                // Parked on (or about to re-park on) the dead
+                // process's CONTROL line: the NIC retires the orphaned
+                // state, which funnels the core back to the kernel
+                // loop through the normal RETIRE path.
+                let actions = self.nic.retire_endpoint(now, ep);
+                self.apply_actions(actions);
+            }
+            self.user_eps.remove(&(service, core));
+            self.common.metrics.faults.crashes_recovered += 1;
+        }
     }
 
     /// Runs `workload` under the generic driver and reports.
@@ -633,6 +816,17 @@ impl ServerStack for LauberhornSim {
 
     fn prepare(&mut self, workload: &WorkloadSpec) {
         self.record_responses = workload.record_responses;
+        self.fault_tolerant = workload.faults.enabled();
+        self.crashed.clear();
+        if let Some(crash) = workload.faults.crash {
+            self.q.schedule(
+                SimTime::ZERO + crash.at,
+                Ev::Crash {
+                    service: crash.service,
+                    tries: 0,
+                },
+            );
+        }
         // Kernel dispatcher cores park at t=0.
         for core in 0..self.cfg.kernel_dispatchers.min(self.cfg.cores) {
             self.q.schedule(SimTime::ZERO, Ev::IssueLoad { core });
@@ -657,6 +851,23 @@ impl ServerStack for LauberhornSim {
                         format!("request {request_id} ({} B frame)", raw.len()),
                     );
                 }
+                // The NIC's line-rate parser checks the real IPv4/UDP
+                // checksums: a corrupted frame dies here, before any
+                // endpoint state is touched.
+                if lauberhorn_packet::parse_udp_frame(&raw).is_err() {
+                    if self.trace.is_enabled() {
+                        self.trace.emit(
+                            now,
+                            "fault.wire",
+                            format!("request {request_id} failed checksum at NIC"),
+                        );
+                    }
+                    self.common.reject_corrupt(request_id);
+                    return;
+                }
+                if self.common.rx_gate(request_id, now) == crate::stack::RxGate::Duplicate {
+                    return;
+                }
                 let actions = self.nic.on_request_frame(now, &raw);
                 self.apply_actions(actions);
             }
@@ -671,7 +882,13 @@ impl ServerStack for LauberhornSim {
                         },
                     );
                 }
-                Err(e) => unreachable!("fill token is fresh: {e}"),
+                Err(e) => {
+                    // Only fault injection produces stale completions
+                    // (a duplicated fill, or a fill raced by a crash
+                    // retire); the fabric protocol absorbs them.
+                    debug_assert!(self.fault_tolerant, "fill token is fresh: {e}");
+                    let _ = e;
+                }
             },
             Ev::FillAtCore { core, addr, data } => {
                 self.on_fill_at_core(core, addr, data, now);
@@ -685,6 +902,11 @@ impl ServerStack for LauberhornSim {
                 self.apply_actions(actions);
             }
             Ev::HandlerDone { core, request_id } => {
+                // A crash killed this handler mid-request: the process
+                // (and its pending response) no longer exist.
+                if self.crashed.remove(&request_id) {
+                    return;
+                }
                 self.on_handler_done(core, request_id, now);
             }
             Ev::DoCollect { line, ctx } => {
@@ -692,6 +914,9 @@ impl ServerStack for LauberhornSim {
             }
             Ev::IssueLoad { core } => {
                 self.issue_load(core, now);
+            }
+            Ev::Crash { service, tries } => {
+                self.on_crash(service, tries, now);
             }
             Ev::Preempt { core } => {
                 // Kernel + NIC cooperate (§5.1): IPI the core, then

@@ -4,8 +4,11 @@ use std::sync::Arc;
 
 use lauberhorn_os::ProcessId;
 use lauberhorn_packet::marshal::{ArgType, Signature};
+use lauberhorn_sim::fault::FaultPlan;
 use lauberhorn_sim::SimDuration;
 use lauberhorn_workload::{ArrivalProcess, DynamicMix, ServiceTime, SizeDist};
+
+use crate::wire::RetryPolicy;
 
 /// The type of an application handler body.
 pub type HandlerFn = Arc<dyn Fn(&[u8]) -> Vec<u8> + Send + Sync>;
@@ -152,6 +155,14 @@ pub struct WorkloadSpec {
     pub seed: u64,
     /// Requests to skip at the start of measurement (warmup).
     pub warmup: u64,
+    /// Deterministic fault plan. Defaults to [`FaultPlan::none`],
+    /// which is provably zero-cost: no RNG stream is created and the
+    /// event schedule is untouched.
+    pub faults: FaultPlan,
+    /// Client retransmission policy. `None` with faults enabled means
+    /// lost requests are detected (and counted dropped) but not
+    /// retried; see [`crate::wire::RetryPolicy::give_up_after`].
+    pub retry: Option<RetryPolicy>,
 }
 
 impl WorkloadSpec {
@@ -172,6 +183,8 @@ impl WorkloadSpec {
             duration: SimDuration::from_ms(duration_ms),
             seed,
             warmup: 100,
+            faults: FaultPlan::none(),
+            retry: None,
         }
     }
 
@@ -195,6 +208,32 @@ impl WorkloadSpec {
             duration: SimDuration::from_ms(duration_ms),
             seed,
             warmup: 200,
+            faults: FaultPlan::none(),
+            retry: None,
+        }
+    }
+
+    /// Enables the given fault plan on this workload.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Enables client retransmission under this policy.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = Some(retry);
+        self
+    }
+
+    /// The retransmission policy actually in force: the explicit one,
+    /// or — when faults are live without one — a single-attempt
+    /// give-up timer so lost requests terminate as counted drops
+    /// instead of hanging the run.
+    pub fn effective_retry(&self) -> Option<RetryPolicy> {
+        match (&self.retry, self.faults.enabled()) {
+            (Some(r), _) => Some(*r),
+            (None, true) => Some(RetryPolicy::give_up_after(SimDuration::from_ms(2))),
+            (None, false) => None,
         }
     }
 }

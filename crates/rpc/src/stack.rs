@@ -14,12 +14,36 @@ use std::collections::HashMap;
 use lauberhorn_os::CostModel;
 use lauberhorn_packet::frame::EndpointAddr;
 use lauberhorn_sim::energy::CycleAccount;
+use lauberhorn_sim::fault::{FaultDecision, FaultInjector};
 use lauberhorn_sim::{EventQueue, SimDuration, SimRng, SimTime};
 
 use crate::driver::ClientEv;
 use crate::report::MetricsCollector;
 use crate::spec::{ServiceSpec, WorkloadSpec};
 use crate::wire::{RequestTimes, WireModel};
+
+/// Nominal on-wire size of a replayed response frame (Eth/IPv4/UDP
+/// around a small RPC response); only used when the dedup window
+/// answers a duplicate from its cache, so it never affects clean runs.
+const REPLAY_FRAME_BYTES: usize = 110;
+
+/// Server-side dedup state for one request id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DedupEntry {
+    /// Accepted for execution; the response has not yet left.
+    InFlight,
+    /// Executed and answered; duplicates replay the cached response.
+    Done,
+}
+
+/// What the server should do with an arriving request frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RxGate {
+    /// First sighting: execute it.
+    Execute,
+    /// Duplicate (suppressed or replayed from cache): do not execute.
+    Duplicate,
+}
 
 /// Base UDP port: in the DMA stacks, service `s` listens on
 /// `BASE_PORT + s`.
@@ -129,6 +153,18 @@ pub struct StackCommon {
     /// Client-side events (generation ticks, response arrivals),
     /// interleaved with the stack's own queue by the driver.
     pub(crate) client_q: EventQueue<ClientEv>,
+    /// Whether a retransmission policy is in force. When true, stack
+    /// drops hand the request back to the client's retry timer instead
+    /// of terminating it.
+    retry_active: bool,
+    /// At-most-once dedup window, present when duplicates are possible
+    /// (faults or retry enabled). `None` on clean runs: zero cost.
+    dedup: Option<HashMap<u64, DedupEntry>>,
+    /// Server→client response fault injector (`"fault.wire.rx"`).
+    rx_fault: Option<FaultInjector>,
+    /// Coherence fill-response fault injector (`"fault.fill"`), applied
+    /// by the Lauberhorn stack to NIC→core fill deliveries.
+    pub(crate) fill_fault: Option<FaultInjector>,
 }
 
 impl StackCommon {
@@ -143,6 +179,10 @@ impl StackCommon {
             end_of_load: SimTime::ZERO,
             hard_end: SimTime::ZERO,
             client_q: EventQueue::new(),
+            retry_active: false,
+            dedup: None,
+            rx_fault: None,
+            fill_fault: None,
         }
     }
 
@@ -155,12 +195,32 @@ impl StackCommon {
         self.end_of_load = SimTime::ZERO + workload.duration;
         self.hard_end = self.end_of_load + SimDuration::from_ms(20);
         self.client_q = EventQueue::new();
+        self.retry_active = workload.effective_retry().is_some();
+        self.dedup = (self.retry_active || workload.faults.enabled()).then(HashMap::new);
+        self.rx_fault =
+            workload.faults.wire_rx.enabled().then(|| {
+                FaultInjector::new(workload.faults.wire_rx, workload.seed, "fault.wire.rx")
+            });
+        self.fill_fault = workload
+            .faults
+            .fill
+            .enabled()
+            .then(|| FaultInjector::new(workload.faults.fill, workload.seed, "fault.fill"));
     }
 
-    /// Records that `request_id`'s frame reached the server NIC.
+    /// Whether a retransmission policy is in force this run.
+    pub fn retry_active(&self) -> bool {
+        self.retry_active
+    }
+
+    /// Records that `request_id`'s frame reached the server NIC. Under
+    /// retransmission only the first arrival counts, so a duplicate
+    /// arriving mid-execution cannot corrupt the latency accounting.
     pub fn note_arrival(&mut self, request_id: u64, now: SimTime) {
         if let Some(t) = self.times.get_mut(&request_id) {
-            t.nic_arrival = now;
+            if t.nic_arrival == SimTime::ZERO {
+                t.nic_arrival = now;
+            }
         }
     }
 
@@ -169,18 +229,123 @@ impl StackCommon {
         *self.sw_cycles_by_req.entry(request_id).or_insert(0) += cycles;
     }
 
+    /// Admission check for an arriving (checksum-valid) request frame.
+    ///
+    /// Call after the stack validated the frame and before executing
+    /// it. First sighting registers the id in the dedup window;
+    /// duplicates are suppressed (in-flight original) or answered by
+    /// replaying the cached completion (already done) — either way the
+    /// caller must not execute. Without faults/retry this is one
+    /// `Option` check.
+    pub fn rx_gate(&mut self, request_id: u64, now: SimTime) -> RxGate {
+        let Some(window) = self.dedup.as_mut() else {
+            return RxGate::Execute;
+        };
+        match window.get(&request_id) {
+            None => {
+                window.insert(request_id, DedupEntry::InFlight);
+                RxGate::Execute
+            }
+            Some(DedupEntry::InFlight) => {
+                self.metrics.faults.dedup_dropped += 1;
+                RxGate::Duplicate
+            }
+            Some(DedupEntry::Done) => {
+                self.metrics.faults.dedup_replayed += 1;
+                let arrive = now + self.wire.deliver(REPLAY_FRAME_BYTES);
+                self.deliver_response(arrive, request_id);
+                RxGate::Duplicate
+            }
+        }
+    }
+
     /// The response for `request_id` reaches the client at `arrive`;
     /// the driver does the warmup/metrics/closed-loop bookkeeping.
     pub fn complete(&mut self, arrive: SimTime, request_id: u64) {
-        self.client_q
-            .schedule(arrive, ClientEv::Response { request_id });
+        if let Some(window) = self.dedup.as_mut() {
+            // `Done` → `Done` means the handler ran twice: the
+            // at-most-once guarantee was violated. The counter is the
+            // proof the FAULT experiment checks.
+            if window.insert(request_id, DedupEntry::Done) == Some(DedupEntry::Done) {
+                self.metrics.faults.dup_executions += 1;
+            }
+        }
+        self.deliver_response(arrive, request_id);
     }
 
-    /// `request_id` was dropped somewhere in the stack.
+    /// Schedules the response delivery, subject to response-leg wire
+    /// faults. A corrupted response is counted lost: the client NIC's
+    /// checksum rejects it.
+    fn deliver_response(&mut self, arrive: SimTime, request_id: u64) {
+        let Some(inj) = self.rx_fault.as_mut() else {
+            self.client_q
+                .schedule(arrive, ClientEv::Response { request_id });
+            return;
+        };
+        match inj.decide_frame(REPLAY_FRAME_BYTES, 0) {
+            FaultDecision::Deliver => {
+                self.client_q
+                    .schedule(arrive, ClientEv::Response { request_id });
+            }
+            FaultDecision::Drop => {
+                self.metrics.faults.wire_rx_lost += 1;
+            }
+            FaultDecision::Corrupt { .. } => {
+                self.metrics.faults.corrupted += 1;
+                self.metrics.faults.wire_rx_lost += 1;
+            }
+            FaultDecision::Duplicate { gap } => {
+                self.client_q
+                    .schedule(arrive, ClientEv::Response { request_id });
+                self.client_q
+                    .schedule(arrive + gap, ClientEv::Response { request_id });
+            }
+            FaultDecision::Delay { extra } => {
+                self.client_q
+                    .schedule(arrive + extra, ClientEv::Response { request_id });
+            }
+        }
+    }
+
+    /// `request_id` was dropped somewhere in the stack (no descriptor,
+    /// queue overflow, lost frame…). Without retransmission this is
+    /// terminal; with it, the request's fate belongs to the client's
+    /// retry timer, and the id is released from the dedup window so a
+    /// retransmit can execute.
     pub fn drop_request(&mut self, request_id: u64) {
+        if self.retry_active {
+            if let Some(window) = self.dedup.as_mut() {
+                if window.get(&request_id) == Some(&DedupEntry::InFlight) {
+                    window.remove(&request_id);
+                }
+            }
+            return;
+        }
+        self.abandon_request(request_id);
+    }
+
+    /// A corrupted or truncated frame failed validation at the server:
+    /// count it and (without retry) terminate the request.
+    pub fn reject_corrupt(&mut self, request_id: u64) {
+        self.metrics.faults.checksum_dropped += 1;
+        self.drop_request(request_id);
+    }
+
+    /// Terminally abandons `request_id`: counted dropped, bookkeeping
+    /// reclaimed. The driver calls this when the retry budget runs
+    /// out; stacks reach it through [`StackCommon::drop_request`].
+    pub(crate) fn abandon_request(&mut self, request_id: u64) {
         self.metrics.dropped += 1;
         self.times.remove(&request_id);
         self.sw_cycles_by_req.remove(&request_id);
+    }
+
+    /// Releases `request_id` from the dedup window (crash recovery:
+    /// the execution was lost, a retransmit must be allowed to run).
+    pub fn dedup_forget(&mut self, request_id: u64) {
+        if let Some(window) = self.dedup.as_mut() {
+            window.remove(&request_id);
+        }
     }
 }
 

@@ -35,6 +35,57 @@ impl WireModel {
     }
 }
 
+/// Client-side retransmission policy: exponential backoff with
+/// jitter, bounded attempts.
+///
+/// The retransmit timer for attempt `k` (1-based; attempt 1 is the
+/// original transmission) is `timeout * backoff^(k-1)`, jittered by
+/// up to `±jitter_frac` of itself from the driver's dedicated
+/// `"retry"` RNG stream.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RetryPolicy {
+    /// Initial retransmission timeout.
+    pub timeout: SimDuration,
+    /// Multiplier applied per retransmission.
+    pub backoff: f64,
+    /// Uniform jitter as a fraction of the current timeout.
+    pub jitter_frac: f64,
+    /// Total transmissions allowed (including the first). After the
+    /// last timer fires unanswered, the request counts as dropped.
+    pub max_attempts: u32,
+}
+
+impl RetryPolicy {
+    /// A policy sized for the simulated same-rack RTTs (tens of µs):
+    /// 200 µs initial RTO, doubling, ±10 % jitter, 4 transmissions.
+    pub fn same_rack() -> Self {
+        RetryPolicy {
+            timeout: SimDuration::from_us(200),
+            backoff: 2.0,
+            jitter_frac: 0.1,
+            max_attempts: 4,
+        }
+    }
+
+    /// A "detect only" policy: one transmission, whose timer merely
+    /// lets the driver account a lost request as dropped. Used when
+    /// faults are enabled but the workload opted out of retries.
+    pub fn give_up_after(timeout: SimDuration) -> Self {
+        RetryPolicy {
+            timeout,
+            backoff: 1.0,
+            jitter_frac: 0.0,
+            max_attempts: 1,
+        }
+    }
+
+    /// The un-jittered retransmission timeout for 1-based `attempt`.
+    pub fn rto(&self, attempt: u32) -> SimDuration {
+        let scale = self.backoff.powi(attempt.saturating_sub(1) as i32);
+        SimDuration::from_ns_f64(self.timeout.as_ns_f64() * scale)
+    }
+}
+
 /// Builds a request frame for the uniform `\[Bytes\]` benchmark signature.
 pub fn build_request(
     client: EndpointAddr,
@@ -144,6 +195,17 @@ mod tests {
         // 64 KiB at 100 Gb/s is ~5.2 µs of serialization.
         assert!(big - small > SimDuration::from_us(5));
         assert!(big - small < SimDuration::from_us(6));
+    }
+
+    #[test]
+    fn rto_backs_off_exponentially() {
+        let p = RetryPolicy::same_rack();
+        assert_eq!(p.rto(1), p.timeout);
+        assert_eq!(p.rto(2).as_ns_f64(), p.timeout.as_ns_f64() * 2.0);
+        assert_eq!(p.rto(3).as_ns_f64(), p.timeout.as_ns_f64() * 4.0);
+        let flat = RetryPolicy::give_up_after(SimDuration::from_ms(1));
+        assert_eq!(flat.rto(5), SimDuration::from_ms(1));
+        assert_eq!(flat.max_attempts, 1);
     }
 
     #[test]

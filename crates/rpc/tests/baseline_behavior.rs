@@ -21,6 +21,8 @@ fn open_wl(rate: f64, services: usize, ms: u64, seed: u64) -> WorkloadSpec {
         duration: SimDuration::from_ms(ms),
         seed,
         warmup: 50,
+        faults: Default::default(),
+        retry: None,
     }
 }
 
@@ -40,6 +42,8 @@ fn napi_masks_interrupts_under_bursts() {
         duration: SimDuration::from_ms(10),
         seed: 3,
         warmup: 50,
+        faults: Default::default(),
+        retry: None,
     };
     let r = sim.run(&wl);
     let stats = sim.nic().stats();
@@ -92,6 +96,8 @@ fn bypass_rebinding_actually_rebinds() {
         duration: SimDuration::from_ms(10),
         seed: 5,
         warmup: 50,
+        faults: Default::default(),
+        retry: None,
     };
     let mut cfg = BypassSimConfig::modern(2);
     cfg.rebind_on_epoch = true;

@@ -142,6 +142,8 @@ fn trace_records_the_interesting_events() {
         duration: SimDuration::from_ms(200),
         seed: 5,
         warmup: 0,
+        faults: Default::default(),
+        retry: None,
     };
     sim.run(&wl);
     let trace = sim.trace();
@@ -183,6 +185,8 @@ fn cold_service_requests_trigger_preemption_not_the_full_window() {
         duration: SimDuration::from_ms(20),
         seed: 13,
         warmup: 100,
+        faults: Default::default(),
+        retry: None,
     };
     let mut sim = LauberhornSim::new(LauberhornSimConfig::enzian(2), services);
     let r = sim.run(&wl);

@@ -1,0 +1,337 @@
+//! Deterministic fault injection.
+//!
+//! Real deployments lose frames, flip bits, duplicate packets and
+//! stall coherence fills; a simulator that never does is only testing
+//! the happy path. This module provides a *seeded, deterministic*
+//! fault plan: every injector draws from its own named RNG stream
+//! (see [`crate::rng::SimRng::stream`]), so a faulty run is exactly
+//! reproducible from `(seed, plan)` and — crucially — serial and
+//! parallel sweep executions stay bit-identical.
+//!
+//! Zero-cost when disabled: an all-zero [`FaultSpec`] never draws a
+//! random value, so enabling the plumbing without enabling faults
+//! leaves every downstream RNG stream, event schedule and report
+//! byte-identical to a build without it.
+
+use crate::rng::SimRng;
+use crate::time::SimDuration;
+
+/// Fault probabilities and magnitudes for one injection point.
+///
+/// Probabilities are evaluated against a single uniform draw per
+/// frame, in field order (`drop`, then `corrupt`, …), so they should
+/// sum to at most 1.0.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultSpec {
+    /// Probability the frame vanishes.
+    pub drop: f64,
+    /// Probability a single bit is flipped in flight.
+    pub corrupt: f64,
+    /// Probability the frame is delivered twice.
+    pub duplicate: f64,
+    /// Probability the frame is held back past its successors
+    /// (delivered `reorder_window` late).
+    pub reorder: f64,
+    /// Probability of a latency spike of `spike`.
+    pub delay_spike: f64,
+    /// Magnitude of a delay spike.
+    pub spike: SimDuration,
+    /// How far a reordered frame is held back.
+    pub reorder_window: SimDuration,
+}
+
+impl Default for FaultSpec {
+    fn default() -> Self {
+        FaultSpec {
+            drop: 0.0,
+            corrupt: 0.0,
+            duplicate: 0.0,
+            reorder: 0.0,
+            delay_spike: 0.0,
+            spike: SimDuration::from_us(50),
+            reorder_window: SimDuration::from_us(5),
+        }
+    }
+}
+
+impl FaultSpec {
+    /// A spec that only drops, with probability `p`.
+    pub fn loss(p: f64) -> Self {
+        FaultSpec {
+            drop: p,
+            ..Default::default()
+        }
+    }
+
+    /// Whether any fault can ever fire. Disabled specs are free: no
+    /// RNG draw, no decision, no schedule perturbation.
+    pub fn enabled(&self) -> bool {
+        self.drop > 0.0
+            || self.corrupt > 0.0
+            || self.duplicate > 0.0
+            || self.reorder > 0.0
+            || self.delay_spike > 0.0
+    }
+}
+
+/// A deterministic process crash: at `at` into the run, the process
+/// hosting `service` dies mid-request and must be recovered.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CrashSpec {
+    /// When the process dies (simulated time from run start).
+    pub at: SimDuration,
+    /// Which service's process dies.
+    pub service: u16,
+}
+
+/// The full fault plan a workload carries: independent injection
+/// points for each direction of the wire and for the coherence
+/// fabric, plus an optional process crash.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct FaultPlan {
+    /// Client → server request frames.
+    pub wire_tx: FaultSpec,
+    /// Server → client response frames.
+    pub wire_rx: FaultSpec,
+    /// Coherence fill responses / NIC events (Lauberhorn stacks).
+    pub fill: FaultSpec,
+    /// Deterministic process crash, if any.
+    pub crash: Option<CrashSpec>,
+}
+
+impl FaultPlan {
+    /// The empty plan: nothing ever goes wrong.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Symmetric wire loss at probability `p` in both directions.
+    pub fn wire_loss(p: f64) -> Self {
+        FaultPlan {
+            wire_tx: FaultSpec::loss(p),
+            wire_rx: FaultSpec::loss(p),
+            ..Default::default()
+        }
+    }
+
+    /// Whether any injection point (or the crash) is live.
+    pub fn enabled(&self) -> bool {
+        self.wire_tx.enabled()
+            || self.wire_rx.enabled()
+            || self.fill.enabled()
+            || self.crash.is_some()
+    }
+}
+
+/// What the injector decided to do with one frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultDecision {
+    /// Deliver untouched.
+    Deliver,
+    /// Silently discard.
+    Drop,
+    /// Flip bit `bit` of byte `offset`, then deliver.
+    Corrupt { offset: usize, bit: u8 },
+    /// Deliver now and again `gap` later.
+    Duplicate { gap: SimDuration },
+    /// Deliver `extra` late.
+    Delay { extra: SimDuration },
+}
+
+/// Counts of decisions an injector has made.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InjectorStats {
+    /// Frames dropped.
+    pub dropped: u64,
+    /// Frames bit-flipped.
+    pub corrupted: u64,
+    /// Frames duplicated.
+    pub duplicated: u64,
+    /// Frames reordered (held back).
+    pub reordered: u64,
+    /// Frames delay-spiked.
+    pub delayed: u64,
+}
+
+/// A seeded injector for one injection point.
+///
+/// Construct one per (run, injection point) with a distinct stream
+/// label — e.g. `"fault.wire.tx"` — so decisions are independent of
+/// every other consumer of the workload seed.
+#[derive(Debug)]
+pub struct FaultInjector {
+    spec: FaultSpec,
+    rng: SimRng,
+    /// What this injector has done so far.
+    pub stats: InjectorStats,
+}
+
+impl FaultInjector {
+    /// An injector for `spec`, drawing from stream `(seed, label)`.
+    pub fn new(spec: FaultSpec, seed: u64, label: &str) -> Self {
+        FaultInjector {
+            spec,
+            rng: SimRng::stream(seed, label),
+            stats: InjectorStats::default(),
+        }
+    }
+
+    /// The spec this injector was built with.
+    pub fn spec(&self) -> &FaultSpec {
+        &self.spec
+    }
+
+    /// Decides the fate of one `len`-byte frame whose first
+    /// `skip_prefix` bytes are off-limits to corruption (e.g. the
+    /// Ethernet header, which carries no checksum of its own).
+    ///
+    /// Exactly one uniform draw when enabled; zero when disabled.
+    pub fn decide_frame(&mut self, len: usize, skip_prefix: usize) -> FaultDecision {
+        if !self.spec.enabled() {
+            return FaultDecision::Deliver;
+        }
+        let u = self.rng.gen_f64();
+        let mut edge = self.spec.drop;
+        if u < edge {
+            self.stats.dropped += 1;
+            return FaultDecision::Drop;
+        }
+        edge += self.spec.corrupt;
+        if u < edge {
+            self.stats.corrupted += 1;
+            let lo = skip_prefix.min(len.saturating_sub(1));
+            let offset = self.rng.gen_range(lo..len.max(lo + 1));
+            let bit = self.rng.gen_range(0..8) as u8;
+            return FaultDecision::Corrupt { offset, bit };
+        }
+        edge += self.spec.duplicate;
+        if u < edge {
+            self.stats.duplicated += 1;
+            return FaultDecision::Duplicate {
+                gap: self.spec.reorder_window,
+            };
+        }
+        edge += self.spec.reorder;
+        if u < edge {
+            self.stats.reordered += 1;
+            return FaultDecision::Delay {
+                extra: self.spec.reorder_window,
+            };
+        }
+        edge += self.spec.delay_spike;
+        if u < edge {
+            self.stats.delayed += 1;
+            return FaultDecision::Delay {
+                extra: self.spec.spike,
+            };
+        }
+        FaultDecision::Deliver
+    }
+
+    /// Applies a [`FaultDecision::Corrupt`] to a frame in place.
+    pub fn apply_corruption(raw: &mut [u8], offset: usize, bit: u8) {
+        if let Some(b) = raw.get_mut(offset) {
+            *b ^= 1 << (bit & 7);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_spec_never_draws() {
+        let mut inj = FaultInjector::new(FaultSpec::default(), 42, "fault.test");
+        for _ in 0..1000 {
+            assert_eq!(inj.decide_frame(128, 14), FaultDecision::Deliver);
+        }
+        // The stream must be untouched: a fresh stream yields the
+        // same first value.
+        let mut a = SimRng::stream(42, "fault.test");
+        let mut b = SimRng::stream(42, "fault.test");
+        assert_eq!(a.gen_u64(), b.gen_u64());
+        assert_eq!(inj.stats, InjectorStats::default());
+    }
+
+    #[test]
+    fn decisions_are_reproducible() {
+        let spec = FaultSpec {
+            drop: 0.05,
+            corrupt: 0.05,
+            duplicate: 0.05,
+            reorder: 0.05,
+            delay_spike: 0.05,
+            ..Default::default()
+        };
+        let mut a = FaultInjector::new(spec, 7, "fault.wire.tx");
+        let mut b = FaultInjector::new(spec, 7, "fault.wire.tx");
+        for _ in 0..5000 {
+            assert_eq!(a.decide_frame(200, 14), b.decide_frame(200, 14));
+        }
+        assert_eq!(a.stats, b.stats);
+    }
+
+    #[test]
+    fn loss_rate_is_approximately_honoured() {
+        let mut inj = FaultInjector::new(FaultSpec::loss(0.1), 11, "fault.wire.tx");
+        let n = 20_000;
+        let dropped = (0..n)
+            .filter(|_| inj.decide_frame(100, 14) == FaultDecision::Drop)
+            .count();
+        let rate = dropped as f64 / n as f64;
+        assert!((rate - 0.1).abs() < 0.01, "observed loss {rate}");
+    }
+
+    #[test]
+    fn corruption_respects_skip_prefix() {
+        let spec = FaultSpec {
+            corrupt: 1.0,
+            ..Default::default()
+        };
+        let mut inj = FaultInjector::new(spec, 3, "fault.wire.tx");
+        for _ in 0..2000 {
+            match inj.decide_frame(64, 14) {
+                FaultDecision::Corrupt { offset, bit } => {
+                    assert!((14..64).contains(&offset));
+                    assert!(bit < 8);
+                }
+                other => panic!("expected corruption, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn corruption_flips_exactly_one_bit() {
+        let mut raw = vec![0u8; 64];
+        FaultInjector::apply_corruption(&mut raw, 20, 3);
+        assert_eq!(raw[20], 1 << 3);
+        FaultInjector::apply_corruption(&mut raw, 20, 3);
+        assert!(raw.iter().all(|&b| b == 0));
+    }
+
+    #[test]
+    fn distinct_labels_are_independent() {
+        let spec = FaultSpec::loss(0.5);
+        let mut a = FaultInjector::new(spec, 9, "fault.wire.tx");
+        let mut b = FaultInjector::new(spec, 9, "fault.fill");
+        let da: Vec<_> = (0..64).map(|_| a.decide_frame(100, 0)).collect();
+        let db: Vec<_> = (0..64).map(|_| b.decide_frame(100, 0)).collect();
+        assert_ne!(da, db);
+    }
+
+    #[test]
+    fn plan_enabled_logic() {
+        assert!(!FaultPlan::none().enabled());
+        assert!(FaultPlan::wire_loss(0.001).enabled());
+        let crash_only = FaultPlan {
+            crash: Some(CrashSpec {
+                at: SimDuration::from_ms(1),
+                service: 0,
+            }),
+            ..Default::default()
+        };
+        assert!(crash_only.enabled());
+        assert!(!crash_only.wire_tx.enabled());
+    }
+}

@@ -16,6 +16,7 @@
 //! whole-machine simulations.
 
 pub mod energy;
+pub mod fault;
 pub mod queue;
 pub mod rng;
 pub mod stats;
@@ -23,6 +24,7 @@ pub mod time;
 pub mod trace;
 
 pub use energy::{CoreState, CycleAccount, EnergyMeter};
+pub use fault::{CrashSpec, FaultDecision, FaultInjector, FaultPlan, FaultSpec};
 pub use queue::EventQueue;
 pub use rng::SimRng;
 pub use stats::{Histogram, Summary};

@@ -79,6 +79,8 @@ fn main() {
         duration: SimDuration::from_ms(5),
         seed: 42,
         warmup: 0,
+        faults: Default::default(),
+        retry: None,
     };
     let mut sim = lauberhorn::rpc::LauberhornSim::new(
         lauberhorn::rpc::sim_lauberhorn::LauberhornSimConfig::enzian(1),

@@ -47,6 +47,8 @@ fn main() {
         duration: SimDuration::from_ms(20),
         seed: 7,
         warmup: 500,
+        faults: Default::default(),
+        retry: None,
     };
 
     println!("microservice fan-out: 8 backends, cloud RPC sizes, 150k rps\n");

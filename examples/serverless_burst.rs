@@ -30,6 +30,8 @@ fn main() {
         duration: SimDuration::from_ms(30),
         seed: 99,
         warmup: 300,
+        faults: Default::default(),
+        retry: None,
     };
 
     println!("serverless burst: 32 functions, 4 cores, bursty + rotating hot set\n");

@@ -144,6 +144,8 @@ fn application_bytes_survive_the_whole_stack() {
         duration: SimDuration::from_ms(3),
         seed: 17,
         warmup: 0,
+        faults: Default::default(),
+        retry: None,
     };
     let mut sim = LauberhornSim::new(LauberhornSimConfig::enzian(1), vec![service]);
     let report = sim.run(&wl);

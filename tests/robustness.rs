@@ -112,14 +112,16 @@ fn unknown_service_and_method_drop_cleanly() {
     assert_eq!(
         acts,
         vec![NicAction::Dropped {
-            reason: DropReason::UnknownService(99)
+            reason: DropReason::UnknownService(99),
+            request_id: Some(1),
         }]
     );
     let acts = nic.on_request_frame(SimTime::ZERO, &mk(1, 42));
     assert_eq!(
         acts,
         vec![NicAction::Dropped {
-            reason: DropReason::UnknownMethod(1, 42)
+            reason: DropReason::UnknownMethod(1, 42),
+            request_id: Some(1),
         }]
     );
 }
@@ -237,4 +239,134 @@ fn overloaded_open_loop_drops_rather_than_wedges() {
     // hang (reaching here is the assertion) and throughput should be
     // near the service capacity (~100k rps at 20k cycles/2GHz).
     assert!(r.throughput_rps() < 150_000.0);
+}
+
+#[test]
+fn corrupted_wire_frames_are_rejected_and_counted() {
+    use lauberhorn::prelude::*;
+    use lauberhorn::rpc::RetryPolicy;
+    use lauberhorn::sim::fault::{FaultPlan, FaultSpec};
+    // Corruption-only fault plan: the injector flips one bit per
+    // selected frame. Every stack must catch the damage via the real
+    // IPv4/UDP checksums (or parse failure), count it, and recover the
+    // request through retransmission — never execute a mangled frame.
+    let mut spec = FaultSpec::loss(0.0);
+    spec.corrupt = 0.02;
+    let plan = FaultPlan {
+        wire_tx: spec,
+        wire_rx: FaultSpec::loss(0.0),
+        fill: FaultSpec::loss(0.0),
+        crash: None,
+    };
+    for stack in [
+        StackKind::LauberhornEnzian,
+        StackKind::BypassModern,
+        StackKind::KernelModern,
+    ] {
+        let mut wl =
+            WorkloadSpec::open_poisson(60_000.0, 1, 0.0, SizeDist::Fixed { bytes: 64 }, 30, 9);
+        wl.warmup = 100;
+        let wl = wl.with_faults(plan).with_retry(RetryPolicy::same_rack());
+        let r = Experiment::new(stack)
+            .cores(2)
+            .services(ServiceSpec::uniform(1, 1000, 32))
+            .run(&wl);
+        let f = &r.faults;
+        assert!(f.corrupted > 0, "{stack:?}: injector never corrupted");
+        assert!(
+            f.checksum_dropped > 0,
+            "{stack:?}: corrupt frames never rejected ({f:?})"
+        );
+        assert_eq!(f.dup_executions, 0, "{stack:?}: corrupt frame executed");
+        let frac = r.completed as f64 / r.offered.max(1) as f64;
+        assert!(
+            frac >= 0.95,
+            "{stack:?}: retransmission failed to recover corrupt drops ({frac:.2})"
+        );
+    }
+}
+
+#[test]
+fn tryagain_window_boundary_is_exactly_15ms() {
+    use lauberhorn::coherence::FillToken;
+    use lauberhorn::nic::dispatch::{DispatchKind, DispatchLine};
+    use lauberhorn::nic::endpoint::TRYAGAIN_TIMEOUT;
+    use lauberhorn::packet::marshal::{Codec, Value, VarintCodec};
+    use lauberhorn::packet::{build_udp_frame, RpcHeader, RpcKind};
+    use lauberhorn::sim::SimDuration;
+
+    assert_eq!(TRYAGAIN_TIMEOUT, SimDuration::from_ms(15), "paper's window");
+
+    let request = |request_id: u64| {
+        let sig = Signature::of(&[ArgType::Bytes]);
+        let payload = VarintCodec
+            .encode(&sig, &[Value::Bytes(vec![7; 4])])
+            .expect("encodes");
+        let h = RpcHeader {
+            kind: RpcKind::Request,
+            service_id: 1,
+            method_id: 0,
+            request_id,
+            payload_len: payload.len() as u32,
+            cont_hint: 0,
+        };
+        build_udp_frame(
+            EndpointAddr::host(2, 700),
+            EndpointAddr::host(1, 9000),
+            &h.encode_message(&payload).expect("sized"),
+            0,
+        )
+        .expect("builds")
+    };
+    let fill_kind = |actions: &[NicAction]| {
+        actions.iter().find_map(|a| match a {
+            NicAction::CompleteFill { data, .. } => {
+                Some(DispatchLine::decode(data, &[]).expect("decodes").kind)
+            }
+            _ => None,
+        })
+    };
+
+    // --- One tick inside the window: the request wins, data arrives.
+    let mut nic = lb_nic();
+    let (ep, layout) = nic.create_endpoint(ProcessId(1));
+    nic.demux_mut().add_endpoint(1, ep).expect("registered");
+    let t0 = SimTime::from_us(1);
+    let acts = nic.on_core_load(t0, 0, FillToken(1), layout.ctrl(0));
+    let NicAction::ArmTimeout { generation, at, .. } = acts[0] else {
+        panic!("park should arm the TRYAGAIN timer, got {acts:?}");
+    };
+    assert_eq!(at, t0 + TRYAGAIN_TIMEOUT, "deadline drifts off 15 ms");
+    let just_inside = SimTime::from_ps(at.as_ps() - 1);
+    let acts = nic.on_request_frame(just_inside, &request(1));
+    assert_eq!(fill_kind(&acts), Some(DispatchKind::Rpc));
+    // The timer still fires at 15 ms but is now stale: no TRYAGAIN.
+    let acts = nic.on_timeout(at, ep, generation);
+    assert!(acts.is_empty(), "stale timer produced {acts:?}");
+
+    // --- Nothing arrives: at exactly 15 ms the core gets TRYAGAIN,
+    // drops the line, re-issues the load, and the next request lands
+    // in the re-armed window.
+    let mut nic = lb_nic();
+    let (ep, layout) = nic.create_endpoint(ProcessId(1));
+    nic.demux_mut().add_endpoint(1, ep).expect("registered");
+    let acts = nic.on_core_load(t0, 0, FillToken(2), layout.ctrl(0));
+    let NicAction::ArmTimeout { generation, at, .. } = acts[0] else {
+        panic!("park should arm the TRYAGAIN timer, got {acts:?}");
+    };
+    let acts = nic.on_timeout(at, ep, generation);
+    assert_eq!(fill_kind(&acts), Some(DispatchKind::TryAgain));
+    // After TRYAGAIN the core re-issues on the same parity.
+    let reissue = at + SimDuration::from_us(1);
+    let acts = nic.on_core_load(reissue, 0, FillToken(3), layout.ctrl(0));
+    assert!(
+        matches!(acts[0], NicAction::ArmTimeout { .. }),
+        "re-issued load must park again, got {acts:?}"
+    );
+    let acts = nic.on_request_frame(reissue + SimDuration::from_us(5), &request(2));
+    assert_eq!(
+        fill_kind(&acts),
+        Some(DispatchKind::Rpc),
+        "request after re-park must be delivered"
+    );
 }
