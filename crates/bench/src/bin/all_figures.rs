@@ -44,7 +44,17 @@ fn main() {
             "large-message crossover",
             Box::new(|| c1::render(&c1::run())),
         ),
-        ("C2", "model checking", Box::new(|| c2::render(&c2::run()))),
+        (
+            "C2",
+            "model checking",
+            Box::new(|| {
+                format!(
+                    "{}{}",
+                    c2::render(&c2::run()),
+                    c2::render_races(&c2::race_census())
+                )
+            }),
+        ),
         (
             "C3",
             "cycles and energy",

@@ -4,7 +4,11 @@ use lauberhorn::experiments::c2;
 
 fn main() {
     let out = lauberhorn_bench::experiment("C2", "model checking the Figure 4 protocol", || {
-        c2::render(&c2::run())
+        format!(
+            "{}{}",
+            c2::render(&c2::run()),
+            c2::render_races(&c2::race_census())
+        )
     });
     println!("{out}");
 }

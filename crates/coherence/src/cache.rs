@@ -42,10 +42,13 @@ impl SetAssocCache {
     /// Panics if the geometry is degenerate (zero ways, capacity not a
     /// multiple of `ways * line_size`).
     pub fn new(capacity_bytes: usize, ways: usize, line_size: usize) -> Self {
+        // lint:allow(panic-path): construction-time geometry validation, documented above
         assert!(ways > 0 && line_size > 0);
         let lines = capacity_bytes / line_size;
+        // lint:allow(panic-path): construction-time geometry validation, documented above
         assert!(lines >= ways, "capacity smaller than one set");
         let num_sets = lines / ways;
+        // lint:allow(panic-path): construction-time geometry validation, documented above
         assert!(num_sets > 0);
         SetAssocCache {
             sets: vec![Vec::with_capacity(ways); num_sets],
@@ -67,6 +70,7 @@ impl SetAssocCache {
         let clock = self.clock;
         let ways = self.ways;
         let idx = self.set_index(line);
+        // lint:allow(unchecked-index): set_index is modulo sets.len(), always in bounds
         let set = &mut self.sets[idx];
         if let Some(entry) = set.iter_mut().find(|(l, _)| *l == line) {
             entry.1 = clock;
@@ -75,12 +79,11 @@ impl SetAssocCache {
         }
         self.misses += 1;
         let evicted = if set.len() == ways {
-            let (lru_pos, _) = set
-                .iter()
+            set.iter()
                 .enumerate()
                 .min_by_key(|(_, (_, stamp))| *stamp)
-                .expect("set is full, so non-empty");
-            Some(set.swap_remove(lru_pos).0)
+                .map(|(lru_pos, _)| lru_pos)
+                .map(|lru_pos| set.swap_remove(lru_pos).0)
         } else {
             None
         };
@@ -107,6 +110,7 @@ impl SetAssocCache {
     /// Removes `line` if present (e.g. coherence invalidation).
     pub fn invalidate(&mut self, line: LineAddr) -> bool {
         let idx = self.set_index(line);
+        // lint:allow(unchecked-index): set_index is modulo sets.len(), always in bounds
         let set = &mut self.sets[idx];
         if let Some(pos) = set.iter().position(|(l, _)| *l == line) {
             set.swap_remove(pos);
@@ -118,9 +122,9 @@ impl SetAssocCache {
 
     /// Whether `line` is currently present.
     pub fn contains(&self, line: LineAddr) -> bool {
-        self.sets[self.set_index(line)]
-            .iter()
-            .any(|(l, _)| *l == line)
+        self.sets
+            .get(self.set_index(line))
+            .is_some_and(|set| set.iter().any(|(l, _)| *l == line))
     }
 
     /// `(hits, misses)` counted so far.

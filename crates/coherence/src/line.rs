@@ -19,6 +19,7 @@ impl LineAddr {
     /// Panics if `addr` is not `line_size`-aligned (a construction bug
     /// in the caller, never data-dependent).
     pub fn new(addr: u64, line_size: usize) -> Self {
+        // lint:allow(panic-path): construction bug in the caller, documented above
         assert!(
             addr.is_multiple_of(line_size as u64),
             "address {addr:#x} not aligned to {line_size}"

@@ -98,6 +98,13 @@ pub enum CoherenceError {
     BadToken(FillToken),
     /// A cache id outside the configured range was used.
     BadCache(CacheId),
+    /// A store or fill carried more bytes than fit in one line.
+    OversizeWrite {
+        /// Bytes supplied.
+        len: usize,
+        /// Line size of the domain.
+        line_size: usize,
+    },
 }
 
 impl std::fmt::Display for CoherenceError {
@@ -109,6 +116,9 @@ impl std::fmt::Display for CoherenceError {
             ),
             CoherenceError::BadToken(t) => write!(f, "unknown fill token {t:?}"),
             CoherenceError::BadCache(c) => write!(f, "cache id {c:?} out of range"),
+            CoherenceError::OversizeWrite { len, line_size } => {
+                write!(f, "{len}-byte write exceeds the {line_size}-byte line")
+            }
         }
     }
 }
@@ -187,6 +197,7 @@ impl CoherentSystem {
         device_base: u64,
         device_limit: u64,
     ) -> Self {
+        // lint:allow(panic-path): construction-time address-map validation
         assert!(device_base < device_limit);
         CoherentSystem {
             line_size: device_fabric.line_size,
@@ -334,7 +345,12 @@ impl CoherentSystem {
         bytes: &[u8],
     ) -> Result<StoreResult, CoherenceError> {
         self.check_cache(cache)?;
-        assert!(bytes.len() <= self.line_size, "store larger than a line");
+        if bytes.len() > self.line_size {
+            return Err(CoherenceError::OversizeWrite {
+                len: bytes.len(),
+                line_size: self.line_size,
+            });
+        }
         let state = self.state_of(cache, addr);
         let is_device = self.is_device_line(addr);
         let host_fabric = self.host_fabric;
@@ -346,6 +362,7 @@ impl CoherentSystem {
                 self.stats.store_hits += 1;
                 let e = self.entry(addr);
                 e.dirty = true;
+                // lint:allow(unchecked-index): len <= line_size checked at entry
                 e.data[..bytes.len()].copy_from_slice(bytes);
                 Ok(StoreResult::Hit { latency: l1 })
             }
@@ -363,6 +380,7 @@ impl CoherentSystem {
                     e.sharers.clear();
                     e.owner = Some(cache);
                     e.dirty = true;
+                    // lint:allow(unchecked-index): len <= line_size checked at entry
                     e.data[..bytes.len()].copy_from_slice(bytes);
                 }
                 self.stats.upgrades += 1;
@@ -394,6 +412,7 @@ impl CoherentSystem {
                     e.sharers.clear();
                     e.owner = Some(cache);
                     e.dirty = true;
+                    // lint:allow(unchecked-index): len <= line_size checked at entry
                     e.data[..bytes.len()].copy_from_slice(bytes);
                 }
                 if recalled {
@@ -421,7 +440,12 @@ impl CoherentSystem {
             .pending
             .remove(&token)
             .ok_or(CoherenceError::BadToken(token))?;
-        assert!(data.len() <= self.line_size, "fill larger than a line");
+        if data.len() > self.line_size {
+            return Err(CoherenceError::OversizeWrite {
+                len: data.len(),
+                line_size: self.line_size,
+            });
+        }
         let device_fabric = self.device_fabric;
         let line_size = self.line_size;
         let mut latency = device_fabric.data_lat;
@@ -440,9 +464,11 @@ impl CoherentSystem {
             e.sharers.clear();
             e.owner = Some(cache);
             e.dirty = false;
+            // lint:allow(unchecked-index): len <= line_size checked at entry
             e.data[..data.len()].copy_from_slice(data);
             if data.len() < line_size {
                 let len = data.len();
+                // lint:allow(unchecked-index): len < line_size inside this branch
                 e.data[len..].fill(0);
             }
         }
@@ -494,9 +520,8 @@ impl CoherentSystem {
         let data = self
             .dirs
             .get(&addr)
-            .expect("entry created above")
-            .data
-            .clone();
+            .map(|e| e.data.clone())
+            .unwrap_or_default();
         (data, latency)
     }
 
@@ -521,7 +546,10 @@ impl CoherentSystem {
     ///
     /// Returns the number of invalidation messages this generated.
     pub fn dma_write(&mut self, addr: LineAddr, bytes: &[u8]) -> u64 {
-        assert!(bytes.len() <= self.line_size);
+        // Oversized DMA writes are clamped to one line; debug builds flag
+        // the caller bug loudly.
+        debug_assert!(bytes.len() <= self.line_size);
+        let bytes = &bytes[..bytes.len().min(self.line_size)]; // lint:allow(unchecked-index): end clamped to len
         let e = self.entry(addr);
         let mut invals = e.sharers.len() as u64;
         if e.owner.is_some() {
@@ -530,6 +558,7 @@ impl CoherentSystem {
         e.owner = None;
         e.dirty = false;
         e.sharers.clear();
+        // lint:allow(unchecked-index): bytes clamped to line_size above
         e.data[..bytes.len()].copy_from_slice(bytes);
         self.stats.invalidations += invals;
         invals

@@ -1,0 +1,10 @@
+// Fixture: malformed pragmas are themselves violations and suppress
+// nothing.
+fn f(x: Option<u32>) -> u32 {
+    // lint:allow(panic-path)
+    x.unwrap()
+}
+
+fn g() {
+    // lint:allow(made-up-rule): not a rule
+}

@@ -1,0 +1,16 @@
+// Fixture: direct indexing trips `unchecked-index`; array literals,
+// attributes, and macro brackets do not.
+#[derive(Clone)]
+struct S {
+    v: Vec<u32>,
+}
+
+fn f(s: &S, i: usize) -> u32 {
+    let table = [1u32, 2, 3];
+    for x in [0usize, 1] {
+        let _ = x;
+    }
+    let head = s.v[0];
+    let picked = table[i];
+    head + picked
+}

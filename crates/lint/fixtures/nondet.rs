@@ -1,0 +1,11 @@
+// Fixture: wall-clock sources and unordered collections.
+use std::collections::{HashMap, HashSet};
+use std::time::Instant;
+
+fn f() -> u128 {
+    let t = Instant::now();
+    let mut m: HashMap<u32, u32> = HashMap::new();
+    m.insert(1, 2);
+    let s: HashSet<u32> = HashSet::new();
+    t.elapsed().as_nanos() + m.len() as u128 + s.len() as u128
+}

@@ -1,0 +1,20 @@
+// Fixture: every construct here must trip `panic-path` (in a hot-path
+// crate) except the debug_assert and the unwrap_or family.
+fn takes(x: Option<u32>, r: Result<u32, ()>) -> u32 {
+    let a = x.unwrap();
+    let b = r.expect("boom");
+    debug_assert!(a > 0);
+    let c = x.unwrap_or(0) + x.unwrap_or_default();
+    a + b + c
+}
+
+fn macros(n: u32) -> u32 {
+    if n == 0 {
+        panic!("zero");
+    }
+    if n == 1 {
+        unreachable!();
+    }
+    assert!(n < 10);
+    n
+}

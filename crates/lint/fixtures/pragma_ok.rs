@@ -1,0 +1,13 @@
+// Fixture: every violation here carries a justified pragma, so the
+// file must lint clean in any crate.
+fn f(v: &[u32]) -> u32 {
+    // lint:allow(unchecked-index): fixture guarantees at least one element
+    let head = v[0];
+    let tail = v[v.len() - 1]; // lint:allow(unchecked-index): len>=1 per above
+    head + tail
+}
+
+fn g(x: Option<u32>) -> u32 {
+    // lint:allow(panic-path): fixture value constructed as Some two lines up
+    x.unwrap()
+}

@@ -1,0 +1,17 @@
+// Fixture: panic sites inside test-gated code are exempt.
+fn hot(x: u32) -> u32 {
+    x + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn t() {
+        let v: Vec<u32> = vec![1];
+        assert_eq!(hot(v[0]), 2);
+        let _ = Some(1u32).unwrap();
+        panic!("fine in tests");
+    }
+}

@@ -1,0 +1,29 @@
+//! `cargo run -p lint` — lint the whole workspace; nonzero exit on any
+//! unsuppressed violation. Run from anywhere inside the repo; the
+//! workspace root is derived from the crate's own manifest path.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let root = lint::workspace_root();
+    match lint::lint_workspace(&root) {
+        Ok(violations) if violations.is_empty() => {
+            println!("lint: workspace clean");
+            ExitCode::SUCCESS
+        }
+        Ok(violations) => {
+            for v in &violations {
+                eprintln!("{v}");
+            }
+            eprintln!(
+                "lint: {} violation(s); suppress with `// lint:allow(<rule>): <reason>`",
+                violations.len()
+            );
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("lint: io error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,447 @@
+//! Lint rules and the suppression-pragma mechanism.
+//!
+//! Every rule is scoped to a set of crates (see [`scopes`]). A finding
+//! can only be silenced in-tree with an inline pragma carrying a
+//! justification:
+//!
+//! ```text
+//! // lint:allow(panic-path): queue capacity checked two lines above
+//! ```
+//!
+//! The pragma suppresses matching findings on its own line and on the
+//! line immediately below, so it works both as a trailing comment and
+//! as a standalone line above the site. A pragma without a reason (or
+//! naming an unknown rule) is itself a violation — and is not
+//! suppressible.
+
+use std::collections::BTreeMap;
+
+use crate::scan::{scan, Comment, Token};
+
+/// The rules the linter enforces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    /// `unwrap`/`expect`/`panic!`/`unreachable!`/release-mode asserts
+    /// in hot-path crates. `debug_assert*` is allowed: it compiles out
+    /// of release builds.
+    PanicPath,
+    /// Direct `expr[index]` indexing/slicing in hot-path crates (panics
+    /// on out-of-bounds; use checked access or justify the bound).
+    UncheckedIndex,
+    /// Wall-clock time sources (`Instant`, `SystemTime`) anywhere
+    /// outside the wall-clock bench harness.
+    NondetTime,
+    /// `HashMap`/`HashSet` in determinism-critical crates: their
+    /// iteration order is arbitrary and must never feed reports or
+    /// state digests. Use `BTreeMap`/`BTreeSet` or justify that the
+    /// collection is never iterated.
+    UnorderedCollection,
+    /// A non-workspace dependency in a `Cargo.toml`.
+    ExternalDep,
+    /// A malformed suppression pragma (missing reason, unknown rule).
+    BadPragma,
+}
+
+impl Rule {
+    /// The rule's pragma name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Rule::PanicPath => "panic-path",
+            Rule::UncheckedIndex => "unchecked-index",
+            Rule::NondetTime => "nondet-time",
+            Rule::UnorderedCollection => "unordered-collection",
+            Rule::ExternalDep => "external-dep",
+            Rule::BadPragma => "bad-pragma",
+        }
+    }
+
+    fn from_name(name: &str) -> Option<Rule> {
+        match name {
+            "panic-path" => Some(Rule::PanicPath),
+            "unchecked-index" => Some(Rule::UncheckedIndex),
+            "nondet-time" => Some(Rule::NondetTime),
+            "unordered-collection" => Some(Rule::UnorderedCollection),
+            "external-dep" => Some(Rule::ExternalDep),
+            _ => None,
+        }
+    }
+}
+
+/// Rule scoping: which crates each source rule applies to.
+pub mod scopes {
+    /// Crates on the request hot path: no panic, no unchecked access.
+    pub const HOT_PATH: &[&str] = &["nic-lauberhorn", "coherence", "os", "rpc", "sim"];
+    /// Crates whose output must be bit-deterministic: no unordered
+    /// collections.
+    pub const DETERMINISTIC: &[&str] = &["sim", "rpc", "mc", "core"];
+    /// Crates allowed to read the wall clock (the bench harness
+    /// measures real elapsed time) — and the linter itself.
+    pub const WALL_CLOCK_EXEMPT: &[&str] = &["bench", "lint"];
+}
+
+/// One finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Path relative to the workspace root.
+    pub file: String,
+    /// 1-based line.
+    pub line: usize,
+    /// The rule violated.
+    pub rule: Rule,
+    /// Human explanation.
+    pub msg: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file,
+            self.line,
+            self.rule.name(),
+            self.msg
+        )
+    }
+}
+
+/// Parsed suppressions: line → rules allowed there, plus pragma errors.
+struct Pragmas {
+    allowed: BTreeMap<usize, Vec<Rule>>,
+    errors: Vec<(usize, String)>,
+}
+
+fn parse_pragmas(comments: &[Comment]) -> Pragmas {
+    let mut allowed: BTreeMap<usize, Vec<Rule>> = BTreeMap::new();
+    let mut errors = Vec::new();
+    for c in comments {
+        let Some(pos) = c.text.find("lint:allow(") else {
+            continue;
+        };
+        let rest = &c.text[pos + "lint:allow(".len()..];
+        let Some(close) = rest.find(')') else {
+            errors.push((c.line, "unterminated lint:allow(...)".into()));
+            continue;
+        };
+        let names = &rest[..close];
+        let after = rest[close + 1..].trim_start();
+        let reason = after.strip_prefix(':').map(str::trim).unwrap_or("");
+        if reason.is_empty() {
+            errors.push((
+                c.line,
+                "lint:allow pragma needs a justification: `// lint:allow(rule): reason`".into(),
+            ));
+            continue;
+        }
+        let mut rules = Vec::new();
+        let mut bad = false;
+        for name in names.split(',') {
+            match Rule::from_name(name.trim()) {
+                Some(r) => rules.push(r),
+                None => {
+                    errors.push((c.line, format!("unknown lint rule `{}`", name.trim())));
+                    bad = true;
+                }
+            }
+        }
+        if !bad {
+            // The pragma covers its own line and the next.
+            allowed.entry(c.line).or_default().extend(rules.iter());
+            allowed.entry(c.line + 1).or_default().extend(rules);
+        }
+    }
+    Pragmas { allowed, errors }
+}
+
+/// Keywords that may legally precede `[` without forming an index
+/// expression (`for x in [..]`, `return [..]`, …).
+const NON_INDEX_PREV: &[&str] = &[
+    "in", "return", "break", "continue", "mut", "ref", "move", "if", "else", "while", "loop",
+    "match", "let", "where", "unsafe", "yield", "dyn", "impl", "for", "const", "static", "pub",
+    "use", "mod", "enum", "struct", "fn", "trait", "type", "as",
+];
+
+fn is_ident(text: &str) -> bool {
+    text.chars()
+        .next()
+        .is_some_and(|c| c.is_alphabetic() || c == '_')
+}
+
+/// Panicking method names (called as `.name(`).
+const PANIC_METHODS: &[&str] = &[
+    "unwrap",
+    "expect",
+    "unwrap_err",
+    "expect_err",
+    "unwrap_none",
+];
+
+/// Panicking macro names (invoked as `name!`).
+const PANIC_MACROS: &[&str] = &[
+    "panic",
+    "unreachable",
+    "todo",
+    "unimplemented",
+    "assert",
+    "assert_eq",
+    "assert_ne",
+];
+
+/// Lints one Rust source file belonging to `crate_name`.
+pub fn lint_source(crate_name: &str, rel_path: &str, source: &str) -> Vec<Violation> {
+    let s = scan(source);
+    let pragmas = parse_pragmas(&s.comments);
+    let mut out = Vec::new();
+
+    for (line, msg) in &pragmas.errors {
+        out.push(Violation {
+            file: rel_path.into(),
+            line: *line,
+            rule: Rule::BadPragma,
+            msg: msg.clone(),
+        });
+    }
+
+    let hot = scopes::HOT_PATH.contains(&crate_name);
+    let deterministic = scopes::DETERMINISTIC.contains(&crate_name);
+    let wall_clock_ok = scopes::WALL_CLOCK_EXEMPT.contains(&crate_name);
+
+    let toks: &[Token] = &s.tokens;
+    let mut findings: Vec<(usize, Rule, String)> = Vec::new();
+
+    for (i, t) in toks.iter().enumerate() {
+        if t.in_test {
+            continue;
+        }
+        let prev = i.checked_sub(1).map(|p| toks[p].text.as_str());
+        let next = toks.get(i + 1).map(|t| t.text.as_str());
+
+        if hot {
+            if PANIC_METHODS.contains(&t.text.as_str()) && prev == Some(".") && next == Some("(") {
+                findings.push((
+                    t.line,
+                    Rule::PanicPath,
+                    format!(".{}() can panic on the hot path", t.text),
+                ));
+            }
+            if PANIC_MACROS.contains(&t.text.as_str()) && next == Some("!") {
+                findings.push((
+                    t.line,
+                    Rule::PanicPath,
+                    format!("{}! can panic on the hot path", t.text),
+                ));
+            }
+            if t.text == "["
+                && prev.is_some_and(|p| {
+                    (is_ident(p) && !NON_INDEX_PREV.contains(&p)
+                        || p == ")"
+                        || p == "]"
+                        || p == "?")
+                        && p != "#"
+                })
+            {
+                findings.push((
+                    t.line,
+                    Rule::UncheckedIndex,
+                    "unchecked index/slice can panic on out-of-bounds".into(),
+                ));
+            }
+        }
+        if !wall_clock_ok && (t.text == "Instant" || t.text == "SystemTime") {
+            findings.push((
+                t.line,
+                Rule::NondetTime,
+                format!("{} is a wall-clock source; use SimTime", t.text),
+            ));
+        }
+        if deterministic && (t.text == "HashMap" || t.text == "HashSet") {
+            findings.push((
+                t.line,
+                Rule::UnorderedCollection,
+                format!(
+                    "{} iteration order is nondeterministic; use BTree{} or justify",
+                    t.text,
+                    if t.text == "HashMap" { "Map" } else { "Set" },
+                ),
+            ));
+        }
+    }
+
+    // Dedupe repeated findings on one line (e.g. several index
+    // expressions), then apply pragmas.
+    findings.sort();
+    findings.dedup_by(|a, b| a.0 == b.0 && a.1 == b.1);
+    for (line, rule, msg) in findings {
+        let suppressed = pragmas
+            .allowed
+            .get(&line)
+            .is_some_and(|rules| rules.contains(&rule));
+        if !suppressed {
+            out.push(Violation {
+                file: rel_path.into(),
+                line,
+                rule,
+                msg,
+            });
+        }
+    }
+    out.sort_by_key(|a| (a.line, a.rule));
+    out
+}
+
+/// Lints a `Cargo.toml`: every dependency must come from the workspace
+/// (`workspace = true`) or be an in-tree path dependency. External
+/// crates must not reappear.
+pub fn lint_cargo_toml(rel_path: &str, source: &str) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let mut in_dep_section = false;
+    for (idx, raw) in source.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = raw.trim();
+        if line.starts_with('[') {
+            in_dep_section = line.contains("dependencies]");
+            continue;
+        }
+        if !in_dep_section || line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let Some((name, spec)) = line.split_once('=') else {
+            continue;
+        };
+        let name = name.trim();
+        let spec = spec.trim();
+        let ok = spec.contains("workspace = true") || spec.contains("path =");
+        if !ok {
+            out.push(Violation {
+                file: rel_path.into(),
+                line: line_no,
+                rule: Rule::ExternalDep,
+                msg: format!(
+                    "dependency `{name}` is not a workspace/path dependency; \
+                     external crates are banned in this tree"
+                ),
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules_of(v: &[Violation]) -> Vec<Rule> {
+        v.iter().map(|x| x.rule).collect()
+    }
+
+    #[test]
+    fn panic_sites_flagged_in_hot_crate() {
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() }\nfn g() { panic!(\"no\"); }";
+        let v = lint_source("os", "f.rs", src);
+        assert_eq!(rules_of(&v), vec![Rule::PanicPath, Rule::PanicPath]);
+    }
+
+    #[test]
+    fn panic_sites_ignored_outside_scope() {
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap() }";
+        assert!(lint_source("workload", "f.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unwrap_or_is_fine() {
+        let src = "fn f(x: Option<u32>) -> u32 { x.unwrap_or(0).max(x.unwrap_or_default()) }";
+        assert!(lint_source("os", "f.rs", src).is_empty());
+    }
+
+    #[test]
+    fn debug_assert_allowed() {
+        let src = "fn f(a: u32) { debug_assert!(a > 0); debug_assert_eq!(a, a); }";
+        assert!(lint_source("os", "f.rs", src).is_empty());
+    }
+
+    #[test]
+    fn indexing_flagged_but_not_array_literals() {
+        let src = "fn f(v: &[u32], i: usize) -> u32 { let a = [1, 2]; for _x in [0, 1] {} v[i] }";
+        let v = lint_source("os", "f.rs", src);
+        assert_eq!(rules_of(&v), vec![Rule::UncheckedIndex]);
+    }
+
+    #[test]
+    fn attribute_and_macro_brackets_not_indexing() {
+        let src = "#[derive(Clone)]\nstruct S;\nfn f() -> Vec<u8> { vec![0; 4] }";
+        assert!(lint_source("os", "f.rs", src).is_empty());
+    }
+
+    #[test]
+    fn test_code_exempt() {
+        let src = "#[cfg(test)]\nmod tests { #[test]\nfn t() { Some(1).unwrap(); } }";
+        assert!(lint_source("os", "f.rs", src).is_empty());
+    }
+
+    #[test]
+    fn pragma_suppresses_with_reason() {
+        let src = "fn f(v: &[u32]) -> u32 {\n    // lint:allow(unchecked-index): len checked by caller\n    v[0]\n}";
+        assert!(lint_source("os", "f.rs", src).is_empty());
+    }
+
+    #[test]
+    fn trailing_pragma_suppresses_same_line() {
+        let src =
+            "fn f(v: &[u32]) -> u32 { v[0] } // lint:allow(unchecked-index): fixture is non-empty";
+        assert!(lint_source("os", "f.rs", src).is_empty());
+    }
+
+    #[test]
+    fn pragma_without_reason_is_a_violation() {
+        let src = "// lint:allow(panic-path)\nfn f() { panic!(); }";
+        let v = lint_source("os", "f.rs", src);
+        assert!(rules_of(&v).contains(&Rule::BadPragma));
+        assert!(rules_of(&v).contains(&Rule::PanicPath), "not suppressed");
+    }
+
+    #[test]
+    fn pragma_with_unknown_rule_is_a_violation() {
+        let src = "// lint:allow(no-such-rule): because\nfn ok() {}";
+        let v = lint_source("os", "f.rs", src);
+        assert_eq!(rules_of(&v), vec![Rule::BadPragma]);
+    }
+
+    #[test]
+    fn nondet_time_flagged_everywhere_but_bench() {
+        let src = "use std::time::Instant;\nfn f() { let _ = Instant::now(); }";
+        let v = lint_source("packet", "f.rs", src);
+        assert!(v.iter().all(|x| x.rule == Rule::NondetTime));
+        assert_eq!(v.len(), 2);
+        assert!(lint_source("bench", "f.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unordered_collections_flagged_in_deterministic_crates() {
+        let src = "use std::collections::HashMap;\nfn f() { let _m: HashMap<u32, u32> = HashMap::new(); }";
+        let v = lint_source("rpc", "f.rs", src);
+        assert!(!v.is_empty());
+        assert!(v.iter().all(|x| x.rule == Rule::UnorderedCollection));
+        assert!(lint_source("packet", "f.rs", src).is_empty());
+    }
+
+    #[test]
+    fn strings_and_comments_never_trip() {
+        let src = "fn f() { let _s = \"panic! unwrap() HashMap\"; } // Instant::now in prose";
+        assert!(lint_source("rpc", "f.rs", src).is_empty());
+    }
+
+    #[test]
+    fn cargo_toml_external_dep_flagged() {
+        let toml = "[package]\nname = \"x\"\n[dependencies]\nserde = \"1\"\nlauberhorn-sim = { workspace = true }\n";
+        let v = lint_cargo_toml("crates/x/Cargo.toml", toml);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].rule, Rule::ExternalDep);
+        assert!(v[0].msg.contains("serde"));
+    }
+
+    #[test]
+    fn cargo_toml_workspace_and_path_deps_ok() {
+        let toml = "[dependencies]\na = { workspace = true }\nb = { path = \"../b\" }\n[dev-dependencies]\nc = { workspace = true }\n";
+        assert!(lint_cargo_toml("crates/x/Cargo.toml", toml).is_empty());
+    }
+}

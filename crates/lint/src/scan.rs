@@ -1,0 +1,403 @@
+//! A minimal Rust source scanner.
+//!
+//! The linter needs just enough lexical structure to reason about
+//! source files without a full parser: identifiers and punctuation with
+//! line numbers, comments (for suppression pragmas), and which tokens
+//! sit inside `#[cfg(test)]`/`#[test]`-gated items. String and char
+//! literals are consumed and discarded so their contents can never trip
+//! a rule.
+
+/// One code token: an identifier, a number, or a single punctuation
+/// character.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// 1-based source line.
+    pub line: usize,
+    /// Token text (identifiers verbatim; punctuation as one char).
+    pub text: String,
+    /// Whether the token is inside test-gated code.
+    pub in_test: bool,
+}
+
+/// One comment, with its text after the `//` / inside the `/* */`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// 1-based line the comment starts on.
+    pub line: usize,
+    /// Comment body, delimiters stripped.
+    pub text: String,
+}
+
+/// Scan output: tokens plus comments.
+#[derive(Debug, Default)]
+pub struct Scan {
+    /// Code tokens in source order.
+    pub tokens: Vec<Token>,
+    /// Comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Tokenizes `source`, discarding literal contents and recording
+/// comments.
+pub fn scan(source: &str) -> Scan {
+    let mut out = Scan::default();
+    let chars: Vec<char> = source.chars().collect();
+    let mut i = 0usize;
+    let mut line = 1usize;
+    let n = chars.len();
+
+    let bump_lines = |text: &[char]| text.iter().filter(|&&c| c == '\n').count();
+
+    while i < n {
+        let c = chars[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            '/' if i + 1 < n && chars[i + 1] == '/' => {
+                // Line comment.
+                let start = i + 2;
+                let mut j = start;
+                while j < n && chars[j] != '\n' {
+                    j += 1;
+                }
+                out.comments.push(Comment {
+                    line,
+                    text: chars[start..j].iter().collect(),
+                });
+                i = j;
+            }
+            '/' if i + 1 < n && chars[i + 1] == '*' => {
+                // Block comment, possibly nested.
+                let start_line = line;
+                let start = i + 2;
+                let mut depth = 1usize;
+                let mut j = start;
+                while j < n && depth > 0 {
+                    if chars[j] == '/' && j + 1 < n && chars[j + 1] == '*' {
+                        depth += 1;
+                        j += 2;
+                    } else if chars[j] == '*' && j + 1 < n && chars[j + 1] == '/' {
+                        depth -= 1;
+                        j += 2;
+                    } else {
+                        if chars[j] == '\n' {
+                            line += 1;
+                        }
+                        j += 1;
+                    }
+                }
+                let end = j.saturating_sub(2).max(start);
+                out.comments.push(Comment {
+                    line: start_line,
+                    text: chars[start..end].iter().collect(),
+                });
+                i = j;
+            }
+            '"' => {
+                i = consume_string(&chars, i, &mut line);
+            }
+            'r' | 'b' if starts_string_prefix(&chars, i) => {
+                i = consume_prefixed_string(&chars, i, &mut line);
+            }
+            '\'' => {
+                // Lifetime or char literal.
+                if i + 1 < n && is_ident_start(chars[i + 1]) && !closes_as_char(&chars, i) {
+                    // Lifetime: skip the quote; the identifier tokenizes
+                    // next round (harmless — rules never match on it).
+                    i += 1;
+                } else {
+                    i = consume_char_literal(&chars, i);
+                }
+            }
+            _ if is_ident_start(c) => {
+                let start = i;
+                let mut j = i;
+                while j < n && is_ident_continue(chars[j]) {
+                    j += 1;
+                }
+                out.tokens.push(Token {
+                    line,
+                    text: chars[start..j].iter().collect(),
+                    in_test: false,
+                });
+                i = j;
+            }
+            _ if c.is_ascii_digit() => {
+                let start = i;
+                let mut j = i;
+                while j < n && (is_ident_continue(chars[j]) || chars[j] == '.') {
+                    // Stop a float at `..` (range) or method call on a
+                    // literal.
+                    if chars[j] == '.' && (j + 1 >= n || !chars[j + 1].is_ascii_digit()) {
+                        break;
+                    }
+                    j += 1;
+                }
+                out.tokens.push(Token {
+                    line,
+                    text: chars[start..j].iter().collect(),
+                    in_test: false,
+                });
+                i = j;
+            }
+            _ if c.is_whitespace() => {
+                i += 1;
+            }
+            _ => {
+                out.tokens.push(Token {
+                    line,
+                    text: c.to_string(),
+                    in_test: false,
+                });
+                i += 1;
+            }
+        }
+        let _ = bump_lines;
+    }
+
+    mark_test_regions(&mut out.tokens);
+    out
+}
+
+/// `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#` and friends.
+fn starts_string_prefix(chars: &[char], i: usize) -> bool {
+    let n = chars.len();
+    let mut j = i;
+    // Up to two prefix chars (`br`, `rb` is not legal but harmless).
+    let mut saw_prefix = false;
+    while j < n && (chars[j] == 'r' || chars[j] == 'b') {
+        j += 1;
+        saw_prefix = true;
+    }
+    if !saw_prefix || j >= n {
+        return false;
+    }
+    chars[j] == '"' || chars[j] == '#'
+}
+
+fn consume_prefixed_string(chars: &[char], mut i: usize, line: &mut usize) -> usize {
+    let n = chars.len();
+    let mut raw = false;
+    while i < n && (chars[i] == 'r' || chars[i] == 'b') {
+        raw |= chars[i] == 'r';
+        i += 1;
+    }
+    let mut hashes = 0usize;
+    while i < n && chars[i] == '#' {
+        hashes += 1;
+        i += 1;
+    }
+    if i >= n || chars[i] != '"' {
+        return i;
+    }
+    if raw || hashes > 0 {
+        // Raw string: ends at `"` followed by `hashes` hash marks.
+        i += 1;
+        while i < n {
+            if chars[i] == '\n' {
+                *line += 1;
+            }
+            if chars[i] == '"' {
+                let mut k = 0usize;
+                while k < hashes && i + 1 + k < n && chars[i + 1 + k] == '#' {
+                    k += 1;
+                }
+                if k == hashes {
+                    return i + 1 + hashes;
+                }
+            }
+            i += 1;
+        }
+        i
+    } else {
+        consume_string(chars, i, line)
+    }
+}
+
+fn consume_string(chars: &[char], i: usize, line: &mut usize) -> usize {
+    let n = chars.len();
+    let mut j = i + 1;
+    while j < n {
+        match chars[j] {
+            '\\' => j += 2,
+            '\n' => {
+                *line += 1;
+                j += 1;
+            }
+            '"' => return j + 1,
+            _ => j += 1,
+        }
+    }
+    j
+}
+
+/// Distinguishes `'a'` (char) from `'a` (lifetime): a char literal's
+/// closing quote follows within a couple of characters.
+fn closes_as_char(chars: &[char], i: usize) -> bool {
+    // `'x'` — identifier char then quote.
+    i + 2 < chars.len() && chars[i + 2] == '\''
+}
+
+fn consume_char_literal(chars: &[char], i: usize) -> usize {
+    let n = chars.len();
+    let mut j = i + 1;
+    if j < n && chars[j] == '\\' {
+        j += 2;
+    } else {
+        j += 1;
+    }
+    // Unicode escapes (`'\u{1F600}'`) run longer; scan to the quote.
+    while j < n && chars[j] != '\'' && chars[j] != '\n' {
+        j += 1;
+    }
+    j + 1
+}
+
+/// Marks tokens belonging to `#[cfg(test)]` / `#[test]`-gated items.
+///
+/// An attribute whose bracket span contains the identifier `test` gates
+/// the item that follows it (including any further attributes). The
+/// item ends at the matching `}` of its first open brace, or at a
+/// top-level `;` or `,` before any brace opens.
+fn mark_test_regions(tokens: &mut [Token]) {
+    let mut i = 0usize;
+    while i < tokens.len() {
+        if tokens[i].text == "#" && i + 1 < tokens.len() && tokens[i + 1].text == "[" {
+            let (attr_end, is_test) = attr_span(tokens, i + 1);
+            if is_test {
+                // Mark the attribute itself plus the gated item.
+                let mut j = attr_end;
+                // Consume any further attributes.
+                while j + 1 < tokens.len() && tokens[j].text == "#" && tokens[j + 1].text == "[" {
+                    let (e, _) = attr_span(tokens, j + 1);
+                    j = e;
+                }
+                let item_end = item_span(tokens, j);
+                for t in tokens.iter_mut().take(item_end).skip(i) {
+                    t.in_test = true;
+                }
+                i = item_end;
+                continue;
+            }
+            i = attr_end;
+            continue;
+        }
+        i += 1;
+    }
+}
+
+/// Returns `(index after closing ']', contains ident "test")` for the
+/// attribute whose `[` sits at `open`.
+fn attr_span(tokens: &[Token], open: usize) -> (usize, bool) {
+    let mut depth = 0usize;
+    let mut is_test = false;
+    let mut j = open;
+    while j < tokens.len() {
+        match tokens[j].text.as_str() {
+            "[" => depth += 1,
+            "]" => {
+                depth -= 1;
+                if depth == 0 {
+                    return (j + 1, is_test);
+                }
+            }
+            "test" => is_test = true,
+            _ => {}
+        }
+        j += 1;
+    }
+    (j, is_test)
+}
+
+/// Returns the index one past the end of the item starting at `start`.
+fn item_span(tokens: &[Token], start: usize) -> usize {
+    let mut depth = 0isize;
+    let mut j = start;
+    while j < tokens.len() {
+        match tokens[j].text.as_str() {
+            "{" => depth += 1,
+            "}" => {
+                depth -= 1;
+                if depth == 0 {
+                    return j + 1;
+                }
+                if depth < 0 {
+                    // Left the enclosing scope: stop before the brace.
+                    return j;
+                }
+            }
+            ";" | "," if depth == 0 => return j + 1,
+            _ => {}
+        }
+        j += 1;
+    }
+    j
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_and_comments_are_not_tokens() {
+        let s = scan(r#"let x = "unwrap() inside"; // panic! in comment"#);
+        assert!(s.tokens.iter().all(|t| t.text != "unwrap"));
+        assert!(s.tokens.iter().all(|t| t.text != "panic"));
+        assert_eq!(s.comments.len(), 1);
+        assert!(s.comments[0].text.contains("panic!"));
+    }
+
+    #[test]
+    fn raw_strings_are_skipped() {
+        let s = scan("let x = r#\"has unwrap() and \"quotes\"\"#; foo();");
+        assert!(s.tokens.iter().all(|t| t.text != "unwrap"));
+        assert!(s.tokens.iter().any(|t| t.text == "foo"));
+    }
+
+    #[test]
+    fn char_literals_and_lifetimes() {
+        let s = scan("fn f<'a>(x: &'a str) { let c = 'x'; let q = '\\''; }");
+        assert!(s.tokens.iter().any(|t| t.text == "str"));
+        // The lifetime ident still appears but nothing is corrupted.
+        assert!(s.tokens.iter().any(|t| t.text == "f"));
+    }
+
+    #[test]
+    fn cfg_test_region_marked() {
+        let src =
+            "fn hot() { a(); }\n#[cfg(test)]\nmod tests { fn t() { b.unwrap(); } }\nfn tail() {}";
+        let s = scan(src);
+        let unwraps: Vec<&Token> = s.tokens.iter().filter(|t| t.text == "unwrap").collect();
+        assert_eq!(unwraps.len(), 1);
+        assert!(unwraps[0].in_test);
+        let tail = s.tokens.iter().find(|t| t.text == "tail").unwrap();
+        assert!(!tail.in_test);
+    }
+
+    #[test]
+    fn test_attr_with_following_derive() {
+        let src = "#[cfg(test)]\n#[derive(Debug)]\nstruct T { x: u32 }\nfn live() {}";
+        let s = scan(src);
+        let x = s.tokens.iter().find(|t| t.text == "x").unwrap();
+        assert!(x.in_test);
+        let live = s.tokens.iter().find(|t| t.text == "live").unwrap();
+        assert!(!live.in_test);
+    }
+
+    #[test]
+    fn line_numbers_track() {
+        let s = scan("a\nb\n\nc");
+        let lines: Vec<usize> = s.tokens.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 4]);
+    }
+}

@@ -1,0 +1,68 @@
+//! Fixture-driven rule tests: each fixture file must trip exactly the
+//! rules it was written to trip, and pragma suppression must hold.
+
+use lint::{lint_source, Rule};
+
+fn rules(crate_name: &str, src: &str) -> Vec<Rule> {
+    lint_source(crate_name, "fixture.rs", src)
+        .into_iter()
+        .map(|v| v.rule)
+        .collect()
+}
+
+#[test]
+fn panics_fixture_trips_panic_path_only() {
+    let got = rules("nic-lauberhorn", include_str!("../fixtures/panics.rs"));
+    assert!(!got.is_empty());
+    assert!(got.iter().all(|r| *r == Rule::PanicPath), "{got:?}");
+    // unwrap, expect, panic!, unreachable!, assert! — debug_assert and
+    // unwrap_or/unwrap_or_default must not count.
+    assert_eq!(got.len(), 5, "{got:?}");
+}
+
+#[test]
+fn indexing_fixture_trips_unchecked_index_only() {
+    let got = rules("coherence", include_str!("../fixtures/indexing.rs"));
+    assert!(got.iter().all(|r| *r == Rule::UncheckedIndex), "{got:?}");
+    // s.v[0] and table[i]; the array literal and `for _ in [..]` are
+    // exempt. One finding per line after dedup.
+    assert_eq!(got.len(), 2, "{got:?}");
+}
+
+#[test]
+fn nondet_fixture_trips_time_and_collections() {
+    let got = rules("rpc", include_str!("../fixtures/nondet.rs"));
+    assert!(got.contains(&Rule::NondetTime), "{got:?}");
+    assert!(got.contains(&Rule::UnorderedCollection), "{got:?}");
+    // In a hot-path crate that is not determinism-scoped, only the
+    // time rule fires.
+    let os_only = rules("nic-lauberhorn", include_str!("../fixtures/nondet.rs"));
+    assert!(
+        os_only.iter().all(|r| *r == Rule::NondetTime),
+        "{os_only:?}"
+    );
+}
+
+#[test]
+fn pragma_fixture_is_clean_everywhere() {
+    for krate in ["nic-lauberhorn", "coherence", "os", "rpc", "sim", "mc"] {
+        let got = rules(krate, include_str!("../fixtures/pragma_ok.rs"));
+        assert!(got.is_empty(), "{krate}: {got:?}");
+    }
+}
+
+#[test]
+fn bad_pragma_fixture_trips_and_suppresses_nothing() {
+    let got = rules("os", include_str!("../fixtures/bad_pragma.rs"));
+    assert!(got.contains(&Rule::BadPragma), "{got:?}");
+    assert!(
+        got.contains(&Rule::PanicPath),
+        "reasonless pragma must not suppress: {got:?}"
+    );
+}
+
+#[test]
+fn test_gated_fixture_is_clean() {
+    let got = rules("os", include_str!("../fixtures/test_gated.rs"));
+    assert!(got.is_empty(), "{got:?}");
+}

@@ -1,0 +1,16 @@
+//! Tier-1 gate: the whole workspace must lint clean. Any new panic
+//! site, wall-clock read, unordered collection, or external dependency
+//! fails this test unless it carries a justified
+//! `// lint:allow(<rule>): <reason>` pragma.
+
+#[test]
+fn workspace_has_no_unsuppressed_violations() {
+    let root = lint::workspace_root();
+    let violations = lint::lint_workspace(&root).expect("workspace readable");
+    if !violations.is_empty() {
+        for v in &violations {
+            eprintln!("{v}");
+        }
+        panic!("{} lint violation(s) — see stderr", violations.len());
+    }
+}

@@ -6,6 +6,7 @@
 //! action). On violation it reconstructs the shortest counterexample
 //! trace — the workflow TLC users know.
 
+// lint:allow(unordered-collection): membership/id lookup only, never iterated
 use std::collections::{HashMap, VecDeque};
 
 /// A model to check.
@@ -85,6 +86,7 @@ impl<A> CheckReport<A> {
 pub fn check<M: Model>(model: &M, max_states: usize) -> CheckReport<M::Action> {
     // Parent map for trace reconstruction: state index -> (parent
     // index, action taken).
+    // lint:allow(unordered-collection): keyed lookup only; BFS order comes from the VecDeque
     let mut ids: HashMap<M::State, usize> = HashMap::new();
     let mut parents: Vec<Option<(usize, M::Action)>> = Vec::new();
     let mut depths: Vec<usize> = Vec::new();

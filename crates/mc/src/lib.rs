@@ -25,6 +25,14 @@
 //!   retry, bounded frame loss, and the server's at-most-once dedup
 //!   window. Removing the window (the injected bug) yields the
 //!   premature-timeout double-execution counterexample.
+//! * [`races`] — a happens-before race detector layered on the
+//!   checker: protocol actions are instrumented with their per-agent
+//!   reads and writes of the CONTROL-line state, every unordered
+//!   conflicting pair is reported, and each race is classified as
+//!   benign (confluent, or resolved by the protocol's own ordering)
+//!   or harmful (with a shortest counterexample) — turning the
+//!   paper's "all races are benign" from a claim into a theorem over
+//!   the bounded model.
 //!
 //! Experiment C2 runs the checker over increasing bounds and reports
 //! the state-space sizes and verified invariants.
@@ -33,8 +41,10 @@ pub mod checker;
 pub mod collection;
 pub mod lossy;
 pub mod protocol;
+pub mod races;
 
 pub use checker::{CheckOutcome, CheckReport, Model};
 pub use collection::{CollectionConfig, CollectionModel};
 pub use lossy::{LossyRpcConfig, LossyRpcModel};
 pub use protocol::{LauberhornModel, ProtocolConfig};
+pub use races::{detect_races, InstrumentedModel, RaceClass, RaceReport};

@@ -38,6 +38,7 @@
 //! retransmission arrives at a retired core.
 
 use crate::checker::Model;
+use crate::races::{Access, Agent, InstrumentedModel, Loc};
 
 /// What the core is doing.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -103,6 +104,10 @@ pub struct ProtocolConfig {
     pub allow_retire: bool,
     /// Inject the stale-timeout race (checker must find it).
     pub inject_stale_timeout_bug: bool,
+    /// Drop the I6 ordering guard on RETIRE delivery: the NIC retires
+    /// the core without first checking that nothing is queued, owed,
+    /// or outstanding (the race detector must find this harmful).
+    pub inject_unguarded_retire_bug: bool,
     /// Wire frames that may be lost in flight (0 = reliable wire;
     /// lost requests are retransmitted by the client).
     pub max_losses: u8,
@@ -116,6 +121,7 @@ impl Default for ProtocolConfig {
             max_preemptions: 1,
             allow_retire: true,
             inject_stale_timeout_bug: false,
+            inject_unguarded_retire_bug: false,
             max_losses: 0,
         }
     }
@@ -271,6 +277,16 @@ impl Model for LauberhornModel {
                 t.core = CorePhase::Retired;
                 out.push(("retire/deliver", t));
             }
+        } else if cfg.inject_unguarded_retire_bug && s.retire_requested {
+            // BUG: the ordering edge "drain before retire" is dropped —
+            // the NIC answers the parked fill with RETIRE even though
+            // queued work or an owed retransmission would be stranded.
+            if let Some(_line) = s.parked {
+                let mut t = *s;
+                t.parked = None;
+                t.core = CorePhase::Retired;
+                out.push(("retire/deliver-unguarded", t));
+            }
         }
 
         // --- Core transitions. ---
@@ -373,6 +389,87 @@ impl Model for LauberhornModel {
 
     fn is_final(&self, s: &ProtoState) -> bool {
         s.core == CorePhase::Retired
+    }
+}
+
+impl InstrumentedModel for LauberhornModel {
+    /// The shared state each action touches, for the race detector.
+    ///
+    /// The instrumentation is where the protocol's ordering guards
+    /// become visible as happens-before edges: `timeout/tryagain`
+    /// *reads* the park register (the generation check) before
+    /// answering, so it is ordered after the delivery it observed —
+    /// whereas the buggy `stale-timeout/bug` writes the line without
+    /// that read, and `retire/deliver-unguarded` skips the reads of
+    /// the queue, outstanding-response, and loss state that make the
+    /// real RETIRE safe.
+    fn accesses(&self, action: &&'static str) -> Vec<Access> {
+        use Agent::{Client, Core, Kernel, Nic, Timer};
+        use Loc::{Ctrl, Lost, Outstanding, Park, Queue, Retire};
+        let r = Access::read;
+        let w = Access::write;
+        match *action {
+            "inject/deliver" => vec![r(Client, Park), w(Client, Park), w(Client, Ctrl)],
+            "inject/queue" => vec![r(Client, Park), w(Client, Queue)],
+            "inject/lose" => vec![w(Client, Lost)],
+            "retransmit/deliver" => vec![
+                r(Client, Lost),
+                w(Client, Lost),
+                r(Client, Park),
+                w(Client, Park),
+                w(Client, Ctrl),
+            ],
+            "retransmit/queue" => vec![
+                r(Client, Lost),
+                w(Client, Lost),
+                r(Client, Park),
+                w(Client, Queue),
+            ],
+            "timeout/tryagain" => vec![r(Timer, Park), w(Timer, Park), w(Timer, Ctrl)],
+            // The missing park-register read IS the missing generation
+            // guard: nothing orders this write after the delivery.
+            "stale-timeout/bug" => vec![w(Timer, Ctrl)],
+            "preempt/ipi" => vec![r(Kernel, Park), w(Kernel, Park), w(Kernel, Ctrl)],
+            "retire/request" => vec![w(Kernel, Retire)],
+            "retire/deliver" => vec![
+                r(Nic, Retire),
+                r(Nic, Queue),
+                r(Nic, Outstanding),
+                r(Nic, Lost),
+                r(Nic, Park),
+                w(Nic, Park),
+                w(Nic, Ctrl),
+            ],
+            "retire/deliver-unguarded" => {
+                vec![r(Nic, Retire), r(Nic, Park), w(Nic, Park), w(Nic, Ctrl)]
+            }
+            // The core's reads of CONTROL acquire whatever delivery (or
+            // TRYAGAIN) it observed — the other half of the ordering.
+            "core/handler-done" => vec![r(Core, Ctrl), w(Core, Ctrl), w(Core, Outstanding)],
+            "core/load-other+deliver" => vec![
+                r(Core, Outstanding),
+                w(Core, Outstanding),
+                r(Core, Queue),
+                w(Core, Queue),
+                w(Core, Park),
+                w(Core, Ctrl),
+            ],
+            "core/load-other+park" => vec![
+                r(Core, Outstanding),
+                w(Core, Outstanding),
+                r(Core, Queue),
+                w(Core, Park),
+            ],
+            "core/reload+deliver" => vec![
+                r(Core, Ctrl),
+                r(Core, Queue),
+                w(Core, Queue),
+                w(Core, Park),
+                w(Core, Ctrl),
+            ],
+            "core/reload+park" => vec![r(Core, Ctrl), r(Core, Queue), w(Core, Park)],
+            _ => Vec::new(),
+        }
     }
 }
 

@@ -1,0 +1,679 @@
+//! Happens-before race detection for checked models.
+//!
+//! The Figure 4 protocol works *because* its agents race: the TRYAGAIN
+//! timer races request delivery, kernel preemption races the NIC's
+//! fills, RETIRE races queued work. The paper's claim is not that these
+//! races are absent but that every one of them is resolved by the
+//! protocol itself. This module makes that claim checkable.
+//!
+//! Two layers:
+//!
+//! 1. **State-space detection** ([`detect_races`]). A model whose
+//!    actions are instrumented with their shared-state reads and writes
+//!    ([`InstrumentedModel`]) is explored exhaustively. Whenever two
+//!    conflicting actions of *different agents* are enabled in the same
+//!    state, their executions are happens-before unordered — a race.
+//!    Each race is classified:
+//!
+//!    * [`RaceClass::BenignConfluent`] — both orders lead to the same
+//!      state (the race is invisible).
+//!    * [`RaceClass::BenignRecovered`] — the orders diverge, but no
+//!      invariant violation is reachable from either (the protocol's
+//!      own ordering, e.g. TRYAGAIN or RETIRE recovery, resolves it).
+//!    * [`RaceClass::Harmful`] — an invariant violation is reachable
+//!      after the race fires; the report carries the shortest
+//!      counterexample trace through it.
+//!
+//! 2. **Trace-level vector clocks** ([`analyze_trace`]). A concrete
+//!    action trace (e.g. a checker counterexample) is replayed with one
+//!    [`VectorClock`] per agent. Reads acquire the clock of the last
+//!    write to the same location (message-passing happens-before), so a
+//!    guarded access — like the TRYAGAIN timer's generation check,
+//!    modelled as a read of the park register — orders the timer after
+//!    the delivery it observed. Conflicting accesses whose clocks are
+//!    incomparable are reported as HB-unordered pairs: the buggy stale
+//!    timer shows up precisely because its write carries no such read.
+
+use crate::checker::Model;
+use std::collections::{BTreeMap, VecDeque};
+
+/// An agent of the protocol: one source of concurrent actions.
+/// Accesses by the same agent are always ordered (program order);
+/// races only arise between different agents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Agent {
+    /// The client / environment injecting and retransmitting requests.
+    Client,
+    /// The NIC's TRYAGAIN timer.
+    Timer,
+    /// The kernel (preemption IPIs, retire requests).
+    Kernel,
+    /// The NIC's endpoint engine (retire delivery).
+    Nic,
+    /// The serving core.
+    Core,
+}
+
+/// A shared location of the modelled protocol state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Loc {
+    /// The CONTROL line contents (requests, responses, TRYAGAIN and
+    /// RETIRE markers are all delivered through it).
+    Ctrl,
+    /// The NIC's parked-fill register (which line, if any, holds a
+    /// stalled load).
+    Park,
+    /// The NIC's ready queue.
+    Queue,
+    /// The uncollected-response register.
+    Outstanding,
+    /// The kernel's retire-request flag.
+    Retire,
+    /// The set of requests lost in flight (client retry state).
+    Lost,
+}
+
+/// Read or write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessKind {
+    /// Observes the location.
+    Read,
+    /// Mutates the location.
+    Write,
+}
+
+/// One shared-state access performed by an action.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Access {
+    /// Who performs it.
+    pub agent: Agent,
+    /// What it touches.
+    pub loc: Loc,
+    /// Read or write.
+    pub kind: AccessKind,
+}
+
+impl Access {
+    /// A read of `loc` by `agent`.
+    pub fn read(agent: Agent, loc: Loc) -> Self {
+        Access {
+            agent,
+            loc,
+            kind: AccessKind::Read,
+        }
+    }
+
+    /// A write of `loc` by `agent`.
+    pub fn write(agent: Agent, loc: Loc) -> Self {
+        Access {
+            agent,
+            loc,
+            kind: AccessKind::Write,
+        }
+    }
+}
+
+/// A [`Model`] whose actions are instrumented with the shared-state
+/// accesses they perform.
+pub trait InstrumentedModel: Model {
+    /// The reads and writes `action` performs. All accesses of one
+    /// action belong to a single agent; an empty vector makes the
+    /// action invisible to race detection.
+    fn accesses(&self, action: &Self::Action) -> Vec<Access>;
+}
+
+/// A vector clock over [`Agent`]s.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct VectorClock {
+    clocks: BTreeMap<Agent, u64>,
+}
+
+impl VectorClock {
+    /// The zero clock.
+    pub fn new() -> Self {
+        VectorClock::default()
+    }
+
+    /// `agent`'s component.
+    pub fn get(&self, agent: Agent) -> u64 {
+        self.clocks.get(&agent).copied().unwrap_or(0)
+    }
+
+    /// Advances `agent`'s component.
+    pub fn tick(&mut self, agent: Agent) {
+        *self.clocks.entry(agent).or_insert(0) += 1;
+    }
+
+    /// Pointwise maximum with `other`.
+    pub fn join(&mut self, other: &VectorClock) {
+        for (&a, &v) in &other.clocks {
+            let e = self.clocks.entry(a).or_insert(0);
+            *e = (*e).max(v);
+        }
+    }
+
+    /// Whether `self` happens-before-or-equals `other` (pointwise `<=`).
+    pub fn leq(&self, other: &VectorClock) -> bool {
+        self.clocks.iter().all(|(&a, &v)| other.get(a) >= v)
+    }
+
+    /// Whether the two clocks are incomparable: neither ordered before
+    /// the other.
+    pub fn concurrent(&self, other: &VectorClock) -> bool {
+        !self.leq(other) && !other.leq(self)
+    }
+}
+
+/// An HB-unordered conflicting access pair found in a trace.
+#[derive(Debug, Clone)]
+pub struct HbRace {
+    /// Trace index of the earlier action.
+    pub first_step: usize,
+    /// Trace index of the later action.
+    pub second_step: usize,
+    /// The earlier access.
+    pub first: Access,
+    /// The later access.
+    pub second: Access,
+}
+
+/// Replays `trace` from the model's first initial state, assigning each
+/// action its agent's vector clock, and returns every conflicting
+/// access pair (same location, different agents, at least one write)
+/// whose clocks are unordered.
+///
+/// Reads acquire the clock of the last write to the same location, so
+/// a race is reported exactly when nothing the later agent *observed*
+/// orders it after the earlier access.
+pub fn analyze_trace<M>(model: &M, trace: &[M::Action]) -> Vec<HbRace>
+where
+    M: InstrumentedModel,
+    M::Action: PartialEq,
+{
+    let mut races = Vec::new();
+    let Some(mut state) = model.initial().into_iter().next() else {
+        return races;
+    };
+    let mut agent_clock: BTreeMap<Agent, VectorClock> = BTreeMap::new();
+    let mut last_write: BTreeMap<Loc, VectorClock> = BTreeMap::new();
+    // Every access so far, with the clock its action carried.
+    let mut history: Vec<(usize, Access, VectorClock)> = Vec::new();
+
+    for (step, action) in trace.iter().enumerate() {
+        let Some((_, succ)) = model.next(&state).into_iter().find(|(a, _)| a == action) else {
+            // The trace does not replay from here; analyze the prefix.
+            break;
+        };
+        let accesses = model.accesses(action);
+        let Some(agent) = accesses.first().map(|a| a.agent) else {
+            state = succ;
+            continue;
+        };
+        let mut vc = agent_clock.get(&agent).cloned().unwrap_or_default();
+        vc.tick(agent);
+        // Acquire: a read observes the last write to its location.
+        for acc in accesses.iter().filter(|a| a.kind == AccessKind::Read) {
+            if let Some(w) = last_write.get(&acc.loc) {
+                vc.join(w);
+            }
+        }
+        // Race check against everything that came before.
+        for (prev_step, prev, prev_vc) in &history {
+            for acc in &accesses {
+                if acc.loc == prev.loc
+                    && acc.agent != prev.agent
+                    && (acc.kind == AccessKind::Write || prev.kind == AccessKind::Write)
+                    && !prev_vc.leq(&vc)
+                {
+                    races.push(HbRace {
+                        first_step: *prev_step,
+                        second_step: step,
+                        first: *prev,
+                        second: *acc,
+                    });
+                }
+            }
+        }
+        for acc in &accesses {
+            history.push((step, *acc, vc.clone()));
+            if acc.kind == AccessKind::Write {
+                last_write.insert(acc.loc, vc.clone());
+            }
+        }
+        agent_clock.insert(agent, vc);
+        state = succ;
+    }
+    races
+}
+
+/// How a detected race resolves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum RaceClass {
+    /// Both orders converge to the same state.
+    BenignConfluent,
+    /// The orders diverge, but no invariant violation is reachable from
+    /// either: the protocol's own ordering resolves the race.
+    BenignRecovered,
+    /// An invariant violation is reachable after the race fires.
+    Harmful,
+}
+
+/// One detected race between two actions.
+#[derive(Debug, Clone)]
+pub struct Race<A> {
+    /// One racing action.
+    pub first: A,
+    /// The other racing action.
+    pub second: A,
+    /// The agents involved.
+    pub agents: (Agent, Agent),
+    /// The location they conflict on.
+    pub loc: Loc,
+    /// Classification.
+    pub class: RaceClass,
+    /// Shortest trace to a state where both actions are enabled.
+    pub witness: Vec<A>,
+    /// For harmful races: the shortest trace from the initial state
+    /// through the race to an invariant violation.
+    pub counterexample: Option<Vec<A>>,
+}
+
+/// Result of a race-detection run.
+#[derive(Debug, Clone)]
+pub struct RaceReport<A> {
+    /// Every distinct racing action pair, worst classification kept.
+    pub races: Vec<Race<A>>,
+    /// Distinct states explored.
+    pub states: usize,
+    /// Whether the state bound was hit before exhausting the space.
+    pub bound_exceeded: bool,
+}
+
+impl<A> RaceReport<A> {
+    /// The harmful races.
+    pub fn harmful(&self) -> impl Iterator<Item = &Race<A>> {
+        self.races.iter().filter(|r| r.class == RaceClass::Harmful)
+    }
+
+    /// Whether every detected race is benign.
+    pub fn all_benign(&self) -> bool {
+        self.harmful().next().is_none()
+    }
+}
+
+/// The location two access sets conflict on, if any: same location,
+/// at least one side writing.
+fn conflict_loc(a: &[Access], b: &[Access]) -> Option<Loc> {
+    for x in a {
+        for y in b {
+            if x.loc == y.loc && (x.kind == AccessKind::Write || y.kind == AccessKind::Write) {
+                return Some(x.loc);
+            }
+        }
+    }
+    None
+}
+
+/// Exhaustively explores `model` (at most `max_states` states) and
+/// reports every pair of happens-before-unordered conflicting actions,
+/// classified as benign or harmful.
+///
+/// Two actions race when they are enabled in the same reachable state,
+/// belong to different agents, and conflict on a location. Neither
+/// happens-before the other — the scheduler picks.
+pub fn detect_races<M>(model: &M, max_states: usize) -> RaceReport<M::Action>
+where
+    M: InstrumentedModel,
+    M::Action: Clone + PartialEq + std::fmt::Debug,
+{
+    // Phase 1: forward BFS building the bounded reachability graph.
+    // lint:allow(unordered-collection): keyed lookup only; exploration order comes from the VecDeque
+    let mut ids: std::collections::HashMap<M::State, usize> = std::collections::HashMap::new();
+    let mut states: Vec<M::State> = Vec::new();
+    let mut parents: Vec<Option<(usize, M::Action)>> = Vec::new();
+    let mut edges: Vec<Vec<(M::Action, usize)>> = Vec::new();
+    let mut bad: Vec<bool> = Vec::new();
+    let mut queue: VecDeque<usize> = VecDeque::new();
+    let mut bound_exceeded = false;
+
+    for s in model.initial() {
+        if ids.contains_key(&s) {
+            continue;
+        }
+        let id = states.len();
+        ids.insert(s.clone(), id);
+        bad.push(model.invariant(&s).is_err());
+        states.push(s);
+        parents.push(None);
+        edges.push(Vec::new());
+        queue.push_back(id);
+    }
+
+    while let Some(id) = queue.pop_front() {
+        if bad[id] {
+            // A violating state's successors do not matter: the race
+            // that led here is already harmful.
+            continue;
+        }
+        let succs = model.next(&states[id]);
+        for (action, succ) in succs {
+            let sid = match ids.get(&succ) {
+                Some(&sid) => sid,
+                None => {
+                    if states.len() >= max_states {
+                        bound_exceeded = true;
+                        continue;
+                    }
+                    let sid = states.len();
+                    ids.insert(succ.clone(), sid);
+                    bad.push(model.invariant(&succ).is_err());
+                    states.push(succ);
+                    parents.push(Some((id, action.clone())));
+                    edges.push(Vec::new());
+                    queue.push_back(sid);
+                    sid
+                }
+            };
+            edges[id].push((action, sid));
+        }
+    }
+
+    // Phase 2: distance-to-violation for every state, by reverse BFS
+    // from the violating states.
+    let n = states.len();
+    let mut rev: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (from, outs) in edges.iter().enumerate() {
+        for (_, to) in outs {
+            rev[*to].push(from);
+        }
+    }
+    let mut dist_bad: Vec<Option<usize>> = vec![None; n];
+    let mut bq: VecDeque<usize> = VecDeque::new();
+    for (id, &is_bad) in bad.iter().enumerate() {
+        if is_bad {
+            dist_bad[id] = Some(0);
+            bq.push_back(id);
+        }
+    }
+    while let Some(id) = bq.pop_front() {
+        let d = dist_bad[id].unwrap_or(0);
+        for &p in &rev[id] {
+            if dist_bad[p].is_none() {
+                dist_bad[p] = Some(d + 1);
+                bq.push_back(p);
+            }
+        }
+    }
+
+    // Shortest action trace from an initial state to `id`.
+    let trace_to = |id: usize| {
+        let mut trace = Vec::new();
+        let mut at = id;
+        while let Some((p, a)) = parents[at].clone() {
+            trace.push(a);
+            at = p;
+        }
+        trace.reverse();
+        trace
+    };
+    // Shortest suffix from `id` to a violating state, following the
+    // distance gradient.
+    let suffix_to_bad = |mut id: usize| {
+        let mut suffix = Vec::new();
+        while let Some(d) = dist_bad[id] {
+            if d == 0 {
+                break;
+            }
+            let Some((a, to)) = edges[id]
+                .iter()
+                .find(|(_, to)| dist_bad[*to] == Some(d - 1))
+                .cloned()
+            else {
+                break;
+            };
+            suffix.push(a);
+            id = to;
+        }
+        suffix
+    };
+
+    // Phase 3: enumerate co-enabled conflicting pairs and classify.
+    // States were interned in BFS order, so the first witness of each
+    // race pair has a shortest-path prefix.
+    let mut races: Vec<Race<M::Action>> = Vec::new();
+    for sid in 0..n {
+        if bad[sid] {
+            continue;
+        }
+        let outs = &edges[sid];
+        for i in 0..outs.len() {
+            for j in (i + 1)..outs.len() {
+                let (a1, s1) = &outs[i];
+                let (a2, s2) = &outs[j];
+                let acc1 = model.accesses(a1);
+                let acc2 = model.accesses(a2);
+                let (Some(ag1), Some(ag2)) =
+                    (acc1.first().map(|a| a.agent), acc2.first().map(|a| a.agent))
+                else {
+                    continue;
+                };
+                if ag1 == ag2 {
+                    continue;
+                }
+                let Some(loc) = conflict_loc(&acc1, &acc2) else {
+                    continue;
+                };
+
+                // Classify this occurrence.
+                let s12 = edges[*s1].iter().find(|(a, _)| a == a2).map(|(_, t)| *t);
+                let s21 = edges[*s2].iter().find(|(a, _)| a == a1).map(|(_, t)| *t);
+                let (class, counterexample) = if s12.is_some() && s12 == s21 {
+                    (RaceClass::BenignConfluent, None)
+                } else {
+                    // Harmful iff a violation is reachable once either
+                    // branch of the race has fired.
+                    let b1 = dist_bad[*s1].map(|d| (d, a1.clone(), *s1));
+                    let b2 = dist_bad[*s2].map(|d| (d, a2.clone(), *s2));
+                    let best = match (b1, b2) {
+                        (Some(x), Some(y)) => Some(if x.0 <= y.0 { x } else { y }),
+                        (x, y) => x.or(y),
+                    };
+                    match best {
+                        Some((_, first_step, succ)) => {
+                            let mut cex = trace_to(sid);
+                            cex.push(first_step.clone());
+                            cex.extend(suffix_to_bad(succ));
+                            (RaceClass::Harmful, Some(cex))
+                        }
+                        None => (RaceClass::BenignRecovered, None),
+                    }
+                };
+
+                // Merge with an existing entry for the same pair (in
+                // either orientation), keeping the worst class.
+                let existing = races.iter_mut().find(|r| {
+                    r.loc == loc
+                        && ((r.first == *a1 && r.second == *a2)
+                            || (r.first == *a2 && r.second == *a1))
+                });
+                match existing {
+                    Some(r) => {
+                        if class > r.class {
+                            r.class = class;
+                            r.counterexample = counterexample;
+                        }
+                    }
+                    None => {
+                        races.push(Race {
+                            first: a1.clone(),
+                            second: a2.clone(),
+                            agents: (ag1, ag2),
+                            loc,
+                            class,
+                            witness: trace_to(sid),
+                            counterexample,
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    RaceReport {
+        races,
+        states: n,
+        bound_exceeded,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vector_clock_ordering() {
+        let mut a = VectorClock::new();
+        let mut b = VectorClock::new();
+        assert!(a.leq(&b) && b.leq(&a));
+        a.tick(Agent::Core);
+        assert!(b.leq(&a) && !a.leq(&b));
+        b.tick(Agent::Timer);
+        assert!(a.concurrent(&b));
+        b.join(&a);
+        assert!(a.leq(&b) && !b.leq(&a));
+        assert_eq!(b.get(Agent::Core), 1);
+        assert_eq!(b.get(Agent::Timer), 1);
+        assert_eq!(b.get(Agent::Kernel), 0);
+    }
+
+    /// Two agents incrementing a shared counter: every interleaving
+    /// commutes, so the write-write race is confluent.
+    struct TwoIncrements;
+
+    impl Model for TwoIncrements {
+        // (a done, b done, counter)
+        type State = (bool, bool, u8);
+        type Action = &'static str;
+
+        fn initial(&self) -> Vec<Self::State> {
+            vec![(false, false, 0)]
+        }
+
+        fn next(&self, s: &Self::State) -> Vec<(&'static str, Self::State)> {
+            let mut out = Vec::new();
+            if !s.0 {
+                out.push(("core/inc", (true, s.1, s.2 + 1)));
+            }
+            if !s.1 {
+                out.push(("timer/inc", (s.0, true, s.2 + 1)));
+            }
+            out
+        }
+
+        fn invariant(&self, _: &Self::State) -> Result<(), String> {
+            Ok(())
+        }
+
+        fn is_final(&self, s: &Self::State) -> bool {
+            s.0 && s.1
+        }
+    }
+
+    impl InstrumentedModel for TwoIncrements {
+        fn accesses(&self, action: &&'static str) -> Vec<Access> {
+            match *action {
+                "core/inc" => vec![
+                    Access::read(Agent::Core, Loc::Queue),
+                    Access::write(Agent::Core, Loc::Queue),
+                ],
+                "timer/inc" => vec![
+                    Access::read(Agent::Timer, Loc::Queue),
+                    Access::write(Agent::Timer, Loc::Queue),
+                ],
+                _ => Vec::new(),
+            }
+        }
+    }
+
+    #[test]
+    fn commuting_writes_are_confluent() {
+        let r = detect_races(&TwoIncrements, 1000);
+        assert_eq!(r.races.len(), 1);
+        assert_eq!(r.races[0].class, RaceClass::BenignConfluent);
+        assert_eq!(r.races[0].loc, Loc::Queue);
+        assert!(r.all_benign());
+    }
+
+    /// Like [`TwoIncrements`], but one order trips the invariant: the
+    /// race must come back harmful with a counterexample through it.
+    struct OrderSensitive;
+
+    impl Model for OrderSensitive {
+        // (a done, b done); invariant forbids "b before a".
+        type State = (bool, bool, bool);
+        type Action = &'static str;
+
+        fn initial(&self) -> Vec<Self::State> {
+            vec![(false, false, false)]
+        }
+
+        fn next(&self, s: &Self::State) -> Vec<(&'static str, Self::State)> {
+            let mut out = Vec::new();
+            if !s.0 {
+                out.push(("core/write", (true, s.1, s.2)));
+            }
+            if !s.1 {
+                // Records whether it ran before the core's write.
+                out.push(("timer/write", (s.0, true, !s.0)));
+            }
+            out
+        }
+
+        fn invariant(&self, s: &Self::State) -> Result<(), String> {
+            if s.2 {
+                Err("timer fired before the core wrote".into())
+            } else {
+                Ok(())
+            }
+        }
+
+        fn is_final(&self, s: &Self::State) -> bool {
+            s.0 && s.1
+        }
+    }
+
+    impl InstrumentedModel for OrderSensitive {
+        fn accesses(&self, action: &&'static str) -> Vec<Access> {
+            match *action {
+                "core/write" => vec![Access::write(Agent::Core, Loc::Ctrl)],
+                "timer/write" => vec![Access::write(Agent::Timer, Loc::Ctrl)],
+                _ => Vec::new(),
+            }
+        }
+    }
+
+    #[test]
+    fn order_sensitive_race_is_harmful() {
+        let r = detect_races(&OrderSensitive, 1000);
+        assert_eq!(r.races.len(), 1);
+        let race = &r.races[0];
+        assert_eq!(race.class, RaceClass::Harmful);
+        let cex = race.counterexample.as_ref().expect("harmful has a trace");
+        // The shortest counterexample is the single bad step.
+        assert_eq!(cex.as_slice(), &["timer/write"]);
+        // And the vector clocks agree: the two writes are unordered.
+        let hb = analyze_trace(&OrderSensitive, &["timer/write", "core/write"]);
+        assert_eq!(hb.len(), 1);
+        assert_eq!(hb[0].first.agent, Agent::Timer);
+        assert_eq!(hb[0].second.agent, Agent::Core);
+    }
+
+    #[test]
+    fn reads_acquire_writes_in_trace_analysis() {
+        // core/inc reads Queue before writing it, so a second action
+        // ordered through that location is not a race.
+        let hb = analyze_trace(&TwoIncrements, &["core/inc", "timer/inc"]);
+        // timer/inc reads Queue, acquiring core/inc's write: ordered.
+        assert!(hb.is_empty(), "{hb:?}");
+    }
+}

@@ -1,0 +1,102 @@
+//! Golden-trace tests: the checker's counterexamples are pinned down
+//! exactly, and independently verified to be shortest paths.
+//!
+//! `check()` explores breadth-first, so the trace it returns for a
+//! violation must have minimal length. These tests (a) freeze the
+//! canonical counterexamples for the injected protocol bugs so a
+//! regression in the search order or the model shows up as a diff, and
+//! (b) cross-check minimality against a plain BFS that knows nothing
+//! about trace reconstruction.
+
+use lauberhorn_mc::checker::{check, CheckOutcome, Model};
+use lauberhorn_mc::{LauberhornModel, LossyRpcConfig, LossyRpcModel, ProtocolConfig};
+
+/// Depth of the nearest invariant violation, by plain BFS.
+fn shortest_violation_depth<M: Model>(model: &M, max_depth: usize) -> Option<usize> {
+    let mut frontier = model.initial();
+    if frontier.iter().any(|s| model.invariant(s).is_err()) {
+        return Some(0);
+    }
+    let mut seen: std::collections::HashSet<M::State> = frontier.iter().cloned().collect();
+    for depth in 1..=max_depth {
+        let mut next = Vec::new();
+        for s in &frontier {
+            for (_, t) in model.next(s) {
+                if model.invariant(&t).is_err() {
+                    return Some(depth);
+                }
+                if seen.insert(t.clone()) {
+                    next.push(t);
+                }
+            }
+        }
+        frontier = next;
+    }
+    None
+}
+
+#[test]
+fn stale_timeout_counterexample_is_golden() {
+    // The canonical Figure 4 bug: a timer without the generation guard.
+    // The shortest path to the violation is exactly "deliver a request,
+    // then the stale timer answers the already-answered load".
+    let m = LauberhornModel::new(ProtocolConfig {
+        inject_stale_timeout_bug: true,
+        ..Default::default()
+    });
+    let r = check(&m, 1_000_000);
+    assert_eq!(
+        r.outcome,
+        CheckOutcome::InvariantViolated {
+            reason: "TRYAGAIN delivered to a non-waiting core".into()
+        }
+    );
+    assert_eq!(r.trace, vec!["inject/deliver", "stale-timeout/bug"]);
+    assert_eq!(shortest_violation_depth(&m, 32), Some(r.trace.len()));
+}
+
+#[test]
+fn unguarded_retire_counterexample_is_shortest() {
+    // Dropping the drain-before-RETIRE guard: the shortest road to the
+    // violation loses a frame, requests retirement, and retires with
+    // the retransmission still owed.
+    let m = LauberhornModel::new(ProtocolConfig {
+        inject_unguarded_retire_bug: true,
+        max_losses: 1,
+        ..Default::default()
+    });
+    let r = check(&m, 1_000_000);
+    assert!(matches!(r.outcome, CheckOutcome::InvariantViolated { .. }));
+    assert_eq!(
+        r.trace.last().copied(),
+        Some("retire/deliver-unguarded"),
+        "violating step is the unguarded retire: {:?}",
+        r.trace
+    );
+    assert_eq!(shortest_violation_depth(&m, 32), Some(r.trace.len()));
+}
+
+#[test]
+fn lossy_double_execution_counterexample_is_shortest() {
+    // The retransmission-layer bug (no server dedup window) from the
+    // lossy model: its counterexample is BFS-minimal too.
+    let m = LossyRpcModel::new(LossyRpcConfig {
+        server_dedup: false,
+        ..Default::default()
+    });
+    let r = check(&m, 1_000_000);
+    assert!(matches!(r.outcome, CheckOutcome::InvariantViolated { .. }));
+    assert_eq!(shortest_violation_depth(&m, 32), Some(r.trace.len()));
+}
+
+#[test]
+fn correct_models_have_no_trace() {
+    let m = LauberhornModel::new(ProtocolConfig {
+        max_losses: 1,
+        ..Default::default()
+    });
+    let r = check(&m, 2_000_000);
+    assert_eq!(r.outcome, CheckOutcome::Ok);
+    assert!(r.trace.is_empty());
+    assert_eq!(shortest_violation_depth(&m, 16), None);
+}

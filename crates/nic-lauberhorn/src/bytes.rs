@@ -1,0 +1,85 @@
+//! Checked byte-buffer accessors for line encode/decode paths.
+//!
+//! The NIC serialises CONTROL/AUX lines into fixed-size buffers. These
+//! helpers replace direct `buf[a..b]` indexing so a malformed length
+//! can never panic the hot path: writes beyond the buffer are dropped
+//! and reads beyond it yield zeroes / empty slices, with the callers'
+//! explicit length validation reporting the error.
+
+/// Copies `src` into `buf` at offset `at`; out-of-bounds writes are
+/// silently dropped (callers validate lengths up front).
+pub fn put(buf: &mut [u8], at: usize, src: &[u8]) {
+    if let Some(dst) = at
+        .checked_add(src.len())
+        .and_then(|end| buf.get_mut(at..end))
+    {
+        dst.copy_from_slice(src);
+    }
+}
+
+/// Writes one byte at `at`, dropping out-of-bounds writes.
+pub fn set(buf: &mut [u8], at: usize, v: u8) {
+    if let Some(b) = buf.get_mut(at) {
+        *b = v;
+    }
+}
+
+/// Reads one byte, zero past the end.
+pub fn get(buf: &[u8], at: usize) -> u8 {
+    buf.get(at).copied().unwrap_or(0)
+}
+
+/// `len` bytes starting at `at`; empty past the end.
+pub fn slice(buf: &[u8], at: usize, len: usize) -> &[u8] {
+    at.checked_add(len)
+        .and_then(|end| buf.get(at..end))
+        .unwrap_or(&[])
+}
+
+/// Big-endian u16 at `at` (zero-padded past the end).
+pub fn u16_be(buf: &[u8], at: usize) -> u16 {
+    u16::from_be_bytes([get(buf, at), get(buf, at.wrapping_add(1))])
+}
+
+/// Big-endian u32 at `at` (zero-padded past the end).
+pub fn u32_be(buf: &[u8], at: usize) -> u32 {
+    let mut w = [0u8; 4];
+    for (i, b) in w.iter_mut().enumerate() {
+        *b = get(buf, at.wrapping_add(i));
+    }
+    u32::from_be_bytes(w)
+}
+
+/// Little-endian u64 at `at` (zero-padded past the end).
+pub fn u64_le(buf: &[u8], at: usize) -> u64 {
+    let mut w = [0u8; 8];
+    for (i, b) in w.iter_mut().enumerate() {
+        *b = get(buf, at.wrapping_add(i));
+    }
+    u64::from_le_bytes(w)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_and_read_round_trip() {
+        let mut buf = vec![0u8; 16];
+        put(&mut buf, 4, &0xdead_beef_u32.to_be_bytes());
+        assert_eq!(u32_be(&buf, 4), 0xdead_beef);
+        put(&mut buf, 8, &0x1122_3344_5566_7788_u64.to_le_bytes());
+        assert_eq!(u64_le(&buf, 8), 0x1122_3344_5566_7788);
+    }
+
+    #[test]
+    fn out_of_bounds_is_inert() {
+        let mut buf = vec![0u8; 4];
+        put(&mut buf, 3, &[1, 2, 3]);
+        assert_eq!(buf, vec![0, 0, 0, 0]);
+        set(&mut buf, 9, 7);
+        assert_eq!(get(&buf, 9), 0);
+        assert_eq!(slice(&buf, 2, 10), &[] as &[u8]);
+        assert_eq!(u64_le(&buf, usize::MAX - 2), 0);
+    }
+}

@@ -16,6 +16,8 @@
 
 use lauberhorn_packet::{PacketError, Result};
 
+use crate::bytes;
+
 /// Fixed header bytes before the inline arguments.
 pub const DISPATCH_HEADER_LEN: usize = 32;
 
@@ -121,7 +123,7 @@ impl DispatchLine {
 
     /// Inline argument capacity of the first line for `line_size`.
     pub fn inline_capacity(line_size: usize) -> usize {
-        line_size - DISPATCH_HEADER_LEN
+        line_size.saturating_sub(DISPATCH_HEADER_LEN)
     }
 
     /// Number of AUX lines needed for `arg_len` argument bytes.
@@ -150,24 +152,34 @@ impl DispatchLine {
                 field: "arg_len",
             });
         }
+        if line_size < DISPATCH_HEADER_LEN {
+            return Err(PacketError::Truncated {
+                layer: "dispatch",
+                need: DISPATCH_HEADER_LEN,
+                have: line_size,
+            });
+        }
         let mut ctrl = vec![0u8; line_size];
-        ctrl[0..8].copy_from_slice(&self.code_ptr.to_le_bytes());
-        ctrl[8..16].copy_from_slice(&self.data_ptr.to_le_bytes());
-        ctrl[16..24].copy_from_slice(&self.request_id.to_le_bytes());
-        ctrl[24..26].copy_from_slice(&self.service_id.to_be_bytes());
-        ctrl[26..28].copy_from_slice(&self.method_id.to_be_bytes());
-        ctrl[28] = self.kind.to_u8();
-        ctrl[29] = n_aux as u8;
-        ctrl[30..32].copy_from_slice(&(self.args.len() as u16).to_be_bytes());
+        bytes::put(&mut ctrl, 0, &self.code_ptr.to_le_bytes());
+        bytes::put(&mut ctrl, 8, &self.data_ptr.to_le_bytes());
+        bytes::put(&mut ctrl, 16, &self.request_id.to_le_bytes());
+        bytes::put(&mut ctrl, 24, &self.service_id.to_be_bytes());
+        bytes::put(&mut ctrl, 26, &self.method_id.to_be_bytes());
+        bytes::set(&mut ctrl, 28, self.kind.to_u8());
+        bytes::set(&mut ctrl, 29, n_aux as u8);
+        bytes::put(&mut ctrl, 30, &(self.args.len() as u16).to_be_bytes());
         let inline = self.args.len().min(inline_cap);
-        ctrl[DISPATCH_HEADER_LEN..DISPATCH_HEADER_LEN + inline]
-            .copy_from_slice(&self.args[..inline]);
+        bytes::put(
+            &mut ctrl,
+            DISPATCH_HEADER_LEN,
+            bytes::slice(&self.args, 0, inline),
+        );
         let mut aux = Vec::with_capacity(n_aux);
         let mut off = inline;
         while off < self.args.len() {
             let take = (self.args.len() - off).min(line_size);
             let mut line = vec![0u8; line_size];
-            line[..take].copy_from_slice(&self.args[off..off + take]);
+            bytes::put(&mut line, 0, bytes::slice(&self.args, off, take));
             aux.push(line);
             off += take;
         }
@@ -184,9 +196,9 @@ impl DispatchLine {
                 have: ctrl.len(),
             });
         }
-        let kind = DispatchKind::from_u8(ctrl[28])?;
-        let n_aux = ctrl[29] as usize;
-        let arg_len = u16::from_be_bytes([ctrl[30], ctrl[31]]) as usize;
+        let kind = DispatchKind::from_u8(bytes::get(ctrl, 28))?;
+        let n_aux = bytes::get(ctrl, 29) as usize;
+        let arg_len = bytes::u16_be(ctrl, 30) as usize;
         if aux.len() < n_aux {
             return Err(PacketError::Truncated {
                 layer: "dispatch",
@@ -198,7 +210,7 @@ impl DispatchLine {
         let inline_cap = Self::inline_capacity(line_size);
         let mut args = Vec::with_capacity(arg_len);
         let inline = arg_len.min(inline_cap);
-        args.extend_from_slice(&ctrl[DISPATCH_HEADER_LEN..DISPATCH_HEADER_LEN + inline]);
+        args.extend_from_slice(bytes::slice(ctrl, DISPATCH_HEADER_LEN, inline));
         let mut remaining = arg_len - inline;
         for line in aux.iter().take(n_aux) {
             let take = remaining.min(line_size);
@@ -209,7 +221,7 @@ impl DispatchLine {
                     have: line.len(),
                 });
             }
-            args.extend_from_slice(&line[..take]);
+            args.extend_from_slice(bytes::slice(line, 0, take));
             remaining -= take;
         }
         if remaining != 0 {
@@ -220,11 +232,11 @@ impl DispatchLine {
             });
         }
         Ok(DispatchLine {
-            code_ptr: u64::from_le_bytes(ctrl[0..8].try_into().expect("8 bytes")),
-            data_ptr: u64::from_le_bytes(ctrl[8..16].try_into().expect("8 bytes")),
-            request_id: u64::from_le_bytes(ctrl[16..24].try_into().expect("8 bytes")),
-            service_id: u16::from_be_bytes([ctrl[24], ctrl[25]]),
-            method_id: u16::from_be_bytes([ctrl[26], ctrl[27]]),
+            code_ptr: bytes::u64_le(ctrl, 0),
+            data_ptr: bytes::u64_le(ctrl, 8),
+            request_id: bytes::u64_le(ctrl, 16),
+            service_id: bytes::u16_be(ctrl, 24),
+            method_id: bytes::u16_be(ctrl, 26),
             kind,
             args,
         })

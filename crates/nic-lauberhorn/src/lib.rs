@@ -25,6 +25,7 @@
 //!   set of cache lines, with credit-based backpressure (§5.1).
 //! * [`nic`] — [`nic::LauberhornNic`]: the composed device.
 
+pub mod bytes;
 pub mod continuation;
 pub mod demux;
 pub mod dispatch;

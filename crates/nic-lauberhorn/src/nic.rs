@@ -376,7 +376,9 @@ impl LauberhornNic {
     /// dispatch-loop channel).
     pub fn create_kernel_endpoint(&mut self, core: usize) -> (EndpointId, EndpointLayout) {
         let (id, layout) = self.alloc_endpoint(ProcessId(u32::MAX), EpMode::Kernel { core });
-        self.kernel_eps[core] = Some(id);
+        if let Some(slot) = self.kernel_eps.get_mut(core) {
+            *slot = Some(id);
+        }
         (id, layout)
     }
 
@@ -440,7 +442,7 @@ impl LauberhornNic {
                         // An RPC (or DMA-descriptor) delivery means this
                         // core will produce a response on this endpoint;
                         // remember it for cross-endpoint collection.
-                        if data.len() > 28 && (data[28] == 1 || data[28] == 4) {
+                        if matches!(data.get(28), Some(1 | 4)) {
                             self.pending_response_by_core.insert(core, id);
                         }
                     }
@@ -508,12 +510,13 @@ impl LauberhornNic {
                     .get_mut(&donor)
                     .and_then(|e| e.steal_request());
                 if let Some((line, ctx)) = stolen {
-                    let ep = self.endpoints.get_mut(&id).expect("endpoint exists");
-                    let outcome = ep.on_request(line, ctx);
-                    debug_assert!(
-                        matches!(outcome, RequestOutcome::Queued { .. }),
-                        "not parked yet, so the steal queues"
-                    );
+                    if let Some(ep) = self.endpoints.get_mut(&id) {
+                        let outcome = ep.on_request(line, ctx);
+                        debug_assert!(
+                            matches!(outcome, RequestOutcome::Queued { .. }),
+                            "not parked yet, so the steal queues"
+                        );
+                    }
                 }
             }
         }
@@ -538,12 +541,12 @@ impl LauberhornNic {
                 self.pending_response_by_core.remove(&core);
             }
         }
-        let effects = {
-            let ep = self
-                .endpoints
-                .get_mut(&id)
-                .expect("indexed endpoint exists");
-            ep.on_load(role, token, now)
+        let (effects, ep_process) = match self.endpoints.get_mut(&id) {
+            Some(ep) => {
+                let fx = ep.on_load(role, token, now);
+                (fx, Some(ep.process))
+            }
+            None => (Vec::new(), None),
         };
         // If the load parked (an ArmTimeout was emitted), record the
         // poller; the NIC infers user/kernel mode from the address (§4).
@@ -554,7 +557,9 @@ impl LauberhornNic {
         if parked {
             self.parked_core.insert(id, core);
             self.mirror.observe_poll(core, id, is_kernel, now);
-            if !is_kernel && self.kernel_queue_depth() > 0 {
+            if let (false, true, Some(process)) =
+                (is_kernel, self.kernel_queue_depth() > 0, ep_process)
+            {
                 // A user loop just went idle while requests wait in the
                 // kernel dispatch queues. If any of them target *this*
                 // endpoint's process, migrate one straight into the
@@ -563,7 +568,6 @@ impl LauberhornNic {
                 // the core can serve the other process — the NIC
                 // "provides dynamic load information to the kernel ...
                 // to reallocate cores".
-                let process = self.endpoints.get(&id).expect("endpoint exists").process;
                 let matching = {
                     let demux = &self.demux;
                     let kernel_eps: Vec<EndpointId> =
@@ -587,22 +591,16 @@ impl LauberhornNic {
                 };
                 if let Some((line, ctx)) = matching {
                     self.stats.fast_path += 1;
-                    let outcome = self
+                    match self
                         .endpoints
                         .get_mut(&id)
-                        .expect("endpoint exists")
-                        .on_request(line, ctx);
-                    let RequestOutcome::DeliveredToParked(fx) = outcome else {
-                        unreachable!("endpoint just parked");
-                    };
-                    effects.extend(fx);
-                } else {
-                    let retire_fx = self
-                        .endpoints
-                        .get_mut(&id)
-                        .expect("endpoint exists")
-                        .retire();
-                    effects.extend(retire_fx);
+                        .map(|ep| ep.on_request(line, ctx))
+                    {
+                        Some(RequestOutcome::DeliveredToParked(fx)) => effects.extend(fx),
+                        other => debug_assert!(other.is_none(), "endpoint just parked"),
+                    }
+                } else if let Some(ep) = self.endpoints.get_mut(&id) {
+                    effects.extend(ep.retire());
                 }
             }
         }
@@ -752,15 +750,23 @@ impl LauberhornNic {
         wire_payload: &[u8],
         client: EndpointAddr,
     ) -> Vec<NicAction> {
-        let (code_ptr, data_ptr, process, endpoints) =
+        let (code_ptr, data_ptr, signature, process, endpoints) =
             match self.demux.method(header.service_id, header.method_id) {
-                Ok(m) => {
-                    let svc = self
-                        .demux
-                        .service(header.service_id)
-                        .expect("method implies service");
-                    (m.code_ptr, m.data_ptr, svc.process, svc.endpoints.clone())
-                }
+                Ok(m) => match self.demux.service(header.service_id) {
+                    Ok(svc) => (
+                        m.code_ptr,
+                        m.data_ptr,
+                        m.signature.clone(),
+                        svc.process,
+                        svc.endpoints.clone(),
+                    ),
+                    Err(_) => {
+                        return self.drop_frame(
+                            DropReason::UnknownService(header.service_id),
+                            Some(header.request_id),
+                        )
+                    }
+                },
                 Err(DemuxError::UnknownService(s)) => {
                     return self.drop_frame(DropReason::UnknownService(s), Some(header.request_id))
                 }
@@ -772,12 +778,6 @@ impl LauberhornNic {
                 }
             };
         // Deserialization offload: wire form → dispatch form (§5.1).
-        let signature = self
-            .demux
-            .method(header.service_id, header.method_id)
-            .expect("checked above")
-            .signature
-            .clone();
         let Ok(args) = transform_to_dispatch_form(&signature, wire_payload) else {
             return self.drop_frame(DropReason::Malformed, Some(header.request_id));
         };
@@ -835,47 +835,56 @@ impl LauberhornNic {
             .find(|id| self.endpoints.get(id).is_some_and(|e| e.is_parked()));
         if let Some(&id) = parked_user {
             self.stats.fast_path += 1;
-            let outcome = self
+            match self
                 .endpoints
                 .get_mut(&id)
-                .expect("endpoint exists")
-                .on_request(line, ctx);
-            let RequestOutcome::DeliveredToParked(effects) = outcome else {
-                unreachable!("endpoint was parked");
-            };
-            let mut actions = pre_actions;
-            actions.extend(self.map_effects(id, effects, t, None));
-            return actions;
+                .map(|ep| ep.on_request(line, ctx))
+            {
+                Some(RequestOutcome::DeliveredToParked(effects)) => {
+                    let mut actions = pre_actions;
+                    actions.extend(self.map_effects(id, effects, t, None));
+                    return actions;
+                }
+                other => {
+                    // A parked endpoint answers the delivery; anything
+                    // else means it vanished between the scan and now.
+                    debug_assert!(other.is_none(), "endpoint was parked");
+                    return pre_actions;
+                }
+            }
         }
         // 2. the process is running (busy): queue at its least-loaded
         //    endpoint — unless the queue has built past the scale-up
         //    threshold and a kernel dispatcher is free, in which case
         //    the NIC recruits another core for the service (§5.2);
-        if self.mirror.is_running(process) && !endpoints.is_empty() {
-            let id = *endpoints
-                .iter()
-                .min_by_key(|id| {
-                    self.endpoints
-                        .get(id)
-                        .map_or(usize::MAX, |e| e.queue_depth())
-                })
-                .expect("non-empty");
+        let least_loaded_user = endpoints
+            .iter()
+            .min_by_key(|id| {
+                self.endpoints
+                    .get(id)
+                    .map_or(usize::MAX, |e| e.queue_depth())
+            })
+            .copied();
+        if let (true, Some(id)) = (self.mirror.is_running(process), least_loaded_user) {
             let depth = self.endpoints.get(&id).map_or(0, |e| e.queue_depth());
             let scale_out = depth >= self.cfg.scale_up_queue_threshold
                 && !self.mirror.kernel_pollers().is_empty();
             if !scale_out {
                 let depth_now = {
-                    let ep = self.endpoints.get_mut(&id).expect("endpoint exists");
-                    match ep.on_request(line.clone(), ctx.clone()) {
-                        RequestOutcome::Queued { depth } => Some(depth),
-                        RequestOutcome::DeliveredToParked(effects) => {
+                    match self
+                        .endpoints
+                        .get_mut(&id)
+                        .map(|ep| ep.on_request(line.clone(), ctx.clone()))
+                    {
+                        Some(RequestOutcome::Queued { depth }) => Some(depth),
+                        Some(RequestOutcome::DeliveredToParked(effects)) => {
                             // Raced with a park between the check and now.
                             self.stats.fast_path += 1;
                             let mut actions = pre_actions;
                             actions.extend(self.map_effects(id, effects, t, None));
                             return actions;
                         }
-                        RequestOutcome::Rejected => None,
+                        Some(RequestOutcome::Rejected) | None => None,
                     }
                 };
                 if let Some(depth) = depth_now {
@@ -943,10 +952,9 @@ impl LauberhornNic {
             let outcome = self
                 .endpoints
                 .get_mut(&id)
-                .expect("kernel endpoint exists")
-                .on_request(line.clone(), ctx.clone());
+                .map(|ep| ep.on_request(line.clone(), ctx.clone()));
             match outcome {
-                RequestOutcome::Queued { .. } => {
+                Some(RequestOutcome::Queued { .. }) => {
                     self.stats.queued_kernel += 1;
                     let mut actions = pre_actions;
                     if let Some(core) = self.preemption_victim() {
@@ -954,7 +962,7 @@ impl LauberhornNic {
                     }
                     return actions;
                 }
-                RequestOutcome::DeliveredToParked(effects) => {
+                Some(RequestOutcome::DeliveredToParked(effects)) => {
                     self.stats.kernel_path += 1;
                     let core = match self.modes.get(&id) {
                         Some(EpMode::Kernel { core }) => *core,
@@ -969,7 +977,7 @@ impl LauberhornNic {
                     actions.extend(self.map_effects(id, effects, t, None));
                     return actions;
                 }
-                RequestOutcome::Rejected => {}
+                Some(RequestOutcome::Rejected) | None => {}
             }
         }
         // 5. last resort: queue at a user endpoint of the service even
@@ -1059,10 +1067,9 @@ impl LauberhornNic {
             match self
                 .endpoints
                 .get_mut(&id)
-                .expect("kernel endpoint exists")
-                .on_request(line, ctx)
+                .map(|ep| ep.on_request(line, ctx))
             {
-                RequestOutcome::Queued { .. } => {
+                Some(RequestOutcome::Queued { .. }) => {
                     self.stats.queued_kernel += 1;
                     let mut actions = Vec::new();
                     if let Some(core) = self.preemption_victim() {
@@ -1070,7 +1077,7 @@ impl LauberhornNic {
                     }
                     return actions;
                 }
-                RequestOutcome::DeliveredToParked(effects) => {
+                Some(RequestOutcome::DeliveredToParked(effects)) => {
                     self.stats.kernel_path += 1;
                     let core = match self.modes.get(&id) {
                         Some(EpMode::Kernel { core }) => *core,
@@ -1084,7 +1091,7 @@ impl LauberhornNic {
                     actions.extend(self.map_effects(id, effects, t, None));
                     return actions;
                 }
-                RequestOutcome::Rejected => {}
+                Some(RequestOutcome::Rejected) | None => {}
             }
         }
         self.drop_frame(DropReason::Overflow, Some(request_id))

@@ -68,7 +68,9 @@ impl SchedMirror {
 
     /// Kernel push: `process` (or none) now runs on `core`.
     pub fn set_running(&mut self, core: usize, process: Option<ProcessId>, now: SimTime) {
-        let v = &mut self.cores[core];
+        let Some(v) = self.cores.get_mut(core) else {
+            return;
+        };
         v.running = process;
         if process.is_none() {
             v.mode = CoreMode::Idle;
@@ -81,7 +83,9 @@ impl SchedMirror {
 
     /// Inference from an observed load: `core` is blocked on `ep`.
     pub fn observe_poll(&mut self, core: usize, ep: EndpointId, kernel_mode: bool, now: SimTime) {
-        let v = &mut self.cores[core];
+        let Some(v) = self.cores.get_mut(core) else {
+            return;
+        };
         v.mode = if kernel_mode {
             CoreMode::PollingKernel(ep)
         } else {
@@ -92,7 +96,9 @@ impl SchedMirror {
 
     /// The core stopped polling (its fill was answered).
     pub fn observe_unpark(&mut self, core: usize, now: SimTime) {
-        let v = &mut self.cores[core];
+        let Some(v) = self.cores.get_mut(core) else {
+            return;
+        };
         if matches!(
             v.mode,
             CoreMode::PollingUser(_) | CoreMode::PollingKernel(_)
@@ -106,9 +112,9 @@ impl SchedMirror {
         }
     }
 
-    /// View of one core.
+    /// View of one core (out-of-range cores read as an idle default).
     pub fn core(&self, core: usize) -> CoreView {
-        self.cores[core]
+        self.cores.get(core).copied().unwrap_or_default()
     }
 
     /// Cores on which `process` is currently believed to run.

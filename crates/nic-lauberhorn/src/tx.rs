@@ -21,6 +21,8 @@
 
 use lauberhorn_coherence::{FillToken, LineAddr};
 use lauberhorn_packet::{PacketError, Result};
+
+use crate::bytes;
 use std::net::Ipv4Addr;
 
 use crate::endpoint::EndpointLayout;
@@ -55,7 +57,7 @@ pub struct TxLine {
 impl TxLine {
     /// Inline argument capacity of the first line.
     pub fn inline_capacity(line_size: usize) -> usize {
-        line_size - TX_HEADER_LEN
+        line_size.saturating_sub(TX_HEADER_LEN)
     }
 
     /// Encodes into control + AUX lines of `line_size` bytes.
@@ -72,23 +74,34 @@ impl TxLine {
                 field: "arg_len",
             });
         }
+        if line_size < TX_HEADER_LEN {
+            return Err(PacketError::Truncated {
+                layer: "tx",
+                need: TX_HEADER_LEN,
+                have: line_size,
+            });
+        }
         let mut ctrl = vec![0u8; line_size];
-        ctrl[0..4].copy_from_slice(&self.dst_ip.octets());
-        ctrl[4..6].copy_from_slice(&self.dst_port.to_be_bytes());
-        ctrl[6..8].copy_from_slice(&self.service_id.to_be_bytes());
-        ctrl[8..10].copy_from_slice(&self.method_id.to_be_bytes());
-        ctrl[12..20].copy_from_slice(&self.request_id.to_le_bytes());
-        ctrl[20..24].copy_from_slice(&self.cont_hint.to_be_bytes());
-        ctrl[24] = n_aux as u8;
-        ctrl[26..28].copy_from_slice(&(self.args.len() as u16).to_be_bytes());
+        bytes::put(&mut ctrl, 0, &self.dst_ip.octets());
+        bytes::put(&mut ctrl, 4, &self.dst_port.to_be_bytes());
+        bytes::put(&mut ctrl, 6, &self.service_id.to_be_bytes());
+        bytes::put(&mut ctrl, 8, &self.method_id.to_be_bytes());
+        bytes::put(&mut ctrl, 12, &self.request_id.to_le_bytes());
+        bytes::put(&mut ctrl, 20, &self.cont_hint.to_be_bytes());
+        bytes::set(&mut ctrl, 24, n_aux as u8);
+        bytes::put(&mut ctrl, 26, &(self.args.len() as u16).to_be_bytes());
         let inline = self.args.len().min(inline_cap);
-        ctrl[TX_HEADER_LEN..TX_HEADER_LEN + inline].copy_from_slice(&self.args[..inline]);
+        bytes::put(
+            &mut ctrl,
+            TX_HEADER_LEN,
+            bytes::slice(&self.args, 0, inline),
+        );
         let mut aux = Vec::with_capacity(n_aux);
         let mut off = inline;
         while off < self.args.len() {
             let take = (self.args.len() - off).min(line_size);
             let mut line = vec![0u8; line_size];
-            line[..take].copy_from_slice(&self.args[off..off + take]);
+            bytes::put(&mut line, 0, bytes::slice(&self.args, off, take));
             aux.push(line);
             off += take;
         }
@@ -104,8 +117,8 @@ impl TxLine {
                 have: ctrl.len(),
             });
         }
-        let n_aux = ctrl[24] as usize;
-        let arg_len = u16::from_be_bytes([ctrl[26], ctrl[27]]) as usize;
+        let n_aux = bytes::get(ctrl, 24) as usize;
+        let arg_len = bytes::u16_be(ctrl, 26) as usize;
         if aux.len() < n_aux {
             return Err(PacketError::Truncated {
                 layer: "tx",
@@ -117,11 +130,11 @@ impl TxLine {
         let inline_cap = Self::inline_capacity(line_size);
         let inline = arg_len.min(inline_cap);
         let mut args = Vec::with_capacity(arg_len);
-        args.extend_from_slice(&ctrl[TX_HEADER_LEN..TX_HEADER_LEN + inline]);
+        args.extend_from_slice(bytes::slice(ctrl, TX_HEADER_LEN, inline));
         let mut remaining = arg_len - inline;
         for line in aux.iter().take(n_aux) {
             let take = remaining.min(line_size);
-            args.extend_from_slice(&line[..take]);
+            args.extend_from_slice(bytes::slice(line, 0, take));
             remaining -= take;
         }
         if remaining != 0 {
@@ -132,12 +145,17 @@ impl TxLine {
             });
         }
         Ok(TxLine {
-            dst_ip: Ipv4Addr::new(ctrl[0], ctrl[1], ctrl[2], ctrl[3]),
-            dst_port: u16::from_be_bytes([ctrl[4], ctrl[5]]),
-            service_id: u16::from_be_bytes([ctrl[6], ctrl[7]]),
-            method_id: u16::from_be_bytes([ctrl[8], ctrl[9]]),
-            request_id: u64::from_le_bytes(ctrl[12..20].try_into().expect("8 bytes")),
-            cont_hint: u32::from_be_bytes(ctrl[20..24].try_into().expect("4 bytes")),
+            dst_ip: Ipv4Addr::new(
+                bytes::get(ctrl, 0),
+                bytes::get(ctrl, 1),
+                bytes::get(ctrl, 2),
+                bytes::get(ctrl, 3),
+            ),
+            dst_port: bytes::u16_be(ctrl, 4),
+            service_id: bytes::u16_be(ctrl, 6),
+            method_id: bytes::u16_be(ctrl, 8),
+            request_id: bytes::u64_le(ctrl, 12),
+            cont_hint: bytes::u32_be(ctrl, 20),
             args,
         })
     }

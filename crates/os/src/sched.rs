@@ -69,6 +69,7 @@ pub struct OsScheduler {
 impl OsScheduler {
     /// Creates a scheduler for `num_cores` cores, all idle.
     pub fn new(num_cores: usize) -> Self {
+        // lint:allow(panic-path): construction-time config validation, not request path
         assert!(num_cores > 0, "scheduler needs at least one core");
         OsScheduler {
             cores: vec![None; num_cores],
@@ -138,8 +139,8 @@ impl OsScheduler {
             return core;
         }
         (0..self.cores.len())
-            .min_by_key(|&c| self.queues[c].len())
-            .expect("at least one core")
+            .min_by_key(|&c| self.queue_len(c))
+            .unwrap_or(0)
     }
 
     /// Wakes a blocked thread, placing it on a core.
@@ -158,46 +159,54 @@ impl OsScheduler {
         let core = self.place_core(&info);
         // A sleeper's vruntime is floored to the queue's minimum so it
         // neither starves others nor gets starved.
-        let vr = info.vruntime.max(self.min_vruntime[core]);
-        let t = self.threads.get_mut(&tid).expect("checked above");
+        let vr = info
+            .vruntime
+            .max(self.min_vruntime.get(core).copied().unwrap_or(0));
+        let occupant = self.cores.get(core).copied().flatten();
+        let t = self
+            .threads
+            .get_mut(&tid)
+            .ok_or(SchedError::UnknownThread(tid))?;
         t.vruntime = vr;
-        if self.cores[core].is_none() {
-            t.state = ThreadState::Running { core };
-            self.cores[core] = Some(tid);
-            Ok(WakeDecision::RunOn { core })
-        } else {
-            t.state = ThreadState::Runnable;
-            self.queues[core].insert((vr, tid));
-            let preempt = match self.cores[core].and_then(|cur| self.threads.get(&cur)) {
-                Some(cur) => vr + WAKEUP_PREEMPT_GRANULARITY < cur.vruntime,
-                None => false,
-            };
-            Ok(WakeDecision::Enqueued { core, preempt })
+        match occupant {
+            None => {
+                t.state = ThreadState::Running { core };
+                if let Some(slot) = self.cores.get_mut(core) {
+                    *slot = Some(tid);
+                }
+                Ok(WakeDecision::RunOn { core })
+            }
+            Some(cur) => {
+                t.state = ThreadState::Runnable;
+                if let Some(q) = self.queues.get_mut(core) {
+                    q.insert((vr, tid));
+                }
+                let preempt = self
+                    .threads
+                    .get(&cur)
+                    .is_some_and(|c| vr + WAKEUP_PREEMPT_GRANULARITY < c.vruntime);
+                Ok(WakeDecision::Enqueued { core, preempt })
+            }
         }
     }
 
     /// Charges `ran_for` of runtime to the thread currently on `core`.
     pub fn account(&mut self, core: usize, ran_for: SimDuration) -> Result<(), SchedError> {
-        let tid = self.cores.get(core).ok_or(SchedError::BadCore(core))?;
-        if let Some(tid) = tid {
-            let t = self
-                .threads
-                .get_mut(tid)
-                .expect("current thread is registered");
+        let tid = *self.cores.get(core).ok_or(SchedError::BadCore(core))?;
+        if let Some(t) = tid.and_then(|tid| self.threads.get_mut(&tid)) {
             t.vruntime += ran_for.as_ps();
         }
         Ok(())
     }
 
     fn pick_from_queue(&mut self, core: usize) -> Option<ThreadId> {
-        let first = self.queues[core].iter().next().copied();
-        if let Some((vr, tid)) = first {
-            self.queues[core].remove(&(vr, tid));
-            self.min_vruntime[core] = self.min_vruntime[core].max(vr);
-            Some(tid)
-        } else {
-            None
+        let q = self.queues.get_mut(core)?;
+        let (vr, tid) = q.iter().next().copied()?;
+        q.remove(&(vr, tid));
+        if let Some(floor) = self.min_vruntime.get_mut(core) {
+            *floor = (*floor).max(vr);
         }
+        Some(tid)
     }
 
     /// Blocks the current thread on `core` and dispatches the next
@@ -205,15 +214,11 @@ impl OsScheduler {
     ///
     /// Returns the new current thread.
     pub fn block_current(&mut self, core: usize) -> Result<Option<ThreadId>, SchedError> {
-        if core >= self.cores.len() {
-            return Err(SchedError::BadCore(core));
-        }
-        if let Some(tid) = self.cores[core] {
-            self.threads
-                .get_mut(&tid)
-                .expect("current thread is registered")
-                .state = ThreadState::Blocked;
-            self.cores[core] = None;
+        let slot = self.cores.get_mut(core).ok_or(SchedError::BadCore(core))?;
+        if let Some(tid) = slot.take() {
+            if let Some(t) = self.threads.get_mut(&tid) {
+                t.state = ThreadState::Blocked;
+            }
         }
         Ok(self.dispatch(core))
     }
@@ -226,19 +231,16 @@ impl OsScheduler {
         &mut self,
         core: usize,
     ) -> Result<(Option<ThreadId>, Option<ThreadId>), SchedError> {
-        if core >= self.cores.len() {
-            return Err(SchedError::BadCore(core));
-        }
-        let old = self.cores[core];
+        let slot = self.cores.get_mut(core).ok_or(SchedError::BadCore(core))?;
+        let old = slot.take();
         if let Some(tid) = old {
-            let t = self
-                .threads
-                .get_mut(&tid)
-                .expect("current thread is registered");
-            t.state = ThreadState::Runnable;
-            let vr = t.vruntime;
-            self.queues[core].insert((vr, tid));
-            self.cores[core] = None;
+            if let Some(t) = self.threads.get_mut(&tid) {
+                t.state = ThreadState::Runnable;
+                let vr = t.vruntime;
+                if let Some(q) = self.queues.get_mut(core) {
+                    q.insert((vr, tid));
+                }
+            }
         }
         let new = self.dispatch(core);
         Ok((old, new))
@@ -247,18 +249,17 @@ impl OsScheduler {
     /// If `core` is idle, pulls the lowest-vruntime runnable thread
     /// onto it. Out-of-range cores dispatch nothing.
     pub fn dispatch(&mut self, core: usize) -> Option<ThreadId> {
-        if core >= self.cores.len() {
-            return None;
-        }
-        if self.cores[core].is_some() {
-            return self.cores[core];
+        let occupant = self.cores.get(core).copied()?;
+        if occupant.is_some() {
+            return occupant;
         }
         let next = self.pick_from_queue(core)?;
-        self.threads
-            .get_mut(&next)
-            .expect("queued thread is registered")
-            .state = ThreadState::Running { core };
-        self.cores[core] = Some(next);
+        if let Some(t) = self.threads.get_mut(&next) {
+            t.state = ThreadState::Running { core };
+        }
+        if let Some(slot) = self.cores.get_mut(core) {
+            *slot = Some(next);
+        }
         Some(next)
     }
 
@@ -268,6 +269,7 @@ impl OsScheduler {
         if to_core >= self.cores.len() {
             return Err(SchedError::BadCore(to_core));
         }
+        let floor = self.min_vruntime.get(to_core).copied().unwrap_or(0);
         let info = self
             .threads
             .get_mut(&tid)
@@ -275,13 +277,15 @@ impl OsScheduler {
         if info.state != ThreadState::Runnable {
             return Ok(());
         }
-        let vr = info.vruntime;
+        let old_vr = info.vruntime;
+        let vr = old_vr.max(floor);
+        info.vruntime = vr;
         for q in &mut self.queues {
-            q.remove(&(vr, tid));
+            q.remove(&(old_vr, tid));
         }
-        let vr = vr.max(self.min_vruntime[to_core]);
-        self.threads.get_mut(&tid).expect("checked above").vruntime = vr;
-        self.queues[to_core].insert((vr, tid));
+        if let Some(q) = self.queues.get_mut(to_core) {
+            q.insert((vr, tid));
+        }
         Ok(())
     }
 

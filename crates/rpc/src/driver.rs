@@ -130,7 +130,7 @@ pub fn run(stack: &mut (impl ServerStack + ?Sized), workload: &WorkloadSpec) -> 
     let client_addr = EndpointAddr::host(2, 7000);
     let mut digest = RequestDigest::new();
     let mut next_request_id = 0u64;
-    let mut client_of = std::collections::HashMap::new();
+    let mut client_of = std::collections::BTreeMap::new();
 
     // Fault/retry machinery: all `None`/empty on a clean run, in which
     // case no extra RNG stream is created and no extra event is ever
@@ -143,8 +143,8 @@ pub fn run(stack: &mut (impl ServerStack + ?Sized), workload: &WorkloadSpec) -> 
         .wire_tx
         .enabled()
         .then(|| FaultInjector::new(workload.faults.wire_tx, workload.seed, "fault.wire.tx"));
-    let mut outstanding: std::collections::HashMap<u64, Outstanding> =
-        std::collections::HashMap::new();
+    let mut outstanding: std::collections::BTreeMap<u64, Outstanding> =
+        std::collections::BTreeMap::new();
 
     match &workload.mode {
         LoadMode::Open { .. } => {
@@ -180,11 +180,9 @@ pub fn run(stack: &mut (impl ServerStack + ?Sized), workload: &WorkloadSpec) -> 
         };
 
         if client_side {
-            let (now, ev) = stack
-                .common()
-                .client_q
-                .pop()
-                .expect("peeked time implies an event");
+            let Some((now, ev)) = stack.common().client_q.pop() else {
+                break;
+            };
             last_now = now;
             let common = stack.common();
             if now > common.hard_end {
@@ -240,15 +238,16 @@ pub fn run(stack: &mut (impl ServerStack + ?Sized), workload: &WorkloadSpec) -> 
                                     client,
                                 },
                             );
-                            let rng = retry_rng.as_mut().expect("retry implies its stream");
-                            let rto = jittered_rto(policy, 1, rng);
-                            common.client_q.schedule(
-                                now + rto,
-                                ClientEv::Retry {
-                                    request_id,
-                                    attempt: 1,
-                                },
-                            );
+                            if let Some(rng) = retry_rng.as_mut() {
+                                let rto = jittered_rto(policy, 1, rng);
+                                common.client_q.schedule(
+                                    now + rto,
+                                    ClientEv::Retry {
+                                        request_id,
+                                        attempt: 1,
+                                    },
+                                );
+                            }
                         }
                         send_frame(stack, &mut tx_fault, now, raw, request_id);
                         if let Some(arr) = arrivals.as_mut() {
@@ -300,15 +299,15 @@ pub fn run(stack: &mut (impl ServerStack + ?Sized), workload: &WorkloadSpec) -> 
                     request_id,
                     attempt,
                 } => {
-                    let policy = retry.expect("a retry event implies a policy");
-                    if !outstanding.contains_key(&request_id) {
-                        // Answered (or already abandoned): stale timer.
+                    let Some(policy) = retry else {
+                        // A retry event without a policy: stale state.
                         continue;
-                    }
+                    };
                     if attempt >= policy.max_attempts {
-                        let o = outstanding
-                            .remove(&request_id)
-                            .expect("checked contains_key above");
+                        let Some(o) = outstanding.remove(&request_id) else {
+                            // Answered (or already abandoned): stale timer.
+                            continue;
+                        };
                         client_of.remove(&request_id);
                         let common = stack.common();
                         common.metrics.faults.retries_exhausted += 1;
@@ -324,29 +323,31 @@ pub fn run(stack: &mut (impl ServerStack + ?Sized), workload: &WorkloadSpec) -> 
                             }
                         }
                     } else {
-                        let raw = outstanding
-                            .get(&request_id)
-                            .expect("checked contains_key above")
-                            .raw
-                            .clone();
+                        let Some(raw) = outstanding.get(&request_id).map(|o| o.raw.clone()) else {
+                            // Answered (or already abandoned): stale timer.
+                            continue;
+                        };
                         let common = stack.common();
                         common.metrics.faults.retransmits += 1;
-                        let rng = retry_rng.as_mut().expect("retry implies its stream");
-                        let next = attempt + 1;
-                        let rto = jittered_rto(&policy, next, rng);
-                        common.client_q.schedule(
-                            now + rto,
-                            ClientEv::Retry {
-                                request_id,
-                                attempt: next,
-                            },
-                        );
+                        if let Some(rng) = retry_rng.as_mut() {
+                            let next = attempt + 1;
+                            let rto = jittered_rto(&policy, next, rng);
+                            common.client_q.schedule(
+                                now + rto,
+                                ClientEv::Retry {
+                                    request_id,
+                                    attempt: next,
+                                },
+                            );
+                        }
                         send_frame(stack, &mut tx_fault, now, raw, request_id);
                     }
                 }
             }
         } else {
-            let now = stack_t.expect("stack side chosen implies an event");
+            let Some(now) = stack_t else {
+                break;
+            };
             last_now = now;
             let common = stack.common();
             if now > common.hard_end {

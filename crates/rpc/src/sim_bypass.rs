@@ -138,6 +138,7 @@ impl BypassSim {
                         buf_len: 16384,
                     },
                 )
+                // lint:allow(panic-path): construction-time ring setup
                 .expect("fresh ring has room");
             }
             nic.mask_queue(qi); // Polled mode: interrupts never fire.
@@ -148,6 +149,7 @@ impl BypassSim {
             let core = i % cfg.cores;
             bindings.bind(s.service_id, core, SimTime::ZERO);
             fdir.program(BASE_PORT + s.service_id, core as u32)
+                // lint:allow(panic-path): construction-time flow-table setup
                 .expect("table sized for the experiments");
         }
         let cost = cfg.machine.cost_model();
@@ -183,13 +185,16 @@ impl BypassSim {
         self.services
             .iter()
             .find(|s| s.service_id == service)
+            // lint:allow(panic-path): services are fixed at construction and the flow director only steers registered ports
             .expect("request targets a registered service")
     }
 
     fn schedule_check(&mut self, core: usize, at: SimTime) {
-        if !self.check_scheduled[core] {
-            self.check_scheduled[core] = true;
-            self.q.schedule(at, Ev::CoreCheck { core });
+        if let Some(flag) = self.check_scheduled.get_mut(core) {
+            if !*flag {
+                *flag = true;
+                self.q.schedule(at, Ev::CoreCheck { core });
+            }
         }
     }
 
@@ -217,35 +222,43 @@ impl BypassSim {
                 // The driver recycles the buffer (refill happens in the
                 // poll loop on real systems; the copy to user space has
                 // completed by then).
-                self.nic
-                    .post_rx(queue, delivery.desc)
-                    .expect("slot was just freed");
+                if self.nic.post_rx(queue, delivery.desc).is_err() {
+                    debug_assert!(false, "slot was just freed");
+                }
                 let core = queue as usize;
-                self.pending[core].push_back(PendingPkt {
-                    ready_at: delivery.ready_at,
-                    request_id,
-                    service,
-                    payload_len,
-                });
+                if let Some(q) = self.pending.get_mut(core) {
+                    q.push_back(PendingPkt {
+                        ready_at: delivery.ready_at,
+                        request_id,
+                        service,
+                        payload_len,
+                    });
+                }
                 self.schedule_check(core, delivery.ready_at);
             }
             Err(RxDrop::NoDescriptor { .. }) => {
                 self.common.drop_request(request_id);
             }
-            Err(e) => unreachable!("rx failed: {e:?}"),
+            Err(e) => {
+                debug_assert!(false, "rx failed: {e:?}");
+                self.common.drop_request(request_id);
+            }
         }
     }
 
     fn on_core_check(&mut self, core: usize, now: SimTime) {
-        self.check_scheduled[core] = false;
-        let Some(front) = self.pending[core].front() else {
+        if let Some(flag) = self.check_scheduled.get_mut(core) {
+            *flag = false;
+        }
+        let Some(front) = self.pending.get(core).and_then(|q| q.front()) else {
             return;
         };
         let service = front.service;
         let ready_at = front.ready_at;
         // The service may be mid-rebind (drain window).
         let bind_ok = self.bindings.available(service, now);
-        let start = now.max(self.busy_until[core]).max(ready_at);
+        let busy = self.busy_until.get(core).copied().unwrap_or(now);
+        let start = now.max(busy).max(ready_at);
         if start > now || !bind_ok {
             let retry = if bind_ok {
                 start
@@ -255,7 +268,9 @@ impl BypassSim {
             self.schedule_check(core, retry);
             return;
         }
-        let pkt = self.pending[core].pop_front().expect("front existed");
+        let Some(pkt) = self.pending.get_mut(core).and_then(|q| q.pop_front()) else {
+            return;
+        };
         // The bypass receive path: one poll iteration found the packet,
         // minimal user-space protocol handling, dispatch, software
         // unmarshal (no NIC offload here), then the handler.
@@ -271,7 +286,9 @@ impl BypassSim {
         // warmed completions, like the other stacks).
         self.common.charge_req(pkt.request_id, sw_total);
         let done = now + self.cost.cycles(sw + handler);
-        self.busy_until[core] = done;
+        if let Some(b) = self.busy_until.get_mut(core) {
+            *b = done;
+        }
         self.q.schedule(
             done,
             Ev::HandlerDone {
@@ -295,7 +312,12 @@ impl BypassSim {
             },
         ) {
             Ok(t) => t,
-            Err(e) => unreachable!("tx failed: {e:?}"),
+            Err(e) => {
+                // TX ring exhaustion is not modelled as backpressure:
+                // send at the doorbell time and flag the model bug.
+                debug_assert!(false, "tx failed: {e:?}");
+                now + self.nic.doorbell_cost()
+            }
         };
         if let Some(t) = self.common.times.get_mut(&request_id) {
             t.handler_end = now;
@@ -303,10 +325,14 @@ impl BypassSim {
         }
         let arrive = tx_done + self.common.wire.deliver(frame_len);
         self.common.complete(arrive, request_id);
-        self.busy_until[core] = self.busy_until[core].max(now + self.nic.doorbell_cost());
+        let doorbell_done = now + self.nic.doorbell_cost();
+        if let Some(b) = self.busy_until.get_mut(core) {
+            *b = (*b).max(doorbell_done);
+        }
         // Back to polling.
-        if !self.pending[core].is_empty() {
-            self.schedule_check(core, self.busy_until[core]);
+        if self.pending.get(core).is_some_and(|q| !q.is_empty()) {
+            let busy = self.busy_until.get(core).copied().unwrap_or(doorbell_done);
+            self.schedule_check(core, busy);
         }
     }
 
@@ -316,9 +342,9 @@ impl BypassSim {
         let hot = workload.mix.hot_set(self.cfg.cores, now);
         for (i, s) in hot.iter().enumerate() {
             self.bindings.bind(*s, i, now);
-            self.fdir
-                .program(BASE_PORT + s, i as u32)
-                .expect("table capacity");
+            if self.fdir.program(BASE_PORT + s, i as u32).is_err() {
+                debug_assert!(false, "flow table sized for the experiments");
+            }
         }
     }
 
@@ -352,6 +378,7 @@ impl BypassSim {
 
 impl ServerStack for BypassSim {
     fn build(machine: MachineConfig, services: Vec<ServiceSpec>) -> Self {
+        // lint:allow(panic-path): construction-time config validation
         assert!(
             !machine.machine.is_coherent(),
             "the bypass stack needs a DMA NIC, not a coherent fabric"

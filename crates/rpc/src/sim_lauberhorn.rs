@@ -19,7 +19,7 @@
 //! checksummed by the NIC, transformed by the deserialization offload,
 //! and delivered as real bytes through the coherence protocol.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 use lauberhorn_coherence::{CacheId, CoherentSystem, FabricModel, LineAddr, LoadResult};
 use lauberhorn_nic::demux::DemuxError;
@@ -161,17 +161,17 @@ pub struct LauberhornSim {
     nic: LauberhornNic,
     energy: EnergyMeter,
     cores: Vec<CoreCtx>,
-    user_eps: HashMap<(u16, usize), (EndpointId, EndpointLayout)>,
+    user_eps: BTreeMap<(u16, usize), (EndpointId, EndpointLayout)>,
     q: EventQueue<Ev>,
     common: StackCommon,
     /// Response payloads produced by real handlers, by request id.
-    resp_payload: HashMap<u64, Vec<u8>>,
+    resp_payload: BTreeMap<u64, Vec<u8>>,
     record_responses: bool,
     server_addr: EndpointAddr,
     trace: Trace,
     /// Requests whose handler was killed by an injected crash: their
     /// pending `HandlerDone` events must be ignored.
-    crashed: HashSet<u64>,
+    crashed: BTreeSet<u64>,
     /// Set when the run injects faults: stale fill completions (from
     /// duplicated fills or crash-retired endpoints) are then expected
     /// and absorbed instead of flagged as protocol bugs.
@@ -195,6 +195,7 @@ impl LauberhornSim {
                 LauberhornNicConfig::numa_emulated(server_addr),
                 FabricModel::intra_socket(64),
             ),
+            // lint:allow(panic-path): construction-time config validation
             m => panic!("the Lauberhorn stack needs a coherent fabric, not {m:?}"),
         };
         let cost = cfg.machine.cost_model();
@@ -222,6 +223,7 @@ impl LauberhornSim {
                     0x5000_0000 + s.service_id as u64 * 0x1000,
                     ServiceSpec::signature(),
                 )
+                // lint:allow(panic-path): construction-time registration
                 .expect("service just registered");
         }
         let cores = (0..cfg.cores)
@@ -241,14 +243,14 @@ impl LauberhornSim {
             coh,
             nic,
             cores,
-            user_eps: HashMap::new(),
+            user_eps: BTreeMap::new(),
             q: EventQueue::new(),
             common: StackCommon::new(cfg.wire),
-            resp_payload: HashMap::new(),
+            resp_payload: BTreeMap::new(),
             record_responses: false,
             server_addr,
             trace: Trace::disabled(),
-            crashed: HashSet::new(),
+            crashed: BTreeSet::new(),
             fault_tolerant: false,
             cfg,
         }
@@ -279,7 +281,20 @@ impl LauberhornSim {
         self.services
             .iter()
             .find(|s| s.service_id == service)
+            // lint:allow(panic-path): services are fixed at construction and the NIC only dispatches registered ids
             .expect("request targets a registered service")
+    }
+
+    /// Per-core contexts: created once in `new` for ids `0..cfg.cores`;
+    /// every scheduled event carries one of those ids.
+    fn ctx(&self, core: usize) -> &CoreCtx {
+        // lint:allow(unchecked-index): core ids bounded by construction
+        &self.cores[core]
+    }
+
+    fn ctx_mut(&mut self, core: usize) -> &mut CoreCtx {
+        // lint:allow(unchecked-index): core ids bounded by construction
+        &mut self.cores[core]
     }
 
     fn apply_actions(&mut self, actions: Vec<NicAction>) {
@@ -410,19 +425,22 @@ impl LauberhornSim {
     }
 
     fn issue_load(&mut self, core: usize, now: SimTime) {
-        let ctx = &self.cores[core];
-        let (ep, layout) = match ctx.mode {
-            LoopMode::Kernel => ctx.kernel_ep,
-            LoopMode::User { .. } => {
-                let (_, ep, layout) = ctx.user_ep.expect("user mode implies user endpoint");
-                (ep, layout)
+        let ctx = self.ctx(core);
+        let (ep, layout) = match (ctx.mode, ctx.user_ep) {
+            (LoopMode::Kernel, _) => ctx.kernel_ep,
+            (LoopMode::User { .. }, Some((_, ep, layout))) => (ep, layout),
+            (LoopMode::User { .. }, None) => {
+                // User mode always carries an endpoint; fall back to
+                // the kernel endpoint if the invariant is broken.
+                debug_assert!(false, "user mode implies user endpoint");
+                ctx.kernel_ep
             }
         };
         let parity = self
             .nic
             .endpoint(ep)
-            .expect("endpoint exists")
-            .expect_line();
+            .map(|e| e.expect_line())
+            .unwrap_or_default();
         let addr = layout.ctrl(parity);
         // Drop any stale copy (self-invalidating grants) so the load
         // reaches the device.
@@ -436,7 +454,7 @@ impl LauberhornSim {
                 self.q
                     .schedule(now + request_arrival, Ev::NicSeesLoad { core, token, addr });
             }
-            other => unreachable!("device-line load must defer, got {other:?}"),
+            other => debug_assert!(false, "device-line load must defer, got {other:?}"),
         }
     }
 
@@ -445,11 +463,11 @@ impl LauberhornSim {
         // kernel dispatch thread, tell the NIC.
         let cycles = self.cost.syscall + self.cost.full_context_switch();
         let end = self.charge(core, now, cycles, request_id);
-        if let Some((svc, ep, _)) = self.cores[core].user_ep {
+        if let Some((svc, ep, _)) = self.ctx(core).user_ep {
             self.nic.demux_mut().remove_endpoint(svc, ep);
         }
-        self.cores[core].mode = LoopMode::Kernel;
-        self.cores[core].tryagain_streak = 0;
+        self.ctx_mut(core).mode = LoopMode::Kernel;
+        self.ctx_mut(core).tryagain_streak = 0;
         self.nic.push_running(core, None, end + MIRROR_PUSH_COST);
         self.q
             .schedule(end + MIRROR_PUSH_COST, Ev::IssueLoad { core });
@@ -472,11 +490,11 @@ impl LauberhornSim {
         };
         match self.nic.demux_mut().add_endpoint(service, ep) {
             Ok(()) | Err(DemuxError::UnknownService(_)) => {}
-            Err(e) => unreachable!("add_endpoint: {e}"),
+            Err(e) => debug_assert!(false, "add_endpoint: {e}"),
         }
-        self.cores[core].mode = LoopMode::User { service };
-        self.cores[core].user_ep = Some((service, ep, layout));
-        self.cores[core].tryagain_streak = 0;
+        self.ctx_mut(core).mode = LoopMode::User { service };
+        self.ctx_mut(core).user_ep = Some((service, ep, layout));
+        self.ctx_mut(core).tryagain_streak = 0;
         self.nic
             .push_running(core, Some(process), end + MIRROR_PUSH_COST);
         end + MIRROR_PUSH_COST
@@ -484,17 +502,23 @@ impl LauberhornSim {
 
     fn parse_ctrl(data: &[u8]) -> (DispatchKind, u64, u8, usize, u16) {
         // Field offsets per `lauberhorn_nic::dispatch`.
-        let request_id = u64::from_le_bytes(data[16..24].try_into().expect("8 bytes"));
-        let service = u16::from_be_bytes([data[24], data[25]]);
-        let kind = match data[28] {
+        use lauberhorn_nic::bytes;
+        let request_id = bytes::u64_le(data, 16);
+        let service = bytes::u16_be(data, 24);
+        let kind = match bytes::get(data, 28) {
             1 => DispatchKind::Rpc,
             2 => DispatchKind::TryAgain,
-            3 => DispatchKind::Retire,
             4 => DispatchKind::DmaDescriptor,
-            k => unreachable!("NIC never emits kind {k}"),
+            k => {
+                // The NIC only emits kinds 1-4; a corrupt line reads
+                // as RETIRE, which funnels the core back to the
+                // kernel loop instead of panicking mid-simulation.
+                debug_assert!(k == 3, "NIC never emits kind {k}");
+                DispatchKind::Retire
+            }
         };
-        let n_aux = data[29];
-        let arg_len = u16::from_be_bytes([data[30], data[31]]) as usize;
+        let n_aux = bytes::get(data, 29);
+        let arg_len = bytes::u16_be(data, 30) as usize;
         (kind, request_id, n_aux, arg_len, service)
     }
 
@@ -507,17 +531,16 @@ impl LauberhornSim {
                         .emit(now, "nic.tryagain", format!("core {core} unblocked"));
                 }
                 self.coh.drop_line(CacheId(core), addr);
-                self.cores[core].tryagain_streak += 1;
-                let is_user = matches!(self.cores[core].mode, LoopMode::User { .. });
+                self.ctx_mut(core).tryagain_streak += 1;
+                let is_user = matches!(self.ctx(core).mode, LoopMode::User { .. });
                 // Never yield with requests queued on this endpoint (a
                 // request may have raced the TRYAGAIN timer).
-                let queued_here = self.cores[core]
+                let queued_here = self
+                    .ctx(core)
                     .user_ep
                     .and_then(|(_, ep, _)| self.nic.endpoint(ep))
                     .is_some_and(|e| e.queue_depth() > 0);
-                if is_user
-                    && !queued_here
-                    && self.cores[core].tryagain_streak >= self.cfg.yield_after
+                if is_user && !queued_here && self.ctx(core).tryagain_streak >= self.cfg.yield_after
                 {
                     self.enter_kernel_loop(core, now, None);
                 } else {
@@ -535,7 +558,7 @@ impl LauberhornSim {
                 self.enter_kernel_loop(core, now, None);
             }
             DispatchKind::Rpc | DispatchKind::DmaDescriptor => {
-                self.cores[core].tryagain_streak = 0;
+                self.ctx_mut(core).tryagain_streak = 0;
                 let mut t = now;
                 let mut sw = 0u64;
                 // Fetch any AUX lines the payload spilled into: they
@@ -545,7 +568,7 @@ impl LauberhornSim {
                     let per_line = self.coh.device_fabric().data_lat / 4;
                     t += per_line * n_aux as u64;
                 }
-                if self.cores[core].mode == LoopMode::Kernel {
+                if self.ctx(core).mode == LoopMode::Kernel {
                     // Figure 5 kernel path: switch into the process.
                     if self.trace.is_enabled() {
                         self.trace.emit(
@@ -570,8 +593,7 @@ impl LauberhornSim {
                 }
                 if kind == DispatchKind::DmaDescriptor {
                     // Handler pulls the payload from the DMA buffer.
-                    let len =
-                        u64::from_le_bytes(data[40..48].try_into().expect("8 bytes")) as usize;
+                    let len = lauberhorn_nic::bytes::u64_le(&data, 40) as usize;
                     let copy = self.cost.copy(len);
                     t = self.charge(core, t, copy, Some(request_id));
                     sw += copy;
@@ -609,8 +631,8 @@ impl LauberhornSim {
                 self.energy.set_state(core, CoreState::Active, t);
                 let service_time = self.spec_of(service).service_time;
                 let handler = service_time.sample(&mut self.common.rng);
-                self.cores[core].resp_addr = Some(addr);
-                self.cores[core].cur_req = Some(request_id);
+                self.ctx_mut(core).resp_addr = Some(addr);
+                self.ctx_mut(core).cur_req = Some(request_id);
                 self.q.schedule(
                     t + self.cost.cycles(handler),
                     Ev::HandlerDone { core, request_id },
@@ -620,18 +642,21 @@ impl LauberhornSim {
     }
 
     fn on_handler_done(&mut self, core: usize, request_id: u64, now: SimTime) {
-        self.cores[core].cur_req = None;
+        self.ctx_mut(core).cur_req = None;
         if let Some(times) = self.common.times.get_mut(&request_id) {
             times.handler_end = now;
         }
         // Write the response into the CONTROL line we hold Exclusive.
-        let addr = self.cores[core]
-            .resp_addr
-            .take()
-            .expect("handler had a request line");
-        let service = match self.cores[core].mode {
+        let Some(addr) = self.ctx_mut(core).resp_addr.take() else {
+            debug_assert!(false, "handler had a request line");
+            return;
+        };
+        let service = match self.ctx(core).mode {
             LoopMode::User { service } => service,
-            LoopMode::Kernel => unreachable!("handler runs in user mode"),
+            LoopMode::Kernel => {
+                debug_assert!(false, "handler runs in user mode");
+                return;
+            }
         };
         let resp: Vec<u8> = match self.resp_payload.get(&request_id) {
             Some(r) => r.clone(),
@@ -643,9 +668,9 @@ impl LauberhornSim {
             }
         };
         let end = self.charge(core, now, 15, Some(request_id)); // Store + fence.
-        self.coh
-            .store(CacheId(core), addr, &resp)
-            .expect("core holds the line exclusive");
+        if self.coh.store(CacheId(core), addr, &resp).is_err() {
+            debug_assert!(false, "core holds the line exclusive");
+        }
         self.q.schedule(end, Ev::IssueLoad { core });
     }
 
@@ -662,8 +687,8 @@ impl LauberhornSim {
                 // core's cache are exactly what the handler produced.
                 let n = expected.len().min(data.len());
                 debug_assert_eq!(
-                    &data[..n],
-                    &expected[..n],
+                    data.get(..n),
+                    expected.get(..n),
                     "coherence protocol corrupted the response"
                 );
                 n
@@ -671,12 +696,13 @@ impl LauberhornSim {
             None => self.spec_of(ctx.service_id).response_bytes.min(data.len()),
         };
         if self.record_responses {
-            self.common
-                .metrics
-                .recorded
-                .push((ctx.request_id, data[..resp_len].to_vec()));
+            self.common.metrics.recorded.push((
+                ctx.request_id,
+                lauberhorn_nic::bytes::slice(&data, 0, resp_len).to_vec(),
+            ));
         }
-        let frame = match self.nic.build_response_frame(&ctx, &data[..resp_len]) {
+        let payload = lauberhorn_nic::bytes::slice(&data, 0, resp_len);
+        let frame = match self.nic.build_response_frame(&ctx, payload) {
             Ok(frame) => frame,
             Err(_) => {
                 // Response too large for a UDP datagram: drop it; the
@@ -703,7 +729,7 @@ impl LauberhornSim {
     /// answered, so a retransmit may legally run it again.
     fn on_crash(&mut self, service: u16, tries: u32, now: SimTime) {
         let victims: Vec<usize> = (0..self.cores.len())
-            .filter(|&c| self.cores[c].mode == LoopMode::User { service })
+            .filter(|&c| self.ctx(c).mode == LoopMode::User { service })
             .collect();
         if victims.is_empty() {
             // The service is not on-core right now: re-arm (bounded)
@@ -731,7 +757,7 @@ impl LauberhornSim {
         // events are in flight.
         let eps: Vec<EndpointId> = victims
             .iter()
-            .filter_map(|&c| self.cores[c].user_ep.map(|(_, ep, _)| ep))
+            .filter_map(|&c| self.ctx(c).user_ep.map(|(_, ep, _)| ep))
             .collect();
         for &ep in &eps {
             self.nic.demux_mut().remove_endpoint(service, ep);
@@ -753,21 +779,21 @@ impl LauberhornSim {
             self.apply_actions(actions);
         }
         for &core in &victims {
-            if let Some(rid) = self.cores[core].cur_req.take() {
+            if let Some(rid) = self.ctx_mut(core).cur_req.take() {
                 // Mid-handler: the execution is lost with the process.
                 self.crashed.insert(rid);
                 self.resp_payload.remove(&rid);
                 self.common.dedup_forget(rid);
                 self.common.drop_request(rid);
-                if let Some(addr) = self.cores[core].resp_addr.take() {
+                if let Some(addr) = self.ctx_mut(core).resp_addr.take() {
                     self.coh.drop_line(CacheId(core), addr);
                 }
                 self.nic.forget_pending_response(core);
                 // The OS reaps the core synchronously: back to the
                 // kernel dispatch loop.
                 self.enter_kernel_loop(core, now, None);
-                self.cores[core].user_ep = None;
-            } else if let Some((_, ep, _)) = self.cores[core].user_ep {
+                self.ctx_mut(core).user_ep = None;
+            } else if let Some((_, ep, _)) = self.ctx(core).user_ep {
                 // Parked on (or about to re-park on) the dead
                 // process's CONTROL line: the NIC retires the orphaned
                 // state, which funnels the core back to the kernel
@@ -788,6 +814,7 @@ impl LauberhornSim {
 
 impl ServerStack for LauberhornSim {
     fn build(machine: MachineConfig, services: Vec<ServiceSpec>) -> Self {
+        // lint:allow(panic-path): construction-time config validation
         assert!(
             machine.machine.is_coherent(),
             "the Lauberhorn stack needs a coherent fabric"
@@ -923,8 +950,8 @@ impl ServerStack for LauberhornSim {
                 // the NIC unblocks its parked load with RETIRE. We
                 // model it as a RETIRE on the core's user endpoint;
                 // the IPI cost is charged when the core transitions.
-                if let LoopMode::User { .. } = self.cores[core].mode {
-                    if let Some((_, ep, _)) = self.cores[core].user_ep {
+                if let LoopMode::User { .. } = self.ctx(core).mode {
+                    if let Some((_, ep, _)) = self.ctx(core).user_ep {
                         let actions = self.nic.retire_endpoint(now, ep);
                         self.apply_actions(actions);
                     }

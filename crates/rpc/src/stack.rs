@@ -9,7 +9,7 @@
 //! so every stack is measured by exactly the same harness over exactly
 //! the same request byte stream.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use lauberhorn_os::CostModel;
 use lauberhorn_packet::frame::EndpointAddr;
@@ -143,9 +143,9 @@ pub struct StackCommon {
     /// Accumulating run metrics.
     pub metrics: MetricsCollector,
     /// Timestamps of in-flight requests.
-    pub times: HashMap<u64, RequestTimes>,
+    pub times: BTreeMap<u64, RequestTimes>,
     /// Software overhead cycles attributed per request.
-    pub sw_cycles_by_req: HashMap<u64, u64>,
+    pub sw_cycles_by_req: BTreeMap<u64, u64>,
     /// Load generation stops here.
     pub end_of_load: SimTime,
     /// Absolute simulation cutoff (`end_of_load` + drain window).
@@ -159,7 +159,7 @@ pub struct StackCommon {
     retry_active: bool,
     /// At-most-once dedup window, present when duplicates are possible
     /// (faults or retry enabled). `None` on clean runs: zero cost.
-    dedup: Option<HashMap<u64, DedupEntry>>,
+    dedup: Option<BTreeMap<u64, DedupEntry>>,
     /// Server→client response fault injector (`"fault.wire.rx"`).
     rx_fault: Option<FaultInjector>,
     /// Coherence fill-response fault injector (`"fault.fill"`), applied
@@ -174,8 +174,8 @@ impl StackCommon {
             wire,
             rng: SimRng::root(0),
             metrics: MetricsCollector::default(),
-            times: HashMap::new(),
-            sw_cycles_by_req: HashMap::new(),
+            times: BTreeMap::new(),
+            sw_cycles_by_req: BTreeMap::new(),
             end_of_load: SimTime::ZERO,
             hard_end: SimTime::ZERO,
             client_q: EventQueue::new(),
@@ -196,7 +196,7 @@ impl StackCommon {
         self.hard_end = self.end_of_load + SimDuration::from_ms(20);
         self.client_q = EventQueue::new();
         self.retry_active = workload.effective_retry().is_some();
-        self.dedup = (self.retry_active || workload.faults.enabled()).then(HashMap::new);
+        self.dedup = (self.retry_active || workload.faults.enabled()).then(BTreeMap::new);
         self.rx_fault =
             workload.faults.wire_rx.enabled().then(|| {
                 FaultInjector::new(workload.faults.wire_rx, workload.seed, "fault.wire.rx")

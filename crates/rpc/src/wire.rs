@@ -97,9 +97,16 @@ pub fn build_request(
     cont_hint: u32,
 ) -> Vec<u8> {
     let sig = Signature::of(&[lauberhorn_packet::marshal::ArgType::Bytes]);
-    let args = VarintCodec
-        .encode(&sig, &[Value::Bytes(payload.to_vec())])
-        .expect("bytes arg always encodes");
+    // A single Bytes argument always encodes; degrade to an empty frame
+    // (which the server-side checksum/parse path rejects) rather than
+    // panic if any of these infallible steps ever fails.
+    let args = match VarintCodec.encode(&sig, &[Value::Bytes(payload.to_vec())]) {
+        Ok(a) => a,
+        Err(_) => {
+            debug_assert!(false, "bytes arg always encodes");
+            return Vec::new();
+        }
+    };
     let header = RpcHeader {
         kind: RpcKind::Request,
         service_id,
@@ -108,9 +115,17 @@ pub fn build_request(
         payload_len: args.len() as u32,
         cont_hint,
     };
-    let msg = header.encode_message(&args).expect("sized correctly");
-    build_udp_frame(client, server, &msg, (request_id & 0xffff) as u16)
-        .expect("request frame builds")
+    let Ok(msg) = header.encode_message(&args) else {
+        debug_assert!(false, "header + args fit a UDP datagram");
+        return Vec::new();
+    };
+    match build_udp_frame(client, server, &msg, (request_id & 0xffff) as u16) {
+        Ok(frame) => frame,
+        Err(_) => {
+            debug_assert!(false, "request frame builds");
+            Vec::new()
+        }
+    }
 }
 
 /// Parses a response frame, returning `(request_id, payload_len)`.

@@ -97,29 +97,34 @@ impl EnergyMeter {
     }
 
     /// Transitions `core` to `state` at time `now`, charging the elapsed
-    /// interval to the previous state.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `core` is out of range.
+    /// interval to the previous state. Out-of-range cores are ignored.
     pub fn set_state(&mut self, core: usize, state: CoreState, now: SimTime) {
         self.charge(core, now);
-        self.state[core] = state;
+        if let Some(s) = self.state.get_mut(core) {
+            *s = state;
+        }
     }
 
-    /// Current state of `core`.
+    /// Current state of `core` (out-of-range cores read as idle).
     pub fn state(&self, core: usize) -> CoreState {
-        self.state[core]
+        self.state.get(core).copied().unwrap_or(CoreState::Idle)
     }
 
     fn charge(&mut self, core: usize, now: SimTime) {
-        let dt = now.since(self.since[core]);
-        match self.state[core] {
-            CoreState::Active => self.accounts[core].active += dt,
-            CoreState::Stalled => self.accounts[core].stalled += dt,
-            CoreState::Idle => self.accounts[core].idle += dt,
+        let Some(since) = self.since.get_mut(core) else {
+            return;
+        };
+        let dt = now.since(*since);
+        *since = now;
+        let state = self.state.get(core).copied();
+        let Some(acct) = self.accounts.get_mut(core) else {
+            return;
+        };
+        match state {
+            Some(CoreState::Active) => acct.active += dt,
+            Some(CoreState::Stalled) => acct.stalled += dt,
+            Some(CoreState::Idle) | None => acct.idle += dt,
         }
-        self.since[core] = now;
     }
 
     /// Finalises accounting up to `now` and returns the per-core

@@ -10,7 +10,7 @@ use std::collections::BinaryHeap;
 use crate::time::SimTime;
 
 /// Opaque handle to a scheduled event, usable for cancellation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct EventId(u64);
 
 struct Entry<E> {
@@ -62,8 +62,8 @@ pub struct EventQueue<E> {
     heap: BinaryHeap<Entry<E>>,
     next_seq: u64,
     now: SimTime,
-    live: std::collections::HashSet<EventId>,
-    cancelled: std::collections::HashSet<EventId>,
+    live: std::collections::BTreeSet<EventId>,
+    cancelled: std::collections::BTreeSet<EventId>,
     popped: u64,
 }
 
@@ -80,8 +80,8 @@ impl<E> EventQueue<E> {
             heap: BinaryHeap::new(),
             next_seq: 0,
             now: SimTime::ZERO,
-            live: std::collections::HashSet::new(),
-            cancelled: std::collections::HashSet::new(),
+            live: std::collections::BTreeSet::new(),
+            cancelled: std::collections::BTreeSet::new(),
             popped: 0,
         }
     }
@@ -149,11 +149,13 @@ impl<E> EventQueue<E> {
     pub fn peek_time(&mut self) -> Option<SimTime> {
         // Drop cancelled entries from the top so the peek is accurate.
         while let Some(top) = self.heap.peek() {
-            if self.cancelled.contains(&top.id) {
-                let e = self.heap.pop().expect("peeked entry must exist");
-                self.cancelled.remove(&e.id);
+            let (id, at) = (top.id, top.at);
+            if self.cancelled.contains(&id) {
+                if let Some(e) = self.heap.pop() {
+                    self.cancelled.remove(&e.id);
+                }
             } else {
-                return Some(top.at);
+                return Some(at);
             }
         }
         None

@@ -27,16 +27,20 @@ struct ChaCha8 {
     word: usize,
 }
 
-#[inline(always)]
-fn quarter(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
-    state[a] = state[a].wrapping_add(state[b]);
-    state[d] = (state[d] ^ state[a]).rotate_left(16);
-    state[c] = state[c].wrapping_add(state[d]);
-    state[b] = (state[b] ^ state[c]).rotate_left(12);
-    state[a] = state[a].wrapping_add(state[b]);
-    state[d] = (state[d] ^ state[a]).rotate_left(8);
-    state[c] = state[c].wrapping_add(state[d]);
-    state[b] = (state[b] ^ state[c]).rotate_left(7);
+/// One ChaCha quarter round over four named state words. Operating on
+/// named variables (not array indices) keeps the block function free of
+/// any bounds checks.
+macro_rules! quarter {
+    ($a:ident, $b:ident, $c:ident, $d:ident) => {
+        $a = $a.wrapping_add($b);
+        $d = ($d ^ $a).rotate_left(16);
+        $c = $c.wrapping_add($d);
+        $b = ($b ^ $c).rotate_left(12);
+        $a = $a.wrapping_add($b);
+        $d = ($d ^ $a).rotate_left(8);
+        $c = $c.wrapping_add($d);
+        $b = ($b ^ $c).rotate_left(7);
+    };
 }
 
 impl ChaCha8 {
@@ -50,38 +54,43 @@ impl ChaCha8 {
     }
 
     fn refill(&mut self) {
-        let mut s: [u32; 16] = [
+        let [k0, k1, k2, k3, k4, k5, k6, k7] = self.key;
+        let init: [u32; 16] = [
             0x6170_7865,
             0x3320_646e,
             0x7962_2d32,
             0x6b20_6574,
-            self.key[0],
-            self.key[1],
-            self.key[2],
-            self.key[3],
-            self.key[4],
-            self.key[5],
-            self.key[6],
-            self.key[7],
+            k0,
+            k1,
+            k2,
+            k3,
+            k4,
+            k5,
+            k6,
+            k7,
             self.counter as u32,
             (self.counter >> 32) as u32,
             0,
             0,
         ];
-        let init = s;
+        let [mut s0, mut s1, mut s2, mut s3, mut s4, mut s5, mut s6, mut s7, mut s8, mut s9, mut s10, mut s11, mut s12, mut s13, mut s14, mut s15] =
+            init;
         for _ in 0..4 {
             // Two rounds (one column + one diagonal pass) per iteration.
-            quarter(&mut s, 0, 4, 8, 12);
-            quarter(&mut s, 1, 5, 9, 13);
-            quarter(&mut s, 2, 6, 10, 14);
-            quarter(&mut s, 3, 7, 11, 15);
-            quarter(&mut s, 0, 5, 10, 15);
-            quarter(&mut s, 1, 6, 11, 12);
-            quarter(&mut s, 2, 7, 8, 13);
-            quarter(&mut s, 3, 4, 9, 14);
+            quarter!(s0, s4, s8, s12);
+            quarter!(s1, s5, s9, s13);
+            quarter!(s2, s6, s10, s14);
+            quarter!(s3, s7, s11, s15);
+            quarter!(s0, s5, s10, s15);
+            quarter!(s1, s6, s11, s12);
+            quarter!(s2, s7, s8, s13);
+            quarter!(s3, s4, s9, s14);
         }
-        for i in 0..16 {
-            self.block[i] = s[i].wrapping_add(init[i]);
+        let mixed = [
+            s0, s1, s2, s3, s4, s5, s6, s7, s8, s9, s10, s11, s12, s13, s14, s15,
+        ];
+        for ((b, s), i) in self.block.iter_mut().zip(mixed).zip(init) {
+            *b = s.wrapping_add(i);
         }
         self.counter = self.counter.wrapping_add(1);
         self.word = 0;
@@ -89,9 +98,10 @@ impl ChaCha8 {
 
     #[inline]
     fn next_u32(&mut self) -> u32 {
-        if self.word == 16 {
+        if self.word >= 16 {
             self.refill();
         }
+        // lint:allow(unchecked-index): refill above resets word to 0, so word < 16
         let w = self.block[self.word];
         self.word += 1;
         w
@@ -117,10 +127,12 @@ fn splitmix64(state: &mut u64) -> u64 {
 fn key_from_seed(seed: u64) -> [u32; 8] {
     let mut s = seed;
     let mut key = [0u32; 8];
-    for pair in key.chunks_mut(2) {
+    for pair in key.chunks_exact_mut(2) {
         let w = splitmix64(&mut s);
-        pair[0] = w as u32;
-        pair[1] = (w >> 32) as u32;
+        if let [lo, hi] = pair {
+            *lo = w as u32;
+            *hi = (w >> 32) as u32;
+        }
     }
     key
 }
@@ -174,7 +186,10 @@ impl SimRng {
         };
         let hi = match range.end_bound() {
             Bound::Included(&v) => v as u64,
-            Bound::Excluded(&v) => (v as u64).checked_sub(1).expect("empty range"),
+            Bound::Excluded(&v) => {
+                debug_assert!(v > 0, "empty range");
+                (v as u64).saturating_sub(1)
+            }
             Bound::Unbounded => usize::MAX as u64,
         };
         debug_assert!(lo <= hi);
@@ -239,7 +254,9 @@ impl SimRng {
     pub fn fill_bytes(&mut self, buf: &mut [u8]) {
         for chunk in buf.chunks_mut(8) {
             let w = self.inner.next_u64().to_le_bytes();
-            chunk.copy_from_slice(&w[..chunk.len()]);
+            for (dst, src) in chunk.iter_mut().zip(w) {
+                *dst = src;
+            }
         }
     }
 

@@ -81,7 +81,9 @@ impl Histogram {
         if idx >= self.counts.len() {
             self.counts.resize(idx + 1, 0);
         }
-        self.counts[idx] += 1;
+        if let Some(c) = self.counts.get_mut(idx) {
+            *c += 1;
+        }
         self.total += 1;
         self.sum += value as u128;
         self.min = self.min.min(value);
@@ -144,8 +146,8 @@ impl Histogram {
         if other.counts.len() > self.counts.len() {
             self.counts.resize(other.counts.len(), 0);
         }
-        for (i, &c) in other.counts.iter().enumerate() {
-            self.counts[i] += c;
+        for (slot, &c) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *slot += c;
         }
         self.total += other.total;
         self.sum += other.sum;
