@@ -1,0 +1,207 @@
+//! Machine-readable bench artifacts (`BENCH_*.json`).
+//!
+//! Every emitting binary validates its own document against the
+//! `lauberhorn-bench/v1` schema before writing, so a malformed artifact
+//! can never land on disk; CI re-runs the same check on the files.
+
+use std::path::{Path, PathBuf};
+
+use lauberhorn_rpc::Report;
+
+use crate::json::Json;
+
+/// The schema identifier every artifact must carry.
+pub const SCHEMA: &str = "lauberhorn-bench/v1";
+
+/// One row of an artifact: a stack at one operating point.
+#[derive(Debug, Clone)]
+pub struct BenchRow {
+    /// Stack display name (`Report::stack`).
+    pub stack: String,
+    /// Offered load in requests/second; `0` for closed-loop runs,
+    /// where load is set by the client count rather than a rate.
+    pub offered_rps: f64,
+    /// Measured completions per second.
+    pub throughput_rps: f64,
+    /// Client-observed RTT p50, microseconds.
+    pub rtt_p50_us: f64,
+    /// Client-observed RTT p99, microseconds.
+    pub rtt_p99_us: f64,
+    /// Requests offered.
+    pub offered: u64,
+    /// Requests completed.
+    pub completed: u64,
+}
+
+impl BenchRow {
+    /// A row from a report at offered load `offered_rps` (0 for
+    /// closed-loop workloads).
+    pub fn from_report(offered_rps: f64, r: &Report) -> BenchRow {
+        BenchRow {
+            stack: r.stack.clone(),
+            offered_rps,
+            throughput_rps: r.throughput_rps(),
+            rtt_p50_us: r.rtt.p50_us(),
+            rtt_p99_us: r.rtt.p99_us(),
+            offered: r.offered,
+            completed: r.completed,
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("stack".into(), Json::Str(self.stack.clone())),
+            ("offered_rps".into(), Json::Num(self.offered_rps)),
+            ("throughput_rps".into(), Json::Num(self.throughput_rps)),
+            ("rtt_p50_us".into(), Json::Num(self.rtt_p50_us)),
+            ("rtt_p99_us".into(), Json::Num(self.rtt_p99_us)),
+            ("offered".into(), Json::Num(self.offered as f64)),
+            ("completed".into(), Json::Num(self.completed as f64)),
+        ])
+    }
+}
+
+/// Assembles a schema-conformant document for `experiment` (e.g.
+/// `"loadsweep"`) run with `seed`.
+pub fn document(experiment: &str, seed: u64, rows: &[BenchRow]) -> Json {
+    Json::Obj(vec![
+        ("schema".into(), Json::Str(SCHEMA.into())),
+        ("experiment".into(), Json::Str(experiment.into())),
+        ("seed".into(), Json::Num(seed as f64)),
+        (
+            "rows".into(),
+            Json::Arr(rows.iter().map(BenchRow::to_json).collect()),
+        ),
+    ])
+}
+
+/// Checks a document against `lauberhorn-bench/v1`: schema tag,
+/// experiment name, and per-row field presence plus the two sanity
+/// relations (`rtt_p99_us >= rtt_p50_us`, `completed <= offered`).
+pub fn validate(doc: &Json) -> Result<(), String> {
+    if doc.get("schema").and_then(Json::as_str) != Some(SCHEMA) {
+        return Err(format!("missing or wrong schema tag (want `{SCHEMA}`)"));
+    }
+    let experiment = doc
+        .get("experiment")
+        .and_then(Json::as_str)
+        .ok_or("missing `experiment` string")?;
+    doc.get("seed")
+        .and_then(Json::as_f64)
+        .ok_or("missing `seed` number")?;
+    let rows = doc
+        .get("rows")
+        .and_then(Json::as_arr)
+        .ok_or("missing `rows` array")?;
+    for (i, row) in rows.iter().enumerate() {
+        let ctx = |field: &str| format!("{experiment} row {i}: {field}");
+        let num = |field: &str| {
+            row.get(field)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| ctx(&format!("missing number `{field}`")))
+        };
+        row.get("stack")
+            .and_then(Json::as_str)
+            .ok_or_else(|| ctx("missing `stack` string"))?;
+        let p50 = num("rtt_p50_us")?;
+        let p99 = num("rtt_p99_us")?;
+        let offered = num("offered")?;
+        let completed = num("completed")?;
+        for field in ["offered_rps", "throughput_rps"] {
+            if num(field)? < 0.0 {
+                return Err(ctx(&format!("negative `{field}`")));
+            }
+        }
+        if p99 < p50 {
+            return Err(ctx(&format!("rtt_p99_us {p99} < rtt_p50_us {p50}")));
+        }
+        if completed > offered {
+            return Err(ctx(&format!("completed {completed} > offered {offered}")));
+        }
+    }
+    Ok(())
+}
+
+/// Workspace root (the directory holding the top-level `Cargo.toml`),
+/// as seen from this crate.
+pub fn workspace_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(Path::parent)
+        .map(Path::to_path_buf)
+        .unwrap_or(manifest)
+}
+
+/// Validates `doc` and writes it as `BENCH_<experiment>.json` at the
+/// workspace root. Returns the path written.
+pub fn write(experiment: &str, doc: &Json) -> Result<PathBuf, String> {
+    validate(doc)?;
+    let path = workspace_root().join(format!("BENCH_{experiment}.json"));
+    std::fs::write(&path, doc.render()).map_err(|e| format!("{}: {e}", path.display()))?;
+    Ok(path)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row() -> BenchRow {
+        BenchRow {
+            stack: "kernel/pc-pcie-dma".into(),
+            offered_rps: 100_000.0,
+            throughput_rps: 99_000.0,
+            rtt_p50_us: 10.0,
+            rtt_p99_us: 30.0,
+            offered: 1000,
+            completed: 990,
+        }
+    }
+
+    #[test]
+    fn document_validates_and_roundtrips() {
+        let doc = document("loadsweep", 42, &[row()]);
+        validate(&doc).expect("valid");
+        let back = Json::parse(&doc.render()).expect("parses");
+        validate(&back).expect("still valid after roundtrip");
+        assert_eq!(back, doc);
+    }
+
+    #[test]
+    fn empty_rows_are_valid() {
+        validate(&document("fig2", 1, &[])).expect("valid");
+    }
+
+    #[test]
+    fn wrong_schema_rejected() {
+        let mut doc = document("x", 1, &[row()]);
+        if let Json::Obj(fields) = &mut doc {
+            fields[0].1 = Json::Str("other/v9".into());
+        }
+        assert!(validate(&doc).is_err());
+    }
+
+    #[test]
+    fn inverted_percentiles_rejected() {
+        let mut r = row();
+        r.rtt_p99_us = 1.0;
+        assert!(validate(&document("x", 1, &[r])).is_err());
+    }
+
+    #[test]
+    fn overcompletion_rejected() {
+        let mut r = row();
+        r.completed = 2000;
+        assert!(validate(&document("x", 1, &[r])).is_err());
+    }
+
+    #[test]
+    fn missing_field_rejected() {
+        let doc = Json::parse(
+            "{\"schema\": \"lauberhorn-bench/v1\", \"experiment\": \"x\", \"seed\": 1, \
+             \"rows\": [{\"stack\": \"s\"}]}",
+        )
+        .expect("parses");
+        assert!(validate(&doc).is_err());
+    }
+}

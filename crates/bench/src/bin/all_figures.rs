@@ -9,8 +9,21 @@ use lauberhorn::experiments::{
     ablations, c1, c2, c3, c4, fig1, fig2, fig3, fig4, fig5, loadsweep, nested, txpath,
 };
 use lauberhorn::rpc::sim_lauberhorn::Machine;
+use lauberhorn_bench::artifact::{self, BenchRow};
 
 type Runner = Box<dyn FnOnce() -> String>;
+
+/// Validates and writes `BENCH_<name>.json`; the returned line is
+/// appended to the experiment's rendered output.
+fn emit(name: &str, seed: u64, rows: Vec<BenchRow>) -> String {
+    match artifact::write(name, &artifact::document(name, seed, &rows)) {
+        Ok(path) => format!("\nartifact -> {}\n", path.display()),
+        Err(e) => {
+            eprintln!("all_figures: artifact {name}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
 
 fn main() {
     let runs: Vec<(&str, &str, Runner)> = vec![
@@ -22,7 +35,14 @@ fn main() {
         (
             "F2",
             "64-byte RTTs",
-            Box::new(|| fig2::render(&fig2::run(10, 42))),
+            Box::new(|| {
+                let reports = fig2::run(10, 42);
+                let rows = reports
+                    .iter()
+                    .map(|r| BenchRow::from_report(0.0, r))
+                    .collect();
+                format!("{}{}", fig2::render(&reports), emit("fig2", 42, rows))
+            }),
         ),
         (
             "F3",
@@ -81,7 +101,22 @@ fn main() {
         (
             "LOAD",
             "throughput-latency curves",
-            Box::new(|| loadsweep::render(&loadsweep::run(42))),
+            Box::new(|| {
+                let curves = loadsweep::run(42);
+                let rows = curves
+                    .iter()
+                    .flat_map(|c| {
+                        c.points
+                            .iter()
+                            .map(|p| BenchRow::from_report(p.offered_rps, &p.report))
+                    })
+                    .collect();
+                format!(
+                    "{}{}",
+                    loadsweep::render(&curves),
+                    emit("loadsweep", 42, rows)
+                )
+            }),
         ),
         (
             "ABL",

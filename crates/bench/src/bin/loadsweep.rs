@@ -1,10 +1,28 @@
-//! Regenerates the extension throughput–latency curves.
+//! Regenerates the extension throughput–latency curves, plus the
+//! machine-readable artifact `BENCH_loadsweep.json` (schema
+//! `lauberhorn-bench/v1`, validated before writing).
 
 use lauberhorn::experiments::loadsweep;
+use lauberhorn_bench::artifact::{self, BenchRow};
 
 fn main() {
+    let seed = 42;
+    let mut rows = Vec::new();
     let out = lauberhorn_bench::experiment("LOAD", "throughput-latency curves", || {
-        loadsweep::render(&loadsweep::run(42))
+        let curves = loadsweep::run(seed);
+        for c in &curves {
+            for p in &c.points {
+                rows.push(BenchRow::from_report(p.offered_rps, &p.report));
+            }
+        }
+        loadsweep::render(&curves)
     });
     println!("{out}");
+    match artifact::write("loadsweep", &artifact::document("loadsweep", seed, &rows)) {
+        Ok(path) => println!("artifact -> {}", path.display()),
+        Err(e) => {
+            eprintln!("loadsweep: artifact: {e}");
+            std::process::exit(1);
+        }
+    }
 }

@@ -1,0 +1,86 @@
+//! Observability profile: one short echo run per stack with full
+//! tracing on, producing both human- and machine-readable artifacts.
+//!
+//! ```text
+//! cargo run --release -p lauberhorn-bench --bin profile
+//! ```
+//!
+//! For each stack this prints the ASCII per-stage latency table
+//! (Figure 1 / Figure 3 step decomposition, measured from spans) and
+//! the component metrics registry, then writes a Chrome-trace JSON to
+//! `PROFILE_<stack>.trace.json` at the workspace root — load it in
+//! `chrome://tracing` or Perfetto to see every request laid out on
+//! core, NIC, and per-request tracks.
+//!
+//! Tracing is load-bearing here and free everywhere else: the same
+//! binary re-runs each workload with observability off and checks the
+//! report digests match (the zero-perturbation guarantee, DESIGN.md
+//! §11).
+
+use lauberhorn::prelude::*;
+use lauberhorn::rpc::driver;
+use lauberhorn::sim::span::{chrome_trace, stage_table};
+use lauberhorn::sim::ObserveSpec;
+use lauberhorn_bench::artifact;
+
+fn main() {
+    let stacks = [
+        ("kernel", StackKind::KernelModern),
+        ("bypass", StackKind::BypassModern),
+        ("lauberhorn", StackKind::LauberhornEnzian),
+    ];
+    let mut failures = 0;
+    for (slug, kind) in stacks {
+        let wl = WorkloadSpec::echo_closed(64, 2, 7).with_observe(ObserveSpec::full());
+        let mut stack = Experiment::new(kind).build();
+        let observed = driver::run(&mut *stack, &wl);
+
+        let common = stack.common();
+        let spans = common.tracer.spans();
+        println!("================================================================");
+        println!(
+            "{} — {} spans over {} requests (dropped {}, force-closed {})",
+            observed.stack,
+            spans.len(),
+            observed.completed,
+            common.tracer.dropped(),
+            common.tracer.truncated(),
+        );
+        println!("================================================================");
+        print!("{}", stage_table(spans));
+        println!();
+        print!("{}", observed.metrics.render());
+
+        let path = artifact::workspace_root().join(format!("PROFILE_{slug}.trace.json"));
+        match std::fs::write(&path, chrome_trace(&observed.stack, spans)) {
+            Ok(()) => println!("chrome trace -> {}", path.display()),
+            Err(e) => {
+                eprintln!("profile: cannot write {}: {e}", path.display());
+                failures += 1;
+            }
+        }
+
+        // Zero-perturbation audit: the same workload with observability
+        // off must produce a byte-identical report.
+        let blind = Experiment::new(kind).run(&WorkloadSpec::echo_closed(64, 2, 7));
+        if blind.digest() == observed.digest() {
+            println!(
+                "zero-perturbation: digests match ({:#018x})",
+                blind.digest()
+            );
+        } else {
+            eprintln!(
+                "profile: PERTURBATION on {}: observed {:#018x} != blind {:#018x}",
+                observed.stack,
+                observed.digest(),
+                blind.digest()
+            );
+            failures += 1;
+        }
+        println!();
+    }
+    if failures > 0 {
+        eprintln!("profile: {failures} failure(s)");
+        std::process::exit(1);
+    }
+}

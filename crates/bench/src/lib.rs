@@ -4,6 +4,9 @@
 //! paper; run them all via `cargo run -p lauberhorn-bench --bin <name>`
 //! or let `all_figures` drive the complete set.
 
+pub mod artifact;
+pub mod json;
+
 use std::time::Instant;
 
 /// A minimal wall-clock micro-benchmark harness (in-tree replacement

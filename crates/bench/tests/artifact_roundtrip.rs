@@ -1,0 +1,22 @@
+//! The machine-readable artifacts must round-trip: a document built
+//! from real reports validates against `lauberhorn-bench/v1`, and
+//! parsing its own rendering yields the identical value (what CI's
+//! schema check replays on the emitted `BENCH_*.json` files).
+
+use lauberhorn::prelude::*;
+use lauberhorn_bench::artifact::{self, BenchRow};
+use lauberhorn_bench::json::Json;
+
+#[test]
+fn real_reports_produce_valid_artifacts() {
+    let wl = WorkloadSpec::echo_closed(64, 1, 3);
+    let rows: Vec<BenchRow> = [StackKind::LauberhornEnzian, StackKind::KernelModern]
+        .into_iter()
+        .map(|k| BenchRow::from_report(0.0, &Experiment::new(k).run(&wl)))
+        .collect();
+    let doc = artifact::document("fig2", 3, &rows);
+    artifact::validate(&doc).expect("fresh document must validate");
+    let back = Json::parse(&doc.render()).expect("rendered document must parse");
+    artifact::validate(&back).expect("parsed document must validate");
+    assert_eq!(back, doc, "render → parse must be the identity");
+}

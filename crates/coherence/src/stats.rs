@@ -40,6 +40,23 @@ impl CoherenceStats {
             + 2 * (self.upgrades + self.invalidations + self.recalls + self.device_fetch_excl)
     }
 
+    /// Exports under the `coherence.*` names (DESIGN.md §11).
+    pub fn export(&self, reg: &mut lauberhorn_sim::MetricsRegistry) {
+        reg.counter("coherence.cache.load_hits", self.load_hits);
+        reg.counter("coherence.cache.fills", self.fills);
+        reg.counter("coherence.cache.deferred_fills", self.deferred_fills);
+        reg.counter(
+            "coherence.cache.deferred_completions",
+            self.deferred_completions,
+        );
+        reg.counter("coherence.cache.store_hits", self.store_hits);
+        reg.counter("coherence.cache.upgrades", self.upgrades);
+        reg.counter("coherence.cache.invalidations", self.invalidations);
+        reg.counter("coherence.cache.recalls", self.recalls);
+        reg.counter("coherence.cache.device_fetch_excl", self.device_fetch_excl);
+        reg.counter("coherence.fabric.messages", self.fabric_messages());
+    }
+
     /// Adds another stats block into this one.
     pub fn merge(&mut self, o: &CoherenceStats) {
         self.load_hits += o.load_hits;

@@ -47,6 +47,7 @@ fn sparse_wl(services: usize, rate_rps: f64, duration_ms: u64, seed: u64) -> Wor
         warmup: 30,
         faults: Default::default(),
         retry: None,
+        observe: lauberhorn_sim::ObserveSpec::none(),
     }
 }
 
@@ -142,6 +143,7 @@ pub fn tryagain_window_steady(seed: u64) -> Vec<Labelled> {
             warmup: 100,
             faults: Default::default(),
             retry: None,
+            observe: lauberhorn_sim::ObserveSpec::none(),
         };
         run_variant(format!("TRYAGAIN window {t} (steady)"), cfg, 4, &wl)
     })

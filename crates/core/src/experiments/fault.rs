@@ -114,6 +114,18 @@ pub fn render(points: &[FaultPoint]) -> String {
                 p.report.dropped,
             ));
         }
+        // Component metrics at the heaviest loss: which path absorbed
+        // the faults (DESIGN.md §11).
+        if let Some(worst) = points
+            .iter()
+            .filter(|p| p.stack == stack)
+            .max_by(|a, b| a.loss.total_cmp(&b.loss))
+        {
+            let row = worst.report.metrics_row();
+            if !row.is_empty() {
+                out.push_str(&format!("   metrics@{:.2}%: {row}\n", worst.loss * 100.0));
+            }
+        }
     }
     out
 }

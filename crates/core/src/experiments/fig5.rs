@@ -60,6 +60,7 @@ fn workload_with(
         warmup,
         faults: Default::default(),
         retry: None,
+        observe: lauberhorn_sim::ObserveSpec::none(),
     }
 }
 

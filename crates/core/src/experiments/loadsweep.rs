@@ -123,6 +123,14 @@ pub fn render(curves: &[Curve]) -> String {
                 r.completed as f64 / r.offered.max(1) as f64 * 100.0,
             ));
         }
+        // Component metrics at the heaviest offered load: where the
+        // saturated stack spent its effort (DESIGN.md §11).
+        if let Some(last) = c.points.last() {
+            let row = last.report.metrics_row();
+            if !row.is_empty() {
+                out.push_str(&format!("   metrics@{:.0}rps: {row}\n", last.offered_rps));
+            }
+        }
     }
     out
 }

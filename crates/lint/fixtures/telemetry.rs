@@ -1,0 +1,32 @@
+//! Fixture for the `unguarded-telemetry` rule: trace emission in an
+//! instrumented crate must go through `trace_ev!`, which checks
+//! `is_enabled()` before building the message string.
+
+pub struct Trace;
+impl Trace {
+    pub fn is_enabled(&self) -> bool {
+        false
+    }
+    pub fn emit(&mut self, _at: u64, _cat: &str, _msg: String) {}
+}
+
+pub fn bare(trace: &mut Trace) {
+    trace.emit(0, "nic.rx", String::from("pkt")); // violation
+}
+
+pub fn hand_guarded(trace: &mut Trace) {
+    // Even behind a manual guard the bare call trips: the macro is the
+    // one sanctioned form, so the guard can never silently go missing.
+    if trace.is_enabled() {
+        trace.emit(1, "nic.rx", String::from("pkt"));
+    }
+}
+
+pub fn sanctioned(trace: &mut Trace) {
+    trace_ev!(trace, 2, "nic.rx", "pkt {}", 7);
+}
+
+pub fn suppressed(trace: &mut Trace) {
+    // lint:allow(unguarded-telemetry): fixture demonstrates the pragma
+    trace.emit(3, "nic.rx", String::from("pkt"));
+}

@@ -38,6 +38,11 @@ pub enum Rule {
     UnorderedCollection,
     /// A non-workspace dependency in a `Cargo.toml`.
     ExternalDep,
+    /// A bare `.emit(` telemetry call in an instrumented crate. Trace
+    /// emission must go through the `trace_ev!` macro so a disabled
+    /// trace never pays for `format!` — an unguarded call would also
+    /// be invisible to the zero-perturbation audit.
+    UnguardedTelemetry,
     /// A malformed suppression pragma (missing reason, unknown rule).
     BadPragma,
 }
@@ -51,6 +56,7 @@ impl Rule {
             Rule::NondetTime => "nondet-time",
             Rule::UnorderedCollection => "unordered-collection",
             Rule::ExternalDep => "external-dep",
+            Rule::UnguardedTelemetry => "unguarded-telemetry",
             Rule::BadPragma => "bad-pragma",
         }
     }
@@ -62,6 +68,7 @@ impl Rule {
             "nondet-time" => Some(Rule::NondetTime),
             "unordered-collection" => Some(Rule::UnorderedCollection),
             "external-dep" => Some(Rule::ExternalDep),
+            "unguarded-telemetry" => Some(Rule::UnguardedTelemetry),
             _ => None,
         }
     }
@@ -77,6 +84,10 @@ pub mod scopes {
     /// Crates allowed to read the wall clock (the bench harness
     /// measures real elapsed time) — and the linter itself.
     pub const WALL_CLOCK_EXEMPT: &[&str] = &["bench", "lint"];
+    /// Crates instrumented with the event trace: every `.emit(` must
+    /// go through `trace_ev!`. `sim` is exempt — it *defines* the
+    /// macro (whose expansion necessarily contains the bare call).
+    pub const TELEMETRY: &[&str] = &["nic-lauberhorn", "coherence", "os", "rpc"];
 }
 
 /// One finding.
@@ -205,6 +216,7 @@ pub fn lint_source(crate_name: &str, rel_path: &str, source: &str) -> Vec<Violat
     let hot = scopes::HOT_PATH.contains(&crate_name);
     let deterministic = scopes::DETERMINISTIC.contains(&crate_name);
     let wall_clock_ok = scopes::WALL_CLOCK_EXEMPT.contains(&crate_name);
+    let telemetry = scopes::TELEMETRY.contains(&crate_name);
 
     let toks: &[Token] = &s.tokens;
     let mut findings: Vec<(usize, Rule, String)> = Vec::new();
@@ -252,6 +264,13 @@ pub fn lint_source(crate_name: &str, rel_path: &str, source: &str) -> Vec<Violat
                 t.line,
                 Rule::NondetTime,
                 format!("{} is a wall-clock source; use SimTime", t.text),
+            ));
+        }
+        if telemetry && t.text == "emit" && prev == Some(".") && next == Some("(") {
+            findings.push((
+                t.line,
+                Rule::UnguardedTelemetry,
+                "bare .emit() call; use trace_ev! so a disabled trace never formats".into(),
             ));
         }
         if deterministic && (t.text == "HashMap" || t.text == "HashSet") {
@@ -422,6 +441,21 @@ mod tests {
         assert!(!v.is_empty());
         assert!(v.iter().all(|x| x.rule == Rule::UnorderedCollection));
         assert!(lint_source("packet", "f.rs", src).is_empty());
+    }
+
+    #[test]
+    fn bare_emit_flagged_in_telemetry_crates() {
+        let src = "fn f(t: &mut Trace) { t.emit(now, \"nic.rx\", format!(\"x\")); }";
+        let v = lint_source("rpc", "f.rs", src);
+        assert_eq!(rules_of(&v), vec![Rule::UnguardedTelemetry]);
+        assert!(lint_source("sim", "f.rs", src).is_empty(), "sim is exempt");
+        assert!(lint_source("bench", "f.rs", src).is_empty());
+    }
+
+    #[test]
+    fn trace_ev_macro_use_is_fine() {
+        let src = "fn f(t: &mut Trace) { trace_ev!(t, now, \"nic.rx\", \"pkt {}\", 1); }";
+        assert!(lint_source("rpc", "f.rs", src).is_empty());
     }
 
     #[test]

@@ -62,6 +62,20 @@ fn bad_pragma_fixture_trips_and_suppresses_nothing() {
 }
 
 #[test]
+fn telemetry_fixture_trips_unguarded_emit_only() {
+    let got = rules("rpc", include_str!("../fixtures/telemetry.rs"));
+    assert!(
+        got.iter().all(|r| *r == Rule::UnguardedTelemetry),
+        "{got:?}"
+    );
+    // The bare call and the hand-guarded call trip; the trace_ev! form
+    // and the pragma-suppressed call do not.
+    assert_eq!(got.len(), 2, "{got:?}");
+    // `sim` defines the macro and is exempt from the rule.
+    assert!(rules("sim", include_str!("../fixtures/telemetry.rs")).is_empty());
+}
+
+#[test]
 fn test_gated_fixture_is_clean() {
     let got = rules("os", include_str!("../fixtures/test_gated.rs"));
     assert!(got.is_empty(), "{got:?}");

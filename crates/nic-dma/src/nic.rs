@@ -111,6 +111,19 @@ pub struct NicStats {
     pub rx_bytes: u64,
 }
 
+impl NicStats {
+    /// Exports under the `nic-dma.*` names (DESIGN.md §11).
+    pub fn export(&self, reg: &mut lauberhorn_sim::MetricsRegistry) {
+        reg.counter("nic-dma.rx.delivered", self.rx_delivered);
+        reg.counter("nic-dma.rx.bad_frame", self.rx_bad_frame);
+        reg.counter("nic-dma.rx.no_desc", self.rx_no_desc);
+        reg.counter("nic-dma.rx.iommu_fault", self.rx_iommu_fault);
+        reg.counter("nic-dma.rx.bytes", self.rx_bytes);
+        reg.counter("nic-dma.irq.raised", self.interrupts);
+        reg.counter("nic-dma.tx.frames", self.tx_frames);
+    }
+}
+
 /// The traditional DMA NIC of Figure 1.
 #[derive(Debug)]
 pub struct DmaNic {

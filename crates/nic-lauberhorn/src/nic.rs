@@ -412,6 +412,38 @@ impl LauberhornNic {
         total
     }
 
+    /// Exports dispatch, endpoint and sched-mirror counters under the
+    /// `nic-lauberhorn.*` names (DESIGN.md §11).
+    pub fn export_metrics(&self, reg: &mut lauberhorn_sim::MetricsRegistry) {
+        let s = self.stats;
+        reg.counter("nic-lauberhorn.rx.requests", s.rx_requests);
+        reg.counter("nic-lauberhorn.rx.dropped", s.dropped);
+        reg.counter("nic-lauberhorn.dispatch.fast_path", s.fast_path);
+        reg.counter("nic-lauberhorn.dispatch.queued_user", s.queued_user);
+        reg.counter("nic-lauberhorn.dispatch.kernel_path", s.kernel_path);
+        reg.counter("nic-lauberhorn.dispatch.queued_kernel", s.queued_kernel);
+        reg.counter("nic-lauberhorn.dispatch.dma_fallbacks", s.dma_fallbacks);
+        reg.counter("nic-lauberhorn.dispatch.continuations", s.continuations_hit);
+        reg.counter("nic-lauberhorn.tx.responses", s.responses_tx);
+        reg.counter(
+            "nic-lauberhorn.sched-mirror.updates",
+            self.mirror.update_count(),
+        );
+        let ep = self.total_endpoint_stats();
+        reg.counter(
+            "nic-lauberhorn.endpoint.delivered_parked",
+            ep.delivered_parked,
+        );
+        reg.counter(
+            "nic-lauberhorn.endpoint.delivered_queued",
+            ep.delivered_queued,
+        );
+        reg.counter("nic-lauberhorn.endpoint.tryagains", ep.tryagains);
+        reg.counter("nic-lauberhorn.endpoint.retires", ep.retires);
+        reg.counter("nic-lauberhorn.endpoint.responses", ep.responses);
+        reg.gauge("nic-lauberhorn.endpoint.max_queue", ep.max_queue as f64);
+    }
+
     /// Kernel push: `process` now runs on `core` (cost:
     /// [`crate::sched_mirror::MIRROR_PUSH_COST`], charged by the caller).
     pub fn push_running(&mut self, core: usize, process: Option<ProcessId>, now: SimTime) {

@@ -25,4 +25,4 @@ pub mod sched;
 
 pub use cost::CostModel;
 pub use proc::{ProcessId, ThreadId, ThreadState};
-pub use sched::{OsScheduler, WakeDecision};
+pub use sched::{OsScheduler, SchedStats, WakeDecision};

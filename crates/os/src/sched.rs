@@ -8,9 +8,43 @@
 
 use std::collections::{BTreeSet, HashMap};
 
-use lauberhorn_sim::SimDuration;
+use lauberhorn_sim::{MetricsRegistry, SimDuration};
 
 use crate::proc::{ProcessId, ThreadId, ThreadInfo, ThreadState};
+
+/// Scheduler activity counters: written on the decision paths, read
+/// only at run finalisation (observability; never consulted by any
+/// scheduling decision, so enabling a report cannot change one).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SchedStats {
+    /// `wakeup` calls that found a registered thread.
+    pub wakeups: u64,
+    /// Wakeups that started the thread on an idle core immediately.
+    pub wake_runs: u64,
+    /// Wakeups that enqueued on a busy core's run queue.
+    pub wake_enqueues: u64,
+    /// `block_current` calls.
+    pub blocks: u64,
+    /// `preempt` calls.
+    pub preempts: u64,
+    /// Threads pulled off a run queue onto a core.
+    pub dispatches: u64,
+    /// Runnable threads moved between run queues.
+    pub migrations: u64,
+}
+
+impl SchedStats {
+    /// Exports under the `os.sched.*` names (DESIGN.md §11).
+    pub fn export(&self, reg: &mut MetricsRegistry) {
+        reg.counter("os.sched.wakeups", self.wakeups);
+        reg.counter("os.sched.wake_runs", self.wake_runs);
+        reg.counter("os.sched.wake_enqueues", self.wake_enqueues);
+        reg.counter("os.sched.blocks", self.blocks);
+        reg.counter("os.sched.preempts", self.preempts);
+        reg.counter("os.sched.dispatches", self.dispatches);
+        reg.counter("os.sched.migrations", self.migrations);
+    }
+}
 
 /// Where a woken thread was placed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -64,6 +98,7 @@ pub struct OsScheduler {
     threads: HashMap<ThreadId, ThreadInfo>,
     queues: Vec<BTreeSet<(u64, ThreadId)>>,
     min_vruntime: Vec<u64>,
+    stats: SchedStats,
 }
 
 impl OsScheduler {
@@ -76,7 +111,13 @@ impl OsScheduler {
             threads: HashMap::new(),
             queues: vec![BTreeSet::new(); num_cores],
             min_vruntime: vec![0; num_cores],
+            stats: SchedStats::default(),
         }
+    }
+
+    /// Activity counters accumulated since construction.
+    pub fn stats(&self) -> SchedStats {
+        self.stats
     }
 
     /// Number of cores.
@@ -168,12 +209,14 @@ impl OsScheduler {
             .get_mut(&tid)
             .ok_or(SchedError::UnknownThread(tid))?;
         t.vruntime = vr;
+        self.stats.wakeups += 1;
         match occupant {
             None => {
                 t.state = ThreadState::Running { core };
                 if let Some(slot) = self.cores.get_mut(core) {
                     *slot = Some(tid);
                 }
+                self.stats.wake_runs += 1;
                 Ok(WakeDecision::RunOn { core })
             }
             Some(cur) => {
@@ -181,6 +224,7 @@ impl OsScheduler {
                 if let Some(q) = self.queues.get_mut(core) {
                     q.insert((vr, tid));
                 }
+                self.stats.wake_enqueues += 1;
                 let preempt = self
                     .threads
                     .get(&cur)
@@ -220,6 +264,7 @@ impl OsScheduler {
                 t.state = ThreadState::Blocked;
             }
         }
+        self.stats.blocks += 1;
         Ok(self.dispatch(core))
     }
 
@@ -242,6 +287,7 @@ impl OsScheduler {
                 }
             }
         }
+        self.stats.preempts += 1;
         let new = self.dispatch(core);
         Ok((old, new))
     }
@@ -260,6 +306,7 @@ impl OsScheduler {
         if let Some(slot) = self.cores.get_mut(core) {
             *slot = Some(next);
         }
+        self.stats.dispatches += 1;
         Some(next)
     }
 
@@ -286,6 +333,7 @@ impl OsScheduler {
         if let Some(q) = self.queues.get_mut(to_core) {
             q.insert((vr, tid));
         }
+        self.stats.migrations += 1;
         Ok(())
     }
 

@@ -365,6 +365,9 @@ pub fn run(stack: &mut (impl ServerStack + ?Sized), workload: &WorkloadSpec) -> 
     let end = last_now.min(stack.common().hard_end);
     let (energy, fabric) = stack.finish(end);
     let common = stack.common();
+    // Close spans left open at the cutoff (parked cores, in-flight
+    // requests) so the balance invariant holds for exported traces.
+    common.tracer.finish(end);
     common.metrics.request_digest = digest.0;
     let metrics = std::mem::take(&mut common.metrics);
     metrics.finish(stack.name(), end.since(SimTime::ZERO), energy, fabric)

@@ -1,7 +1,7 @@
 //! Experiment results, comparable across all three stacks.
 
 use lauberhorn_sim::energy::CycleAccount;
-use lauberhorn_sim::{Histogram, SimDuration, Summary};
+use lauberhorn_sim::{Histogram, MetricsRegistry, SimDuration, Summary};
 
 /// Fault-path counters, present in every report (all-zero on a
 /// fault-free run).
@@ -96,6 +96,11 @@ pub struct Report {
     pub recorded: Vec<(u64, Vec<u8>)>,
     /// Fault-path counters (all zero on a fault-free run).
     pub faults: FaultCounters,
+    /// Component metrics snapshot (NIC, coherence, scheduler, RPC
+    /// layer), collected once at `finish` from counters the components
+    /// maintain anyway — never from the tracing machinery, so its
+    /// contents are identical whether or not observability is on.
+    pub metrics: MetricsRegistry,
 }
 
 impl Report {
@@ -124,6 +129,108 @@ impl Report {
             self.throughput_rps(),
         )
     }
+
+    /// One-line component-metrics summary for experiment tables: the
+    /// headline counters under fixed prefixes, zero-valued and
+    /// unmatched entries omitted. Empty when nothing matched.
+    pub fn metrics_row(&self) -> String {
+        self.metrics.row(&[
+            "nic-lauberhorn.dispatch.",
+            "nic-lauberhorn.endpoint.tryagains",
+            "nic-lauberhorn.sched-mirror.",
+            "nic-dma.irq.",
+            "coherence.fabric.",
+            "os.sched.wakeups",
+            "os.sched.preempts",
+            "rpc.retry.",
+            "rpc.dedup.",
+            "bypass.",
+        ])
+    }
+
+    /// FNV-1a digest over every numeric field of the report (floats by
+    /// bit pattern, summaries field-by-field, metrics entries
+    /// name-by-name). Two runs with equal digests produced
+    /// indistinguishable reports — the zero-perturbation tests compare
+    /// exactly this.
+    pub fn digest(&self) -> u64 {
+        struct Fnv(u64);
+        impl Fnv {
+            fn put(&mut self, x: u64) {
+                for b in x.to_le_bytes() {
+                    self.0 ^= b as u64;
+                    self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+                }
+            }
+            fn put_f(&mut self, x: f64) {
+                self.put(x.to_bits());
+            }
+            fn put_str(&mut self, s: &str) {
+                for b in s.bytes() {
+                    self.put(b as u64);
+                }
+            }
+            fn put_sum(&mut self, s: &Summary) {
+                self.put(s.count);
+                self.put_f(s.mean);
+                for v in [s.min, s.p50, s.p90, s.p99, s.p999, s.max] {
+                    self.put(v);
+                }
+            }
+        }
+        let mut h = Fnv(0xcbf2_9ce4_8422_2325);
+        h.put_str(&self.stack);
+        h.put(self.offered);
+        h.put(self.completed);
+        h.put(self.dropped);
+        h.put(self.duration.as_ps());
+        h.put_sum(&self.rtt);
+        h.put_sum(&self.end_system);
+        h.put_sum(&self.dispatch);
+        h.put_f(self.sw_cycles_per_req);
+        h.put(self.energy.active.as_ps());
+        h.put(self.energy.stalled.as_ps());
+        h.put(self.energy.idle.as_ps());
+        h.put_f(self.energy_proxy);
+        h.put(self.fabric_messages);
+        h.put(self.request_digest);
+        for (id, payload) in &self.recorded {
+            h.put(*id);
+            for b in payload {
+                h.put(*b as u64);
+            }
+        }
+        let f = &self.faults;
+        for v in [
+            f.wire_tx_lost,
+            f.wire_rx_lost,
+            f.corrupted,
+            f.checksum_dropped,
+            f.retransmits,
+            f.retries_exhausted,
+            f.dedup_dropped,
+            f.dedup_replayed,
+            f.dup_responses,
+            f.dup_executions,
+            f.fill_faults,
+            f.crashes_recovered,
+        ] {
+            h.put(v);
+        }
+        for (name, v) in self.metrics.counters() {
+            h.put_str(name);
+            h.put(v);
+        }
+        for (name, v) in self.metrics.gauges() {
+            h.put_str(name);
+            h.put_f(v);
+        }
+        for (name, s) in self.metrics.histograms() {
+            h.put_str(name);
+            h.put_sum(s);
+        }
+        h.0
+    }
 }
 
 /// Accumulates per-request measurements during a run.
@@ -151,26 +258,52 @@ pub struct MetricsCollector {
     pub recorded: Vec<(u64, Vec<u8>)>,
     /// Fault-path counters (all zero on a fault-free run).
     pub faults: FaultCounters,
+    /// Component metrics, filled by each stack's `finish` from its
+    /// NIC/coherence/scheduler counters (DESIGN.md §11).
+    pub registry: MetricsRegistry,
 }
 
 impl MetricsCollector {
-    /// Finalises into a [`Report`].
+    /// Finalises into a [`Report`], adding the RPC layer's own
+    /// `rpc.*` entries (retry/dedup counters, latency summaries) to
+    /// the registry alongside whatever the stack exported.
     pub fn finish(
-        self,
+        mut self,
         stack: impl Into<String>,
         duration: SimDuration,
         energy: CycleAccount,
         fabric_messages: u64,
     ) -> Report {
+        let rtt = self.rtt.summary();
+        let end_system = self.end_system.summary();
+        let dispatch = self.dispatch.summary();
+        self.registry
+            .counter("rpc.retry.retransmits", self.faults.retransmits);
+        self.registry
+            .counter("rpc.retry.exhausted", self.faults.retries_exhausted);
+        self.registry
+            .counter("rpc.dedup.suppressed", self.faults.dedup_dropped);
+        self.registry
+            .counter("rpc.dedup.replayed", self.faults.dedup_replayed);
+        self.registry
+            .counter("rpc.dedup.dup_executions", self.faults.dup_executions);
+        self.registry.counter("rpc.requests.offered", self.offered);
+        self.registry
+            .counter("rpc.requests.completed", self.completed);
+        self.registry.counter("rpc.requests.dropped", self.dropped);
+        self.registry.histogram("rpc.latency.rtt", rtt);
+        self.registry
+            .histogram("rpc.latency.end_system", end_system);
+        self.registry.histogram("rpc.latency.dispatch", dispatch);
         Report {
             stack: stack.into(),
             offered: self.offered,
             completed: self.completed,
             dropped: self.dropped,
             duration,
-            rtt: self.rtt.summary(),
-            end_system: self.end_system.summary(),
-            dispatch: self.dispatch.summary(),
+            rtt,
+            end_system,
+            dispatch,
             sw_cycles_per_req: if self.measured == 0 {
                 0.0
             } else {
@@ -182,6 +315,7 @@ impl MetricsCollector {
             request_digest: self.request_digest,
             recorded: self.recorded,
             faults: self.faults,
+            metrics: self.registry,
         }
     }
 }

@@ -19,11 +19,11 @@ use lauberhorn_os::CostModel;
 use lauberhorn_packet::frame::{EndpointAddr, FRAME_OVERHEAD};
 use lauberhorn_packet::rpcwire::RPC_HEADER_LEN;
 use lauberhorn_sim::energy::{CoreState, CycleAccount, EnergyMeter};
-use lauberhorn_sim::{EventQueue, SimDuration, SimTime};
+use lauberhorn_sim::{EventQueue, SimDuration, SimTime, Stage};
 
 use crate::report::Report;
 use crate::spec::{ServiceSpec, WorkloadSpec};
-use crate::stack::{Machine, MachineConfig, ServerStack, StackCommon};
+use crate::stack::{Machine, MachineConfig, ServerStack, StackCommon, NIC_TRACK};
 use crate::wire::WireModel;
 
 // The canonical home of this constant is the centralized machine
@@ -285,6 +285,26 @@ impl BypassSim {
         // Attributed per request (the driver folds it in only for
         // warmed completions, like the other stacks).
         self.common.charge_req(pkt.request_id, sw_total);
+        if self.common.tracer.is_enabled() {
+            // Sub-span boundaries re-derive the receive-path breakdown;
+            // each clamps to the handler start so per-term rounding can
+            // never push a sub-span past the charged window.
+            let handler_start = now + self.cost.cycles(sw);
+            let root = self.common.root_span(pkt.request_id);
+            let rid = pkt.request_id;
+            let lane = core as u32;
+            let m = &self.cost;
+            let mut t = now;
+            let mut sub = |tr: &mut lauberhorn_sim::SpanTracer, stage, cycles: u64| {
+                let e = (t + m.cycles(cycles)).min(handler_start);
+                tr.span(stage, Some(rid), root, lane, t, e);
+                t = e;
+            };
+            let tr = &mut self.common.tracer;
+            sub(tr, Stage::Poll, m.poll_iteration);
+            sub(tr, Stage::Protocol, 250 + 30);
+            tr.span(Stage::Unmarshal, Some(rid), root, lane, t, handler_start);
+        }
         let done = now + self.cost.cycles(sw + handler);
         if let Some(b) = self.busy_until.get_mut(core) {
             *b = done;
@@ -322,6 +342,32 @@ impl BypassSim {
         if let Some(t) = self.common.times.get_mut(&request_id) {
             t.handler_end = now;
             t.response_tx = tx_done;
+        }
+        if self.common.tracer.is_enabled() {
+            let root = self.common.root_span(request_id);
+            let handler_start = self
+                .common
+                .times
+                .get(&request_id)
+                .map(|t| t.handler_start)
+                .unwrap_or(now);
+            let tr = &mut self.common.tracer;
+            tr.span(
+                Stage::Handler,
+                Some(request_id),
+                root,
+                core as u32,
+                handler_start,
+                now,
+            );
+            tr.span(
+                Stage::Response,
+                Some(request_id),
+                root,
+                NIC_TRACK,
+                now,
+                tx_done,
+            );
         }
         let arrive = tx_done + self.common.wire.deliver(frame_len);
         self.common.complete(arrive, request_id);
@@ -463,6 +509,10 @@ impl ServerStack for BypassSim {
         let spin_time: SimDuration = accounts.iter().map(|a| a.active).sum();
         let per_poll = self.cost.cycles(self.cost.poll_iteration);
         let spin_reads = spin_time.as_ps() / per_poll.as_ps().max(1);
+        let reg = &mut self.common.metrics.registry;
+        stats.export(reg);
+        reg.counter("bypass.rebinds", self.bindings.rebinds());
+        reg.counter("bypass.spin_reads", spin_reads);
         let fabric = stats.rx_delivered * 4 + stats.tx_frames * 3 + spin_reads;
         (total, fabric)
     }

@@ -26,11 +26,11 @@ use lauberhorn_os::{CostModel, OsScheduler};
 use lauberhorn_packet::frame::{EndpointAddr, FRAME_OVERHEAD};
 use lauberhorn_packet::rpcwire::RPC_HEADER_LEN;
 use lauberhorn_sim::energy::{CoreState, CycleAccount, EnergyMeter};
-use lauberhorn_sim::{EventQueue, SimDuration, SimTime};
+use lauberhorn_sim::{EventQueue, SimDuration, SimTime, SpanId, Stage};
 
 use crate::report::Report;
 use crate::spec::{ServiceSpec, WorkloadSpec};
-use crate::stack::{Machine, MachineConfig, ServerStack, StackCommon, BASE_PORT};
+use crate::stack::{Machine, MachineConfig, ServerStack, StackCommon, BASE_PORT, NIC_TRACK};
 use crate::wire::WireModel;
 
 /// Configuration.
@@ -269,14 +269,18 @@ impl KernelSim {
         if let Some(p) = self.poll_active.get_mut(queue as usize) {
             *p = true;
         }
-        let (_, end) =
+        let (s, end) =
             self.charge_core(core, now, self.cost.irq_entry + self.cost.softirq_dispatch);
+        self.common
+            .tracer
+            .span(Stage::Irq, None, SpanId::NONE, core as u32, s, end);
         self.q.schedule(end, Ev::SoftirqPoll { queue, core });
     }
 
     fn on_softirq(&mut self, queue: u32, core: usize, now: SimTime) {
         let qi = queue as usize;
         let mut t = now.max(self.busy_until.get(core).copied().unwrap_or(now));
+        let sirq_start = t;
         let mut processed = 0usize;
         while processed < self.cfg.napi_budget {
             let Some(front_ready) = self
@@ -295,9 +299,18 @@ impl KernelSim {
             };
             let per_pkt =
                 self.cost.netstack_per_pkt + self.cost.skb_management + self.cost.socket_lookup;
-            let (_, end) = self.charge_core(core, t, per_pkt);
+            let (ps, end) = self.charge_core(core, t, per_pkt);
             t = end;
             self.common.charge_req(pkt.request_id, per_pkt);
+            let root = self.common.root_span(pkt.request_id);
+            self.common.tracer.span(
+                Stage::Protocol,
+                Some(pkt.request_id),
+                root,
+                core as u32,
+                ps,
+                end,
+            );
             // Enqueue on the destination socket and wake its thread.
             self.socket_q.entry(pkt.service).or_default().push_back((
                 pkt.request_id,
@@ -308,7 +321,7 @@ impl KernelSim {
             match self.sched.wakeup(tid) {
                 Ok(WakeDecision::RunOn { core: target }) => {
                     let wake = self.cost.wakeup + self.cost.sched_pick;
-                    let (_, end) = self.charge_core(core, t, wake);
+                    let (ws, end) = self.charge_core(core, t, wake);
                     t = end;
                     self.common.charge_req(pkt.request_id, wake);
                     let mut start_at = t;
@@ -320,6 +333,14 @@ impl KernelSim {
                         self.common
                             .charge_req(pkt.request_id, self.cost.ipi_send + self.cost.ipi_receive);
                     }
+                    self.common.tracer.span(
+                        Stage::Wakeup,
+                        Some(pkt.request_id),
+                        root,
+                        core as u32,
+                        ws,
+                        t,
+                    );
                     self.q.schedule(
                         start_at,
                         Ev::UserRun {
@@ -333,8 +354,16 @@ impl KernelSim {
                     // The thread is running or queued; it will drain its
                     // socket when it gets the CPU.
                     let wake = self.cost.wakeup;
-                    let (_, end) = self.charge_core(core, t, wake);
+                    let (ws, end) = self.charge_core(core, t, wake);
                     t = end;
+                    self.common.tracer.span(
+                        Stage::Wakeup,
+                        Some(pkt.request_id),
+                        root,
+                        core as u32,
+                        ws,
+                        end,
+                    );
                 }
                 Err(_) => {
                     // No thread serves this socket (the workload asked
@@ -355,6 +384,14 @@ impl KernelSim {
             .map(|p| p.ready_at);
         if let Some(next_ready) = next_ready {
             // More work (or not yet DMA-complete): poll again.
+            self.common.tracer.span(
+                Stage::Softirq,
+                None,
+                SpanId::NONE,
+                core as u32,
+                sirq_start,
+                t,
+            );
             self.q
                 .schedule(t.max(next_ready), Ev::SoftirqPoll { queue, core });
         } else {
@@ -364,6 +401,14 @@ impl KernelSim {
                 *p = false;
             }
             let (_, end) = self.charge_core(core, t, self.cost.irq_exit);
+            self.common.tracer.span(
+                Stage::Softirq,
+                None,
+                SpanId::NONE,
+                core as u32,
+                sirq_start,
+                end,
+            );
             if let Some(target) = self.nic.unmask_queue(queue) {
                 self.q.schedule(
                     end,
@@ -402,10 +447,39 @@ impl KernelSim {
         if fresh {
             sw += m.full_context_switch();
         }
-        let (_, handler_start) = self.charge_core(core, now, sw);
+        let (s0, handler_start) = self.charge_core(core, now, sw);
         self.common.charge_req(request_id, sw);
         if let Some(t) = self.common.times.get_mut(&request_id) {
             t.handler_start = handler_start;
+        }
+        if self.common.tracer.is_enabled() {
+            // Sub-span boundaries re-derive the cost breakdown from the
+            // same model values; the single charge above is untouched.
+            // Boundaries clamp to `handler_start` so per-term rounding
+            // can never push a sub-span past the charged window.
+            let root = self.common.root_span(request_id);
+            let lane = core as u32;
+            let m = &self.cost;
+            let mut t = s0;
+            let mut sub = |tr: &mut lauberhorn_sim::SpanTracer, stage, cycles: u64| {
+                let e = (t + m.cycles(cycles)).min(handler_start);
+                tr.span(stage, Some(request_id), root, lane, t, e);
+                t = e;
+            };
+            let tr = &mut self.common.tracer;
+            if fresh {
+                sub(tr, Stage::ContextSwitch, m.full_context_switch());
+            }
+            sub(tr, Stage::Syscall, m.syscall);
+            sub(tr, Stage::Copy, m.copy(payload_len) + miss_cycles);
+            tr.span(
+                Stage::Unmarshal,
+                Some(request_id),
+                root,
+                lane,
+                t,
+                handler_start,
+            );
         }
         let spec_time = self.spec_of(service).service_time;
         let handler = spec_time.sample(&mut self.common.rng);
@@ -449,7 +523,7 @@ impl KernelSim {
         let frame_len = FRAME_OVERHEAD + RPC_HEADER_LEN + resp_len;
         // sendmsg: syscall, copy, doorbell.
         let sw = self.cost.syscall + self.cost.copy(resp_len);
-        let (_, end) = self.charge_core(core, now, sw);
+        let (send_s, end) = self.charge_core(core, now, sw);
         self.common.charge_req(request_id, sw);
         self.next_buf = (self.next_buf + 1) % 1024;
         let tx_done = match self.nic.tx_packet(
@@ -470,6 +544,40 @@ impl KernelSim {
         if let Some(t) = self.common.times.get_mut(&request_id) {
             t.handler_end = now;
             t.response_tx = tx_done;
+        }
+        if self.common.tracer.is_enabled() {
+            let root = self.common.root_span(request_id);
+            let handler_start = self
+                .common
+                .times
+                .get(&request_id)
+                .map(|t| t.handler_start)
+                .unwrap_or(now);
+            let tr = &mut self.common.tracer;
+            tr.span(
+                Stage::Handler,
+                Some(request_id),
+                root,
+                core as u32,
+                handler_start,
+                now,
+            );
+            tr.span(
+                Stage::SendMsg,
+                Some(request_id),
+                root,
+                core as u32,
+                send_s,
+                end,
+            );
+            tr.span(
+                Stage::Response,
+                Some(request_id),
+                root,
+                NIC_TRACK,
+                end,
+                tx_done,
+            );
         }
         let arrive = tx_done + self.common.wire.deliver(frame_len);
         self.common.complete(arrive, request_id);
@@ -568,6 +676,9 @@ impl ServerStack for KernelSim {
             total.merge(a);
         }
         let stats = self.nic.stats();
+        let reg = &mut self.common.metrics.registry;
+        stats.export(reg);
+        self.sched.stats().export(reg);
         let fabric = stats.rx_delivered * 4 + stats.tx_frames * 3 + stats.interrupts;
         (total, fabric)
     }

@@ -32,11 +32,11 @@ use lauberhorn_os::CostModel;
 use lauberhorn_packet::frame::EndpointAddr;
 use lauberhorn_sim::energy::{CoreState, CycleAccount, EnergyMeter};
 use lauberhorn_sim::fault::FaultDecision;
-use lauberhorn_sim::{EventQueue, SimDuration, SimTime, Trace};
+use lauberhorn_sim::{trace_ev, EventQueue, SimDuration, SimTime, SpanId, Stage, Trace};
 
 use crate::report::Report;
 use crate::spec::{Behavior, ServiceSpec, WorkloadSpec};
-use crate::stack::{MachineConfig, ServerStack, StackCommon};
+use crate::stack::{MachineConfig, ServerStack, StackCommon, NIC_TRACK};
 use crate::wire::WireModel;
 
 // The machine catalogue lives in the centralized `stack` module;
@@ -172,6 +172,9 @@ pub struct LauberhornSim {
     /// Requests whose handler was killed by an injected crash: their
     /// pending `HandlerDone` events must be ignored.
     crashed: BTreeSet<u64>,
+    /// Open `Stage::Park` span per core ([`SpanId::NONE`] when the
+    /// core is not parked or tracing is off).
+    park_spans: Vec<SpanId>,
     /// Set when the run injects faults: stale fill completions (from
     /// duplicated fills or crash-retired endpoints) are then expected
     /// and absorbed instead of flagged as protocol bugs.
@@ -251,6 +254,7 @@ impl LauberhornSim {
             server_addr,
             trace: Trace::disabled(),
             crashed: BTreeSet::new(),
+            park_spans: vec![SpanId::NONE; cfg.cores],
             fault_tolerant: false,
             cfg,
         }
@@ -367,22 +371,23 @@ impl LauberhornSim {
             }
             FaultDecision::Drop | FaultDecision::Corrupt { .. } => {
                 self.common.metrics.faults.fill_faults += 1;
-                if self.trace.is_enabled() {
-                    self.trace.emit(
-                        at,
-                        "fault.fill",
-                        format!("fill for {token:?} lost; fabric retry after {spike:?}"),
-                    );
-                }
+                trace_ev!(
+                    self.trace,
+                    at,
+                    "fault.fill",
+                    "fill for {token:?} lost; fabric retry after {spike:?}"
+                );
                 self.q
                     .schedule(at + spike, Ev::DoCompleteFill { token, data });
             }
             FaultDecision::Duplicate { gap } => {
                 self.common.metrics.faults.fill_faults += 1;
-                if self.trace.is_enabled() {
-                    self.trace
-                        .emit(at, "fault.fill", format!("fill for {token:?} duplicated"));
-                }
+                trace_ev!(
+                    self.trace,
+                    at,
+                    "fault.fill",
+                    "fill for {token:?} duplicated"
+                );
                 self.q.schedule(
                     at,
                     Ev::DoCompleteFill {
@@ -395,13 +400,12 @@ impl LauberhornSim {
             }
             FaultDecision::Delay { extra } => {
                 self.common.metrics.faults.fill_faults += 1;
-                if self.trace.is_enabled() {
-                    self.trace.emit(
-                        at,
-                        "fault.fill",
-                        format!("fill for {token:?} delayed by {extra:?}"),
-                    );
-                }
+                trace_ev!(
+                    self.trace,
+                    at,
+                    "fault.fill",
+                    "fill for {token:?} delayed by {extra:?}"
+                );
                 self.q
                     .schedule(at + extra, Ev::DoCompleteFill { token, data });
             }
@@ -456,9 +460,18 @@ impl LauberhornSim {
             }
             other => debug_assert!(false, "device-line load must defer, got {other:?}"),
         }
+        if self.common.tracer.is_enabled() {
+            let id = self
+                .common
+                .tracer
+                .begin(now, Stage::Park, None, SpanId::NONE, core as u32);
+            if let Some(slot) = self.park_spans.get_mut(core) {
+                *slot = id;
+            }
+        }
     }
 
-    fn enter_kernel_loop(&mut self, core: usize, now: SimTime, request_id: Option<u64>) {
+    fn enter_kernel_loop(&mut self, core: usize, now: SimTime, request_id: Option<u64>) -> SimTime {
         // Yield path: syscall back into the kernel, context switch to the
         // kernel dispatch thread, tell the NIC.
         let cycles = self.cost.syscall + self.cost.full_context_switch();
@@ -471,6 +484,7 @@ impl LauberhornSim {
         self.nic.push_running(core, None, end + MIRROR_PUSH_COST);
         self.q
             .schedule(end + MIRROR_PUSH_COST, Ev::IssueLoad { core });
+        end + MIRROR_PUSH_COST
     }
 
     fn enter_user_loop(&mut self, core: usize, service: u16, now: SimTime) -> SimTime {
@@ -523,13 +537,14 @@ impl LauberhornSim {
     }
 
     fn on_fill_at_core(&mut self, core: usize, addr: LineAddr, data: Vec<u8>, now: SimTime) {
+        if let Some(slot) = self.park_spans.get_mut(core) {
+            let id = std::mem::replace(slot, SpanId::NONE);
+            self.common.tracer.end(id, now);
+        }
         let (kind, request_id, n_aux, arg_len, service) = Self::parse_ctrl(&data);
         match kind {
             DispatchKind::TryAgain => {
-                if self.trace.is_enabled() {
-                    self.trace
-                        .emit(now, "nic.tryagain", format!("core {core} unblocked"));
-                }
+                trace_ev!(self.trace, now, "nic.tryagain", "core {core} unblocked");
                 self.coh.drop_line(CacheId(core), addr);
                 self.ctx_mut(core).tryagain_streak += 1;
                 let is_user = matches!(self.ctx(core).mode, LoopMode::User { .. });
@@ -542,20 +557,36 @@ impl LauberhornSim {
                     .is_some_and(|e| e.queue_depth() > 0);
                 if is_user && !queued_here && self.ctx(core).tryagain_streak >= self.cfg.yield_after
                 {
-                    self.enter_kernel_loop(core, now, None);
+                    let ret = self.enter_kernel_loop(core, now, None);
+                    self.common.tracer.span(
+                        Stage::TryAgain,
+                        None,
+                        SpanId::NONE,
+                        core as u32,
+                        now,
+                        ret,
+                    );
                 } else {
                     // Re-issue the load after a couple of cycles.
                     let end = self.charge(core, now, 20, None);
+                    self.common.tracer.span(
+                        Stage::TryAgain,
+                        None,
+                        SpanId::NONE,
+                        core as u32,
+                        now,
+                        end,
+                    );
                     self.q.schedule(end, Ev::IssueLoad { core });
                 }
             }
             DispatchKind::Retire => {
-                if self.trace.is_enabled() {
-                    self.trace
-                        .emit(now, "os.retire", format!("core {core} reallocated"));
-                }
+                trace_ev!(self.trace, now, "os.retire", "core {core} reallocated");
                 self.coh.drop_line(CacheId(core), addr);
-                self.enter_kernel_loop(core, now, None);
+                let ret = self.enter_kernel_loop(core, now, None);
+                self.common
+                    .tracer
+                    .span(Stage::Retire, None, SpanId::NONE, core as u32, now, ret);
             }
             DispatchKind::Rpc | DispatchKind::DmaDescriptor => {
                 self.ctx_mut(core).tryagain_streak = 0;
@@ -568,35 +599,77 @@ impl LauberhornSim {
                     let per_line = self.coh.device_fabric().data_lat / 4;
                     t += per_line * n_aux as u64;
                 }
+                let root = self.common.root_span(request_id);
+                if self.common.tracer.is_enabled() {
+                    let t0 = self
+                        .common
+                        .times
+                        .get(&request_id)
+                        .map(|t| t.nic_arrival)
+                        .unwrap_or(SimTime::ZERO);
+                    if t0 != SimTime::ZERO {
+                        self.common.tracer.span(
+                            Stage::ControlFill,
+                            Some(request_id),
+                            root,
+                            NIC_TRACK,
+                            t0,
+                            now,
+                        );
+                    }
+                }
                 if self.ctx(core).mode == LoopMode::Kernel {
                     // Figure 5 kernel path: switch into the process.
-                    if self.trace.is_enabled() {
-                        self.trace.emit(
-                            now,
-                            "os.dispatch",
-                            format!("request {request_id} via kernel loop on core {core}"),
-                        );
-                    }
+                    trace_ev!(
+                        self.trace,
+                        now,
+                        "os.dispatch",
+                        "request {request_id} via kernel loop on core {core}"
+                    );
                     t = self.enter_user_loop(core, service, t);
                     sw += self.cost.sched_pick + self.cost.full_context_switch();
+                    self.common.tracer.span(
+                        Stage::KernelDispatch,
+                        Some(request_id),
+                        root,
+                        core as u32,
+                        now,
+                        t,
+                    );
                 } else {
-                    if self.trace.is_enabled() {
-                        self.trace.emit(
-                            now,
-                            "nic.fastpath",
-                            format!("request {request_id} into parked core {core}"),
-                        );
-                    }
+                    trace_ev!(
+                        self.trace,
+                        now,
+                        "nic.fastpath",
+                        "request {request_id} into parked core {core}"
+                    );
                     // User fast path: consume the dispatch form.
                     t = self.charge(core, t, self.cost.dispatch_form_consume, Some(request_id));
                     sw += self.cost.dispatch_form_consume;
+                    self.common.tracer.span(
+                        Stage::FastDispatch,
+                        Some(request_id),
+                        root,
+                        core as u32,
+                        now,
+                        t,
+                    );
                 }
                 if kind == DispatchKind::DmaDescriptor {
                     // Handler pulls the payload from the DMA buffer.
                     let len = lauberhorn_nic::bytes::u64_le(&data, 40) as usize;
                     let copy = self.cost.copy(len);
+                    let copy_start = t;
                     t = self.charge(core, t, copy, Some(request_id));
                     sw += copy;
+                    self.common.tracer.span(
+                        Stage::Copy,
+                        Some(request_id),
+                        root,
+                        core as u32,
+                        copy_start,
+                        t,
+                    );
                 } else {
                     let _ = arg_len; // Args arrived in-line: already in registers.
                 }
@@ -668,6 +741,32 @@ impl LauberhornSim {
             }
         };
         let end = self.charge(core, now, 15, Some(request_id)); // Store + fence.
+        if self.common.tracer.is_enabled() {
+            let root = self.common.root_span(request_id);
+            let handler_start = self
+                .common
+                .times
+                .get(&request_id)
+                .map(|t| t.handler_start)
+                .unwrap_or(now);
+            let tr = &mut self.common.tracer;
+            tr.span(
+                Stage::Handler,
+                Some(request_id),
+                root,
+                core as u32,
+                handler_start,
+                now,
+            );
+            tr.span(
+                Stage::Response,
+                Some(request_id),
+                root,
+                core as u32,
+                now,
+                end,
+            );
+        }
         if self.coh.store(CacheId(core), addr, &resp).is_err() {
             debug_assert!(false, "core holds the line exclusive");
         }
@@ -715,6 +814,15 @@ impl LauberhornSim {
         if let Some(times) = self.common.times.get_mut(&ctx.request_id) {
             times.response_tx = tx_time;
         }
+        let root = self.common.root_span(ctx.request_id);
+        self.common.tracer.span(
+            Stage::Collect,
+            Some(ctx.request_id),
+            root,
+            NIC_TRACK,
+            now,
+            tx_time,
+        );
         let arrive = tx_time + self.common.wire.deliver(frame.len());
         self.common.complete(arrive, ctx.request_id);
     }
@@ -745,13 +853,12 @@ impl LauberhornSim {
             }
             return;
         }
-        if self.trace.is_enabled() {
-            self.trace.emit(
-                now,
-                "fault.crash",
-                format!("process for service {service} crashed on cores {victims:?}"),
-            );
-        }
+        trace_ev!(
+            self.trace,
+            now,
+            "fault.crash",
+            "process for service {service} crashed on cores {victims:?}"
+        );
         // Tear the dead process's endpoints out of the demux table
         // first, so no new request is routed to it while the recovery
         // events are in flight.
@@ -768,13 +875,13 @@ impl LauberhornSim {
             salvaged.extend(self.nic.drain_endpoint_queue(ep));
         }
         for (line, ctx) in salvaged {
-            if self.trace.is_enabled() {
-                self.trace.emit(
-                    now,
-                    "fault.crash",
-                    format!("request {} requeued to kernel endpoint", ctx.request_id),
-                );
-            }
+            trace_ev!(
+                self.trace,
+                now,
+                "fault.crash",
+                "request {} requeued to kernel endpoint",
+                ctx.request_id
+            );
             let actions = self.nic.redeliver_to_kernel(now, line, ctx);
             self.apply_actions(actions);
         }
@@ -845,6 +952,12 @@ impl ServerStack for LauberhornSim {
         self.record_responses = workload.record_responses;
         self.fault_tolerant = workload.faults.enabled();
         self.crashed.clear();
+        self.park_spans = vec![SpanId::NONE; self.cfg.cores];
+        // The observability spec can switch on the narrative trace too
+        // (a manual `enable_trace` is left alone when the spec is off).
+        if workload.observe.trace_cap > 0 {
+            self.trace = Trace::enabled(workload.observe.trace_cap);
+        }
         if let Some(crash) = workload.faults.crash {
             self.q.schedule(
                 SimTime::ZERO + crash.at,
@@ -871,24 +984,23 @@ impl ServerStack for LauberhornSim {
         match ev {
             Ev::FrameAtNic { raw, request_id } => {
                 self.common.note_arrival(request_id, now);
-                if self.trace.is_enabled() {
-                    self.trace.emit(
-                        now,
-                        "nic.rx",
-                        format!("request {request_id} ({} B frame)", raw.len()),
-                    );
-                }
+                trace_ev!(
+                    self.trace,
+                    now,
+                    "nic.rx",
+                    "request {request_id} ({} B frame)",
+                    raw.len()
+                );
                 // The NIC's line-rate parser checks the real IPv4/UDP
                 // checksums: a corrupted frame dies here, before any
                 // endpoint state is touched.
                 if lauberhorn_packet::parse_udp_frame(&raw).is_err() {
-                    if self.trace.is_enabled() {
-                        self.trace.emit(
-                            now,
-                            "fault.wire",
-                            format!("request {request_id} failed checksum at NIC"),
-                        );
-                    }
+                    trace_ev!(
+                        self.trace,
+                        now,
+                        "fault.wire",
+                        "request {request_id} failed checksum at NIC"
+                    );
                     self.common.reject_corrupt(request_id);
                     return;
                 }
@@ -971,6 +1083,10 @@ impl ServerStack for LauberhornSim {
         for a in &accounts {
             total.merge(a);
         }
-        (total, self.coh.stats().fabric_messages())
+        let coh_stats = self.coh.stats();
+        let reg = &mut self.common.metrics.registry;
+        self.nic.export_metrics(reg);
+        coh_stats.export(reg);
+        (total, coh_stats.fabric_messages())
     }
 }

@@ -5,7 +5,7 @@ use std::sync::Arc;
 use lauberhorn_os::ProcessId;
 use lauberhorn_packet::marshal::{ArgType, Signature};
 use lauberhorn_sim::fault::FaultPlan;
-use lauberhorn_sim::SimDuration;
+use lauberhorn_sim::{ObserveSpec, SimDuration};
 use lauberhorn_workload::{ArrivalProcess, DynamicMix, ServiceTime, SizeDist};
 
 use crate::wire::RetryPolicy;
@@ -163,6 +163,11 @@ pub struct WorkloadSpec {
     /// lost requests are detected (and counted dropped) but not
     /// retried; see [`crate::wire::RetryPolicy::give_up_after`].
     pub retry: Option<RetryPolicy>,
+    /// Observability: span tracing and the narrative trace. Defaults
+    /// to [`ObserveSpec::none`]; enabling it must not change any
+    /// report digest (the zero-perturbation guarantee, enforced by the
+    /// tier-1 `observability` test).
+    pub observe: ObserveSpec,
 }
 
 impl WorkloadSpec {
@@ -185,6 +190,7 @@ impl WorkloadSpec {
             warmup: 100,
             faults: FaultPlan::none(),
             retry: None,
+            observe: ObserveSpec::none(),
         }
     }
 
@@ -210,6 +216,7 @@ impl WorkloadSpec {
             warmup: 200,
             faults: FaultPlan::none(),
             retry: None,
+            observe: ObserveSpec::none(),
         }
     }
 
@@ -222,6 +229,12 @@ impl WorkloadSpec {
     /// Enables client retransmission under this policy.
     pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
         self.retry = Some(retry);
+        self
+    }
+
+    /// Enables observability (spans and/or narrative trace).
+    pub fn with_observe(mut self, observe: ObserveSpec) -> Self {
+        self.observe = observe;
         self
     }
 

@@ -15,7 +15,7 @@ use lauberhorn_os::CostModel;
 use lauberhorn_packet::frame::EndpointAddr;
 use lauberhorn_sim::energy::CycleAccount;
 use lauberhorn_sim::fault::{FaultDecision, FaultInjector};
-use lauberhorn_sim::{EventQueue, SimDuration, SimRng, SimTime};
+use lauberhorn_sim::{EventQueue, SimDuration, SimRng, SimTime, SpanId, SpanTracer, Stage};
 
 use crate::driver::ClientEv;
 use crate::report::MetricsCollector;
@@ -48,6 +48,17 @@ pub enum RxGate {
 /// Base UDP port: in the DMA stacks, service `s` listens on
 /// `BASE_PORT + s`.
 pub const BASE_PORT: u16 = 10_000;
+
+/// Display track (Chrome-trace `tid`) of the NIC lane in span traces;
+/// cores use their index directly (0, 1, …).
+pub const NIC_TRACK: u32 = 900;
+
+/// Root (`Stage::Request`) spans cycle over this many display lanes
+/// starting at [`ROOT_TRACK_BASE`], so overlapping requests stay
+/// readable in a timeline viewer.
+pub const ROOT_TRACKS: u64 = 8;
+/// First display lane used for root spans.
+pub const ROOT_TRACK_BASE: u32 = 1000;
 
 /// Every concrete machine an experiment can run on, in one place.
 ///
@@ -165,6 +176,14 @@ pub struct StackCommon {
     /// Coherence fill-response fault injector (`"fault.fill"`), applied
     /// by the Lauberhorn stack to NIC→core fill deliveries.
     pub(crate) fill_fault: Option<FaultInjector>,
+    /// Span tracer (inert unless the workload's [`ObserveSpec`] enables
+    /// it). Spans never touch the event queue, the RNG, or simulated
+    /// time, so enabling them cannot perturb a run.
+    ///
+    /// [`ObserveSpec`]: lauberhorn_sim::ObserveSpec
+    pub tracer: SpanTracer,
+    /// Open root (`Stage::Request`) span per in-flight request id.
+    root_spans: BTreeMap<u64, SpanId>,
 }
 
 impl StackCommon {
@@ -183,6 +202,8 @@ impl StackCommon {
             dedup: None,
             rx_fault: None,
             fill_fault: None,
+            tracer: SpanTracer::default(),
+            root_spans: BTreeMap::new(),
         }
     }
 
@@ -206,6 +227,8 @@ impl StackCommon {
             .fill
             .enabled()
             .then(|| FaultInjector::new(workload.faults.fill, workload.seed, "fault.fill"));
+        self.tracer.configure(&workload.observe);
+        self.root_spans.clear();
     }
 
     /// Whether a retransmission policy is in force this run.
@@ -220,8 +243,28 @@ impl StackCommon {
         if let Some(t) = self.times.get_mut(&request_id) {
             if t.nic_arrival == SimTime::ZERO {
                 t.nic_arrival = now;
+                if self.tracer.is_enabled() {
+                    let id = self.tracer.begin(
+                        now,
+                        Stage::Request,
+                        Some(request_id),
+                        SpanId::NONE,
+                        ROOT_TRACK_BASE + (request_id % ROOT_TRACKS) as u32,
+                    );
+                    self.root_spans.insert(request_id, id);
+                }
             }
         }
+    }
+
+    /// The open root span for `request_id` ([`SpanId::NONE`] when
+    /// tracing is off or the request has no root) — the parent for
+    /// every stage span a stack records about this request.
+    pub fn root_span(&self, request_id: u64) -> SpanId {
+        self.root_spans
+            .get(&request_id)
+            .copied()
+            .unwrap_or(SpanId::NONE)
     }
 
     /// Attributes `cycles` of stack software overhead to `request_id`.
@@ -262,6 +305,9 @@ impl StackCommon {
     /// The response for `request_id` reaches the client at `arrive`;
     /// the driver does the warmup/metrics/closed-loop bookkeeping.
     pub fn complete(&mut self, arrive: SimTime, request_id: u64) {
+        if let Some(id) = self.root_spans.remove(&request_id) {
+            self.tracer.end(id, arrive);
+        }
         if let Some(window) = self.dedup.as_mut() {
             // `Done` → `Done` means the handler ran twice: the
             // at-most-once guarantee was violated. The counter is the
@@ -338,6 +384,9 @@ impl StackCommon {
         self.metrics.dropped += 1;
         self.times.remove(&request_id);
         self.sw_cycles_by_req.remove(&request_id);
+        // The root span (if any) stays open; the driver's end-of-run
+        // `tracer.finish` closes it as truncated.
+        self.root_spans.remove(&request_id);
     }
 
     /// Releases `request_id` from the dedup window (crash recovery:

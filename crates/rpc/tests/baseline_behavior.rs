@@ -23,6 +23,7 @@ fn open_wl(rate: f64, services: usize, ms: u64, seed: u64) -> WorkloadSpec {
         warmup: 50,
         faults: Default::default(),
         retry: None,
+        observe: lauberhorn_sim::ObserveSpec::none(),
     }
 }
 
@@ -44,6 +45,7 @@ fn napi_masks_interrupts_under_bursts() {
         warmup: 50,
         faults: Default::default(),
         retry: None,
+        observe: lauberhorn_sim::ObserveSpec::none(),
     };
     let r = sim.run(&wl);
     let stats = sim.nic().stats();
@@ -98,6 +100,7 @@ fn bypass_rebinding_actually_rebinds() {
         warmup: 50,
         faults: Default::default(),
         retry: None,
+        observe: lauberhorn_sim::ObserveSpec::none(),
     };
     let mut cfg = BypassSimConfig::modern(2);
     cfg.rebind_on_epoch = true;

@@ -1,0 +1,59 @@
+//! Golden Chrome-trace fixture: a seeded 10 µs single-client
+//! Lauberhorn echo run must produce byte-for-byte this trace
+//! (`tests/golden/lauberhorn_echo.trace.json`).
+//!
+//! This pins three things at once: the event schedule of the fast path
+//! (any timing drift moves a `ts`/`dur` field), the span structure
+//! (stage names, parent links, track assignment), and the exporter's
+//! deterministic formatting (integer-µs rendering, field order).
+//!
+//! After an *intentional* change to any of those, regenerate with:
+//!
+//! ```text
+//! BLESS=1 cargo test -p lauberhorn-rpc --test golden_trace
+//! ```
+
+use lauberhorn_rpc::sim_lauberhorn::LauberhornSimConfig;
+use lauberhorn_rpc::{LauberhornSim, ServerStack, ServiceSpec, WorkloadSpec};
+use lauberhorn_sim::span::chrome_trace;
+use lauberhorn_sim::{ObserveSpec, SimDuration};
+
+const GOLDEN: &str = include_str!("golden/lauberhorn_echo.trace.json");
+
+fn run_trace() -> String {
+    let mut wl = WorkloadSpec::echo_closed(64, 1, 7).with_observe(ObserveSpec::full());
+    wl.duration = SimDuration::from_us(10);
+    wl.warmup = 0;
+    let mut sim = LauberhornSim::new(
+        LauberhornSimConfig::enzian(2),
+        ServiceSpec::uniform(1, 1000, 32),
+    );
+    let r = sim.run(&wl);
+    assert!(r.completed > 0, "fixture run completed nothing");
+    chrome_trace("lauberhorn/enzian-eci", sim.common().tracer.spans())
+}
+
+#[test]
+fn chrome_trace_matches_golden_fixture() {
+    let got = run_trace();
+    if std::env::var_os("BLESS").is_some() {
+        let path = concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/tests/golden/lauberhorn_echo.trace.json"
+        );
+        std::fs::write(path, &got).expect("write golden fixture");
+        return;
+    }
+    assert!(
+        got == GOLDEN,
+        "chrome trace drifted from the golden fixture \
+         (BLESS=1 regenerates it after intentional changes);\ngot:\n{got}"
+    );
+}
+
+#[test]
+fn golden_run_is_reproducible() {
+    // The fixture is only meaningful if the run itself is a pure
+    // function of the seed.
+    assert_eq!(run_trace(), run_trace());
+}

@@ -144,6 +144,7 @@ fn trace_records_the_interesting_events() {
         warmup: 0,
         faults: Default::default(),
         retry: None,
+        observe: lauberhorn_sim::ObserveSpec::none(),
     };
     sim.run(&wl);
     let trace = sim.trace();
@@ -187,6 +188,7 @@ fn cold_service_requests_trigger_preemption_not_the_full_window() {
         warmup: 100,
         faults: Default::default(),
         retry: None,
+        observe: lauberhorn_sim::ObserveSpec::none(),
     };
     let mut sim = LauberhornSim::new(LauberhornSimConfig::enzian(2), services);
     let r = sim.run(&wl);

@@ -17,16 +17,20 @@
 
 pub mod energy;
 pub mod fault;
+pub mod metrics;
 pub mod queue;
 pub mod rng;
+pub mod span;
 pub mod stats;
 pub mod time;
 pub mod trace;
 
 pub use energy::{CoreState, CycleAccount, EnergyMeter};
 pub use fault::{CrashSpec, FaultDecision, FaultInjector, FaultPlan, FaultSpec};
+pub use metrics::MetricsRegistry;
 pub use queue::EventQueue;
 pub use rng::SimRng;
+pub use span::{ObserveSpec, SpanId, SpanRecord, SpanTracer, Stage};
 pub use stats::{Histogram, Summary};
 pub use time::{SimDuration, SimTime};
 pub use trace::{Trace, TraceEvent};

@@ -33,6 +33,11 @@ impl fmt::Display for TraceEvent {
 }
 
 /// An append-only trace buffer with an on/off switch and a size cap.
+///
+/// Cap semantics: the buffer keeps the **oldest** `cap` events and
+/// drops (but counts) every newer one — a run's prefix is what you
+/// want when diagnosing how a simulation got into a state. Use
+/// [`Trace::clear`] between phases to re-arm a full window.
 #[derive(Debug)]
 pub struct Trace {
     enabled: bool,
@@ -74,9 +79,17 @@ impl Trace {
         self.enabled
     }
 
+    /// Clears recorded events and the drop count, preserving the
+    /// enablement flag and cap: a fresh window for the next phase.
+    pub fn clear(&mut self) {
+        self.events.clear();
+        self.dropped = 0;
+    }
+
     /// Emits an event; `message` is only evaluated by the caller, so hot
-    /// paths should guard with [`Trace::is_enabled`] when formatting is
-    /// costly.
+    /// paths must guard with [`Trace::is_enabled`] (use the
+    /// [`trace_ev!`](crate::trace_ev) macro, which folds the guard,
+    /// the formatting and the emission into one line).
     pub fn emit(&mut self, at: SimTime, category: &'static str, message: impl Into<String>) {
         if !self.enabled {
             return;
@@ -122,6 +135,22 @@ impl Trace {
     }
 }
 
+/// Emits a formatted narrative trace event behind the enablement
+/// guard: `trace_ev!(self.trace, now, "nic.rx", "request {id}")`.
+///
+/// This is the only sanctioned way to call [`Trace::emit`] from a
+/// hot-path crate — the `unguarded-telemetry` lint rule flags bare
+/// `.emit(` calls there, because an unguarded `format!` on the hot
+/// path costs an allocation even when tracing is off.
+#[macro_export]
+macro_rules! trace_ev {
+    ($trace:expr, $at:expr, $cat:expr, $($arg:tt)+) => {
+        if $trace.is_enabled() {
+            $trace.emit($at, $cat, format!($($arg)+));
+        }
+    };
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -145,14 +174,45 @@ mod tests {
     }
 
     #[test]
-    fn cap_counts_drops() {
+    fn cap_keeps_oldest_drops_newest() {
         let mut t = Trace::enabled(2);
         for i in 0..5 {
             t.emit(SimTime::from_ns(i), "x", format!("{i}"));
         }
+        // Documented semantics: the first `cap` events survive; later
+        // ones are counted dropped.
         assert_eq!(t.events().len(), 2);
+        assert_eq!(t.events()[0].message, "0");
+        assert_eq!(t.events()[1].message, "1");
         assert_eq!(t.dropped(), 3);
         assert!(t.render().contains("3 events dropped"));
+    }
+
+    #[test]
+    fn clear_rearms_a_full_window() {
+        let mut t = Trace::enabled(2);
+        for i in 0..5 {
+            t.emit(SimTime::from_ns(i), "x", format!("{i}"));
+        }
+        t.clear();
+        assert!(t.events().is_empty());
+        assert_eq!(t.dropped(), 0);
+        assert!(t.is_enabled());
+        t.emit(SimTime::from_ns(9), "x", "fresh");
+        assert_eq!(t.events().len(), 1);
+        assert_eq!(t.events()[0].message, "fresh");
+    }
+
+    #[test]
+    fn trace_ev_macro_guards_and_formats() {
+        let mut t = Trace::enabled(4);
+        let at = SimTime::from_ns(3);
+        crate::trace_ev!(t, at, "nic.rx", "request {} ({} B)", 7, 64);
+        assert_eq!(t.events().len(), 1);
+        assert_eq!(t.events()[0].message, "request 7 (64 B)");
+        let mut off = Trace::disabled();
+        crate::trace_ev!(off, at, "nic.rx", "never {}", 1);
+        assert!(off.events().is_empty());
     }
 
     #[test]

@@ -81,6 +81,7 @@ fn main() {
         warmup: 0,
         faults: Default::default(),
         retry: None,
+        observe: Default::default(),
     };
     let mut sim = lauberhorn::rpc::LauberhornSim::new(
         lauberhorn::rpc::sim_lauberhorn::LauberhornSimConfig::enzian(1),

@@ -49,6 +49,7 @@ fn main() {
         warmup: 500,
         faults: Default::default(),
         retry: None,
+        observe: Default::default(),
     };
 
     println!("microservice fan-out: 8 backends, cloud RPC sizes, 150k rps\n");

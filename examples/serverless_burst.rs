@@ -32,6 +32,7 @@ fn main() {
         warmup: 300,
         faults: Default::default(),
         retry: None,
+        observe: Default::default(),
     };
 
     println!("serverless burst: 32 functions, 4 cores, bursty + rotating hot set\n");

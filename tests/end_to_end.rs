@@ -146,6 +146,7 @@ fn application_bytes_survive_the_whole_stack() {
         warmup: 0,
         faults: Default::default(),
         retry: None,
+        observe: lauberhorn_sim::ObserveSpec::none(),
     };
     let mut sim = LauberhornSim::new(LauberhornSimConfig::enzian(1), vec![service]);
     let report = sim.run(&wl);

@@ -1,0 +1,113 @@
+//! Tier-1 observability guarantees (DESIGN.md §11).
+//!
+//! 1. **Zero perturbation**: enabling span tracing and the narrative
+//!    trace must not change a single bit of any report — the tracer
+//!    never touches the event queue, the RNG, or simulated time, and
+//!    metrics come from counters the components maintain anyway. The
+//!    check is `Report::digest()` equality, which folds in every
+//!    numeric field, every latency summary, and every metrics entry.
+//! 2. **Span balance**: every recorded span closes, parents are
+//!    recorded before their children, and a parent's interval contains
+//!    its children's — on every stack, including capped tracers.
+
+use lauberhorn::prelude::*;
+use lauberhorn::rpc::{driver, RetryPolicy};
+use lauberhorn::sim::fault::FaultPlan;
+use lauberhorn::sim::ObserveSpec;
+
+fn digest(kind: StackKind, wl: &WorkloadSpec) -> u64 {
+    Experiment::new(kind).run(wl).digest()
+}
+
+#[test]
+fn observability_never_perturbs_clean_runs() {
+    let base = WorkloadSpec::echo_closed(64, 2, 11);
+    for stack in StackKind::all() {
+        let blind = digest(stack, &base);
+        let spans_only = digest(
+            stack,
+            &base.clone().with_observe(ObserveSpec::spans(1 << 16)),
+        );
+        let full = digest(stack, &base.clone().with_observe(ObserveSpec::full()));
+        assert_eq!(
+            blind,
+            spans_only,
+            "{}: span tracing perturbed the report",
+            stack.name()
+        );
+        assert_eq!(
+            blind,
+            full,
+            "{}: full observability perturbed the report",
+            stack.name()
+        );
+    }
+}
+
+#[test]
+fn observability_never_perturbs_faulty_runs() {
+    // The hard case: wire loss, retransmission, and dedup exercise the
+    // abandon/replay paths where a stray span could most plausibly
+    // leak into scheduling.
+    let base = WorkloadSpec::open_poisson(150_000.0, 1, 0.0, SizeDist::Fixed { bytes: 64 }, 4, 13)
+        .with_faults(FaultPlan::wire_loss(0.05))
+        .with_retry(RetryPolicy::same_rack());
+    for stack in [
+        StackKind::LauberhornEnzian,
+        StackKind::BypassModern,
+        StackKind::KernelModern,
+    ] {
+        let blind = digest(stack, &base);
+        let full = digest(stack, &base.clone().with_observe(ObserveSpec::full()));
+        assert_eq!(
+            blind,
+            full,
+            "{}: observability perturbed a faulty run",
+            stack.name()
+        );
+    }
+}
+
+#[test]
+fn spans_balance_on_every_stack() {
+    let wl = WorkloadSpec::echo_closed(64, 1, 5).with_observe(ObserveSpec::full());
+    for stack in StackKind::all() {
+        let mut s = Experiment::new(stack).build();
+        let report = driver::run(&mut *s, &wl);
+        assert!(report.completed > 0, "{}", stack.name());
+        let tracer = &s.common().tracer;
+        assert!(
+            !tracer.spans().is_empty(),
+            "{}: tracing on but no spans",
+            stack.name()
+        );
+        assert_eq!(tracer.open_count(), 0, "{}: open spans", stack.name());
+        if let Err(e) = tracer.check_balance() {
+            panic!("{}: {e}", stack.name());
+        }
+    }
+}
+
+#[test]
+fn span_cap_sheds_load_without_breaking_balance() {
+    // A tiny cap must drop spans (counted), never corrupt the ones
+    // kept, and never perturb the run either.
+    let base = WorkloadSpec::echo_closed(64, 1, 5);
+    for stack in [StackKind::LauberhornEnzian, StackKind::KernelModern] {
+        let capped = base.clone().with_observe(ObserveSpec::spans(32));
+        let mut s = Experiment::new(stack).build();
+        let report = driver::run(&mut *s, &capped);
+        let tracer = &s.common().tracer;
+        assert!(tracer.dropped() > 0, "{}: cap never hit", stack.name());
+        assert!(tracer.spans().len() <= 32, "{}", stack.name());
+        if let Err(e) = tracer.check_balance() {
+            panic!("{}: {e}", stack.name());
+        }
+        assert_eq!(
+            report.digest(),
+            digest(stack, &base),
+            "{}: capped tracing perturbed the report",
+            stack.name()
+        );
+    }
+}
