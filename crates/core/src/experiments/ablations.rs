@@ -48,6 +48,7 @@ fn sparse_wl(services: usize, rate_rps: f64, duration_ms: u64, seed: u64) -> Wor
         faults: Default::default(),
         retry: None,
         observe: lauberhorn_sim::ObserveSpec::none(),
+        overload: None,
     }
 }
 
@@ -144,6 +145,7 @@ pub fn tryagain_window_steady(seed: u64) -> Vec<Labelled> {
             faults: Default::default(),
             retry: None,
             observe: lauberhorn_sim::ObserveSpec::none(),
+            overload: None,
         };
         run_variant(format!("TRYAGAIN window {t} (steady)"), cfg, 4, &wl)
     })

@@ -52,6 +52,7 @@ pub fn run() -> Vec<Run> {
                 inject_stale_timeout_bug: false,
                 inject_unguarded_retire_bug: false,
                 max_losses: 0,
+                carry_load_hint: false,
             },
         ),
         (
@@ -68,6 +69,7 @@ pub fn run() -> Vec<Run> {
                 inject_stale_timeout_bug: false,
                 inject_unguarded_retire_bug: false,
                 max_losses: 0,
+                carry_load_hint: false,
             },
         ),
         (
@@ -80,6 +82,7 @@ pub fn run() -> Vec<Run> {
                 inject_stale_timeout_bug: false,
                 inject_unguarded_retire_bug: false,
                 max_losses: 0,
+                carry_load_hint: false,
             },
         ),
         (

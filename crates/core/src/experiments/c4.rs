@@ -78,6 +78,7 @@ pub fn run(p: C4Params, seed: u64) -> Vec<Contender> {
         faults: Default::default(),
         retry: None,
         observe: lauberhorn_sim::ObserveSpec::none(),
+        overload: None,
     };
     // Same machine class for every contender (3 GHz PC server) so the
     // comparison is architectural, not a clock-speed artefact. The four

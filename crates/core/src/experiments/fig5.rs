@@ -61,6 +61,7 @@ fn workload_with(
         faults: Default::default(),
         retry: None,
         observe: lauberhorn_sim::ObserveSpec::none(),
+        overload: None,
     }
 }
 

@@ -15,6 +15,7 @@
 //! | [`nested`] | §6: nested RPCs through continuation endpoints, end to end |
 //! | [`loadsweep`] | extension: throughput–latency curves per stack |
 //! | [`fault`] | extension: goodput and tails under injected wire loss |
+//! | [`overload`] | extension: admission, shedding, and graceful degradation under saturation |
 //! | [`txpath`] | extension: the TX cache-line protocol, both machines coherent |
 //! | [`ablations`] | design-choice ablations (yield policy, TRYAGAIN window, continuations) |
 //!
@@ -34,4 +35,5 @@ pub mod fig4;
 pub mod fig5;
 pub mod loadsweep;
 pub mod nested;
+pub mod overload;
 pub mod txpath;

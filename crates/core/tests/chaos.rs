@@ -100,6 +100,53 @@ fn lauberhorn_recovers_from_process_crash() {
 }
 
 #[test]
+fn overloaded_soak_sheds_without_duplicates() {
+    // The all-injectors storm at 2x capacity with the full overload
+    // protection armed: at-most-once must survive the combination of
+    // wire chaos, client give-ups, shed NACKs, and AIMD pacing — and
+    // memory must stay bounded (no queue ever grows past its cap).
+    use lauberhorn::experiments::overload;
+    let stack = StackKind::LauberhornCxl;
+    let cap = overload::calibrate(stack, 4242);
+    assert!(cap > 100_000.0, "implausible calibrated capacity {cap}");
+    let wl =
+        overload::workload(2.0 * cap, overload::shed_config(), 4242).with_faults(chaos_plan(false));
+    let r = Experiment::new(stack)
+        .cores(2)
+        .services(overload::services())
+        .run(&wl);
+    let f = &r.faults;
+    // The storm raged and the overload machinery engaged.
+    assert!(f.wire_tx_lost + f.wire_rx_lost > 0, "no frames lost");
+    let shed = r
+        .metrics
+        .get_counter("nic-lauberhorn.overload.shed")
+        .unwrap_or(0);
+    assert!(shed > 0, "2x overload never shed");
+    // At-most-once held through sheds, retries, and give-ups.
+    assert_eq!(f.dup_executions, 0, "handler ran twice under overload");
+    // Bounded memory: the deepest queue the run ever saw stayed at or
+    // under the armed cap.
+    let max_queue = r
+        .metrics
+        .get_gauge("nic-lauberhorn.endpoint.max_queue")
+        .unwrap_or(0.0);
+    let armed_cap = overload::shed_config().queue_cap as f64;
+    assert!(
+        max_queue <= armed_cap,
+        "queue depth {max_queue} exceeded the armed cap {armed_cap}"
+    );
+    // Conservation, and the plateau survived the chaos: completions
+    // still land near capacity rather than collapsing.
+    assert!(r.completed + r.dropped <= r.offered);
+    let goodput = r.completed as f64 / 0.010;
+    assert!(
+        goodput >= 0.6 * cap,
+        "goodput {goodput:.0} collapsed under chaos (capacity {cap:.0})"
+    );
+}
+
+#[test]
 fn chaos_is_reproducible() {
     // Same seed, same storm, same report — fault injection is part of
     // the deterministic simulation, not noise layered on top.

@@ -30,3 +30,15 @@ pub fn suppressed(trace: &mut Trace) {
     // lint:allow(unguarded-telemetry): fixture demonstrates the pragma
     trace.emit(3, "nic.rx", String::from("pkt"));
 }
+
+// Overload-control counters ride the same zero-perturbation contract:
+// shed/admit telemetry must only be narrated through the sanctioned
+// macro, never a bare emit that would format on every shed.
+
+pub fn shed_counter_bare(trace: &mut Trace, shed: u64) {
+    trace.emit(4, "nic.overload", format!("shed {shed}")); // violation
+}
+
+pub fn shed_counter_sanctioned(trace: &mut Trace, shed: u64, reason: &str) {
+    trace_ev!(trace, 5, "nic.overload", "shed {} ({})", shed, reason);
+}

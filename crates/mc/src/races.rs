@@ -71,6 +71,9 @@ pub enum Loc {
     Retire,
     /// The set of requests lost in flight (client retry state).
     Lost,
+    /// The load-hint byte carried inside TRYAGAIN and RETIRE lines
+    /// (queue occupancy snapshot for client-side pacing).
+    Hint,
 }
 
 /// Read or write.

@@ -121,6 +121,38 @@ impl DispatchLine {
         }
     }
 
+    /// A TRYAGAIN line advertising NIC load: `hint` (0 = idle, 255 =
+    /// queues at capacity) travels in the low byte of the data-pointer
+    /// field, which TRYAGAIN/RETIRE lines otherwise leave zero — no
+    /// layout change, and pre-hint consumers that ignore `data_ptr` on
+    /// non-RPC kinds are unaffected.
+    pub fn try_again_with_hint(hint: u8) -> Self {
+        DispatchLine {
+            data_ptr: hint as u64,
+            ..Self::try_again()
+        }
+    }
+
+    /// A RETIRE line advertising NIC load (see
+    /// [`DispatchLine::try_again_with_hint`]).
+    pub fn retire_with_hint(hint: u8) -> Self {
+        DispatchLine {
+            kind: DispatchKind::Retire,
+            data_ptr: hint as u64,
+            ..Self::try_again()
+        }
+    }
+
+    /// The load hint carried by a TRYAGAIN or RETIRE line (0 when the
+    /// line carries none, and for RPC/DMA kinds where the data-pointer
+    /// field is a real pointer).
+    pub fn load_hint(&self) -> u8 {
+        match self.kind {
+            DispatchKind::TryAgain | DispatchKind::Retire => (self.data_ptr & 0xff) as u8,
+            DispatchKind::Rpc | DispatchKind::DmaDescriptor => 0,
+        }
+    }
+
     /// Inline argument capacity of the first line for `line_size`.
     pub fn inline_capacity(line_size: usize) -> usize {
         line_size.saturating_sub(DISPATCH_HEADER_LEN)
@@ -302,6 +334,25 @@ mod tests {
             let (ctrl, aux) = d.encode(128).unwrap();
             assert_eq!(DispatchLine::decode(&ctrl, &aux).unwrap().kind, d.kind);
         }
+    }
+
+    #[test]
+    fn load_hint_rides_tryagain_and_retire() {
+        for d in [
+            DispatchLine::try_again_with_hint(0),
+            DispatchLine::try_again_with_hint(200),
+            DispatchLine::retire_with_hint(255),
+        ] {
+            let (ctrl, aux) = d.encode(128).unwrap();
+            let back = DispatchLine::decode(&ctrl, &aux).unwrap();
+            assert_eq!(back.load_hint(), d.load_hint());
+            assert_eq!(back, d);
+        }
+        // RPC lines never report a hint: data_ptr is a real pointer.
+        assert_eq!(sample(vec![]).load_hint(), 0);
+        // Hint-less constructors read back hint 0.
+        assert_eq!(DispatchLine::try_again().load_hint(), 0);
+        assert_eq!(DispatchLine::retire().load_hint(), 0);
     }
 
     #[test]

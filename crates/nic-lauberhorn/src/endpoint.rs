@@ -81,6 +81,14 @@ pub enum Effect {
         /// Response routing context.
         ctx: RequestCtx,
     },
+    /// A queued request was already past its deadline budget when the
+    /// core came to take it: shed instead of delivered (serving it
+    /// would be wasted work). The NIC accounts the shed and, with
+    /// pushback armed, NACKs the client.
+    ShedStale {
+        /// The shed request's routing context.
+        ctx: RequestCtx,
+    },
 }
 
 /// Outcome of offering a request to the endpoint.
@@ -113,6 +121,9 @@ pub struct EndpointStats {
     pub responses: u64,
     /// Maximum queue depth observed.
     pub max_queue: usize,
+    /// Queued requests shed at delivery because they were already past
+    /// the deadline budget.
+    pub shed_stale: u64,
 }
 
 /// Addressing of an endpoint's cache lines.
@@ -175,6 +186,8 @@ pub enum LineRole {
 struct QueuedRequest {
     line: DispatchLine,
     ctx: RequestCtx,
+    /// When the request entered this queue (deadline-aware shedding).
+    enqueued: SimTime,
 }
 
 /// One endpoint's protocol state.
@@ -204,6 +217,10 @@ pub struct Endpoint {
     retire_pending: bool,
     /// TRYAGAIN window for this endpoint (the paper: 15 ms).
     timeout: SimDuration,
+    /// Deadline budget for queued requests: entries older than this at
+    /// delivery time are shed ([`Effect::ShedStale`]). `None` (the
+    /// default) sheds nothing.
+    deadline: Option<SimDuration>,
     stats: EndpointStats,
 }
 
@@ -240,8 +257,32 @@ impl Endpoint {
             aux_data: Vec::new(),
             retire_pending: false,
             timeout,
+            deadline: None,
             stats: EndpointStats::default(),
         }
+    }
+
+    /// Arms (or disarms) deadline-aware shedding of queued requests.
+    pub fn set_deadline(&mut self, deadline: Option<SimDuration>) {
+        self.deadline = deadline;
+    }
+
+    /// Rebounds the ready-queue capacity (overload control armed after
+    /// construction). Requests already queued beyond the new cap stay;
+    /// the bound applies to subsequent arrivals.
+    pub fn set_queue_cap(&mut self, cap: usize) {
+        self.queue_cap = cap;
+    }
+
+    /// The queue capacity bound.
+    pub fn queue_cap(&self) -> usize {
+        self.queue_cap
+    }
+
+    /// The one-byte load hint this endpoint advertises on TRYAGAIN and
+    /// RETIRE lines: queue occupancy scaled to 0–255.
+    fn hint(&self) -> u8 {
+        lauberhorn_sim::load_hint(self.queue.len(), self.queue_cap)
     }
 
     /// Statistics snapshot.
@@ -313,11 +354,26 @@ impl Endpoint {
                 if self.retire_pending {
                     self.retire_pending = false;
                     self.stats.retires += 1;
-                    let (ctrl, _) = DispatchLine::retire()
+                    let (ctrl, _) = DispatchLine::retire_with_hint(self.hint())
                         .encode(self.layout.line_size)
                         .unwrap_or_default();
                     effects.push(Effect::Respond { token, data: ctrl });
                     return effects;
+                }
+                // Deadline-aware shedding: a queued request already past
+                // its budget is abandoned by the client anyway, so
+                // delivering it burns a service slot for zero goodput.
+                if let Some(deadline) = self.deadline {
+                    while self
+                        .queue
+                        .front()
+                        .is_some_and(|q| now.since(q.enqueued) > deadline)
+                    {
+                        if let Some(stale) = self.queue.pop_front() {
+                            self.stats.shed_stale += 1;
+                            effects.push(Effect::ShedStale { ctx: stale.ctx });
+                        }
+                    }
                 }
                 if let Some(req) = self.queue.pop_front() {
                     self.stats.delivered_queued += 1;
@@ -336,13 +392,22 @@ impl Endpoint {
         }
     }
 
-    /// A deserialized request arrives for this endpoint.
-    pub fn on_request(&mut self, line: DispatchLine, ctx: RequestCtx) -> RequestOutcome {
+    /// A deserialized request arrives for this endpoint at `now`.
+    pub fn on_request(
+        &mut self,
+        line: DispatchLine,
+        ctx: RequestCtx,
+        now: SimTime,
+    ) -> RequestOutcome {
         debug_assert!(
             matches!(line.kind, DispatchKind::Rpc | DispatchKind::DmaDescriptor),
             "only dispatchable kinds may be offered"
         );
-        let req = QueuedRequest { line, ctx };
+        let req = QueuedRequest {
+            line,
+            ctx,
+            enqueued: now,
+        };
         if let Some((token, _i, _gen)) = self.parked.take() {
             self.stats.delivered_parked += 1;
             return RequestOutcome::DeliveredToParked(self.deliver(token, req));
@@ -363,7 +428,7 @@ impl Endpoint {
             Some((token, _i, gen)) if gen == generation => {
                 self.parked = None;
                 self.stats.tryagains += 1;
-                let (ctrl, _) = DispatchLine::try_again()
+                let (ctrl, _) = DispatchLine::try_again_with_hint(self.hint())
                     .encode(self.layout.line_size)
                     .unwrap_or_default();
                 vec![Effect::Respond { token, data: ctrl }]
@@ -418,7 +483,7 @@ impl Endpoint {
         match self.parked.take() {
             Some((token, _i, _gen)) => {
                 self.stats.retires += 1;
-                let (ctrl, _) = DispatchLine::retire()
+                let (ctrl, _) = DispatchLine::retire_with_hint(self.hint())
                     .encode(self.layout.line_size)
                     .unwrap_or_default();
                 vec![Effect::Respond { token, data: ctrl }]
@@ -495,7 +560,7 @@ mod tests {
         assert!(matches!(fx[0], Effect::ArmTimeout { generation: 1, .. }));
         assert!(e.is_parked());
         let (line, ctx) = rpc(7, b"abc");
-        let out = e.on_request(line, ctx);
+        let out = e.on_request(line, ctx, SimTime::ZERO);
         match out {
             RequestOutcome::DeliveredToParked(fx) => {
                 let Effect::Respond { token, data } = &fx[0] else {
@@ -516,7 +581,10 @@ mod tests {
     fn request_then_load_queued_path() {
         let mut e = ep();
         let (line, ctx) = rpc(1, b"x");
-        assert_eq!(e.on_request(line, ctx), RequestOutcome::Queued { depth: 1 });
+        assert_eq!(
+            e.on_request(line, ctx, SimTime::ZERO),
+            RequestOutcome::Queued { depth: 1 }
+        );
         let fx = e.on_load(LineRole::Control(0), tok(2), SimTime::ZERO);
         assert!(matches!(fx[0], Effect::Respond { .. }));
         assert_eq!(e.stats().delivered_queued, 1);
@@ -528,7 +596,7 @@ mod tests {
         // Deliver request on CONTROL[0].
         e.on_load(LineRole::Control(0), tok(1), SimTime::ZERO);
         let (line, ctx) = rpc(5, b"req");
-        e.on_request(line, ctx);
+        e.on_request(line, ctx, SimTime::ZERO);
         // Core handles it, writes response in CONTROL[0], loads CONTROL[1].
         let fx = e.on_load(LineRole::Control(1), tok(2), SimTime::from_us(3));
         let collect = fx
@@ -548,10 +616,10 @@ mod tests {
         let mut e = ep();
         e.on_load(LineRole::Control(0), tok(1), SimTime::ZERO);
         let (l1, c1) = rpc(1, b"a");
-        e.on_request(l1, c1); // Delivered on line 0.
+        e.on_request(l1, c1, SimTime::ZERO); // Delivered on line 0.
         let (l2, c2) = rpc(2, b"b");
-        e.on_request(l2, c2); // Queued.
-                              // Core finishes req 1, loads line 1: collect resp 1 AND deliver req 2.
+        e.on_request(l2, c2, SimTime::ZERO); // Queued.
+                                             // Core finishes req 1, loads line 1: collect resp 1 AND deliver req 2.
         let fx = e.on_load(LineRole::Control(1), tok(2), SimTime::from_us(1));
         assert!(fx
             .iter()
@@ -577,7 +645,7 @@ mod tests {
         e.on_load(LineRole::Control(0), tok(1), SimTime::ZERO);
         // Request arrives before the timer: delivered.
         let (l, c) = rpc(1, b"z");
-        e.on_request(l, c);
+        e.on_request(l, c, SimTime::ZERO);
         // Old timer fires: stale, no effect.
         assert!(e.on_timeout(1).is_empty());
         assert_eq!(e.stats().tryagains, 0);
@@ -604,7 +672,7 @@ mod tests {
         // Core re-loads the same line; next request delivered there.
         e.on_load(LineRole::Control(0), tok(2), SimTime::from_ms(15));
         let (l, c) = rpc(3, b"c");
-        let out = e.on_request(l, c);
+        let out = e.on_request(l, c, SimTime::ZERO);
         assert!(matches!(out, RequestOutcome::DeliveredToParked(_)));
         assert_eq!(e.expect_line(), 1);
     }
@@ -614,10 +682,10 @@ mod tests {
         let mut e = ep();
         e.on_load(LineRole::Control(0), tok(1), SimTime::ZERO);
         let (l, c) = rpc(1, b"a");
-        e.on_request(l, c); // Delivered on line 0; outstanding = line 0.
-                            // TRYAGAIN cannot happen here (not parked), but a buggy or
-                            // preempted core might re-load line 0. The response in line 0 is
-                            // NOT ready to collect (the core would be overwriting it).
+        e.on_request(l, c, SimTime::ZERO); // Delivered on line 0; outstanding = line 0.
+                                           // TRYAGAIN cannot happen here (not parked), but a buggy or
+                                           // preempted core might re-load line 0. The response in line 0 is
+                                           // NOT ready to collect (the core would be overwriting it).
         let fx = e.on_load(LineRole::Control(0), tok(2), SimTime::from_us(1));
         assert!(!fx
             .iter()
@@ -634,11 +702,66 @@ mod tests {
     fn queue_overflow_rejects() {
         let mut e = Endpoint::new(EndpointId(0), ProcessId(1), layout(), 2);
         let (l, c) = rpc(1, b"");
-        e.on_request(l.clone(), c.clone());
-        e.on_request(l.clone(), c.clone());
-        assert_eq!(e.on_request(l, c), RequestOutcome::Rejected);
+        e.on_request(l.clone(), c.clone(), SimTime::ZERO);
+        e.on_request(l.clone(), c.clone(), SimTime::ZERO);
+        assert_eq!(e.on_request(l, c, SimTime::ZERO), RequestOutcome::Rejected);
         assert_eq!(e.queue_depth(), 2);
         assert_eq!(e.stats().max_queue, 2);
+    }
+
+    #[test]
+    fn stale_queued_requests_shed_at_delivery() {
+        let mut e = ep();
+        e.set_deadline(Some(SimDuration::from_us(100)));
+        let (l1, c1) = rpc(1, b"old");
+        e.on_request(l1, c1, SimTime::ZERO);
+        let (l2, c2) = rpc(2, b"fresh");
+        e.on_request(l2, c2, SimTime::from_us(150));
+        // The core arrives at 200 µs: request 1 is 200 µs old (past the
+        // 100 µs budget) and must be shed; request 2 is delivered.
+        let fx = e.on_load(LineRole::Control(0), tok(1), SimTime::from_us(200));
+        let shed: Vec<u64> = fx
+            .iter()
+            .filter_map(|f| match f {
+                Effect::ShedStale { ctx } => Some(ctx.request_id),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(shed, vec![1]);
+        let delivered = fx.iter().find_map(|f| match f {
+            Effect::Respond { data, .. } => DispatchLine::decode(data, &[]).ok(),
+            _ => None,
+        });
+        assert_eq!(delivered.map(|d| d.request_id), Some(2));
+        assert_eq!(e.stats().shed_stale, 1);
+        assert_eq!(e.stats().delivered_queued, 1);
+    }
+
+    #[test]
+    fn tryagain_carries_queue_occupancy_hint() {
+        let mut e = Endpoint::new(EndpointId(0), ProcessId(1), layout(), 4);
+        e.on_load(LineRole::Control(0), tok(1), SimTime::ZERO);
+        // Empty queue: TRYAGAIN advertises hint 0.
+        let fx = e.on_timeout(1);
+        let Effect::Respond { data, .. } = &fx[0] else {
+            panic!("expected respond")
+        };
+        let d = DispatchLine::decode(data, &[]).unwrap();
+        assert_eq!(d.kind, DispatchKind::TryAgain);
+        assert_eq!(d.load_hint(), 0);
+        // Half-full queue: RETIRE advertises a mid-scale hint.
+        let (l, c) = rpc(1, b"");
+        e.on_request(l.clone(), c.clone(), SimTime::ZERO);
+        e.on_request(l, c, SimTime::ZERO);
+        let fx = e.retire();
+        assert!(fx.is_empty()); // Not parked: retire pends.
+        let fx = e.on_load(LineRole::Control(0), tok(2), SimTime::from_us(1));
+        let Effect::Respond { data, .. } = &fx[0] else {
+            panic!("expected respond")
+        };
+        let d = DispatchLine::decode(data, &[]).unwrap();
+        assert_eq!(d.kind, DispatchKind::Retire);
+        assert_eq!(d.load_hint(), 127); // 2 of 4 slots.
     }
 
     #[test]
@@ -676,7 +799,7 @@ mod tests {
         e.on_load(LineRole::Control(0), tok(1), SimTime::ZERO);
         let big = vec![0x5A; 96 + 200]; // Spills into 2 AUX lines.
         let (l, c) = rpc(1, &big);
-        e.on_request(l, c);
+        e.on_request(l, c, SimTime::ZERO);
         // Inline capacity is 96; AUX[0] carries bytes 96..224 and
         // AUX[1] the remaining 72 bytes.
         let fx = e.on_load(LineRole::Aux(0), tok(2), SimTime::from_us(1));

@@ -22,13 +22,32 @@ pub enum Advice {
     Hold,
 }
 
+/// Scale-up watermarks: demand above this fraction of allocated
+/// capacity, or queues deeper than this, trigger [`Advice::ScaleUp`].
+const DEMAND_UP_FRAC: f64 = 0.8;
+const DEPTH_UP: f64 = 4.0;
+
+/// Scale-down watermarks, deliberately far below the scale-up pair so
+/// the advice has a wide neutral band between the two directions.
+const DEMAND_DOWN_FRAC: f64 = 0.3;
+const DEPTH_DOWN: f64 = 0.5;
+
+/// Reversal hold-down: after advising one direction, the opposite
+/// direction is suppressed (as `Hold`) until this many further
+/// arrivals have been observed. An EWMA swinging across both
+/// watermarks (a bursty queue at low average rate) otherwise flaps
+/// ScaleUp/ScaleDown on alternating observations.
+const REVERSAL_HOLDDOWN_ARRIVALS: u64 = 64;
+
 #[derive(Debug)]
 struct ServiceLoad {
     rate: Ewma,        // Requests per second.
     queue_depth: Ewma, // Smoothed ready-queue depth.
     last_arrival: Option<SimTime>,
     arrivals: u64,
-    cores: usize, // Cores currently serving, as told by the OS.
+    cores: usize,        // Cores currently serving, as told by the OS.
+    latch: Advice,       // Direction of the last non-Hold advice.
+    latch_arrivals: u64, // `arrivals` when the latch was last renewed.
 }
 
 impl Default for ServiceLoad {
@@ -39,6 +58,8 @@ impl Default for ServiceLoad {
             last_arrival: None,
             arrivals: 0,
             cores: 0,
+            latch: Advice::Hold,
+            latch_arrivals: 0,
         }
     }
 }
@@ -99,29 +120,46 @@ impl LoadTracker {
         self.services.get(&service).map_or(0, |s| s.arrivals)
     }
 
-    /// Scaling advice: scale up when demand exceeds ~80% of allocated
-    /// capacity or queues are building; scale down below ~30% with more
-    /// than one core.
-    pub fn advice(&self, service: u16) -> Advice {
-        let Some(s) = self.services.get(&service) else {
+    /// Scaling advice with hysteresis: scale up past the high
+    /// watermarks ([`DEMAND_UP_FRAC`], [`DEPTH_UP`]), scale down below
+    /// the low watermarks ([`DEMAND_DOWN_FRAC`], [`DEPTH_DOWN`]) with
+    /// more than one core — and never reverse direction until
+    /// [`REVERSAL_HOLDDOWN_ARRIVALS`] arrivals have passed since the
+    /// last advice in the old direction (flap suppression; the
+    /// suppressed direction reads as `Hold`).
+    pub fn advice(&mut self, service: u16) -> Advice {
+        let core_capacity_rps = self.core_capacity_rps;
+        let Some(s) = self.services.get_mut(&service) else {
             return Advice::Hold;
         };
-        let capacity = s.cores as f64 * self.core_capacity_rps;
+        let capacity = s.cores as f64 * core_capacity_rps;
         let demand = s.rate.value();
-        if s.cores == 0 {
-            return if demand > 0.0 {
+        let raw = if s.cores == 0 {
+            if demand > 0.0 {
                 Advice::ScaleUp
             } else {
                 Advice::Hold
-            };
-        }
-        if demand > 0.8 * capacity || s.queue_depth.value() > 4.0 {
+            }
+        } else if demand > DEMAND_UP_FRAC * capacity || s.queue_depth.value() > DEPTH_UP {
             Advice::ScaleUp
-        } else if s.cores > 1 && demand < 0.3 * capacity && s.queue_depth.value() < 0.5 {
+        } else if s.cores > 1
+            && demand < DEMAND_DOWN_FRAC * capacity
+            && s.queue_depth.value() < DEPTH_DOWN
+        {
             Advice::ScaleDown
         } else {
             Advice::Hold
+        };
+        if raw == Advice::Hold {
+            return Advice::Hold;
         }
+        let reversal = s.latch != Advice::Hold && raw != s.latch;
+        if reversal && s.arrivals.saturating_sub(s.latch_arrivals) < REVERSAL_HOLDDOWN_ARRIVALS {
+            return Advice::Hold;
+        }
+        s.latch = raw;
+        s.latch_arrivals = s.arrivals;
+        raw
     }
 
     /// Services known to the tracker.
@@ -194,6 +232,64 @@ mod tests {
         feed_arrivals(&mut t, 42, 1000.0, 10);
         // Arrivals but zero cores allocated: needs one.
         assert_eq!(t.advice(42), Advice::ScaleUp);
+    }
+
+    #[test]
+    fn advice_does_not_flap_on_a_steady_stream() {
+        // A bursty queue at low average rate: the depth EWMA swings
+        // across both watermarks (alternating observations of 0 and
+        // 8). Pre-hysteresis this alternated ScaleUp/ScaleDown; the
+        // reversal hold-down must pin it to at most one direction
+        // change over the whole stream.
+        let mut t = LoadTracker::new(100_000.0);
+        t.set_cores(1, 2);
+        let gap_ps = (1e12 / 10_000.0) as u64; // 10 krps: low demand.
+        let mut history = Vec::new();
+        for i in 0..400 {
+            t.record_arrival(1, SimTime::from_ps(1 + i * gap_ps));
+            t.record_queue_depth(1, if i % 2 == 0 { 8 } else { 0 });
+            history.push(t.advice(1));
+        }
+        let directions: Vec<Advice> = history
+            .iter()
+            .copied()
+            .filter(|a| *a != Advice::Hold)
+            .collect();
+        let reversals = directions.windows(2).filter(|w| w[0] != w[1]).count();
+        assert!(
+            reversals <= 1,
+            "advice flapped {reversals} times: {directions:?}"
+        );
+        // The tracker still reports the genuine overload signal.
+        assert!(directions.contains(&Advice::ScaleUp));
+    }
+
+    #[test]
+    fn hysteresis_still_allows_a_deliberate_reversal() {
+        // Sustained drain after a real overload: once the hold-down
+        // has passed, ScaleDown must get through.
+        let mut t = LoadTracker::new(100_000.0);
+        t.set_cores(1, 2);
+        let gap_ps = (1e12 / 10_000.0) as u64;
+        let mut i = 0u64;
+        // Overload phase: deep queues.
+        for _ in 0..50 {
+            t.record_arrival(1, SimTime::from_ps(1 + i * gap_ps));
+            t.record_queue_depth(1, 10);
+            i += 1;
+        }
+        assert_eq!(t.advice(1), Advice::ScaleUp);
+        // Drain phase: empty queues, low demand, many arrivals.
+        let mut saw_down = false;
+        for _ in 0..300 {
+            t.record_arrival(1, SimTime::from_ps(1 + i * gap_ps));
+            t.record_queue_depth(1, 0);
+            i += 1;
+            if t.advice(1) == Advice::ScaleDown {
+                saw_down = true;
+            }
+        }
+        assert!(saw_down, "hold-down never released the reversal");
     }
 
     #[test]

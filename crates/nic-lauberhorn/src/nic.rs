@@ -23,7 +23,7 @@ use lauberhorn_os::ProcessId;
 use lauberhorn_packet::frame::EndpointAddr;
 use lauberhorn_packet::marshal::transform_to_dispatch_form;
 use lauberhorn_packet::{build_udp_frame, parse_udp_frame, RpcHeader, RpcKind};
-use lauberhorn_sim::{SimDuration, SimTime};
+use lauberhorn_sim::{AdmissionCtl, OverloadConfig, ShedReason, SimDuration, SimTime};
 
 use crate::continuation::ContinuationTable;
 use crate::demux::{DemuxError, DemuxTable};
@@ -224,6 +224,21 @@ pub enum NicAction {
         /// enough to know (lets the host account the loss per-request).
         request_id: Option<u64>,
     },
+    /// A request was shed by overload control (admission, deadline, or
+    /// fairness). Accounted at the NIC; with pushback armed the sim
+    /// NACKs the client, advertising `hint`.
+    Shed {
+        /// Why overload control rejected it.
+        reason: ShedReason,
+        /// Service the request targeted.
+        service: u16,
+        /// The shed request.
+        request_id: u64,
+        /// Load hint (0–255) the NACK advertises.
+        hint: u8,
+        /// When the shed was decided.
+        at: SimTime,
+    },
 }
 
 /// NIC-level counters.
@@ -247,6 +262,8 @@ pub struct LbNicStats {
     pub responses_tx: u64,
     /// Nested-RPC replies dispatched via continuations.
     pub continuations_hit: u64,
+    /// Requests shed by overload control (all reasons).
+    pub shed: u64,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -277,6 +294,8 @@ pub struct LauberhornNic {
     alloc_cursor: u64,
     dma_cursor: u64,
     stats: LbNicStats,
+    /// Overload control, when armed ([`LauberhornNic::arm_overload`]).
+    admission: Option<AdmissionCtl>,
 }
 
 impl LauberhornNic {
@@ -297,8 +316,82 @@ impl LauberhornNic {
             kernel_eps: vec![None; num_cores],
             next_ep: 0,
             stats: LbNicStats::default(),
+            admission: None,
             cfg,
         }
+    }
+
+    /// Arms NIC-driven overload control: bounded queues at
+    /// `overload.queue_cap`, deadline-aware shedding when
+    /// `overload.deadline` is set, and (under congestion) weighted
+    /// max-min fair admission across `services`. Call before creating
+    /// endpoints so the queue cap applies to all of them; the deadline
+    /// is retrofitted onto any that already exist.
+    pub fn arm_overload(&mut self, overload: OverloadConfig, services: &[u16]) {
+        self.cfg.endpoint_queue_cap = overload.queue_cap;
+        for ep in self.endpoints.values_mut() {
+            ep.set_deadline(overload.deadline);
+            ep.set_queue_cap(overload.queue_cap);
+        }
+        self.admission = Some(AdmissionCtl::new(overload, services));
+    }
+
+    /// The overload controller, when armed (experiments read shed and
+    /// admitted-share counters from here).
+    pub fn admission(&self) -> Option<&AdmissionCtl> {
+        self.admission.as_ref()
+    }
+
+    /// Whether the service's delivery queues have built past half the
+    /// per-endpoint cap: the fairness gate only engages under
+    /// congestion, so an uncontended NIC admits everything.
+    fn congested(&self, endpoints: &[EndpointId]) -> bool {
+        let depth: usize = endpoints
+            .iter()
+            .map(|id| self.endpoints.get(id).map_or(0, |e| e.queue_depth()))
+            .sum::<usize>()
+            + self.kernel_queue_depth();
+        depth >= (self.cfg.endpoint_queue_cap / 2).max(2)
+    }
+
+    /// Aggregate queue occupancy of the service's endpoints (plus the
+    /// kernel dispatch queues) scaled to a 0–255 load hint.
+    fn service_hint(&self, endpoints: &[EndpointId]) -> u8 {
+        let (depth, cap) = endpoints.iter().fold((0usize, 0usize), |(d, c), id| {
+            self.endpoints
+                .get(id)
+                .map_or((d, c), |e| (d + e.queue_depth(), c + e.queue_cap()))
+        });
+        lauberhorn_sim::load_hint(
+            depth + self.kernel_queue_depth(),
+            cap.max(self.cfg.endpoint_queue_cap),
+        )
+    }
+
+    fn shed_frame(
+        &mut self,
+        reason: ShedReason,
+        service: u16,
+        request_id: u64,
+        hint: u8,
+        at: SimTime,
+    ) -> Vec<NicAction> {
+        // Fairness refusals are already counted inside
+        // `AdmissionCtl::admit`; noting them again here would double
+        // the per-service shed counters.
+        if reason != ShedReason::Fairness {
+            if let Some(adm) = self.admission.as_mut() {
+                adm.note_shed(service, reason);
+            }
+        }
+        self.stats.shed += 1;
+        vec![NicAction::Shed {
+            reason,
+            service,
+            request_id,
+            hint,
+            at,
+        }]
     }
 
     /// The configuration.
@@ -353,16 +446,17 @@ impl LauberhornNic {
         self.addr_index
             .push((self.alloc_cursor, self.alloc_cursor + span, id));
         self.alloc_cursor += span;
-        self.endpoints.insert(
+        let mut ep = Endpoint::with_timeout(
             id,
-            Endpoint::with_timeout(
-                id,
-                process,
-                layout,
-                self.cfg.endpoint_queue_cap,
-                self.cfg.tryagain_timeout,
-            ),
+            process,
+            layout,
+            self.cfg.endpoint_queue_cap,
+            self.cfg.tryagain_timeout,
         );
+        if let Some(adm) = &self.admission {
+            ep.set_deadline(adm.config().deadline);
+        }
+        self.endpoints.insert(id, ep);
         self.modes.insert(id, mode);
         (id, layout)
     }
@@ -408,6 +502,7 @@ impl LauberhornNic {
             total.retires += s.retires;
             total.responses += s.responses;
             total.max_queue = total.max_queue.max(s.max_queue);
+            total.shed_stale += s.shed_stale;
         }
         total
     }
@@ -442,6 +537,12 @@ impl LauberhornNic {
         reg.counter("nic-lauberhorn.endpoint.retires", ep.retires);
         reg.counter("nic-lauberhorn.endpoint.responses", ep.responses);
         reg.gauge("nic-lauberhorn.endpoint.max_queue", ep.max_queue as f64);
+        // Overload counters only exist when overload control is armed,
+        // preserving the zero-perturbation digest of clean runs.
+        if let Some(adm) = &self.admission {
+            adm.export(reg, "nic-lauberhorn");
+            reg.counter("nic-lauberhorn.endpoint.shed_stale", ep.shed_stale);
+        }
     }
 
     /// Kernel push: `process` now runs on `core` (cost:
@@ -495,6 +596,22 @@ impl LauberhornNic {
                     }
                     out.push(NicAction::CollectAndTransmit { line, ctx, at });
                 }
+                Effect::ShedStale { ctx } => {
+                    let hint = self.endpoints.get(&id).map_or(0, |e| {
+                        lauberhorn_sim::load_hint(e.queue_depth(), e.queue_cap())
+                    });
+                    if let Some(adm) = self.admission.as_mut() {
+                        adm.note_shed(ctx.service_id, ShedReason::Deadline);
+                    }
+                    self.stats.shed += 1;
+                    out.push(NicAction::Shed {
+                        reason: ShedReason::Deadline,
+                        service: ctx.service_id,
+                        request_id: ctx.request_id,
+                        hint,
+                        at,
+                    });
+                }
             }
         }
         out
@@ -543,7 +660,7 @@ impl LauberhornNic {
                     .and_then(|e| e.steal_request());
                 if let Some((line, ctx)) = stolen {
                     if let Some(ep) = self.endpoints.get_mut(&id) {
-                        let outcome = ep.on_request(line, ctx);
+                        let outcome = ep.on_request(line, ctx, now);
                         debug_assert!(
                             matches!(outcome, RequestOutcome::Queued { .. }),
                             "not parked yet, so the steal queues"
@@ -626,7 +743,7 @@ impl LauberhornNic {
                     match self
                         .endpoints
                         .get_mut(&id)
-                        .map(|ep| ep.on_request(line, ctx))
+                        .map(|ep| ep.on_request(line, ctx, now))
                     {
                         Some(RequestOutcome::DeliveredToParked(fx)) => effects.extend(fx),
                         other => debug_assert!(other.is_none(), "endpoint just parked"),
@@ -759,7 +876,7 @@ impl LauberhornNic {
                 };
                 let id = cont.endpoint;
                 let outcome = match self.endpoints.get_mut(&id) {
-                    Some(ep) => ep.on_request(line, ctx),
+                    Some(ep) => ep.on_request(line, ctx, t),
                     None => return self.drop_frame(DropReason::Overflow, Some(header.request_id)),
                 };
                 match outcome {
@@ -816,6 +933,20 @@ impl LauberhornNic {
         t += self.deser_time(wire_payload.len());
         self.stats.rx_requests += 1;
         self.load.record_arrival(header.service_id, t);
+        // Weighted max-min fair admission (overload control): under
+        // congestion, a service pulling more than its fair share of the
+        // admission window is shed before it can occupy a queue slot.
+        if self.admission.is_some() {
+            let congested = self.congested(&endpoints);
+            let hint = self.service_hint(&endpoints);
+            let verdict = self
+                .admission
+                .as_mut()
+                .map_or(Ok(()), |adm| adm.admit(header.service_id, t, congested));
+            if let Err(reason) = verdict {
+                return self.shed_frame(reason, header.service_id, header.request_id, hint, t);
+            }
+        }
         let ctx = RequestCtx {
             request_id: header.request_id,
             service_id: header.service_id,
@@ -870,7 +1001,7 @@ impl LauberhornNic {
             match self
                 .endpoints
                 .get_mut(&id)
-                .map(|ep| ep.on_request(line, ctx))
+                .map(|ep| ep.on_request(line, ctx, t))
             {
                 Some(RequestOutcome::DeliveredToParked(effects)) => {
                     let mut actions = pre_actions;
@@ -906,7 +1037,7 @@ impl LauberhornNic {
                     match self
                         .endpoints
                         .get_mut(&id)
-                        .map(|ep| ep.on_request(line.clone(), ctx.clone()))
+                        .map(|ep| ep.on_request(line.clone(), ctx.clone(), t))
                     {
                         Some(RequestOutcome::Queued { depth }) => Some(depth),
                         Some(RequestOutcome::DeliveredToParked(effects)) => {
@@ -945,7 +1076,7 @@ impl LauberhornNic {
             let outcome = self
                 .endpoints
                 .get_mut(&kep)
-                .map(|ep| ep.on_request(line.clone(), ctx.clone()));
+                .map(|ep| ep.on_request(line.clone(), ctx.clone(), t));
             match outcome {
                 Some(RequestOutcome::DeliveredToParked(effects)) => {
                     self.stats.kernel_path += 1;
@@ -984,7 +1115,7 @@ impl LauberhornNic {
             let outcome = self
                 .endpoints
                 .get_mut(&id)
-                .map(|ep| ep.on_request(line.clone(), ctx.clone()));
+                .map(|ep| ep.on_request(line.clone(), ctx.clone(), t));
             match outcome {
                 Some(RequestOutcome::Queued { .. }) => {
                     self.stats.queued_kernel += 1;
@@ -1021,7 +1152,7 @@ impl LauberhornNic {
                 .map_or(usize::MAX, |e| e.queue_depth())
         }) {
             if let Some(ep) = self.endpoints.get_mut(&id) {
-                match ep.on_request(line, ctx) {
+                match ep.on_request(line, ctx, t) {
                     RequestOutcome::Queued { depth } => {
                         self.stats.queued_user += 1;
                         self.load.record_queue_depth(header.service_id, depth);
@@ -1036,6 +1167,16 @@ impl LauberhornNic {
                     RequestOutcome::Rejected => {}
                 }
             }
+        }
+        if self.admission.is_some() {
+            let hint = self.service_hint(&endpoints);
+            return self.shed_frame(
+                ShedReason::Capacity,
+                header.service_id,
+                header.request_id,
+                hint,
+                t,
+            );
         }
         self.drop_frame(DropReason::Overflow, Some(header.request_id))
     }
@@ -1066,7 +1207,7 @@ impl LauberhornNic {
             let outcome = self
                 .endpoints
                 .get_mut(&kep)
-                .map(|ep| ep.on_request(line.clone(), ctx.clone()));
+                .map(|ep| ep.on_request(line.clone(), ctx.clone(), t));
             match outcome {
                 Some(RequestOutcome::DeliveredToParked(effects)) => {
                     self.stats.kernel_path += 1;
@@ -1099,7 +1240,7 @@ impl LauberhornNic {
             match self
                 .endpoints
                 .get_mut(&id)
-                .map(|ep| ep.on_request(line, ctx))
+                .map(|ep| ep.on_request(line, ctx, t))
             {
                 Some(RequestOutcome::Queued { .. }) => {
                     self.stats.queued_kernel += 1;
@@ -1583,6 +1724,33 @@ mod tests {
         assert!(acts
             .iter()
             .any(|a| matches!(a, NicAction::KernelDelivery { core: 0, .. })));
+    }
+
+    #[test]
+    fn overload_armed_sheds_at_capacity_with_hint() {
+        let mut n = nic();
+        n.arm_overload(OverloadConfig::drop_tail(2), &[1]);
+        let (ep, _) = n.create_endpoint(ProcessId(10));
+        n.demux_mut().add_endpoint(1, ep).unwrap();
+        // No parked core, no kernel endpoints: requests land in the
+        // last-resort user queue, whose cap arm_overload set to 2.
+        n.on_request_frame(SimTime::from_us(1), &request_frame(1, 1));
+        n.on_request_frame(SimTime::from_us(2), &request_frame(2, 2));
+        assert_eq!(n.endpoint(ep).unwrap().queue_depth(), 2);
+        let acts = n.on_request_frame(SimTime::from_us(3), &request_frame(3, 3));
+        match &acts[0] {
+            NicAction::Shed {
+                reason: ShedReason::Capacity,
+                request_id: 3,
+                hint,
+                ..
+            } => assert_eq!(*hint, 255, "full queue advertises a full-scale hint"),
+            other => panic!("expected a capacity shed, got {other:?}"),
+        }
+        assert_eq!(n.stats().shed, 1);
+        assert_eq!(n.admission().unwrap().shed_total(), 1);
+        // The queue never exceeded its cap.
+        assert_eq!(n.endpoint(ep).unwrap().queue_depth(), 2);
     }
 
     #[test]

@@ -142,6 +142,9 @@ fn endpoint_protocol_holds_invariants() {
                     Effect::CollectResponse { .. } => {
                         *collected += 1;
                     }
+                    // No deadline is armed in this harness, so stale
+                    // sheds cannot occur.
+                    Effect::ShedStale { .. } => unreachable!("no deadline armed"),
                 }
             }
         };
@@ -191,7 +194,7 @@ fn endpoint_protocol_holds_invariants() {
                     let (line, ctx) = rpc(next_req);
                     next_req += 1;
                     injected += 1;
-                    match ep.on_request(line, ctx) {
+                    match ep.on_request(line, ctx, SimTime::ZERO) {
                         RequestOutcome::DeliveredToParked(fx) => {
                             apply(
                                 fx,

@@ -24,5 +24,6 @@ pub mod proc;
 pub mod sched;
 
 pub use cost::CostModel;
+pub use netstack::SocketBacklog;
 pub use proc::{ProcessId, ThreadId, ThreadState};
 pub use sched::{OsScheduler, SchedStats, WakeDecision};

@@ -6,6 +6,10 @@
 //! (steps 5–10). Each segment is attributed to a paper step so the
 //! `fig1_steps` experiment can print the breakdown table.
 
+use std::collections::VecDeque;
+
+use lauberhorn_sim::{SimDuration, SimTime};
+
 use crate::cost::CostModel;
 
 /// The twelve steps of §2 of the paper.
@@ -181,6 +185,102 @@ pub fn total_cycles(steps: &[StepCost]) -> u64 {
     steps.iter().map(|s| s.cycles).sum()
 }
 
+/// A bounded per-socket receive backlog — the kernel stack's overload
+/// analogue of the NIC's bounded endpoint queues (think of the SYN
+/// backlog cap on a listen socket, applied to the datagram receive
+/// queue). Each entry remembers its enqueue time so dequeue can shed
+/// requests that have already overstayed a latency budget instead of
+/// wasting a wakeup on them.
+///
+/// The backlog never panics at capacity: `push` hands the item back,
+/// and the caller decides how to account the shed.
+#[derive(Debug, Clone)]
+pub struct SocketBacklog<T> {
+    cap: usize,
+    deadline: Option<SimDuration>,
+    q: VecDeque<(SimTime, T)>,
+    /// Items refused at capacity.
+    pub rejected: u64,
+    /// Items shed at dequeue because they were past the deadline.
+    pub expired: u64,
+}
+
+impl<T> SocketBacklog<T> {
+    /// A drop-tail backlog of at most `cap` entries.
+    pub fn bounded(cap: usize) -> Self {
+        SocketBacklog {
+            cap: cap.max(1),
+            deadline: None,
+            q: VecDeque::new(),
+            rejected: 0,
+            expired: 0,
+        }
+    }
+
+    /// An effectively unbounded backlog (the pre-overload-control
+    /// kernel behavior, kept for unprotected comparison runs).
+    pub fn unbounded() -> Self {
+        Self::bounded(usize::MAX)
+    }
+
+    /// Adds deadline-aware shedding with the given latency budget.
+    pub fn with_deadline(mut self, budget: SimDuration) -> Self {
+        self.deadline = Some(budget);
+        self
+    }
+
+    /// Entries currently queued.
+    pub fn len(&self) -> usize {
+        self.q.len()
+    }
+
+    /// Whether the backlog is empty.
+    pub fn is_empty(&self) -> bool {
+        self.q.is_empty()
+    }
+
+    /// The capacity bound.
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+
+    /// Enqueues `item` at `now`, or hands it back when the backlog is
+    /// full (drop-tail; `rejected` is incremented).
+    pub fn push(&mut self, now: SimTime, item: T) -> Result<(), T> {
+        if self.q.len() >= self.cap {
+            self.rejected += 1;
+            return Err(item);
+        }
+        self.q.push_back((now, item));
+        Ok(())
+    }
+
+    /// Removes and returns the head entry if it has already exceeded
+    /// the deadline budget at `now` (`expired` is incremented). Call
+    /// in a loop before `pop` so every stale entry can be accounted by
+    /// the caller.
+    pub fn pop_stale(&mut self, now: SimTime) -> Option<T> {
+        let budget = self.deadline?;
+        let (enqueued, _) = self.q.front()?;
+        if now.since(*enqueued) > budget {
+            self.expired += 1;
+            return self.q.pop_front().map(|(_, item)| item);
+        }
+        None
+    }
+
+    /// Pops the head entry, returning it with its enqueue time.
+    pub fn pop(&mut self) -> Option<(SimTime, T)> {
+        self.q.pop_front()
+    }
+
+    /// Removes and returns the most recently enqueued entry (used to
+    /// undo a push when delivery fails after enqueueing).
+    pub fn pop_newest(&mut self) -> Option<T> {
+        self.q.pop_back().map(|(_, item)| item)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -238,6 +338,39 @@ mod tests {
         ] {
             assert!(have.contains(&s), "missing {s:?}");
         }
+    }
+
+    #[test]
+    fn backlog_rejects_at_capacity_without_panicking() {
+        let mut b: SocketBacklog<u64> = SocketBacklog::bounded(2);
+        let t = SimTime::from_us(1);
+        assert!(b.push(t, 1).is_ok());
+        assert!(b.push(t, 2).is_ok());
+        assert_eq!(b.push(t, 3), Err(3));
+        assert_eq!(b.push(t, 4), Err(4));
+        assert_eq!(b.rejected, 2);
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.pop().map(|(_, x)| x), Some(1));
+        assert!(b.push(t, 5).is_ok());
+    }
+
+    #[test]
+    fn backlog_sheds_stale_heads_on_dequeue() {
+        let mut b: SocketBacklog<u64> =
+            SocketBacklog::bounded(8).with_deadline(SimDuration::from_us(10));
+        let t0 = SimTime::from_us(1);
+        b.push(t0, 1).ok();
+        b.push(t0 + SimDuration::from_us(20), 2).ok();
+        let late = t0 + SimDuration::from_us(25);
+        // Entry 1 has waited 24us > 10us: shed. Entry 2 is fresh.
+        assert_eq!(b.pop_stale(late), Some(1));
+        assert_eq!(b.pop_stale(late), None);
+        assert_eq!(b.expired, 1);
+        assert_eq!(b.pop().map(|(_, x)| x), Some(2));
+        // No deadline configured: nothing is ever stale.
+        let mut plain: SocketBacklog<u64> = SocketBacklog::bounded(8);
+        plain.push(t0, 1).ok();
+        assert_eq!(plain.pop_stale(SimTime::from_ms(999)), None);
     }
 
     #[test]

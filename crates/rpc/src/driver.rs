@@ -13,7 +13,7 @@
 use lauberhorn_packet::eth::ETH_HEADER_LEN;
 use lauberhorn_packet::frame::EndpointAddr;
 use lauberhorn_sim::fault::{FaultDecision, FaultInjector};
-use lauberhorn_sim::{SimDuration, SimRng, SimTime};
+use lauberhorn_sim::{AimdPacer, SimDuration, SimRng, SimTime};
 
 use crate::report::Report;
 use crate::spec::{LoadMode, PayloadGen, WorkloadSpec};
@@ -30,6 +30,9 @@ pub(crate) enum ClientEv {
     /// The retransmission timer for `request_id` fired; `attempt` is
     /// the transmission it was armed after (1 = the original send).
     Retry { request_id: u64, attempt: u32 },
+    /// A pushback NACK reached the client: the server shed the request
+    /// under overload and advertised its load as `hint` (0–255).
+    Pushback { request_id: u64, hint: u8 },
 }
 
 /// Running FNV-1a digest over the generated request stream; equal
@@ -146,6 +149,15 @@ pub fn run(stack: &mut (impl ServerStack + ?Sized), workload: &WorkloadSpec) -> 
     let mut outstanding: std::collections::BTreeMap<u64, Outstanding> =
         std::collections::BTreeMap::new();
 
+    // AIMD pacing, armed only when the workload's overload config asks
+    // for pushback. `None` otherwise: open-loop gaps are used as
+    // sampled, bit-identically to builds without overload control.
+    let mut pacer = workload
+        .overload
+        .as_ref()
+        .filter(|o| o.pushback)
+        .map(|_| AimdPacer::new());
+
     match &workload.mode {
         LoadMode::Open { .. } => {
             stack
@@ -251,7 +263,13 @@ pub fn run(stack: &mut (impl ServerStack + ?Sized), workload: &WorkloadSpec) -> 
                         }
                         send_frame(stack, &mut tx_fault, now, raw, request_id);
                         if let Some(arr) = arrivals.as_mut() {
-                            let gap = arr.next_gap(&mut client_rng);
+                            let mut gap = arr.next_gap(&mut client_rng);
+                            if let Some(p) = pacer.as_ref() {
+                                // AIMD pacing stretches the open-loop
+                                // gap; without pushback the sampled
+                                // gap is used untouched.
+                                gap = SimDuration::from_ns_f64(gap.as_ns_f64() * p.gap_scale());
+                            }
                             stack
                                 .common()
                                 .client_q
@@ -268,6 +286,9 @@ pub fn run(stack: &mut (impl ServerStack + ?Sized), workload: &WorkloadSpec) -> 
                         continue;
                     };
                     outstanding.remove(&request_id);
+                    if let Some(p) = pacer.as_mut() {
+                        p.on_success(now);
+                    }
                     let common = stack.common();
                     common.metrics.completed += 1;
                     let warmed = common.metrics.completed > workload.warmup;
@@ -322,6 +343,30 @@ pub fn run(stack: &mut (impl ServerStack + ?Sized), workload: &WorkloadSpec) -> 
                                     .schedule(now + *think, ClientEv::Gen { client: o.client });
                             }
                         }
+                    } else if stack
+                        .common()
+                        .times
+                        .get(&request_id)
+                        .is_some_and(|t| policy.budget_exhausted(t.sent, now))
+                    {
+                        // The wall-clock retry budget ran out before the
+                        // attempt bound: terminal `Timeout`, not another
+                        // round of max-backoff retransmissions.
+                        let Some(o) = outstanding.remove(&request_id) else {
+                            continue;
+                        };
+                        client_of.remove(&request_id);
+                        let common = stack.common();
+                        common.metrics.faults.timeouts += 1;
+                        common.abandon_request(request_id);
+                        common.dedup_forget(request_id);
+                        if let LoadMode::Closed { think, .. } = &workload.mode {
+                            if now + *think <= common.end_of_load {
+                                common
+                                    .client_q
+                                    .schedule(now + *think, ClientEv::Gen { client: o.client });
+                            }
+                        }
                     } else {
                         let Some(raw) = outstanding.get(&request_id).map(|o| o.raw.clone()) else {
                             // Answered (or already abandoned): stale timer.
@@ -341,6 +386,30 @@ pub fn run(stack: &mut (impl ServerStack + ?Sized), workload: &WorkloadSpec) -> 
                             );
                         }
                         send_frame(stack, &mut tx_fault, now, raw, request_id);
+                    }
+                }
+                ClientEv::Pushback { request_id, hint } => {
+                    // The server refused the request under overload and
+                    // said so explicitly: terminate it here (no point
+                    // retransmitting into a shedding server) and slow
+                    // the generator down.
+                    let Some(client) = client_of.remove(&request_id) else {
+                        // Already answered or abandoned: stale NACK.
+                        continue;
+                    };
+                    outstanding.remove(&request_id);
+                    if let Some(p) = pacer.as_mut() {
+                        p.on_pushback(hint, now);
+                    }
+                    let common = stack.common();
+                    common.abandon_request(request_id);
+                    common.dedup_forget(request_id);
+                    if let LoadMode::Closed { think, .. } = &workload.mode {
+                        if now + *think <= common.end_of_load {
+                            common
+                                .client_q
+                                .schedule(now + *think, ClientEv::Gen { client });
+                        }
                     }
                 }
             }
@@ -369,6 +438,18 @@ pub fn run(stack: &mut (impl ServerStack + ?Sized), workload: &WorkloadSpec) -> 
     // requests) so the balance invariant holds for exported traces.
     common.tracer.finish(end);
     common.metrics.request_digest = digest.0;
+    if let Some(p) = pacer.as_ref() {
+        // Only reached when overload pushback was armed, so these
+        // entries never enter a clean run's digest.
+        common
+            .metrics
+            .registry
+            .counter("rpc.overload.pushbacks", p.pushbacks);
+        common
+            .metrics
+            .registry
+            .gauge("rpc.overload.pacer_factor", p.factor());
+    }
     let metrics = std::mem::take(&mut common.metrics);
     metrics.finish(stack.name(), end.since(SimTime::ZERO), energy, fabric)
 }

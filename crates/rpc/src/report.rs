@@ -20,6 +20,11 @@ pub struct FaultCounters {
     pub retransmits: u64,
     /// Requests abandoned after the retry budget ran out.
     pub retries_exhausted: u64,
+    /// Requests terminated by the wall-clock retry budget
+    /// ([`crate::wire::RetryPolicy::budget`]): the client stopped
+    /// retransmitting because the request was already past its total
+    /// latency budget, not because attempts ran out.
+    pub timeouts: u64,
     /// Duplicate request frames suppressed by the server dedup window.
     pub dedup_dropped: u64,
     /// Duplicate requests answered by replaying the cached completion.
@@ -43,12 +48,13 @@ impl FaultCounters {
             return String::new();
         }
         format!(
-            "lost_tx={} lost_rx={} cksum_drop={} rexmit={} exhausted={} dedup={}+{} dup_resp={} dup_exec={} fill_faults={} crashes={}",
+            "lost_tx={} lost_rx={} cksum_drop={} rexmit={} exhausted={} timeouts={} dedup={}+{} dup_resp={} dup_exec={} fill_faults={} crashes={}",
             self.wire_tx_lost,
             self.wire_rx_lost,
             self.checksum_dropped,
             self.retransmits,
             self.retries_exhausted,
+            self.timeouts,
             self.dedup_dropped,
             self.dedup_replayed,
             self.dup_responses,
@@ -144,6 +150,10 @@ impl Report {
             "os.sched.preempts",
             "rpc.retry.",
             "rpc.dedup.",
+            "rpc.overload.",
+            "nic-lauberhorn.overload.",
+            "os.overload.",
+            "bypass.overload.",
             "bypass.",
         ])
     }
@@ -208,6 +218,7 @@ impl Report {
             f.checksum_dropped,
             f.retransmits,
             f.retries_exhausted,
+            f.timeouts,
             f.dedup_dropped,
             f.dedup_replayed,
             f.dup_responses,
@@ -281,6 +292,8 @@ impl MetricsCollector {
             .counter("rpc.retry.retransmits", self.faults.retransmits);
         self.registry
             .counter("rpc.retry.exhausted", self.faults.retries_exhausted);
+        self.registry
+            .counter("rpc.retry.timeouts", self.faults.timeouts);
         self.registry
             .counter("rpc.dedup.suppressed", self.faults.dedup_dropped);
         self.registry

@@ -19,7 +19,7 @@ use lauberhorn_os::CostModel;
 use lauberhorn_packet::frame::{EndpointAddr, FRAME_OVERHEAD};
 use lauberhorn_packet::rpcwire::RPC_HEADER_LEN;
 use lauberhorn_sim::energy::{CoreState, CycleAccount, EnergyMeter};
-use lauberhorn_sim::{EventQueue, SimDuration, SimTime, Stage};
+use lauberhorn_sim::{EventQueue, OverloadConfig, SimDuration, SimTime, Stage};
 
 use crate::report::Report;
 use crate::spec::{ServiceSpec, WorkloadSpec};
@@ -103,6 +103,13 @@ pub struct BypassSim {
     bindings: BindingManager,
     energy: EnergyMeter,
     pending: Vec<VecDeque<PendingPkt>>,
+    // Overload control, the bypass analogue: the poll loop bounds its
+    // software backlog per core and sheds stale work at poll time.
+    // Fairness and pushback stay Lauberhorn-only -- a dataplane core
+    // has no per-service view and no NACK channel back to clients.
+    overload: Option<OverloadConfig>,
+    shed_capacity: u64,
+    shed_deadline: u64,
     busy_until: Vec<SimTime>,
     check_scheduled: Vec<bool>,
     q: EventQueue<Ev>,
@@ -160,6 +167,9 @@ impl BypassSim {
             bindings,
             energy: EnergyMeter::new(cfg.cores),
             pending: (0..cfg.cores).map(|_| VecDeque::new()).collect(),
+            overload: None,
+            shed_capacity: 0,
+            shed_deadline: 0,
             busy_until: vec![SimTime::ZERO; cfg.cores],
             check_scheduled: vec![false; cfg.cores],
             q: EventQueue::new(),
@@ -226,6 +236,18 @@ impl BypassSim {
                     debug_assert!(false, "slot was just freed");
                 }
                 let core = queue as usize;
+                // Bounded software backlog: when overload control is
+                // armed the poll loop drops the newest packet rather
+                // than growing without limit (drop-tail, like the
+                // kernel's SYN-style backlog).
+                if let Some(ov) = &self.overload {
+                    let depth = self.pending.get(core).map_or(0, |q| q.len());
+                    if depth >= ov.queue_cap {
+                        self.shed_capacity += 1;
+                        self.common.drop_request(request_id);
+                        return;
+                    }
+                }
                 if let Some(q) = self.pending.get_mut(core) {
                     q.push_back(PendingPkt {
                         ready_at: delivery.ready_at,
@@ -249,6 +271,23 @@ impl BypassSim {
     fn on_core_check(&mut self, core: usize, now: SimTime) {
         if let Some(flag) = self.check_scheduled.get_mut(core) {
             *flag = false;
+        }
+        // Deadline shedding at poll time: work that has waited past its
+        // budget is stale by the time a response could reach the client,
+        // so the poll loop discards it instead of burning the core.
+        if let Some(deadline) = self.overload.as_ref().and_then(|ov| ov.deadline) {
+            let mut stale = Vec::new();
+            if let Some(q) = self.pending.get_mut(core) {
+                while q.front().is_some_and(|p| now.since(p.ready_at) > deadline) {
+                    if let Some(p) = q.pop_front() {
+                        stale.push(p.request_id);
+                    }
+                }
+            }
+            for id in stale {
+                self.shed_deadline += 1;
+                self.common.drop_request(id);
+            }
         }
         let Some(front) = self.pending.get(core).and_then(|q| q.front()) else {
             return;
@@ -457,6 +496,7 @@ impl ServerStack for BypassSim {
     }
 
     fn prepare(&mut self, workload: &WorkloadSpec) {
+        self.overload = workload.overload.clone();
         // Dedicated cores spin from t = 0 to the end: always Active.
         for c in 0..self.cfg.cores {
             self.energy.set_state(c, CoreState::Active, SimTime::ZERO);
@@ -513,6 +553,16 @@ impl ServerStack for BypassSim {
         stats.export(reg);
         reg.counter("bypass.rebinds", self.bindings.rebinds());
         reg.counter("bypass.spin_reads", spin_reads);
+        // Exported only when overload control is armed so clean runs
+        // keep a byte-identical metrics digest.
+        if self.overload.is_some() {
+            reg.counter("bypass.overload.shed_capacity", self.shed_capacity);
+            reg.counter("bypass.overload.shed_deadline", self.shed_deadline);
+            reg.counter(
+                "bypass.overload.shed",
+                self.shed_capacity + self.shed_deadline,
+            );
+        }
         let fabric = stats.rx_delivered * 4 + stats.tx_frames * 3 + spin_reads;
         (total, fabric)
     }

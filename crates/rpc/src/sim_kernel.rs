@@ -22,7 +22,7 @@ use lauberhorn_nic_dma::ring::{RxDescriptor, TxDescriptor};
 use lauberhorn_nic_dma::{DmaNic, DmaNicConfig};
 use lauberhorn_os::proc::ThreadId;
 use lauberhorn_os::sched::WakeDecision;
-use lauberhorn_os::{CostModel, OsScheduler};
+use lauberhorn_os::{CostModel, OsScheduler, SocketBacklog};
 use lauberhorn_packet::frame::{EndpointAddr, FRAME_OVERHEAD};
 use lauberhorn_packet::rpcwire::RPC_HEADER_LEN;
 use lauberhorn_sim::energy::{CoreState, CycleAccount, EnergyMeter};
@@ -114,7 +114,11 @@ pub struct KernelSim {
     sched: OsScheduler,
     energy: EnergyMeter,
     pending: Vec<VecDeque<PendingPkt>>,
-    socket_q: BTreeMap<u16, VecDeque<(u64, usize, u64)>>,
+    socket_q: BTreeMap<u16, SocketBacklog<(u64, usize, u64)>>,
+    /// Per-socket backlog limits when overload control is armed
+    /// (`cap`, deadline budget); `(None, None)` = the traditional
+    /// unbounded receive queue.
+    sock_limits: (Option<usize>, Option<SimDuration>),
     /// LLC model for DDIO: did the payload land in cache before the
     /// copy touches it?
     llc: SetAssocCache,
@@ -170,6 +174,7 @@ impl KernelSim {
             energy: EnergyMeter::new(cfg.cores),
             pending: (0..queues as usize).map(|_| VecDeque::new()).collect(),
             socket_q: BTreeMap::new(),
+            sock_limits: (None, None),
             // A 1 MiB slice of LLC capacity for network buffers.
             llc: SetAssocCache::new(1 << 20, 16, 64),
             poll_active: vec![false; queues as usize],
@@ -311,12 +316,29 @@ impl KernelSim {
                 ps,
                 end,
             );
-            // Enqueue on the destination socket and wake its thread.
-            self.socket_q.entry(pkt.service).or_default().push_back((
-                pkt.request_id,
-                pkt.payload_len,
-                pkt.buf_iova,
-            ));
+            // Enqueue on the destination socket (bounded SYN-style when
+            // overload control is armed) and wake its thread.
+            let (cap, deadline) = self.sock_limits;
+            let backlog = self.socket_q.entry(pkt.service).or_insert_with(|| {
+                let b = match cap {
+                    Some(c) => SocketBacklog::bounded(c),
+                    None => SocketBacklog::unbounded(),
+                };
+                match deadline {
+                    Some(d) => b.with_deadline(d),
+                    None => b,
+                }
+            });
+            if backlog
+                .push(t, (pkt.request_id, pkt.payload_len, pkt.buf_iova))
+                .is_err()
+            {
+                // Backlog full: shed at the socket instead of letting
+                // the queue grow without bound (graceful degradation).
+                self.common.drop_request(pkt.request_id);
+                processed += 1;
+                continue;
+            }
             let tid = ThreadId(pkt.service as u32);
             match self.sched.wakeup(tid) {
                 Ok(WakeDecision::RunOn { core: target }) => {
@@ -371,7 +393,7 @@ impl KernelSim {
                     // discards the datagram instead of crashing.
                     self.socket_q
                         .get_mut(&pkt.service)
-                        .and_then(|q| q.pop_back());
+                        .and_then(|q| q.pop_newest());
                     self.common.drop_request(pkt.request_id);
                 }
             }
@@ -422,12 +444,24 @@ impl KernelSim {
     }
 
     fn on_user_run(&mut self, core: usize, service: u16, fresh: bool, now: SimTime) {
-        let Some(queue) = self.socket_q.get_mut(&service) else {
-            // Spurious wakeup: block again.
-            self.block_and_dispatch(core, now);
-            return;
+        let (stale, next) = match self.socket_q.get_mut(&service) {
+            Some(queue) => {
+                // Deadline-aware shedding at dequeue: a datagram that
+                // already blew its latency budget in the backlog is
+                // not worth a recvmsg.
+                let mut stale = Vec::new();
+                while let Some((id, _, _)) = queue.pop_stale(now) {
+                    stale.push(id);
+                }
+                (stale, queue.pop())
+            }
+            None => (Vec::new(), None),
         };
-        let Some((request_id, payload_len, buf_iova)) = queue.pop_front() else {
+        for id in stale {
+            self.common.drop_request(id);
+        }
+        let Some((_, (request_id, payload_len, buf_iova))) = next else {
+            // Spurious wakeup (or everything shed): block again.
             self.block_and_dispatch(core, now);
             return;
         };
@@ -637,7 +671,15 @@ impl ServerStack for KernelSim {
         &mut self.common
     }
 
-    fn prepare(&mut self, _workload: &WorkloadSpec) {}
+    fn prepare(&mut self, workload: &WorkloadSpec) {
+        // Kernel analogue of the NIC's overload control: bounded
+        // per-socket backlogs (SYN-backlog style) plus a deadline
+        // budget. Fairness and pushback stay Lauberhorn-only — a DMA
+        // NIC has no per-service view and no NACK channel.
+        if let Some(overload) = &workload.overload {
+            self.sock_limits = (Some(overload.queue_cap), overload.deadline);
+        }
+    }
 
     fn next_event_time(&mut self) -> Option<SimTime> {
         self.q.peek_time()
@@ -679,6 +721,17 @@ impl ServerStack for KernelSim {
         let reg = &mut self.common.metrics.registry;
         stats.export(reg);
         self.sched.stats().export(reg);
+        // Overload counters only exist when overload control is armed,
+        // preserving the zero-perturbation digest of clean runs.
+        if self.sock_limits != (None, None) {
+            let (rej, exp) = self
+                .socket_q
+                .values()
+                .fold((0u64, 0u64), |(r, e), b| (r + b.rejected, e + b.expired));
+            reg.counter("os.overload.shed_capacity", rej);
+            reg.counter("os.overload.shed_deadline", exp);
+            reg.counter("os.overload.shed", rej + exp);
+        }
         let fabric = stats.rx_delivered * 4 + stats.tx_frames * 3 + stats.interrupts;
         (total, fabric)
     }

@@ -344,6 +344,24 @@ impl LauberhornSim {
                         None => self.common.metrics.dropped += 1,
                     }
                 }
+                NicAction::Shed {
+                    reason,
+                    request_id,
+                    hint,
+                    at,
+                    ..
+                } => {
+                    trace_ev!(
+                        self.trace,
+                        at,
+                        "nic.shed",
+                        "request {request_id} shed ({}, hint {hint})",
+                        reason.label()
+                    );
+                    // With pushback armed this NACKs the client (which
+                    // paces via AIMD); otherwise it degrades to a drop.
+                    self.common.shed_request(request_id, hint, at);
+                }
             }
         }
     }
@@ -957,6 +975,12 @@ impl ServerStack for LauberhornSim {
         // (a manual `enable_trace` is left alone when the spec is off).
         if workload.observe.trace_cap > 0 {
             self.trace = Trace::enabled(workload.observe.trace_cap);
+        }
+        // NIC-driven overload control: bound the queues, arm deadline
+        // shedding and (optionally) fair admission across the tenants.
+        if let Some(overload) = &workload.overload {
+            let ids: Vec<u16> = self.services.iter().map(|s| s.service_id).collect();
+            self.nic.arm_overload(overload.clone(), &ids);
         }
         if let Some(crash) = workload.faults.crash {
             self.q.schedule(

@@ -5,7 +5,7 @@ use std::sync::Arc;
 use lauberhorn_os::ProcessId;
 use lauberhorn_packet::marshal::{ArgType, Signature};
 use lauberhorn_sim::fault::FaultPlan;
-use lauberhorn_sim::{ObserveSpec, SimDuration};
+use lauberhorn_sim::{ObserveSpec, OverloadConfig, SimDuration};
 use lauberhorn_workload::{ArrivalProcess, DynamicMix, ServiceTime, SizeDist};
 
 use crate::wire::RetryPolicy;
@@ -168,6 +168,12 @@ pub struct WorkloadSpec {
     /// report digest (the zero-perturbation guarantee, enforced by the
     /// tier-1 `observability` test).
     pub observe: ObserveSpec,
+    /// Overload control: bounded queues with drop-tail / deadline /
+    /// fair-admission shedding on the server side and optional
+    /// pushback NACKs driving client AIMD pacing. `None` (the
+    /// default) arms nothing: no controller exists, no counters are
+    /// exported, and report digests are untouched.
+    pub overload: Option<OverloadConfig>,
 }
 
 impl WorkloadSpec {
@@ -191,6 +197,7 @@ impl WorkloadSpec {
             faults: FaultPlan::none(),
             retry: None,
             observe: ObserveSpec::none(),
+            overload: None,
         }
     }
 
@@ -217,6 +224,7 @@ impl WorkloadSpec {
             faults: FaultPlan::none(),
             retry: None,
             observe: ObserveSpec::none(),
+            overload: None,
         }
     }
 
@@ -235,6 +243,13 @@ impl WorkloadSpec {
     /// Enables observability (spans and/or narrative trace).
     pub fn with_observe(mut self, observe: ObserveSpec) -> Self {
         self.observe = observe;
+        self
+    }
+
+    /// Arms overload control (bounded queues, shedding policies, and
+    /// — when the config asks for it — pushback-driven client pacing).
+    pub fn with_overload(mut self, overload: OverloadConfig) -> Self {
+        self.overload = Some(overload);
         self
     }
 

@@ -27,6 +27,11 @@ use crate::wire::{RequestTimes, WireModel};
 /// answers a duplicate from its cache, so it never affects clean runs.
 const REPLAY_FRAME_BYTES: usize = 110;
 
+/// Nominal on-wire size of a pushback NACK (a minimum Ethernet frame
+/// carrying the request id and the one-byte load hint). Only sent when
+/// the workload armed overload control with pushback.
+const NACK_FRAME_BYTES: usize = 64;
+
 /// Server-side dedup state for one request id.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum DedupEntry {
@@ -168,6 +173,9 @@ pub struct StackCommon {
     /// drops hand the request back to the client's retry timer instead
     /// of terminating it.
     retry_active: bool,
+    /// Whether overload sheds answer the client with a NACK carrying a
+    /// load hint (armed by the workload's `OverloadConfig::pushback`).
+    pushback: bool,
     /// At-most-once dedup window, present when duplicates are possible
     /// (faults or retry enabled). `None` on clean runs: zero cost.
     dedup: Option<BTreeMap<u64, DedupEntry>>,
@@ -199,6 +207,7 @@ impl StackCommon {
             hard_end: SimTime::ZERO,
             client_q: EventQueue::new(),
             retry_active: false,
+            pushback: false,
             dedup: None,
             rx_fault: None,
             fill_fault: None,
@@ -217,6 +226,7 @@ impl StackCommon {
         self.hard_end = self.end_of_load + SimDuration::from_ms(20);
         self.client_q = EventQueue::new();
         self.retry_active = workload.effective_retry().is_some();
+        self.pushback = workload.overload.as_ref().is_some_and(|o| o.pushback);
         self.dedup = (self.retry_active || workload.faults.enabled()).then(BTreeMap::new);
         self.rx_fault =
             workload.faults.wire_rx.enabled().then(|| {
@@ -368,6 +378,30 @@ impl StackCommon {
             return;
         }
         self.abandon_request(request_id);
+    }
+
+    /// `request_id` was refused by overload control (queue full, past
+    /// deadline, over fair share). With pushback armed the client gets
+    /// a NACK carrying the NIC's load `hint` and terminates the
+    /// request itself (feeding its AIMD pacer); without, the shed
+    /// behaves like any other stack drop — the retry timer (if any)
+    /// decides the request's fate.
+    ///
+    /// Either way the id leaves the dedup window: the shed happened
+    /// before execution, so a later retransmit must be allowed to run.
+    pub fn shed_request(&mut self, request_id: u64, hint: u8, now: SimTime) {
+        if !self.pushback {
+            self.drop_request(request_id);
+            return;
+        }
+        if let Some(window) = self.dedup.as_mut() {
+            if window.get(&request_id) == Some(&DedupEntry::InFlight) {
+                window.remove(&request_id);
+            }
+        }
+        let arrive = now + self.wire.deliver(NACK_FRAME_BYTES);
+        self.client_q
+            .schedule(arrive, ClientEv::Pushback { request_id, hint });
     }
 
     /// A corrupted or truncated frame failed validation at the server:

@@ -53,6 +53,13 @@ pub struct RetryPolicy {
     /// Total transmissions allowed (including the first). After the
     /// last timer fires unanswered, the request counts as dropped.
     pub max_attempts: u32,
+    /// Wall-clock retry budget measured from the first transmission.
+    /// When a retransmit timer fires past this budget the request
+    /// terminates as a `Timeout` (counted in
+    /// `FaultCounters::timeouts`) instead of spinning at max backoff
+    /// until `max_attempts` runs out. `None` keeps the attempt bound
+    /// as the only terminator.
+    pub budget: Option<SimDuration>,
 }
 
 impl RetryPolicy {
@@ -64,6 +71,7 @@ impl RetryPolicy {
             backoff: 2.0,
             jitter_frac: 0.1,
             max_attempts: 4,
+            budget: None,
         }
     }
 
@@ -76,6 +84,22 @@ impl RetryPolicy {
             backoff: 1.0,
             jitter_frac: 0.0,
             max_attempts: 1,
+            budget: None,
+        }
+    }
+
+    /// Bounds total retry time: see [`RetryPolicy::budget`].
+    pub fn with_budget(mut self, budget: SimDuration) -> Self {
+        self.budget = Some(budget);
+        self
+    }
+
+    /// Whether a retransmit timer firing at `now` for a request first
+    /// sent at `sent` has exhausted the retry budget.
+    pub fn budget_exhausted(&self, sent: SimTime, now: SimTime) -> bool {
+        match self.budget {
+            Some(b) => now.since(sent) > b,
+            None => false,
         }
     }
 
@@ -221,6 +245,18 @@ mod tests {
         let flat = RetryPolicy::give_up_after(SimDuration::from_ms(1));
         assert_eq!(flat.rto(5), SimDuration::from_ms(1));
         assert_eq!(flat.max_attempts, 1);
+    }
+
+    #[test]
+    fn retry_budget_bounds_total_retry_time() {
+        let p = RetryPolicy::same_rack().with_budget(SimDuration::from_ms(1));
+        let sent = SimTime::from_us(100);
+        assert!(!p.budget_exhausted(sent, sent + SimDuration::from_us(999)));
+        assert!(!p.budget_exhausted(sent, sent + SimDuration::from_ms(1)));
+        assert!(p.budget_exhausted(sent, sent + SimDuration::from_us(1001)));
+        // No budget: never exhausted, however long it spins.
+        let free = RetryPolicy::same_rack();
+        assert!(!free.budget_exhausted(sent, sent + SimDuration::from_secs(1)));
     }
 
     #[test]

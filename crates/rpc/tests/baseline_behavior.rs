@@ -24,6 +24,7 @@ fn open_wl(rate: f64, services: usize, ms: u64, seed: u64) -> WorkloadSpec {
         faults: Default::default(),
         retry: None,
         observe: lauberhorn_sim::ObserveSpec::none(),
+        overload: None,
     }
 }
 
@@ -46,6 +47,7 @@ fn napi_masks_interrupts_under_bursts() {
         faults: Default::default(),
         retry: None,
         observe: lauberhorn_sim::ObserveSpec::none(),
+        overload: None,
     };
     let r = sim.run(&wl);
     let stats = sim.nic().stats();
@@ -101,6 +103,7 @@ fn bypass_rebinding_actually_rebinds() {
         faults: Default::default(),
         retry: None,
         observe: lauberhorn_sim::ObserveSpec::none(),
+        overload: None,
     };
     let mut cfg = BypassSimConfig::modern(2);
     cfg.rebind_on_epoch = true;

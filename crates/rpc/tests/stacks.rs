@@ -145,6 +145,7 @@ fn trace_records_the_interesting_events() {
         faults: Default::default(),
         retry: None,
         observe: lauberhorn_sim::ObserveSpec::none(),
+        overload: None,
     };
     sim.run(&wl);
     let trace = sim.trace();
@@ -189,6 +190,7 @@ fn cold_service_requests_trigger_preemption_not_the_full_window() {
         faults: Default::default(),
         retry: None,
         observe: lauberhorn_sim::ObserveSpec::none(),
+        overload: None,
     };
     let mut sim = LauberhornSim::new(LauberhornSimConfig::enzian(2), services);
     let r = sim.run(&wl);

@@ -18,6 +18,7 @@
 pub mod energy;
 pub mod fault;
 pub mod metrics;
+pub mod overload;
 pub mod queue;
 pub mod rng;
 pub mod span;
@@ -28,6 +29,7 @@ pub mod trace;
 pub use energy::{CoreState, CycleAccount, EnergyMeter};
 pub use fault::{CrashSpec, FaultDecision, FaultInjector, FaultPlan, FaultSpec};
 pub use metrics::MetricsRegistry;
+pub use overload::{load_hint, AdmissionCtl, AimdPacer, OverloadConfig, ShedReason};
 pub use queue::EventQueue;
 pub use rng::SimRng;
 pub use span::{ObserveSpec, SpanId, SpanRecord, SpanTracer, Stage};

@@ -1,0 +1,617 @@
+//! Overload-control primitives: bounded-queue shed policies, weighted
+//! fair admission, NIC load hints, and client-side AIMD pacing.
+//!
+//! The paper's position is that the NIC, as a trusted OS component
+//! holding the scheduling state, is the right place to make per-packet
+//! admission decisions (§4–§5). This module is the common vocabulary
+//! all three stack simulations and the RPC client layer share:
+//!
+//! * [`OverloadConfig`] — what a protected run arms: a per-queue cap,
+//!   an optional deadline budget (requests already older than the
+//!   budget are shed instead of served — serving them is wasted work),
+//!   optional weighted max-min fair admission across services, and
+//!   optional client pushback.
+//! * [`AdmissionCtl`] — the server-side controller: per-service
+//!   admitted/shed counters plus the fair-admission share check.
+//! * [`load_hint`]/[`AimdPacer`] — the backpressure channel: the NIC
+//!   advertises a one-byte queue-occupancy hint on TRYAGAIN/RETIRE
+//!   lines and shed NACKs; the client converts it into
+//!   additive-increase/multiplicative-decrease pacing.
+//!
+//! Everything here is strictly pay-for-use: nothing allocates, draws
+//! randomness, or schedules events unless a workload armed an
+//! [`OverloadConfig`], so clean-run report digests are untouched.
+
+use std::collections::BTreeMap;
+
+use crate::metrics::MetricsRegistry;
+use crate::time::{SimDuration, SimTime};
+
+/// Why overload control refused a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShedReason {
+    /// The bounded queue was at capacity (drop-tail).
+    Capacity,
+    /// The request had already exceeded its latency budget when it
+    /// would have been served (deadline-aware shedding).
+    Deadline,
+    /// The service was over its weighted fair share while the system
+    /// was congested (per-service fair admission).
+    Fairness,
+}
+
+impl ShedReason {
+    /// Metric-name suffix.
+    pub fn label(self) -> &'static str {
+        match self {
+            ShedReason::Capacity => "capacity",
+            ShedReason::Deadline => "deadline",
+            ShedReason::Fairness => "fairness",
+        }
+    }
+}
+
+/// Overload-control policy for one run. Disabled entirely when the
+/// workload carries `None`; every field is pay-for-use.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OverloadConfig {
+    /// Bounded per-endpoint / per-socket queue capacity.
+    pub queue_cap: usize,
+    /// Deadline-aware shedding: drop a queued request at dispatch time
+    /// if it has already waited longer than this budget.
+    pub deadline: Option<SimDuration>,
+    /// Weighted max-min fair admission across services (NIC-side only:
+    /// the NIC is the one component that sees every service's queue).
+    pub fair: bool,
+    /// Per-service fairness weights. Empty means equal weights.
+    pub weights: Vec<(u16, u32)>,
+    /// NIC-advertised backpressure: sheds answer the client with a
+    /// NACK carrying a load hint, which the client's pacer converts
+    /// into AIMD pacing.
+    pub pushback: bool,
+}
+
+impl OverloadConfig {
+    /// Plain drop-tail at `queue_cap` — the minimal protection.
+    pub fn drop_tail(queue_cap: usize) -> Self {
+        OverloadConfig {
+            queue_cap: queue_cap.max(1),
+            deadline: None,
+            fair: false,
+            weights: Vec::new(),
+            pushback: false,
+        }
+    }
+
+    /// The pre-overload-control melt-down regime, as an explicit
+    /// configuration: queues effectively unbounded, no deadline, no
+    /// fairness, no pushback. The OVERLOAD experiment's "disabled" arm
+    /// runs this so the congestion collapse it documents is the
+    /// unbounded-queue behavior every stack had before admission
+    /// control existed, not an artifact of some incidental ring size.
+    pub fn unbounded_baseline() -> Self {
+        Self::drop_tail(1 << 20)
+    }
+
+    /// Adds deadline-aware shedding with the given latency budget.
+    pub fn with_deadline(mut self, budget: SimDuration) -> Self {
+        self.deadline = Some(budget);
+        self
+    }
+
+    /// Adds weighted fair admission. An empty `weights` slice means
+    /// equal weights over whatever services show up.
+    pub fn with_fairness(mut self, weights: &[(u16, u32)]) -> Self {
+        self.fair = true;
+        self.weights = weights.to_vec();
+        self
+    }
+
+    /// Adds client pushback (shed NACKs with load hints + AIMD pacing).
+    pub fn with_pushback(mut self) -> Self {
+        self.pushback = true;
+        self
+    }
+
+    /// The fairness weight of `service` (1 when unlisted or when the
+    /// weight table is empty).
+    pub fn weight_of(&self, service: u16) -> u64 {
+        if self.weights.is_empty() {
+            return 1;
+        }
+        self.weights
+            .iter()
+            .find(|(s, _)| *s == service)
+            .map(|(_, w)| (*w).max(1) as u64)
+            .unwrap_or(1)
+    }
+}
+
+/// The fair-admission share window: admission counts decay by half
+/// every window so the controller tracks the current mix, not history.
+const FAIR_WINDOW: SimDuration = SimDuration::from_us(500);
+
+/// Fair-share slack: a service may exceed its exact weighted share by
+/// 5% before admission refuses it (absorbs bursts without letting a
+/// hot tenant starve the rest).
+const FAIR_SLACK_NUM: u64 = 21;
+const FAIR_SLACK_DEN: u64 = 20;
+
+/// Per-service admission bookkeeping.
+#[derive(Debug, Clone, Copy, Default)]
+struct SvcCounters {
+    /// Requests admitted (total over the run).
+    admitted: u64,
+    /// Admissions in the current fair-share window (decayed).
+    window: u64,
+    /// Arrivals (admitted or shed) in the current window — the
+    /// activity signal for max-min share redistribution.
+    arrivals_win: u64,
+    /// Sheds by reason.
+    shed_capacity: u64,
+    shed_deadline: u64,
+    shed_fairness: u64,
+}
+
+/// Server-side admission controller: per-service admitted/shed
+/// counters plus the weighted fair-share check. One instance per
+/// protected stack; entirely absent on unprotected runs.
+#[derive(Debug, Clone)]
+pub struct AdmissionCtl {
+    cfg: OverloadConfig,
+    services: Vec<u16>,
+    per_service: BTreeMap<u16, SvcCounters>,
+    window_start: SimTime,
+    window_total: u64,
+}
+
+impl AdmissionCtl {
+    /// A controller for `cfg` over the given service ids.
+    pub fn new(cfg: OverloadConfig, services: &[u16]) -> Self {
+        AdmissionCtl {
+            cfg,
+            services: services.to_vec(),
+            per_service: BTreeMap::new(),
+            window_start: SimTime::ZERO,
+            window_total: 0,
+        }
+    }
+
+    /// The armed configuration.
+    pub fn config(&self) -> &OverloadConfig {
+        &self.cfg
+    }
+
+    /// Decays the fair-share window when it has elapsed. Past 32
+    /// elapsed windows every decayed count is zero anyway, so a long
+    /// quiet gap resets the controller in O(1).
+    fn roll_window(&mut self, now: SimTime) {
+        let mut steps = 0u32;
+        while now.since(self.window_start) >= FAIR_WINDOW && steps < 32 {
+            self.window_start += FAIR_WINDOW;
+            self.window_total /= 2;
+            for c in self.per_service.values_mut() {
+                c.window /= 2;
+                c.arrivals_win /= 2;
+            }
+            steps += 1;
+        }
+        if now.since(self.window_start) >= FAIR_WINDOW {
+            self.window_start = now;
+            self.window_total = 0;
+            for c in self.per_service.values_mut() {
+                c.window = 0;
+                c.arrivals_win = 0;
+            }
+        }
+    }
+
+    /// Fair-admission check for a request of `service` arriving at
+    /// `now`. `congested` tells the controller whether the system is
+    /// actually backlogged — fairness only refuses work under
+    /// congestion (max-min: unused share is redistributed, light
+    /// services are never shed by the fairness rule).
+    ///
+    /// Returns `Err(ShedReason::Fairness)` when the service is over
+    /// its weighted share; records the admission otherwise.
+    pub fn admit(&mut self, service: u16, now: SimTime, congested: bool) -> Result<(), ShedReason> {
+        self.roll_window(now);
+        self.per_service.entry(service).or_default().arrivals_win += 1;
+        if self.cfg.fair && congested {
+            let w = self.cfg.weight_of(service);
+            // Max-min: only services with arrivals in the current
+            // window count toward the weight total, so an idle
+            // tenant's share is redistributed to the active ones.
+            let active_weight = self
+                .services
+                .iter()
+                .filter(|s| {
+                    self.per_service
+                        .get(s)
+                        .map(|c| c.arrivals_win > 0)
+                        .unwrap_or(false)
+                })
+                .map(|s| self.cfg.weight_of(*s))
+                .sum::<u64>()
+                .max(w);
+            let mine = self
+                .per_service
+                .get(&service)
+                .map(|c| c.window)
+                .unwrap_or(0);
+            // Admit iff mine/(total+1) <= slack * w / W_active, in
+            // integers. `mine` (not `mine+1`) keeps the rule live at
+            // an empty window: the first request always gets in.
+            if mine * active_weight * FAIR_SLACK_DEN > (self.window_total + 1) * w * FAIR_SLACK_NUM
+            {
+                self.note_shed(service, ShedReason::Fairness);
+                return Err(ShedReason::Fairness);
+            }
+        }
+        let c = self.per_service.entry(service).or_default();
+        c.admitted += 1;
+        c.window += 1;
+        self.window_total += 1;
+        Ok(())
+    }
+
+    /// Records a shed decided elsewhere (queue full, stale deadline).
+    pub fn note_shed(&mut self, service: u16, reason: ShedReason) {
+        let c = self.per_service.entry(service).or_default();
+        match reason {
+            ShedReason::Capacity => c.shed_capacity += 1,
+            ShedReason::Deadline => c.shed_deadline += 1,
+            ShedReason::Fairness => c.shed_fairness += 1,
+        }
+    }
+
+    /// Whether a request enqueued at `enqueued` is already past the
+    /// deadline budget at `now` (always false without a deadline).
+    pub fn stale(&self, enqueued: SimTime, now: SimTime) -> bool {
+        match self.cfg.deadline {
+            Some(budget) => now.since(enqueued) > budget,
+            None => false,
+        }
+    }
+
+    /// Requests admitted for `service`.
+    pub fn admitted(&self, service: u16) -> u64 {
+        self.per_service
+            .get(&service)
+            .map(|c| c.admitted)
+            .unwrap_or(0)
+    }
+
+    /// Requests shed for `service`, all reasons.
+    pub fn shed(&self, service: u16) -> u64 {
+        self.per_service
+            .get(&service)
+            .map(|c| c.shed_capacity + c.shed_deadline + c.shed_fairness)
+            .unwrap_or(0)
+    }
+
+    /// Total sheds across services, all reasons.
+    pub fn shed_total(&self) -> u64 {
+        self.services.iter().map(|s| self.shed(*s)).sum()
+    }
+
+    /// `service`'s share of all admissions, in [0, 1].
+    pub fn admitted_share(&self, service: u16) -> f64 {
+        let total: u64 = self.services.iter().map(|s| self.admitted(*s)).sum();
+        if total == 0 {
+            return 0.0;
+        }
+        self.admitted(service) as f64 / total as f64
+    }
+
+    /// Exports per-service and aggregate counters under
+    /// `<component>.overload.*`. Callers must only invoke this when an
+    /// overload config is armed: the entries enter the report digest.
+    pub fn export(&self, reg: &mut MetricsRegistry, component: &str) {
+        let mut admitted_total = 0u64;
+        let mut shed_total = 0u64;
+        for s in &self.services {
+            let c = self.per_service.get(s).copied().unwrap_or_default();
+            admitted_total += c.admitted;
+            let shed = c.shed_capacity + c.shed_deadline + c.shed_fairness;
+            shed_total += shed;
+            reg.counter(&format!("{component}.overload.admitted.s{s}"), c.admitted);
+            reg.counter(&format!("{component}.overload.shed.s{s}"), shed);
+        }
+        reg.counter(&format!("{component}.overload.admitted"), admitted_total);
+        reg.counter(&format!("{component}.overload.shed"), shed_total);
+        for reason in [
+            ShedReason::Capacity,
+            ShedReason::Deadline,
+            ShedReason::Fairness,
+        ] {
+            let n: u64 = self
+                .per_service
+                .values()
+                .map(|c| match reason {
+                    ShedReason::Capacity => c.shed_capacity,
+                    ShedReason::Deadline => c.shed_deadline,
+                    ShedReason::Fairness => c.shed_fairness,
+                })
+                .sum();
+            reg.counter(&format!("{component}.overload.shed_{}", reason.label()), n);
+        }
+    }
+}
+
+/// The one-byte load hint carried on TRYAGAIN/RETIRE lines and shed
+/// NACKs: queue occupancy scaled to 0–255 (0 = idle, 255 = at or over
+/// capacity).
+pub fn load_hint(queue_len: usize, queue_cap: usize) -> u8 {
+    let cap = queue_cap.max(1);
+    ((queue_len.min(cap) * 255) / cap) as u8
+}
+
+/// Additive increase per adjustment window with completions.
+const AIMD_INCREASE: f64 = 0.02;
+/// Floor of the pacing factor (never slow more than 64×).
+const AIMD_FLOOR: f64 = 1.0 / 64.0;
+/// Minimum gap between rate adjustments. A shedding server emits NACK
+/// storms — thousands per millisecond — and cutting multiplicatively
+/// on every one would pin the pacer at the floor (the congestion
+/// analogue of cutting cwnd per duplicate ACK instead of per RTT).
+/// One adjustment per window, in either direction, keeps the control
+/// loop stable.
+const AIMD_WINDOW: SimDuration = SimDuration::from_us(50);
+
+/// Client-side AIMD pacer driven by NIC load hints.
+///
+/// The pacer holds a rate factor in `(0, 1]`. A pushback NACK
+/// multiplies it down (the more loaded the NIC says it is, the harder
+/// the cut); a completed response adds a fixed increment back. Both
+/// directions are rate-limited to one adjustment per [`AIMD_WINDOW`].
+/// The open-loop generator stretches inter-arrival gaps by
+/// [`AimdPacer::gap_scale`].
+#[derive(Debug, Clone, Copy)]
+pub struct AimdPacer {
+    factor: f64,
+    /// Pushback NACKs observed.
+    pub pushbacks: u64,
+    /// Last adjustment (cut or raise); seeded far in the past so the
+    /// first signal acts immediately.
+    last_adjust: Option<SimTime>,
+}
+
+impl Default for AimdPacer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl AimdPacer {
+    /// A fresh pacer at full rate.
+    pub fn new() -> Self {
+        AimdPacer {
+            factor: 1.0,
+            pushbacks: 0,
+            last_adjust: None,
+        }
+    }
+
+    /// The current rate factor in `(0, 1]`.
+    pub fn factor(&self) -> f64 {
+        self.factor
+    }
+
+    /// Multiplier for the generator's inter-arrival gap (`>= 1`).
+    pub fn gap_scale(&self) -> f64 {
+        1.0 / self.factor
+    }
+
+    /// Whether a window has passed since the last adjustment; records
+    /// `now` as the new adjustment time when it has.
+    fn window_open(&mut self, now: SimTime) -> bool {
+        match self.last_adjust {
+            Some(t) if now.since(t) < AIMD_WINDOW => false,
+            _ => {
+                self.last_adjust = Some(now);
+                true
+            }
+        }
+    }
+
+    /// Multiplicative decrease on a pushback NACK carrying `hint`:
+    /// hint 0 cuts the rate to ×0.9, hint 255 halves it. At most one
+    /// cut per adjustment window; every NACK is counted regardless.
+    pub fn on_pushback(&mut self, hint: u8, now: SimTime) {
+        self.pushbacks += 1;
+        if !self.window_open(now) {
+            return;
+        }
+        let cut = 0.9 - 0.4 * (hint as f64 / 255.0);
+        self.factor = (self.factor * cut).max(AIMD_FLOOR);
+    }
+
+    /// Additive increase on a completed response (at most one raise
+    /// per adjustment window).
+    pub fn on_success(&mut self, now: SimTime) {
+        if !self.window_open(now) {
+            return;
+        }
+        self.factor = (self.factor + AIMD_INCREASE).min(1.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg_fair(weights: &[(u16, u32)]) -> OverloadConfig {
+        OverloadConfig::drop_tail(16).with_fairness(weights)
+    }
+
+    #[test]
+    fn weight_lookup_defaults_to_one() {
+        let c = cfg_fair(&[(1, 3)]);
+        assert_eq!(c.weight_of(1), 3);
+        assert_eq!(c.weight_of(2), 1);
+        let eq = cfg_fair(&[]);
+        assert_eq!(eq.weight_of(7), 1);
+    }
+
+    #[test]
+    fn uncongested_admission_never_sheds() {
+        let mut a = AdmissionCtl::new(cfg_fair(&[]), &[0, 1]);
+        for i in 0..1000 {
+            let t = SimTime::from_ns(i);
+            assert!(a.admit(0, t, false).is_ok());
+        }
+        assert_eq!(a.admitted(0), 1000);
+        assert_eq!(a.shed_total(), 0);
+    }
+
+    #[test]
+    fn congested_fair_admission_caps_the_hot_service() {
+        // Four equal-weight services; service 0 offers 55% of the
+        // arrivals, the rest ~15% each. Under congestion the admitted
+        // shares must come out near 25% each (weighted max-min).
+        let mut a = AdmissionCtl::new(cfg_fair(&[]), &[0, 1, 2, 3]);
+        let mut t = SimTime::ZERO;
+        for i in 0u64..200_000 {
+            t += SimDuration::from_ns(10);
+            let svc = match i % 20 {
+                0..=10 => 0u16,
+                11..=13 => 1,
+                14..=16 => 2,
+                _ => 3,
+            };
+            let _ = a.admit(svc, t, true);
+        }
+        for s in 0..4u16 {
+            let share = a.admitted_share(s);
+            assert!(
+                (share - 0.25).abs() < 0.025,
+                "service {s}: admitted share {share:.3}"
+            );
+        }
+        assert!(a.shed(0) > 0, "hot service never shed");
+    }
+
+    #[test]
+    fn weights_skew_the_fair_shares() {
+        let mut a = AdmissionCtl::new(cfg_fair(&[(0, 3), (1, 1)]), &[0, 1]);
+        let mut t = SimTime::ZERO;
+        // Both services offer far more than their share.
+        for i in 0u64..100_000 {
+            t += SimDuration::from_ns(10);
+            let _ = a.admit((i % 2) as u16, t, true);
+        }
+        let s0 = a.admitted_share(0);
+        assert!((s0 - 0.75).abs() < 0.08, "weighted share came out {s0:.3}");
+    }
+
+    #[test]
+    fn deadline_staleness() {
+        let a = AdmissionCtl::new(
+            OverloadConfig::drop_tail(4).with_deadline(SimDuration::from_us(100)),
+            &[0],
+        );
+        let t0 = SimTime::from_us(10);
+        assert!(!a.stale(t0, t0 + SimDuration::from_us(100)));
+        assert!(a.stale(t0, t0 + SimDuration::from_us(101)));
+        let none = AdmissionCtl::new(OverloadConfig::drop_tail(4), &[0]);
+        assert!(!none.stale(t0, t0 + SimDuration::from_ms(10)));
+    }
+
+    #[test]
+    fn shed_counters_reconcile_with_export() {
+        let mut a = AdmissionCtl::new(cfg_fair(&[]), &[0, 1]);
+        let t = SimTime::from_us(1);
+        let _ = a.admit(0, t, false);
+        a.note_shed(0, ShedReason::Capacity);
+        a.note_shed(1, ShedReason::Deadline);
+        let mut reg = MetricsRegistry::new();
+        a.export(&mut reg, "nic-lauberhorn");
+        assert_eq!(reg.get_counter("nic-lauberhorn.overload.admitted"), Some(1));
+        assert_eq!(reg.get_counter("nic-lauberhorn.overload.shed"), Some(2));
+        assert_eq!(
+            reg.get_counter("nic-lauberhorn.overload.shed_capacity"),
+            Some(1)
+        );
+        assert_eq!(
+            reg.get_counter("nic-lauberhorn.overload.shed_deadline"),
+            Some(1)
+        );
+        assert_eq!(reg.get_counter("nic-lauberhorn.overload.shed.s0"), Some(1));
+    }
+
+    #[test]
+    fn load_hint_scales_with_occupancy() {
+        assert_eq!(load_hint(0, 64), 0);
+        assert_eq!(load_hint(64, 64), 255);
+        assert_eq!(load_hint(128, 64), 255);
+        assert_eq!(load_hint(32, 64), 127);
+        // Degenerate capacity never divides by zero.
+        assert_eq!(load_hint(5, 0), 255);
+    }
+
+    #[test]
+    fn pacer_is_aimd() {
+        let w = SimDuration::from_us(60); // > one adjustment window
+        let mut t = SimTime::from_us(1);
+        let mut p = AimdPacer::new();
+        assert_eq!(p.factor(), 1.0);
+        p.on_pushback(255, t);
+        assert!((p.factor() - 0.5).abs() < 1e-9);
+        t += w;
+        p.on_pushback(255, t);
+        assert!((p.factor() - 0.25).abs() < 1e-9);
+        t += w;
+        let before = p.factor();
+        p.on_success(t);
+        assert!(p.factor() > before);
+        for _ in 0..1000 {
+            t += w;
+            p.on_success(t);
+        }
+        assert_eq!(p.factor(), 1.0);
+        for _ in 0..1000 {
+            t += w;
+            p.on_pushback(255, t);
+        }
+        assert!(p.factor() >= AIMD_FLOOR);
+        assert_eq!(p.pushbacks, 1002);
+        assert!(p.gap_scale() >= 1.0);
+    }
+
+    #[test]
+    fn pacer_rate_limits_cuts_within_a_window() {
+        // A NACK storm within one adjustment window must cut the rate
+        // exactly once, or the pacer collapses to the floor on every
+        // overload episode.
+        let mut p = AimdPacer::new();
+        let t = SimTime::from_us(1);
+        for i in 0..10_000 {
+            p.on_pushback(255, t + SimDuration::from_ns(i));
+        }
+        assert!((p.factor() - 0.5).abs() < 1e-9, "factor {}", p.factor());
+        assert_eq!(p.pushbacks, 10_000);
+        // Successes inside the same window do not raise it either.
+        p.on_success(t + SimDuration::from_us(2));
+        assert!((p.factor() - 0.5).abs() < 1e-9);
+        // But the next window does.
+        p.on_success(t + SimDuration::from_us(100));
+        assert!(p.factor() > 0.5);
+    }
+
+    #[test]
+    fn fair_window_decays_history() {
+        // A service that hogged an early window must not be punished
+        // forever: after quiet windows its share resets.
+        let mut a = AdmissionCtl::new(cfg_fair(&[]), &[0, 1]);
+        let mut t = SimTime::ZERO;
+        for _ in 0..1000 {
+            t += SimDuration::from_ns(100);
+            let _ = a.admit(0, t, true);
+        }
+        // Long quiet gap: several windows elapse.
+        t += SimDuration::from_ms(50);
+        // Service 1 now offers load; it must be admitted immediately.
+        assert!(a.admit(1, t, true).is_ok());
+    }
+}

@@ -16,15 +16,19 @@
 //! * [`zipf`] — Zipf popularity sampling.
 //! * [`mix`] — dynamic service mixes: Zipf popularity over S services
 //!   with a rotating hot set (experiment C4).
+//! * [`tenants`] — multi-tenant overload mixes with one adversarial
+//!   hog (the OVERLOAD experiment's fairness workload).
 
 pub mod arrivals;
 pub mod mix;
 pub mod service;
 pub mod sizes;
+pub mod tenants;
 pub mod zipf;
 
 pub use arrivals::ArrivalProcess;
 pub use mix::DynamicMix;
 pub use service::ServiceTime;
 pub use sizes::SizeDist;
+pub use tenants::TenantMix;
 pub use zipf::Zipf;

@@ -16,6 +16,10 @@ use crate::zipf::Zipf;
 pub struct DynamicMix {
     num_services: usize,
     zipf: Zipf,
+    /// Explicit per-service sampling weights (cumulative, normalized);
+    /// overrides the Zipf ranking when set. Used by tenant mixes with
+    /// arbitrary offered shares (e.g. one adversarial hog).
+    cumulative: Option<Vec<f64>>,
     /// Rotation offset applied per epoch.
     rotate_by: usize,
     /// Epoch length.
@@ -36,6 +40,7 @@ impl DynamicMix {
         DynamicMix {
             num_services,
             zipf: Zipf::new(num_services, s),
+            cumulative: None,
             rotate_by,
             epoch: SimTime::from_us(epoch_us),
         }
@@ -44,6 +49,30 @@ impl DynamicMix {
     /// A static mix (no rotation): stable Zipf popularity.
     pub fn stable(num_services: usize, s: f64) -> Self {
         Self::new(num_services, s, 0, 1)
+    }
+
+    /// A static mix with explicit per-service offered shares (need not
+    /// be normalized; must be non-empty with a positive sum).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shares` is empty or sums to zero.
+    pub fn weighted(shares: &[f64]) -> Self {
+        assert!(!shares.is_empty());
+        let total: f64 = shares.iter().map(|s| s.max(0.0)).sum();
+        assert!(total > 0.0);
+        let mut acc = 0.0;
+        let cumulative = shares
+            .iter()
+            .map(|s| {
+                acc += s.max(0.0) / total;
+                acc
+            })
+            .collect();
+        DynamicMix {
+            cumulative: Some(cumulative),
+            ..Self::stable(shares.len(), 0.0)
+        }
     }
 
     /// Number of services.
@@ -64,6 +93,11 @@ impl DynamicMix {
 
     /// Samples the target service for a request arriving at `now`.
     pub fn sample(&self, rng: &mut SimRng, now: SimTime) -> u16 {
+        if let Some(cum) = &self.cumulative {
+            let u = rng.gen_f64();
+            let rank = cum.iter().position(|&c| u < c).unwrap_or(cum.len() - 1);
+            return self.rank_to_service(rank, now);
+        }
         self.rank_to_service(self.zipf.sample(rng), now)
     }
 
@@ -121,6 +155,21 @@ mod tests {
             seen.insert(m.sample(&mut rng, SimTime::ZERO));
         }
         assert_eq!(seen.len(), 8);
+    }
+
+    #[test]
+    fn weighted_mix_tracks_the_given_shares() {
+        let m = DynamicMix::weighted(&[6.0, 1.0, 1.0]);
+        assert_eq!(m.num_services(), 3);
+        let mut rng = SimRng::stream(3, "mix");
+        let n = 40_000;
+        let mut counts = [0u32; 3];
+        for _ in 0..n {
+            counts[m.sample(&mut rng, SimTime::ZERO) as usize] += 1;
+        }
+        let hot = counts[0] as f64 / n as f64;
+        assert!((hot - 0.75).abs() < 0.02, "hot share {hot}");
+        assert!(counts[1] > 0 && counts[2] > 0);
     }
 
     #[test]

@@ -1,0 +1,116 @@
+//! Multi-tenant overload mixes: well-behaved tenants plus one
+//! adversarial hog.
+//!
+//! The overload experiment's fairness question — "can one tenant's
+//! excess load starve the others?" — needs a workload where offered
+//! shares and *fair* shares deliberately disagree. A [`TenantMix`]
+//! describes both: tenant 0 offers a configurable multiple of every
+//! other tenant's rate, while all tenants are entitled to equal
+//! weighted shares under admission control.
+
+use crate::mix::DynamicMix;
+
+/// A set of tenants (one service each) with explicit offered shares.
+#[derive(Debug, Clone)]
+pub struct TenantMix {
+    /// Normalized offered share per tenant, indexed by service id.
+    shares: Vec<f64>,
+}
+
+impl TenantMix {
+    /// `tenants` equal tenants, each offering `1/tenants` of the load.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tenants == 0`.
+    pub fn uniform(tenants: usize) -> Self {
+        assert!(tenants > 0);
+        TenantMix {
+            shares: vec![1.0 / tenants as f64; tenants],
+        }
+    }
+
+    /// `tenants` tenants where tenant 0 offers `hog_factor` times the
+    /// rate of each other tenant (the adversary), and the rest split
+    /// the remainder equally.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tenants == 0` or `hog_factor <= 0`.
+    pub fn adversarial(tenants: usize, hog_factor: f64) -> Self {
+        assert!(tenants > 0);
+        assert!(hog_factor > 0.0);
+        let total = hog_factor + (tenants - 1) as f64;
+        let mut shares = vec![1.0 / total; tenants];
+        shares[0] = hog_factor / total;
+        TenantMix { shares }
+    }
+
+    /// Number of tenants.
+    pub fn tenants(&self) -> usize {
+        self.shares.len()
+    }
+
+    /// The tenants' service ids (`0..tenants`).
+    pub fn service_ids(&self) -> Vec<u16> {
+        (0..self.shares.len() as u16).collect()
+    }
+
+    /// Tenant `t`'s offered share of the total load, in [0, 1].
+    pub fn offered_share(&self, t: u16) -> f64 {
+        self.shares.get(t as usize).copied().unwrap_or(0.0)
+    }
+
+    /// Tenant `t`'s *fair* share under equal weights: `1/tenants`.
+    pub fn fair_share(&self, _t: u16) -> f64 {
+        1.0 / self.shares.len() as f64
+    }
+
+    /// Whether tenant 0 actually hogs: offers more than its fair share.
+    pub fn has_adversary(&self) -> bool {
+        self.offered_share(0) > self.fair_share(0) + 1e-9
+    }
+
+    /// The sampling mix the load generator draws services from.
+    pub fn to_mix(&self) -> DynamicMix {
+        DynamicMix::weighted(&self.shares)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adversary_offers_a_multiple_of_the_rest() {
+        let m = TenantMix::adversarial(4, 5.0);
+        assert_eq!(m.tenants(), 4);
+        assert!(m.has_adversary());
+        let hog = m.offered_share(0);
+        let meek = m.offered_share(1);
+        assert!((hog / meek - 5.0).abs() < 1e-9);
+        let total: f64 = (0..4).map(|t| m.offered_share(t)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert_eq!(m.fair_share(0), 0.25);
+    }
+
+    #[test]
+    fn uniform_mix_has_no_adversary() {
+        let m = TenantMix::uniform(3);
+        assert!(!m.has_adversary());
+        assert!((m.offered_share(2) - m.fair_share(2)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sampling_mix_reflects_the_shares() {
+        use lauberhorn_sim::{SimRng, SimTime};
+        let m = TenantMix::adversarial(4, 5.0).to_mix();
+        let mut rng = SimRng::stream(9, "tenants");
+        let n = 40_000;
+        let hog = (0..n)
+            .filter(|_| m.sample(&mut rng, SimTime::ZERO) == 0)
+            .count();
+        let frac = hog as f64 / n as f64;
+        assert!((frac - 0.625).abs() < 0.02, "hog sampled {frac}");
+    }
+}

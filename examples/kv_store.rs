@@ -82,6 +82,7 @@ fn main() {
         faults: Default::default(),
         retry: None,
         observe: Default::default(),
+        overload: None,
     };
     let mut sim = lauberhorn::rpc::LauberhornSim::new(
         lauberhorn::rpc::sim_lauberhorn::LauberhornSimConfig::enzian(1),

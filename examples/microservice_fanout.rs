@@ -50,6 +50,7 @@ fn main() {
         faults: Default::default(),
         retry: None,
         observe: Default::default(),
+        overload: None,
     };
 
     println!("microservice fan-out: 8 backends, cloud RPC sizes, 150k rps\n");

@@ -33,6 +33,7 @@ fn main() {
         faults: Default::default(),
         retry: None,
         observe: Default::default(),
+        overload: None,
     };
 
     println!("serverless burst: 32 functions, 4 cores, bursty + rotating hot set\n");

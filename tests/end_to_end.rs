@@ -147,6 +147,7 @@ fn application_bytes_survive_the_whole_stack() {
         faults: Default::default(),
         retry: None,
         observe: lauberhorn_sim::ObserveSpec::none(),
+        overload: None,
     };
     let mut sim = LauberhornSim::new(LauberhornSimConfig::enzian(1), vec![service]);
     let report = sim.run(&wl);

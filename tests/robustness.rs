@@ -201,6 +201,104 @@ fn endpoint_queue_overflow_spills_to_kernel_not_panic() {
 }
 
 #[test]
+fn armed_queue_cap_sheds_at_capacity_without_panic() {
+    use lauberhorn::packet::marshal::{Codec, Value, VarintCodec};
+    use lauberhorn::packet::{build_udp_frame, RpcHeader, RpcKind};
+    use lauberhorn::sim::OverloadConfig;
+    // A NIC with overload control armed at a tiny queue cap and no
+    // kernel endpoint to spill to: once the endpoint queue is full,
+    // every further request must be *shed* (a NACK-able decision, not
+    // a panic, and not a silent drop).
+    let mut nic = lb_nic();
+    let (ep, _layout) = nic.create_endpoint(ProcessId(1));
+    nic.demux_mut().add_endpoint(1, ep).expect("attach");
+    nic.arm_overload(OverloadConfig::drop_tail(4), &[1]);
+    let sig = Signature::of(&[ArgType::Bytes]);
+    let payload = VarintCodec
+        .encode(&sig, &[Value::Bytes(vec![0; 8])])
+        .expect("encodes");
+    let mut shed = 0u64;
+    for i in 0..64u64 {
+        let h = RpcHeader {
+            kind: RpcKind::Request,
+            service_id: 1,
+            method_id: 0,
+            request_id: i,
+            payload_len: payload.len() as u32,
+            cont_hint: 0,
+        };
+        let raw = build_udp_frame(
+            EndpointAddr::host(2, 700),
+            EndpointAddr::host(1, 9000),
+            &h.encode_message(&payload).expect("sized"),
+            0,
+        )
+        .expect("builds");
+        let acts = nic.on_request_frame(SimTime::from_us(i), &raw);
+        shed += acts
+            .iter()
+            .filter(|a| matches!(a, NicAction::Shed { .. }))
+            .count() as u64;
+    }
+    // The cap admitted a handful; the rest were shed decisions.
+    assert!(shed >= 64 - 8, "only {shed} of the overflow was shed");
+    let adm = nic.admission().expect("armed");
+    assert_eq!(adm.shed_total(), shed, "controller count drifted");
+    // Capacity sheds happen *after* the admission gate (the request
+    // passed fairness, then found the queue full), so every arrival is
+    // admitted here and the shed ledger is entirely capacity refusals.
+    assert_eq!(nic.stats().rx_requests, adm.admitted(1));
+    assert!(shed <= adm.admitted(1));
+}
+
+#[test]
+fn shed_counts_reconcile_with_the_driver_digest() {
+    use lauberhorn::experiment::{Experiment, StackKind};
+    use lauberhorn::experiments::overload;
+    // A protected 2x-overload run must account for every request
+    // exactly: the client digest (completed + dropped == offered, with
+    // every drop explained by a pushback NACK or a give-up) and the
+    // NIC ledger (arrivals == admitted + shed; admissions == responses
+    // + post-admission deadline sheds) reconcile with no slack.
+    let stack = StackKind::LauberhornCxl;
+    let cap = overload::calibrate(stack, 21);
+    let wl = overload::workload(2.0 * cap, overload::shed_config(), 21);
+    let r = Experiment::new(stack)
+        .cores(2)
+        .services(overload::services())
+        .run(&wl);
+    assert_eq!(
+        r.completed + r.dropped,
+        r.offered,
+        "requests in flight after the driver drained"
+    );
+    let c = |name: &str| r.metrics.get_counter(name).unwrap_or(0);
+    let pushbacks = c("rpc.overload.pushbacks");
+    assert_eq!(
+        r.dropped,
+        pushbacks + r.faults.retries_exhausted + r.faults.timeouts,
+        "a drop was neither NACKed nor timed out"
+    );
+    let shed = c("nic-lauberhorn.overload.shed");
+    assert!(shed > 0, "2x never shed");
+    // The NIC ledger: fairness refuses *before* admission; capacity
+    // and deadline shed *after* it (the request was admitted, then hit
+    // a full queue or went stale). Both books must balance exactly.
+    assert_eq!(
+        c("nic-lauberhorn.rx.requests"),
+        c("nic-lauberhorn.overload.admitted") + c("nic-lauberhorn.overload.shed_fairness"),
+        "an arrival was neither admitted nor refused"
+    );
+    assert_eq!(
+        c("nic-lauberhorn.overload.admitted"),
+        r.completed
+            + c("nic-lauberhorn.overload.shed_capacity")
+            + c("nic-lauberhorn.overload.shed_deadline"),
+        "an admitted request vanished"
+    );
+}
+
+#[test]
 fn coherence_rejects_misuse_without_corruption() {
     let mut sys = CoherentSystem::new(
         2,
