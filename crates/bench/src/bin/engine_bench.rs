@@ -1,0 +1,342 @@
+//! Engine-core microbenchmark: the hierarchical timer-wheel event
+//! queue against the pre-refactor binary-heap + tombstone-set queue
+//! (kept in-tree as `lauberhorn_sim::queue::reference`), plus the
+//! machine-readable artifact `BENCH_engine.json` (schema
+//! `lauberhorn-bench/v1`, validated before writing).
+//!
+//! Two deterministic workloads, both driven by the same seeded stream:
+//!
+//! * **steady** — a fixed working set of outstanding timers; every pop
+//!   schedules a replacement at a random horizon. The heap pays
+//!   O(log n) per operation, the wheel O(1).
+//! * **churn** — retransmit-timer style: most timers are cancelled and
+//!   rescheduled several times before one finally fires. This is the
+//!   pre-refactor queue's pathological case — every cancel leaves a
+//!   stale heap entry plus a tombstone-set node that pops must later
+//!   skip over — and the reason the refactor exists.
+//!
+//! Reported per engine × workload: delivered events/second, wall-clock
+//! microseconds per simulated second, and heap allocations per event
+//! (counted by a wrapping global allocator; the wheel recycles arena
+//! slots, so its steady-state figure is ~0).
+//!
+//! Flags: `--smoke` shrinks the run for CI; `--gate <baseline.json>`
+//! compares the wheel/reference speedup against a committed baseline
+//! artifact and fails if it regressed by more than 20 %.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use lauberhorn_bench::artifact::{self, BenchRow};
+use lauberhorn_bench::json::Json;
+use lauberhorn_sim::queue::reference::ReferenceQueue;
+use lauberhorn_sim::{EventQueue, SimRng, SimTime};
+
+/// Counts every heap allocation so the artifact can report
+/// allocations/event without any external profiler.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: defers every operation to `System`; the counter is a relaxed
+// atomic side effect with no bearing on the returned memory.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// The two queue engines behind one face, so both run the *same*
+/// op-for-op workload from the same random stream.
+trait Engine {
+    const NAME: &'static str;
+    type Id: Copy;
+    fn schedule(&mut self, at: SimTime, ev: u64) -> Self::Id;
+    fn cancel(&mut self, id: Self::Id) -> bool;
+    fn pop(&mut self) -> Option<(SimTime, u64)>;
+    fn now(&self) -> SimTime;
+}
+
+impl Engine for EventQueue<u64> {
+    const NAME: &'static str = "engine/timer-wheel";
+    type Id = lauberhorn_sim::queue::EventId;
+    fn schedule(&mut self, at: SimTime, ev: u64) -> Self::Id {
+        EventQueue::schedule(self, at, ev)
+    }
+    fn cancel(&mut self, id: Self::Id) -> bool {
+        EventQueue::cancel(self, id)
+    }
+    fn pop(&mut self) -> Option<(SimTime, u64)> {
+        EventQueue::pop(self)
+    }
+    fn now(&self) -> SimTime {
+        EventQueue::now(self)
+    }
+}
+
+impl Engine for ReferenceQueue<u64> {
+    const NAME: &'static str = "engine/reference-heap";
+    type Id = lauberhorn_sim::queue::reference::RefEventId;
+    fn schedule(&mut self, at: SimTime, ev: u64) -> Self::Id {
+        ReferenceQueue::schedule(self, at, ev)
+    }
+    fn cancel(&mut self, id: Self::Id) -> bool {
+        ReferenceQueue::cancel(self, id)
+    }
+    fn pop(&mut self) -> Option<(SimTime, u64)> {
+        ReferenceQueue::pop(self)
+    }
+    fn now(&self) -> SimTime {
+        ReferenceQueue::now(self)
+    }
+}
+
+/// One engine × workload measurement.
+struct Measurement {
+    engine: &'static str,
+    workload: &'static str,
+    scheduled: u64,
+    delivered: u64,
+    events_per_sec: f64,
+    wall_us_per_sim_sec: f64,
+    allocs_per_event: f64,
+    wall_ns_per_event: f64,
+}
+
+fn measure<E: Engine + Default>(
+    workload: &'static str,
+    ops: u64,
+    body: impl FnOnce(&mut E, &mut SimRng, &mut u64, &mut u64),
+) -> Measurement {
+    let mut q = E::default();
+    let mut rng = SimRng::stream(7, workload);
+    let (mut scheduled, mut delivered) = (0u64, 0u64);
+    let a0 = ALLOCS.load(Ordering::Relaxed);
+    let t0 = Instant::now();
+    body(&mut q, &mut rng, &mut scheduled, &mut delivered);
+    let wall = t0.elapsed();
+    let allocs = ALLOCS.load(Ordering::Relaxed) - a0;
+    let sim_secs = q.now().as_ps() as f64 / 1e12;
+    let secs = wall.as_secs_f64().max(1e-9);
+    let _ = ops;
+    Measurement {
+        engine: E::NAME,
+        workload,
+        scheduled,
+        delivered,
+        events_per_sec: delivered as f64 / secs,
+        wall_us_per_sim_sec: wall.as_micros() as f64 / sim_secs.max(1e-12),
+        allocs_per_event: allocs as f64 / delivered.max(1) as f64,
+        wall_ns_per_event: wall.as_nanos() as f64 / delivered.max(1) as f64,
+    }
+}
+
+/// Steady state: `window` outstanding timers; every delivery schedules
+/// a replacement at a random horizon up to ~67 µs out.
+fn steady<E: Engine + Default>(ops: u64) -> Measurement {
+    measure::<E>("steady", ops, |q, rng, scheduled, delivered| {
+        let window = 4096u64;
+        for _ in 0..window {
+            let at = SimTime::from_ps(q.now().as_ps() + 1 + rng.gen_u64() % (1 << 26));
+            q.schedule(at, *scheduled);
+            *scheduled += 1;
+        }
+        while *delivered < ops {
+            let Some((_, _)) = q.pop() else { break };
+            *delivered += 1;
+            let at = SimTime::from_ps(q.now().as_ps() + 1 + rng.gen_u64() % (1 << 26));
+            q.schedule(at, *scheduled);
+            *scheduled += 1;
+        }
+        while q.pop().is_some() {
+            *delivered += 1;
+        }
+    })
+}
+
+/// Retransmit-style churn: each delivery re-arms a batch of timers by
+/// cancelling and rescheduling them, so most scheduled entries never
+/// fire. The reference heap accrues a stale entry plus a tombstone-set
+/// node per cancel; the wheel cancels in place.
+fn churn<E: Engine + Default>(ops: u64) -> Measurement {
+    measure::<E>("churn", ops, |q, rng, scheduled, delivered| {
+        let window = 4096usize;
+        let mut live: Vec<E::Id> = Vec::with_capacity(window);
+        for _ in 0..window {
+            let at = SimTime::from_ps(q.now().as_ps() + 1 + rng.gen_u64() % (1 << 26));
+            live.push(q.schedule(at, *scheduled));
+            *scheduled += 1;
+        }
+        while *delivered < ops {
+            let Some((_, _)) = q.pop() else { break };
+            *delivered += 1;
+            // Re-arm 8 random timers: the common fate of a retransmit
+            // timer is cancellation, not expiry.
+            for _ in 0..8 {
+                let i = (rng.gen_u64() % live.len() as u64) as usize;
+                q.cancel(live[i]);
+                let at = SimTime::from_ps(q.now().as_ps() + 1 + rng.gen_u64() % (1 << 26));
+                live[i] = q.schedule(at, *scheduled);
+                *scheduled += 1;
+            }
+            let at = SimTime::from_ps(q.now().as_ps() + 1 + rng.gen_u64() % (1 << 26));
+            q.schedule(at, *scheduled);
+            *scheduled += 1;
+        }
+    })
+}
+
+fn row(m: &Measurement) -> BenchRow {
+    BenchRow {
+        stack: format!("{}[{}]", m.engine, m.workload),
+        offered_rps: 0.0,
+        throughput_rps: m.events_per_sec,
+        rtt_p50_us: m.wall_ns_per_event / 1e3,
+        rtt_p99_us: m.wall_ns_per_event / 1e3,
+        offered: m.scheduled,
+        completed: m.delivered.min(m.scheduled),
+    }
+}
+
+fn engine_json(m: &Measurement) -> Json {
+    Json::Obj(vec![
+        ("engine".into(), Json::Str(m.engine.into())),
+        ("workload".into(), Json::Str(m.workload.into())),
+        ("events_per_sec".into(), Json::Num(m.events_per_sec)),
+        (
+            "wall_us_per_sim_sec".into(),
+            Json::Num(m.wall_us_per_sim_sec),
+        ),
+        ("allocs_per_event".into(), Json::Num(m.allocs_per_event)),
+    ])
+}
+
+/// `events_per_sec` of `engine[workload]` in an artifact document.
+fn events_per_sec_of(doc: &Json, engine: &str, workload: &str) -> Option<f64> {
+    doc.get("engine")?.as_arr()?.iter().find_map(|e| {
+        (e.get("engine")?.as_str()? == engine && e.get("workload")?.as_str()? == workload)
+            .then(|| e.get("events_per_sec")?.as_f64())?
+    })
+}
+
+fn speedup(doc: &Json, workload: &str) -> Option<f64> {
+    let wheel = events_per_sec_of(doc, "engine/timer-wheel", workload)?;
+    let heap = events_per_sec_of(doc, "engine/reference-heap", workload)?;
+    (heap > 0.0).then(|| wheel / heap)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let gate = args
+        .iter()
+        .position(|a| a == "--gate")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let ops: u64 = if smoke { 200_000 } else { 2_000_000 };
+    // The smoke run is short enough to be scheduler-noise sensitive;
+    // best-of-3 keeps the CI gate's ratios stable.
+    let reps = if smoke { 3 } else { 1 };
+    let seed = 7;
+
+    let best_of = |f: &dyn Fn() -> Measurement| {
+        (0..reps)
+            .map(|_| f())
+            .max_by(|a, b| a.events_per_sec.total_cmp(&b.events_per_sec))
+            .expect("reps >= 1")
+    };
+    let mut measurements = Vec::new();
+    let out = lauberhorn_bench::experiment("ENGINE", "event-queue engine microbenchmark", || {
+        let mut s = format!(
+            "{:>30} {:>8} {:>14} {:>16} {:>12} {:>10}\n",
+            "engine[workload]", "events", "events/sec", "wall us/sim s", "allocs/ev", "ns/ev"
+        );
+        measurements.push(best_of(&|| steady::<ReferenceQueue<u64>>(ops)));
+        measurements.push(best_of(&|| steady::<EventQueue<u64>>(ops)));
+        measurements.push(best_of(&|| churn::<ReferenceQueue<u64>>(ops)));
+        measurements.push(best_of(&|| churn::<EventQueue<u64>>(ops)));
+        for m in &measurements {
+            s.push_str(&format!(
+                "{:>30} {:>8} {:>14.0} {:>16.1} {:>12.3} {:>10.1}\n",
+                format!("{}[{}]", m.engine, m.workload),
+                m.delivered,
+                m.events_per_sec,
+                m.wall_us_per_sim_sec,
+                m.allocs_per_event,
+                m.wall_ns_per_event,
+            ));
+        }
+        for w in ["steady", "churn"] {
+            let heap = measurements
+                .iter()
+                .find(|m| m.engine == "engine/reference-heap" && m.workload == w);
+            let wheel = measurements
+                .iter()
+                .find(|m| m.engine == "engine/timer-wheel" && m.workload == w);
+            if let (Some(h), Some(x)) = (heap, wheel) {
+                s.push_str(&format!(
+                    "{w}: timer wheel {:.1}x the reference heap's events/sec\n",
+                    x.events_per_sec / h.events_per_sec.max(1.0),
+                ));
+            }
+        }
+        s
+    });
+    println!("{out}");
+
+    let rows: Vec<BenchRow> = measurements.iter().map(row).collect();
+    let mut doc = artifact::document("engine", seed, &rows);
+    if let Json::Obj(fields) = &mut doc {
+        fields.push((
+            "engine".into(),
+            Json::Arr(measurements.iter().map(engine_json).collect()),
+        ));
+    }
+    match artifact::write("engine", &doc) {
+        Ok(path) => println!("artifact -> {}", path.display()),
+        Err(e) => {
+            eprintln!("engine_bench: artifact: {e}");
+            std::process::exit(1);
+        }
+    }
+
+    // Regression gate: the wheel/heap speedup must hold within 20 % of
+    // the committed baseline on both workloads. Ratios — not absolute
+    // events/sec — so the gate is robust to machine speed.
+    if let Some(baseline_path) = gate {
+        let baseline = std::fs::read_to_string(&baseline_path)
+            .map_err(|e| format!("{baseline_path}: {e}"))
+            .and_then(|s| Json::parse(&s).map_err(|e| format!("{baseline_path}: {e}")))
+            .unwrap_or_else(|e| {
+                eprintln!("engine_bench: gate: {e}");
+                std::process::exit(1);
+            });
+        for w in ["steady", "churn"] {
+            let (Some(base), Some(cur)) = (speedup(&baseline, w), speedup(&doc, w)) else {
+                eprintln!("engine_bench: gate: missing {w} speedup in baseline or current run");
+                std::process::exit(1);
+            };
+            let floor = 0.8 * base;
+            println!("gate[{w}]: speedup {cur:.1}x vs baseline {base:.1}x (floor {floor:.1}x)");
+            if cur < floor {
+                eprintln!(
+                    "engine_bench: gate: {w} speedup {cur:.1}x regressed more than 20% \
+                     below the committed baseline {base:.1}x"
+                );
+                std::process::exit(1);
+            }
+        }
+    }
+}

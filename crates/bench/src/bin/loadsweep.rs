@@ -1,15 +1,23 @@
 //! Regenerates the extension throughput–latency curves, plus the
 //! machine-readable artifact `BENCH_loadsweep.json` (schema
 //! `lauberhorn-bench/v1`, validated before writing).
+//!
+//! `--scale N` (or `LAUBERHORN_SCALE=N`) stretches every point's load
+//! window by `N`×: same offered-load points, `N`× the simulated
+//! requests.
 
 use lauberhorn::experiments::loadsweep;
 use lauberhorn_bench::artifact::{self, BenchRow};
 
 fn main() {
     let seed = 42;
+    let scale = lauberhorn_bench::scale();
     let mut rows = Vec::new();
     let out = lauberhorn_bench::experiment("LOAD", "throughput-latency curves", || {
-        let curves = loadsweep::run(seed);
+        if scale != 1 {
+            println!("scale knob: {scale}x load window");
+        }
+        let curves = loadsweep::run_scaled(seed, scale);
         for c in &curves {
             for p in &c.points {
                 rows.push(BenchRow::from_report(p.offered_rps, &p.report));

@@ -5,15 +5,21 @@
 //!
 //! Pass `--smoke` for a CI-sized run (the sweep is already small; the
 //! flag exists so the CI invocation is explicit about its intent).
+//! `--scale N` (or `LAUBERHORN_SCALE=N`) stretches every point's load
+//! window by `N`× at the same offered-load multipliers.
 
 use lauberhorn::experiments::overload;
 use lauberhorn_bench::artifact::{self, BenchRow};
 
 fn main() {
     let seed = 42;
+    let scale = lauberhorn_bench::scale();
     let mut rows = Vec::new();
     let out = lauberhorn_bench::experiment("OVERLOAD", "overload control and shedding", || {
-        let sweep = overload::run(seed);
+        if scale != 1 {
+            println!("scale knob: {scale}x load window");
+        }
+        let sweep = overload::run_scaled(seed, scale);
         for p in &sweep.points {
             rows.push(BenchRow::from_report(p.offered_rps, &p.report));
         }

@@ -39,6 +39,41 @@ pub fn bench<T>(name: &str, mut f: impl FnMut() -> T) {
     }
 }
 
+/// The request-count scale knob shared by the sweep binaries.
+///
+/// Reads `--scale N` (or `--scale=N`) from the command line, falling
+/// back to the `LAUBERHORN_SCALE` environment variable; the default is
+/// scale 1. The knob stretches each sweep point's measured load window
+/// by `N`×, multiplying the simulated request count while keeping
+/// every offered-load point — and thus every per-second statistic —
+/// directly comparable to the 1× run.
+pub fn scale() -> u64 {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if let Some(v) = a.strip_prefix("--scale=") {
+            return parse_scale(v, "--scale");
+        }
+        if a == "--scale" {
+            let v = args.next().unwrap_or_default();
+            return parse_scale(&v, "--scale");
+        }
+    }
+    match std::env::var("LAUBERHORN_SCALE") {
+        Ok(v) => parse_scale(&v, "LAUBERHORN_SCALE"),
+        Err(_) => 1,
+    }
+}
+
+fn parse_scale(v: &str, what: &str) -> u64 {
+    match v.parse::<u64>() {
+        Ok(n) if n >= 1 => n,
+        _ => {
+            eprintln!("invalid {what} value {v:?}: want an integer >= 1");
+            std::process::exit(2);
+        }
+    }
+}
+
 /// Prints a standard experiment header and runs `body`, timing it.
 pub fn experiment<F: FnOnce() -> String>(id: &str, title: &str, body: F) -> String {
     let t0 = Instant::now();

@@ -50,10 +50,24 @@ impl Curve {
     }
 }
 
+/// Measured load window per point at scale 1, milliseconds.
+const DURATION_MS: u64 = 15;
+
 /// Runs the sweep: 2 cores, one 1000-cycle service, 64 B requests.
 /// All `stacks × loads` points fan out over the parallel sweep
 /// executor; the results fold back into per-stack curves.
 pub fn run(seed: u64) -> Vec<Curve> {
+    run_scaled(seed, 1)
+}
+
+/// [`run`] with the load window stretched by `scale`. The offered-load
+/// points are unchanged — the same rates, swept `scale`× longer — so a
+/// 100× run multiplies the simulated request count by 100 while every
+/// per-second statistic stays directly comparable to the 1× sweep.
+/// Request/event counters are u64 throughout ([`Report`] counts,
+/// metrics counters, the engine's event sequence numbers), so even a
+/// 10⁸-event run sits 11 orders of magnitude below overflow.
+pub fn run_scaled(seed: u64, scale: u64) -> Vec<Curve> {
     let services = ServiceSpec::uniform(1, 1000, 32);
     let loads = [
         25_000.0f64,
@@ -71,8 +85,14 @@ pub fn run(seed: u64) -> Vec<Curve> {
     let mut points = Vec::with_capacity(stacks.len() * loads.len());
     for &stack in &stacks {
         for &rate in &loads {
-            let mut wl =
-                WorkloadSpec::open_poisson(rate, 1, 0.0, SizeDist::Fixed { bytes: 64 }, 15, seed);
+            let mut wl = WorkloadSpec::open_poisson(
+                rate,
+                1,
+                0.0,
+                SizeDist::Fixed { bytes: 64 },
+                DURATION_MS * scale.max(1),
+                seed,
+            );
             wl.warmup = 100;
             points.push(
                 SweepPoint::new(stack, wl)

@@ -94,12 +94,23 @@ pub fn services() -> Vec<ServiceSpec> {
 /// ([`shed_config`], [`fairness_config`], or the unbounded melt-down
 /// baseline).
 pub fn workload(rate_rps: f64, overload: OverloadConfig, seed: u64) -> WorkloadSpec {
+    workload_for(rate_rps, overload, seed, DURATION_MS)
+}
+
+/// [`workload`] with an explicit load-window length (the scale knob
+/// stretches the window, multiplying request count at fixed rates).
+pub fn workload_for(
+    rate_rps: f64,
+    overload: OverloadConfig,
+    seed: u64,
+    duration_ms: u64,
+) -> WorkloadSpec {
     let mut wl = WorkloadSpec::open_poisson(
         rate_rps,
         TENANTS,
         0.0,
         SizeDist::Fixed { bytes: 64 },
-        DURATION_MS,
+        duration_ms,
         seed,
     );
     wl.mix = TenantMix::adversarial(TENANTS, HOG_FACTOR).to_mix();
@@ -136,6 +147,8 @@ pub struct OverloadPoint {
     pub offered_rps: f64,
     /// Whether overload control was armed.
     pub shed: bool,
+    /// Nominal load-window length this point was measured over, ms.
+    pub duration_ms: u64,
     /// Measured report.
     pub report: Report,
 }
@@ -145,7 +158,7 @@ impl OverloadPoint {
     /// report's own duration stretches slightly past the window while
     /// stragglers resolve, which would flatter collapse).
     pub fn goodput_rps(&self) -> f64 {
-        self.report.completed as f64 / (DURATION_MS as f64 / 1e3)
+        self.report.completed as f64 / (self.duration_ms.max(1) as f64 / 1e3)
     }
 }
 
@@ -201,6 +214,15 @@ pub const FAIRNESS_MULTIPLIER: f64 = 3.0;
 /// `STACKS × MULTIPLIERS × {unprotected, protected}` plus the fairness
 /// probe in parallel.
 pub fn run(seed: u64) -> OverloadSweep {
+    run_scaled(seed, 1)
+}
+
+/// [`run`] with the measured load window stretched by `scale`:
+/// calibration and the offered-load multipliers are unchanged, so each
+/// point sees the same per-second conditions over `scale`× the requests
+/// (all hot counters are u64 — no overflow risk at any feasible scale).
+pub fn run_scaled(seed: u64, scale: u64) -> OverloadSweep {
+    let duration_ms = DURATION_MS * scale.max(1);
     let capacity: Vec<(StackKind, f64)> = STACKS.iter().map(|&s| (s, calibrate(s, seed))).collect();
     let mut points = Vec::new();
     for &(stack, cap) in &capacity {
@@ -212,7 +234,7 @@ pub fn run(seed: u64) -> OverloadSweep {
                     OverloadConfig::unbounded_baseline()
                 };
                 points.push(
-                    SweepPoint::new(stack, workload(cap * m, cfg, seed))
+                    SweepPoint::new(stack, workload_for(cap * m, cfg, seed, duration_ms))
                         .cores(2)
                         .services(services()),
                 );
@@ -223,7 +245,12 @@ pub fn run(seed: u64) -> OverloadSweep {
     points.push(
         SweepPoint::new(
             StackKind::LauberhornCxl,
-            workload(lb_cap * FAIRNESS_MULTIPLIER, fairness_config(), seed),
+            workload_for(
+                lb_cap * FAIRNESS_MULTIPLIER,
+                fairness_config(),
+                seed,
+                duration_ms,
+            ),
         )
         .cores(2)
         .services(services()),
@@ -239,6 +266,7 @@ pub fn run(seed: u64) -> OverloadSweep {
                     multiplier: m,
                     offered_rps: cap * m,
                     shed,
+                    duration_ms,
                     report: it.next().expect("one report per point"),
                 });
             }
@@ -249,6 +277,7 @@ pub fn run(seed: u64) -> OverloadSweep {
         multiplier: FAIRNESS_MULTIPLIER,
         offered_rps: lb_cap * FAIRNESS_MULTIPLIER,
         shed: true,
+        duration_ms,
         report: it.next().expect("fairness probe report"),
     };
     OverloadSweep {

@@ -22,7 +22,7 @@ use lauberhorn_coherence::{FillToken, LineAddr};
 use lauberhorn_os::ProcessId;
 use lauberhorn_packet::frame::EndpointAddr;
 use lauberhorn_packet::marshal::transform_to_dispatch_form;
-use lauberhorn_packet::{build_udp_frame, parse_udp_frame, RpcHeader, RpcKind};
+use lauberhorn_packet::{build_udp_frame, parse_udp_frame_ref, RpcHeader, RpcKind};
 use lauberhorn_sim::{AdmissionCtl, OverloadConfig, ShedReason, SimDuration, SimTime};
 
 use crate::continuation::ContinuationTable;
@@ -834,10 +834,13 @@ impl LauberhornNic {
 
     /// A frame arrives from the wire at `now`.
     pub fn on_request_frame(&mut self, now: SimTime, raw: &[u8]) -> Vec<NicAction> {
-        let Ok(frame) = parse_udp_frame(raw) else {
+        // Zero-copy parse: the headers are decoded in place and the RPC
+        // payload is borrowed from the wire buffer until the dispatch
+        // line is built.
+        let Ok(frame) = parse_udp_frame_ref(raw) else {
             return self.drop_frame(DropReason::BadFrame, None);
         };
-        let Ok((header, wire_payload)) = RpcHeader::decode_message(&frame.payload) else {
+        let Ok((header, wire_payload)) = RpcHeader::decode_message(frame.payload) else {
             return self.drop_frame(DropReason::BadRpcHeader, None);
         };
         let client = EndpointAddr {
@@ -1617,8 +1620,8 @@ mod tests {
             cont_hint: 3,
         };
         let raw = n.build_response_frame(&ctx, b"result").unwrap();
-        let frame = parse_udp_frame(&raw).unwrap();
-        let (h, payload) = RpcHeader::decode_message(&frame.payload).unwrap();
+        let frame = parse_udp_frame_ref(&raw).unwrap();
+        let (h, payload) = RpcHeader::decode_message(frame.payload).unwrap();
         assert_eq!(h.kind, RpcKind::Response);
         assert_eq!(h.request_id, 9);
         assert_eq!(h.cont_hint, 3);

@@ -94,8 +94,26 @@ pub fn build_udp_frame(
     Ok(buf)
 }
 
-/// Parses and fully verifies a frame produced by [`build_udp_frame`].
-pub fn parse_udp_frame(data: &[u8]) -> Result<UdpFrame> {
+/// A parsed UDP frame whose payload borrows the input buffer.
+///
+/// The zero-copy variant of [`UdpFrame`]: the NIC pipeline parses
+/// every inbound frame, so borrowing the payload instead of
+/// re-`Vec`-ing it saves an allocation and a copy per frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UdpFrameRef<'a> {
+    /// Ethernet header.
+    pub eth: EthernetHeader,
+    /// IPv4 header.
+    pub ip: Ipv4Header,
+    /// UDP header.
+    pub udp: UdpHeader,
+    /// UDP payload bytes, borrowed from the input frame.
+    pub payload: &'a [u8],
+}
+
+/// Parses and fully verifies a frame produced by [`build_udp_frame`],
+/// borrowing the payload from `data` (no copy).
+pub fn parse_udp_frame_ref(data: &[u8]) -> Result<UdpFrameRef<'_>> {
     let (eth, mut off) = EthernetHeader::parse(data)?;
     if eth.ethertype != EtherType::Ipv4 {
         return Err(PacketError::BadField {
@@ -120,11 +138,23 @@ pub fn parse_udp_frame(data: &[u8]) -> Result<UdpFrame> {
         });
     }
     let (udp, payload) = UdpHeader::parse(ip.src, ip.dst, &data[off..ip_payload_end])?;
-    Ok(UdpFrame {
+    Ok(UdpFrameRef {
         eth,
         ip,
         udp,
-        payload: payload.to_vec(),
+        payload,
+    })
+}
+
+/// Parses and fully verifies a frame produced by [`build_udp_frame`],
+/// copying the payload into an owned [`UdpFrame`].
+pub fn parse_udp_frame(data: &[u8]) -> Result<UdpFrame> {
+    let f = parse_udp_frame_ref(data)?;
+    Ok(UdpFrame {
+        eth: f.eth,
+        ip: f.ip,
+        udp: f.udp,
+        payload: f.payload.to_vec(),
     })
 }
 

@@ -20,6 +20,7 @@
 //!   deserialization offload (§5.1, citing Optimus Prime / ProtoAcc)
 //!   transforms between.
 
+pub mod buf;
 pub mod checksum;
 pub mod eth;
 pub mod frame;
@@ -28,8 +29,9 @@ pub mod marshal;
 pub mod rpcwire;
 pub mod udp;
 
+pub use buf::{BufPool, PktBuf};
 pub use eth::{EtherType, EthernetHeader, MacAddr};
-pub use frame::{build_udp_frame, parse_udp_frame, UdpFrame};
+pub use frame::{build_udp_frame, parse_udp_frame, parse_udp_frame_ref, UdpFrame, UdpFrameRef};
 pub use ipv4::Ipv4Header;
 pub use rpcwire::{RpcHeader, RpcKind, RPC_HEADER_LEN};
 pub use udp::UdpHeader;

@@ -12,6 +12,7 @@
 
 use lauberhorn_packet::eth::ETH_HEADER_LEN;
 use lauberhorn_packet::frame::EndpointAddr;
+use lauberhorn_packet::PktBuf;
 use lauberhorn_sim::fault::{FaultDecision, FaultInjector};
 use lauberhorn_sim::{AimdPacer, SimDuration, SimRng, SimTime};
 
@@ -65,19 +66,21 @@ impl RequestDigest {
 /// Client-side record of an unanswered request, kept while a
 /// [`RetryPolicy`] is in force.
 struct Outstanding {
-    /// The exact frame bytes, for retransmission.
-    raw: Vec<u8>,
+    /// The exact frame, shared by reference with every in-flight copy.
+    raw: PktBuf,
     /// Which closed-loop client issued it.
     client: usize,
 }
 
 /// Puts one request frame on the wire, applying transmit-leg faults.
-/// Clean path (no injector): one `inject_frame`, nothing else.
+/// Clean path (no injector): one `inject_frame`, nothing else. The
+/// frame is a [`PktBuf`], so duplication bumps a reference count and
+/// corruption copies-on-write (the retransmit copy stays pristine).
 fn send_frame(
     stack: &mut (impl ServerStack + ?Sized),
     tx_fault: &mut Option<FaultInjector>,
     now: SimTime,
-    raw: Vec<u8>,
+    raw: PktBuf,
     request_id: u64,
 ) {
     let arrive = now + stack.common().wire.deliver(raw.len());
@@ -92,7 +95,7 @@ fn send_frame(
         }
         FaultDecision::Corrupt { offset, bit } => {
             let mut raw = raw;
-            FaultInjector::apply_corruption(&mut raw, offset, bit);
+            FaultInjector::apply_corruption(raw.make_mut(), offset, bit);
             stack.common().metrics.faults.corrupted += 1;
             stack.inject_frame(arrive, raw, request_id);
         }

@@ -18,6 +18,7 @@ use lauberhorn_nic_dma::{DmaNic, DmaNicConfig};
 use lauberhorn_os::CostModel;
 use lauberhorn_packet::frame::{EndpointAddr, FRAME_OVERHEAD};
 use lauberhorn_packet::rpcwire::RPC_HEADER_LEN;
+use lauberhorn_packet::PktBuf;
 use lauberhorn_sim::energy::{CoreState, CycleAccount, EnergyMeter};
 use lauberhorn_sim::{EventQueue, OverloadConfig, SimDuration, SimTime, Stage};
 
@@ -79,7 +80,7 @@ struct PendingPkt {
 #[derive(Debug)]
 enum Ev {
     FrameAtNic {
-        raw: Vec<u8>,
+        raw: PktBuf,
         request_id: u64,
     },
     CoreCheck {
@@ -113,6 +114,9 @@ pub struct BypassSim {
     busy_until: Vec<SimTime>,
     check_scheduled: Vec<bool>,
     q: EventQueue<Ev>,
+    /// Same-timestamp events drained in one [`EventQueue::pop_batch`],
+    /// held in *reverse* delivery order so `step` pops from the back.
+    batch: Vec<(SimTime, Ev)>,
     common: StackCommon,
     next_buf: u64,
     server_ip: EndpointAddr,
@@ -173,6 +177,7 @@ impl BypassSim {
             busy_until: vec![SimTime::ZERO; cfg.cores],
             check_scheduled: vec![false; cfg.cores],
             q: EventQueue::new(),
+            batch: Vec::new(),
             common: StackCommon::new(cfg.wire),
             next_buf: 0,
             server_ip: EndpointAddr::host(1, BASE_PORT),
@@ -208,11 +213,11 @@ impl BypassSim {
         }
     }
 
-    fn on_frame(&mut self, raw: Vec<u8>, request_id: u64, now: SimTime) {
+    fn on_frame(&mut self, raw: PktBuf, request_id: u64, now: SimTime) {
         self.common.note_arrival(request_id, now);
         // The NIC validates the IPv4/UDP checksums before steering: a
         // corrupted frame never reaches a descriptor.
-        let Ok(frame) = lauberhorn_packet::parse_udp_frame(&raw) else {
+        let Ok(frame) = lauberhorn_packet::parse_udp_frame_ref(&raw) else {
             self.common.reject_corrupt(request_id);
             return;
         };
@@ -496,6 +501,7 @@ impl ServerStack for BypassSim {
     }
 
     fn prepare(&mut self, workload: &WorkloadSpec) {
+        self.batch.clear();
         self.overload = workload.overload.clone();
         // Dedicated cores spin from t = 0 to the end: always Active.
         for c in 0..self.cfg.cores {
@@ -512,11 +518,22 @@ impl ServerStack for BypassSim {
     }
 
     fn next_event_time(&mut self) -> Option<SimTime> {
-        self.q.peek_time()
+        match self.batch.last() {
+            Some((t, _)) => Some(*t),
+            None => self.q.peek_time(),
+        }
     }
 
     fn step(&mut self, workload: &WorkloadSpec) {
-        let Some((now, ev)) = self.q.pop() else {
+        // Batched delivery: drain the whole same-timestamp run in one
+        // queue operation; handler-scheduled events at the same instant
+        // carry higher sequence numbers, so consuming the drained run
+        // first matches one-`pop`-at-a-time order exactly.
+        if self.batch.is_empty() {
+            self.q.pop_batch(&mut self.batch);
+            self.batch.reverse();
+        }
+        let Some((now, ev)) = self.batch.pop() else {
             return;
         };
         match ev {
@@ -531,7 +548,7 @@ impl ServerStack for BypassSim {
         }
     }
 
-    fn inject_frame(&mut self, at: SimTime, raw: Vec<u8>, request_id: u64) {
+    fn inject_frame(&mut self, at: SimTime, raw: PktBuf, request_id: u64) {
         self.q.schedule(at, Ev::FrameAtNic { raw, request_id });
     }
 

@@ -25,6 +25,7 @@ use lauberhorn_os::sched::WakeDecision;
 use lauberhorn_os::{CostModel, OsScheduler, SocketBacklog};
 use lauberhorn_packet::frame::{EndpointAddr, FRAME_OVERHEAD};
 use lauberhorn_packet::rpcwire::RPC_HEADER_LEN;
+use lauberhorn_packet::PktBuf;
 use lauberhorn_sim::energy::{CoreState, CycleAccount, EnergyMeter};
 use lauberhorn_sim::{EventQueue, SimDuration, SimTime, SpanId, Stage};
 
@@ -82,7 +83,7 @@ struct PendingPkt {
 #[derive(Debug)]
 enum Ev {
     FrameAtNic {
-        raw: Vec<u8>,
+        raw: PktBuf,
         request_id: u64,
     },
     Irq {
@@ -125,6 +126,9 @@ pub struct KernelSim {
     poll_active: Vec<bool>,
     busy_until: Vec<SimTime>,
     q: EventQueue<Ev>,
+    /// Same-timestamp events drained in one [`EventQueue::pop_batch`],
+    /// held in *reverse* delivery order so `step` pops from the back.
+    batch: Vec<(SimTime, Ev)>,
     common: StackCommon,
     next_buf: u64,
     server_ip: EndpointAddr,
@@ -180,6 +184,7 @@ impl KernelSim {
             poll_active: vec![false; queues as usize],
             busy_until: vec![SimTime::ZERO; cfg.cores],
             q: EventQueue::new(),
+            batch: Vec::new(),
             common: StackCommon::new(cfg.wire),
             next_buf: 0,
             server_ip: EndpointAddr::host(1, BASE_PORT),
@@ -215,11 +220,11 @@ impl KernelSim {
         (start, end)
     }
 
-    fn on_frame(&mut self, raw: Vec<u8>, request_id: u64, now: SimTime) {
+    fn on_frame(&mut self, raw: PktBuf, request_id: u64, now: SimTime) {
         self.common.note_arrival(request_id, now);
         // The real IPv4/UDP checksums catch in-flight corruption here,
         // exactly where a kernel NIC driver would discard the frame.
-        let Ok(frame) = lauberhorn_packet::parse_udp_frame(&raw) else {
+        let Ok(frame) = lauberhorn_packet::parse_udp_frame_ref(&raw) else {
             self.common.reject_corrupt(request_id);
             return;
         };
@@ -672,6 +677,7 @@ impl ServerStack for KernelSim {
     }
 
     fn prepare(&mut self, workload: &WorkloadSpec) {
+        self.batch.clear();
         // Kernel analogue of the NIC's overload control: bounded
         // per-socket backlogs (SYN-backlog style) plus a deadline
         // budget. Fairness and pushback stay Lauberhorn-only — a DMA
@@ -682,11 +688,22 @@ impl ServerStack for KernelSim {
     }
 
     fn next_event_time(&mut self) -> Option<SimTime> {
-        self.q.peek_time()
+        match self.batch.last() {
+            Some((t, _)) => Some(*t),
+            None => self.q.peek_time(),
+        }
     }
 
     fn step(&mut self, _workload: &WorkloadSpec) {
-        let Some((now, ev)) = self.q.pop() else {
+        // Batched delivery: drain the whole same-timestamp run in one
+        // queue operation; handler-scheduled events at the same instant
+        // carry higher sequence numbers, so consuming the drained run
+        // first matches one-`pop`-at-a-time order exactly.
+        if self.batch.is_empty() {
+            self.q.pop_batch(&mut self.batch);
+            self.batch.reverse();
+        }
+        let Some((now, ev)) = self.batch.pop() else {
             return;
         };
         match ev {
@@ -706,7 +723,7 @@ impl ServerStack for KernelSim {
         }
     }
 
-    fn inject_frame(&mut self, at: SimTime, raw: Vec<u8>, request_id: u64) {
+    fn inject_frame(&mut self, at: SimTime, raw: PktBuf, request_id: u64) {
         self.q.schedule(at, Ev::FrameAtNic { raw, request_id });
     }
 

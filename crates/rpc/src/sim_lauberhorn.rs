@@ -30,6 +30,7 @@ use lauberhorn_nic::sched_mirror::MIRROR_PUSH_COST;
 use lauberhorn_nic::{LauberhornNic, LauberhornNicConfig, NicAction};
 use lauberhorn_os::CostModel;
 use lauberhorn_packet::frame::EndpointAddr;
+use lauberhorn_packet::PktBuf;
 use lauberhorn_sim::energy::{CoreState, CycleAccount, EnergyMeter};
 use lauberhorn_sim::fault::FaultDecision;
 use lauberhorn_sim::{trace_ev, EventQueue, SimDuration, SimTime, SpanId, Stage, Trace};
@@ -114,8 +115,9 @@ struct CoreCtx {
 
 #[derive(Debug)]
 enum Ev {
-    /// A request frame reaches the server NIC.
-    FrameAtNic { raw: Vec<u8>, request_id: u64 },
+    /// A request frame reaches the server NIC. The buffer is shared
+    /// with the driver's retransmit copy (zero-copy delivery).
+    FrameAtNic { raw: PktBuf, request_id: u64 },
     /// The NIC answers a parked fill (deferred CompleteFill action).
     DoCompleteFill {
         token: lauberhorn_coherence::FillToken,
@@ -163,6 +165,9 @@ pub struct LauberhornSim {
     cores: Vec<CoreCtx>,
     user_eps: BTreeMap<(u16, usize), (EndpointId, EndpointLayout)>,
     q: EventQueue<Ev>,
+    /// Same-timestamp events drained in one [`EventQueue::pop_batch`],
+    /// held in *reverse* delivery order so `step` pops from the back.
+    batch: Vec<(SimTime, Ev)>,
     common: StackCommon,
     /// Response payloads produced by real handlers, by request id.
     resp_payload: BTreeMap<u64, Vec<u8>>,
@@ -248,6 +253,7 @@ impl LauberhornSim {
             cores,
             user_eps: BTreeMap::new(),
             q: EventQueue::new(),
+            batch: Vec::new(),
             common: StackCommon::new(cfg.wire),
             resp_payload: BTreeMap::new(),
             record_responses: false,
@@ -967,6 +973,7 @@ impl ServerStack for LauberhornSim {
     }
 
     fn prepare(&mut self, workload: &WorkloadSpec) {
+        self.batch.clear();
         self.record_responses = workload.record_responses;
         self.fault_tolerant = workload.faults.enabled();
         self.crashed.clear();
@@ -998,11 +1005,23 @@ impl ServerStack for LauberhornSim {
     }
 
     fn next_event_time(&mut self) -> Option<SimTime> {
-        self.q.peek_time()
+        match self.batch.last() {
+            Some((t, _)) => Some(*t),
+            None => self.q.peek_time(),
+        }
     }
 
     fn step(&mut self, _workload: &WorkloadSpec) {
-        let Some((now, ev)) = self.q.pop() else {
+        // Batched delivery: drain every event at the current timestamp
+        // in one queue operation, then feed them to the handlers one by
+        // one. Events the handlers schedule at the same timestamp carry
+        // higher sequence numbers, so consuming the drained run first
+        // is exactly the one-`pop`-at-a-time order.
+        if self.batch.is_empty() {
+            self.q.pop_batch(&mut self.batch);
+            self.batch.reverse();
+        }
+        let Some((now, ev)) = self.batch.pop() else {
             return;
         };
         match ev {
@@ -1018,7 +1037,7 @@ impl ServerStack for LauberhornSim {
                 // The NIC's line-rate parser checks the real IPv4/UDP
                 // checksums: a corrupted frame dies here, before any
                 // endpoint state is touched.
-                if lauberhorn_packet::parse_udp_frame(&raw).is_err() {
+                if lauberhorn_packet::parse_udp_frame_ref(&raw).is_err() {
                     trace_ev!(
                         self.trace,
                         now,
@@ -1096,7 +1115,7 @@ impl ServerStack for LauberhornSim {
         }
     }
 
-    fn inject_frame(&mut self, at: SimTime, raw: Vec<u8>, request_id: u64) {
+    fn inject_frame(&mut self, at: SimTime, raw: PktBuf, request_id: u64) {
         self.q.schedule(at, Ev::FrameAtNic { raw, request_id });
     }
 

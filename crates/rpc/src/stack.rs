@@ -13,6 +13,7 @@ use std::collections::BTreeMap;
 
 use lauberhorn_os::CostModel;
 use lauberhorn_packet::frame::EndpointAddr;
+use lauberhorn_packet::PktBuf;
 use lauberhorn_sim::energy::CycleAccount;
 use lauberhorn_sim::fault::{FaultDecision, FaultInjector};
 use lauberhorn_sim::{EventQueue, SimDuration, SimRng, SimTime, SpanId, SpanTracer, Stage};
@@ -471,7 +472,9 @@ pub trait ServerStack {
     fn step(&mut self, workload: &WorkloadSpec);
 
     /// Schedules a client request frame to reach the NIC at `at`.
-    fn inject_frame(&mut self, at: SimTime, raw: Vec<u8>, request_id: u64);
+    /// The [`PktBuf`] is shared, not copied: the driver's retransmit
+    /// buffer and any fault-duplicated deliveries alias the same bytes.
+    fn inject_frame(&mut self, at: SimTime, raw: PktBuf, request_id: u64);
 
     /// Finalises the run at `end`: returns the aggregate core-time
     /// account and the fabric/bus message count for the report.

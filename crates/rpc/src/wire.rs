@@ -8,7 +8,7 @@
 
 use lauberhorn_packet::frame::EndpointAddr;
 use lauberhorn_packet::marshal::{Codec, Signature, Value, VarintCodec};
-use lauberhorn_packet::{build_udp_frame, parse_udp_frame, RpcHeader, RpcKind};
+use lauberhorn_packet::{build_udp_frame, parse_udp_frame_ref, PktBuf, RpcHeader, RpcKind};
 use lauberhorn_sim::{SimDuration, SimTime};
 
 /// The network between client and server.
@@ -110,7 +110,10 @@ impl RetryPolicy {
     }
 }
 
-/// Builds a request frame for the uniform `\[Bytes\]` benchmark signature.
+/// Builds a request frame for the uniform `\[Bytes\]` benchmark
+/// signature. The frame is built exactly once into a [`PktBuf`];
+/// every later holder (retransmit buffer, stack event queue, fault
+/// duplicates) shares it by reference count.
 pub fn build_request(
     client: EndpointAddr,
     server: EndpointAddr,
@@ -119,7 +122,7 @@ pub fn build_request(
     request_id: u64,
     payload: &[u8],
     cont_hint: u32,
-) -> Vec<u8> {
+) -> PktBuf {
     let sig = Signature::of(&[lauberhorn_packet::marshal::ArgType::Bytes]);
     // A single Bytes argument always encodes; degrade to an empty frame
     // (which the server-side checksum/parse path rejects) rather than
@@ -128,7 +131,7 @@ pub fn build_request(
         Ok(a) => a,
         Err(_) => {
             debug_assert!(false, "bytes arg always encodes");
-            return Vec::new();
+            return PktBuf::default();
         }
     };
     let header = RpcHeader {
@@ -141,21 +144,21 @@ pub fn build_request(
     };
     let Ok(msg) = header.encode_message(&args) else {
         debug_assert!(false, "header + args fit a UDP datagram");
-        return Vec::new();
+        return PktBuf::default();
     };
     match build_udp_frame(client, server, &msg, (request_id & 0xffff) as u16) {
-        Ok(frame) => frame,
+        Ok(frame) => PktBuf::from_vec(frame),
         Err(_) => {
             debug_assert!(false, "request frame builds");
-            Vec::new()
+            PktBuf::default()
         }
     }
 }
 
 /// Parses a response frame, returning `(request_id, payload_len)`.
 pub fn parse_response(raw: &[u8]) -> Option<(u64, usize)> {
-    let frame = parse_udp_frame(raw).ok()?;
-    let (h, payload) = RpcHeader::decode_message(&frame.payload).ok()?;
+    let frame = parse_udp_frame_ref(raw).ok()?;
+    let (h, payload) = RpcHeader::decode_message(frame.payload).ok()?;
     (h.kind == RpcKind::Response).then_some((h.request_id, payload.len()))
 }
 
@@ -204,8 +207,8 @@ mod tests {
             b"ping",
             0,
         );
-        let frame = parse_udp_frame(&raw).unwrap();
-        let (h, _) = RpcHeader::decode_message(&frame.payload).unwrap();
+        let frame = parse_udp_frame_ref(&raw).unwrap();
+        let (h, _) = RpcHeader::decode_message(frame.payload).unwrap();
         assert_eq!(h.kind, RpcKind::Request);
         assert_eq!(h.service_id, 7);
         assert_eq!(h.request_id, 42);

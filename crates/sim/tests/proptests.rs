@@ -3,6 +3,7 @@
 //! Deterministic in-tree replacement for an external property-testing
 //! framework: each property is checked over many seeded random cases.
 
+use lauberhorn_sim::queue::reference::ReferenceQueue;
 use lauberhorn_sim::{EventQueue, Histogram, SimDuration, SimRng, SimTime};
 
 fn vec_u64(rng: &mut SimRng, lo: u64, hi: u64, min_len: usize, max_len: usize) -> Vec<u64> {
@@ -56,6 +57,75 @@ fn cancelled_events_never_fire() {
         }
         assert!(fired.is_disjoint(&cancelled));
         assert_eq!(fired.len() + cancelled.len(), times.len());
+    }
+}
+
+#[test]
+fn timer_wheel_matches_reference_queue_event_for_event() {
+    // Differential test: the hierarchical timer wheel must deliver the
+    // exact (time, insertion-order) stream of the straightforward
+    // binary-heap reference implementation under randomized interleaved
+    // schedule / cancel / pop workloads, including same-time ties,
+    // relative (cursor-adjacent) times, rotation-aliased distances and
+    // far-future calendar times.
+    for case in 0..200u64 {
+        let mut rng = SimRng::stream(case, "pq-diff");
+        let mut wheel = EventQueue::new();
+        let mut reference = ReferenceQueue::new();
+        // Live handles for cancellation: (wheel id, ref id, key).
+        let mut live = Vec::new();
+        let mut next_key = 0u64;
+        let ops = rng.gen_range(200..=1_200);
+        for _ in 0..ops {
+            match rng.gen_u64() % 10 {
+                // Schedule (most ops): a spread of horizons, biased
+                // toward the cursor where ordering is subtlest.
+                0..=5 => {
+                    let now = wheel.now();
+                    let horizon = match rng.gen_u64() % 5 {
+                        0 => rng.gen_u64() % 1_024,             // Same tick.
+                        1 => rng.gen_u64() % (64 << 10),        // Level 0.
+                        2 => rng.gen_u64() % (4096 << 10),      // Level 1.
+                        3 => rng.gen_u64() % (64u64 << 40),     // Deep wheel.
+                        _ => 1u64 << (41 + rng.gen_u64() % 10), // Calendar.
+                    };
+                    let at = SimTime::from_ps(now.as_ps() + horizon);
+                    let key = next_key;
+                    next_key += 1;
+                    let wid = wheel.schedule(at, key);
+                    let rid = reference.schedule(at, key);
+                    live.push((wid, rid, key));
+                }
+                // Cancel a random live event.
+                6 => {
+                    if !live.is_empty() {
+                        let i = (rng.gen_u64() % live.len() as u64) as usize;
+                        let (wid, rid, _) = live.swap_remove(i);
+                        assert_eq!(wheel.cancel(wid), reference.cancel(rid));
+                    }
+                }
+                // Pop and compare.
+                _ => {
+                    assert_eq!(wheel.peek_time(), reference.peek_time());
+                    let w = wheel.pop();
+                    let r = reference.pop();
+                    assert_eq!(w, r, "case {case}: wheel diverged from reference");
+                    if let Some((_, key)) = w {
+                        live.retain(|&(_, _, k)| k != key);
+                    }
+                }
+            }
+        }
+        // Drain both to the end.
+        loop {
+            assert_eq!(wheel.len(), reference.len());
+            let w = wheel.pop();
+            let r = reference.pop();
+            assert_eq!(w, r, "case {case}: drain diverged");
+            if w.is_none() {
+                break;
+            }
+        }
     }
 }
 
