@@ -1,10 +1,18 @@
 //! Regenerates the wire-loss fault sweep.
+//!
+//! `--scale N` (or `LAUBERHORN_SCALE=N`) stretches every point's load
+//! window by `N`× at the same loss rates — the soak knob CI uses to
+//! expose the injectors to 10× the traffic.
 
 use lauberhorn::experiments::fault;
 
 fn main() {
+    let scale = lauberhorn_bench::scale();
     let out = lauberhorn_bench::experiment("FAULT", "goodput and tails under wire loss", || {
-        fault::render(&fault::run(42))
+        if scale != 1 {
+            println!("scale knob: {scale}x load window");
+        }
+        fault::render(&fault::run_scaled(42, scale))
     });
     println!("{out}");
 }

@@ -53,6 +53,8 @@ pub fn run() -> Vec<Run> {
                 inject_unguarded_retire_bug: false,
                 max_losses: 0,
                 carry_load_hint: false,
+                max_resets: 0,
+                inject_skip_shadow_sync_bug: false,
             },
         ),
         (
@@ -70,6 +72,8 @@ pub fn run() -> Vec<Run> {
                 inject_unguarded_retire_bug: false,
                 max_losses: 0,
                 carry_load_hint: false,
+                max_resets: 0,
+                inject_skip_shadow_sync_bug: false,
             },
         ),
         (
@@ -83,6 +87,8 @@ pub fn run() -> Vec<Run> {
                 inject_unguarded_retire_bug: false,
                 max_losses: 0,
                 carry_load_hint: false,
+                max_resets: 0,
+                inject_skip_shadow_sync_bug: false,
             },
         ),
         (

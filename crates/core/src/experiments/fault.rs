@@ -51,9 +51,18 @@ pub const STACKS: [StackKind; 3] = [
     StackKind::KernelModern,
 ];
 
-fn workload(loss: f64, seed: u64) -> WorkloadSpec {
-    let mut wl =
-        WorkloadSpec::open_poisson(60_000.0, 1, 0.0, SizeDist::Fixed { bytes: 64 }, 50, seed);
+/// The un-scaled load window per point, in milliseconds.
+const DURATION_MS: u64 = 50;
+
+fn workload(loss: f64, seed: u64, duration_ms: u64) -> WorkloadSpec {
+    let mut wl = WorkloadSpec::open_poisson(
+        60_000.0,
+        1,
+        0.0,
+        SizeDist::Fixed { bytes: 64 },
+        duration_ms,
+        seed,
+    );
     wl.warmup = 100;
     wl.with_faults(FaultPlan::wire_loss(loss))
         .with_retry(RetryPolicy::same_rack())
@@ -62,12 +71,18 @@ fn workload(loss: f64, seed: u64) -> WorkloadSpec {
 /// Runs the sweep: `STACKS × LOSS_RATES`, 2 cores, one 1000-cycle
 /// service, open Poisson at 60 krps, retransmission enabled.
 pub fn run(seed: u64) -> Vec<FaultPoint> {
+    run_scaled(seed, 1)
+}
+
+/// [`run`] with every point's load window stretched `scale`× — the
+/// soak knob: same rates, same injectors, `scale`× the exposure.
+pub fn run_scaled(seed: u64, scale: u64) -> Vec<FaultPoint> {
     let services = ServiceSpec::uniform(1, 1000, 32);
     let mut points = Vec::with_capacity(STACKS.len() * LOSS_RATES.len());
     for &stack in &STACKS {
         for &loss in &LOSS_RATES {
             points.push(
-                SweepPoint::new(stack, workload(loss, seed))
+                SweepPoint::new(stack, workload(loss, seed, DURATION_MS * scale.max(1)))
                     .cores(2)
                     .services(services.clone()),
             );
@@ -166,8 +181,8 @@ mod tests {
             let armed = Experiment::new(stack)
                 .cores(2)
                 .services(services.clone())
-                .run(&workload(0.0, 71));
-            let mut clean_wl = workload(0.0, 71);
+                .run(&workload(0.0, 71, DURATION_MS));
+            let mut clean_wl = workload(0.0, 71, DURATION_MS);
             clean_wl.faults = FaultPlan::none();
             clean_wl.retry = None;
             let clean = Experiment::new(stack)

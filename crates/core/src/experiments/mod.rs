@@ -16,6 +16,7 @@
 //! | [`loadsweep`] | extension: throughput–latency curves per stack |
 //! | [`fault`] | extension: goodput and tails under injected wire loss |
 //! | [`overload`] | extension: admission, shedding, and graceful degradation under saturation |
+//! | [`nicfail`] | extension: NIC fault classes, degraded mode, and shadow reconstruction |
 //! | [`txpath`] | extension: the TX cache-line protocol, both machines coherent |
 //! | [`ablations`] | design-choice ablations (yield policy, TRYAGAIN window, continuations) |
 //!
@@ -35,5 +36,6 @@ pub mod fig4;
 pub mod fig5;
 pub mod loadsweep;
 pub mod nested;
+pub mod nicfail;
 pub mod overload;
 pub mod txpath;

@@ -10,6 +10,17 @@ use lauberhorn::sim::fault::{CrashSpec, FaultPlan, FaultSpec};
 use lauberhorn::sim::SimDuration;
 use lauberhorn::workload::SizeDist;
 
+/// The PR 6 soak knob, honoured here via the environment (the test
+/// harness owns argv): `LAUBERHORN_SCALE=N` stretches every soak's
+/// load window `N`× at the same rates and injector settings.
+fn scale() -> u64 {
+    std::env::var("LAUBERHORN_SCALE")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(1)
+}
+
 fn chaos_spec() -> FaultSpec {
     let mut spec = FaultSpec::loss(0.02);
     spec.corrupt = 0.01;
@@ -28,12 +39,19 @@ fn chaos_plan(crash: bool) -> FaultPlan {
             at: SimDuration::from_ms(5),
             service: 0,
         }),
+        nic: None,
     }
 }
 
 fn chaos_workload(crash: bool, seed: u64) -> WorkloadSpec {
-    let mut wl =
-        WorkloadSpec::open_poisson(80_000.0, 2, 0.9, SizeDist::Fixed { bytes: 64 }, 40, seed);
+    let mut wl = WorkloadSpec::open_poisson(
+        80_000.0,
+        2,
+        0.9,
+        SizeDist::Fixed { bytes: 64 },
+        40 * scale(),
+        seed,
+    );
     wl.warmup = 100;
     wl.with_faults(chaos_plan(crash))
         .with_retry(RetryPolicy::same_rack())

@@ -67,6 +67,7 @@ fn faulty_points() -> Vec<SweepPoint> {
         wire_rx: spec,
         fill: FaultSpec::loss(0.002),
         crash: None,
+        nic: None,
     };
     let mut points = Vec::new();
     for (i, stack) in [

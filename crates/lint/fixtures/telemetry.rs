@@ -42,3 +42,24 @@ pub fn shed_counter_bare(trace: &mut Trace, shed: u64) {
 pub fn shed_counter_sanctioned(trace: &mut Trace, shed: u64, reason: &str) {
     trace_ev!(trace, 5, "nic.overload", "shed {} ({})", shed, reason);
 }
+
+// The NIC-failure recovery path (watchdog heartbeats, fault detection,
+// shadow reconstruction) is the hottest place to be tempted into bare
+// narration — a heartbeat fires every lease interval whether or not
+// anything is wrong, so an unguarded emit would format on every single
+// one and perturb the clean-run schedule the digests pin.
+
+pub fn watchdog_heartbeat_bare(trace: &mut Trace, beats: u64) {
+    trace.emit(6, "os.watchdog", format!("heartbeat {beats}")); // violation
+}
+
+pub fn recovery_sanctioned(trace: &mut Trace, salvaged: usize, entries: usize) {
+    trace_ev!(
+        trace,
+        7,
+        "nic.recovery",
+        "reset: salvaged {} parked fills, rebuilding {} entries",
+        salvaged,
+        entries
+    );
+}

@@ -68,10 +68,10 @@ fn telemetry_fixture_trips_unguarded_emit_only() {
         got.iter().all(|r| *r == Rule::UnguardedTelemetry),
         "{got:?}"
     );
-    // The bare call, the hand-guarded call, and the bare shed-counter
-    // emission trip; the trace_ev! forms and the pragma-suppressed
-    // call do not.
-    assert_eq!(got.len(), 3, "{got:?}");
+    // The bare call, the hand-guarded call, the bare shed-counter
+    // emission, and the bare watchdog-heartbeat narration trip; the
+    // trace_ev! forms and the pragma-suppressed call do not.
+    assert_eq!(got.len(), 4, "{got:?}");
     // `sim` defines the macro and is exempt from the rule.
     assert!(rules("sim", include_str!("../fixtures/telemetry.rs")).is_empty());
 }

@@ -46,6 +46,32 @@
 //! and never moves while the extension is off), and introduce no new
 //! harmful races — the hint is computed and written atomically with
 //! the line it rides in.
+//!
+//! With `max_resets > 0` the NIC itself becomes a failure domain: a
+//! full device reset may strike at any point. The kernel performs a
+//! controlled read-out (salvaging CONTROL-line parity, the uncollected
+//! response, and the ready queue), answers the salvaged parked fill
+//! with RETIRE, and later reconstructs the device from its shadow
+//! registry, writing the salvaged protocol state back. While the
+//! device is down the coherence link is paused: injection,
+//! retransmission, timers, and every core↔NIC interaction stall, and
+//! resume only after reconstruction. Two invariants govern recovery:
+//!
+//! * **I8 cross-reset at-most-once** — I1 conservation and I2
+//!   exactly-once continue to hold over every path through a reset
+//!   (nothing salvaged is lost, nothing is re-executed).
+//! * **I9 reconstruction bisimilarity** — immediately after the
+//!   rebuild, the live endpoint's protocol state (expected parity and
+//!   uncollected response) equals its pre-fault salvage.
+//!
+//! The `inject_skip_shadow_sync_bug` flag models a reconstruction
+//! that rebuilds ids and layouts but skips the salvaged protocol
+//! write-back: the device boots with default parity and no knowledge
+//! of the uncollected response. The checker produces a replayable
+//! counterexample ending in the buggy restore (an I9 violation), and
+//! the race census reclassifies the reset-vs-core races from benign
+//! to harmful — the missing read of the salvage is exactly the
+//! missing happens-before edge.
 
 use crate::checker::Model;
 use crate::races::{Access, Agent, InstrumentedModel, Loc};
@@ -107,6 +133,19 @@ pub struct ProtoState {
     /// Requests shed by admission control (NACKed to the client with a
     /// hint; the client gives up, no retransmission is owed).
     pub shed: u8,
+    /// The NIC's protocol engines are dead; the coherence link is
+    /// paused pending reconstruction.
+    pub nic_down: bool,
+    /// Device resets so far.
+    pub resets: u8,
+    /// Salvaged expected parity (valid once a reset has struck).
+    pub snap_expect: u8,
+    /// Salvaged uncollected-response line (valid once a reset has
+    /// struck).
+    pub snap_outstanding: Option<u8>,
+    /// Set only on the state a restore produces: the I9 bisimilarity
+    /// check fires exactly there (every other transition clears it).
+    pub check_i9: bool,
 }
 
 /// Model parameters (bounds keep the state space finite).
@@ -134,6 +173,15 @@ pub struct ProtocolConfig {
     /// atomically with the line, so the extension must add no harmful
     /// races and must preserve at-most-once execution.
     pub carry_load_hint: bool,
+    /// Full NIC resets the environment may inflict (0 = the device
+    /// never fails; the recovery machinery is inert and the state
+    /// space is untouched).
+    pub max_resets: u8,
+    /// Reconstruction rebuilds ids and layouts from the shadow but
+    /// skips the salvaged protocol write-back (the checker must
+    /// produce an I9 counterexample, and the census must turn the
+    /// reset races harmful).
+    pub inject_skip_shadow_sync_bug: bool,
 }
 
 impl Default for ProtocolConfig {
@@ -147,6 +195,8 @@ impl Default for ProtocolConfig {
             inject_unguarded_retire_bug: false,
             max_losses: 0,
             carry_load_hint: false,
+            max_resets: 0,
+            inject_skip_shadow_sync_bug: false,
         }
     }
 }
@@ -202,6 +252,11 @@ impl Model for LauberhornModel {
             lost: 0,
             hint: 0,
             shed: 0,
+            nic_down: false,
+            resets: 0,
+            snap_expect: 0,
+            snap_outstanding: None,
+            check_i9: false,
         }]
     }
 
@@ -209,8 +264,9 @@ impl Model for LauberhornModel {
         let mut out: Vec<(&'static str, ProtoState)> = Vec::new();
         let cfg = &self.cfg;
 
-        // --- Environment: inject a request. ---
-        if s.injected < cfg.max_requests && s.core != CorePhase::Retired {
+        // --- Environment: inject a request. A dead NIC asserts
+        // link-level flow control, so injection pauses while down. ---
+        if s.injected < cfg.max_requests && s.core != CorePhase::Retired && !s.nic_down {
             match s.parked {
                 Some(line) if s.expect == line => {
                     out.push(("inject/deliver", Self::deliver(*s, line, false)));
@@ -248,7 +304,7 @@ impl Model for LauberhornModel {
         // --- Client: retransmit a lost request. The retransmission
         // arrives at the NIC like any frame: straight into a parked
         // fill on the expected line, or onto the ready queue. ---
-        if s.lost > 0 && s.core != CorePhase::Retired {
+        if s.lost > 0 && s.core != CorePhase::Retired && !s.nic_down {
             match s.parked {
                 Some(line) if s.expect == line => {
                     let mut t = *s;
@@ -281,7 +337,7 @@ impl Model for LauberhornModel {
                 t.hint = s.queued;
             }
             out.push(("timeout/tryagain", t));
-        } else if cfg.inject_stale_timeout_bug {
+        } else if cfg.inject_stale_timeout_bug && !s.nic_down {
             // BUG: without the generation guard, a stale timer answers a
             // load that was already answered — the TRYAGAIN line lands
             // while the core is handling the request, corrupting it.
@@ -336,7 +392,63 @@ impl Model for LauberhornModel {
             }
         }
 
-        // --- Core transitions. ---
+        // --- NIC failure domain: a full device reset strikes. The
+        // kernel's controlled read-out salvages the protocol state
+        // before the engines are cleared, and answers the salvaged
+        // parked fill with RETIRE — its dispatcher re-issues the load
+        // once the device is back. ---
+        if s.resets < cfg.max_resets
+            && !s.nic_down
+            && !matches!(s.core, CorePhase::Retired | CorePhase::Broken)
+        {
+            let mut t = *s;
+            t.nic_down = true;
+            t.resets += 1;
+            t.snap_expect = s.expect;
+            t.snap_outstanding = s.outstanding;
+            if let Some(line) = s.parked {
+                t.parked = None;
+                t.core = CorePhase::InKernel(line);
+            }
+            out.push(("nic/reset", t));
+        }
+        // --- Kernel: reconstruction completes. The shadow replay
+        // restores ids and layouts; the salvaged protocol write-back
+        // restores parity and the uncollected response (I9). ---
+        if s.nic_down {
+            if cfg.inject_skip_shadow_sync_bug {
+                // BUG: the rebuild skips the salvaged write-back — the
+                // device boots with default parity and no knowledge of
+                // the response awaiting collection.
+                let mut t = *s;
+                t.nic_down = false;
+                t.expect = 0;
+                t.outstanding = None;
+                t.check_i9 = true;
+                out.push(("nic/restore-skip-sync", t));
+            } else {
+                let mut t = *s;
+                t.nic_down = false;
+                t.expect = s.snap_expect;
+                t.outstanding = s.snap_outstanding;
+                t.check_i9 = true;
+                out.push(("nic/restore", t));
+            }
+        }
+
+        // --- Core transitions. Every core↔NIC interaction crosses the
+        // paused coherence link, so the core stalls while the device
+        // is down (its held loads re-issue after reconstruction). ---
+        if s.nic_down {
+            // Only reconstruction (and the kernel's retire flag, set
+            // above) can proceed.
+            for (action, t) in &mut out {
+                if !action.starts_with("nic/restore") {
+                    t.check_i9 = false;
+                }
+            }
+            return out;
+        }
         match s.core {
             CorePhase::Handling(line) => {
                 let mut t = *s;
@@ -376,6 +488,13 @@ impl Model for LauberhornModel {
             CorePhase::Waiting(_) | CorePhase::Retired | CorePhase::Broken => {}
         }
 
+        // The I9 check fires only on the state a restore produces;
+        // every other transition clears the marker.
+        for (action, t) in &mut out {
+            if !action.starts_with("nic/restore") {
+                t.check_i9 = false;
+            }
+        }
         out
     }
 
@@ -436,6 +555,22 @@ impl Model for LauberhornModel {
         if !self.cfg.carry_load_hint && s.hint != 0 {
             return Err("I7: hint written while the extension is off".into());
         }
+        // I8: a dead device holds no parked fill (the salvage answered
+        // it with RETIRE), and conservation/exactly-once — checked
+        // above as I1/I2 — must hold on every path through a reset.
+        if s.nic_down && s.parked.is_some() {
+            return Err("I8: dead device holds a parked fill".into());
+        }
+        // I9: reconstruction bisimilarity — immediately after the
+        // rebuild, the live endpoint's protocol state equals its
+        // pre-fault salvage.
+        if s.check_i9 && (s.expect != s.snap_expect || s.outstanding != s.snap_outstanding) {
+            return Err(format!(
+                "I9: reconstruction not bisimilar: expect {} (salvaged {}), \
+                 outstanding {:?} (salvaged {:?})",
+                s.expect, s.snap_expect, s.outstanding, s.snap_outstanding
+            ));
+        }
         // The bug marker itself is a violation.
         if s.core == CorePhase::Broken {
             return Err("TRYAGAIN delivered to a non-waiting core".into());
@@ -464,7 +599,7 @@ impl InstrumentedModel for LauberhornModel {
     /// real RETIRE safe.
     fn accesses(&self, action: &&'static str) -> Vec<Access> {
         use Agent::{Client, Core, Kernel, Nic, Timer};
-        use Loc::{Ctrl, Hint, Lost, Outstanding, Park, Queue, Retire};
+        use Loc::{Ctrl, Hint, Lost, Outstanding, Park, Queue, Retire, Shadow};
         let r = Access::read;
         let w = Access::write;
         // With the hint armed, the TRYAGAIN timer additionally reads
@@ -575,6 +710,26 @@ impl InstrumentedModel for LauberhornModel {
                 w(Core, Ctrl),
             ],
             "core/reload+park" => vec![r(Core, Ctrl), r(Core, Queue), w(Core, Park)],
+            // The controlled reset reads out everything fabric-visible
+            // (the salvage) before clearing the engines, and answers
+            // the parked fill with RETIRE.
+            "nic/reset" => vec![
+                r(Kernel, Park),
+                r(Kernel, Queue),
+                r(Kernel, Outstanding),
+                r(Kernel, Ctrl),
+                w(Kernel, Park),
+                w(Kernel, Ctrl),
+                w(Kernel, Shadow),
+            ],
+            // Reconstruction consults the salvage — that read is the
+            // happens-before edge ordering the rebuild after every
+            // pre-fault access the salvage captured.
+            "nic/restore" => vec![r(Kernel, Shadow), w(Kernel, Ctrl), w(Kernel, Outstanding)],
+            // The buggy rebuild writes the same locations without the
+            // salvage read: nothing orders it after the pre-fault
+            // protocol state, so the reset races turn harmful.
+            "nic/restore-skip-sync" => vec![w(Kernel, Ctrl), w(Kernel, Outstanding)],
             _ => Vec::new(),
         }
     }
@@ -818,6 +973,169 @@ mod tests {
             stack.extend(m.next(&s).into_iter().map(|(_, t)| t));
         }
         assert!(seen.len() > 100);
+    }
+
+    /// Replays `trace` from the initial state via `next`, asserting
+    /// every step is enabled, and returns the final state.
+    fn replay(m: &LauberhornModel, trace: &[&'static str]) -> ProtoState {
+        let mut s = m.initial().remove(0);
+        for (i, a) in trace.iter().enumerate() {
+            let succs = m.next(&s);
+            s = succs
+                .into_iter()
+                .find(|(act, _)| act == a)
+                .unwrap_or_else(|| panic!("step {i} ({a}) not enabled — trace not replayable"))
+                .1;
+        }
+        s
+    }
+
+    #[test]
+    fn reset_recovery_verifies_and_grows_the_space() {
+        // The full failure-domain extension: a device reset may strike
+        // anywhere, the kernel salvages and reconstructs, and every
+        // invariant — including I8 cross-reset at-most-once and I9
+        // bisimilarity — holds over the whole space.
+        let clean = check(&LauberhornModel::new(ProtocolConfig::default()), 2_000_000);
+        let reset = check(
+            &LauberhornModel::new(ProtocolConfig {
+                max_resets: 1,
+                ..Default::default()
+            }),
+            2_000_000,
+        );
+        assert!(
+            reset.ok(),
+            "outcome: {:?}, trace: {:?}",
+            reset.outcome,
+            reset.trace
+        );
+        assert!(
+            reset.states > clean.states,
+            "reset transitions added no states ({} vs {})",
+            reset.states,
+            clean.states
+        );
+    }
+
+    #[test]
+    fn reset_with_lossy_wire_and_hints_verifies() {
+        // At-most-once across the reset must survive the worst
+        // combination: frames dying and retransmitting, admission
+        // shedding with hints, and a mid-protocol device loss.
+        let r = check(
+            &LauberhornModel::new(ProtocolConfig {
+                max_resets: 1,
+                max_losses: 2,
+                carry_load_hint: true,
+                ..Default::default()
+            }),
+            4_000_000,
+        );
+        assert!(r.ok(), "outcome: {:?}, trace: {:?}", r.outcome, r.trace);
+    }
+
+    #[test]
+    fn skip_shadow_sync_bug_is_caught_with_replayable_counterexample() {
+        let m = LauberhornModel::new(ProtocolConfig {
+            max_resets: 1,
+            inject_skip_shadow_sync_bug: true,
+            ..Default::default()
+        });
+        let r = check(&m, 2_000_000);
+        match r.outcome {
+            CheckOutcome::InvariantViolated { reason } => {
+                assert!(reason.contains("I9"), "wrong violation: {reason}");
+            }
+            other => panic!("skip-shadow-sync bug not found: {other:?}"),
+        }
+        assert_eq!(r.trace.last().copied(), Some("nic/restore-skip-sync"));
+        // The counterexample replays step by step to the violation.
+        let end = replay(&m, &r.trace);
+        assert!(m.invariant(&end).is_err(), "replayed trace ends healthy");
+    }
+
+    #[test]
+    fn recovery_machinery_is_inert_when_unarmed() {
+        // Zero-perturbation at the protocol level: with max_resets 0
+        // the device never goes down and the salvage fields never
+        // move, over the whole reachable space.
+        let m = LauberhornModel::new(ProtocolConfig::default());
+        let mut stack = m.initial();
+        let mut seen = std::collections::HashSet::new();
+        while let Some(s) = stack.pop() {
+            if !seen.insert(s) {
+                continue;
+            }
+            assert!(!s.nic_down, "device went down while unarmed: {s:?}");
+            assert_eq!(s.resets, 0);
+            assert!(!s.check_i9);
+            stack.extend(m.next(&s).into_iter().map(|(_, t)| t));
+        }
+        assert!(seen.len() > 100);
+    }
+
+    #[test]
+    fn recovery_protocol_census_is_benign() {
+        // The race census over the recovery protocol: the reset is
+        // co-enabled with client, timer, and core actions (it conflicts
+        // with them on the park register and the CONTROL lines), yet
+        // every such race is benign — the salvage read-out and the
+        // shadow write-back resolve them.
+        use crate::races::detect_races;
+        let m = LauberhornModel::new(ProtocolConfig {
+            max_resets: 1,
+            ..Default::default()
+        });
+        let report = detect_races(&m, 4_000_000);
+        assert!(!report.bound_exceeded);
+        let harmful: Vec<_> = report
+            .harmful()
+            .map(|r| (r.first, r.second, r.loc))
+            .collect();
+        assert!(harmful.is_empty(), "recovery races harmful: {harmful:?}");
+        // Non-vacuous: the census really saw the reset racing.
+        assert!(
+            report
+                .races
+                .iter()
+                .any(|r| r.first == "nic/reset" || r.second == "nic/reset"),
+            "no race involving nic/reset detected: {:?}",
+            report
+                .races
+                .iter()
+                .map(|r| (r.first, r.second, r.loc, r.class))
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn skip_sync_bug_turns_reset_races_harmful() {
+        // Same census under the injected bug: the reset-vs-core races
+        // now lead to the I9 violation, and the detector hands back a
+        // counterexample through the buggy restore.
+        use crate::races::detect_races;
+        let m = LauberhornModel::new(ProtocolConfig {
+            max_resets: 1,
+            inject_skip_shadow_sync_bug: true,
+            ..Default::default()
+        });
+        let report = detect_races(&m, 4_000_000);
+        let harmful: Vec<_> = report.harmful().collect();
+        assert!(!harmful.is_empty(), "bug produced no harmful race");
+        let cex = harmful
+            .iter()
+            .find_map(|r| r.counterexample.as_ref())
+            .expect("harmful race without counterexample");
+        assert!(
+            cex.contains(&"nic/restore-skip-sync"),
+            "counterexample misses the buggy restore: {cex:?}"
+        );
+        let end = replay(&m, cex);
+        assert!(
+            m.invariant(&end).is_err(),
+            "census counterexample ends healthy"
+        );
     }
 
     #[test]

@@ -74,6 +74,9 @@ pub enum Loc {
     /// The load-hint byte carried inside TRYAGAIN and RETIRE lines
     /// (queue occupancy snapshot for client-side pacing).
     Hint,
+    /// The kernel's salvage of NIC protocol state taken during a
+    /// controlled device reset (the shadow side of reconstruction).
+    Shadow,
 }
 
 /// Read or write.

@@ -131,6 +131,15 @@ impl ContinuationTable {
         self.slots.len()
     }
 
+    /// NIC reset: drops every live continuation (their replies will
+    /// miss and fall back to the retry path) and returns how many were
+    /// lost. Lifetime counters survive — they are a metrics surface.
+    pub fn clear(&mut self) -> usize {
+        let lost = self.slots.len();
+        self.slots.clear();
+        lost
+    }
+
     /// `(created, resolved)` counters.
     pub fn stats(&self) -> (u64, u64) {
         (self.created, self.resolved)
@@ -174,6 +183,17 @@ mod tests {
             t.create(EndpointId(3), ProcessId(1), true),
             Err(ContinuationError::Full)
         );
+    }
+
+    #[test]
+    fn clear_drops_live_entries_keeps_counters() {
+        let mut t = ContinuationTable::new(8);
+        let h = t.create(EndpointId(1), ProcessId(1), true).unwrap();
+        t.create(EndpointId(2), ProcessId(1), false).unwrap();
+        assert_eq!(t.clear(), 2);
+        assert_eq!(t.live(), 0);
+        assert_eq!(t.resolve(h), Err(ContinuationError::Unknown(h)));
+        assert_eq!(t.stats(), (2, 0));
     }
 
     #[test]

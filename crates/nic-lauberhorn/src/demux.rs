@@ -5,7 +5,7 @@
 //! signatures, and the endpoints dispatching into it. This is the state
 //! that lets the NIC execute steps 3, 6, 10 and 11 of §2 in hardware.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 
 use lauberhorn_os::ProcessId;
 use lauberhorn_packet::marshal::Signature;
@@ -62,9 +62,16 @@ impl std::fmt::Display for DemuxError {
 impl std::error::Error for DemuxError {}
 
 /// The demultiplexing table.
+///
+/// Table SRAM is ECC-protected: an uncorrectable upset (modelled by
+/// [`DemuxTable::corrupt_service`]) makes the entry *fail-stop* — every
+/// lookup reports `UnknownService` until the kernel reprograms it —
+/// rather than silently dispatching through a flipped pointer.
 #[derive(Debug, Default)]
 pub struct DemuxTable {
     services: HashMap<u16, ServiceEntry>,
+    /// Entries whose ECC check currently fails.
+    faulted: HashSet<u16>,
 }
 
 impl DemuxTable {
@@ -73,8 +80,10 @@ impl DemuxTable {
         Self::default()
     }
 
-    /// Registers (or replaces) a service.
+    /// Registers (or replaces) a service. Reprogramming an entry also
+    /// rewrites its SRAM words, clearing any pending ECC fault.
     pub fn register_service(&mut self, service_id: u16, process: ProcessId) {
+        self.faulted.remove(&service_id);
         self.services.insert(
             service_id,
             ServiceEntry {
@@ -125,8 +134,12 @@ impl DemuxTable {
         }
     }
 
-    /// Looks up a service.
+    /// Looks up a service. An ECC-faulted entry is indistinguishable
+    /// from an unregistered one: fail-stop, never fail-corrupt.
     pub fn service(&self, service_id: u16) -> Result<&ServiceEntry, DemuxError> {
+        if self.faulted.contains(&service_id) {
+            return Err(DemuxError::UnknownService(service_id));
+        }
         self.services
             .get(&service_id)
             .ok_or(DemuxError::UnknownService(service_id))
@@ -146,6 +159,24 @@ impl DemuxTable {
     /// Registered service ids.
     pub fn service_ids(&self) -> Vec<u16> {
         let mut v: Vec<u16> = self.services.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Injects an SEU into a service entry: the ECC check fails and
+    /// the entry goes fail-stop. Returns false for unknown services.
+    pub fn corrupt_service(&mut self, service_id: u16) -> bool {
+        if !self.services.contains_key(&service_id) {
+            return false;
+        }
+        self.faulted.insert(service_id);
+        true
+    }
+
+    /// Services whose ECC check currently fails (the watchdog's probe
+    /// surface), sorted for determinism.
+    pub fn corrupted_services(&self) -> Vec<u16> {
+        let mut v: Vec<u16> = self.faulted.iter().copied().collect();
         v.sort_unstable();
         v
     }
@@ -203,6 +234,28 @@ mod tests {
         );
         t.remove_endpoint(2, EndpointId(4));
         assert_eq!(t.service(2).unwrap().endpoints, vec![EndpointId(5)]);
+    }
+
+    #[test]
+    fn corrupted_entry_is_fail_stop_until_reprogrammed() {
+        let mut t = DemuxTable::new();
+        t.register_service(1, ProcessId(10));
+        t.register_method(1, 0x1000, 0x2000, Signature::of(&[ArgType::U64]))
+            .unwrap();
+        assert!(t.corrupt_service(1));
+        assert!(!t.corrupt_service(99)); // Unknown: nothing to corrupt.
+                                         // Both lookup paths fail-stop with UnknownService, never a
+                                         // partially-corrupt entry.
+        assert_eq!(t.service(1).err(), Some(DemuxError::UnknownService(1)));
+        assert_eq!(t.method(1, 0).err(), Some(DemuxError::UnknownService(1)));
+        assert_eq!(t.corrupted_services(), vec![1]);
+        // Reprogramming the entry rewrites the SRAM and clears the
+        // fault.
+        t.register_service(1, ProcessId(10));
+        t.register_method(1, 0x1000, 0x2000, Signature::of(&[ArgType::U64]))
+            .unwrap();
+        assert!(t.corrupted_services().is_empty());
+        assert_eq!(t.method(1, 0).unwrap().code_ptr, 0x1000);
     }
 
     #[test]

@@ -221,6 +221,10 @@ pub struct Endpoint {
     /// delivery time are shed ([`Effect::ShedStale`]). `None` (the
     /// default) sheds nothing.
     deadline: Option<SimDuration>,
+    /// Fault injection: the CONTROL line engine is wedged. Loads park
+    /// forever (no delivery, no TRYAGAIN), requests only queue, and
+    /// RETIRE cannot be delivered. AUX reads (plain SRAM) still work.
+    stuck: bool,
     stats: EndpointStats,
 }
 
@@ -258,8 +262,20 @@ impl Endpoint {
             retire_pending: false,
             timeout,
             deadline: None,
+            stuck: false,
             stats: EndpointStats::default(),
         }
+    }
+
+    /// Fault injection / repair: wedges (or unwedges) the CONTROL line
+    /// engine. See the `stuck` field for the failure semantics.
+    pub fn set_stuck(&mut self, stuck: bool) {
+        self.stuck = stuck;
+    }
+
+    /// Whether the CONTROL line engine is wedged.
+    pub fn is_stuck(&self) -> bool {
+        self.stuck
     }
 
     /// Arms (or disarms) deadline-aware shedding of queued requests.
@@ -334,6 +350,14 @@ impl Endpoint {
                 vec![Effect::Respond { token, data }]
             }
             LineRole::Control(i) => {
+                if self.stuck {
+                    // Wedged engine: the fill parks and nothing else
+                    // happens — no collection, no delivery, no TRYAGAIN
+                    // timer. The watchdog's repair path answers it.
+                    self.generation += 1;
+                    self.parked = Some((token, i, self.generation));
+                    return Vec::new();
+                }
                 let mut effects = Vec::new();
                 // Loading a CONTROL line signals the previous request (on
                 // the other line) is complete: collect its response.
@@ -408,6 +432,18 @@ impl Endpoint {
             ctx,
             enqueued: now,
         };
+        if self.stuck {
+            // Wedged engine: the parked fill (if any) cannot be
+            // answered, so the request can only queue.
+            if self.queue.len() >= self.queue_cap {
+                return RequestOutcome::Rejected;
+            }
+            self.queue.push_back(req);
+            self.stats.max_queue = self.stats.max_queue.max(self.queue.len());
+            return RequestOutcome::Queued {
+                depth: self.queue.len(),
+            };
+        }
         if let Some((token, _i, _gen)) = self.parked.take() {
             self.stats.delivered_parked += 1;
             return RequestOutcome::DeliveredToParked(self.deliver(token, req));
@@ -424,6 +460,12 @@ impl Endpoint {
 
     /// The TRYAGAIN timer for `generation` fired.
     pub fn on_timeout(&mut self, generation: u64) -> Vec<Effect> {
+        if self.stuck {
+            // The timer engine is part of the wedged line engine: the
+            // TRYAGAIN never goes out, which is precisely what lets a
+            // lease watchdog notice the line "never transitions".
+            return Vec::new();
+        }
         match self.parked {
             Some((token, _i, gen)) if gen == generation => {
                 self.parked = None;
@@ -477,9 +519,43 @@ impl Endpoint {
         self.outstanding.is_some()
     }
 
+    /// Reset salvage: removes and returns the parked fill token, if
+    /// any, without emitting effects — the kernel recovery handler
+    /// answers it directly (with a RETIRE line) while the NIC protocol
+    /// engine is being reinitialized.
+    pub fn take_parked(&mut self) -> Option<FillToken> {
+        self.parked.take().map(|(token, _i, _gen)| token)
+    }
+
+    /// Reset salvage: the protocol-visible state the kernel must write
+    /// back into a reconstructed endpoint so it is bisimilar to the
+    /// pre-fault one — `(expect parity, generation, outstanding)`.
+    pub fn protocol_snapshot(&self) -> (usize, u64, Option<(usize, RequestCtx)>) {
+        (self.expect, self.generation, self.outstanding.clone())
+    }
+
+    /// Reconstruction: writes back a [`Endpoint::protocol_snapshot`]
+    /// taken before a NIC reset.
+    pub fn restore_protocol(
+        &mut self,
+        expect: usize,
+        generation: u64,
+        outstanding: Option<(usize, RequestCtx)>,
+    ) {
+        self.expect = expect;
+        self.generation = generation;
+        self.outstanding = outstanding;
+    }
+
     /// The kernel (or the NIC's load logic) retires this endpoint's
     /// waiter so the core can be reallocated (§5.2).
     pub fn retire(&mut self) -> Vec<Effect> {
+        if self.stuck {
+            // The wedged engine cannot deliver RETIRE either; remember
+            // the intent for after repair.
+            self.retire_pending = true;
+            return Vec::new();
+        }
         match self.parked.take() {
             Some((token, _i, _gen)) => {
                 self.stats.retires += 1;
@@ -791,6 +867,87 @@ mod tests {
             DispatchLine::decode(data, &[]).unwrap().kind,
             DispatchKind::Retire
         );
+    }
+
+    #[test]
+    fn stuck_line_never_transitions() {
+        let mut e = ep();
+        e.set_stuck(true);
+        assert!(e.is_stuck());
+        // A load parks forever: no timer armed, no delivery.
+        let fx = e.on_load(LineRole::Control(0), tok(1), SimTime::ZERO);
+        assert!(fx.is_empty());
+        assert!(e.is_parked());
+        // A request can only queue — the parked fill stays unanswered.
+        let (l, c) = rpc(1, b"a");
+        assert_eq!(
+            e.on_request(l, c, SimTime::ZERO),
+            RequestOutcome::Queued { depth: 1 }
+        );
+        // The TRYAGAIN timer is swallowed; RETIRE pends undelivered.
+        assert!(e.on_timeout(e.generation).is_empty());
+        assert!(e.retire().is_empty());
+        assert!(e.is_parked());
+        assert_eq!(e.stats().tryagains, 0);
+        // Repair: unstick, then the pending RETIRE answers the parked
+        // fill on the normal path.
+        e.set_stuck(false);
+        let mut drained = 0;
+        while e.steal_request().is_some() {
+            drained += 1;
+        }
+        assert_eq!(drained, 1);
+        let fx = e.retire();
+        let Effect::Respond { data, .. } = &fx[0] else {
+            panic!("expected respond")
+        };
+        assert_eq!(
+            DispatchLine::decode(data, &[]).unwrap().kind,
+            DispatchKind::Retire
+        );
+        assert!(!e.is_parked());
+    }
+
+    #[test]
+    fn protocol_snapshot_restores_bisimilar_state() {
+        // Drive an endpoint to the mid-protocol point a NIC reset is
+        // hardest on: a request delivered, its response not yet
+        // collected.
+        let mut e = ep();
+        e.on_load(LineRole::Control(0), tok(1), SimTime::ZERO);
+        let (l, c) = rpc(9, b"req");
+        e.on_request(l, c, SimTime::ZERO);
+        let (expect, generation, outstanding) = e.protocol_snapshot();
+        assert_eq!(expect, 1);
+        assert!(outstanding.is_some());
+
+        // Reconstruct a fresh endpoint (same id/layout, as from the
+        // shadow registry) and write the snapshot back.
+        let mut r = ep();
+        r.restore_protocol(expect, generation, outstanding);
+        assert_eq!(r.expect_line(), 1);
+        assert!(r.has_outstanding());
+        // The completion signal (load on the other line) collects the
+        // original response exactly as the pre-fault endpoint would.
+        let fx = r.on_load(LineRole::Control(1), tok(2), SimTime::from_us(5));
+        let collect = fx
+            .iter()
+            .find_map(|f| match f {
+                Effect::CollectResponse { line, ctx } => Some((line, ctx)),
+                _ => None,
+            })
+            .expect("restored endpoint collects the pre-fault response");
+        assert_eq!(*collect.0, layout().ctrl(0));
+        assert_eq!(collect.1.request_id, 9);
+    }
+
+    #[test]
+    fn take_parked_salvages_fill_token() {
+        let mut e = ep();
+        e.on_load(LineRole::Control(0), tok(7), SimTime::ZERO);
+        assert_eq!(e.take_parked(), Some(tok(7)));
+        assert!(!e.is_parked());
+        assert_eq!(e.take_parked(), None);
     }
 
     #[test]

@@ -272,6 +272,63 @@ enum EpMode {
     Kernel { core: usize },
 }
 
+/// What the watchdog's health probe sees on the CONTROL fabric: the
+/// NIC's self-reported ECC status, per-endpoint lease state, and the
+/// scheduler mirror's sync flag. All lists are sorted for determinism.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NicHealth {
+    /// Demux entries whose ECC check fails (fail-stop lookups).
+    pub corrupted_services: Vec<u16>,
+    /// Endpoints whose CONTROL line engine is wedged.
+    pub stuck_endpoints: Vec<EndpointId>,
+    /// The scheduler mirror lost the kernel's pushes.
+    pub mirror_desynced: bool,
+}
+
+impl NicHealth {
+    /// No fault visible.
+    pub fn healthy(&self) -> bool {
+        self.corrupted_services.is_empty()
+            && self.stuck_endpoints.is_empty()
+            && !self.mirror_desynced
+    }
+}
+
+/// Per-endpoint protocol state salvaged across a NIC reset: what the
+/// kernel writes back into the reconstructed endpoint so it is
+/// bisimilar to the pre-fault one (invariant I9).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SalvagedEndpointState {
+    /// The endpoint (ids are preserved across reconstruction).
+    pub endpoint: EndpointId,
+    /// CONTROL parity the next request will be delivered on.
+    pub expect: usize,
+    /// Timeout generation (keeps pre-reset timers stale).
+    pub generation: u64,
+    /// Uncollected response: `(control index, routing ctx)`.
+    pub outstanding: Option<(usize, RequestCtx)>,
+}
+
+/// Everything the kernel's recovery handler salvages from a quiesced
+/// NIC before reinitialization. The reset is *controlled*: the
+/// fabric-addressable SRAM stays readable until
+/// [`LauberhornNic::reset`] returns, which is what makes the orphan
+/// queues and parked fill tokens recoverable at all (the same property
+/// PR 2's per-process crash recovery relies on).
+#[derive(Debug, Clone, PartialEq)]
+pub struct NicSalvage {
+    /// Parked fills, per endpoint: the kernel answers each with a
+    /// RETIRE line so the stalled core returns to the dispatch loop.
+    pub parked: Vec<(EndpointId, FillToken)>,
+    /// Requests that were queued on-NIC: requeued to the kernel path.
+    pub orphans: Vec<(DispatchLine, RequestCtx)>,
+    /// Protocol state to write back at reconstruction time.
+    pub protocol: Vec<SalvagedEndpointState>,
+    /// Live continuations dropped by the reset (their replies miss and
+    /// fall back to client retransmission).
+    pub lost_continuations: usize,
+}
+
 /// The Lauberhorn NIC device model.
 #[derive(Debug)]
 pub struct LauberhornNic {
@@ -1000,16 +1057,24 @@ impl LauberhornNic {
             .iter()
             .find(|id| self.endpoints.get(id).is_some_and(|e| e.is_parked()));
         if let Some(&id) = parked_user {
-            self.stats.fast_path += 1;
             match self
                 .endpoints
                 .get_mut(&id)
                 .map(|ep| ep.on_request(line, ctx, t))
             {
                 Some(RequestOutcome::DeliveredToParked(effects)) => {
+                    self.stats.fast_path += 1;
                     let mut actions = pre_actions;
                     actions.extend(self.map_effects(id, effects, t, None));
                     return actions;
+                }
+                Some(RequestOutcome::Queued { depth }) => {
+                    // A wedged line engine (stuck-line fault) holds a
+                    // parked fill it cannot answer: the request queues
+                    // behind it until the watchdog repairs the line.
+                    self.stats.queued_user += 1;
+                    self.load.record_queue_depth(header.service_id, depth);
+                    return pre_actions;
                 }
                 other => {
                     // A parked endpoint answers the delivery; anything
@@ -1293,6 +1358,191 @@ impl LauberhornNic {
     /// process crashed before the response could be collected).
     pub fn forget_pending_response(&mut self, core: usize) {
         self.pending_response_by_core.remove(&core);
+    }
+
+    // ---- NIC failure domain (fault injection + recovery API) ----
+    //
+    // The injectors model the fault classes of `sim::fault::NicFaultKind`;
+    // the recovery methods are the device half of the OS health layer
+    // (`lauberhorn_os::health`): the kernel probes, salvages,
+    // reinitializes, and reconstructs from its shadow registry.
+
+    /// Injects an SEU into the `nth` (deterministically chosen, sorted)
+    /// demux entry; returns the corrupted service id.
+    pub fn inject_table_fault(&mut self, nth: usize) -> Option<u16> {
+        let ids = self.demux.service_ids();
+        if ids.is_empty() {
+            return None;
+        }
+        let sid = *ids.get(nth % ids.len())?;
+        self.demux.corrupt_service(sid).then_some(sid)
+    }
+
+    /// Wedges the CONTROL line engine of the `nth` endpoint, preferring
+    /// one with a core parked on it (the observable worst case).
+    /// Returns the victim.
+    pub fn inject_stuck_line(&mut self, nth: usize) -> Option<EndpointId> {
+        let mut ids: Vec<EndpointId> = self
+            .endpoints
+            .iter()
+            .filter(|(_, e)| e.is_parked())
+            .map(|(id, _)| *id)
+            .collect();
+        if ids.is_empty() {
+            ids = self.endpoints.keys().copied().collect();
+        }
+        if ids.is_empty() {
+            return None;
+        }
+        ids.sort_unstable();
+        let id = *ids.get(nth % ids.len())?;
+        self.endpoints.get_mut(&id)?.set_stuck(true);
+        Some(id)
+    }
+
+    /// Desyncs the scheduler mirror (an upset in the push channel).
+    pub fn inject_mirror_desync(&mut self) {
+        self.mirror.desync();
+    }
+
+    /// What the watchdog's lease probe sees. In hardware this is the
+    /// NIC's ECC status registers plus a per-endpoint "line transitioned
+    /// since last lease" epoch; here the model reports it directly.
+    pub fn probe_health(&self) -> NicHealth {
+        let mut stuck: Vec<EndpointId> = self
+            .endpoints
+            .iter()
+            .filter(|(_, e)| e.is_stuck())
+            .map(|(id, _)| *id)
+            .collect();
+        stuck.sort_unstable();
+        NicHealth {
+            corrupted_services: self.demux.corrupted_services(),
+            stuck_endpoints: stuck,
+            mirror_desynced: self.mirror.is_desynced(),
+        }
+    }
+
+    /// Repairs a wedged endpoint: unsticks the line engine and drains
+    /// its queue. The caller requeues the drained requests on the
+    /// kernel path and then retires the (still parked) waiter so the
+    /// stalled core returns to the dispatch loop.
+    pub fn repair_stuck_endpoint(
+        &mut self,
+        endpoint: EndpointId,
+    ) -> Vec<(DispatchLine, RequestCtx)> {
+        let Some(ep) = self.endpoints.get_mut(&endpoint) else {
+            return Vec::new();
+        };
+        ep.set_stuck(false);
+        let mut out = Vec::new();
+        while let Some(pair) = ep.steal_request() {
+            out.push(pair);
+        }
+        out
+    }
+
+    /// Declares the scheduler mirror coherent again after the kernel
+    /// re-pushed ground truth via [`LauberhornNic::push_running`].
+    pub fn resync_mirror(&mut self) {
+        self.mirror.resync();
+    }
+
+    /// Full NIC reset: the kernel's recovery handler salvages all
+    /// fabric-recoverable state, then every device table is cleared.
+    ///
+    /// Endpoint ids, the address allocator and the lifetime counters
+    /// survive (ids and addresses are reconstructed identically from
+    /// the shadow registry; counters are a metrics surface, not device
+    /// state). Everything else — demux entries, endpoints, the
+    /// scheduler mirror's views, continuations, parked-core
+    /// bookkeeping — is gone until reconstruction.
+    pub fn reset(&mut self) -> NicSalvage {
+        let mut ids: Vec<EndpointId> = self.endpoints.keys().copied().collect();
+        ids.sort_unstable();
+        let mut salvage = NicSalvage {
+            parked: Vec::new(),
+            orphans: Vec::new(),
+            protocol: Vec::new(),
+            lost_continuations: 0,
+        };
+        for id in ids {
+            let Some(ep) = self.endpoints.get_mut(&id) else {
+                continue;
+            };
+            if let Some(token) = ep.take_parked() {
+                salvage.parked.push((id, token));
+            }
+            while let Some(pair) = ep.steal_request() {
+                salvage.orphans.push(pair);
+            }
+            let (expect, generation, outstanding) = ep.protocol_snapshot();
+            salvage.protocol.push(SalvagedEndpointState {
+                endpoint: id,
+                expect,
+                generation,
+                outstanding,
+            });
+        }
+        salvage.lost_continuations = self.conts.clear();
+        self.demux = DemuxTable::new();
+        self.endpoints.clear();
+        self.modes.clear();
+        self.addr_index.clear();
+        self.parked_core.clear();
+        self.pending_response_by_core.clear();
+        self.mirror.clear_views();
+        for slot in &mut self.kernel_eps {
+            *slot = None;
+        }
+        salvage
+    }
+
+    /// Reconstructs one endpoint from the kernel's shadow registry:
+    /// same id, same layout, same mode as before the reset. Pass
+    /// `kernel_core` for the per-core kernel dispatch endpoints.
+    pub fn restore_endpoint(
+        &mut self,
+        id: EndpointId,
+        process: ProcessId,
+        layout: EndpointLayout,
+        kernel_core: Option<usize>,
+    ) {
+        let span = (layout.total_lines() * self.cfg.line_size) as u64;
+        self.addr_index
+            .push((layout.base.0, layout.base.0 + span, id));
+        let mut ep = Endpoint::with_timeout(
+            id,
+            process,
+            layout,
+            self.cfg.endpoint_queue_cap,
+            self.cfg.tryagain_timeout,
+        );
+        if let Some(adm) = &self.admission {
+            ep.set_deadline(adm.config().deadline);
+        }
+        self.endpoints.insert(id, ep);
+        let mode = match kernel_core {
+            Some(core) => {
+                if let Some(slot) = self.kernel_eps.get_mut(core) {
+                    *slot = Some(id);
+                }
+                EpMode::Kernel { core }
+            }
+            None => EpMode::User,
+        };
+        self.modes.insert(id, mode);
+        // The id allocator must stay ahead of every restored id so
+        // future endpoints never collide.
+        self.next_ep = self.next_ep.max(id.0 + 1);
+    }
+
+    /// Writes salvaged protocol state back into a reconstructed
+    /// endpoint (the last step of reconstruction; invariant I9).
+    pub fn restore_protocol_state(&mut self, s: SalvagedEndpointState) {
+        if let Some(ep) = self.endpoints.get_mut(&s.endpoint) {
+            ep.restore_protocol(s.expect, s.generation, s.outstanding);
+        }
     }
 
     /// Picks a user-loop poller to preempt back into the kernel
@@ -1785,6 +2035,249 @@ mod tests {
             vec![NicAction::Dropped {
                 reason: DropReason::Malformed,
                 request_id: Some(1),
+            }]
+        );
+    }
+
+    fn frame_for_service(service_id: u16, request_id: u64, value: u64) -> Vec<u8> {
+        let sig = Signature::of(&[ArgType::U64]);
+        let payload = VarintCodec.encode(&sig, &[Value::U64(value)]).unwrap();
+        let header = RpcHeader {
+            kind: RpcKind::Request,
+            service_id,
+            method_id: 0,
+            request_id,
+            payload_len: payload.len() as u32,
+            cont_hint: 0,
+        };
+        let msg = header.encode_message(&payload).unwrap();
+        build_udp_frame(
+            EndpointAddr::host(5, 700),
+            EndpointAddr::host(100, 9000),
+            &msg,
+            0,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn reset_salvages_state_and_reconstruction_is_bisimilar() {
+        let mut n = nic();
+        n.demux_mut().register_service(2, ProcessId(20));
+        n.demux_mut()
+            .register_method(2, 0x2222, 0x3333, Signature::of(&[ArgType::U64]))
+            .unwrap();
+        let (e1, l1) = n.create_endpoint(ProcessId(10));
+        let (e2, l2) = n.create_endpoint(ProcessId(10));
+        let (k0, lk0) = n.create_kernel_endpoint(0);
+        n.demux_mut().add_endpoint(1, e1).unwrap();
+        n.demux_mut().add_endpoint(1, e2).unwrap();
+        n.continuations_mut()
+            .create(e1, ProcessId(10), true)
+            .unwrap();
+        // Core 2 parks on e1, core 3 on e2.
+        n.on_core_load(SimTime::ZERO, 2, FillToken(21), l1.ctrl(0));
+        n.on_core_load(SimTime::ZERO, 3, FillToken(31), l2.ctrl(0));
+        // Request 7 delivers into e1's parked fill: its response is now
+        // outstanding on CONTROL[0]. Request 9 (service 2, nobody home)
+        // queues at the kernel endpoint.
+        n.on_request_frame(SimTime::from_us(1), &request_frame(7, 42));
+        n.on_request_frame(SimTime::from_us(2), &frame_for_service(2, 9, 5));
+        assert_eq!(n.stats().queued_kernel, 1);
+
+        let salvage = n.reset();
+        // Fabric-recoverable state came out before the tables cleared.
+        assert_eq!(salvage.parked, vec![(e2, FillToken(31))]);
+        assert_eq!(salvage.orphans.len(), 1);
+        assert_eq!(salvage.orphans[0].1.request_id, 9);
+        assert_eq!(salvage.lost_continuations, 1);
+        let e1_state = salvage
+            .protocol
+            .iter()
+            .find(|s| s.endpoint == e1)
+            .expect("e1 snapshot");
+        assert_eq!(e1_state.expect, 1);
+        assert_eq!(
+            e1_state
+                .outstanding
+                .as_ref()
+                .map(|(l, c)| (*l, c.request_id)),
+            Some((0, 7))
+        );
+        // The blank NIC knows nothing: requests fail-stop, addresses
+        // no longer resolve.
+        let acts = n.on_request_frame(SimTime::from_us(3), &request_frame(8, 1));
+        assert!(matches!(
+            acts[0],
+            NicAction::Dropped {
+                reason: DropReason::UnknownService(1),
+                ..
+            }
+        ));
+        assert_eq!(n.endpoint_at(l1.ctrl(0)), None);
+
+        // Reconstruction from the (simulated) shadow registry: same
+        // ids, same layouts, same bindings, then protocol write-back.
+        n.demux_mut().register_service(1, ProcessId(10));
+        n.demux_mut()
+            .register_method(1, 0xAAAA, 0xBBBB, Signature::of(&[ArgType::U64]))
+            .unwrap();
+        n.demux_mut().register_service(2, ProcessId(20));
+        n.demux_mut()
+            .register_method(2, 0x2222, 0x3333, Signature::of(&[ArgType::U64]))
+            .unwrap();
+        n.restore_endpoint(e1, ProcessId(10), l1, None);
+        n.restore_endpoint(e2, ProcessId(10), l2, None);
+        n.restore_endpoint(k0, ProcessId(u32::MAX), lk0, Some(0));
+        n.demux_mut().add_endpoint(1, e1).unwrap();
+        n.demux_mut().add_endpoint(1, e2).unwrap();
+        for s in salvage.protocol.clone() {
+            n.restore_protocol_state(s);
+        }
+        assert_eq!(n.endpoint_at(l2.ctrl(0)), Some((e2, LineRole::Control(0))));
+        // I9 at unit level: the handler finishes and loads CONTROL[1];
+        // the reconstructed endpoint collects the pre-fault request's
+        // response exactly as the un-reset NIC would have.
+        let acts = n.on_core_load(SimTime::from_us(10), 2, FillToken(22), l1.ctrl(1));
+        let collect = acts
+            .iter()
+            .find_map(|a| match a {
+                NicAction::CollectAndTransmit { line, ctx, .. } => Some((line, ctx)),
+                _ => None,
+            })
+            .expect("pre-fault response collected after reconstruction");
+        assert_eq!(*collect.0, l1.ctrl(0));
+        assert_eq!(collect.1.request_id, 7);
+        // Salvaged orphans requeue on the kernel path (PR 2's crash
+        // recovery, generalized to the whole NIC).
+        n.on_core_load(SimTime::from_us(11), 0, FillToken(40), lk0.ctrl(0));
+        let (line, ctx) = salvage.orphans.into_iter().next().unwrap();
+        let acts = n.redeliver_to_kernel(SimTime::from_us(12), line, ctx);
+        assert!(acts
+            .iter()
+            .any(|a| matches!(a, NicAction::KernelDelivery { core: 0, .. })));
+        // New endpoints never collide with restored ids.
+        let (e_new, _) = n.create_endpoint(ProcessId(30));
+        assert!(e_new.0 > k0.0);
+    }
+
+    #[test]
+    fn stuck_line_black_holes_until_repaired() {
+        let mut n = nic();
+        let (ep, layout) = n.create_endpoint(ProcessId(10));
+        n.demux_mut().add_endpoint(1, ep).unwrap();
+        let acts = n.on_core_load(SimTime::ZERO, 1, FillToken(5), layout.ctrl(0));
+        let NicAction::ArmTimeout { generation, at, .. } = acts[0] else {
+            panic!("expected arm");
+        };
+        // The injector prefers the endpoint with a core parked on it.
+        assert_eq!(n.inject_stuck_line(0), Some(ep));
+        let health = n.probe_health();
+        assert!(!health.healthy());
+        assert_eq!(health.stuck_endpoints, vec![ep]);
+        // A request queues behind the wedged fill instead of delivering.
+        let acts = n.on_request_frame(SimTime::from_us(1), &request_frame(5, 1));
+        assert!(acts.is_empty(), "black hole: {acts:?}");
+        assert_eq!(n.stats().queued_user, 1);
+        assert_eq!(n.stats().fast_path, 0);
+        // Even the TRYAGAIN timer is swallowed: the line never
+        // transitions, which is exactly what the lease watchdog detects.
+        assert!(n.on_timeout(at, ep, generation).is_empty());
+        // Repair: unstick, drain the blocked queue for kernel-path
+        // requeue, then retire the stalled waiter.
+        let drained = n.repair_stuck_endpoint(ep);
+        assert_eq!(drained.len(), 1);
+        assert_eq!(drained[0].1.request_id, 5);
+        let acts = n.retire_endpoint(SimTime::from_us(2), ep);
+        let NicAction::CompleteFill { token, data, .. } = &acts[0] else {
+            panic!("expected retire fill, got {acts:?}");
+        };
+        assert_eq!(*token, FillToken(5));
+        assert_eq!(
+            DispatchLine::decode(data, &[]).unwrap().kind,
+            DispatchKind::Retire
+        );
+        assert!(n.probe_health().healthy());
+    }
+
+    #[test]
+    fn table_fault_is_fail_stop_until_reprogrammed() {
+        let mut n = nic();
+        let (_k0, lk0) = n.create_kernel_endpoint(0);
+        n.on_core_load(SimTime::ZERO, 0, FillToken(1), lk0.ctrl(0));
+        // nth wraps over the (single) registered service.
+        assert_eq!(n.inject_table_fault(3), Some(1));
+        assert_eq!(n.probe_health().corrupted_services, vec![1]);
+        let acts = n.on_request_frame(SimTime::from_us(1), &request_frame(1, 1));
+        assert!(matches!(
+            acts[0],
+            NicAction::Dropped {
+                reason: DropReason::UnknownService(1),
+                ..
+            }
+        ));
+        // The kernel reprograms the entry from its shadow registry;
+        // dispatch resumes.
+        n.demux_mut().register_service(1, ProcessId(10));
+        n.demux_mut()
+            .register_method(1, 0xAAAA, 0xBBBB, Signature::of(&[ArgType::U64]))
+            .unwrap();
+        assert!(n.probe_health().healthy());
+        let acts = n.on_request_frame(SimTime::from_us(2), &request_frame(2, 2));
+        assert!(acts
+            .iter()
+            .any(|a| matches!(a, NicAction::KernelDelivery { core: 0, .. })));
+    }
+
+    #[test]
+    fn mirror_desync_reads_idle_until_resync() {
+        let mut n = nic();
+        n.push_running(0, Some(ProcessId(10)), SimTime::ZERO);
+        n.inject_mirror_desync();
+        assert!(n.probe_health().mirror_desynced);
+        assert!(!n.mirror().is_running(ProcessId(10)));
+        // Kernel repair: re-push ground truth, then declare coherence.
+        n.push_running(0, Some(ProcessId(10)), SimTime::from_us(1));
+        n.resync_mirror();
+        assert!(n.probe_health().healthy());
+        assert!(n.mirror().is_running(ProcessId(10)));
+    }
+
+    #[test]
+    fn stale_kernel_poller_mirror_falls_through_to_queue() {
+        let mut n = nic();
+        let (kep, _) = n.create_kernel_endpoint(0);
+        // The mirror believes core 0 is parked in the dispatch loop,
+        // but the endpoint holds no fill (the poller left between
+        // observations). Delivery must fall through to the queue, not
+        // crash or drop.
+        n.mirror.observe_poll(0, kep, true, SimTime::ZERO);
+        let acts = n.on_request_frame(SimTime::from_us(1), &request_frame(4, 4));
+        assert!(!acts
+            .iter()
+            .any(|a| matches!(a, NicAction::KernelDelivery { .. })));
+        assert_eq!(n.stats().queued_kernel, 1);
+        assert_eq!(n.endpoint(kep).unwrap().queue_depth(), 1);
+    }
+
+    #[test]
+    fn out_of_range_core_degrades_without_panic() {
+        let mut n = nic(); // 4 cores: valid ids are 0..4.
+        n.push_running(99, Some(ProcessId(10)), SimTime::ZERO);
+        assert!(!n.mirror().is_running(ProcessId(10)));
+        // A kernel endpoint for a core beyond the mirror: it allocates,
+        // parks and answers fills, but is invisible to dispatch (no
+        // kernel_eps slot, no mirror view) rather than corrupting state.
+        let (_k7, lk7) = n.create_kernel_endpoint(7);
+        let acts = n.on_core_load(SimTime::from_us(1), 7, FillToken(1), lk7.ctrl(0));
+        assert!(matches!(acts[0], NicAction::ArmTimeout { .. }));
+        assert!(n.mirror().kernel_pollers().is_empty());
+        let acts = n.on_request_frame(SimTime::from_us(2), &request_frame(6, 6));
+        assert_eq!(
+            acts,
+            vec![NicAction::Dropped {
+                reason: DropReason::Overflow,
+                request_id: Some(6),
             }]
         );
     }

@@ -45,6 +45,9 @@ pub struct CoreView {
 pub struct SchedMirror {
     cores: Vec<CoreView>,
     updates: u64,
+    /// Set by fault injection: the mirror lost the kernel's pushes and
+    /// reads as all-idle until the kernel resyncs it.
+    desynced: bool,
 }
 
 /// Cost of one kernel→NIC state push: a single posted store to a
@@ -58,7 +61,40 @@ impl SchedMirror {
         SchedMirror {
             cores: vec![CoreView::default(); cores],
             updates: 0,
+            desynced: false,
         }
+    }
+
+    /// Fault injection: the mirror SRAM loses the kernel's state (an
+    /// upset in the push channel). Every view resets to the idle
+    /// default; later pushes and observed loads rebuild it
+    /// incrementally, but only [`SchedMirror::resync`] clears the flag.
+    pub fn desync(&mut self) {
+        for v in &mut self.cores {
+            *v = CoreView::default();
+        }
+        self.desynced = true;
+    }
+
+    /// Whether a desync fault is pending kernel repair.
+    pub fn is_desynced(&self) -> bool {
+        self.desynced
+    }
+
+    /// Kernel repair: the kernel has re-pushed ground truth (via
+    /// [`SchedMirror::set_running`] calls) and declares the mirror
+    /// coherent again.
+    pub fn resync(&mut self) {
+        self.desynced = false;
+    }
+
+    /// NIC reset support: forget every view but keep the lifetime push
+    /// counter (it is a metrics surface, not device state).
+    pub fn clear_views(&mut self) {
+        for v in &mut self.cores {
+            *v = CoreView::default();
+        }
+        self.desynced = false;
     }
 
     /// Number of cores mirrored.
@@ -191,6 +227,37 @@ mod tests {
         let mut m = SchedMirror::new(1);
         m.observe_poll(0, EndpointId(1), true, SimTime::ZERO);
         m.observe_unpark(0, SimTime::from_us(1));
+        assert_eq!(m.core(0).mode, CoreMode::Idle);
+    }
+
+    #[test]
+    fn desync_clears_views_until_resync() {
+        let mut m = SchedMirror::new(2);
+        m.set_running(0, Some(ProcessId(1)), SimTime::ZERO);
+        m.observe_poll(1, EndpointId(4), true, SimTime::ZERO);
+        m.desync();
+        assert!(m.is_desynced());
+        assert!(!m.is_running(ProcessId(1)));
+        assert!(m.kernel_pollers().is_empty());
+        // Observed loads rebuild views even while desynced (inference
+        // does not depend on the push channel)...
+        m.observe_poll(1, EndpointId(4), true, SimTime::from_us(1));
+        assert_eq!(m.kernel_pollers(), vec![(1, EndpointId(4))]);
+        assert!(m.is_desynced());
+        // ...and the kernel's re-push plus resync completes repair.
+        m.set_running(0, Some(ProcessId(1)), SimTime::from_us(2));
+        m.resync();
+        assert!(!m.is_desynced());
+        assert!(m.is_running(ProcessId(1)));
+    }
+
+    #[test]
+    fn clear_views_keeps_update_count() {
+        let mut m = SchedMirror::new(1);
+        m.set_running(0, Some(ProcessId(1)), SimTime::ZERO);
+        let pushes = m.update_count();
+        m.clear_views();
+        assert_eq!(m.update_count(), pushes);
         assert_eq!(m.core(0).mode, CoreMode::Idle);
     }
 

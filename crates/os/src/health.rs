@@ -1,0 +1,369 @@
+//! The kernel's NIC health layer: shadow registry and lease watchdog.
+//!
+//! Treating the NIC as part of the OS (§3) means treating it as a
+//! *failure domain* of the OS: the kernel must be able to lose the
+//! device — an ECC fault in a table SRAM, a wedged line engine, a full
+//! firmware reset — without losing the protocol state the applications
+//! depend on. Two mechanisms provide that:
+//!
+//! * the [`ShadowRegistry`]: every piece of state the kernel programs
+//!   into the NIC (service demux entries, method tables, endpoint
+//!   layouts and bindings) is recorded host-side at programming time.
+//!   The registry is pure bookkeeping — it is updated on the existing
+//!   registration path and never consulted on the data path, so it
+//!   perturbs nothing.
+//! * the [`Watchdog`]: a lease over the CONTROL fabric. The kernel
+//!   periodically performs a cheap health probe (reading the NIC's ECC
+//!   status and line-transition epoch registers); a failed probe moves
+//!   the system into *degraded mode* — in-flight requests are requeued
+//!   onto kernel-path endpoints — while the NIC is reinitialized and
+//!   reconstructed entry by entry from the shadow registry.
+//!
+//! The reconstruction cost model is the same single-store fabric
+//! arithmetic used everywhere else: a fixed reinit latency plus one
+//! fabric crossing per restored table entry.
+
+use std::collections::BTreeMap;
+
+use lauberhorn_sim::{SimDuration, SimTime};
+
+use crate::proc::ProcessId;
+
+/// Default lease interval: how often the watchdog probes the NIC.
+/// Chosen so detection latency stays well under typical client RTOs
+/// (hundreds of microseconds) while the probe itself — one cache-line
+/// read — stays negligible at ~0.2% duty cycle.
+pub const LEASE_INTERVAL: SimDuration = SimDuration::from_us(50);
+
+/// Fixed cost of reinitializing the device after a reset (firmware
+/// restart, fabric re-train) before any table entry can be written.
+pub const REINIT_COST: SimDuration = SimDuration::from_us(5);
+
+/// Cost of reconstructing one table entry: a single posted store
+/// crossing the device fabric (same constant as a scheduler-mirror
+/// push).
+pub const PER_ENTRY_COST: SimDuration = SimDuration::from_ns(80);
+
+/// Shadow of one registered service: everything needed to reprogram
+/// its demux entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShadowService {
+    /// Owning process.
+    pub process: ProcessId,
+    /// `(code_ptr, data_ptr)` per method, in method-id order. The wire
+    /// signatures live with the RPC layer's service specs; the shadow
+    /// records the NIC-table half.
+    pub methods: Vec<(u64, u64)>,
+    /// Endpoints bound to this service, in binding order.
+    pub endpoints: Vec<u32>,
+}
+
+/// Shadow of one endpoint: enough to reconstruct it at the same
+/// device address with the same id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShadowEndpoint {
+    /// Base device address of the endpoint's line block.
+    pub base: u64,
+    /// Owning process.
+    pub process: ProcessId,
+    /// `Some(core)` for the per-core kernel dispatch endpoints.
+    pub kernel_core: Option<usize>,
+}
+
+/// Host-side shadow of all NIC-programmed state.
+///
+/// `BTreeMap`s keep iteration deterministic: reconstruction replays
+/// entries in sorted id order, so a rebuilt NIC is bit-identical
+/// regardless of registration history.
+#[derive(Debug, Default)]
+pub struct ShadowRegistry {
+    services: BTreeMap<u16, ShadowService>,
+    endpoints: BTreeMap<u32, ShadowEndpoint>,
+}
+
+impl ShadowRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a service registration (mirrors
+    /// `DemuxTable::register_service`; replaces any previous shadow).
+    pub fn record_service(&mut self, service_id: u16, process: ProcessId) {
+        self.services.insert(
+            service_id,
+            ShadowService {
+                process,
+                methods: Vec::new(),
+                endpoints: Vec::new(),
+            },
+        );
+    }
+
+    /// Records a method registration; returns the method id it will
+    /// get on replay (dense, registration order).
+    pub fn record_method(&mut self, service_id: u16, code_ptr: u64, data_ptr: u64) -> Option<u16> {
+        let s = self.services.get_mut(&service_id)?;
+        s.methods.push((code_ptr, data_ptr));
+        Some((s.methods.len() - 1) as u16)
+    }
+
+    /// Records an endpoint's existence and layout.
+    pub fn record_endpoint(
+        &mut self,
+        endpoint: u32,
+        base: u64,
+        process: ProcessId,
+        kernel_core: Option<usize>,
+    ) {
+        self.endpoints.insert(
+            endpoint,
+            ShadowEndpoint {
+                base,
+                process,
+                kernel_core,
+            },
+        );
+    }
+
+    /// Records an endpoint→service binding (idempotent).
+    pub fn bind_endpoint(&mut self, service_id: u16, endpoint: u32) {
+        if let Some(s) = self.services.get_mut(&service_id) {
+            if !s.endpoints.contains(&endpoint) {
+                s.endpoints.push(endpoint);
+            }
+        }
+    }
+
+    /// Removes one endpoint→service binding (the core yielded back to
+    /// the kernel loop; the endpoint itself survives for reuse).
+    pub fn unbind_endpoint(&mut self, service_id: u16, endpoint: u32) {
+        if let Some(s) = self.services.get_mut(&service_id) {
+            s.endpoints.retain(|e| *e != endpoint);
+        }
+    }
+
+    /// Drops an endpoint (teardown / owning process crashed): it must
+    /// not be reconstructed.
+    pub fn forget_endpoint(&mut self, endpoint: u32) {
+        self.endpoints.remove(&endpoint);
+        for s in self.services.values_mut() {
+            s.endpoints.retain(|e| *e != endpoint);
+        }
+    }
+
+    /// Drops a service registration.
+    pub fn forget_service(&mut self, service_id: u16) {
+        self.services.remove(&service_id);
+    }
+
+    /// Services in sorted id order (reconstruction replay order).
+    pub fn services(&self) -> impl Iterator<Item = (u16, &ShadowService)> {
+        self.services.iter().map(|(k, v)| (*k, v))
+    }
+
+    /// One service's shadow.
+    pub fn service(&self, service_id: u16) -> Option<&ShadowService> {
+        self.services.get(&service_id)
+    }
+
+    /// Endpoints in sorted id order (reconstruction replay order).
+    pub fn endpoints(&self) -> impl Iterator<Item = (u32, &ShadowEndpoint)> {
+        self.endpoints.iter().map(|(k, v)| (*k, v))
+    }
+
+    /// One endpoint's shadow.
+    pub fn endpoint(&self, endpoint: u32) -> Option<&ShadowEndpoint> {
+        self.endpoints.get(&endpoint)
+    }
+
+    /// Total table entries the shadow would replay: one per service,
+    /// one per method, one per binding, one per endpoint. This is the
+    /// `entries` input to [`Watchdog::reconstruction_time`].
+    pub fn entry_count(&self) -> usize {
+        self.endpoints.len()
+            + self
+                .services
+                .values()
+                .map(|s| 1 + s.methods.len() + s.endpoints.len())
+                .sum::<usize>()
+    }
+}
+
+/// Watchdog counters (exported as `os.watchdog.*` when armed).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WatchdogStats {
+    /// Lease probes performed.
+    pub heartbeats: u64,
+    /// Probes that found the NIC unhealthy.
+    pub faults_detected: u64,
+    /// Targeted repairs (table reprogram, line unstick, mirror resync).
+    pub repairs: u64,
+    /// Full reset→reconstruct cycles completed.
+    pub resets_recovered: u64,
+}
+
+/// The lease watchdog: detection, degraded-mode tracking, and the
+/// reconstruction cost model.
+#[derive(Debug)]
+pub struct Watchdog {
+    lease: SimDuration,
+    stats: WatchdogStats,
+    degraded_since: Option<SimTime>,
+    degraded_total: SimDuration,
+}
+
+impl Default for Watchdog {
+    fn default() -> Self {
+        Self::new(LEASE_INTERVAL)
+    }
+}
+
+impl Watchdog {
+    /// Creates a watchdog probing every `lease`.
+    pub fn new(lease: SimDuration) -> Self {
+        Watchdog {
+            lease,
+            stats: WatchdogStats::default(),
+            degraded_since: None,
+            degraded_total: SimDuration::ZERO,
+        }
+    }
+
+    /// The probe interval.
+    pub fn lease_interval(&self) -> SimDuration {
+        self.lease
+    }
+
+    /// Counts one lease probe.
+    pub fn heartbeat(&mut self) {
+        self.stats.heartbeats += 1;
+    }
+
+    /// A probe found the NIC unhealthy; enters degraded mode (no-op on
+    /// the mode if already degraded — a reset can surface several
+    /// probe failures).
+    pub fn fault_detected(&mut self, now: SimTime) {
+        self.stats.faults_detected += 1;
+        if self.degraded_since.is_none() {
+            self.degraded_since = Some(now);
+        }
+    }
+
+    /// A targeted repair (reprogram / unstick / resync) fixed the NIC
+    /// without a full reset.
+    pub fn repaired(&mut self, now: SimTime) {
+        self.stats.repairs += 1;
+        self.leave_degraded(now);
+    }
+
+    /// Time to rebuild the NIC from a shadow with `entries` entries:
+    /// fixed reinit plus one fabric store per entry. This bounds the
+    /// degraded-mode window (and hence degraded-mode p99).
+    pub fn reconstruction_time(&self, entries: usize) -> SimDuration {
+        REINIT_COST + SimDuration::from_ps(PER_ENTRY_COST.as_ps() * entries as u64)
+    }
+
+    /// Reconstruction finished; traffic migrates back.
+    pub fn restored(&mut self, now: SimTime) {
+        self.stats.resets_recovered += 1;
+        self.leave_degraded(now);
+    }
+
+    fn leave_degraded(&mut self, now: SimTime) {
+        if let Some(since) = self.degraded_since.take() {
+            self.degraded_total += now.since(since);
+        }
+    }
+
+    /// Whether the system is currently in degraded mode.
+    pub fn is_degraded(&self) -> bool {
+        self.degraded_since.is_some()
+    }
+
+    /// Total time spent degraded.
+    pub fn degraded_total(&self) -> SimDuration {
+        self.degraded_total
+    }
+
+    /// The counters.
+    pub fn stats(&self) -> WatchdogStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shadow_records_and_replays_in_sorted_order() {
+        let mut s = ShadowRegistry::new();
+        s.record_service(7, ProcessId(1));
+        s.record_service(3, ProcessId(2));
+        assert_eq!(s.record_method(3, 0x10, 0x20), Some(0));
+        assert_eq!(s.record_method(3, 0x11, 0x21), Some(1));
+        assert_eq!(s.record_method(99, 0, 0), None);
+        s.record_endpoint(5, 0x8000, ProcessId(2), None);
+        s.record_endpoint(1, 0x4000, ProcessId(0), Some(2));
+        s.bind_endpoint(3, 5);
+        s.bind_endpoint(3, 5); // Idempotent.
+        let sids: Vec<u16> = s.services().map(|(id, _)| id).collect();
+        assert_eq!(sids, vec![3, 7]);
+        let eids: Vec<u32> = s.endpoints().map(|(id, _)| id).collect();
+        assert_eq!(eids, vec![1, 5]);
+        assert_eq!(s.service(3).unwrap().endpoints, vec![5]);
+        assert_eq!(s.endpoint(1).unwrap().kernel_core, Some(2));
+        // 2 endpoints + (svc 3: 1 + 2 methods + 1 binding) + (svc 7: 1).
+        assert_eq!(s.entry_count(), 7);
+    }
+
+    #[test]
+    fn forget_endpoint_unbinds_everywhere() {
+        let mut s = ShadowRegistry::new();
+        s.record_service(1, ProcessId(1));
+        s.record_endpoint(4, 0x1000, ProcessId(1), None);
+        s.bind_endpoint(1, 4);
+        s.forget_endpoint(4);
+        assert!(s.endpoint(4).is_none());
+        assert!(s.service(1).unwrap().endpoints.is_empty());
+    }
+
+    #[test]
+    fn watchdog_tracks_degraded_window() {
+        let mut w = Watchdog::default();
+        assert_eq!(w.lease_interval(), LEASE_INTERVAL);
+        w.heartbeat();
+        w.fault_detected(SimTime::from_us(100));
+        w.fault_detected(SimTime::from_us(150)); // Same episode.
+        assert!(w.is_degraded());
+        w.restored(SimTime::from_us(160));
+        assert!(!w.is_degraded());
+        assert_eq!(w.degraded_total(), SimDuration::from_us(60));
+        let st = w.stats();
+        assert_eq!(st.heartbeats, 1);
+        assert_eq!(st.faults_detected, 2);
+        assert_eq!(st.resets_recovered, 1);
+    }
+
+    #[test]
+    fn targeted_repair_counts_separately() {
+        let mut w = Watchdog::new(SimDuration::from_us(10));
+        w.fault_detected(SimTime::from_us(20));
+        w.repaired(SimTime::from_us(25));
+        assert!(!w.is_degraded());
+        assert_eq!(w.stats().repairs, 1);
+        assert_eq!(w.stats().resets_recovered, 0);
+        assert_eq!(w.degraded_total(), SimDuration::from_us(5));
+    }
+
+    #[test]
+    fn reconstruction_time_is_linear_in_entries() {
+        let w = Watchdog::default();
+        assert_eq!(w.reconstruction_time(0), REINIT_COST);
+        assert_eq!(
+            w.reconstruction_time(100),
+            REINIT_COST + SimDuration::from_ns(8_000)
+        );
+    }
+}

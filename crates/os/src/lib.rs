@@ -17,13 +17,19 @@
 //! * [`netstack`] — the kernel UDP receive path as a sequence of
 //!   costed steps (the software half of Figure 1, and the left side of
 //!   Figure 5).
+//! * [`health`] — the NIC-as-failure-domain layer: a host-side shadow
+//!   registry of all NIC-programmed state and a lease watchdog that
+//!   detects device faults and drives degraded-mode fallback plus
+//!   reconstruction.
 
 pub mod cost;
+pub mod health;
 pub mod netstack;
 pub mod proc;
 pub mod sched;
 
 pub use cost::CostModel;
+pub use health::{ShadowRegistry, Watchdog, WatchdogStats};
 pub use netstack::SocketBacklog;
 pub use proc::{ProcessId, ThreadId, ThreadState};
 pub use sched::{OsScheduler, SchedStats, WakeDecision};

@@ -152,6 +152,20 @@ pub fn run(stack: &mut (impl ServerStack + ?Sized), workload: &WorkloadSpec) -> 
     let mut outstanding: std::collections::BTreeMap<u64, Outstanding> =
         std::collections::BTreeMap::new();
 
+    // When the workload declares a deadline-shedding budget and the
+    // retry policy has no wall-clock budget of its own, a retransmit
+    // timer firing past that deadline can only produce a frame the
+    // server sheds as stale at dispatch. Suppress those retransmits at
+    // the client instead of firing them into guaranteed shed work;
+    // each suppression terminates the request as a `Timeout` and is
+    // counted, registered only when non-zero so clean-run digests are
+    // untouched.
+    let retry_deadline = match (&retry, &workload.overload) {
+        (Some(p), Some(o)) if p.budget.is_none() => o.deadline,
+        _ => None,
+    };
+    let mut deadline_suppressed: u64 = 0;
+
     // AIMD pacing, armed only when the workload's overload config asks
     // for pushback. `None` otherwise: open-loop gaps are used as
     // sampled, bit-identically to builds without overload control.
@@ -370,6 +384,34 @@ pub fn run(stack: &mut (impl ServerStack + ?Sized), workload: &WorkloadSpec) -> 
                                     .schedule(now + *think, ClientEv::Gen { client: o.client });
                             }
                         }
+                    } else if retry_deadline.is_some_and(|d| {
+                        stack
+                            .common()
+                            .times
+                            .get(&request_id)
+                            .is_some_and(|t| now.since(t.sent) > d)
+                    }) {
+                        // The workload's overload deadline has already
+                        // passed for this request: a retransmission now
+                        // would arrive only to be shed as stale at
+                        // dispatch. Terminal `Timeout` here instead of
+                        // fired-and-shed wasted wire and queue work.
+                        let Some(o) = outstanding.remove(&request_id) else {
+                            continue;
+                        };
+                        client_of.remove(&request_id);
+                        deadline_suppressed += 1;
+                        let common = stack.common();
+                        common.metrics.faults.timeouts += 1;
+                        common.abandon_request(request_id);
+                        common.dedup_forget(request_id);
+                        if let LoadMode::Closed { think, .. } = &workload.mode {
+                            if now + *think <= common.end_of_load {
+                                common
+                                    .client_q
+                                    .schedule(now + *think, ClientEv::Gen { client: o.client });
+                            }
+                        }
                     } else {
                         let Some(raw) = outstanding.get(&request_id).map(|o| o.raw.clone()) else {
                             // Answered (or already abandoned): stale timer.
@@ -452,6 +494,14 @@ pub fn run(stack: &mut (impl ServerStack + ?Sized), workload: &WorkloadSpec) -> 
             .metrics
             .registry
             .gauge("rpc.overload.pacer_factor", p.factor());
+    }
+    if deadline_suppressed > 0 {
+        // Only non-zero when deadline shedding and a budget-less retry
+        // policy are both armed, so clean runs never see this entry.
+        common
+            .metrics
+            .registry
+            .counter("rpc.retry.deadline_suppressed", deadline_suppressed);
     }
     let metrics = std::mem::take(&mut common.metrics);
     metrics.finish(stack.name(), end.since(SimTime::ZERO), energy, fabric)

@@ -25,15 +25,16 @@ use lauberhorn_coherence::{CacheId, CoherentSystem, FabricModel, LineAddr, LoadR
 use lauberhorn_nic::demux::DemuxError;
 use lauberhorn_nic::dispatch::DispatchKind;
 use lauberhorn_nic::endpoint::{EndpointId, EndpointLayout};
-use lauberhorn_nic::nic::DropReason;
+use lauberhorn_nic::nic::{DropReason, NicHealth, NicSalvage};
 use lauberhorn_nic::sched_mirror::MIRROR_PUSH_COST;
 use lauberhorn_nic::{LauberhornNic, LauberhornNicConfig, NicAction};
-use lauberhorn_os::CostModel;
+use lauberhorn_os::health::{ShadowRegistry, Watchdog};
+use lauberhorn_os::{CostModel, ProcessId};
 use lauberhorn_packet::frame::EndpointAddr;
 use lauberhorn_packet::PktBuf;
 use lauberhorn_sim::energy::{CoreState, CycleAccount, EnergyMeter};
-use lauberhorn_sim::fault::FaultDecision;
-use lauberhorn_sim::{trace_ev, EventQueue, SimDuration, SimTime, SpanId, Stage, Trace};
+use lauberhorn_sim::fault::{FaultDecision, NicFaultKind, NicFaultSpec};
+use lauberhorn_sim::{trace_ev, EventQueue, SimDuration, SimRng, SimTime, SpanId, Stage, Trace};
 
 use crate::report::Report;
 use crate::spec::{Behavior, ServiceSpec, WorkloadSpec};
@@ -152,6 +153,28 @@ enum Ev {
     /// core is currently serving it, the crash re-arms a few times so
     /// it lands mid-request under load.
     Crash { service: u16, tries: u32 },
+    /// Fault injection: the armed NIC-internal fault strikes.
+    NicFault,
+    /// The health watchdog's lease probe fires.
+    Heartbeat,
+    /// Reconstruction from the shadow registry completes.
+    NicRestored,
+    /// A frame backlogged during a NIC reset replays into the
+    /// reconstructed NIC.
+    ReplayFrame { raw: PktBuf, request_id: u64 },
+}
+
+/// Counters for the NIC failure-domain machinery, exported as
+/// `nic.recovery.*` only when a fault was armed (zero-perturbation:
+/// clean runs carry none of these registry entries).
+#[derive(Debug, Default, Clone, Copy)]
+struct RecoveryCounters {
+    injected: u64,
+    backlogged: u64,
+    replayed: u64,
+    requeued_kernel: u64,
+    retired_fills: u64,
+    lost_continuations: u64,
 }
 
 /// The composed Lauberhorn server simulation.
@@ -184,6 +207,31 @@ pub struct LauberhornSim {
     /// duplicated fills or crash-retired endpoints) are then expected
     /// and absorbed instead of flagged as protocol bugs.
     fault_tolerant: bool,
+    /// Host-side shadow of everything the kernel programs into the
+    /// NIC. Recorded unconditionally on the (control-path) registration
+    /// calls and never consulted on the data path, so it perturbs
+    /// nothing; consulted only by the recovery machinery.
+    shadow: ShadowRegistry,
+    /// Lease watchdog over the CONTROL fabric; exists only when a NIC
+    /// fault is armed.
+    watchdog: Option<Watchdog>,
+    /// The armed NIC-internal fault, if any.
+    nic_fault: Option<NicFaultSpec>,
+    /// Victim selection for the injectors (stream `fault.nic`);
+    /// created — and drawn from — only when a fault is armed.
+    nic_fault_rng: Option<SimRng>,
+    /// The NIC's protocol engines are down (fault struck; reset and
+    /// reconstruction not yet complete).
+    nic_down: bool,
+    /// State salvaged by the controlled reset, awaiting write-back.
+    pending_salvage: Option<NicSalvage>,
+    /// Frames held by link-level flow control while the NIC is down.
+    nic_backlog: Vec<(PktBuf, u64)>,
+    /// Core loads the downed NIC has not yet observed.
+    held_loads: Vec<(usize, lauberhorn_coherence::FillToken, LineAddr)>,
+    /// Cores whose next park is deferred until the NIC is back.
+    held_cores: Vec<usize>,
+    recovery: RecoveryCounters,
 }
 
 impl LauberhornSim {
@@ -222,19 +270,21 @@ impl LauberhornSim {
         );
         // Per-core service capacity for the load tracker: rough 1/µs.
         let mut nic = LauberhornNic::new(nic_cfg, cfg.cores, 1_000_000.0);
+        let mut shadow = ShadowRegistry::new();
         for s in &services {
+            let (code, data) = (
+                0x4000_0000 + s.service_id as u64 * 0x1000,
+                0x5000_0000 + s.service_id as u64 * 0x1000,
+            );
             nic.demux_mut().register_service(s.service_id, s.process);
             nic.demux_mut()
-                .register_method(
-                    s.service_id,
-                    0x4000_0000 + s.service_id as u64 * 0x1000,
-                    0x5000_0000 + s.service_id as u64 * 0x1000,
-                    ServiceSpec::signature(),
-                )
+                .register_method(s.service_id, code, data, ServiceSpec::signature())
                 // lint:allow(panic-path): construction-time registration
                 .expect("service just registered");
+            shadow.record_service(s.service_id, s.process);
+            shadow.record_method(s.service_id, code, data);
         }
-        let cores = (0..cfg.cores)
+        let cores: Vec<CoreCtx> = (0..cfg.cores)
             .map(|c| CoreCtx {
                 mode: LoopMode::Kernel,
                 kernel_ep: nic.create_kernel_endpoint(c),
@@ -244,6 +294,10 @@ impl LauberhornSim {
                 cur_req: None,
             })
             .collect();
+        for (c, ctx) in cores.iter().enumerate() {
+            let (id, layout) = ctx.kernel_ep;
+            shadow.record_endpoint(id.0, layout.base.0, ProcessId(u32::MAX), Some(c));
+        }
         LauberhornSim {
             energy: EnergyMeter::new(cfg.cores),
             cost,
@@ -262,6 +316,16 @@ impl LauberhornSim {
             crashed: BTreeSet::new(),
             park_spans: vec![SpanId::NONE; cfg.cores],
             fault_tolerant: false,
+            shadow,
+            watchdog: None,
+            nic_fault: None,
+            nic_fault_rng: None,
+            nic_down: false,
+            pending_salvage: None,
+            nic_backlog: Vec::new(),
+            held_loads: Vec::new(),
+            held_cores: Vec::new(),
+            recovery: RecoveryCounters::default(),
             cfg,
         }
     }
@@ -339,8 +403,12 @@ impl LauberhornSim {
                     self.q.schedule(at, Ev::Preempt { core });
                 }
                 NicAction::Dropped { reason, request_id } => {
+                    // Under NIC fault injection an `UnknownService` drop
+                    // is the *expected* fail-stop signature of a
+                    // corrupted (or reset-blanked) demux entry; on clean
+                    // runs it means the generator is misconfigured.
                     debug_assert!(
-                        !matches!(reason, DropReason::UnknownService(_)),
+                        self.fault_tolerant || !matches!(reason, DropReason::UnknownService(_)),
                         "generator targeted an unregistered service"
                     );
                     match request_id {
@@ -502,6 +570,7 @@ impl LauberhornSim {
         let end = self.charge(core, now, cycles, request_id);
         if let Some((svc, ep, _)) = self.ctx(core).user_ep {
             self.nic.demux_mut().remove_endpoint(svc, ep);
+            self.shadow.unbind_endpoint(svc, ep.0);
         }
         self.ctx_mut(core).mode = LoopMode::Kernel;
         self.ctx_mut(core).tryagain_streak = 0;
@@ -523,6 +592,8 @@ impl LauberhornSim {
             None => {
                 let e = self.nic.create_endpoint(process);
                 self.user_eps.insert((service, core), e);
+                self.shadow
+                    .record_endpoint(e.0 .0, e.1.base.0, process, None);
                 e
             }
         };
@@ -530,6 +601,7 @@ impl LauberhornSim {
             Ok(()) | Err(DemuxError::UnknownService(_)) => {}
             Err(e) => debug_assert!(false, "add_endpoint: {e}"),
         }
+        self.shadow.bind_endpoint(service, ep.0);
         self.ctx_mut(core).mode = LoopMode::User { service };
         self.ctx_mut(core).user_ep = Some((service, ep, layout));
         self.ctx_mut(core).tryagain_streak = 0;
@@ -892,6 +964,8 @@ impl LauberhornSim {
             .collect();
         for &ep in &eps {
             self.nic.demux_mut().remove_endpoint(service, ep);
+            // The endpoint dies with the process: never reconstruct it.
+            self.shadow.forget_endpoint(ep.0);
         }
         // Salvage queued-but-undelivered requests onto the kernel path.
         let mut salvaged = Vec::new();
@@ -934,6 +1008,288 @@ impl LauberhornSim {
             }
             self.user_eps.remove(&(service, core));
             self.common.metrics.faults.crashes_recovered += 1;
+        }
+    }
+
+    // ---- NIC failure domain: injection, watchdog, degraded mode ----
+
+    /// The armed NIC-internal fault strikes.
+    fn on_nic_fault(&mut self, now: SimTime) {
+        let Some(spec) = self.nic_fault else {
+            return;
+        };
+        self.recovery.injected += 1;
+        let nth = self
+            .nic_fault_rng
+            .as_mut()
+            .map_or(0, |r| r.gen_range(0..4096));
+        match spec.kind {
+            NicFaultKind::TableCorrupt => {
+                let sid = self.nic.inject_table_fault(nth);
+                trace_ev!(
+                    self.trace,
+                    now,
+                    "fault.nic",
+                    "SEU: demux entry for service {sid:?} fails ECC"
+                );
+            }
+            NicFaultKind::StuckControlLine => {
+                let ep = self.nic.inject_stuck_line(nth);
+                trace_ev!(
+                    self.trace,
+                    now,
+                    "fault.nic",
+                    "CONTROL line engine of endpoint {ep:?} wedged"
+                );
+            }
+            NicFaultKind::MirrorDesync => {
+                self.nic.inject_mirror_desync();
+                trace_ev!(
+                    self.trace,
+                    now,
+                    "fault.nic",
+                    "scheduler mirror lost the kernel's pushes"
+                );
+            }
+            NicFaultKind::Reset => {
+                // The protocol engines die. Fabric-addressable SRAM
+                // survives until the kernel's controlled reset reads it
+                // out; the MAC asserts link-level flow control, so
+                // arriving frames wait instead of dropping.
+                self.nic_down = true;
+                trace_ev!(
+                    self.trace,
+                    now,
+                    "fault.nic",
+                    "NIC protocol engines down; link paused"
+                );
+            }
+        }
+    }
+
+    /// One watchdog lease probe: a single cache-line read of the NIC's
+    /// health registers (ECC status, line-transition epochs).
+    fn on_heartbeat(&mut self, now: SimTime) {
+        if self.watchdog.is_none() {
+            return;
+        }
+        let lease = {
+            // lint:allow(panic-path): checked Some above
+            let wd = self.watchdog.as_mut().expect("watchdog armed");
+            wd.heartbeat();
+            wd.lease_interval()
+        };
+        let reconstructing = self.pending_salvage.is_some();
+        if self.nic_down && !reconstructing {
+            // The lease expired: the device stopped answering.
+            if let Some(wd) = self.watchdog.as_mut() {
+                wd.fault_detected(now);
+            }
+            self.begin_reset_recovery(now);
+        } else if !self.nic_down {
+            let health = self.nic.probe_health();
+            if !health.healthy() {
+                if let Some(wd) = self.watchdog.as_mut() {
+                    wd.fault_detected(now);
+                }
+                self.repair(health, now);
+            }
+        }
+        // Keep probing until the armed fault has been detected and
+        // recovered, then go quiet: a free-running heartbeat would
+        // stretch the run's wall clock after the episode.
+        let done = self
+            .watchdog
+            .as_ref()
+            .is_some_and(|w| w.stats().repairs + w.stats().resets_recovered > 0);
+        if !done {
+            self.q.schedule(now + lease, Ev::Heartbeat);
+        }
+    }
+
+    /// Reprograms one service's demux entry (methods and bindings)
+    /// from the shadow registry.
+    fn reprogram_service(&mut self, sid: u16) {
+        let Some(svc) = self.shadow.service(sid) else {
+            return;
+        };
+        let process = svc.process;
+        let methods = svc.methods.clone();
+        let endpoints = svc.endpoints.clone();
+        self.nic.demux_mut().register_service(sid, process);
+        for (code, data) in methods {
+            let _ = self
+                .nic
+                .demux_mut()
+                .register_method(sid, code, data, ServiceSpec::signature());
+        }
+        for e in endpoints {
+            let _ = self.nic.demux_mut().add_endpoint(sid, EndpointId(e));
+        }
+    }
+
+    /// The kernel re-pushes scheduler ground truth into the mirror.
+    fn repush_sched_state(&mut self, now: SimTime) {
+        let state: Vec<(usize, Option<ProcessId>)> = self
+            .cores
+            .iter()
+            .enumerate()
+            .map(|(c, core)| {
+                let p = match core.mode {
+                    LoopMode::User { service } => Some(self.spec_of(service).process),
+                    LoopMode::Kernel => None,
+                };
+                (c, p)
+            })
+            .collect();
+        for (c, p) in state {
+            self.nic.push_running(c, p, now);
+        }
+    }
+
+    /// Targeted repair of a non-reset fault: reprogram corrupted demux
+    /// entries from the shadow, unstick wedged line engines (requeueing
+    /// what they black-holed onto the kernel path), re-push scheduler
+    /// ground truth after a mirror desync.
+    fn repair(&mut self, health: NicHealth, now: SimTime) {
+        trace_ev!(
+            self.trace,
+            now,
+            "os.watchdog",
+            "probe unhealthy ({health:?}): targeted repair"
+        );
+        for sid in health.corrupted_services.clone() {
+            self.reprogram_service(sid);
+        }
+        for ep in health.stuck_endpoints {
+            let drained = self.nic.repair_stuck_endpoint(ep);
+            for (line, ctx) in drained {
+                self.recovery.requeued_kernel += 1;
+                let actions = self.nic.redeliver_to_kernel(now, line, ctx);
+                self.apply_actions(actions);
+            }
+            // Unblock the stalled waiter: it falls back to the kernel
+            // dispatch loop through the normal RETIRE path.
+            let actions = self.nic.retire_endpoint(now, ep);
+            self.apply_actions(actions);
+        }
+        if health.mirror_desynced {
+            self.repush_sched_state(now);
+            self.nic.resync_mirror();
+        }
+        if let Some(wd) = self.watchdog.as_mut() {
+            wd.repaired(now);
+        }
+    }
+
+    /// The kernel's reset handler: salvage all fabric-recoverable
+    /// state, answer salvaged parked fills with RETIRE (their cores
+    /// fall back to the kernel loop instead of spinning on a dead
+    /// device), clear the device, and schedule reconstruction.
+    fn begin_reset_recovery(&mut self, now: SimTime) {
+        trace_ev!(
+            self.trace,
+            now,
+            "os.watchdog",
+            "lease expired: controlled NIC reset, reconstructing from shadow"
+        );
+        let salvage = self.nic.reset();
+        self.recovery.lost_continuations += salvage.lost_continuations as u64;
+        let line_size = self.coh.line_size();
+        let retire = lauberhorn_nic::dispatch::DispatchLine::retire()
+            .encode(line_size)
+            .map(|(ctrl, _)| ctrl)
+            .unwrap_or_else(|_| vec![0; line_size]);
+        for (_, token) in &salvage.parked {
+            self.recovery.retired_fills += 1;
+            self.schedule_fill(*token, retire.clone(), now);
+        }
+        let entries = self.shadow.entry_count();
+        let dur = self
+            .watchdog
+            .as_ref()
+            .map_or(SimDuration::ZERO, |w| w.reconstruction_time(entries));
+        self.pending_salvage = Some(salvage);
+        self.q.schedule(now + dur, Ev::NicRestored);
+    }
+
+    /// Reconstruction complete: replay the shadow into the device,
+    /// write back salvaged protocol state (invariant I9: live
+    /// endpoints are bisimilar to their pre-fault selves), requeue
+    /// salvaged in-flight requests on the kernel path, release the
+    /// frozen cores, and replay the backlog. Traffic then migrates
+    /// back to the fast path through the normal Figure 5 residency
+    /// mechanics.
+    fn on_nic_restored(&mut self, now: SimTime) {
+        let Some(salvage) = self.pending_salvage.take() else {
+            return;
+        };
+        // 1. Demux entries, methods and bindings, in sorted id order.
+        let sids: Vec<u16> = self.shadow.services().map(|(id, _)| id).collect();
+        for sid in sids {
+            self.reprogram_service(sid);
+        }
+        // 2. Endpoints: same ids, same device addresses, same modes.
+        let line_size = self.nic.config().line_size;
+        let n_aux = self.nic.config().n_aux;
+        let eps: Vec<(u32, u64, ProcessId, Option<usize>)> = self
+            .shadow
+            .endpoints()
+            .map(|(id, e)| (id, e.base, e.process, e.kernel_core))
+            .collect();
+        for (id, base, process, kernel_core) in eps {
+            let layout = EndpointLayout {
+                base: LineAddr::new(base, line_size),
+                line_size,
+                n_aux,
+            };
+            self.nic
+                .restore_endpoint(EndpointId(id), process, layout, kernel_core);
+        }
+        // 3. Protocol write-back for live endpoints: outstanding
+        // responses and CONTROL-line parity exactly as before the
+        // fault, so handlers that survived the reset complete their
+        // requests through the normal collect path (at-most-once
+        // without any extra dedup state).
+        for s in salvage.protocol {
+            self.nic.restore_protocol_state(s);
+        }
+        // 4. The kernel re-pushes scheduler ground truth.
+        self.repush_sched_state(now);
+        self.nic_down = false;
+        if let Some(wd) = self.watchdog.as_mut() {
+            wd.restored(now);
+        }
+        trace_ev!(
+            self.trace,
+            now,
+            "os.watchdog",
+            "NIC reconstructed from shadow; degraded mode ends"
+        );
+        // 5. Requeue salvaged in-flight requests on the kernel path
+        // (PR 2's crash-recovery requeue, generalized to a whole-NIC
+        // loss).
+        for (line, ctx) in salvage.orphans {
+            self.recovery.requeued_kernel += 1;
+            let actions = self.nic.redeliver_to_kernel(now, line, ctx);
+            self.apply_actions(actions);
+        }
+        // 6. Release the cores and loads frozen by the reset.
+        for core in std::mem::take(&mut self.held_cores) {
+            self.q.schedule(now, Ev::IssueLoad { core });
+        }
+        for (core, token, addr) in std::mem::take(&mut self.held_loads) {
+            self.q.schedule(now, Ev::NicSeesLoad { core, token, addr });
+        }
+        // 7. Replay the paused backlog, staggered at line rate.
+        for (i, (raw, request_id)) in std::mem::take(&mut self.nic_backlog)
+            .into_iter()
+            .enumerate()
+        {
+            self.q.schedule(
+                now + SimDuration::from_ns(100) * (i as u64 + 1),
+                Ev::ReplayFrame { raw, request_id },
+            );
         }
     }
 
@@ -998,6 +1354,29 @@ impl ServerStack for LauberhornSim {
                 },
             );
         }
+        // NIC failure domain: arm the injected device fault and the
+        // watchdog lease that detects it. With no NIC fault in the
+        // plan none of this runs and no RNG stream is drawn, so
+        // existing seeded runs stay byte-identical.
+        self.nic_down = false;
+        self.pending_salvage = None;
+        self.nic_backlog.clear();
+        self.held_loads.clear();
+        self.held_cores.clear();
+        self.recovery = RecoveryCounters::default();
+        self.nic_fault = workload.faults.nic;
+        self.nic_fault_rng = workload
+            .faults
+            .nic
+            .map(|_| SimRng::stream(workload.seed, "fault.nic"));
+        self.watchdog = workload.faults.nic.map(|_| Watchdog::default());
+        if let Some(nf) = workload.faults.nic {
+            self.q.schedule(SimTime::ZERO + nf.at, Ev::NicFault);
+            self.q.schedule(
+                SimTime::ZERO + lauberhorn_os::health::LEASE_INTERVAL,
+                Ev::Heartbeat,
+            );
+        }
         // Kernel dispatcher cores park at t=0.
         for core in 0..self.cfg.kernel_dispatchers.min(self.cfg.cores) {
             self.q.schedule(SimTime::ZERO, Ev::IssueLoad { core });
@@ -1047,6 +1426,14 @@ impl ServerStack for LauberhornSim {
                     self.common.reject_corrupt(request_id);
                     return;
                 }
+                // Degraded mode: a reset NIC asserts link-level flow
+                // control, so frames pause at the switch instead of
+                // dropping; they replay once the device is rebuilt.
+                if self.nic_down {
+                    self.recovery.backlogged += 1;
+                    self.nic_backlog.push((raw, request_id));
+                    return;
+                }
                 if self.common.rx_gate(request_id, now) == crate::stack::RxGate::Duplicate {
                     return;
                 }
@@ -1076,6 +1463,12 @@ impl ServerStack for LauberhornSim {
                 self.on_fill_at_core(core, addr, data, now);
             }
             Ev::NicSeesLoad { core, token, addr } => {
+                // A dead device cannot observe loads; the core's fill
+                // stays outstanding until reconstruction releases it.
+                if self.nic_down {
+                    self.held_loads.push((core, token, addr));
+                    return;
+                }
                 let actions = self.nic.on_core_load(now, core, token, addr);
                 self.apply_actions(actions);
             }
@@ -1095,10 +1488,38 @@ impl ServerStack for LauberhornSim {
                 self.on_collect(line, ctx, now);
             }
             Ev::IssueLoad { core } => {
+                // Loading against a blank NIC would read the wrong
+                // CONTROL parity; hold the core until the endpoint
+                // table is rebuilt.
+                if self.nic_down {
+                    self.held_cores.push(core);
+                    return;
+                }
                 self.issue_load(core, now);
             }
             Ev::Crash { service, tries } => {
                 self.on_crash(service, tries, now);
+            }
+            Ev::NicFault => {
+                self.on_nic_fault(now);
+            }
+            Ev::Heartbeat => {
+                self.on_heartbeat(now);
+            }
+            Ev::NicRestored => {
+                self.on_nic_restored(now);
+            }
+            Ev::ReplayFrame { raw, request_id } => {
+                self.recovery.replayed += 1;
+                if lauberhorn_packet::parse_udp_frame_ref(&raw).is_err() {
+                    self.common.reject_corrupt(request_id);
+                    return;
+                }
+                if self.common.rx_gate(request_id, now) == crate::stack::RxGate::Duplicate {
+                    return;
+                }
+                let actions = self.nic.on_request_frame(now, &raw);
+                self.apply_actions(actions);
             }
             Ev::Preempt { core } => {
                 // Kernel + NIC cooperate (§5.1): IPI the core, then
@@ -1130,6 +1551,28 @@ impl ServerStack for LauberhornSim {
         let reg = &mut self.common.metrics.registry;
         self.nic.export_metrics(reg);
         coh_stats.export(reg);
+        // Only registered when a NIC fault was armed: unconditional
+        // entries would perturb the digest of every existing run.
+        if let Some(wd) = &self.watchdog {
+            let ws = wd.stats();
+            reg.counter("os.watchdog.heartbeats", ws.heartbeats);
+            reg.counter("os.watchdog.faults_detected", ws.faults_detected);
+            reg.counter("os.watchdog.repairs", ws.repairs);
+            reg.counter("os.watchdog.resets_recovered", ws.resets_recovered);
+            reg.gauge("os.watchdog.degraded_us", wd.degraded_total().as_us_f64());
+            reg.counter("nic.recovery.injected", self.recovery.injected);
+            reg.counter("nic.recovery.backlogged", self.recovery.backlogged);
+            reg.counter("nic.recovery.replayed", self.recovery.replayed);
+            reg.counter(
+                "nic.recovery.requeued_kernel",
+                self.recovery.requeued_kernel,
+            );
+            reg.counter("nic.recovery.retired_fills", self.recovery.retired_fills);
+            reg.counter(
+                "nic.recovery.lost_continuations",
+                self.recovery.lost_continuations,
+            );
+        }
         (total, coh_stats.fabric_messages())
     }
 }

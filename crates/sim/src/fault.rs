@@ -84,9 +84,45 @@ pub struct CrashSpec {
     pub service: u16,
 }
 
+/// The NIC-internal fault classes. Each models a distinct way
+/// NIC-resident OS state (endpoint/demux tables, CONTROL lines, the
+/// scheduler mirror) can fail once it lives on the device — the flip
+/// side of the paper's "put OS state on the NIC" position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NicFaultKind {
+    /// SEU-style single-bit flip in an endpoint/demux table entry: a
+    /// seeded service's dispatch entry is corrupted, so frames for it
+    /// no longer demux (detected as table ECC / lookup failure).
+    TableCorrupt,
+    /// A CONTROL line wedges: one endpoint's parked line never
+    /// transitions again, so parked deliveries to it stall until the
+    /// watchdog notices the silence.
+    StuckControlLine,
+    /// The NIC's scheduler mirror silently diverges from the kernel's
+    /// run queues: stale core views misroute deliveries to queues.
+    MirrorDesync,
+    /// Full NIC reset: every NIC-resident table, line, continuation
+    /// and mirror entry vanishes at once and must be reconstructed
+    /// from the kernel's shadow registry.
+    Reset,
+}
+
+/// A deterministic NIC-internal fault: `kind` strikes at `at` into the
+/// run. Target selection within the class (which table entry, which
+/// line, which bit) is drawn from the seeded `"fault.nic"` stream at
+/// fire time — zero draws when the plan carries no NIC fault.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NicFaultSpec {
+    /// Which class of NIC-internal fault strikes.
+    pub kind: NicFaultKind,
+    /// When it strikes (simulated time from run start).
+    pub at: SimDuration,
+}
+
 /// The full fault plan a workload carries: independent injection
 /// points for each direction of the wire and for the coherence
-/// fabric, plus an optional process crash.
+/// fabric, plus an optional process crash and an optional
+/// NIC-internal fault.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct FaultPlan {
     /// Client → server request frames.
@@ -97,6 +133,8 @@ pub struct FaultPlan {
     pub fill: FaultSpec,
     /// Deterministic process crash, if any.
     pub crash: Option<CrashSpec>,
+    /// Deterministic NIC-internal fault, if any (Lauberhorn stacks).
+    pub nic: Option<NicFaultSpec>,
 }
 
 impl FaultPlan {
@@ -114,12 +152,21 @@ impl FaultPlan {
         }
     }
 
-    /// Whether any injection point (or the crash) is live.
+    /// A plan whose only fault is a NIC-internal `kind` at `at`.
+    pub fn nic_fault(kind: NicFaultKind, at: SimDuration) -> Self {
+        FaultPlan {
+            nic: Some(NicFaultSpec { kind, at }),
+            ..Default::default()
+        }
+    }
+
+    /// Whether any injection point (or the crash / NIC fault) is live.
     pub fn enabled(&self) -> bool {
         self.wire_tx.enabled()
             || self.wire_rx.enabled()
             || self.fill.enabled()
             || self.crash.is_some()
+            || self.nic.is_some()
     }
 }
 
@@ -333,5 +380,32 @@ mod tests {
         };
         assert!(crash_only.enabled());
         assert!(!crash_only.wire_tx.enabled());
+    }
+
+    #[test]
+    fn nic_fault_plan_enabled_logic() {
+        for kind in [
+            NicFaultKind::TableCorrupt,
+            NicFaultKind::StuckControlLine,
+            NicFaultKind::MirrorDesync,
+            NicFaultKind::Reset,
+        ] {
+            let plan = FaultPlan::nic_fault(kind, SimDuration::from_ms(2));
+            assert!(plan.enabled());
+            // The NIC fault arms no probabilistic injector: wire and
+            // fill points stay disabled, so no RNG stream is touched
+            // until the fault actually fires.
+            assert!(!plan.wire_tx.enabled());
+            assert!(!plan.wire_rx.enabled());
+            assert!(!plan.fill.enabled());
+            assert_eq!(
+                plan.nic,
+                Some(NicFaultSpec {
+                    kind,
+                    at: SimDuration::from_ms(2)
+                })
+            );
+        }
+        assert_eq!(FaultPlan::none().nic, None);
     }
 }

@@ -27,7 +27,9 @@ pub mod time;
 pub mod trace;
 
 pub use energy::{CoreState, CycleAccount, EnergyMeter};
-pub use fault::{CrashSpec, FaultDecision, FaultInjector, FaultPlan, FaultSpec};
+pub use fault::{
+    CrashSpec, FaultDecision, FaultInjector, FaultPlan, FaultSpec, NicFaultKind, NicFaultSpec,
+};
 pub use metrics::MetricsRegistry;
 pub use overload::{load_hint, AdmissionCtl, AimdPacer, OverloadConfig, ShedReason};
 pub use queue::EventQueue;

@@ -355,6 +355,7 @@ fn corrupted_wire_frames_are_rejected_and_counted() {
         wire_rx: FaultSpec::loss(0.0),
         fill: FaultSpec::loss(0.0),
         crash: None,
+        nic: None,
     };
     for stack in [
         StackKind::LauberhornEnzian,
@@ -467,4 +468,92 @@ fn tryagain_window_boundary_is_exactly_15ms() {
         Some(DispatchKind::Rpc),
         "request after re-park must be delivered"
     );
+}
+
+#[test]
+fn retransmits_past_the_shed_deadline_are_suppressed_not_fired() {
+    use lauberhorn::prelude::*;
+    use lauberhorn::rpc::RetryPolicy;
+    use lauberhorn::sim::fault::{FaultPlan, FaultSpec};
+    use lauberhorn::sim::{OverloadConfig, SimDuration};
+    // Backoff-vs-deadline audit: with deadline shedding armed at 100 µs
+    // and a budget-less same-rack retry policy (first RTO ~200 µs),
+    // every retransmit timer fires after the request is already stale.
+    // The server would shed each retransmission at dispatch, so the
+    // driver must suppress them at the client — terminal timeouts,
+    // counted, with zero wasted retransmissions on the wire.
+    let plan = FaultPlan {
+        wire_tx: FaultSpec::loss(1.0),
+        wire_rx: FaultSpec::loss(0.0),
+        fill: FaultSpec::loss(0.0),
+        crash: None,
+        nic: None,
+    };
+    let mut wl = WorkloadSpec::open_poisson(20_000.0, 1, 0.0, SizeDist::Fixed { bytes: 64 }, 2, 13);
+    wl.warmup = 0;
+    let wl = wl
+        .with_faults(plan)
+        .with_retry(RetryPolicy::same_rack())
+        .with_overload(OverloadConfig::drop_tail(64).with_deadline(SimDuration::from_us(100)));
+    let r = Experiment::new(StackKind::LauberhornEnzian)
+        .cores(2)
+        .services(ServiceSpec::uniform(1, 1000, 32))
+        .run(&wl);
+    assert!(r.offered > 10, "load generator never ran");
+    assert_eq!(r.completed, 0, "total loss should complete nothing");
+    // Every first retransmission was due past the deadline: suppressed
+    // as a terminal timeout, never put on the wire.
+    assert_eq!(r.faults.retransmits, 0, "stale retransmissions fired");
+    assert_eq!(r.faults.retries_exhausted, 0);
+    assert_eq!(r.faults.timeouts, r.offered, "a request escaped the audit");
+    let suppressed = r
+        .metrics
+        .get_counter("rpc.retry.deadline_suppressed")
+        .unwrap_or(0);
+    assert_eq!(suppressed, r.offered, "suppressions not counted");
+    assert_eq!(r.completed + r.dropped, r.offered, "requests leaked");
+}
+
+#[test]
+fn nic_reset_episode_loses_nothing() {
+    use lauberhorn::prelude::*;
+    use lauberhorn::rpc::RetryPolicy;
+    use lauberhorn::sim::fault::{FaultPlan, NicFaultKind};
+    use lauberhorn::sim::SimDuration;
+    // A full NIC reset strikes mid-run: the watchdog lease expires,
+    // the kernel salvages the device's fabric-visible state, rebuilds
+    // the endpoint and demux tables from its shadow registry, writes
+    // the salvaged protocol state back, and replays the link-paused
+    // backlog. Headline claim of the failure-domain design: nothing
+    // accepted is ever lost, and nothing runs twice.
+    let plan = FaultPlan::nic_fault(NicFaultKind::Reset, SimDuration::from_ms(2));
+    let mut wl =
+        WorkloadSpec::open_poisson(60_000.0, 2, 0.5, SizeDist::Fixed { bytes: 64 }, 30, 11);
+    wl.warmup = 100;
+    let wl = wl.with_faults(plan).with_retry(RetryPolicy::same_rack());
+    let r = Experiment::new(StackKind::LauberhornEnzian)
+        .cores(4)
+        .services(ServiceSpec::uniform(2, 1000, 32))
+        .run(&wl);
+    // The watchdog saw the episode through: detected, reconstructed.
+    let g = |k: &str| r.metrics.get_counter(k).unwrap_or(0);
+    assert_eq!(g("os.watchdog.resets_recovered"), 1, "reset not recovered");
+    assert!(g("os.watchdog.faults_detected") >= 1);
+    assert!(
+        r.metrics
+            .get_gauge("os.watchdog.degraded_us")
+            .unwrap_or(0.0)
+            > 0.0,
+        "degraded window not recorded"
+    );
+    // The link paused and replayed rather than dropping.
+    assert_eq!(g("nic.recovery.backlogged"), g("nic.recovery.replayed"));
+    // Nothing lost forever, nothing executed twice.
+    assert_eq!(r.faults.dup_executions, 0, "handler ran twice across reset");
+    assert_eq!(
+        r.completed + r.dropped,
+        r.offered,
+        "requests vanished across the NIC reset"
+    );
+    assert_eq!(r.dropped, 0, "reset episode dropped requests");
 }
