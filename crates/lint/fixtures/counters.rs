@@ -1,0 +1,27 @@
+// Fixture: counter-balance. Every metrics counter incremented must
+// appear in some registration; `lint_source` resolves the balance
+// within this one file.
+
+impl Stack {
+    fn on_rx(&mut self) {
+        // Balanced: registered below.
+        self.stats.delivered += 1;
+        // Violation: `ghost_frames` is never registered anywhere.
+        self.stats.ghost_frames += 1;
+    }
+
+    fn on_drop(&mut self) {
+        // Balanced through the accessor: `drop_count()` is a
+        // registration argument and its body names the field.
+        self.metrics.drops += 1;
+    }
+
+    fn drop_count(&self) -> u64 {
+        self.metrics.drops
+    }
+
+    fn export(&self, reg: &mut Registry) {
+        reg.counter("stack.delivered", self.stats.delivered);
+        reg.counter("stack.drops", self.drop_count());
+    }
+}

@@ -1,0 +1,41 @@
+// Fixture: unbounded-growth. Arrival-path pushes must be dominated by
+// a capacity check of the same field; a check on only one branch does
+// not count, and non-arrival functions may grow freely.
+
+impl Endpoint {
+    // Clean: the push is dominated by the capacity check.
+    fn on_request(&mut self, r: Request) -> Outcome {
+        if self.queue.len() >= self.queue_cap {
+            return Outcome::Rejected;
+        }
+        self.queue.push_back(r);
+        Outcome::Queued
+    }
+
+    // Violation: no check at all.
+    fn on_frame(&mut self, f: Frame) {
+        self.backlog.push_back(f);
+    }
+
+    // Violation: the check only guards one branch, the push follows
+    // the join.
+    fn handle_burst(&mut self, f: Frame, fast: bool) {
+        if fast {
+            if self.burst.len() >= self.burst_limit {
+                return;
+            }
+        }
+        self.burst.push_back(f);
+    }
+
+    // Clean: justified pragma.
+    fn on_park(&mut self, core: CoreId, id: EpId) {
+        // lint:allow(unbounded-growth): keyed by endpoint id, bounded by the table
+        self.parked_core.insert(id, core);
+    }
+
+    // Clean: not an arrival function.
+    fn restock(&mut self, buf: Buf) {
+        self.pool.push(buf);
+    }
+}

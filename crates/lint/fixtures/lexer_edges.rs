@@ -1,0 +1,39 @@
+// Fixture: lexer edge cases. Every construct here hides panic-like
+// text inside strings/comments or uses tick-adjacent syntax; if the
+// scanner mishandles any of them, token soup leaks out and a rule
+// fires. The file must lint clean in a hot-path crate.
+
+/* Nested /* block /* comments */ close */ properly: panic!() unwrap() */
+
+fn raw_strings() -> &'static str {
+    let a = r#"contains .unwrap() and panic!("boom") and v[0]"#;
+    let b = r##"nested "#" hashes: Instant::now() HashMap"##;
+    let c = r"plain raw: SystemTime .expect(";
+    let _ = (a, b);
+    c
+}
+
+fn multiline() -> String {
+    let s = "line one \
+             still line one: unwrap() panic!";
+    let t = "line one
+line two: v[i] is prose in a string";
+    let mut out = String::new();
+    out.push_str(s);
+    out.push_str(t);
+    out
+}
+
+fn lifetimes_vs_chars<'a>(x: &'a [char]) -> (char, Option<&'a char>) {
+    let tick = '\'';
+    let close = '}';
+    let letter = 'a';
+    let _ = (tick, close);
+    (letter, x.first())
+}
+
+fn raw_identifiers() {
+    let r#type = 1u32;
+    let r#fn = r#type + 1;
+    let _ = r#fn;
+}

@@ -1,0 +1,30 @@
+// Fixture: recovery-purity. Recovery code in `os` runs while the
+// system is degraded: no allocation, no unwrap-pattern.
+
+impl Watchdog {
+    // Violation ×2: vec! allocates, .unwrap() can panic. The unwrap
+    // also trips panic-path (os is a hot-path crate); that rule is
+    // pragma'd off so the fixture isolates recovery-purity.
+    fn repaired(&mut self, now: SimTime) {
+        let trail = vec![now];
+        // lint:allow(panic-path): fixture exercises recovery-purity here
+        self.last_repair = trail.first().copied().unwrap();
+    }
+
+    // Clean: field-only bookkeeping.
+    fn restored(&mut self, now: SimTime) {
+        self.degraded = false;
+        self.last_restore = now;
+    }
+}
+
+// Violation: the `reconstruct_` prefix marks a recovery path; the
+// format! allocates.
+fn reconstruct_label(id: u64) -> String {
+    format!("ep{id}")
+}
+
+// Clean: not a recovery function.
+fn describe(id: u64) -> String {
+    format!("ep{id}")
+}

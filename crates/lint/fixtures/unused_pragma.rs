@@ -1,0 +1,13 @@
+// Fixture: unused-pragma. The first pragma suppresses a real finding;
+// the second is stale — the code under it stopped panicking — and the
+// staleness itself is a violation that no pragma can silence.
+
+fn f(x: Option<u32>) -> u32 {
+    // lint:allow(panic-path): fixture value constructed as Some above
+    x.unwrap()
+}
+
+fn g(x: Option<u32>) -> u32 {
+    // lint:allow(panic-path): held over from an older unwrap
+    x.unwrap_or(0)
+}

@@ -1,0 +1,465 @@
+//! Intra-procedural control-flow graph over the token stream.
+//!
+//! Statements are grouped into basic blocks; `if`/`else`, `match`,
+//! `while`/`loop`/`for`, `return`, `break` and `continue` produce
+//! edges. The graph is deliberately coarse — conditions live in the
+//! block that *ends* with the branch, so a fact established by a
+//! condition holds in everything the condition block dominates, which
+//! is exactly the "a capacity check dominates the push" obligation the
+//! growth rule discharges. Braces that do not follow a control keyword
+//! (struct literals, closure bodies, plain blocks) are folded into the
+//! current statement: conservative for statement attribution and
+//! irrelevant for branching.
+
+use crate::scan::Token;
+
+/// One basic block: statement token ranges plus successor edges.
+#[derive(Debug, Default)]
+pub struct Block {
+    /// Token ranges `[start, end)` of the statements (and conditions)
+    /// attributed to this block, in order.
+    pub stmts: Vec<(usize, usize)>,
+    /// Successor block indices.
+    pub succs: Vec<usize>,
+}
+
+/// A function body's control-flow graph.
+#[derive(Debug)]
+pub struct Cfg {
+    /// The blocks; block 0 is the entry.
+    pub blocks: Vec<Block>,
+    /// The synthetic exit block (no statements).
+    pub exit: usize,
+}
+
+impl Cfg {
+    /// Predecessor lists.
+    pub fn preds(&self) -> Vec<Vec<usize>> {
+        let mut preds = vec![Vec::new(); self.blocks.len()];
+        for (b, blk) in self.blocks.iter().enumerate() {
+            for &s in &blk.succs {
+                preds[s].push(b);
+            }
+        }
+        preds
+    }
+}
+
+/// Control keywords that start a structured statement.
+fn is_structure(t: &str) -> bool {
+    matches!(t, "if" | "match" | "while" | "loop" | "for")
+}
+
+struct Builder<'a> {
+    tokens: &'a [Token],
+    blocks: Vec<Block>,
+    exit: usize,
+    /// Innermost-last stack of (loop header, loop exit).
+    loops: Vec<(usize, usize)>,
+}
+
+impl<'a> Builder<'a> {
+    fn new_block(&mut self) -> usize {
+        self.blocks.push(Block::default());
+        self.blocks.len() - 1
+    }
+
+    fn edge(&mut self, from: usize, to: usize) {
+        if !self.blocks[from].succs.contains(&to) {
+            self.blocks[from].succs.push(to);
+        }
+    }
+
+    /// Index just past the brace-matched region opening at `open`
+    /// (which must hold `{`).
+    fn match_brace(&self, open: usize, end: usize) -> usize {
+        let mut d = 0isize;
+        let mut i = open;
+        while i < end {
+            match self.tokens[i].text.as_str() {
+                "{" => d += 1,
+                "}" => {
+                    d -= 1;
+                    if d == 0 {
+                        return i + 1;
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        end
+    }
+
+    /// First `{` at paren/bracket depth 0 in `[from, end)`.
+    fn find_body_open(&self, from: usize, end: usize) -> usize {
+        let mut depth = 0isize;
+        let mut i = from;
+        while i < end {
+            match self.tokens[i].text.as_str() {
+                "(" | "[" => depth += 1,
+                ")" | "]" => depth -= 1,
+                "{" if depth == 0 => return i,
+                _ => {}
+            }
+            i += 1;
+        }
+        end
+    }
+
+    /// Lowers the token sequence `[start, end)` starting in block
+    /// `cur`; returns the block control falls out of, or `None` when
+    /// every path diverges (return / break / continue).
+    fn seq(&mut self, start: usize, end: usize, mut cur: usize) -> Option<usize> {
+        let mut i = start;
+        let mut stmt_start = i;
+        // Close the pending simple-statement range `[stmt_start, upto)`
+        // into `cur`.
+        macro_rules! flush {
+            ($upto:expr) => {
+                if $upto > stmt_start {
+                    self.blocks[cur].stmts.push((stmt_start, $upto));
+                }
+            };
+        }
+        let mut paren = 0isize;
+        while i < end {
+            let t = self.tokens[i].text.as_str();
+            match t {
+                "(" | "[" => {
+                    paren += 1;
+                    i += 1;
+                }
+                ")" | "]" => {
+                    paren -= 1;
+                    i += 1;
+                }
+                ";" if paren == 0 => {
+                    flush!(i + 1);
+                    i += 1;
+                    stmt_start = i;
+                }
+                "{" if paren == 0 => {
+                    // A brace not owned by a control keyword: fold the
+                    // whole region into the current statement.
+                    i = self.match_brace(i, end);
+                }
+                "return" if paren == 0 => {
+                    // The returned expression stays in this block.
+                    let mut j = i + 1;
+                    let mut d = 0isize;
+                    while j < end {
+                        match self.tokens[j].text.as_str() {
+                            "(" | "[" => d += 1,
+                            ")" | "]" => d -= 1,
+                            ";" if d == 0 => break,
+                            "{" if d == 0 => {
+                                j = self.match_brace(j, end);
+                                continue;
+                            }
+                            "}" if d == 0 => break,
+                            _ => {}
+                        }
+                        j += 1;
+                    }
+                    flush!(j.min(end));
+                    self.edge(cur, self.exit);
+                    cur = self.new_block(); // unreachable continuation
+                    i = (j + 1).min(end);
+                    stmt_start = i;
+                }
+                "break" | "continue" if paren == 0 => {
+                    flush!(i + 1);
+                    if let Some(&(header, lexit)) = self.loops.last() {
+                        let target = if t == "break" { lexit } else { header };
+                        self.edge(cur, target);
+                    } else {
+                        self.edge(cur, self.exit);
+                    }
+                    cur = self.new_block();
+                    // Skip to the end of the statement.
+                    let mut j = i + 1;
+                    while j < end && self.tokens[j].text != ";" && self.tokens[j].text != "}" {
+                        j += 1;
+                    }
+                    i = (j + 1).min(end);
+                    stmt_start = i;
+                }
+                _ if paren == 0 && is_structure(t) && !self.is_expr_position(i, stmt_start) => {
+                    flush!(i);
+                    cur = match t {
+                        "if" => self.lower_if(i, end, cur, &mut i),
+                        "match" => self.lower_match(i, end, cur, &mut i),
+                        "while" | "for" => self.lower_loop_with_header(i, end, cur, &mut i),
+                        _ => self.lower_loop(i, end, cur, &mut i),
+                    }?;
+                    stmt_start = i;
+                }
+                _ => i += 1,
+            }
+        }
+        flush!(end);
+        Some(cur)
+    }
+
+    /// `for` inside an expression (`for` in trait bounds, `impl Fn`)
+    /// or `if` as a match-guard never reach here — but `match`, `if`
+    /// appearing right after `=` / `(` etc. are genuine expression
+    /// forms that still branch, so no position is treated specially.
+    fn is_expr_position(&self, _i: usize, _stmt_start: usize) -> bool {
+        false
+    }
+
+    /// Lowers `if cond { .. } (else if .. )* (else { .. })?`; `*next`
+    /// is left one past the construct. Returns the join block.
+    fn lower_if(&mut self, kw: usize, end: usize, cur: usize, next: &mut usize) -> Option<usize> {
+        let open = self.find_body_open(kw + 1, end);
+        // The condition evaluates in (and terminates) `cur`.
+        if open > kw + 1 {
+            self.blocks[cur].stmts.push((kw + 1, open));
+        }
+        let body_end = self.match_brace(open, end);
+        let then_entry = self.new_block();
+        self.edge(cur, then_entry);
+        let then_exit = self.seq(
+            open + 1,
+            body_end.saturating_sub(1).max(open + 1),
+            then_entry,
+        );
+
+        let mut i = body_end;
+        let mut else_exit: Option<usize> = None;
+        let mut had_else = false;
+        if i < end && self.tokens[i].text == "else" {
+            had_else = true;
+            if i + 1 < end && self.tokens[i + 1].text == "if" {
+                let else_entry = self.new_block();
+                self.edge(cur, else_entry);
+                else_exit = self.lower_if(i + 1, end, else_entry, &mut i);
+            } else {
+                let eopen = self.find_body_open(i + 1, end);
+                let eend = self.match_brace(eopen, end);
+                let else_entry = self.new_block();
+                self.edge(cur, else_entry);
+                else_exit = self.seq(eopen + 1, eend.saturating_sub(1).max(eopen + 1), else_entry);
+                i = eend;
+            }
+        }
+        *next = i;
+
+        let join = self.new_block();
+        if let Some(t) = then_exit {
+            self.edge(t, join);
+        }
+        if let Some(e) = else_exit {
+            self.edge(e, join);
+        }
+        if !had_else {
+            // Fall-through when the condition is false.
+            self.edge(cur, join);
+        }
+        Some(join)
+    }
+
+    /// Lowers `match scrutinee { arms }`. Returns the join block.
+    fn lower_match(
+        &mut self,
+        kw: usize,
+        end: usize,
+        cur: usize,
+        next: &mut usize,
+    ) -> Option<usize> {
+        let open = self.find_body_open(kw + 1, end);
+        if open > kw + 1 {
+            self.blocks[cur].stmts.push((kw + 1, open));
+        }
+        let mend = self.match_brace(open, end);
+        *next = mend;
+        let join = self.new_block();
+
+        // Parse arms inside (open, mend-1).
+        let inner_end = mend.saturating_sub(1).max(open + 1);
+        let mut i = open + 1;
+        while i < inner_end {
+            // Pattern (and optional guard) up to `=>` at depth 0.
+            let pat_start = i;
+            let mut d = 0isize;
+            while i < inner_end {
+                match self.tokens[i].text.as_str() {
+                    "(" | "[" | "{" => d += 1,
+                    ")" | "]" | "}" => d -= 1,
+                    "=" if d == 0 && i + 1 < inner_end && self.tokens[i + 1].text == ">" => {
+                        break;
+                    }
+                    _ => {}
+                }
+                i += 1;
+            }
+            if i >= inner_end {
+                break;
+            }
+            let arm_entry = self.new_block();
+            self.edge(cur, arm_entry);
+            // The pattern/guard tokens evaluate in the scrutinee block.
+            if i > pat_start {
+                self.blocks[cur].stmts.push((pat_start, i));
+            }
+            i += 2; // past `=>`
+            let (body_start, body_end, after) = if i < inner_end && self.tokens[i].text == "{" {
+                let e = self.match_brace(i, inner_end);
+                (i + 1, e.saturating_sub(1).max(i + 1), e)
+            } else {
+                // Expression arm: up to `,` at depth 0 (or arm list end).
+                let s = i;
+                let mut d2 = 0isize;
+                while i < inner_end {
+                    match self.tokens[i].text.as_str() {
+                        "(" | "[" | "{" => d2 += 1,
+                        ")" | "]" | "}" => d2 -= 1,
+                        "," if d2 == 0 => break,
+                        _ => {}
+                    }
+                    i += 1;
+                }
+                (s, i, i)
+            };
+            if let Some(exit) = self.seq(body_start, body_end, arm_entry) {
+                self.edge(exit, join);
+            }
+            i = after;
+            if i < inner_end && self.tokens[i].text == "," {
+                i += 1;
+            }
+        }
+        Some(join)
+    }
+
+    /// Lowers `while cond { .. }` / `for pat in iter { .. }`.
+    fn lower_loop_with_header(
+        &mut self,
+        kw: usize,
+        end: usize,
+        cur: usize,
+        next: &mut usize,
+    ) -> Option<usize> {
+        let open = self.find_body_open(kw + 1, end);
+        let bend = self.match_brace(open, end);
+        *next = bend;
+        let header = self.new_block();
+        self.edge(cur, header);
+        if open > kw + 1 {
+            self.blocks[header].stmts.push((kw + 1, open));
+        }
+        let exit = self.new_block();
+        self.edge(header, exit);
+        let body_entry = self.new_block();
+        self.edge(header, body_entry);
+        self.loops.push((header, exit));
+        let body_exit = self.seq(open + 1, bend.saturating_sub(1).max(open + 1), body_entry);
+        self.loops.pop();
+        if let Some(b) = body_exit {
+            self.edge(b, header);
+        }
+        Some(exit)
+    }
+
+    /// Lowers `loop { .. }`.
+    fn lower_loop(&mut self, kw: usize, end: usize, cur: usize, next: &mut usize) -> Option<usize> {
+        let open = self.find_body_open(kw + 1, end);
+        let bend = self.match_brace(open, end);
+        *next = bend;
+        let header = self.new_block();
+        self.edge(cur, header);
+        let exit = self.new_block();
+        let body_entry = self.new_block();
+        self.edge(header, body_entry);
+        self.loops.push((header, exit));
+        let body_exit = self.seq(open + 1, bend.saturating_sub(1).max(open + 1), body_entry);
+        self.loops.pop();
+        if let Some(b) = body_exit {
+            self.edge(b, header);
+        }
+        Some(exit)
+    }
+}
+
+/// Builds the CFG for a function body given as the token range
+/// strictly inside its braces.
+pub fn build_cfg(tokens: &[Token], inner: (usize, usize)) -> Cfg {
+    let mut b = Builder {
+        tokens,
+        blocks: vec![Block::default()],
+        exit: 0,
+        loops: Vec::new(),
+    };
+    // Reserve the exit block as index 1.
+    b.blocks.push(Block::default());
+    b.exit = 1;
+    if let Some(last) = b.seq(inner.0, inner.1, 0) {
+        b.edge(last, 1);
+    }
+    Cfg {
+        blocks: b.blocks,
+        exit: 1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_functions;
+    use crate::scan::scan;
+
+    fn cfg_of(src: &str) -> (Vec<crate::scan::Token>, Cfg) {
+        let s = scan(src);
+        let f = parse_functions(&s.tokens).remove(0);
+        let cfg = build_cfg(&s.tokens, f.body_inner());
+        (s.tokens, cfg)
+    }
+
+    #[test]
+    fn straight_line_is_one_block() {
+        let (_, cfg) = cfg_of("fn f() { a(); b(); c(); }");
+        assert_eq!(cfg.blocks[0].stmts.len(), 3);
+        assert_eq!(cfg.blocks[0].succs, vec![1]);
+    }
+
+    #[test]
+    fn if_else_branches_and_joins() {
+        let (_, cfg) = cfg_of("fn f(x: bool) { if x { a(); } else { b(); } c(); }");
+        // entry branches to then and else; both reach a join that
+        // flows to exit.
+        assert_eq!(cfg.blocks[0].succs.len(), 2);
+        let preds = cfg.preds();
+        let join = (0..cfg.blocks.len())
+            .find(|&b| preds[b].len() == 2 && b != cfg.exit)
+            .expect("join exists");
+        assert!(cfg.blocks[join].succs.contains(&cfg.exit));
+    }
+
+    #[test]
+    fn early_return_reaches_exit() {
+        let (_, cfg) = cfg_of("fn f(x: bool) -> u32 { if x { return 1; } y(); 2 }");
+        // The then-branch edge goes to exit, not to the tail.
+        let preds = cfg.preds();
+        assert!(preds[cfg.exit].len() >= 2);
+    }
+
+    #[test]
+    fn while_loop_has_back_edge() {
+        let (_, cfg) = cfg_of("fn f() { while cond() { body(); } tail(); }");
+        let has_back = cfg
+            .blocks
+            .iter()
+            .enumerate()
+            .any(|(i, b)| b.succs.iter().any(|&s| s <= i && s != cfg.exit));
+        assert!(has_back, "loop produces a back edge");
+    }
+
+    #[test]
+    fn match_arms_fan_out() {
+        let (_, cfg) =
+            cfg_of("fn f(x: Option<u32>) { match x { Some(v) => { a(v); } None => b(), } c(); }");
+        assert!(cfg.blocks[0].succs.len() >= 2, "two arm successors");
+    }
+}

@@ -1,0 +1,642 @@
+//! Taint/dataflow engine on top of [`crate::cfg`].
+//!
+//! Three consumers:
+//!
+//! * **unbounded-growth** — a forward *must* analysis: a collection
+//!   push on an arrival path must be dominated by a capacity check of
+//!   the same field. Facts are "field F is capacity-checked"; they
+//!   merge by intersection over predecessors, so a check on only one
+//!   branch does not discharge a push after the join.
+//! * **recovery-purity** — a per-function scan for allocation and
+//!   panic-surface in recovery code (no CFG needed; any occurrence on
+//!   any path is a violation).
+//! * **conformance** (see [`crate::conformance`]) — `self.field`
+//!   read/write classification plus call-site extraction, from which
+//!   per-function protocol-access summaries are built.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::cfg::build_cfg;
+use crate::parse::Function;
+use crate::scan::Token;
+
+fn is_ident(t: &str) -> bool {
+    t.chars()
+        .next()
+        .is_some_and(|c| c.is_alphabetic() || c == '_')
+}
+
+/// Methods that add an element to a collection.
+const GROW_METHODS: &[&str] = &["push", "push_back", "push_front", "insert"];
+
+/// Methods that mutate the receiver collection/option (used by the
+/// conformance write classifier).
+pub const WRITE_METHODS: &[&str] = &[
+    "take",
+    "push_back",
+    "push_front",
+    "pop_front",
+    "pop",
+    "insert",
+    "remove",
+    "clear",
+    "replace",
+    "push",
+    "get_mut",
+    "values_mut",
+    "entry",
+];
+
+/// A `self.<chain>.<method>(` growth site.
+#[derive(Debug)]
+pub struct GrowSite {
+    /// 1-based source line.
+    pub line: usize,
+    /// The collection field (the ident immediately before the grow
+    /// method).
+    pub field: String,
+    /// The grow method name.
+    pub method: String,
+}
+
+/// Finds `self.….F.push*/insert(` sites in `[start, end)`.
+pub fn grow_sites(tokens: &[Token], range: (usize, usize)) -> Vec<GrowSite> {
+    let mut out = Vec::new();
+    let (start, end) = range;
+    let mut i = start;
+    while i + 2 < end {
+        if tokens[i].text == "."
+            && GROW_METHODS.contains(&tokens[i + 1].text.as_str())
+            && tokens[i + 2].text == "("
+        {
+            // Walk the receiver chain backwards: ident (. ident)* and
+            // require the root to be `self`.
+            let mut j = i; // points at the `.` before the method
+            let mut field: Option<String> = None;
+            let mut rooted = false;
+            while j >= 1 {
+                let recv = tokens[j - 1].text.as_str();
+                if !is_ident(recv) {
+                    break;
+                }
+                if recv == "self" {
+                    rooted = true;
+                    break;
+                }
+                if field.is_none() {
+                    field = Some(recv.to_string());
+                }
+                if j >= 2 && tokens[j - 2].text == "." {
+                    j -= 2;
+                } else {
+                    break;
+                }
+            }
+            if rooted {
+                if let Some(field) = field {
+                    out.push(GrowSite {
+                        line: tokens[i + 1].line,
+                        field,
+                        method: tokens[i + 1].text.clone(),
+                    });
+                }
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Identifier fragments that mark a statement as a capacity check.
+const CAP_MARKERS: &[&str] = &["cap", "limit", "threshold", "bound", "budget", "quota"];
+
+/// Whether the statement tokens in `[s, e)` establish a capacity
+/// check for `field`: they mention the field and either a cap-named
+/// identifier or a `len`-comparison.
+fn is_capacity_check(tokens: &[Token], s: usize, e: usize, field: &str) -> bool {
+    let mut mentions = false;
+    let mut cap_ident = false;
+    let mut has_len = false;
+    let mut has_cmp = false;
+    for t in &tokens[s..e.min(tokens.len())] {
+        let x = t.text.as_str();
+        if x == field {
+            mentions = true;
+        }
+        if is_ident(x) {
+            let lower = x.to_ascii_lowercase();
+            if CAP_MARKERS.iter().any(|m| lower.contains(m)) || x == "is_full" || x == "at_capacity"
+            {
+                cap_ident = true;
+            }
+            if x == "len" {
+                has_len = true;
+            }
+        }
+        if x == "<" || x == ">" {
+            has_cmp = true;
+        }
+    }
+    mentions && (cap_ident || (has_len && has_cmp))
+}
+
+/// Growth sites in `f`'s body not dominated by a capacity check of
+/// the same field. Returns `(line, field, method)` per violation.
+pub fn unchecked_growth(tokens: &[Token], f: &Function) -> Vec<GrowSite> {
+    let cfg = build_cfg(tokens, f.body_inner());
+    // Per block: the set of fields whose grow sites appear there, and
+    // the set of fields the block's statements capacity-check.
+    let nblocks = cfg.blocks.len();
+    let mut gen: Vec<BTreeSet<String>> = vec![BTreeSet::new(); nblocks];
+    let mut sites: Vec<Vec<GrowSite>> = (0..nblocks).map(|_| Vec::new()).collect();
+    let mut universe: BTreeSet<String> = BTreeSet::new();
+    for (b, blk) in cfg.blocks.iter().enumerate() {
+        for &(s, e) in &blk.stmts {
+            for site in grow_sites(tokens, (s, e)) {
+                universe.insert(site.field.clone());
+                sites[b].push(site);
+            }
+        }
+    }
+    for (b, blk) in cfg.blocks.iter().enumerate() {
+        for &(s, e) in &blk.stmts {
+            for field in &universe {
+                if is_capacity_check(tokens, s, e, field) {
+                    gen[b].insert(field.clone());
+                }
+            }
+        }
+    }
+    if universe.is_empty() {
+        return Vec::new();
+    }
+    // Forward must-dataflow: IN[b] = ∩ OUT[p in preds], OUT = IN ∪ GEN.
+    // Non-entry blocks start at the full universe (greatest fixpoint).
+    let preds = cfg.preds();
+    let mut out: Vec<BTreeSet<String>> = (0..nblocks)
+        .map(|b| {
+            if b == 0 {
+                gen[0].clone()
+            } else {
+                universe.clone()
+            }
+        })
+        .collect();
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for b in 0..nblocks {
+            if b == 0 || preds[b].is_empty() {
+                // Entry keeps its GEN; an unreachable block (a
+                // continuation after `return`/`break`) stays at TOP so
+                // it never poisons a join it flows into.
+                continue;
+            }
+            let mut inn: Option<BTreeSet<String>> = None;
+            for &p in &preds[b] {
+                inn = Some(match inn {
+                    None => out[p].clone(),
+                    Some(acc) => acc.intersection(&out[p]).cloned().collect(),
+                });
+            }
+            let mut inn = inn.unwrap_or_default();
+            inn.extend(gen[b].iter().cloned());
+            if inn != out[b] {
+                out[b] = inn;
+                changed = true;
+            }
+        }
+    }
+    let mut bad = Vec::new();
+    for b in 0..nblocks {
+        if sites[b].is_empty() {
+            continue;
+        }
+        // Facts available anywhere in the block: IN ∪ GEN (within-
+        // block ordering is not resolved; checks and pushes rarely
+        // share a block in the other order).
+        let mut avail: BTreeSet<String> = gen[b].clone();
+        if b != 0 && preds[b].is_empty() {
+            // Unreachable: nothing here executes; skip its sites.
+            continue;
+        }
+        if b != 0 {
+            let mut inn: Option<BTreeSet<String>> = None;
+            for &p in &preds[b] {
+                inn = Some(match inn {
+                    None => out[p].clone(),
+                    Some(acc) => acc.intersection(&out[p]).cloned().collect(),
+                });
+            }
+            avail.extend(inn.unwrap_or_default());
+        }
+        for site in sites[b].drain(..) {
+            if !avail.contains(&site.field) {
+                bad.push(site);
+            }
+        }
+    }
+    bad.sort_by_key(|s| s.line);
+    bad
+}
+
+/// Allocation and panic-surface markers banned in recovery code.
+const IMPURE_CALLS: &[&str] = &[
+    "to_string",
+    "to_owned",
+    "to_vec",
+    "with_capacity",
+    "unwrap",
+    "expect",
+];
+
+/// An impurity found in a recovery function.
+#[derive(Debug)]
+pub struct Impurity {
+    /// 1-based source line.
+    pub line: usize,
+    /// Human-oriented description of the offending construct.
+    pub what: String,
+}
+
+/// Scans a recovery function's body for allocation or unwrap-pattern
+/// constructs. Recovery code runs while the system is degraded, so it
+/// must neither allocate (the allocator may be part of the failure
+/// domain) nor panic.
+pub fn recovery_impurities(tokens: &[Token], f: &Function) -> Vec<Impurity> {
+    let (s, e) = f.body_inner();
+    let mut out = Vec::new();
+    let mut i = s;
+    while i < e {
+        let t = tokens[i].text.as_str();
+        let next = tokens.get(i + 1).map(|t| t.text.as_str());
+        match t {
+            "vec" | "format" if next == Some("!") => {
+                out.push(Impurity {
+                    line: tokens[i].line,
+                    what: format!("`{}!` allocates", t),
+                });
+            }
+            "Box" | "String" | "Vec"
+                if next == Some(":") && tokens.get(i + 2).map(|t| t.text.as_str()) == Some(":") =>
+            {
+                let method = tokens.get(i + 3).map(|t| t.text.as_str()).unwrap_or("");
+                if matches!(method, "new" | "from" | "with_capacity") {
+                    out.push(Impurity {
+                        line: tokens[i].line,
+                        what: format!("`{}::{}` allocates", t, method),
+                    });
+                }
+            }
+            "." if next.is_some_and(|m| IMPURE_CALLS.contains(&m))
+                && tokens.get(i + 2).map(|t| t.text.as_str()) == Some("(") =>
+            {
+                let m = next.unwrap();
+                let what = if m == "unwrap" || m == "expect" {
+                    format!("`.{}()` can panic", m)
+                } else {
+                    format!("`.{}()` allocates", m)
+                };
+                out.push(Impurity {
+                    line: tokens[i + 1].line,
+                    what,
+                });
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    out
+}
+
+/// One classified access to a `self.<field>` in a function body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FieldUse {
+    /// 1-based source line.
+    pub line: usize,
+    /// The field name (first segment after `self`).
+    pub field: String,
+    /// Whether the use mutates the field. A mutating *method*
+    /// (`take`, `pop_front`, …) both reads and writes — such uses
+    /// have `write` set and `also_reads` true; plain assignment has
+    /// `also_reads` false.
+    pub write: bool,
+    /// For writes: whether the old value is observed too.
+    pub also_reads: bool,
+}
+
+/// Extracts `self.<field>` uses in `[start, end)`, classifying each
+/// as read or write. Writes are: direct assignment (`=`, `+=`, `-=`)
+/// to the field path, or a mutating method ([`WRITE_METHODS`]) called
+/// on it.
+pub fn field_uses(tokens: &[Token], range: (usize, usize)) -> Vec<FieldUse> {
+    let (start, end) = range;
+    let mut out = Vec::new();
+    let mut i = start;
+    while i + 2 < end {
+        if tokens[i].text == "self" && tokens[i + 1].text == "." && is_ident(&tokens[i + 2].text) {
+            let field = tokens[i + 2].text.clone();
+            let line = tokens[i + 2].line;
+            // Walk the trailing chain: `.ident` and index/call suffix
+            // groups, to find what follows the full place expression.
+            let mut j = i + 3;
+            let mut write = false;
+            let mut also_reads = false;
+            loop {
+                let t = tokens.get(j).map(|t| t.text.as_str());
+                match t {
+                    Some(".") => {
+                        let m = tokens.get(j + 1).map(|t| t.text.as_str()).unwrap_or("");
+                        let calls = tokens.get(j + 2).map(|t| t.text.as_str()) == Some("(");
+                        if calls && WRITE_METHODS.contains(&m) {
+                            // A mutating method observes the old value.
+                            write = true;
+                            also_reads = true;
+                            break;
+                        }
+                        if calls {
+                            // Non-mutating method ends the place chain.
+                            break;
+                        }
+                        j += 2;
+                    }
+                    Some("[") => {
+                        // Skip the index expression.
+                        let mut d = 0isize;
+                        while let Some(x) = tokens.get(j) {
+                            match x.text.as_str() {
+                                "[" => d += 1,
+                                "]" => {
+                                    d -= 1;
+                                    if d == 0 {
+                                        break;
+                                    }
+                                }
+                                _ => {}
+                            }
+                            j += 1;
+                        }
+                        j += 1;
+                    }
+                    Some("=") => {
+                        // `=` but not `==`, `=>`.
+                        let after = tokens.get(j + 1).map(|t| t.text.as_str());
+                        if after != Some("=") && after != Some(">") {
+                            // `<=`/`>=`/`!=` have the comparison char
+                            // as the *previous* token.
+                            let prev = tokens.get(j - 1).map(|t| t.text.as_str());
+                            if !matches!(prev, Some("<") | Some(">") | Some("!") | Some("=")) {
+                                write = true;
+                            }
+                        }
+                        break;
+                    }
+                    Some("+") | Some("-") | Some("*") | Some("|") | Some("&")
+                        if tokens.get(j + 1).map(|t| t.text.as_str()) == Some("=")
+                            && tokens.get(j + 2).map(|t| t.text.as_str()) != Some("=") =>
+                    {
+                        // Compound assignment reads the old value.
+                        write = true;
+                        also_reads = true;
+                        break;
+                    }
+                    _ => break,
+                }
+            }
+            out.push(FieldUse {
+                line,
+                field,
+                write,
+                also_reads,
+            });
+            i += 3;
+            continue;
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Call sites in `[start, end)`: `(name, line)` for every ident
+/// directly followed by `(`, excluding control keywords and macro
+/// bangs. Used to build callee summaries.
+pub fn called_names(tokens: &[Token], range: (usize, usize)) -> Vec<(String, usize)> {
+    const NOT_CALLS: &[&str] = &[
+        "if", "while", "for", "match", "loop", "return", "fn", "let", "in", "move", "Some", "Ok",
+        "Err", "None",
+    ];
+    let (start, end) = range;
+    let mut out = Vec::new();
+    let mut i = start;
+    while i + 1 < end {
+        let t = tokens[i].text.as_str();
+        if is_ident(t)
+            && !NOT_CALLS.contains(&t)
+            && tokens[i + 1].text == "("
+            && tokens.get(i.wrapping_sub(1)).map(|p| p.text.as_str()) != Some("!")
+        {
+            out.push((t.to_string(), tokens[i].line));
+        }
+        i += 1;
+    }
+    out
+}
+
+/// All identifiers in `[start, end)` (for the counter-balance
+/// registration surface).
+pub fn idents_in(tokens: &[Token], range: (usize, usize)) -> BTreeSet<String> {
+    tokens[range.0..range.1.min(tokens.len())]
+        .iter()
+        .filter(|t| is_ident(&t.text))
+        .map(|t| t.text.clone())
+        .collect()
+}
+
+/// Per-function summary of `self.field` accesses, with callee effects
+/// folded in to a fixpoint by [`summarize_functions`].
+#[derive(Debug, Clone, Default)]
+pub struct AccessSummary {
+    /// Fields read (directly or via callees on `self`).
+    pub reads: BTreeSet<String>,
+    /// Fields written (directly or via callees on `self`).
+    pub writes: BTreeSet<String>,
+    /// Direct field uses with lines (not propagated), for diagnostics.
+    pub direct: Vec<FieldUse>,
+}
+
+/// Builds access summaries for `functions` over `tokens`, iterating
+/// callee effects to a fixpoint. `extra` carries summaries of
+/// functions from *other* files (cross-file calls, e.g. the NIC
+/// invoking endpoint methods) keyed by bare name.
+pub fn summarize_functions(sets: &[(&[Token], &[Function])]) -> BTreeMap<String, AccessSummary> {
+    let mut sums: BTreeMap<String, AccessSummary> = BTreeMap::new();
+    let mut calls: BTreeMap<String, Vec<String>> = BTreeMap::new();
+    for (tokens, functions) in sets {
+        for f in functions.iter() {
+            if f.in_test {
+                continue;
+            }
+            let key = f.qualname();
+            let direct = field_uses(tokens, f.body_inner());
+            let mut s = AccessSummary::default();
+            for u in &direct {
+                if u.write {
+                    s.writes.insert(u.field.clone());
+                }
+                if !u.write || u.also_reads {
+                    s.reads.insert(u.field.clone());
+                }
+            }
+            s.direct = direct;
+            calls.insert(
+                key.clone(),
+                called_names(tokens, f.body_inner())
+                    .into_iter()
+                    .map(|(n, _)| n)
+                    .collect(),
+            );
+            sums.insert(key, s);
+        }
+    }
+    // Bare-name → qualnames map for callee resolution.
+    let mut by_bare: BTreeMap<String, Vec<String>> = BTreeMap::new();
+    for q in sums.keys() {
+        let bare = q.rsplit("::").next().unwrap_or(q).to_string();
+        by_bare.entry(bare).or_default().push(q.clone());
+    }
+    let mut changed = true;
+    while changed {
+        changed = false;
+        let keys: Vec<String> = sums.keys().cloned().collect();
+        for key in keys {
+            let callees = calls.get(&key).cloned().unwrap_or_default();
+            let mut add_r: BTreeSet<String> = BTreeSet::new();
+            let mut add_w: BTreeSet<String> = BTreeSet::new();
+            for c in callees {
+                if let Some(qs) = by_bare.get(&c) {
+                    for q in qs {
+                        if q == &key {
+                            continue;
+                        }
+                        if let Some(cs) = sums.get(q) {
+                            add_r.extend(cs.reads.iter().cloned());
+                            add_w.extend(cs.writes.iter().cloned());
+                        }
+                    }
+                }
+            }
+            let s = sums.get_mut(&key).expect("summary exists");
+            let before = (s.reads.len(), s.writes.len());
+            s.reads.extend(add_r);
+            s.writes.extend(add_w);
+            if (s.reads.len(), s.writes.len()) != before {
+                changed = true;
+            }
+        }
+    }
+    sums
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse_functions;
+    use crate::scan::scan;
+
+    fn first_fn(src: &str) -> (Vec<Token>, Function) {
+        let s = scan(src);
+        let f = parse_functions(&s.tokens).remove(0);
+        (s.tokens, f)
+    }
+
+    #[test]
+    fn guarded_push_is_clean() {
+        let (toks, f) = first_fn(
+            "impl E { fn on_request(&mut self, r: R) {\n\
+               if self.queue.len() >= self.queue_cap { return; }\n\
+               self.queue.push_back(r);\n\
+             } }",
+        );
+        assert!(unchecked_growth(&toks, &f).is_empty());
+    }
+
+    #[test]
+    fn unguarded_push_is_flagged() {
+        let (toks, f) =
+            first_fn("impl E { fn on_request(&mut self, r: R) { self.queue.push_back(r); } }");
+        let bad = unchecked_growth(&toks, &f);
+        assert_eq!(bad.len(), 1);
+        assert_eq!(bad[0].field, "queue");
+    }
+
+    #[test]
+    fn check_on_one_branch_does_not_discharge_after_join() {
+        let (toks, f) = first_fn(
+            "impl E { fn handle(&mut self, r: R, fast: bool) {\n\
+               if fast { if self.queue.len() >= self.queue_cap { return; } }\n\
+               self.queue.push_back(r);\n\
+             } }",
+        );
+        let bad = unchecked_growth(&toks, &f);
+        assert_eq!(bad.len(), 1, "must-analysis rejects branch-only check");
+    }
+
+    #[test]
+    fn purity_scan_catches_alloc_and_unwrap() {
+        let (toks, f) = first_fn(
+            "impl W { fn repair(&mut self) {\n\
+               let v = vec![1];\n\
+               let s = String::new();\n\
+               self.last.unwrap();\n\
+             } }",
+        );
+        let imp = recovery_impurities(&toks, &f);
+        assert_eq!(imp.len(), 3);
+    }
+
+    #[test]
+    fn field_uses_classify_reads_and_writes() {
+        let (toks, f) = first_fn(
+            "impl E { fn f(&mut self) {\n\
+               self.expect = 1 - self.expect;\n\
+               self.queue.push_back(x);\n\
+               if self.parked.is_some() { }\n\
+               self.generation += 1;\n\
+               let y = self.outstanding.take();\n\
+             } }",
+        );
+        let uses = field_uses(&toks, f.body_inner());
+        let w: Vec<&str> = uses
+            .iter()
+            .filter(|u| u.write)
+            .map(|u| u.field.as_str())
+            .collect();
+        let r: Vec<&str> = uses
+            .iter()
+            .filter(|u| !u.write)
+            .map(|u| u.field.as_str())
+            .collect();
+        assert_eq!(w, vec!["expect", "queue", "generation", "outstanding"]);
+        assert_eq!(r, vec!["expect", "parked"]);
+    }
+
+    #[test]
+    fn comparison_is_not_a_write() {
+        let (toks, f) =
+            first_fn("impl E { fn f(&self) -> bool { self.generation == 3 && self.depth <= 4 } }");
+        let uses = field_uses(&toks, f.body_inner());
+        assert!(uses.iter().all(|u| !u.write));
+    }
+
+    #[test]
+    fn summaries_fold_callee_effects() {
+        let src = "impl E {\n\
+             fn outer(&mut self) { self.inner(); }\n\
+             fn inner(&mut self) { self.queue.push_back(1); }\n\
+           }";
+        let s = scan(src);
+        let fs = parse_functions(&s.tokens);
+        let sums = summarize_functions(&[(&s.tokens, &fs)]);
+        assert!(sums["E::outer"].writes.contains("queue"));
+    }
+}

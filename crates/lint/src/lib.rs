@@ -22,12 +22,18 @@
 //! and [`scan`] for the scanner. Run it with `cargo run -p lint`; it
 //! also runs as a tier-1 test (`tests/tree_clean.rs`).
 
+pub mod cfg;
+pub mod conformance;
+pub mod dataflow;
+pub mod parse;
+pub mod report;
 pub mod rules;
 pub mod scan;
 
+use std::collections::{BTreeMap, BTreeSet};
 use std::path::{Path, PathBuf};
 
-pub use rules::{lint_cargo_toml, lint_source, Rule, Violation};
+pub use rules::{analyze_source, lint_cargo_toml, lint_source, Rule, Violation};
 
 /// Collects `.rs` files under `dir`, recursively, in sorted order.
 fn rust_files(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
@@ -61,6 +67,7 @@ pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Violation>> {
         .collect();
     crate_dirs.sort();
 
+    let mut analyses = Vec::new();
     for crate_dir in crate_dirs {
         let crate_name = crate_dir
             .file_name()
@@ -74,7 +81,7 @@ pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Violation>> {
             out.extend(lint_cargo_toml(&rel, &text));
         }
 
-        // Lint src/ and tests/; skip fixtures/ and benches entirely.
+        // Analyze src/ and tests/; skip fixtures/ and benches entirely.
         for sub in ["src", "tests"] {
             let dir = crate_dir.join(sub);
             if !dir.is_dir() {
@@ -83,16 +90,60 @@ pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Violation>> {
             let mut files = Vec::new();
             rust_files(&dir, &mut files)?;
             for file in files {
-                let text = std::fs::read_to_string(&file)?;
-                let rel = rel_to(root, &file);
                 // Integration tests are test code: only pragma
                 // hygiene and the dependency rule apply there, both
                 // checked elsewhere; skip source rules.
                 if sub == "tests" {
                     continue;
                 }
-                out.extend(lint_source(&crate_name, &rel, &text));
+                let text = std::fs::read_to_string(&file)?;
+                let rel = rel_to(root, &file);
+                analyses.push(analyze_source(&crate_name, &rel, &text));
             }
+        }
+    }
+
+    // Workspace-scope resolution: the counter registration surface
+    // and the accessor-closure map span every analyzed file.
+    let mut reg_idents: BTreeSet<String> = BTreeSet::new();
+    let mut fn_idents: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    for a in &analyses {
+        reg_idents.extend(a.reg_idents.iter().cloned());
+        for (name, idents) in &a.fn_idents {
+            fn_idents
+                .entry(name.clone())
+                .or_default()
+                .extend(idents.iter().cloned());
+        }
+    }
+
+    // Model ↔ implementation conformance over the real tree; findings
+    // route through each file's pragma machinery like any other rule.
+    let mut conformance_by_file: BTreeMap<String, Vec<(usize, Rule, String)>> = BTreeMap::new();
+    for v in conformance::check_conformance(&conformance::real_tree_sources(root)?) {
+        conformance_by_file
+            .entry(v.file.clone())
+            .or_default()
+            .push((v.line, v.rule, v.msg));
+    }
+
+    for a in analyses {
+        let mut extra = rules::resolve_counters(&a.counter_incs, &reg_idents, &fn_idents);
+        if let Some(cs) = conformance_by_file.remove(&a.rel_path) {
+            extra.extend(cs);
+        }
+        out.extend(a.finalize(extra));
+    }
+    // Conformance findings for files outside the walk (shouldn't
+    // happen, but never drop a finding silently).
+    for (file, items) in conformance_by_file {
+        for (line, rule, msg) in items {
+            out.push(Violation {
+                file: file.clone(),
+                line,
+                rule,
+                msg,
+            });
         }
     }
 

@@ -1,29 +1,71 @@
 //! `cargo run -p lint` — lint the whole workspace; nonzero exit on any
 //! unsuppressed violation. Run from anywhere inside the repo; the
 //! workspace root is derived from the crate's own manifest path.
+//!
+//! `--json [path]` additionally writes a schema-validated
+//! `lauberhorn-lint/v1` report (default `LINT_report.json` in the
+//! workspace root); the report is written on clean *and* dirty runs
+//! so CI always has an artifact to archive.
 
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
-    let root = lint::workspace_root();
-    match lint::lint_workspace(&root) {
-        Ok(violations) if violations.is_empty() => {
-            println!("lint: workspace clean");
-            ExitCode::SUCCESS
-        }
-        Ok(violations) => {
-            for v in &violations {
-                eprintln!("{v}");
+    let mut args = std::env::args().skip(1);
+    let mut json_path: Option<std::path::PathBuf> = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => {
+                let next = args.next().unwrap_or_else(|| "LINT_report.json".into());
+                json_path = Some(next.into());
             }
-            eprintln!(
-                "lint: {} violation(s); suppress with `// lint:allow(<rule>): <reason>`",
-                violations.len()
-            );
-            ExitCode::FAILURE
+            other => {
+                eprintln!("lint: unknown argument `{other}` (supported: --json [path])");
+                return ExitCode::FAILURE;
+            }
         }
+    }
+
+    let root = lint::workspace_root();
+    let violations = match lint::lint_workspace(&root) {
+        Ok(v) => v,
         Err(e) => {
             eprintln!("lint: io error: {e}");
-            ExitCode::FAILURE
+            return ExitCode::FAILURE;
         }
+    };
+
+    if let Some(path) = json_path {
+        let path = if path.is_absolute() {
+            path
+        } else {
+            root.join(path)
+        };
+        match lint::report::render(&violations) {
+            Ok(text) => {
+                if let Err(e) = std::fs::write(&path, text) {
+                    eprintln!("lint: cannot write {}: {e}", path.display());
+                    return ExitCode::FAILURE;
+                }
+                println!("lint: report written to {}", path.display());
+            }
+            Err(e) => {
+                eprintln!("lint: report failed schema validation: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    if violations.is_empty() {
+        println!("lint: workspace clean");
+        ExitCode::SUCCESS
+    } else {
+        for v in &violations {
+            eprintln!("{v}");
+        }
+        eprintln!(
+            "lint: {} violation(s); suppress with `// lint:allow(<rule>): <reason>`",
+            violations.len()
+        );
+        ExitCode::FAILURE
     }
 }

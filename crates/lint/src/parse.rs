@@ -1,0 +1,302 @@
+//! A lightweight Rust item parser over the token stream.
+//!
+//! The dataflow passes need just enough structure to reason per
+//! function: which functions exist, which `impl` block encloses each,
+//! where the signature ends and the body's braces sit. This is a
+//! recognizer over [`crate::scan`] tokens, not a grammar — it tracks
+//! brace depth and a stack of enclosing `impl` types, and records a
+//! token range per function body. Nested items (closures, inner fns)
+//! stay inside the enclosing function's body range, which is exactly
+//! what the intra-procedural analyses want.
+
+use crate::scan::Token;
+
+/// One parsed function item.
+#[derive(Debug, Clone)]
+pub struct Function {
+    /// The function's name.
+    pub name: String,
+    /// The enclosing `impl` type, if any (`impl Endpoint` →
+    /// `"Endpoint"`; for `impl Trait for Type`, the `Type`).
+    pub impl_type: Option<String>,
+    /// 1-based line of the `fn` keyword.
+    pub line: usize,
+    /// Whether the function sits inside test-gated code.
+    pub in_test: bool,
+    /// Token range `[start, end)` of the signature: from `fn` up to
+    /// (excluding) the body's `{` or the terminating `;`.
+    pub sig: (usize, usize),
+    /// Token range `[start, end)` of the body, including both braces.
+    /// Empty range (`start == end`) for bodyless trait-method
+    /// declarations.
+    pub body: (usize, usize),
+}
+
+impl Function {
+    /// `Type::name`, or just `name` for free functions.
+    pub fn qualname(&self) -> String {
+        match &self.impl_type {
+            Some(t) => format!("{}::{}", t, self.name),
+            None => self.name.clone(),
+        }
+    }
+
+    /// Token indices strictly inside the body braces.
+    pub fn body_inner(&self) -> (usize, usize) {
+        if self.body.1 > self.body.0 + 1 {
+            (self.body.0 + 1, self.body.1 - 1)
+        } else {
+            (self.body.0, self.body.0)
+        }
+    }
+}
+
+/// The type an `impl` block targets: the first path ident after `for`
+/// (trait impls) or after `impl` (inherent impls), skipping generic
+/// parameter lists.
+fn impl_target(tokens: &[Token], mut i: usize) -> Option<String> {
+    let n = tokens.len();
+    // Skip a generic parameter list directly after `impl`.
+    if i < n && tokens[i].text == "<" {
+        let mut depth = 0isize;
+        while i < n {
+            match tokens[i].text.as_str() {
+                "<" => depth += 1,
+                ">" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        i += 1;
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    // The target is the last path segment before the body: covers
+    // `impl Endpoint`, `impl Trait for Type`, `impl a::b::Type`, and
+    // generic arguments in any position (skipped).
+    let mut last_ident: Option<String> = None;
+    while i < n {
+        let t = tokens[i].text.as_str();
+        match t {
+            "{" | "where" => break,
+            _ => {
+                if t.chars()
+                    .next()
+                    .is_some_and(|c| c.is_alphabetic() || c == '_')
+                    && t != "for"
+                {
+                    last_ident = Some(t.to_string());
+                    // Skip this path segment's generic arguments.
+                    if i + 1 < n && tokens[i + 1].text == "<" {
+                        let mut depth = 0isize;
+                        let mut j = i + 1;
+                        while j < n {
+                            match tokens[j].text.as_str() {
+                                "<" => depth += 1,
+                                ">" => {
+                                    depth -= 1;
+                                    if depth == 0 {
+                                        break;
+                                    }
+                                }
+                                "{" => break,
+                                _ => {}
+                            }
+                            j += 1;
+                        }
+                        i = j;
+                    }
+                }
+            }
+        }
+        i += 1;
+    }
+    last_ident
+}
+
+/// Parses the functions of a token stream.
+pub fn parse_functions(tokens: &[Token]) -> Vec<Function> {
+    let mut out = Vec::new();
+    let n = tokens.len();
+    // Stack of (impl type, brace depth at which the impl body opened).
+    let mut impls: Vec<(String, usize)> = Vec::new();
+    let mut depth = 0usize;
+    let mut i = 0usize;
+    while i < n {
+        match tokens[i].text.as_str() {
+            "{" => depth += 1,
+            "}" => {
+                depth = depth.saturating_sub(1);
+                if let Some((_, d)) = impls.last() {
+                    if depth < *d {
+                        impls.pop();
+                    }
+                }
+            }
+            "impl" => {
+                // `impl Trait` in type position (`-> impl Fn()`) never
+                // reaches here with a following `{` before a `;`, but
+                // a wrong guess only mislabels impl_type, never spans.
+                if let Some(ty) = impl_target(tokens, i + 1) {
+                    // Find the impl body's `{` to record its depth.
+                    let mut j = i + 1;
+                    let mut found = false;
+                    while j < n {
+                        match tokens[j].text.as_str() {
+                            "{" => {
+                                found = true;
+                                break;
+                            }
+                            ";" | ")" => break,
+                            _ => {}
+                        }
+                        j += 1;
+                    }
+                    if found {
+                        impls.push((ty, depth + 1));
+                        depth += 1;
+                        i = j + 1;
+                        continue;
+                    }
+                }
+            }
+            "fn" => {
+                // Reject `fn` in type position: preceded by `dyn` or
+                // an opening delimiter of a type (heuristic: previous
+                // token `dyn`). `Fn`/`FnMut` capitalized don't match.
+                let prev = i.checked_sub(1).map(|p| tokens[p].text.as_str());
+                if prev == Some("dyn") || prev == Some("&") {
+                    i += 1;
+                    continue;
+                }
+                let Some(name_tok) = tokens.get(i + 1) else {
+                    break;
+                };
+                let name = name_tok.text.clone();
+                let sig_start = i;
+                // Scan forward for the body `{`, skipping the
+                // parameter parens and any angle brackets; stop at a
+                // top-level `;` (trait method without a body).
+                let mut j = i + 1;
+                let mut paren = 0isize;
+                let mut angle = 0isize;
+                let mut body_open: Option<usize> = None;
+                while j < n {
+                    match tokens[j].text.as_str() {
+                        "(" | "[" => paren += 1,
+                        ")" | "]" => paren -= 1,
+                        "<" => angle += 1,
+                        ">" if angle > 0 => angle -= 1,
+                        ">" => {}
+                        "-" => {
+                            // `->` resets angle tracking noise from
+                            // comparisons inside const generics.
+                        }
+                        "{" if paren == 0 => {
+                            body_open = Some(j);
+                            break;
+                        }
+                        ";" if paren == 0 => break,
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                let (body, next_i) = match body_open {
+                    Some(open) => {
+                        // Match the body's braces.
+                        let mut d = 0isize;
+                        let mut k = open;
+                        let mut close = n;
+                        while k < n {
+                            match tokens[k].text.as_str() {
+                                "{" => d += 1,
+                                "}" => {
+                                    d -= 1;
+                                    if d == 0 {
+                                        close = k + 1;
+                                        break;
+                                    }
+                                }
+                                _ => {}
+                            }
+                            k += 1;
+                        }
+                        ((open, close), close)
+                    }
+                    None => ((j, j), j + 1),
+                };
+                out.push(Function {
+                    name,
+                    impl_type: impls.last().map(|(t, _)| t.clone()),
+                    line: tokens[i].line,
+                    in_test: tokens[i].in_test,
+                    sig: (sig_start, body.0),
+                    body,
+                });
+                i = next_i;
+                continue;
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::scan;
+
+    fn fns(src: &str) -> Vec<Function> {
+        parse_functions(&scan(src).tokens)
+    }
+
+    #[test]
+    fn free_and_impl_functions() {
+        let src = "fn free() { a(); }\n\
+                   impl Endpoint { pub fn on_load(&mut self) { b(); } fn helper(&self) -> u32 { 1 } }\n\
+                   fn tail() {}";
+        let got = fns(src);
+        let names: Vec<String> = got.iter().map(|f| f.qualname()).collect();
+        assert_eq!(
+            names,
+            vec!["free", "Endpoint::on_load", "Endpoint::helper", "tail"]
+        );
+    }
+
+    #[test]
+    fn trait_impl_uses_target_type() {
+        let src = "impl InstrumentedModel for LauberhornModel { fn accesses(&self) {} }";
+        let got = fns(src);
+        assert_eq!(got[0].qualname(), "LauberhornModel::accesses");
+    }
+
+    #[test]
+    fn generic_impls_and_bodies_span_nested_braces() {
+        let src = "impl<T: Clone> Holder<T> { fn get(&self) -> T { if x { y() } else { z() } } }\nfn after() {}";
+        let got = fns(src);
+        assert_eq!(got[0].qualname(), "Holder::get");
+        assert_eq!(got[1].name, "after");
+    }
+
+    #[test]
+    fn test_gating_recorded() {
+        let src = "fn hot() {}\n#[cfg(test)]\nmod tests { fn t() { x(); } }";
+        let got = fns(src);
+        assert!(!got[0].in_test);
+        assert!(got[1].in_test);
+    }
+
+    #[test]
+    fn where_clauses_and_return_types() {
+        let src = "fn f<A>(a: A) -> Vec<u8> where A: Into<u8> { vec![a.into()] }\nfn g() {}";
+        let got = fns(src);
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].name, "f");
+        assert_eq!(got[1].name, "g");
+    }
+}

@@ -1,0 +1,189 @@
+//! Machine-readable analyzer reports (`LINT_report.json`).
+//!
+//! Mirrors the bench-artifact discipline (`lauberhorn-bench/v1`): the
+//! document is validated against the `lauberhorn-lint/v1` schema
+//! before it is written, so a malformed report can never land on
+//! disk, and CI archives the file as a build artifact. No timestamps
+//! — the report must be byte-identical for an unchanged tree.
+
+use lauberhorn_bench::json::Json;
+
+use crate::rules::Violation;
+
+/// The schema identifier every report carries.
+pub const SCHEMA: &str = "lauberhorn-lint/v1";
+
+/// Assembles a schema-conformant report document.
+pub fn document(violations: &[Violation]) -> Json {
+    let mut counts: Vec<(String, usize)> = Vec::new();
+    for v in violations {
+        let name = v.rule.name();
+        match counts.iter_mut().find(|(k, _)| k == name) {
+            Some((_, n)) => *n += 1,
+            None => counts.push((name.to_string(), 1)),
+        }
+    }
+    counts.sort();
+    Json::Obj(vec![
+        ("schema".into(), Json::Str(SCHEMA.into())),
+        ("clean".into(), Json::Bool(violations.is_empty())),
+        (
+            "counts".into(),
+            Json::Obj(
+                counts
+                    .into_iter()
+                    .map(|(k, n)| (k, Json::Num(n as f64)))
+                    .collect(),
+            ),
+        ),
+        (
+            "violations".into(),
+            Json::Arr(
+                violations
+                    .iter()
+                    .map(|v| {
+                        Json::Obj(vec![
+                            ("file".into(), Json::Str(v.file.clone())),
+                            ("line".into(), Json::Num(v.line as f64)),
+                            ("rule".into(), Json::Str(v.rule.name().into())),
+                            ("msg".into(), Json::Str(v.msg.clone())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Checks a document against `lauberhorn-lint/v1`: schema tag, the
+/// `clean` flag's consistency with the violation list, per-violation
+/// field presence, and that the per-rule counts sum to the list
+/// length.
+pub fn validate(doc: &Json) -> Result<(), String> {
+    if doc.get("schema").and_then(Json::as_str) != Some(SCHEMA) {
+        return Err(format!("missing or wrong schema tag (want `{SCHEMA}`)"));
+    }
+    let clean = match doc.get("clean") {
+        Some(Json::Bool(b)) => *b,
+        _ => return Err("missing `clean` bool".into()),
+    };
+    let violations = doc
+        .get("violations")
+        .and_then(Json::as_arr)
+        .ok_or("missing `violations` array")?;
+    if clean != violations.is_empty() {
+        return Err(format!(
+            "`clean` is {clean} but the report lists {} violation(s)",
+            violations.len()
+        ));
+    }
+    let counts = match doc.get("counts") {
+        Some(Json::Obj(fields)) => fields,
+        _ => return Err("missing `counts` object".into()),
+    };
+    let mut total = 0.0;
+    for (rule, n) in counts {
+        let n = n
+            .as_f64()
+            .ok_or_else(|| format!("count for `{rule}` is not a number"))?;
+        if n < 1.0 {
+            return Err(format!("count for `{rule}` below 1"));
+        }
+        total += n;
+    }
+    if total as usize != violations.len() {
+        return Err(format!(
+            "counts sum to {total} but the report lists {} violation(s)",
+            violations.len()
+        ));
+    }
+    for (i, v) in violations.iter().enumerate() {
+        let ctx = |field: &str| format!("violation {i}: {field}");
+        v.get("file")
+            .and_then(Json::as_str)
+            .ok_or_else(|| ctx("missing `file` string"))?;
+        let line = v
+            .get("line")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| ctx("missing `line` number"))?;
+        if line < 1.0 {
+            return Err(ctx("line below 1"));
+        }
+        v.get("rule")
+            .and_then(Json::as_str)
+            .ok_or_else(|| ctx("missing `rule` string"))?;
+        v.get("msg")
+            .and_then(Json::as_str)
+            .ok_or_else(|| ctx("missing `msg` string"))?;
+    }
+    Ok(())
+}
+
+/// Validates and renders the report for `violations`; `Err` if the
+/// assembled document does not conform to its own schema.
+pub fn render(violations: &[Violation]) -> Result<String, String> {
+    let doc = document(violations);
+    validate(&doc)?;
+    Ok(doc.render())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::Rule;
+
+    fn sample() -> Vec<Violation> {
+        vec![
+            Violation {
+                file: "crates/os/src/health.rs".into(),
+                line: 10,
+                rule: Rule::RecoveryPurity,
+                msg: "vec! allocates".into(),
+            },
+            Violation {
+                file: "crates/rpc/src/report.rs".into(),
+                line: 3,
+                rule: Rule::CounterBalance,
+                msg: "counter never registered".into(),
+            },
+        ]
+    }
+
+    #[test]
+    fn clean_report_round_trips() {
+        let text = render(&[]).expect("valid");
+        let doc = Json::parse(&text).expect("parses");
+        validate(&doc).expect("still valid");
+        assert_eq!(doc.get("clean"), Some(&Json::Bool(true)));
+    }
+
+    #[test]
+    fn violations_are_listed_and_counted() {
+        let text = render(&sample()).expect("valid");
+        let doc = Json::parse(&text).expect("parses");
+        let rows = doc.get("violations").and_then(Json::as_arr).unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(
+            doc.get("counts").and_then(|c| c.get("recovery-purity")),
+            Some(&Json::Num(1.0))
+        );
+    }
+
+    #[test]
+    fn inconsistent_clean_flag_rejected() {
+        let mut doc = document(&sample());
+        if let Json::Obj(fields) = &mut doc {
+            for (k, v) in fields.iter_mut() {
+                if k == "clean" {
+                    *v = Json::Bool(true);
+                }
+            }
+        }
+        assert!(validate(&doc).is_err());
+    }
+
+    #[test]
+    fn report_is_deterministic() {
+        assert_eq!(render(&sample()), render(&sample()));
+    }
+}

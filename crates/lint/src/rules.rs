@@ -14,8 +14,10 @@
 //! naming an unknown rule) is itself a violation — and is not
 //! suppressible.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
+use crate::dataflow::{recovery_impurities, unchecked_growth};
+use crate::parse::parse_functions;
 use crate::scan::{scan, Comment, Token};
 
 /// The rules the linter enforces.
@@ -45,6 +47,22 @@ pub enum Rule {
     UnguardedTelemetry,
     /// A malformed suppression pragma (missing reason, unknown rule).
     BadPragma,
+    /// A collection push on an arrival path not dominated by a
+    /// capacity check of the same field (must-dataflow over the CFG).
+    UnboundedGrowth,
+    /// Allocation or unwrap-pattern in `os` recovery code: recovery
+    /// runs while the system is degraded and must neither allocate
+    /// nor panic.
+    RecoveryPurity,
+    /// A metrics counter incremented somewhere but registered nowhere:
+    /// it would silently vanish from every report.
+    CounterBalance,
+    /// Model ↔ implementation drift found by the conformance pass
+    /// (see [`crate::conformance`]).
+    Conformance,
+    /// A suppression pragma that suppresses nothing — stale pragmas
+    /// hide real findings when the code under them changes.
+    UnusedPragma,
 }
 
 impl Rule {
@@ -58,9 +76,16 @@ impl Rule {
             Rule::ExternalDep => "external-dep",
             Rule::UnguardedTelemetry => "unguarded-telemetry",
             Rule::BadPragma => "bad-pragma",
+            Rule::UnboundedGrowth => "unbounded-growth",
+            Rule::RecoveryPurity => "recovery-purity",
+            Rule::CounterBalance => "counter-balance",
+            Rule::Conformance => "conformance",
+            Rule::UnusedPragma => "unused-pragma",
         }
     }
 
+    /// Pragma-name lookup. `bad-pragma` and `unused-pragma` are
+    /// deliberately absent: pragma hygiene cannot be pragma'd away.
     fn from_name(name: &str) -> Option<Rule> {
         match name {
             "panic-path" => Some(Rule::PanicPath),
@@ -69,6 +94,10 @@ impl Rule {
             "unordered-collection" => Some(Rule::UnorderedCollection),
             "external-dep" => Some(Rule::ExternalDep),
             "unguarded-telemetry" => Some(Rule::UnguardedTelemetry),
+            "unbounded-growth" => Some(Rule::UnboundedGrowth),
+            "recovery-purity" => Some(Rule::RecoveryPurity),
+            "counter-balance" => Some(Rule::CounterBalance),
+            "conformance" => Some(Rule::Conformance),
             _ => None,
         }
     }
@@ -116,20 +145,35 @@ impl std::fmt::Display for Violation {
     }
 }
 
-/// Parsed suppressions: line → rules allowed there, plus pragma errors.
+/// One well-formed pragma, for staleness tracking.
+#[derive(Debug, Clone)]
+pub struct PragmaSite {
+    /// Line the pragma sits on (it covers this line and the next).
+    pub line: usize,
+    /// Rules it allows.
+    pub rules: Vec<Rule>,
+}
+
+/// Parsed suppressions: line → rules allowed there, the pragma sites,
+/// plus pragma errors.
 struct Pragmas {
     allowed: BTreeMap<usize, Vec<Rule>>,
+    sites: Vec<PragmaSite>,
     errors: Vec<(usize, String)>,
 }
 
 fn parse_pragmas(comments: &[Comment]) -> Pragmas {
     let mut allowed: BTreeMap<usize, Vec<Rule>> = BTreeMap::new();
+    let mut sites = Vec::new();
     let mut errors = Vec::new();
     for c in comments {
-        let Some(pos) = c.text.find("lint:allow(") else {
+        // Only a comment that *is* a pragma counts — prose or doc
+        // examples that merely mention `lint:allow(` do not.
+        let trimmed = c.text.trim_start();
+        if !trimmed.starts_with("lint:allow(") {
             continue;
-        };
-        let rest = &c.text[pos + "lint:allow(".len()..];
+        }
+        let rest = &trimmed["lint:allow(".len()..];
         let Some(close) = rest.find(')') else {
             errors.push((c.line, "unterminated lint:allow(...)".into()));
             continue;
@@ -158,10 +202,18 @@ fn parse_pragmas(comments: &[Comment]) -> Pragmas {
         if !bad {
             // The pragma covers its own line and the next.
             allowed.entry(c.line).or_default().extend(rules.iter());
-            allowed.entry(c.line + 1).or_default().extend(rules);
+            allowed.entry(c.line + 1).or_default().extend(rules.iter());
+            sites.push(PragmaSite {
+                line: c.line,
+                rules,
+            });
         }
     }
-    Pragmas { allowed, errors }
+    Pragmas {
+        allowed,
+        sites,
+        errors,
+    }
 }
 
 /// Keywords that may legally precede `[` without forming an index
@@ -198,20 +250,134 @@ const PANIC_MACROS: &[&str] = &[
     "assert_ne",
 ];
 
-/// Lints one Rust source file belonging to `crate_name`.
-pub fn lint_source(crate_name: &str, rel_path: &str, source: &str) -> Vec<Violation> {
+/// Receiver-chain identifiers that mark a `+=` as a metrics-counter
+/// increment (`self.stats.shed += 1`, `self.faults.crashes += 1`, …).
+const COUNTER_RECEIVERS: &[&str] = &["stats", "metrics", "counters", "faults"];
+
+/// Function names (or prefixes) that sit on the request arrival path
+/// and therefore must bound every collection they grow.
+fn is_arrival_fn(name: &str) -> bool {
+    name.starts_with("on_")
+        || name.starts_with("handle_")
+        || matches!(
+            name,
+            "redeliver_to_kernel" | "ingest" | "admit" | "rx" | "enqueue" | "deliver"
+        )
+}
+
+/// Whether `rule` can fire at all in `crate_name`. A pragma naming a
+/// rule that is out of scope for its crate is inert, not stale — the
+/// unused-pragma check only accuses pragmas whose rule could have
+/// fired.
+fn rule_in_scope(rule: Rule, crate_name: &str) -> bool {
+    match rule {
+        Rule::PanicPath | Rule::UncheckedIndex | Rule::UnboundedGrowth => {
+            scopes::HOT_PATH.contains(&crate_name)
+        }
+        Rule::NondetTime => !scopes::WALL_CLOCK_EXEMPT.contains(&crate_name),
+        Rule::UnorderedCollection => scopes::DETERMINISTIC.contains(&crate_name),
+        Rule::UnguardedTelemetry | Rule::CounterBalance => scopes::TELEMETRY.contains(&crate_name),
+        Rule::RecoveryPurity => crate_name == "os",
+        Rule::Conformance | Rule::ExternalDep | Rule::BadPragma | Rule::UnusedPragma => true,
+    }
+}
+
+/// The per-file analysis: candidate findings plus the cross-file
+/// facts (pragma sites, counter increments, registration surface)
+/// that only resolve at workspace scope.
+pub struct FileAnalysis {
+    /// The crate the file belongs to (scopes the stale-pragma check).
+    crate_name: String,
+    /// Workspace-relative path.
+    pub rel_path: String,
+    /// Candidate findings, pragma suppression not yet applied.
+    findings: Vec<(usize, Rule, String)>,
+    /// Malformed pragmas (never suppressible).
+    bad_pragmas: Vec<(usize, String)>,
+    /// line → rules a pragma allows there.
+    allowed: BTreeMap<usize, Vec<Rule>>,
+    /// The pragma sites, for staleness tracking.
+    sites: Vec<PragmaSite>,
+    /// `(line, counter field)` of metrics increments in this file.
+    pub counter_incs: Vec<(usize, String)>,
+    /// Identifiers appearing inside `.counter(` / `.gauge(`
+    /// registration argument lists.
+    pub reg_idents: BTreeSet<String>,
+    /// Function name → identifiers in its body (one-level closure for
+    /// accessor-style registrations like `mirror.update_count()`).
+    pub fn_idents: BTreeMap<String, BTreeSet<String>>,
+}
+
+impl FileAnalysis {
+    /// Applies pragma suppression to the candidate findings plus any
+    /// workspace-level `extra` findings for this file, then reports
+    /// stale pragmas. Consumes the analysis.
+    pub fn finalize(self, extra: Vec<(usize, Rule, String)>) -> Vec<Violation> {
+        let mut findings = self.findings;
+        findings.extend(extra);
+        findings.sort();
+        findings.dedup_by(|a, b| a.0 == b.0 && a.1 == b.1);
+
+        let mut used: Vec<bool> = vec![false; self.sites.len()];
+        let mut out = Vec::new();
+        for (line, msg) in self.bad_pragmas {
+            out.push(Violation {
+                file: self.rel_path.clone(),
+                line,
+                rule: Rule::BadPragma,
+                msg,
+            });
+        }
+        for (line, rule, msg) in findings {
+            let suppressed = self
+                .allowed
+                .get(&line)
+                .is_some_and(|rules| rules.contains(&rule));
+            if suppressed {
+                for (i, site) in self.sites.iter().enumerate() {
+                    if (site.line == line || site.line + 1 == line) && site.rules.contains(&rule) {
+                        used[i] = true;
+                    }
+                }
+            } else {
+                out.push(Violation {
+                    file: self.rel_path.clone(),
+                    line,
+                    rule,
+                    msg,
+                });
+            }
+        }
+        for (i, site) in self.sites.iter().enumerate() {
+            let in_scope = site
+                .rules
+                .iter()
+                .any(|&r| rule_in_scope(r, &self.crate_name));
+            if !used[i] && in_scope {
+                let names: Vec<&str> = site.rules.iter().map(|r| r.name()).collect();
+                out.push(Violation {
+                    file: self.rel_path.clone(),
+                    line: site.line,
+                    rule: Rule::UnusedPragma,
+                    msg: format!(
+                        "pragma allows [{}] but suppresses nothing here; delete it",
+                        names.join(", ")
+                    ),
+                });
+            }
+        }
+        out.sort_by_key(|a| (a.line, a.rule));
+        out
+    }
+}
+
+/// Analyzes one Rust source file belonging to `crate_name`. The
+/// returned [`FileAnalysis`] carries candidate findings and the facts
+/// needed for workspace-level rules; call
+/// [`FileAnalysis::finalize`] to get violations.
+pub fn analyze_source(crate_name: &str, rel_path: &str, source: &str) -> FileAnalysis {
     let s = scan(source);
     let pragmas = parse_pragmas(&s.comments);
-    let mut out = Vec::new();
-
-    for (line, msg) in &pragmas.errors {
-        out.push(Violation {
-            file: rel_path.into(),
-            line: *line,
-            rule: Rule::BadPragma,
-            msg: msg.clone(),
-        });
-    }
 
     let hot = scopes::HOT_PATH.contains(&crate_name);
     let deterministic = scopes::DETERMINISTIC.contains(&crate_name);
@@ -286,26 +452,180 @@ pub fn lint_source(crate_name: &str, rel_path: &str, source: &str) -> Vec<Violat
         }
     }
 
-    // Dedupe repeated findings on one line (e.g. several index
-    // expressions), then apply pragmas.
-    findings.sort();
-    findings.dedup_by(|a, b| a.0 == b.0 && a.1 == b.1);
-    for (line, rule, msg) in findings {
-        let suppressed = pragmas
-            .allowed
-            .get(&line)
-            .is_some_and(|rules| rules.contains(&rule));
-        if !suppressed {
-            out.push(Violation {
-                file: rel_path.into(),
-                line,
-                rule,
-                msg,
-            });
+    // ---- dataflow rules ------------------------------------------
+    let functions = parse_functions(toks);
+    if hot {
+        for f in &functions {
+            if f.in_test || !is_arrival_fn(&f.name) {
+                continue;
+            }
+            for site in unchecked_growth(toks, f) {
+                findings.push((
+                    site.line,
+                    Rule::UnboundedGrowth,
+                    format!(
+                        "`{}.{}(` on arrival path `{}` is not dominated by a \
+                         capacity check of `{}`",
+                        site.field,
+                        site.method,
+                        f.qualname(),
+                        site.field
+                    ),
+                ));
+            }
         }
     }
-    out.sort_by_key(|a| (a.line, a.rule));
-    out
+    if crate_name == "os" {
+        for f in &functions {
+            if f.in_test || f.name == "new" || f.name == "default" {
+                continue;
+            }
+            let recovery = f.impl_type.as_deref() == Some("Watchdog")
+                || ["repair", "restore", "reconstruct", "recover"]
+                    .iter()
+                    .any(|p| f.name.starts_with(p));
+            if !recovery {
+                continue;
+            }
+            for imp in recovery_impurities(toks, f) {
+                findings.push((
+                    imp.line,
+                    Rule::RecoveryPurity,
+                    format!(
+                        "{} in recovery fn `{}`; recovery runs degraded and must \
+                         neither allocate nor panic",
+                        imp.what,
+                        f.qualname()
+                    ),
+                ));
+            }
+        }
+    }
+
+    // ---- counter-balance facts -----------------------------------
+    let mut counter_incs = Vec::new();
+    if telemetry {
+        for (i, t) in toks.iter().enumerate() {
+            if t.in_test || !is_ident(&t.text) {
+                continue;
+            }
+            let prev = i.checked_sub(1).map(|p| toks[p].text.as_str());
+            if prev != Some(".")
+                || toks.get(i + 1).map(|t| t.text.as_str()) != Some("+")
+                || toks.get(i + 2).map(|t| t.text.as_str()) != Some("=")
+            {
+                continue;
+            }
+            // Walk the receiver chain; only metrics-ish receivers
+            // count (`self.stats.shed += 1`), not arbitrary numerics.
+            let mut j = i;
+            let mut is_counter = false;
+            while j >= 2 && toks[j - 1].text == "." && is_ident(&toks[j - 2].text) {
+                if COUNTER_RECEIVERS.contains(&toks[j - 2].text.as_str()) {
+                    is_counter = true;
+                }
+                j -= 2;
+            }
+            if is_counter {
+                counter_incs.push((t.line, t.text.clone()));
+            }
+        }
+    }
+    let mut reg_idents: BTreeSet<String> = BTreeSet::new();
+    {
+        let mut i = 0usize;
+        while i + 2 < toks.len() {
+            if toks[i].text == "."
+                && (toks[i + 1].text == "counter" || toks[i + 1].text == "gauge")
+                && toks[i + 2].text == "("
+                && !toks[i].in_test
+            {
+                let mut d = 0isize;
+                let mut j = i + 2;
+                while j < toks.len() {
+                    match toks[j].text.as_str() {
+                        "(" => d += 1,
+                        ")" => {
+                            d -= 1;
+                            if d == 0 {
+                                break;
+                            }
+                        }
+                        x if is_ident(x) => {
+                            reg_idents.insert(x.to_string());
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                i = j;
+            }
+            i += 1;
+        }
+    }
+    let mut fn_idents: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    for f in &functions {
+        if f.in_test {
+            continue;
+        }
+        fn_idents
+            .entry(f.name.clone())
+            .or_default()
+            .extend(crate::dataflow::idents_in(toks, f.body_inner()));
+    }
+
+    FileAnalysis {
+        crate_name: crate_name.into(),
+        rel_path: rel_path.into(),
+        findings,
+        bad_pragmas: pragmas.errors,
+        allowed: pragmas.allowed,
+        sites: pragmas.sites,
+        counter_incs,
+        reg_idents,
+        fn_idents,
+    }
+}
+
+/// Resolves counter increments against a registration surface:
+/// registered identifiers plus, one level deep, the body identifiers
+/// of any function a registration argument names (covers accessor
+/// registrations like `.counter("x", m.update_count())`).
+pub fn resolve_counters(
+    incs: &[(usize, String)],
+    reg_idents: &BTreeSet<String>,
+    fn_idents: &BTreeMap<String, BTreeSet<String>>,
+) -> Vec<(usize, Rule, String)> {
+    let mut surface: BTreeSet<&str> = reg_idents.iter().map(String::as_str).collect();
+    for ident in reg_idents {
+        if let Some(body) = fn_idents.get(ident) {
+            surface.extend(body.iter().map(String::as_str));
+        }
+    }
+    incs.iter()
+        .filter(|(_, field)| !surface.contains(field.as_str()))
+        .map(|(line, field)| {
+            (
+                *line,
+                Rule::CounterBalance,
+                format!(
+                    "counter `{}` is incremented here but never registered in any \
+                     metrics export; it would vanish from every report",
+                    field
+                ),
+            )
+        })
+        .collect()
+}
+
+/// Lints one Rust source file belonging to `crate_name`, resolving
+/// the workspace-scope rules (counter-balance) file-locally. The
+/// workspace walk in [`crate::lint_workspace`] resolves them against
+/// the whole tree instead.
+pub fn lint_source(crate_name: &str, rel_path: &str, source: &str) -> Vec<Violation> {
+    let fa = analyze_source(crate_name, rel_path, source);
+    let extra = resolve_counters(&fa.counter_incs, &fa.reg_idents, &fa.fn_idents);
+    fa.finalize(extra)
 }
 
 /// Lints a `Cargo.toml`: every dependency must come from the workspace
@@ -461,6 +781,103 @@ mod tests {
     #[test]
     fn strings_and_comments_never_trip() {
         let src = "fn f() { let _s = \"panic! unwrap() HashMap\"; } // Instant::now in prose";
+        assert!(lint_source("rpc", "f.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unused_pragma_flagged() {
+        let src =
+            "fn ok() {}\n// lint:allow(panic-path): nothing here panics anymore\nfn also_ok() {}";
+        let v = lint_source("os", "f.rs", src);
+        assert_eq!(rules_of(&v), vec![Rule::UnusedPragma]);
+    }
+
+    #[test]
+    fn used_pragma_not_flagged_as_stale() {
+        let src = "fn f(x: Option<u32>) -> u32 {\n    // lint:allow(panic-path): fixture value is Some\n    x.unwrap()\n}";
+        assert!(lint_source("os", "f.rs", src).is_empty());
+    }
+
+    #[test]
+    fn out_of_scope_pragma_is_inert_not_stale() {
+        // mc is not a hot-path crate: the panic rule cannot fire, so
+        // the pragma is inert — neither suppressing nor stale.
+        let src = "// lint:allow(panic-path): hot-path copy of this file needs it\nfn f(x: Option<u32>) -> u32 { x.unwrap_or(0) }";
+        assert!(lint_source("mc", "f.rs", src).is_empty());
+    }
+
+    #[test]
+    fn doc_example_mentioning_pragma_is_not_a_pragma() {
+        let src = "//! Suppress with `// lint:allow(panic-path): reason`.\nfn f() {}";
+        assert!(lint_source("os", "f.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unbounded_growth_flagged_and_suppressible() {
+        let bad = "impl Rx { fn on_frame(&mut self, f: F) { self.queue.push_back(f); } }";
+        let v = lint_source("nic-lauberhorn", "f.rs", bad);
+        assert_eq!(rules_of(&v), vec![Rule::UnboundedGrowth]);
+        let ok = "impl Rx { fn on_frame(&mut self, f: F) {\n\
+                    if self.queue.len() >= self.queue_cap { return; }\n\
+                    self.queue.push_back(f);\n\
+                  } }";
+        assert!(lint_source("nic-lauberhorn", "f.rs", ok).is_empty());
+        let suppressed = "impl Rx { fn on_frame(&mut self, f: F) {\n\
+                            // lint:allow(unbounded-growth): bounded by core count\n\
+                            self.queue.push_back(f);\n\
+                          } }";
+        assert!(lint_source("nic-lauberhorn", "f.rs", suppressed).is_empty());
+    }
+
+    #[test]
+    fn non_arrival_fns_may_grow() {
+        let src = "impl Rx { fn restock(&mut self, f: F) { self.pool.push(f); } }";
+        assert!(lint_source("nic-lauberhorn", "f.rs", src).is_empty());
+    }
+
+    #[test]
+    fn recovery_purity_flags_alloc_in_watchdog() {
+        let src = "impl Watchdog { fn repaired(&mut self, now: u64) { let _v = vec![now]; self.last = now; } }";
+        let v = lint_source("os", "f.rs", src);
+        assert_eq!(rules_of(&v), vec![Rule::RecoveryPurity]);
+        // The rule is os-scoped: the same code elsewhere is fine.
+        assert!(lint_source("rpc", "f.rs", src).is_empty());
+    }
+
+    #[test]
+    fn recovery_purity_applies_to_recovery_prefixes() {
+        let src =
+            "fn reconstruct_table(salvage: &S) -> T { salvage.rows.first().unwrap().clone() }";
+        let v = lint_source("os", "f.rs", src);
+        // unwrap trips both the hot-path rule and the purity rule.
+        assert!(rules_of(&v).contains(&Rule::RecoveryPurity), "{v:?}");
+    }
+
+    #[test]
+    fn counter_balance_resolves_locally_in_lint_source() {
+        let balanced = "impl S {\n\
+                          fn on_rx(&mut self) { self.stats.hits += 1; }\n\
+                          fn export(&self, r: &mut Reg) { r.counter(\"s.hits\", self.stats.hits); }\n\
+                        }";
+        assert!(lint_source("rpc", "f.rs", balanced).is_empty());
+        let unbalanced = "impl S { fn on_rx(&mut self) { self.stats.hits += 1; } }";
+        let v = lint_source("rpc", "f.rs", unbalanced);
+        assert_eq!(rules_of(&v), vec![Rule::CounterBalance]);
+    }
+
+    #[test]
+    fn counter_registered_via_accessor_counts() {
+        let src = "impl S {\n\
+                     fn on_rx(&mut self) { self.stats.updates += 1; }\n\
+                     fn update_count(&self) -> u64 { self.stats.updates }\n\
+                     fn export(&self, r: &mut Reg) { r.counter(\"s.updates\", self.update_count()); }\n\
+                   }";
+        assert!(lint_source("rpc", "f.rs", src).is_empty());
+    }
+
+    #[test]
+    fn plain_numeric_increment_is_not_a_counter() {
+        let src = "impl S { fn on_rx(&mut self) { self.depth += 1; self.cursor.pos += 1; } }";
         assert!(lint_source("rpc", "f.rs", src).is_empty());
     }
 

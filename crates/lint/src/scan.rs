@@ -106,15 +106,41 @@ pub fn scan(source: &str) -> Scan {
             '"' => {
                 i = consume_string(&chars, i, &mut line);
             }
+            // Raw identifier (`r#type`): an ordinary ident token, not a
+            // raw-string prefix.
+            'r' if i + 2 < n && chars[i + 1] == '#' && is_ident_start(chars[i + 2]) => {
+                let start = i;
+                let mut j = i + 2;
+                while j < n && is_ident_continue(chars[j]) {
+                    j += 1;
+                }
+                out.tokens.push(Token {
+                    line,
+                    text: chars[start..j].iter().collect(),
+                    in_test: false,
+                });
+                i = j;
+            }
             'r' | 'b' if starts_string_prefix(&chars, i) => {
                 i = consume_prefixed_string(&chars, i, &mut line);
             }
             '\'' => {
                 // Lifetime or char literal.
                 if i + 1 < n && is_ident_start(chars[i + 1]) && !closes_as_char(&chars, i) {
-                    // Lifetime: skip the quote; the identifier tokenizes
-                    // next round (harmless — rules never match on it).
-                    i += 1;
+                    // Lifetime: one token with the tick kept, so `'a`
+                    // never reads as the identifier `a` (e.g. `&'a [T]`
+                    // is not an index expression).
+                    let start = i;
+                    let mut j = i + 1;
+                    while j < n && is_ident_continue(chars[j]) {
+                        j += 1;
+                    }
+                    out.tokens.push(Token {
+                        line,
+                        text: chars[start..j].iter().collect(),
+                        in_test: false,
+                    });
+                    i = j;
                 } else {
                     i = consume_char_literal(&chars, i);
                 }
@@ -169,7 +195,9 @@ pub fn scan(source: &str) -> Scan {
     out
 }
 
-/// `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#` and friends.
+/// `r"…"`, `r#"…"#`, `b"…"`, `br#"…"#` and friends. The quote must
+/// actually follow the prefix (and any hash guards) — a raw identifier
+/// (`r#type`) or a bare `r`/`b` variable is not a string prefix.
 fn starts_string_prefix(chars: &[char], i: usize) -> bool {
     let n = chars.len();
     let mut j = i;
@@ -179,10 +207,13 @@ fn starts_string_prefix(chars: &[char], i: usize) -> bool {
         j += 1;
         saw_prefix = true;
     }
-    if !saw_prefix || j >= n {
+    if !saw_prefix {
         return false;
     }
-    chars[j] == '"' || chars[j] == '#'
+    while j < n && chars[j] == '#' {
+        j += 1;
+    }
+    j < n && chars[j] == '"'
 }
 
 fn consume_prefixed_string(chars: &[char], mut i: usize, line: &mut usize) -> usize {
@@ -229,7 +260,14 @@ fn consume_string(chars: &[char], i: usize, line: &mut usize) -> usize {
     let mut j = i + 1;
     while j < n {
         match chars[j] {
-            '\\' => j += 2,
+            '\\' => {
+                // A line continuation (`\` before the newline) still
+                // advances the source line counter.
+                if j + 1 < n && chars[j + 1] == '\n' {
+                    *line += 1;
+                }
+                j += 2;
+            }
             '\n' => {
                 *line += 1;
                 j += 1;
@@ -399,5 +437,66 @@ mod tests {
         let s = scan("a\nb\n\nc");
         let lines: Vec<usize> = s.tokens.iter().map(|t| t.line).collect();
         assert_eq!(lines, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn raw_identifier_is_one_token() {
+        let s = scan("let r#type = r#match; after();");
+        assert!(s.tokens.iter().any(|t| t.text == "r#type"));
+        assert!(s.tokens.iter().any(|t| t.text == "r#match"));
+        // Nothing after the raw idents was swallowed as a raw string.
+        assert!(s.tokens.iter().any(|t| t.text == "after"));
+        assert!(s.tokens.iter().all(|t| t.text != "#"));
+    }
+
+    #[test]
+    fn multiline_raw_string_tracks_lines() {
+        let s = scan("let x = r#\"line\nwith unwrap()\nmore\"#;\nnext_line();");
+        assert!(s.tokens.iter().all(|t| t.text != "unwrap"));
+        let next = s.tokens.iter().find(|t| t.text == "next_line").unwrap();
+        assert_eq!(next.line, 4);
+    }
+
+    #[test]
+    fn string_line_continuation_tracks_lines() {
+        let s = scan("let x = \"a\\\nb\";\nafter();");
+        let after = s.tokens.iter().find(|t| t.text == "after").unwrap();
+        assert_eq!(after.line, 3);
+    }
+
+    #[test]
+    fn nested_block_comments_close_correctly() {
+        let s = scan("/* outer /* inner unwrap() */ still comment */ code();");
+        assert!(s.tokens.iter().all(|t| t.text != "unwrap"));
+        assert!(s.tokens.iter().any(|t| t.text == "code"));
+        assert_eq!(s.comments.len(), 1);
+        assert!(s.comments[0].text.contains("inner"));
+    }
+
+    #[test]
+    fn nested_block_comment_lines_counted() {
+        let s = scan("/* a\n/* b\n*/\n*/\nafter();");
+        let after = s.tokens.iter().find(|t| t.text == "after").unwrap();
+        assert_eq!(after.line, 5);
+    }
+
+    #[test]
+    fn lifetime_ticks_vs_char_literals() {
+        // Lifetimes in generics, char literals (incl. escapes and
+        // underscore), and byte chars must not desynchronize the scan.
+        let src = "fn f<'a, 'long>(x: &'a str, c: char) { \
+                   let a = 'x'; let b = '_'; let e = '\\n'; \
+                   let u = '\\u{1F600}'; let byte = b'q'; tail(); }";
+        let s = scan(src);
+        assert!(s.tokens.iter().any(|t| t.text == "tail"));
+        // Lifetimes keep their tick — `'a` must never read as the
+        // identifier `a` (e.g. `&'a [T]` is not an index expression).
+        // Char literals produce no tokens at all.
+        assert!(s.tokens.iter().any(|t| t.text == "'a"));
+        assert!(s.tokens.iter().any(|t| t.text == "'long"));
+        assert!(s
+            .tokens
+            .iter()
+            .all(|t| !t.text.contains('\'') || t.text.starts_with('\'')));
     }
 }

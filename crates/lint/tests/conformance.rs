@@ -1,0 +1,71 @@
+//! Model↔implementation conformance: the real tree must check clean,
+//! and the committed drift mutant — an `Endpoint::on_timeout` that
+//! silently stops clearing the parked slot and emitting TRYAGAIN —
+//! must be caught with a deterministic file:line-anchored diagnostic.
+
+use lint::conformance::{check_conformance, real_tree_sources, Role, SourceFile};
+use lint::{workspace_root, Rule};
+
+#[test]
+fn real_tree_is_conformance_clean() {
+    let files = real_tree_sources(&workspace_root()).expect("read conformance sources");
+    let violations = check_conformance(&files);
+    assert!(violations.is_empty(), "{violations:#?}");
+}
+
+fn drifted_tree() -> Vec<SourceFile> {
+    let mut files = real_tree_sources(&workspace_root()).expect("read conformance sources");
+    let idx = files
+        .iter()
+        .position(|f| f.role == Role::Endpoint)
+        .expect("endpoint source present");
+    files[idx] = SourceFile {
+        role: Role::Endpoint,
+        path: "crates/lint/fixtures/conformance_drift.rs".to_string(),
+        source: include_str!("../fixtures/conformance_drift.rs").to_string(),
+    };
+    files
+}
+
+#[test]
+fn drift_mutant_is_caught_at_the_gutted_timeout_path() {
+    let files = drifted_tree();
+    let violations = check_conformance(&files);
+    assert!(!violations.is_empty(), "drift mutant went undetected");
+
+    // Every finding is a conformance finding against the fixture's
+    // timeout action — the rest of the (real) tree stays clean.
+    let drift: Vec<_> = violations
+        .iter()
+        .filter(|v| v.rule == Rule::Conformance && v.msg.contains("timeout/tryagain"))
+        .collect();
+    assert!(
+        !drift.is_empty(),
+        "expected a timeout/tryagain conformance finding, got: {violations:#?}"
+    );
+
+    // The diagnostic anchors at the mutated function in the fixture
+    // file, not somewhere in the real tree.
+    let anchor = include_str!("../fixtures/conformance_drift.rs")
+        .lines()
+        .position(|l| l.contains("pub fn on_timeout"))
+        .expect("fixture defines on_timeout")
+        + 1;
+    for v in &drift {
+        assert_eq!(v.file, "crates/lint/fixtures/conformance_drift.rs", "{v}");
+        assert_eq!(v.line, anchor, "{v}");
+    }
+}
+
+#[test]
+fn drift_diagnostics_are_deterministic() {
+    let render = |vs: &[lint::Violation]| {
+        vs.iter()
+            .map(|v| v.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    let a = check_conformance(&drifted_tree());
+    let b = check_conformance(&drifted_tree());
+    assert_eq!(render(&a), render(&b));
+}

@@ -81,3 +81,61 @@ fn test_gated_fixture_is_clean() {
     let got = rules("os", include_str!("../fixtures/test_gated.rs"));
     assert!(got.is_empty(), "{got:?}");
 }
+
+#[test]
+fn lexer_edges_fixture_is_clean_in_a_hot_crate() {
+    // Raw strings, nested block comments, lifetimes vs char literals,
+    // raw identifiers, and string line-continuations all hide
+    // panic-like text; a lexer bug leaks it into the token stream and
+    // a rule fires.
+    let got = rules("nic-lauberhorn", include_str!("../fixtures/lexer_edges.rs"));
+    assert!(got.is_empty(), "{got:?}");
+}
+
+#[test]
+fn growth_fixture_trips_unguarded_arrival_pushes_only() {
+    let got = rules("nic-lauberhorn", include_str!("../fixtures/growth.rs"));
+    assert!(got.iter().all(|r| *r == Rule::UnboundedGrowth), "{got:?}");
+    // on_frame (no check) and handle_burst (check on one branch only);
+    // the dominated push, the pragma'd insert, and the non-arrival
+    // push stay clean.
+    assert_eq!(got.len(), 2, "{got:?}");
+    // The rule is hot-path-scoped: the same file is clean in `mc`.
+    assert!(rules("mc", include_str!("../fixtures/growth.rs")).is_empty());
+}
+
+#[test]
+fn recovery_fixture_trips_impure_recovery_paths_only() {
+    let got = rules("os", include_str!("../fixtures/recovery.rs"));
+    assert!(got.iter().all(|r| *r == Rule::RecoveryPurity), "{got:?}");
+    // vec! + unwrap in `repaired`, format! in `reconstruct_label`; the
+    // field-only path and the non-recovery fn stay clean.
+    assert_eq!(got.len(), 3, "{got:?}");
+    // The rule only applies inside the `os` crate.
+    assert!(rules("rpc", include_str!("../fixtures/recovery.rs")).is_empty());
+}
+
+#[test]
+fn counters_fixture_trips_the_unregistered_counter_only() {
+    let got = lint_source("rpc", "fixture.rs", include_str!("../fixtures/counters.rs"));
+    assert!(
+        got.iter().all(|v| v.rule == Rule::CounterBalance),
+        "{got:?}"
+    );
+    assert_eq!(got.len(), 1, "{got:?}");
+    assert!(got[0].msg.contains("ghost_frames"), "{}", got[0].msg);
+}
+
+#[test]
+fn unused_pragma_fixture_trips_the_stale_pragma_only() {
+    let got = lint_source(
+        "nic-lauberhorn",
+        "fixture.rs",
+        include_str!("../fixtures/unused_pragma.rs"),
+    );
+    assert!(got.iter().all(|v| v.rule == Rule::UnusedPragma), "{got:?}");
+    // The pragma over `unwrap_or` suppresses nothing and is flagged at
+    // its own line; the live pragma over the real unwrap is not.
+    assert_eq!(got.len(), 1, "{got:?}");
+    assert_eq!(got[0].line, 11, "{}", got[0]);
+}

@@ -42,9 +42,11 @@ pub mod collection;
 pub mod lossy;
 pub mod protocol;
 pub mod races;
+pub mod table;
 
 pub use checker::{CheckOutcome, CheckReport, Model};
 pub use collection::{CollectionConfig, CollectionModel};
 pub use lossy::{LossyRpcConfig, LossyRpcModel};
 pub use protocol::{LauberhornModel, ProtocolConfig};
 pub use races::{detect_races, InstrumentedModel, RaceClass, RaceReport};
+pub use table::{transition_table, Transition, TransitionKind};

@@ -761,6 +761,7 @@ impl LauberhornNic {
             .any(|e| matches!(e, crate::endpoint::Effect::ArmTimeout { .. }));
         let mut effects = effects;
         if parked {
+            // lint:allow(unbounded-growth): keyed by endpoint id; at most one parked core per endpoint
             self.parked_core.insert(id, core);
             self.mirror.observe_poll(core, id, is_kernel, now);
             if let (false, true, Some(process)) =

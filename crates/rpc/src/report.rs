@@ -300,6 +300,25 @@ impl MetricsCollector {
             .counter("rpc.dedup.replayed", self.faults.dedup_replayed);
         self.registry
             .counter("rpc.dedup.dup_executions", self.faults.dup_executions);
+        self.registry
+            .counter("rpc.dedup.dup_responses", self.faults.dup_responses);
+        self.registry
+            .counter("rpc.wire.tx_lost", self.faults.wire_tx_lost);
+        self.registry
+            .counter("rpc.wire.rx_lost", self.faults.wire_rx_lost);
+        self.registry
+            .counter("rpc.wire.corrupted", self.faults.corrupted);
+        self.registry
+            .counter("rpc.wire.checksum_dropped", self.faults.checksum_dropped);
+        self.registry
+            .counter("rpc.fabric.fill_faults", self.faults.fill_faults);
+        self.registry.counter(
+            "rpc.recovery.crashes_recovered",
+            self.faults.crashes_recovered,
+        );
+        self.registry.counter("rpc.cycles.software", self.sw_cycles);
+        self.registry
+            .counter("rpc.cycles.measured_completions", self.measured);
         self.registry.counter("rpc.requests.offered", self.offered);
         self.registry
             .counter("rpc.requests.completed", self.completed);

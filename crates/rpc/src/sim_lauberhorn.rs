@@ -791,6 +791,7 @@ impl LauberhornSim {
                                         resp.len() + 2 <= self.coh.line_size(),
                                         "handler response exceeds the control line"
                                     );
+                                    // lint:allow(unbounded-growth): one entry per in-flight request, removed on completion
                                     self.resp_payload.insert(request_id, resp);
                                 }
                             }
@@ -891,6 +892,7 @@ impl LauberhornSim {
             None => self.spec_of(ctx.service_id).response_bytes.min(data.len()),
         };
         if self.record_responses {
+            // lint:allow(unbounded-growth): response capture is a conformance-test mode, off in benchmarks
             self.common.metrics.recorded.push((
                 ctx.request_id,
                 lauberhorn_nic::bytes::slice(&data, 0, resp_len).to_vec(),
@@ -986,6 +988,7 @@ impl LauberhornSim {
         for &core in &victims {
             if let Some(rid) = self.ctx_mut(core).cur_req.take() {
                 // Mid-handler: the execution is lost with the process.
+                // lint:allow(unbounded-growth): one entry per injected crash; bounded by the fault plan
                 self.crashed.insert(rid);
                 self.resp_payload.remove(&rid);
                 self.common.dedup_forget(rid);
