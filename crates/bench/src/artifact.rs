@@ -31,12 +31,24 @@ pub struct BenchRow {
     pub offered: u64,
     /// Requests completed.
     pub completed: u64,
+    /// Optional critical-path blame shares (stage label -> permille of
+    /// critical-path time), present when the run had tracing on. The
+    /// trend harness uses the shares to attribute a latency regression
+    /// to the stage whose blame grew.
+    pub blame: Option<Vec<(String, u64)>>,
 }
 
 impl BenchRow {
     /// A row from a report at offered load `offered_rps` (0 for
-    /// closed-loop workloads).
+    /// closed-loop workloads). Picks up the critical-path blame
+    /// profile when the report carries one.
     pub fn from_report(offered_rps: f64, r: &Report) -> BenchRow {
+        let blame = r.blame.as_ref().filter(|b| b.total_ps > 0).map(|b| {
+            b.by_stage_ps
+                .iter()
+                .map(|(stage, ps)| (stage.to_string(), ps * 1000 / b.total_ps))
+                .collect()
+        });
         BenchRow {
             stack: r.stack.clone(),
             offered_rps,
@@ -45,11 +57,12 @@ impl BenchRow {
             rtt_p99_us: r.rtt.p99_us(),
             offered: r.offered,
             completed: r.completed,
+            blame,
         }
     }
 
     fn to_json(&self) -> Json {
-        Json::Obj(vec![
+        let mut fields = vec![
             ("stack".into(), Json::Str(self.stack.clone())),
             ("offered_rps".into(), Json::Num(self.offered_rps)),
             ("throughput_rps".into(), Json::Num(self.throughput_rps)),
@@ -57,7 +70,19 @@ impl BenchRow {
             ("rtt_p99_us".into(), Json::Num(self.rtt_p99_us)),
             ("offered".into(), Json::Num(self.offered as f64)),
             ("completed".into(), Json::Num(self.completed as f64)),
-        ])
+        ];
+        if let Some(blame) = &self.blame {
+            fields.push((
+                "blame".into(),
+                Json::Obj(
+                    blame
+                        .iter()
+                        .map(|(stage, pm)| (stage.clone(), Json::Num(*pm as f64)))
+                        .collect(),
+                ),
+            ));
+        }
+        Json::Obj(fields)
     }
 }
 
@@ -118,6 +143,19 @@ pub fn validate(doc: &Json) -> Result<(), String> {
         if completed > offered {
             return Err(ctx(&format!("completed {completed} > offered {offered}")));
         }
+        if let Some(blame) = row.get("blame") {
+            let Json::Obj(shares) = blame else {
+                return Err(ctx("`blame` must be an object"));
+            };
+            for (stage, share) in shares {
+                let pm = share
+                    .as_f64()
+                    .ok_or_else(|| ctx(&format!("blame `{stage}` not a number")))?;
+                if !(0.0..=1000.0).contains(&pm) {
+                    return Err(ctx(&format!("blame `{stage}` share {pm} outside 0..=1000")));
+                }
+            }
+        }
     }
     Ok(())
 }
@@ -155,6 +193,7 @@ mod tests {
             rtt_p99_us: 30.0,
             offered: 1000,
             completed: 990,
+            blame: Some(vec![("handler".into(), 700), ("wire".into(), 300)]),
         }
     }
 

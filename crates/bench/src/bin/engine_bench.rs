@@ -207,6 +207,7 @@ fn row(m: &Measurement) -> BenchRow {
         rtt_p99_us: m.wall_ns_per_event / 1e3,
         offered: m.scheduled,
         completed: m.delivered.min(m.scheduled),
+        blame: None,
     }
 }
 

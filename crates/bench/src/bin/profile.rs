@@ -20,8 +20,8 @@
 use lauberhorn::prelude::*;
 use lauberhorn::rpc::driver;
 use lauberhorn::sim::span::{chrome_trace, stage_table};
-use lauberhorn::sim::ObserveSpec;
-use lauberhorn_bench::artifact;
+use lauberhorn::sim::{blame_table, ObserveSpec};
+use lauberhorn_bench::artifact::{self, BenchRow};
 
 fn main() {
     let stacks = [
@@ -30,6 +30,7 @@ fn main() {
         ("lauberhorn", StackKind::LauberhornEnzian),
     ];
     let mut failures = 0;
+    let mut rows = Vec::new();
     for (slug, kind) in stacks {
         let wl = WorkloadSpec::echo_closed(64, 2, 7).with_observe(ObserveSpec::full());
         let mut stack = Experiment::new(kind).build();
@@ -49,7 +50,12 @@ fn main() {
         println!("================================================================");
         print!("{}", stage_table(spans));
         println!();
+        if let Some(blame) = &observed.blame {
+            print!("{}", blame_table(blame));
+            println!();
+        }
         print!("{}", observed.metrics.render());
+        rows.push(BenchRow::from_report(0.0, &observed));
 
         let path = artifact::workspace_root().join(format!("PROFILE_{slug}.trace.json"));
         match std::fs::write(&path, chrome_trace(&observed.stack, spans)) {
@@ -78,6 +84,15 @@ fn main() {
             failures += 1;
         }
         println!();
+    }
+    // Machine-readable artifact: the per-stack closed-loop rows, each
+    // carrying the critical-path blame shares for the trend harness.
+    match artifact::write("profile", &artifact::document("profile", 7, &rows)) {
+        Ok(path) => println!("artifact -> {}", path.display()),
+        Err(e) => {
+            eprintln!("profile: artifact: {e}");
+            failures += 1;
+        }
     }
     if failures > 0 {
         eprintln!("profile: {failures} failure(s)");

@@ -6,6 +6,7 @@
 
 pub mod artifact;
 pub mod json;
+pub mod trend;
 
 use std::time::Instant;
 

@@ -63,3 +63,28 @@ pub fn recovery_sanctioned(trace: &mut Trace, salvaged: usize, entries: usize) {
         entries
     );
 }
+
+// The measurement apparatus's own telemetry (`sim.span.*`: tracer
+// drops, flight-recorder retention) is the one place where "it's just
+// observability" tempts a bare emit — but the contract is the same:
+// those counters exist precisely because the tracer must never format
+// or allocate on a run where it is disabled.
+
+pub fn span_retention_bare(trace: &mut Trace, retained: u64, recycled: u64) {
+    trace.emit(
+        8,
+        "sim.span",
+        format!("flightrec retained {retained} recycled {recycled}"), // violation
+    );
+}
+
+pub fn span_retention_sanctioned(trace: &mut Trace, retained: u64, dropped: u64) {
+    trace_ev!(
+        trace,
+        9,
+        "sim.span",
+        "flightrec retained {} (tracer dropped {})",
+        retained,
+        dropped
+    );
+}

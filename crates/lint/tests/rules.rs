@@ -69,9 +69,10 @@ fn telemetry_fixture_trips_unguarded_emit_only() {
         "{got:?}"
     );
     // The bare call, the hand-guarded call, the bare shed-counter
-    // emission, and the bare watchdog-heartbeat narration trip; the
-    // trace_ev! forms and the pragma-suppressed call do not.
-    assert_eq!(got.len(), 4, "{got:?}");
+    // emission, the bare watchdog-heartbeat narration, and the bare
+    // sim.span retention emit trip; the trace_ev! forms and the
+    // pragma-suppressed call do not.
+    assert_eq!(got.len(), 5, "{got:?}");
     // `sim` defines the macro and is exempt from the rule.
     assert!(rules("sim", include_str!("../fixtures/telemetry.rs")).is_empty());
 }

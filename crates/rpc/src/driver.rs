@@ -251,6 +251,12 @@ pub fn run(stack: &mut (impl ServerStack + ?Sized), workload: &WorkloadSpec) -> 
                         );
                         client_of.insert(request_id, client);
                         let common = stack.common();
+                        if common.tracer.is_enabled() {
+                            // Blame profiles slice per service; the
+                            // map exists only while tracing, so clean
+                            // runs allocate nothing.
+                            common.service_of.insert(request_id, service);
+                        }
                         common.metrics.offered += 1;
                         common.times.insert(
                             request_id,
@@ -349,7 +355,7 @@ pub fn run(stack: &mut (impl ServerStack + ?Sized), workload: &WorkloadSpec) -> 
                         client_of.remove(&request_id);
                         let common = stack.common();
                         common.metrics.faults.retries_exhausted += 1;
-                        common.abandon_request(request_id);
+                        common.abandon_request(request_id, now);
                         common.dedup_forget(request_id);
                         if let LoadMode::Closed { think, .. } = &workload.mode {
                             // Keep the closed-loop client alive: it
@@ -375,7 +381,7 @@ pub fn run(stack: &mut (impl ServerStack + ?Sized), workload: &WorkloadSpec) -> 
                         client_of.remove(&request_id);
                         let common = stack.common();
                         common.metrics.faults.timeouts += 1;
-                        common.abandon_request(request_id);
+                        common.abandon_request(request_id, now);
                         common.dedup_forget(request_id);
                         if let LoadMode::Closed { think, .. } = &workload.mode {
                             if now + *think <= common.end_of_load {
@@ -403,7 +409,7 @@ pub fn run(stack: &mut (impl ServerStack + ?Sized), workload: &WorkloadSpec) -> 
                         deadline_suppressed += 1;
                         let common = stack.common();
                         common.metrics.faults.timeouts += 1;
-                        common.abandon_request(request_id);
+                        common.abandon_request(request_id, now);
                         common.dedup_forget(request_id);
                         if let LoadMode::Closed { think, .. } = &workload.mode {
                             if now + *think <= common.end_of_load {
@@ -447,7 +453,7 @@ pub fn run(stack: &mut (impl ServerStack + ?Sized), workload: &WorkloadSpec) -> 
                         p.on_pushback(hint, now);
                     }
                     let common = stack.common();
-                    common.abandon_request(request_id);
+                    common.abandon_request(request_id, now);
                     common.dedup_forget(request_id);
                     if let LoadMode::Closed { think, .. } = &workload.mode {
                         if now + *think <= common.end_of_load {
@@ -503,6 +509,46 @@ pub fn run(stack: &mut (impl ServerStack + ?Sized), workload: &WorkloadSpec) -> 
             .registry
             .counter("rpc.retry.deadline_suppressed", deadline_suppressed);
     }
+    let blame = if common.tracer.is_enabled() {
+        // Trace-loss visibility (satellite of the blame work): how
+        // much the measurement apparatus itself lost. These entries
+        // exist only while tracing and are excluded from the report
+        // digest, so the zero-perturbation guarantee is untouched.
+        let reg = &mut common.metrics.registry;
+        reg.counter("sim.span.recorded", common.tracer.recorded());
+        reg.counter("sim.span.dropped", common.tracer.dropped());
+        reg.counter("sim.span.truncated", common.tracer.truncated());
+        if let Some(rec) = common.flightrec.as_ref() {
+            reg.counter("sim.span.flightrec.seen", rec.seen());
+            reg.counter("sim.span.flightrec.retained", rec.retained());
+            reg.counter("sim.span.flightrec.recycled", rec.recycled());
+            reg.counter("sim.span.flightrec.evicted", rec.evicted());
+            reg.gauge(
+                "sim.span.flightrec.p99_est_us",
+                rec.p99_estimate_ps() as f64 / 1e6,
+            );
+        }
+        // Critical-path blame: over the full buffer normally, over the
+        // retained outlier trees when the recorder recycled the rest.
+        let paths = match common.flightrec.as_ref() {
+            Some(rec) => {
+                let mut paths = Vec::new();
+                for tree in rec.trees() {
+                    paths.extend(lauberhorn_sim::critical_paths(&tree.spans));
+                }
+                paths
+            }
+            None => lauberhorn_sim::critical_paths(common.tracer.spans()),
+        };
+        Some(lauberhorn_sim::BlameProfile::build(
+            &paths,
+            &common.service_of,
+        ))
+    } else {
+        None
+    };
     let metrics = std::mem::take(&mut common.metrics);
-    metrics.finish(stack.name(), end.since(SimTime::ZERO), energy, fabric)
+    let mut report = metrics.finish(stack.name(), end.since(SimTime::ZERO), energy, fabric);
+    report.blame = blame;
+    report
 }

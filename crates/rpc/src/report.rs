@@ -1,7 +1,7 @@
 //! Experiment results, comparable across all three stacks.
 
 use lauberhorn_sim::energy::CycleAccount;
-use lauberhorn_sim::{Histogram, MetricsRegistry, SimDuration, Summary};
+use lauberhorn_sim::{BlameProfile, Histogram, MetricsRegistry, SimDuration, Summary};
 
 /// Fault-path counters, present in every report (all-zero on a
 /// fault-free run).
@@ -104,9 +104,15 @@ pub struct Report {
     pub faults: FaultCounters,
     /// Component metrics snapshot (NIC, coherence, scheduler, RPC
     /// layer), collected once at `finish` from counters the components
-    /// maintain anyway — never from the tracing machinery, so its
-    /// contents are identical whether or not observability is on.
+    /// maintain anyway. The only tracing-derived entries are the
+    /// `sim.span.*` family, registered solely while observability is
+    /// on and excluded from [`Report::digest`], so the rest of the
+    /// registry is identical whether or not observability is on.
     pub metrics: MetricsRegistry,
+    /// Critical-path blame decomposition, present only when the run
+    /// traced spans. Analysis output, not simulation state: excluded
+    /// from [`Report::digest`] like everything else tracing-derived.
+    pub blame: Option<BlameProfile>,
 }
 
 impl Report {
@@ -155,6 +161,8 @@ impl Report {
             "os.overload.",
             "bypass.overload.",
             "bypass.",
+            "rpc.latency.",
+            "sim.span.",
         ])
     }
 
@@ -228,15 +236,29 @@ impl Report {
         ] {
             h.put(v);
         }
+        // `sim.span.*` is meta-telemetry: it describes the measurement
+        // apparatus (trace loss, flight-recorder retention), not the
+        // simulated system, and exists only while tracing. Hashing it
+        // would make the digest observe-sensitive by construction, so
+        // the zero-perturbation carve-out skips the prefix.
         for (name, v) in self.metrics.counters() {
+            if name.starts_with("sim.span.") {
+                continue;
+            }
             h.put_str(name);
             h.put(v);
         }
         for (name, v) in self.metrics.gauges() {
+            if name.starts_with("sim.span.") {
+                continue;
+            }
             h.put_str(name);
             h.put_f(v);
         }
         for (name, s) in self.metrics.histograms() {
+            if name.starts_with("sim.span.") {
+                continue;
+            }
             h.put_str(name);
             h.put_sum(s);
         }
@@ -348,6 +370,7 @@ impl MetricsCollector {
             recorded: self.recorded,
             faults: self.faults,
             metrics: self.registry,
+            blame: None,
         }
     }
 }

@@ -218,13 +218,13 @@ impl BypassSim {
         // The NIC validates the IPv4/UDP checksums before steering: a
         // corrupted frame never reaches a descriptor.
         let Ok(frame) = lauberhorn_packet::parse_udp_frame_ref(&raw) else {
-            self.common.reject_corrupt(request_id);
+            self.common.reject_corrupt(request_id, now);
             return;
         };
         // Steering: exact-match rule, else drop (no kernel to fall back
         // to in a pure bypass deployment).
         let Some(queue) = self.fdir.steer(frame.udp.dst_port) else {
-            self.common.drop_request(request_id);
+            self.common.drop_request(request_id, now);
             return;
         };
         if self.common.rx_gate(request_id, now) == crate::stack::RxGate::Duplicate {
@@ -249,7 +249,7 @@ impl BypassSim {
                     let depth = self.pending.get(core).map_or(0, |q| q.len());
                     if depth >= ov.queue_cap {
                         self.shed_capacity += 1;
-                        self.common.drop_request(request_id);
+                        self.common.drop_request(request_id, now);
                         return;
                     }
                 }
@@ -264,11 +264,11 @@ impl BypassSim {
                 self.schedule_check(core, delivery.ready_at);
             }
             Err(RxDrop::NoDescriptor { .. }) => {
-                self.common.drop_request(request_id);
+                self.common.drop_request(request_id, now);
             }
             Err(e) => {
                 debug_assert!(false, "rx failed: {e:?}");
-                self.common.drop_request(request_id);
+                self.common.drop_request(request_id, now);
             }
         }
     }
@@ -291,7 +291,7 @@ impl BypassSim {
             }
             for id in stale {
                 self.shed_deadline += 1;
-                self.common.drop_request(id);
+                self.common.drop_request(id, now);
             }
         }
         let Some(front) = self.pending.get(core).and_then(|q| q.front()) else {
@@ -315,6 +315,19 @@ impl BypassSim {
         let Some(pkt) = self.pending.get_mut(core).and_then(|q| q.pop_front()) else {
             return;
         };
+        if self.common.tracer.is_enabled() && now > pkt.ready_at {
+            // RX-ring residence: DMA-complete at `ready_at`, poll
+            // pick-up now. Queueing on the critical path.
+            let root = self.common.root_span(pkt.request_id);
+            self.common.tracer.span(
+                Stage::Queue,
+                Some(pkt.request_id),
+                root,
+                core as u32,
+                pkt.ready_at,
+                now,
+            );
+        }
         // The bypass receive path: one poll iteration found the packet,
         // minimal user-space protocol handling, dispatch, software
         // unmarshal (no NIC offload here), then the handler.

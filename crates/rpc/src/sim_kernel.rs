@@ -225,7 +225,7 @@ impl KernelSim {
         // The real IPv4/UDP checksums catch in-flight corruption here,
         // exactly where a kernel NIC driver would discard the frame.
         let Ok(frame) = lauberhorn_packet::parse_udp_frame_ref(&raw) else {
-            self.common.reject_corrupt(request_id);
+            self.common.reject_corrupt(request_id, now);
             return;
         };
         let service = frame.udp.dst_port.wrapping_sub(BASE_PORT);
@@ -264,11 +264,11 @@ impl KernelSim {
                 // unmask on poll completion will re-raise).
             }
             Err(RxDrop::NoDescriptor { .. }) => {
-                self.common.drop_request(request_id);
+                self.common.drop_request(request_id, now);
             }
             Err(e) => {
                 debug_assert!(false, "rx failed: {e:?}");
-                self.common.drop_request(request_id);
+                self.common.drop_request(request_id, now);
             }
         }
     }
@@ -340,7 +340,7 @@ impl KernelSim {
             {
                 // Backlog full: shed at the socket instead of letting
                 // the queue grow without bound (graceful degradation).
-                self.common.drop_request(pkt.request_id);
+                self.common.drop_request(pkt.request_id, t);
                 processed += 1;
                 continue;
             }
@@ -399,7 +399,7 @@ impl KernelSim {
                     self.socket_q
                         .get_mut(&pkt.service)
                         .and_then(|q| q.pop_newest());
-                    self.common.drop_request(pkt.request_id);
+                    self.common.drop_request(pkt.request_id, t);
                 }
             }
             processed += 1;
@@ -463,13 +463,26 @@ impl KernelSim {
             None => (Vec::new(), None),
         };
         for id in stale {
-            self.common.drop_request(id);
+            self.common.drop_request(id, now);
         }
-        let Some((_, (request_id, payload_len, buf_iova))) = next else {
+        let Some((enq_t, (request_id, payload_len, buf_iova))) = next else {
             // Spurious wakeup (or everything shed): block again.
             self.block_and_dispatch(core, now);
             return;
         };
+        if self.common.tracer.is_enabled() && now > enq_t {
+            // Socket-backlog residence: enqueue at softirq time, pick-up
+            // now. Queueing, not service — blame tables split on it.
+            let root = self.common.root_span(request_id);
+            self.common.tracer.span(
+                Stage::Queue,
+                Some(request_id),
+                root,
+                core as u32,
+                enq_t,
+                now,
+            );
+        }
         // The recvmsg copy touches every payload line: LLC hits are the
         // base copy cost; misses stall to DRAM (~180 cycles each).
         let mut miss_cycles = 0u64;

@@ -371,7 +371,7 @@ impl LauberhornSim {
         &mut self.cores[core]
     }
 
-    fn apply_actions(&mut self, actions: Vec<NicAction>) {
+    fn apply_actions(&mut self, actions: Vec<NicAction>, now: SimTime) {
         for a in actions {
             match a {
                 NicAction::CompleteFill { token, data, at } => {
@@ -414,7 +414,7 @@ impl LauberhornSim {
                     match request_id {
                         // Known request: release it properly (under
                         // retransmission the client's timer takes over).
-                        Some(id) => self.common.drop_request(id),
+                        Some(id) => self.common.drop_request(id, now),
                         None => self.common.metrics.dropped += 1,
                     }
                 }
@@ -697,12 +697,7 @@ impl LauberhornSim {
                 }
                 let root = self.common.root_span(request_id);
                 if self.common.tracer.is_enabled() {
-                    let t0 = self
-                        .common
-                        .times
-                        .get(&request_id)
-                        .map(|t| t.nic_arrival)
-                        .unwrap_or(SimTime::ZERO);
+                    let t0 = self.common.arrival_span_start(request_id);
                     if t0 != SimTime::ZERO {
                         self.common.tracer.span(
                             Stage::ControlFill,
@@ -904,7 +899,7 @@ impl LauberhornSim {
             Err(_) => {
                 // Response too large for a UDP datagram: drop it; the
                 // client's retry budget (if any) decides the outcome.
-                self.common.drop_request(ctx.request_id);
+                self.common.drop_request(ctx.request_id, now);
                 return;
             }
         };
@@ -983,7 +978,7 @@ impl LauberhornSim {
                 ctx.request_id
             );
             let actions = self.nic.redeliver_to_kernel(now, line, ctx);
-            self.apply_actions(actions);
+            self.apply_actions(actions, now);
         }
         for &core in &victims {
             if let Some(rid) = self.ctx_mut(core).cur_req.take() {
@@ -992,7 +987,7 @@ impl LauberhornSim {
                 self.crashed.insert(rid);
                 self.resp_payload.remove(&rid);
                 self.common.dedup_forget(rid);
-                self.common.drop_request(rid);
+                self.common.drop_request(rid, now);
                 if let Some(addr) = self.ctx_mut(core).resp_addr.take() {
                     self.coh.drop_line(CacheId(core), addr);
                 }
@@ -1007,7 +1002,7 @@ impl LauberhornSim {
                 // state, which funnels the core back to the kernel
                 // loop through the normal RETIRE path.
                 let actions = self.nic.retire_endpoint(now, ep);
-                self.apply_actions(actions);
+                self.apply_actions(actions, now);
             }
             self.user_eps.remove(&(service, core));
             self.common.metrics.faults.crashes_recovered += 1;
@@ -1169,12 +1164,12 @@ impl LauberhornSim {
             for (line, ctx) in drained {
                 self.recovery.requeued_kernel += 1;
                 let actions = self.nic.redeliver_to_kernel(now, line, ctx);
-                self.apply_actions(actions);
+                self.apply_actions(actions, now);
             }
             // Unblock the stalled waiter: it falls back to the kernel
             // dispatch loop through the normal RETIRE path.
             let actions = self.nic.retire_endpoint(now, ep);
-            self.apply_actions(actions);
+            self.apply_actions(actions, now);
         }
         if health.mirror_desynced {
             self.repush_sched_state(now);
@@ -1275,7 +1270,7 @@ impl LauberhornSim {
         for (line, ctx) in salvage.orphans {
             self.recovery.requeued_kernel += 1;
             let actions = self.nic.redeliver_to_kernel(now, line, ctx);
-            self.apply_actions(actions);
+            self.apply_actions(actions, now);
         }
         // 6. Release the cores and loads frozen by the reset.
         for core in std::mem::take(&mut self.held_cores) {
@@ -1426,7 +1421,7 @@ impl ServerStack for LauberhornSim {
                         "fault.wire",
                         "request {request_id} failed checksum at NIC"
                     );
-                    self.common.reject_corrupt(request_id);
+                    self.common.reject_corrupt(request_id, now);
                     return;
                 }
                 // Degraded mode: a reset NIC asserts link-level flow
@@ -1434,6 +1429,10 @@ impl ServerStack for LauberhornSim {
                 // dropping; they replay once the device is rebuilt.
                 if self.nic_down {
                     self.recovery.backlogged += 1;
+                    // The stall is recovery time on the request's
+                    // critical path; the span closes when the replayed
+                    // frame reaches the rx gate.
+                    self.common.begin_wait(request_id, Stage::Recovery, now);
                     self.nic_backlog.push((raw, request_id));
                     return;
                 }
@@ -1441,7 +1440,7 @@ impl ServerStack for LauberhornSim {
                     return;
                 }
                 let actions = self.nic.on_request_frame(now, &raw);
-                self.apply_actions(actions);
+                self.apply_actions(actions, now);
             }
             Ev::DoCompleteFill { token, data } => match self.coh.complete_fill(token, &data) {
                 Ok((cache, addr, lat)) => {
@@ -1473,11 +1472,11 @@ impl ServerStack for LauberhornSim {
                     return;
                 }
                 let actions = self.nic.on_core_load(now, core, token, addr);
-                self.apply_actions(actions);
+                self.apply_actions(actions, now);
             }
             Ev::Timeout { ep, generation } => {
                 let actions = self.nic.on_timeout(now, ep, generation);
-                self.apply_actions(actions);
+                self.apply_actions(actions, now);
             }
             Ev::HandlerDone { core, request_id } => {
                 // A crash killed this handler mid-request: the process
@@ -1515,14 +1514,14 @@ impl ServerStack for LauberhornSim {
             Ev::ReplayFrame { raw, request_id } => {
                 self.recovery.replayed += 1;
                 if lauberhorn_packet::parse_udp_frame_ref(&raw).is_err() {
-                    self.common.reject_corrupt(request_id);
+                    self.common.reject_corrupt(request_id, now);
                     return;
                 }
                 if self.common.rx_gate(request_id, now) == crate::stack::RxGate::Duplicate {
                     return;
                 }
                 let actions = self.nic.on_request_frame(now, &raw);
-                self.apply_actions(actions);
+                self.apply_actions(actions, now);
             }
             Ev::Preempt { core } => {
                 // Kernel + NIC cooperate (§5.1): IPI the core, then
@@ -1532,7 +1531,7 @@ impl ServerStack for LauberhornSim {
                 if let LoopMode::User { .. } = self.ctx(core).mode {
                     if let Some((_, ep, _)) = self.ctx(core).user_ep {
                         let actions = self.nic.retire_endpoint(now, ep);
-                        self.apply_actions(actions);
+                        self.apply_actions(actions, now);
                     }
                 }
             }

@@ -16,6 +16,7 @@ use lauberhorn_packet::frame::EndpointAddr;
 use lauberhorn_packet::PktBuf;
 use lauberhorn_sim::energy::CycleAccount;
 use lauberhorn_sim::fault::{FaultDecision, FaultInjector};
+use lauberhorn_sim::flightrec::FlightRecorder;
 use lauberhorn_sim::{EventQueue, SimDuration, SimRng, SimTime, SpanId, SpanTracer, Stage};
 
 use crate::driver::ClientEv;
@@ -193,6 +194,20 @@ pub struct StackCommon {
     pub tracer: SpanTracer,
     /// Open root (`Stage::Request`) span per in-flight request id.
     root_spans: BTreeMap<u64, SpanId>,
+    /// Open wait-class span (recovery / retry-wait / shed-backoff) per
+    /// request, so the critical path shows *why* a request stalled.
+    wait_spans: BTreeMap<u64, SpanId>,
+    /// When a request's last wait-class stall resolved. Spans that
+    /// backdate to NIC arrival (e.g. CONTROL fill) clamp to this, so
+    /// stalled time stays attributed to the wait, not the fill.
+    wait_resolved: BTreeMap<u64, SimTime>,
+    /// Target service per request, recorded only while tracing so the
+    /// blame profile gets its per-service dimension. Never read by any
+    /// simulation path.
+    pub service_of: BTreeMap<u64, u16>,
+    /// Outlier flight recorder, armed by `ObserveSpec::flightrec`.
+    /// Analysis-side only: consumes completed span trees.
+    pub flightrec: Option<FlightRecorder>,
 }
 
 impl StackCommon {
@@ -214,6 +229,10 @@ impl StackCommon {
             fill_fault: None,
             tracer: SpanTracer::default(),
             root_spans: BTreeMap::new(),
+            wait_spans: BTreeMap::new(),
+            wait_resolved: BTreeMap::new(),
+            service_of: BTreeMap::new(),
+            flightrec: None,
         }
     }
 
@@ -240,6 +259,11 @@ impl StackCommon {
             .then(|| FaultInjector::new(workload.faults.fill, workload.seed, "fault.fill"));
         self.tracer.configure(&workload.observe);
         self.root_spans.clear();
+        self.wait_spans.clear();
+        self.wait_resolved.clear();
+        self.service_of.clear();
+        self.flightrec = (workload.observe.spans && workload.observe.flightrec)
+            .then(|| FlightRecorder::new(workload.observe.flight_cap));
     }
 
     /// Whether a retransmission policy is in force this run.
@@ -283,6 +307,71 @@ impl StackCommon {
         *self.sw_cycles_by_req.entry(request_id).or_insert(0) += cycles;
     }
 
+    /// Opens a wait-class span (recovery, retry-wait, shed-backoff)
+    /// under `request_id`'s root. No-op when tracing is off, the
+    /// request has no root yet, or a wait span is already open — the
+    /// first cause of a stall wins.
+    pub fn begin_wait(&mut self, request_id: u64, stage: Stage, now: SimTime) {
+        if !self.tracer.is_enabled() || self.wait_spans.contains_key(&request_id) {
+            return;
+        }
+        let root = self.root_span(request_id);
+        if !root.is_some() {
+            return;
+        }
+        let id = self.tracer.begin(
+            now,
+            stage,
+            Some(request_id),
+            root,
+            ROOT_TRACK_BASE + (request_id % ROOT_TRACKS) as u32,
+        );
+        if id.is_some() {
+            self.wait_spans.insert(request_id, id);
+        }
+    }
+
+    /// Closes `request_id`'s open wait span (the stall resolved: a
+    /// retransmit arrived, the backlog replayed, the NACK landed).
+    fn end_wait(&mut self, request_id: u64, now: SimTime) {
+        if let Some(id) = self.wait_spans.remove(&request_id) {
+            self.tracer.end(id, now);
+            let at = self.wait_resolved.entry(request_id).or_insert(now);
+            *at = (*at).max(now);
+        }
+    }
+
+    /// The earliest honest start for a stage span that backdates to a
+    /// request's NIC arrival (e.g. the CONTROL-line fill): a stall
+    /// that resolved later pushes the start forward — the device was
+    /// not working on the request while it was paused.
+    pub fn arrival_span_start(&self, request_id: u64) -> SimTime {
+        let t0 = self
+            .times
+            .get(&request_id)
+            .map(|t| t.nic_arrival)
+            .unwrap_or(SimTime::ZERO);
+        match self.wait_resolved.get(&request_id) {
+            Some(&resolved) => t0.max(resolved),
+            None => t0,
+        }
+    }
+
+    /// Hands `request_id`'s finished span tree to the flight recorder
+    /// (retain-or-recycle) once its fate is settled. No-op unless the
+    /// recorder is armed.
+    fn settle_spans(&mut self, request_id: u64, at: SimTime) {
+        let Some(rec) = self.flightrec.as_mut() else {
+            return;
+        };
+        let latency_ps = self
+            .times
+            .get(&request_id)
+            .map(|t| at.since(t.nic_arrival).as_ps())
+            .unwrap_or(0);
+        rec.offer(request_id, latency_ps, at, &mut self.tracer);
+    }
+
     /// Admission check for an arriving (checksum-valid) request frame.
     ///
     /// Call after the stack validated the frame and before executing
@@ -292,6 +381,11 @@ impl StackCommon {
     /// caller must not execute. Without faults/retry this is one
     /// `Option` check.
     pub fn rx_gate(&mut self, request_id: u64, now: SimTime) -> RxGate {
+        // A frame for this id reached the gate again: whatever stall
+        // the open wait span was timing is over.
+        if self.tracer.is_enabled() {
+            self.end_wait(request_id, now);
+        }
         let Some(window) = self.dedup.as_mut() else {
             return RxGate::Execute;
         };
@@ -317,7 +411,9 @@ impl StackCommon {
     /// the driver does the warmup/metrics/closed-loop bookkeeping.
     pub fn complete(&mut self, arrive: SimTime, request_id: u64) {
         if let Some(id) = self.root_spans.remove(&request_id) {
+            self.end_wait(request_id, arrive);
             self.tracer.end(id, arrive);
+            self.settle_spans(request_id, arrive);
         }
         if let Some(window) = self.dedup.as_mut() {
             // `Done` → `Done` means the handler ran twice: the
@@ -365,12 +461,14 @@ impl StackCommon {
     }
 
     /// `request_id` was dropped somewhere in the stack (no descriptor,
-    /// queue overflow, lost frame…). Without retransmission this is
-    /// terminal; with it, the request's fate belongs to the client's
-    /// retry timer, and the id is released from the dedup window so a
-    /// retransmit can execute.
-    pub fn drop_request(&mut self, request_id: u64) {
+    /// queue overflow, lost frame…) at `at`. Without retransmission
+    /// this is terminal; with it, the request's fate belongs to the
+    /// client's retry timer — the wait is timed as a retry-wait span —
+    /// and the id is released from the dedup window so a retransmit
+    /// can execute.
+    pub fn drop_request(&mut self, request_id: u64, at: SimTime) {
         if self.retry_active {
+            self.begin_wait(request_id, Stage::RetryWait, at);
             if let Some(window) = self.dedup.as_mut() {
                 if window.get(&request_id) == Some(&DedupEntry::InFlight) {
                     window.remove(&request_id);
@@ -378,7 +476,7 @@ impl StackCommon {
             }
             return;
         }
-        self.abandon_request(request_id);
+        self.abandon_request(request_id, at);
     }
 
     /// `request_id` was refused by overload control (queue full, past
@@ -392,7 +490,12 @@ impl StackCommon {
     /// before execution, so a later retransmit must be allowed to run.
     pub fn shed_request(&mut self, request_id: u64, hint: u8, now: SimTime) {
         if !self.pushback {
-            self.drop_request(request_id);
+            // The retry timer (if armed) owns the wait; time it as
+            // shed-backoff rather than a generic retry-wait.
+            if self.retry_active {
+                self.begin_wait(request_id, Stage::Backoff, now);
+            }
+            self.drop_request(request_id, now);
             return;
         }
         if let Some(window) = self.dedup.as_mut() {
@@ -401,27 +504,57 @@ impl StackCommon {
             }
         }
         let arrive = now + self.wire.deliver(NACK_FRAME_BYTES);
+        if self.tracer.is_enabled() {
+            // The NACK flight is the whole backoff the request pays
+            // here: the client terminates it on receipt.
+            let root = self.root_span(request_id);
+            if root.is_some() {
+                self.tracer.span(
+                    Stage::Backoff,
+                    Some(request_id),
+                    root,
+                    ROOT_TRACK_BASE + (request_id % ROOT_TRACKS) as u32,
+                    now,
+                    arrive,
+                );
+            }
+        }
         self.client_q
             .schedule(arrive, ClientEv::Pushback { request_id, hint });
     }
 
-    /// A corrupted or truncated frame failed validation at the server:
-    /// count it and (without retry) terminate the request.
-    pub fn reject_corrupt(&mut self, request_id: u64) {
+    /// A corrupted or truncated frame failed validation at the server
+    /// at `at`: count it and (without retry) terminate the request.
+    pub fn reject_corrupt(&mut self, request_id: u64, at: SimTime) {
         self.metrics.faults.checksum_dropped += 1;
-        self.drop_request(request_id);
+        self.drop_request(request_id, at);
     }
 
-    /// Terminally abandons `request_id`: counted dropped, bookkeeping
-    /// reclaimed. The driver calls this when the retry budget runs
-    /// out; stacks reach it through [`StackCommon::drop_request`].
-    pub(crate) fn abandon_request(&mut self, request_id: u64) {
+    /// Terminally abandons `request_id` at `at`: counted dropped,
+    /// bookkeeping reclaimed, spans closed at the moment the request's
+    /// fate was sealed. The driver calls this when the retry budget
+    /// runs out; stacks reach it through [`StackCommon::drop_request`].
+    pub(crate) fn abandon_request(&mut self, request_id: u64, at: SimTime) {
         self.metrics.dropped += 1;
+        // The wait span is a leaf: closing it at the abandonment is
+        // always containment-safe.
+        self.end_wait(request_id, at);
+        if self.flightrec.is_some() {
+            // Recycle mode: the tree must leave the arena now or leak
+            // its slots. `take_request` clips any still-open child.
+            if let Some(id) = self.root_spans.remove(&request_id) {
+                self.tracer.end(id, at);
+                self.settle_spans(request_id, at);
+            }
+        } else {
+            // The root span (if any) stays open; the driver's
+            // end-of-run `tracer.finish` closes it as truncated —
+            // a child (a handler whose response was lost) may still
+            // be executing past `at`.
+            self.root_spans.remove(&request_id);
+        }
         self.times.remove(&request_id);
         self.sw_cycles_by_req.remove(&request_id);
-        // The root span (if any) stays open; the driver's end-of-run
-        // `tracer.finish` closes it as truncated.
-        self.root_spans.remove(&request_id);
     }
 
     /// Releases `request_id` from the dedup window (crash recovery:

@@ -15,8 +15,10 @@
 //! and friends) and the `lauberhorn-rpc` crate wires them into
 //! whole-machine simulations.
 
+pub mod critpath;
 pub mod energy;
 pub mod fault;
+pub mod flightrec;
 pub mod metrics;
 pub mod overload;
 pub mod queue;
@@ -26,10 +28,12 @@ pub mod stats;
 pub mod time;
 pub mod trace;
 
+pub use critpath::{blame_table, critical_paths, BlameClass, BlameProfile, CritPath, Segment};
 pub use energy::{CoreState, CycleAccount, EnergyMeter};
 pub use fault::{
     CrashSpec, FaultDecision, FaultInjector, FaultPlan, FaultSpec, NicFaultKind, NicFaultSpec,
 };
+pub use flightrec::{FlightRecorder, P2Quantile, SpanTree};
 pub use metrics::MetricsRegistry;
 pub use overload::{load_hint, AdmissionCtl, AimdPacer, OverloadConfig, ShedReason};
 pub use queue::EventQueue;

@@ -76,18 +76,29 @@ impl MetricsRegistry {
     }
 
     /// One `k=v` line of every non-zero counter whose name starts with
-    /// one of `prefixes` (all counters when `prefixes` is empty).
-    /// Deterministic: name order.
+    /// one of `prefixes` (all counters when `prefixes` is empty),
+    /// followed by the tail percentiles (p50/p90/p99/max, in µs) of
+    /// every matching non-empty histogram. Deterministic: name order.
     pub fn row(&self, prefixes: &[&str]) -> String {
+        let keep = |name: &str| prefixes.is_empty() || prefixes.iter().any(|p| name.starts_with(p));
         let mut parts = Vec::new();
         for (name, v) in &self.counters {
-            if v == &0 {
-                continue;
-            }
-            if !prefixes.is_empty() && !prefixes.iter().any(|p| name.starts_with(p)) {
+            if v == &0 || !keep(name) {
                 continue;
             }
             parts.push(format!("{name}={v}"));
+        }
+        for (name, s) in &self.hists {
+            if s.count == 0 || !keep(name) {
+                continue;
+            }
+            parts.push(format!(
+                "{name}.p50_us={:.2} {name}.p90_us={:.2} {name}.p99_us={:.2} {name}.max_us={:.2}",
+                s.p50_us(),
+                s.p90 as f64 / 1e6,
+                s.p99_us(),
+                s.max as f64 / 1e6,
+            ));
         }
         parts.join(" ")
     }
@@ -137,6 +148,46 @@ mod tests {
         assert_eq!(m.row(&[]), "a.first=1 z.last=3");
         assert_eq!(m.row(&["z."]), "z.last=3");
         assert_eq!(m.row(&["nope."]), "");
+    }
+
+    #[test]
+    fn row_renders_histogram_percentiles() {
+        let mut m = MetricsRegistry::new();
+        m.counter("rpc.done", 10);
+        m.histogram(
+            "rpc.latency.rtt",
+            Summary {
+                count: 10,
+                mean: 2e6,
+                min: 1_000_000,
+                p50: 2_000_000,
+                p90: 2_500_000,
+                p99: 3_000_000,
+                p999: 3_000_000,
+                max: 3_500_000,
+            },
+        );
+        let row = m.row(&["rpc."]);
+        assert!(row.contains("rpc.done=10"), "{row}");
+        assert!(row.contains("rpc.latency.rtt.p50_us=2.00"), "{row}");
+        assert!(row.contains("rpc.latency.rtt.p90_us=2.50"), "{row}");
+        assert!(row.contains("rpc.latency.rtt.p99_us=3.00"), "{row}");
+        assert!(row.contains("rpc.latency.rtt.max_us=3.50"), "{row}");
+        // Empty histograms render nothing.
+        m.histogram(
+            "rpc.latency.empty",
+            Summary {
+                count: 0,
+                mean: 0.0,
+                min: 0,
+                p50: 0,
+                p90: 0,
+                p99: 0,
+                p999: 0,
+                max: 0,
+            },
+        );
+        assert!(!m.row(&["rpc."]).contains("empty"));
     }
 
     #[test]

@@ -38,6 +38,13 @@ pub struct ObserveSpec {
     pub span_cap: usize,
     /// String-trace cap; `0` leaves the narrative trace disabled.
     pub trace_cap: usize,
+    /// Arm the outlier flight recorder: completed requests' span trees
+    /// are harvested out of the tracer and recycled unless their
+    /// latency crosses the running p99 estimate (see
+    /// [`crate::flightrec`]). Requires `spans`.
+    pub flightrec: bool,
+    /// Outlier span trees the flight recorder retains (oldest evicted).
+    pub flight_cap: usize,
 }
 
 impl ObserveSpec {
@@ -47,6 +54,8 @@ impl ObserveSpec {
             spans: false,
             span_cap: 0,
             trace_cap: 0,
+            flightrec: false,
+            flight_cap: 0,
         }
     }
 
@@ -57,6 +66,8 @@ impl ObserveSpec {
             spans: true,
             span_cap: 1 << 20,
             trace_cap: 1 << 16,
+            flightrec: false,
+            flight_cap: 0,
         }
     }
 
@@ -66,6 +77,23 @@ impl ObserveSpec {
             spans: true,
             span_cap: cap,
             trace_cap: 0,
+            flightrec: false,
+            flight_cap: 0,
+        }
+    }
+
+    /// Spans with the outlier flight recorder armed: the tracer runs in
+    /// recycle mode (bounded memory at any offered load) and up to
+    /// `outliers` tail span trees are retained with full causal detail.
+    pub fn flight(outliers: usize) -> Self {
+        ObserveSpec {
+            spans: true,
+            // The working set only needs to hold *in-flight* requests'
+            // spans; completed trees recycle their slots.
+            span_cap: 1 << 20,
+            trace_cap: 0,
+            flightrec: true,
+            flight_cap: outliers,
         }
     }
 }
@@ -123,6 +151,16 @@ pub enum Stage {
     Handler,
     /// Response transmission (descriptor + doorbell + DMA reads).
     Response,
+    /// Time a delivered request sat queued behind earlier work (socket
+    /// backlog, bypass RX ring) before a core picked it up.
+    Queue,
+    /// Time a request spent parked behind a NIC failure: backlogged
+    /// during `nic_down`, waiting on shadow-state replay.
+    Recovery,
+    /// Client-side wait for a retransmission after a loss or drop.
+    RetryWait,
+    /// Client-side backoff after an overload NACK (pushback shed).
+    Backoff,
 }
 
 impl Stage {
@@ -149,6 +187,10 @@ impl Stage {
             Stage::Collect => "collect",
             Stage::Handler => "handler",
             Stage::Response => "response",
+            Stage::Queue => "queue",
+            Stage::Recovery => "recovery",
+            Stage::RetryWait => "retry-wait",
+            Stage::Backoff => "shed-backoff",
         }
     }
 }
@@ -166,6 +208,15 @@ impl SpanId {
     /// Whether this id refers to a recorded span.
     pub fn is_some(self) -> bool {
         self != SpanId::NONE
+    }
+
+    /// The arena index this id names, or `None` for [`SpanId::NONE`].
+    pub fn index(self) -> Option<usize> {
+        if self.is_some() {
+            Some(self.0 as usize)
+        } else {
+            None
+        }
     }
 }
 
@@ -193,12 +244,28 @@ pub struct SpanRecord {
 /// Every method self-gates on the enabled flag, so callers never need
 /// an `is_enabled` branch for correctness — only to avoid computing
 /// expensive inputs.
+///
+/// With the flight recorder armed the tracer runs in *recycle mode*:
+/// completed requests' spans are harvested out with
+/// [`SpanTracer::take_request`] (or dropped with
+/// [`SpanTracer::discard_request`]) and their slots reused, so memory
+/// stays bounded by the in-flight set rather than the run length. In
+/// recycle mode slot indices no longer order parents before children,
+/// so [`SpanTracer::check_balance`] relaxes to closed-and-well-formed
+/// checks only; harvested trees are validated per request instead.
 #[derive(Debug, Default)]
 pub struct SpanTracer {
     enabled: bool,
     cap: usize,
+    recycle: bool,
     spans: Vec<SpanRecord>,
+    /// Reusable slot indices (recycle mode only).
+    free: Vec<u32>,
+    /// Slots belonging to each live request (recycle mode only), in
+    /// open order so parents precede children within a request.
+    by_request: BTreeMap<u64, Vec<u32>>,
     open: usize,
+    recorded: u64,
     dropped: u64,
     truncated: u64,
 }
@@ -208,13 +275,17 @@ impl SpanTracer {
     pub fn configure(&mut self, spec: &ObserveSpec) {
         self.enabled = spec.spans;
         self.cap = spec.span_cap;
+        self.recycle = spec.spans && spec.flightrec;
         self.reset();
     }
 
     /// Clears recorded spans, preserving enablement and cap.
     pub fn reset(&mut self) {
         self.spans.clear();
+        self.free.clear();
+        self.by_request.clear();
         self.open = 0;
+        self.recorded = 0;
         self.dropped = 0;
         self.truncated = 0;
     }
@@ -237,12 +308,18 @@ impl SpanTracer {
         if !self.enabled {
             return SpanId::NONE;
         }
-        if self.spans.len() >= self.cap || self.spans.len() >= u32::MAX as usize - 1 {
-            self.dropped += 1;
-            return SpanId::NONE;
-        }
-        let id = SpanId(self.spans.len() as u32);
-        self.spans.push(SpanRecord {
+        let slot = if self.recycle { self.free.pop() } else { None };
+        let id = match slot {
+            Some(idx) => SpanId(idx),
+            None => {
+                if self.spans.len() >= self.cap || self.spans.len() >= u32::MAX as usize - 1 {
+                    self.dropped += 1;
+                    return SpanId::NONE;
+                }
+                SpanId(self.spans.len() as u32)
+            }
+        };
+        let rec = SpanRecord {
             id,
             parent,
             stage,
@@ -250,8 +327,18 @@ impl SpanTracer {
             track,
             start,
             end: None,
-        });
+        };
+        match self.spans.get_mut(id.0 as usize) {
+            Some(s) => *s = rec,
+            None => self.spans.push(rec),
+        }
+        if self.recycle {
+            if let Some(rid) = request_id {
+                self.by_request.entry(rid).or_default().push(id.0);
+            }
+        }
         self.open += 1;
+        self.recorded += 1;
         id
     }
 
@@ -320,9 +407,73 @@ impl SpanTracer {
         self.open = 0;
     }
 
+    /// Extracts the span tree of a completed request (recycle mode
+    /// only), appending its spans to `out` with ids remapped to local
+    /// indices (parents outside the request become [`SpanId::NONE`])
+    /// and freeing the slots for reuse. Any still-open span is closed
+    /// at `at`. Returns false when not in recycle mode or the request
+    /// recorded no spans.
+    pub fn take_request(&mut self, rid: u64, at: SimTime, out: &mut Vec<SpanRecord>) -> bool {
+        if !self.recycle {
+            return false;
+        }
+        let Some(slots) = self.by_request.remove(&rid) else {
+            return false;
+        };
+        let base = out.len() as u32;
+        let mut local: BTreeMap<u32, u32> = BTreeMap::new();
+        for (i, slot) in slots.iter().enumerate() {
+            local.insert(*slot, base + i as u32);
+        }
+        for slot in &slots {
+            let Some(rec) = self.spans.get_mut(*slot as usize) else {
+                continue;
+            };
+            if rec.end.is_none() {
+                rec.end = Some(at.max(rec.start));
+                self.open = self.open.saturating_sub(1);
+            }
+            let mut rec = rec.clone();
+            rec.id = SpanId(local.get(&rec.id.0).copied().unwrap_or(u32::MAX));
+            rec.parent = match local.get(&rec.parent.0) {
+                Some(l) => SpanId(*l),
+                None => SpanId::NONE,
+            };
+            out.push(rec);
+        }
+        self.free.extend(slots);
+        true
+    }
+
+    /// Frees a completed request's span slots without extracting them
+    /// (the flight recorder declined to retain the tree). Open spans
+    /// are closed in place before the slots recycle.
+    pub fn discard_request(&mut self, rid: u64) {
+        if !self.recycle {
+            return;
+        }
+        let Some(slots) = self.by_request.remove(&rid) else {
+            return;
+        };
+        for slot in &slots {
+            if let Some(rec) = self.spans.get_mut(*slot as usize) {
+                if rec.end.is_none() {
+                    rec.end = Some(rec.start);
+                    self.open = self.open.saturating_sub(1);
+                }
+            }
+        }
+        self.free.extend(slots);
+    }
+
     /// All recorded spans, in open order.
     pub fn spans(&self) -> &[SpanRecord] {
         &self.spans
+    }
+
+    /// Total spans recorded over the run, including recycled ones.
+    pub fn recorded(&self) -> u64 {
+        self.recorded
     }
 
     /// Spans refused because the cap was reached.
@@ -342,7 +493,9 @@ impl SpanTracer {
 
     /// Checks the balance invariant: every span closed, every parent
     /// recorded before its child, and every closed parent's interval
-    /// containing its children's. Returns the first violation.
+    /// containing its children's. Returns the first violation. In
+    /// recycle mode slot reuse voids the id-order and containment
+    /// relations, so only closure and well-formedness are checked.
     pub fn check_balance(&self) -> Result<(), String> {
         for rec in &self.spans {
             let Some(end) = rec.end else {
@@ -350,6 +503,9 @@ impl SpanTracer {
             };
             if end < rec.start {
                 return Err(format!("span {:?} ends before it starts", rec.id));
+            }
+            if self.recycle {
+                continue;
             }
             if rec.parent.is_some() {
                 let Some(parent) = self.spans.get(rec.parent.0 as usize) else {
@@ -442,17 +598,30 @@ pub fn chrome_trace(process: &str, spans: &[SpanRecord]) -> String {
 }
 
 /// Per-stage aggregate used by [`stage_table`].
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 struct StageAgg {
     count: u64,
     total_ps: u64,
     max_ps: u64,
+    durs_ps: Vec<u64>,
+}
+
+/// Nearest-rank percentile over a sorted duration list, integer math
+/// only so table output is deterministic.
+fn pct_ps(sorted: &[u64], num: u64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let n = sorted.len() as u64;
+    let rank = (num * n).div_ceil(100).clamp(1, n);
+    sorted.get((rank - 1) as usize).copied().unwrap_or_default()
 }
 
 /// Renders an ASCII flamegraph-style per-stage table: count, total,
-/// mean and max per stage, plus each stage's share of attributed time.
-/// The `request` root and `park` idle spans are excluded from the
-/// share denominator (they enclose, or sit outside, the work).
+/// mean, tail percentiles (p50/p90/p99) and max per stage, plus each
+/// stage's share of attributed time. The `request` root and `park`
+/// idle spans are excluded from the share denominator (they enclose,
+/// or sit outside, the work).
 pub fn stage_table(spans: &[SpanRecord]) -> String {
     let mut agg: BTreeMap<Stage, StageAgg> = BTreeMap::new();
     for rec in spans {
@@ -462,6 +631,7 @@ pub fn stage_table(spans: &[SpanRecord]) -> String {
         e.count += 1;
         e.total_ps += d;
         e.max_ps = e.max_ps.max(d);
+        e.durs_ps.push(d);
     }
     let denom: u64 = agg
         .iter()
@@ -473,10 +643,20 @@ pub fn stage_table(spans: &[SpanRecord]) -> String {
     rows.sort_by(|a, b| b.1.total_ps.cmp(&a.1.total_ps).then(a.0.cmp(&b.0)));
     let mut out = String::new();
     out.push_str(&format!(
-        "{:<16} {:>8} {:>12} {:>10} {:>10} {:>7}  {}\n",
-        "stage", "count", "total_us", "mean_ns", "max_ns", "share", "profile"
+        "{:<16} {:>8} {:>12} {:>10} {:>10} {:>10} {:>10} {:>10} {:>7}  {}\n",
+        "stage",
+        "count",
+        "total_us",
+        "mean_ns",
+        "p50_ns",
+        "p90_ns",
+        "p99_ns",
+        "max_ns",
+        "share",
+        "profile"
     ));
-    for (stage, a) in rows {
+    for (stage, mut a) in rows {
+        a.durs_ps.sort_unstable();
         let mean_ns = a.total_ps.checked_div(a.count).unwrap_or(0) / 1000;
         let share = if denom == 0 || matches!(stage, Stage::Request | Stage::Park) {
             None
@@ -490,11 +670,14 @@ pub fn stage_table(spans: &[SpanRecord]) -> String {
             None => String::new(),
         };
         out.push_str(&format!(
-            "{:<16} {:>8} {:>12} {:>10} {:>10} {:>7}  {}\n",
+            "{:<16} {:>8} {:>12} {:>10} {:>10} {:>10} {:>10} {:>10} {:>7}  {}\n",
             stage.label(),
             a.count,
             total_us,
             mean_ns,
+            pct_ps(&a.durs_ps, 50) / 1000,
+            pct_ps(&a.durs_ps, 90) / 1000,
+            pct_ps(&a.durs_ps, 99) / 1000,
             a.max_ps / 1000,
             match share {
                 Some(s) => format!("{:>5.1}%", s * 100.0),
@@ -603,6 +786,65 @@ mod tests {
         assert!(json.contains("lauberhorn/enzian-eci"));
         // Exact reproducibility of the whole artifact.
         assert_eq!(json, chrome_trace("lauberhorn/enzian-eci", tr.spans()));
+    }
+
+    #[test]
+    fn recycle_mode_reuses_slots_and_remaps_trees() {
+        let mut tr = SpanTracer::default();
+        tr.configure(&ObserveSpec::flight(4));
+        for rid in 0..100u64 {
+            let at = t(rid * 1000);
+            let root = tr.begin(at, Stage::Request, Some(rid), SpanId::NONE, 1000);
+            let h = tr.begin(at, Stage::Handler, Some(rid), root, 0);
+            tr.end(h, t(rid * 1000 + 300));
+            tr.end(root, t(rid * 1000 + 400));
+            let mut tree = Vec::new();
+            assert!(tr.take_request(rid, t(rid * 1000 + 400), &mut tree));
+            assert_eq!(tree.len(), 2);
+            assert_eq!(tree[0].id, SpanId(0));
+            assert_eq!(tree[0].parent, SpanId::NONE);
+            assert_eq!(tree[1].parent, SpanId(0));
+        }
+        // 100 requests × 2 spans recorded, but only 2 slots ever live.
+        assert_eq!(tr.recorded(), 200);
+        assert_eq!(tr.spans().len(), 2);
+        assert_eq!(tr.dropped(), 0);
+        assert_eq!(tr.open_count(), 0);
+        assert!(tr.check_balance().is_ok());
+    }
+
+    #[test]
+    fn recycle_discard_frees_and_closes() {
+        let mut tr = SpanTracer::default();
+        tr.configure(&ObserveSpec::flight(4));
+        let root = tr.begin(t(0), Stage::Request, Some(9), SpanId::NONE, 1000);
+        assert!(root.is_some());
+        tr.discard_request(9);
+        assert_eq!(tr.open_count(), 0);
+        // The freed slot is reused by the next request.
+        let next = tr.begin(t(10), Stage::Request, Some(10), SpanId::NONE, 1000);
+        assert_eq!(next, root);
+        let mut tree = Vec::new();
+        assert!(!tr.take_request(9, t(20), &mut tree));
+        assert!(tr.take_request(10, t(20), &mut tree));
+        assert_eq!(tree.len(), 1);
+    }
+
+    #[test]
+    fn stage_table_has_percentile_columns() {
+        let mut tr = SpanTracer::default();
+        tr.configure(&ObserveSpec::full());
+        for i in 0..100 {
+            tr.span(Stage::Handler, Some(i), SpanId::NONE, 0, t(0), t(i + 1));
+        }
+        let table = stage_table(tr.spans());
+        assert!(table.contains("p50_ns"), "{table}");
+        assert!(table.contains("p99_ns"), "{table}");
+        // Durations 1..=100 ns: nearest-rank p50 = 50, p99 = 99.
+        let row = table.lines().nth(1).unwrap_or("");
+        let cols: Vec<&str> = row.split_whitespace().collect();
+        assert_eq!(cols.get(4), Some(&"50"), "{table}");
+        assert_eq!(cols.get(6), Some(&"99"), "{table}");
     }
 
     #[test]
