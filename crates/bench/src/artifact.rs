@@ -36,6 +36,11 @@ pub struct BenchRow {
     /// trend harness uses the shares to attribute a latency regression
     /// to the stage whose blame grew.
     pub blame: Option<Vec<(String, u64)>>,
+    /// Experiment-specific numeric fields, serialized as additional
+    /// row fields (e.g. `slo_met_frac` for the TENANT sweep). The
+    /// validator checks only the required fields, so extras are
+    /// forward-compatible.
+    pub extras: Vec<(String, f64)>,
 }
 
 impl BenchRow {
@@ -58,7 +63,14 @@ impl BenchRow {
             offered: r.offered,
             completed: r.completed,
             blame,
+            extras: Vec::new(),
         }
+    }
+
+    /// Attaches an experiment-specific numeric field to the row.
+    pub fn with_extra(mut self, name: &str, value: f64) -> BenchRow {
+        self.extras.push((name.into(), value));
+        self
     }
 
     fn to_json(&self) -> Json {
@@ -81,6 +93,9 @@ impl BenchRow {
                         .collect(),
                 ),
             ));
+        }
+        for (name, value) in &self.extras {
+            fields.push((name.clone(), Json::Num(*value)));
         }
         Json::Obj(fields)
     }
@@ -194,6 +209,7 @@ mod tests {
             offered: 1000,
             completed: 990,
             blame: Some(vec![("handler".into(), 700), ("wire".into(), 300)]),
+            extras: vec![("slo_met_frac".into(), 0.97)],
         }
     }
 

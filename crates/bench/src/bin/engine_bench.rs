@@ -208,6 +208,7 @@ fn row(m: &Measurement) -> BenchRow {
         offered: m.scheduled,
         completed: m.delivered.min(m.scheduled),
         blame: None,
+        extras: Vec::new(),
     }
 }
 

@@ -20,8 +20,39 @@
 use lauberhorn::prelude::*;
 use lauberhorn::rpc::driver;
 use lauberhorn::sim::span::{chrome_trace, stage_table};
-use lauberhorn::sim::{blame_table, ObserveSpec};
+use lauberhorn::sim::{
+    blame_table, tenant_queueing_table, ObserveSpec, OverloadConfig, TenancyConfig, TenantSpec,
+};
+use lauberhorn::workload::TenantMix;
 use lauberhorn_bench::artifact::{self, BenchRow};
+
+/// A small traced multi-tenant run on the unbounded baseline: 8
+/// tenants, Zipf-skewed, tenant 0 storming at `storm`× its quiet
+/// share. Quiet vs contended blame profiles feed the per-tenant
+/// queueing-growth table below.
+fn tenant_run(storm: f64) -> Report {
+    const TENANTS: usize = 8;
+    let specs: Vec<TenantSpec> = (0..TENANTS as u16)
+        .map(|t| TenantSpec::new(t, 1, SimDuration::from_us(300)))
+        .collect();
+    let mut wl = WorkloadSpec::open_poisson(
+        150_000.0 * (1.0 + (storm - 1.0) * 0.3),
+        TENANTS,
+        0.0,
+        SizeDist::Fixed { bytes: 64 },
+        5,
+        11,
+    );
+    wl.mix = TenantMix::zipf(TENANTS, 0.8, 0, storm).to_mix();
+    wl.warmup = 100;
+    let wl = wl.with_observe(ObserveSpec::full()).with_overload(
+        OverloadConfig::unbounded_baseline().with_tenancy(TenancyConfig::observe_only(specs)),
+    );
+    Experiment::new(StackKind::LauberhornCxl)
+        .cores(2)
+        .services(ServiceSpec::uniform(TENANTS, 4_000, 32))
+        .run(&wl)
+}
 
 fn main() {
     let stacks = [
@@ -85,6 +116,26 @@ fn main() {
         }
         println!();
     }
+    // Per-tenant blame: the same tenant population quiet and with the
+    // hog storming, no isolation — the queueing-growth table names
+    // whose queueing grew under the storm (DESIGN.md §17's diagnostic
+    // view: here the hog drowns in its own backlog first).
+    println!("================================================================");
+    println!("per-tenant blame — 8 tenants, tenant 0 storms 8x, no isolation");
+    println!("================================================================");
+    let quiet = tenant_run(1.0);
+    let stormy = tenant_run(8.0);
+    match (&quiet.blame, &stormy.blame) {
+        (Some(q), Some(s)) => {
+            print!("{}", tenant_queueing_table(q, s));
+            println!();
+        }
+        _ => {
+            eprintln!("profile: tenant runs produced no blame profile");
+            failures += 1;
+        }
+    }
+
     // Machine-readable artifact: the per-stack closed-loop rows, each
     // carrying the critical-path blame shares for the trend harness.
     match artifact::write("profile", &artifact::document("profile", 7, &rows)) {

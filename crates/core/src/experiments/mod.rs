@@ -17,6 +17,7 @@
 //! | [`fault`] | extension: goodput and tails under injected wire loss |
 //! | [`overload`] | extension: admission, shedding, and graceful degradation under saturation |
 //! | [`nicfail`] | extension: NIC fault classes, degraded mode, and shadow reconstruction |
+//! | [`tenant`] | extension: multi-tenant isolation under a noisy-neighbor storm |
 //! | [`txpath`] | extension: the TX cache-line protocol, both machines coherent |
 //! | [`ablations`] | design-choice ablations (yield policy, TRYAGAIN window, continuations) |
 //!
@@ -38,4 +39,5 @@ pub mod loadsweep;
 pub mod nested;
 pub mod nicfail;
 pub mod overload;
+pub mod tenant;
 pub mod txpath;

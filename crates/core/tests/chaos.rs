@@ -40,6 +40,7 @@ fn chaos_plan(crash: bool) -> FaultPlan {
             service: 0,
         }),
         nic: None,
+        tenant: None,
     }
 }
 
@@ -161,6 +162,89 @@ fn overloaded_soak_sheds_without_duplicates() {
     assert!(
         goodput >= 0.6 * cap,
         "goodput {goodput:.0} collapsed under chaos (capacity {cap:.0})"
+    );
+}
+
+#[test]
+fn tenant_confined_storm_spares_the_other_tenants() {
+    // The full tenant-scoped arsenal aimed at one tenant — duplicate
+    // storm, malformed frames, and a process crash on its service —
+    // with isolation armed. At-most-once must absorb the duplicates,
+    // and the seven bystander tenants must neither lose goodput nor
+    // blow their p99 SLOs: the storm is the hog's problem.
+    use lauberhorn::sim::fault::TenantFaultSpec;
+    use lauberhorn::sim::{OverloadConfig, TenancyConfig, TenantSpec};
+    use lauberhorn::workload::TenantMix;
+
+    const TENANTS: usize = 8;
+    const HOG: u16 = 0;
+    let specs: Vec<TenantSpec> = (0..TENANTS as u16)
+        .map(|t| TenantSpec::new(t, 1, SimDuration::from_us(300)).with_rate(60_000, 32))
+        .collect();
+    let mut plan = FaultPlan::none();
+    plan.crash = Some(CrashSpec {
+        at: SimDuration::from_ms(5),
+        service: HOG,
+    });
+    plan.tenant = Some(TenantFaultSpec {
+        tenant: HOG,
+        malformed: 0.10,
+        storm_extra: 3,
+    });
+    let mut wl = WorkloadSpec::open_poisson(
+        120_000.0,
+        TENANTS,
+        0.0,
+        SizeDist::Fixed { bytes: 64 },
+        10 * scale(),
+        2024,
+    );
+    wl.mix = TenantMix::uniform(TENANTS).to_mix();
+    wl.warmup = 100;
+    let wl = wl
+        .with_faults(plan)
+        .with_retry(RetryPolicy::same_rack())
+        .with_overload(OverloadConfig::drop_tail(64).with_tenancy(TenancyConfig::enforcing(specs)));
+    let r = Experiment::new(StackKind::LauberhornCxl)
+        .cores(4)
+        .services(ServiceSpec::uniform(TENANTS, 1000, 32))
+        .run(&wl);
+    let f = &r.faults;
+    let counter = |name: &str| r.metrics.get_counter(name).unwrap_or(0);
+    // The confined storm actually raged.
+    assert!(
+        counter("rpc.tenant.fault.storm_extra") > 0,
+        "storm duplicates were never transmitted"
+    );
+    assert!(
+        counter("rpc.tenant.fault.malformed") > 0,
+        "no frames were malformed"
+    );
+    assert!(
+        f.checksum_dropped > 0,
+        "malformed frames were never rejected"
+    );
+    assert!(
+        f.crashes_recovered >= 1,
+        "crash was scheduled but never recovered: {f:?}"
+    );
+    // At-most-once absorbed every duplicate.
+    assert_eq!(f.dup_executions, 0, "handler ran twice under the storm");
+    // The bystanders never felt it: each completes essentially all of
+    // its offered load, and every one meets its p99 SLO.
+    for t in (0..TENANTS as u16).filter(|&t| t != HOG) {
+        let offered = counter(&format!("rpc.tenant.offered.s{t}"));
+        let completed = counter(&format!("rpc.tenant.completed.s{t}"));
+        assert!(offered > 0, "tenant {t} offered nothing");
+        assert!(
+            completed as f64 >= 0.95 * offered as f64,
+            "tenant {t} lost goodput to the hog's storm: {completed}/{offered}"
+        );
+    }
+    let met = counter("rpc.tenant.slo_met");
+    assert!(
+        met >= TENANTS as u64 - 1,
+        "only {met}/{TENANTS} tenants met their p99 SLO through the storm"
     );
 }
 

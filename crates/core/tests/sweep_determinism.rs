@@ -68,6 +68,7 @@ fn faulty_points() -> Vec<SweepPoint> {
         fill: FaultSpec::loss(0.002),
         crash: None,
         nic: None,
+        tenant: None,
     };
     let mut points = Vec::new();
     for (i, stack) in [

@@ -88,3 +88,24 @@ pub fn span_retention_sanctioned(trace: &mut Trace, retained: u64, dropped: u64)
         dropped
     );
 }
+
+// Per-tenant isolation counters (`nic.tenant.*`, `overload.tenant.*`)
+// tick on every admitted, clipped, and dispatched frame — in a
+// 100-tenant storm that is the hottest telemetry in the system, so a
+// bare emit would format once per frame per tenant. Only the macro
+// form is sanctioned.
+
+pub fn tenant_admit_bare(trace: &mut Trace, tenant: u16, admitted: u64) {
+    trace.emit(10, "nic.tenant", format!("t{tenant} admitted {admitted}")); // violation
+}
+
+pub fn tenant_clip_sanctioned(trace: &mut Trace, tenant: u16, clipped: u64) {
+    trace_ev!(
+        trace,
+        11,
+        "overload.tenant",
+        "t{} clipped {} at ingress",
+        tenant,
+        clipped
+    );
+}

@@ -134,6 +134,12 @@ const UNMODELED_ALLOWLIST: &[(&str, &str)] = &[
         "LauberhornNic::repair_stuck_endpoint",
         "fault-injection repair driver; only reachable from the test harness",
     ),
+    (
+        "LauberhornNic::pump_tenancy",
+        "staged tenant-pipeline admission: all protocol writes happen via \
+         handle_request (the bound inject/* realization); the pipeline itself \
+         is arbitration delay, verified separately by mc::tenant's I10 model",
+    ),
 ];
 
 /// Binding of one `Impl`-kind model action to the functions that

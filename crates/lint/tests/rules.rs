@@ -69,10 +69,11 @@ fn telemetry_fixture_trips_unguarded_emit_only() {
         "{got:?}"
     );
     // The bare call, the hand-guarded call, the bare shed-counter
-    // emission, the bare watchdog-heartbeat narration, and the bare
-    // sim.span retention emit trip; the trace_ev! forms and the
-    // pragma-suppressed call do not.
-    assert_eq!(got.len(), 5, "{got:?}");
+    // emission, the bare watchdog-heartbeat narration, the bare
+    // sim.span retention emit, and the bare per-tenant admission
+    // narration trip; the trace_ev! forms and the pragma-suppressed
+    // call do not.
+    assert_eq!(got.len(), 6, "{got:?}");
     // `sim` defines the macro and is exempt from the rule.
     assert!(rules("sim", include_str!("../fixtures/telemetry.rs")).is_empty());
 }

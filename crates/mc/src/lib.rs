@@ -25,6 +25,13 @@
 //!   retry, bounded frame loss, and the server's at-most-once dedup
 //!   window. Removing the window (the injected bug) yields the
 //!   premature-timeout double-execution counterexample.
+//! * [`tenant`] — a two-tenant composition of the protocol model: the
+//!   shared device multiplexes both tenants' CONTROL lines, and the
+//!   **I10 tenant isolation** invariant (no tenant's actions observe
+//!   or mutate another tenant's state) is checked across free
+//!   interleavings *and* the shared-device fault/reset transitions.
+//!   An injected cross-tenant hint leak yields a replayable
+//!   counterexample.
 //! * [`races`] — a happens-before race detector layered on the
 //!   checker: protocol actions are instrumented with their per-agent
 //!   reads and writes of the CONTROL-line state, every unordered
@@ -43,6 +50,7 @@ pub mod lossy;
 pub mod protocol;
 pub mod races;
 pub mod table;
+pub mod tenant;
 
 pub use checker::{CheckOutcome, CheckReport, Model};
 pub use collection::{CollectionConfig, CollectionModel};
@@ -50,3 +58,4 @@ pub use lossy::{LossyRpcConfig, LossyRpcModel};
 pub use protocol::{LauberhornModel, ProtocolConfig};
 pub use races::{detect_races, InstrumentedModel, RaceClass, RaceReport};
 pub use table::{transition_table, Transition, TransitionKind};
+pub use tenant::{MtConfig, MtModel, MtState};

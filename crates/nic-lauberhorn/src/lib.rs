@@ -23,6 +23,9 @@
 //! * [`continuation`] — ephemeral reply endpoints for nested RPCs (§6).
 //! * [`tx`] — the transmit path: request submission over a disjoint
 //!   set of cache lines, with credit-based backpressure (§5.1).
+//! * [`tenancy`] — per-tenant pipeline-stage queues with weighted
+//!   deficit-round-robin arbitration and ingress rate limits (the
+//!   multi-tenant isolation domains; DESIGN.md §17).
 //! * [`nic`] — [`nic::LauberhornNic`]: the composed device.
 
 pub mod bytes;
@@ -34,8 +37,10 @@ pub mod large;
 pub mod load;
 pub mod nic;
 pub mod sched_mirror;
+pub mod tenancy;
 pub mod tx;
 
 pub use dispatch::{DispatchKind, DispatchLine};
 pub use endpoint::{Endpoint, EndpointId, TRYAGAIN_TIMEOUT};
 pub use nic::{LauberhornNic, LauberhornNicConfig, NicAction};
+pub use tenancy::{TenantCounters, TenantPipeline};

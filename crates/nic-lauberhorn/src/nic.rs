@@ -23,7 +23,9 @@ use lauberhorn_os::ProcessId;
 use lauberhorn_packet::frame::EndpointAddr;
 use lauberhorn_packet::marshal::transform_to_dispatch_form;
 use lauberhorn_packet::{build_udp_frame, parse_udp_frame_ref, RpcHeader, RpcKind};
-use lauberhorn_sim::{AdmissionCtl, OverloadConfig, ShedReason, SimDuration, SimTime};
+use lauberhorn_sim::{
+    AdmissionCtl, OverloadConfig, ShedReason, SimDuration, SimTime, TenancyConfig,
+};
 
 use crate::continuation::ContinuationTable;
 use crate::demux::{DemuxError, DemuxTable};
@@ -32,6 +34,7 @@ use crate::endpoint::{Endpoint, EndpointId, EndpointLayout, LineRole, RequestCtx
 use crate::large::LargeTransferModel;
 use crate::load::{Advice, LoadTracker};
 use crate::sched_mirror::SchedMirror;
+use crate::tenancy::{RateLimited, TenantPipeline};
 
 /// Static configuration.
 #[derive(Debug, Clone)]
@@ -224,9 +227,17 @@ pub enum NicAction {
         /// enough to know (lets the host account the loss per-request).
         request_id: Option<u64>,
     },
-    /// A request was shed by overload control (admission, deadline, or
-    /// fairness). Accounted at the NIC; with pushback armed the sim
-    /// NACKs the client, advertising `hint`.
+    /// The tenant pipeline holds frames in service and needs
+    /// [`LauberhornNic::pump_tenancy`] called at `at` to advance them.
+    /// Only emitted while an enforcing tenancy plan is armed.
+    PipelinePump {
+        /// When the next stage service completes (or, on ingress, the
+        /// arrival instant — the pipeline may be idle).
+        at: SimTime,
+    },
+    /// A request was shed by overload control (admission, deadline,
+    /// fairness, or a tenant rate limit). Accounted at the NIC; with
+    /// pushback armed the sim NACKs the client, advertising `hint`.
     Shed {
         /// Why overload control rejected it.
         reason: ShedReason,
@@ -353,6 +364,9 @@ pub struct LauberhornNic {
     stats: LbNicStats,
     /// Overload control, when armed ([`LauberhornNic::arm_overload`]).
     admission: Option<AdmissionCtl>,
+    /// Per-tenant staged pipeline, when an *enforcing* tenancy plan is
+    /// armed ([`LauberhornNic::arm_tenancy`]).
+    tenancy: Option<TenantPipeline>,
 }
 
 impl LauberhornNic {
@@ -374,6 +388,7 @@ impl LauberhornNic {
             next_ep: 0,
             stats: LbNicStats::default(),
             admission: None,
+            tenancy: None,
             cfg,
         }
     }
@@ -397,6 +412,23 @@ impl LauberhornNic {
     /// admitted-share counters from here).
     pub fn admission(&self) -> Option<&AdmissionCtl> {
         self.admission.as_ref()
+    }
+
+    /// Arms the per-tenant staged pipeline (ISSUE 10's isolation
+    /// domains). A measurement-only plan (`enforce == false`) arms
+    /// nothing here — the NIC's data path stays byte-identical and the
+    /// per-tenant SLO ledgers live host-side in the driver — so the
+    /// unbounded baseline arm really is the untenanted NIC.
+    pub fn arm_tenancy(&mut self, tenancy: TenancyConfig) {
+        if !tenancy.enforce {
+            return;
+        }
+        self.tenancy = Some(TenantPipeline::new(tenancy));
+    }
+
+    /// The tenant pipeline, when an enforcing plan is armed.
+    pub fn tenancy(&self) -> Option<&TenantPipeline> {
+        self.tenancy.as_ref()
     }
 
     /// Whether the service's delivery queues have built past half the
@@ -599,6 +631,11 @@ impl LauberhornNic {
         if let Some(adm) = &self.admission {
             adm.export(reg, "nic-lauberhorn");
             reg.counter("nic-lauberhorn.endpoint.shed_stale", ep.shed_stale);
+        }
+        // Likewise the per-tenant pipeline counters: present only when
+        // an enforcing tenancy plan is armed.
+        if let Some(pipe) = &self.tenancy {
+            pipe.export(reg, "nic-lauberhorn");
         }
     }
 
@@ -908,7 +945,21 @@ impl LauberhornNic {
         };
         let mut t = now + self.cfg.pipeline_latency;
         match header.kind {
-            RpcKind::Request => self.handle_request(t, header, wire_payload, client),
+            RpcKind::Request => {
+                // Tenant isolation: a covered tenant's frame crosses
+                // the per-tenant staged pipeline (rate limit, then DRR
+                // arbitration at parse/demux/dispatch) instead of the
+                // monolithic pipeline latency; dispatch happens when
+                // the frame exits ([`Self::pump_tenancy`]).
+                if self
+                    .tenancy
+                    .as_ref()
+                    .is_some_and(|p| p.covers(header.service_id))
+                {
+                    return self.tenant_ingress(now, header.service_id, header.request_id, raw);
+                }
+                self.handle_request(t, header, wire_payload, client)
+            }
             RpcKind::Response | RpcKind::Error => {
                 // A reply for a nested RPC: dispatch via continuation.
                 let Ok(cont) = self.conts.resolve(header.cont_hint) else {
@@ -951,6 +1002,69 @@ impl LauberhornNic {
                 }
             }
         }
+    }
+
+    /// Routes a covered tenant's request frame into the staged
+    /// pipeline: the token-bucket clip sits at the very front (a
+    /// storming tenant is shed before occupying any queue), everything
+    /// admitted joins the parse stage's per-tenant DRR queue.
+    fn tenant_ingress(
+        &mut self,
+        now: SimTime,
+        service: u16,
+        request_id: u64,
+        raw: &[u8],
+    ) -> Vec<NicAction> {
+        let hint = self
+            .demux
+            .service(service)
+            .map(|svc| svc.endpoints.clone())
+            .map(|eps| self.service_hint(&eps))
+            .unwrap_or(0);
+        // The caller only routes covered tenants here; with no armed
+        // pipeline there is nothing to admit into.
+        let Some(pipe) = self.tenancy.as_mut() else {
+            return Vec::new();
+        };
+        match pipe.offer(now, service, raw.to_vec()) {
+            Ok(()) => vec![NicAction::PipelinePump { at: now }],
+            Err(RateLimited) => {
+                self.shed_frame(ShedReason::RateLimit, service, request_id, hint, now)
+            }
+        }
+    }
+
+    /// Advances the tenant pipeline to `now`. Frames whose dispatch
+    /// stage completed go through the normal target-selection path
+    /// (re-parsed from the wire bytes the ingress already validated),
+    /// and a follow-up pump is requested while any stage remains in
+    /// service. A no-op unless an enforcing plan is armed.
+    pub fn pump_tenancy(&mut self, now: SimTime) -> Vec<NicAction> {
+        let (exits, next) = match self.tenancy.as_mut() {
+            Some(p) => p.pump(now),
+            None => return Vec::new(),
+        };
+        let mut actions = Vec::new();
+        for (done, _tenant, raw) in exits {
+            let Ok(frame) = parse_udp_frame_ref(&raw) else {
+                actions.extend(self.drop_frame(DropReason::BadFrame, None));
+                continue;
+            };
+            let Ok((header, wire_payload)) = RpcHeader::decode_message(frame.payload) else {
+                actions.extend(self.drop_frame(DropReason::BadRpcHeader, None));
+                continue;
+            };
+            let client = EndpointAddr {
+                mac: frame.eth.src,
+                ip: frame.ip.src,
+                port: frame.udp.src_port,
+            };
+            actions.extend(self.handle_request(done, header, wire_payload, client));
+        }
+        if let Some(at) = next {
+            actions.push(NicAction::PipelinePump { at });
+        }
+        actions
     }
 
     fn handle_request(

@@ -152,6 +152,27 @@ pub fn run(stack: &mut (impl ServerStack + ?Sized), workload: &WorkloadSpec) -> 
     let mut outstanding: std::collections::BTreeMap<u64, Outstanding> =
         std::collections::BTreeMap::new();
 
+    // Tenant-scoped fault storm: applied at generation time, where the
+    // tenant is known. The dedicated stream exists (and is drawn from)
+    // only when the plan targets a tenant, so every other run's
+    // schedule is untouched.
+    let tenant_fault = workload.faults.tenant.filter(|t| t.enabled());
+    let mut tenant_fault_rng = tenant_fault.map(|_| SimRng::stream(workload.seed, "fault.tenant"));
+    let mut tenant_malformed: u64 = 0;
+    let mut tenant_storm_extra: u64 = 0;
+
+    // Per-tenant SLO ledgers, kept host-side whenever the workload
+    // carries a tenancy plan — enforcing *or* measurement-only — so
+    // the unbounded baseline arm is scored against the same SLOs.
+    let tenancy = workload.overload.as_ref().and_then(|o| o.tenancy.as_ref());
+    let mut tenant_of: std::collections::BTreeMap<u64, u16> = std::collections::BTreeMap::new();
+    let mut tenant_offered: std::collections::BTreeMap<u16, u64> =
+        std::collections::BTreeMap::new();
+    let mut tenant_completed: std::collections::BTreeMap<u16, u64> =
+        std::collections::BTreeMap::new();
+    let mut tenant_rtt: std::collections::BTreeMap<u16, lauberhorn_sim::Histogram> =
+        std::collections::BTreeMap::new();
+
     // When the workload declares a deadline-shedding budget and the
     // retry policy has no wall-clock budget of its own, a retransmit
     // timer firing past that deadline can only produce a frame the
@@ -250,6 +271,10 @@ pub fn run(stack: &mut (impl ServerStack + ?Sized), workload: &WorkloadSpec) -> 
                             0,
                         );
                         client_of.insert(request_id, client);
+                        if tenancy.is_some() {
+                            tenant_of.insert(request_id, service);
+                            *tenant_offered.entry(service).or_default() += 1;
+                        }
                         let common = stack.common();
                         if common.tracer.is_enabled() {
                             // Blame profiles slice per service; the
@@ -284,7 +309,40 @@ pub fn run(stack: &mut (impl ServerStack + ?Sized), workload: &WorkloadSpec) -> 
                                 );
                             }
                         }
-                        send_frame(stack, &mut tx_fault, now, raw, request_id);
+                        match tenant_fault.filter(|tf| tf.tenant == service) {
+                            Some(tf) => {
+                                // Malformed: corrupt the transmitted
+                                // copy only; the retransmit copy held
+                                // in `outstanding` stays pristine.
+                                let mut wire = raw.clone();
+                                if let Some(rng) =
+                                    tenant_fault_rng.as_mut().filter(|_| tf.malformed > 0.0)
+                                {
+                                    if rng.gen_f64() < tf.malformed {
+                                        let len = wire.len();
+                                        let offset = rng
+                                            .gen_range(ETH_HEADER_LEN..len.max(ETH_HEADER_LEN + 1));
+                                        let bit = rng.gen_range(0..8) as u8;
+                                        FaultInjector::apply_corruption(
+                                            wire.make_mut(),
+                                            offset,
+                                            bit,
+                                        );
+                                        tenant_malformed += 1;
+                                        stack.common().metrics.faults.corrupted += 1;
+                                    }
+                                }
+                                send_frame(stack, &mut tx_fault, now, wire, request_id);
+                                // Storm amplification: duplicates with
+                                // the same request id (at-most-once is
+                                // on the hook for them).
+                                for _ in 0..tf.storm_extra {
+                                    tenant_storm_extra += 1;
+                                    send_frame(stack, &mut tx_fault, now, raw.clone(), request_id);
+                                }
+                            }
+                            None => send_frame(stack, &mut tx_fault, now, raw, request_id),
+                        }
                         if let Some(arr) = arrivals.as_mut() {
                             let mut gap = arr.next_gap(&mut client_rng);
                             if let Some(p) = pacer.as_ref() {
@@ -312,12 +370,22 @@ pub fn run(stack: &mut (impl ServerStack + ?Sized), workload: &WorkloadSpec) -> 
                     if let Some(p) = pacer.as_mut() {
                         p.on_success(now);
                     }
+                    let tenant = tenant_of.remove(&request_id);
+                    if let Some(t) = tenant {
+                        *tenant_completed.entry(t).or_default() += 1;
+                    }
                     let common = stack.common();
                     common.metrics.completed += 1;
                     let warmed = common.metrics.completed > workload.warmup;
                     if let Some(times) = common.times.remove(&request_id) {
                         if warmed {
                             common.metrics.rtt.record_duration(now.since(times.sent));
+                            if let Some(t) = tenant {
+                                tenant_rtt
+                                    .entry(t)
+                                    .or_default()
+                                    .record_duration(now.since(times.sent));
+                            }
                             common
                                 .metrics
                                 .end_system
@@ -508,6 +576,40 @@ pub fn run(stack: &mut (impl ServerStack + ?Sized), workload: &WorkloadSpec) -> 
             .metrics
             .registry
             .counter("rpc.retry.deadline_suppressed", deadline_suppressed);
+    }
+    if let Some(tcfg) = tenancy {
+        // Per-tenant SLO attainment ledgers. Present only when a
+        // tenancy plan rode along with the workload (enforcing or
+        // observe-only), so untenanted digests are untouched. A tenant
+        // with no measured completions does not meet its SLO.
+        let reg = &mut common.metrics.registry;
+        let mut met: u64 = 0;
+        for spec in &tcfg.tenants {
+            let t = spec.tenant;
+            let offered = tenant_offered.get(&t).copied().unwrap_or(0);
+            let completed = tenant_completed.get(&t).copied().unwrap_or(0);
+            reg.counter(&format!("rpc.tenant.offered.s{t}"), offered);
+            reg.counter(&format!("rpc.tenant.completed.s{t}"), completed);
+            let p99_ps = tenant_rtt
+                .get(&t)
+                .filter(|h| h.count() > 0)
+                .map(|h| h.quantile(0.99));
+            if let Some(p99_ps) = p99_ps {
+                reg.gauge(&format!("rpc.tenant.rtt_p99_us.s{t}"), p99_ps as f64 / 1e6);
+            }
+            if p99_ps.is_some_and(|p| p <= spec.slo_p99.as_ps()) {
+                met += 1;
+            }
+        }
+        reg.counter("rpc.tenant.count", tcfg.tenants.len() as u64);
+        reg.counter("rpc.tenant.slo_met", met);
+    }
+    if tenant_fault.is_some() {
+        // Bookkeeping for the tenant-scoped fault arm: how much the
+        // storm actually injected. Gated on the plan, like the ledgers.
+        let reg = &mut common.metrics.registry;
+        reg.counter("rpc.tenant.fault.malformed", tenant_malformed);
+        reg.counter("rpc.tenant.fault.storm_extra", tenant_storm_extra);
     }
     let blame = if common.tracer.is_enabled() {
         // Trace-loss visibility (satellite of the blame work): how

@@ -162,6 +162,9 @@ enum Ev {
     /// A frame backlogged during a NIC reset replays into the
     /// reconstructed NIC.
     ReplayFrame { raw: PktBuf, request_id: u64 },
+    /// The tenant pipeline has stage services due: advance it. Only
+    /// scheduled while an enforcing tenancy plan is armed.
+    PipelinePump,
 }
 
 /// Counters for the NIC failure-domain machinery, exported as
@@ -232,6 +235,10 @@ pub struct LauberhornSim {
     /// Cores whose next park is deferred until the NIC is back.
     held_cores: Vec<usize>,
     recovery: RecoveryCounters,
+    /// Earliest outstanding [`Ev::PipelinePump`], for dedup: the
+    /// tenant pipeline asks for a pump on every ingress and every
+    /// stage completion, and scheduling each would flood the queue.
+    next_pump: Option<SimTime>,
 }
 
 impl LauberhornSim {
@@ -326,6 +333,7 @@ impl LauberhornSim {
             held_loads: Vec::new(),
             held_cores: Vec::new(),
             recovery: RecoveryCounters::default(),
+            next_pump: None,
             cfg,
         }
     }
@@ -369,6 +377,19 @@ impl LauberhornSim {
     fn ctx_mut(&mut self, core: usize) -> &mut CoreCtx {
         // lint:allow(unchecked-index): core ids bounded by construction
         &mut self.cores[core]
+    }
+
+    /// Schedules a tenant-pipeline pump at `at`, unless one is already
+    /// outstanding at the same instant or earlier (a stale later pump
+    /// is left in the queue; pumping is idempotent).
+    fn schedule_pump(&mut self, at: SimTime) {
+        match self.next_pump {
+            Some(t) if t <= at => {}
+            _ => {
+                self.next_pump = Some(at);
+                self.q.schedule(at, Ev::PipelinePump);
+            }
+        }
     }
 
     fn apply_actions(&mut self, actions: Vec<NicAction>, now: SimTime) {
@@ -417,6 +438,9 @@ impl LauberhornSim {
                         Some(id) => self.common.drop_request(id, now),
                         None => self.common.metrics.dropped += 1,
                     }
+                }
+                NicAction::PipelinePump { at } => {
+                    self.schedule_pump(at);
                 }
                 NicAction::Shed {
                     reason,
@@ -1342,7 +1366,16 @@ impl ServerStack for LauberhornSim {
         if let Some(overload) = &workload.overload {
             let ids: Vec<u16> = self.services.iter().map(|s| s.service_id).collect();
             self.nic.arm_overload(overload.clone(), &ids);
+            // Multi-tenant isolation domains: an *enforcing* plan arms
+            // the per-tenant staged pipeline (rate limits + DRR at
+            // parse/demux/dispatch); a measurement-only plan leaves
+            // the NIC untouched and only the driver's SLO ledgers see
+            // the tenant table.
+            if let Some(tenancy) = &overload.tenancy {
+                self.nic.arm_tenancy(tenancy.clone());
+            }
         }
+        self.next_pump = None;
         if let Some(crash) = workload.faults.crash {
             self.q.schedule(
                 SimTime::ZERO + crash.at,
@@ -1521,6 +1554,13 @@ impl ServerStack for LauberhornSim {
                     return;
                 }
                 let actions = self.nic.on_request_frame(now, &raw);
+                self.apply_actions(actions, now);
+            }
+            Ev::PipelinePump => {
+                if self.next_pump == Some(now) {
+                    self.next_pump = None;
+                }
+                let actions = self.nic.pump_tenancy(now);
                 self.apply_actions(actions, now);
             }
             Ev::Preempt { core } => {

@@ -342,6 +342,20 @@ impl BlameProfile {
         prof
     }
 
+    /// Queueing share of one tenant's attributed time, in permille.
+    /// `None` when the tenant has no decomposed requests. Tenants are
+    /// service ids (the 1:1 mapping DESIGN.md §17 fixes), so this is
+    /// the per-tenant cut of the blame profile.
+    pub fn queueing_permille_of(&self, tenant: u16) -> Option<u64> {
+        let row = self.by_service_ps.get(&tenant)?;
+        let total: u64 = row.iter().sum();
+        if total == 0 {
+            return None;
+        }
+        row.get(BlameClass::Queueing.idx())
+            .map(|ps| ps * 1000 / total)
+    }
+
     /// Per-class share of total attributed time, in permille (integer,
     /// so artifacts stay deterministic). Sums to ≤ 1000.
     pub fn class_permille(&self) -> [u64; 4] {
@@ -415,6 +429,47 @@ pub fn blame_table(prof: &BlameProfile) -> String {
                 row.get(3).copied().unwrap_or(0) / 1_000_000,
             );
         }
+    }
+    out
+}
+
+/// Renders the per-tenant queueing attribution between a quiet and a
+/// contended run of the same workload shape: for every tenant seen in
+/// either profile, its queueing share of attributed time in each run
+/// and the growth, sorted so the tenant whose queueing grew the most
+/// comes first. This is the "whose queueing grew" view the TENANT
+/// experiment uses to show a noisy neighbor's damage (or, with
+/// isolation armed, its containment).
+pub fn tenant_queueing_table(quiet: &BlameProfile, contended: &BlameProfile) -> String {
+    let mut tenants: Vec<u16> = quiet
+        .by_service_ps
+        .keys()
+        .chain(contended.by_service_ps.keys())
+        .copied()
+        .collect();
+    tenants.sort_unstable();
+    tenants.dedup();
+    let mut rows: Vec<(u16, u64, u64, i64)> = tenants
+        .into_iter()
+        .map(|t| {
+            let q = quiet.queueing_permille_of(t).unwrap_or(0);
+            let c = contended.queueing_permille_of(t).unwrap_or(0);
+            (t, q, c, c as i64 - q as i64)
+        })
+        .collect();
+    rows.sort_by(|a, b| b.3.cmp(&a.3).then(a.0.cmp(&b.0)));
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "queueing share by tenant (permille of attributed time)"
+    );
+    let _ = writeln!(
+        out,
+        "{:<8} {:>10} {:>10} {:>8}",
+        "tenant", "quiet", "contended", "growth"
+    );
+    for (t, q, c, d) in rows {
+        let _ = writeln!(out, "{:<8} {:>10} {:>10} {:>+8}", t, q, c, d);
     }
     out
 }
@@ -520,6 +575,34 @@ mod tests {
         let pm = prof.class_permille();
         assert_eq!(pm[BlameClass::Service.idx()], 750);
         assert_eq!(pm[BlameClass::Queueing.idx()], 250);
+    }
+
+    #[test]
+    fn tenant_queueing_growth_ranks_the_victim_first() {
+        // Quiet: tenant 3 is all service. Contended: half its time is
+        // an un-instrumented gap (queueing), while tenant 5 stays flat.
+        let build = |gap_ns: u64| {
+            let mut tr = tracer();
+            let root = tr.begin(t(0), Stage::Request, Some(1), SpanId::NONE, 1000);
+            tr.span(Stage::Handler, Some(1), root, 0, t(gap_ns), t(1000));
+            tr.end(root, t(1000));
+            let root2 = tr.begin(t(0), Stage::Request, Some(2), SpanId::NONE, 1001);
+            tr.span(Stage::Handler, Some(2), root2, 0, t(0), t(1000));
+            tr.end(root2, t(1000));
+            let mut services = BTreeMap::new();
+            services.insert(1u64, 3u16);
+            services.insert(2u64, 5u16);
+            BlameProfile::build(&critical_paths(tr.spans()), &services)
+        };
+        let quiet = build(0);
+        let contended = build(500);
+        assert_eq!(quiet.queueing_permille_of(3), Some(0));
+        assert_eq!(contended.queueing_permille_of(3), Some(500));
+        assert_eq!(contended.queueing_permille_of(9), None);
+        let table = tenant_queueing_table(&quiet, &contended);
+        let victim = table.lines().nth(2).expect("first tenant row");
+        assert!(victim.trim_start().starts_with('3'), "{table}");
+        assert!(victim.contains("+500"), "{table}");
     }
 
     #[test]

@@ -119,6 +119,32 @@ pub struct NicFaultSpec {
     pub at: SimDuration,
 }
 
+/// A tenant-scoped fault storm: every fault in it targets one tenant's
+/// flows and leaves every other tenant's traffic untouched. The
+/// containment question the TENANT experiment and the chaos soak ask
+/// is whether the *other* tenants' goodput and p99 survive it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TenantFaultSpec {
+    /// The targeted tenant (identical to its service id).
+    pub tenant: u16,
+    /// Probability one of the tenant's request frames goes out
+    /// malformed (single-bit wire corruption; it dies at the NIC's
+    /// checksum verifier, burning parse work but no endpoint state).
+    pub malformed: f64,
+    /// Storm amplification: each of the tenant's generated requests is
+    /// transmitted `1 + storm_extra` times. The duplicates carry the
+    /// same request id, so they also exercise at-most-once dedup.
+    pub storm_extra: u32,
+}
+
+impl TenantFaultSpec {
+    /// Whether the spec can ever perturb anything. A disabled spec
+    /// draws no randomness and schedules nothing.
+    pub fn enabled(&self) -> bool {
+        self.malformed > 0.0 || self.storm_extra > 0
+    }
+}
+
 /// The full fault plan a workload carries: independent injection
 /// points for each direction of the wire and for the coherence
 /// fabric, plus an optional process crash and an optional
@@ -135,6 +161,8 @@ pub struct FaultPlan {
     pub crash: Option<CrashSpec>,
     /// Deterministic NIC-internal fault, if any (Lauberhorn stacks).
     pub nic: Option<NicFaultSpec>,
+    /// Tenant-scoped fault storm, if any.
+    pub tenant: Option<TenantFaultSpec>,
 }
 
 impl FaultPlan {
@@ -160,13 +188,15 @@ impl FaultPlan {
         }
     }
 
-    /// Whether any injection point (or the crash / NIC fault) is live.
+    /// Whether any injection point (or the crash / NIC / tenant
+    /// fault) is live.
     pub fn enabled(&self) -> bool {
         self.wire_tx.enabled()
             || self.wire_rx.enabled()
             || self.fill.enabled()
             || self.crash.is_some()
             || self.nic.is_some()
+            || self.tenant.is_some_and(|t| t.enabled())
     }
 }
 

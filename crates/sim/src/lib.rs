@@ -25,13 +25,17 @@ pub mod queue;
 pub mod rng;
 pub mod span;
 pub mod stats;
+pub mod tenancy;
 pub mod time;
 pub mod trace;
 
-pub use critpath::{blame_table, critical_paths, BlameClass, BlameProfile, CritPath, Segment};
+pub use critpath::{
+    blame_table, critical_paths, tenant_queueing_table, BlameClass, BlameProfile, CritPath, Segment,
+};
 pub use energy::{CoreState, CycleAccount, EnergyMeter};
 pub use fault::{
     CrashSpec, FaultDecision, FaultInjector, FaultPlan, FaultSpec, NicFaultKind, NicFaultSpec,
+    TenantFaultSpec,
 };
 pub use flightrec::{FlightRecorder, P2Quantile, SpanTree};
 pub use metrics::MetricsRegistry;
@@ -40,5 +44,6 @@ pub use queue::EventQueue;
 pub use rng::SimRng;
 pub use span::{ObserveSpec, SpanId, SpanRecord, SpanTracer, Stage};
 pub use stats::{Histogram, Summary};
+pub use tenancy::{DeadlineClass, DrrScheduler, TenancyConfig, TenantSpec, TokenBucket};
 pub use time::{SimDuration, SimTime};
 pub use trace::{Trace, TraceEvent};

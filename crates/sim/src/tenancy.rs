@@ -1,0 +1,465 @@
+//! Multi-tenant isolation primitives: per-tenant SLO specs, token-
+//! bucket rate limits, and the weighted deficit-round-robin arbiter
+//! the NIC pipeline stages use.
+//!
+//! The paper's claim that the NIC should hold OS state cuts both ways:
+//! once the NIC holds scheduling and protocol state for hundreds of
+//! tenants, it must also enforce the OS's isolation promises between
+//! them. This module is the shared vocabulary for that enforcement —
+//! a [`TenancyConfig`] rides an armed `OverloadConfig`, and a
+//! simulation with tenancy armed gets
+//!
+//! * per-tenant admission ledgers and fairness weights (via
+//!   `AdmissionCtl`, which already keys by service id — a tenant *is*
+//!   a service id here),
+//! * per-tenant token-bucket rate limits applied at the NIC ingress
+//!   ([`TokenBucket`]),
+//! * per-tenant queues with weighted deficit-round-robin arbitration
+//!   at each NIC pipeline stage ([`DrrScheduler`]), so one tenant's
+//!   backlog cannot head-of-line-block another tenant's traffic,
+//! * a per-tenant p99 SLO ([`TenantSpec::slo_p99`]) the TENANT
+//!   experiment scores attainment against.
+//!
+//! Everything is pay-for-use: no allocation, randomness, or events
+//! unless a workload armed a config with tenancy present, so clean-run
+//! report digests are untouched.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use crate::time::{SimDuration, SimTime};
+
+/// Latency class of a tenant, mapping to a deadline budget scale and
+/// a p99 SLO tier. Classes let a mixed population state heterogeneous
+/// promises without a per-tenant config explosion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeadlineClass {
+    /// Interactive traffic: the tightest deadline and SLO.
+    Latency,
+    /// The default tier.
+    Standard,
+    /// Throughput-oriented traffic: the loosest promises.
+    Bulk,
+}
+
+impl DeadlineClass {
+    /// Metric / table label.
+    pub fn label(self) -> &'static str {
+        match self {
+            DeadlineClass::Latency => "latency",
+            DeadlineClass::Standard => "standard",
+            DeadlineClass::Bulk => "bulk",
+        }
+    }
+
+    /// Scales a base deadline budget for this class (×1/2, ×1, ×2).
+    pub fn scale(self, base: SimDuration) -> SimDuration {
+        match self {
+            DeadlineClass::Latency => SimDuration::from_ps(base.as_ps() / 2),
+            DeadlineClass::Standard => base,
+            DeadlineClass::Bulk => base.saturating_mul(2),
+        }
+    }
+}
+
+/// One tenant's isolation contract: fairness weight, ingress rate
+/// limit, deadline class, and the p99 SLO the run is scored against.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantSpec {
+    /// Tenant id — identical to the service id carried in the RPC
+    /// header; the demux match is the tenancy classifier.
+    pub tenant: u16,
+    /// Weighted fair-share / DRR weight (≥ 1).
+    pub weight: u32,
+    /// Ingress rate limit in requests per second (0 = unlimited).
+    pub rate_rps: u64,
+    /// Token-bucket depth: how large a burst the limiter absorbs.
+    pub burst: u32,
+    /// Deadline class (scales the shared deadline budget).
+    pub class: DeadlineClass,
+    /// The per-tenant p99 round-trip SLO.
+    pub slo_p99: SimDuration,
+}
+
+impl TenantSpec {
+    /// A standard-class tenant with the given weight and SLO, no rate
+    /// limit.
+    pub fn new(tenant: u16, weight: u32, slo_p99: SimDuration) -> Self {
+        TenantSpec {
+            tenant,
+            weight: weight.max(1),
+            rate_rps: 0,
+            burst: 1,
+            class: DeadlineClass::Standard,
+            slo_p99,
+        }
+    }
+
+    /// Adds an ingress token-bucket rate limit.
+    pub fn with_rate(mut self, rate_rps: u64, burst: u32) -> Self {
+        self.rate_rps = rate_rps;
+        self.burst = burst.max(1);
+        self
+    }
+
+    /// Sets the deadline class.
+    pub fn with_class(mut self, class: DeadlineClass) -> Self {
+        self.class = class;
+        self
+    }
+}
+
+/// The tenancy plan for one run: the tenant table plus whether the
+/// NIC actually *enforces* it (per-tenant stage queues, DRR, rate
+/// limits) or only *measures* it (per-tenant latency ledgers, so the
+/// unbounded baseline arm can be scored against the same SLOs).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenancyConfig {
+    /// Per-tenant contracts, one per service id in the run.
+    pub tenants: Vec<TenantSpec>,
+    /// When false, measurement only: no stage queues, no rate limits.
+    pub enforce: bool,
+    /// DRR quantum in stage-cost units (picoseconds of stage service)
+    /// granted per round to a weight-1 tenant.
+    pub quantum_ps: u64,
+}
+
+/// One parse-stage pass over a 64-byte frame costs ~a quantum, so a
+/// weight-1 tenant gets roughly one small frame per DRR round.
+pub const DEFAULT_QUANTUM_PS: u64 = 20_000;
+
+impl TenancyConfig {
+    /// An enforcing config over the given tenant table.
+    pub fn enforcing(tenants: Vec<TenantSpec>) -> Self {
+        TenancyConfig {
+            tenants,
+            enforce: true,
+            quantum_ps: DEFAULT_QUANTUM_PS,
+        }
+    }
+
+    /// A measurement-only config: per-tenant SLO ledgers without any
+    /// isolation mechanism — the unbounded baseline arm.
+    pub fn observe_only(tenants: Vec<TenantSpec>) -> Self {
+        TenancyConfig {
+            tenants,
+            enforce: false,
+            quantum_ps: DEFAULT_QUANTUM_PS,
+        }
+    }
+
+    /// The spec for `tenant`, when listed.
+    pub fn spec_of(&self, tenant: u16) -> Option<&TenantSpec> {
+        self.tenants.iter().find(|t| t.tenant == tenant)
+    }
+
+    /// The fairness-weight table in `OverloadConfig::with_fairness`
+    /// form.
+    pub fn weights(&self) -> Vec<(u16, u32)> {
+        self.tenants.iter().map(|t| (t.tenant, t.weight)).collect()
+    }
+
+    /// The p99 SLO for `tenant` (None when unlisted).
+    pub fn slo_of(&self, tenant: u16) -> Option<SimDuration> {
+        self.spec_of(tenant).map(|t| t.slo_p99)
+    }
+}
+
+/// Integer token bucket for per-tenant ingress rate limiting.
+///
+/// Tokens are tracked as picosecond-credits: one request costs
+/// `ps_per_token` (= 1e12 / rate_rps), the bucket refills linearly
+/// with simulated time and caps at `burst` requests' worth. All
+/// arithmetic is integral, so serial and parallel sweeps agree
+/// bit-for-bit.
+#[derive(Debug, Clone)]
+pub struct TokenBucket {
+    /// Picoseconds of credit per request; 0 disables the limiter.
+    ps_per_token: u64,
+    /// Maximum stored credit (burst × ps_per_token).
+    cap_ps: u64,
+    /// Stored credit in picoseconds.
+    credit_ps: u64,
+    /// Last refill instant.
+    last: SimTime,
+}
+
+impl TokenBucket {
+    /// A bucket admitting `rate_rps` requests per second with the
+    /// given burst depth. `rate_rps == 0` means unlimited.
+    pub fn new(rate_rps: u64, burst: u32) -> Self {
+        let ps_per_token = if rate_rps == 0 {
+            0
+        } else {
+            1_000_000_000_000 / rate_rps.max(1)
+        };
+        let cap_ps = ps_per_token.saturating_mul(burst.max(1) as u64);
+        TokenBucket {
+            ps_per_token,
+            cap_ps,
+            // Starts full: the first burst is always admitted.
+            credit_ps: cap_ps,
+            last: SimTime::ZERO,
+        }
+    }
+
+    /// Tries to take one token at `now`. Returns false when the
+    /// tenant is over its rate (the caller sheds the request).
+    pub fn take(&mut self, now: SimTime) -> bool {
+        if self.ps_per_token == 0 {
+            return true;
+        }
+        let elapsed = now.since(self.last).as_ps();
+        self.last = now;
+        self.credit_ps = self.credit_ps.saturating_add(elapsed).min(self.cap_ps);
+        if self.credit_ps >= self.ps_per_token {
+            self.credit_ps -= self.ps_per_token;
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// Weighted deficit-round-robin scheduler over per-tenant FIFOs.
+///
+/// Each backlogged tenant sits in a round-robin ring; a tenant at the
+/// head of the ring may dequeue while its deficit counter covers the
+/// head item's cost, earning `weight × quantum` of new deficit each
+/// time the round visits it. Costs are in the same units as the
+/// quantum (stage-service picoseconds here). The classic property
+/// holds: a tenant's long-run share of stage service is proportional
+/// to its weight, regardless of how bursty or heavy the other
+/// tenants' queues are — no head-of-line blocking across tenants.
+#[derive(Debug, Clone)]
+pub struct DrrScheduler<T> {
+    queues: BTreeMap<u16, VecDeque<T>>,
+    deficit: BTreeMap<u16, u64>,
+    /// Backlogged tenants in round order.
+    ring: VecDeque<u16>,
+    /// Per-tenant quantum (weight × base).
+    quanta: BTreeMap<u16, u64>,
+    base_quantum: u64,
+    len: usize,
+}
+
+impl<T> DrrScheduler<T> {
+    /// A scheduler with the given base quantum and weight table
+    /// (unlisted tenants get weight 1).
+    pub fn new(base_quantum: u64, weights: &[(u16, u32)]) -> Self {
+        let base = base_quantum.max(1);
+        DrrScheduler {
+            queues: BTreeMap::new(),
+            deficit: BTreeMap::new(),
+            ring: VecDeque::new(),
+            quanta: weights
+                .iter()
+                .map(|(t, w)| (*t, base.saturating_mul((*w).max(1) as u64)))
+                .collect(),
+            base_quantum: base,
+            len: 0,
+        }
+    }
+
+    /// Queued items across all tenants.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no tenant has queued items.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Queue depth of one tenant.
+    pub fn depth(&self, tenant: u16) -> usize {
+        self.queues.get(&tenant).map(VecDeque::len).unwrap_or(0)
+    }
+
+    /// Enqueues `item` on `tenant`'s FIFO.
+    pub fn push(&mut self, tenant: u16, item: T) {
+        let q = self.queues.entry(tenant).or_default();
+        if q.is_empty() {
+            self.ring.push_back(tenant);
+        }
+        q.push_back(item);
+        self.len += 1;
+    }
+
+    fn quantum_of(&self, tenant: u16) -> u64 {
+        self.quanta
+            .get(&tenant)
+            .copied()
+            .unwrap_or(self.base_quantum)
+    }
+
+    /// Dequeues the next item under DRR, where `cost_of` prices each
+    /// item in quantum units. Returns the owning tenant with the item.
+    pub fn pop(&mut self, cost_of: impl Fn(&T) -> u64) -> Option<(u16, T)> {
+        loop {
+            let tenant = *self.ring.front()?;
+            let quantum = self.quantum_of(tenant);
+            // A ringed tenant always has a non-empty queue (`push` is
+            // the only ring entry point); an inconsistent entry is
+            // dropped from the round rather than panicking mid-run.
+            let Some(q) = self.queues.get_mut(&tenant) else {
+                self.ring.pop_front();
+                continue;
+            };
+            let Some(cost) = q.front().map(&cost_of) else {
+                self.ring.pop_front();
+                continue;
+            };
+            let d = self.deficit.entry(tenant).or_insert(0);
+            if *d >= cost {
+                *d -= cost;
+                let Some(item) = q.pop_front() else {
+                    self.ring.pop_front();
+                    continue;
+                };
+                self.len -= 1;
+                if q.is_empty() {
+                    // An emptied tenant leaves the ring and forfeits
+                    // leftover deficit (classic DRR: credit does not
+                    // accumulate across idle periods).
+                    self.deficit.insert(tenant, 0);
+                    self.ring.pop_front();
+                }
+                return Some((tenant, item));
+            }
+            // Not enough deficit: earn a quantum and move to the back
+            // of the round.
+            *d += quantum;
+            self.ring.rotate_left(1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deadline_classes_scale_the_budget() {
+        let base = SimDuration::from_us(200);
+        assert_eq!(
+            DeadlineClass::Latency.scale(base),
+            SimDuration::from_us(100)
+        );
+        assert_eq!(DeadlineClass::Standard.scale(base), base);
+        assert_eq!(DeadlineClass::Bulk.scale(base), SimDuration::from_us(400));
+    }
+
+    #[test]
+    fn token_bucket_enforces_rate_and_burst() {
+        // 1M rps => one token per microsecond, burst 4.
+        let mut b = TokenBucket::new(1_000_000, 4);
+        let t0 = SimTime::from_us(10);
+        // The full burst goes through back to back.
+        for _ in 0..4 {
+            assert!(b.take(t0));
+        }
+        assert!(!b.take(t0), "fifth back-to-back request over rate");
+        // One token refills after one microsecond.
+        assert!(b.take(t0 + SimDuration::from_us(1)));
+        assert!(!b.take(t0 + SimDuration::from_us(1)));
+        // A long gap refills only up to the burst cap.
+        let later = t0 + SimDuration::from_ms(10);
+        let mut ok = 0;
+        for _ in 0..16 {
+            if b.take(later) {
+                ok += 1;
+            }
+        }
+        assert_eq!(ok, 4, "credit must cap at the burst depth");
+    }
+
+    #[test]
+    fn unlimited_bucket_always_admits() {
+        let mut b = TokenBucket::new(0, 1);
+        for i in 0..1000 {
+            assert!(b.take(SimTime::from_ns(i)));
+        }
+    }
+
+    #[test]
+    fn drr_shares_track_weights() {
+        // Tenants 0 (weight 1) and 1 (weight 3), both with deep
+        // backlogs of equal-cost items: dequeues must come out ~1:3.
+        let mut s = DrrScheduler::new(100, &[(0, 1), (1, 3)]);
+        for i in 0..400 {
+            s.push(0, i);
+            s.push(1, i);
+        }
+        let mut served = [0u32; 2];
+        for _ in 0..200 {
+            let (t, _) = s.pop(|_| 100).expect("backlogged");
+            served[t as usize] += 1;
+        }
+        assert!(
+            (45..=55).contains(&served[0]) && (145..=155).contains(&served[1]),
+            "DRR shares {served:?} do not track the 1:3 weights"
+        );
+    }
+
+    #[test]
+    fn heavy_items_do_not_let_a_tenant_monopolise() {
+        // Tenant 0's items cost 10x tenant 1's (parse-heavy frames):
+        // equal weights must still split *cost* evenly, so tenant 1
+        // dequeues ~10x as many items. Items carry their own cost.
+        let mut s = DrrScheduler::new(50, &[(0, 1), (1, 1)]);
+        for _ in 0..4000 {
+            s.push(0u16, 500u64);
+            s.push(1u16, 50u64);
+        }
+        let mut served = [0u64; 2];
+        let mut cost_served = [0u64; 2];
+        for _ in 0..1100 {
+            let (t, c) = s.pop(|c| *c).expect("backlogged");
+            served[t as usize] += 1;
+            cost_served[t as usize] += c;
+        }
+        let ratio = served[1] as f64 / served[0].max(1) as f64;
+        assert!(
+            (8.0..=12.0).contains(&ratio),
+            "cheap-item tenant served {served:?} (ratio {ratio:.1}, want ~10)"
+        );
+        let cost_ratio = cost_served[0] as f64 / cost_served[1].max(1) as f64;
+        assert!(
+            (0.8..=1.2).contains(&cost_ratio),
+            "cost split {cost_served:?} not even"
+        );
+    }
+
+    #[test]
+    fn drr_is_work_conserving_and_fifo_per_tenant() {
+        let mut s = DrrScheduler::new(10, &[]);
+        s.push(7, "a");
+        s.push(7, "b");
+        s.push(7, "c");
+        let mut out = Vec::new();
+        while let Some((t, x)) = s.pop(|_| 10) {
+            assert_eq!(t, 7);
+            out.push(x);
+        }
+        assert_eq!(out, ["a", "b", "c"]);
+        assert!(s.is_empty());
+        // An idle tenant's deficit does not accumulate: after the
+        // queue drained, fresh pushes start from zero credit again.
+        s.push(7, "d");
+        assert_eq!(s.pop(|_| 10).map(|(_, x)| x), Some("d"));
+    }
+
+    #[test]
+    fn spec_lookup_and_weights_table() {
+        let cfg = TenancyConfig::enforcing(vec![
+            TenantSpec::new(0, 4, SimDuration::from_us(200)),
+            TenantSpec::new(1, 1, SimDuration::from_us(500)).with_rate(10_000, 8),
+        ]);
+        assert!(cfg.enforce);
+        assert_eq!(cfg.weights(), vec![(0, 4), (1, 1)]);
+        assert_eq!(cfg.slo_of(1), Some(SimDuration::from_us(500)));
+        assert_eq!(cfg.spec_of(1).map(|t| t.rate_rps), Some(10_000));
+        assert!(cfg.spec_of(9).is_none());
+        assert!(!TenancyConfig::observe_only(Vec::new()).enforce);
+    }
+}

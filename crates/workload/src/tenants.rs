@@ -46,6 +46,37 @@ impl TenantMix {
         TenantMix { shares }
     }
 
+    /// A cloud-like population: `tenants` tenants with Zipf-skewed
+    /// offered shares (exponent `s`; `s == 0.0` degenerates to
+    /// uniform), and tenant `hog` additionally storming at
+    /// `hog_factor` times its organic Zipf rate. `hog_factor == 1.0`
+    /// is the quiet (no-storm) arm.
+    ///
+    /// The hog defaults deliberately to a *mid-rank* tenant rather
+    /// than rank 0: a noisy neighbor is rarely the biggest customer,
+    /// and a mid-rank storm exercises the isolation machinery without
+    /// the head tenant's share masking it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tenants == 0`, `hog >= tenants`, `s < 0`, or
+    /// `hog_factor <= 0`.
+    pub fn zipf(tenants: usize, s: f64, hog: u16, hog_factor: f64) -> Self {
+        assert!(tenants > 0);
+        assert!((hog as usize) < tenants);
+        assert!(s >= 0.0);
+        assert!(hog_factor > 0.0);
+        let mut shares: Vec<f64> = (0..tenants)
+            .map(|k| 1.0 / ((k + 1) as f64).powf(s))
+            .collect();
+        shares[hog as usize] *= hog_factor;
+        let total: f64 = shares.iter().sum();
+        for w in &mut shares {
+            *w /= total;
+        }
+        TenantMix { shares }
+    }
+
     /// Number of tenants.
     pub fn tenants(&self) -> usize {
         self.shares.len()
@@ -99,6 +130,30 @@ mod tests {
         let m = TenantMix::uniform(3);
         assert!(!m.has_adversary());
         assert!((m.offered_share(2) - m.fair_share(2)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zipf_mix_skews_by_rank_and_storms_the_hog() {
+        let quiet = TenantMix::zipf(100, 0.8, 42, 1.0);
+        assert_eq!(quiet.tenants(), 100);
+        // Rank 0 offers more than rank 99, by the Zipf ratio.
+        let head = quiet.offered_share(0);
+        let tail = quiet.offered_share(99);
+        assert!((head / tail - 100f64.powf(0.8)).abs() < 1e-6);
+        let total: f64 = (0..100).map(|t| quiet.offered_share(t)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+
+        // A 10x storm multiplies the hog's organic share tenfold
+        // relative to every other tenant.
+        let storm = TenantMix::zipf(100, 0.8, 42, 10.0);
+        let ratio = (storm.offered_share(42) / storm.offered_share(41))
+            / (quiet.offered_share(42) / quiet.offered_share(41));
+        assert!((ratio - 10.0).abs() < 1e-6, "storm ratio {ratio}");
+
+        // s = 0 is uniform.
+        let flat = TenantMix::zipf(8, 0.0, 0, 1.0);
+        assert!((flat.offered_share(0) - flat.offered_share(7)).abs() < 1e-9);
+        assert!(!flat.has_adversary());
     }
 
     #[test]

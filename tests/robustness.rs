@@ -356,6 +356,7 @@ fn corrupted_wire_frames_are_rejected_and_counted() {
         fill: FaultSpec::loss(0.0),
         crash: None,
         nic: None,
+        tenant: None,
     };
     for stack in [
         StackKind::LauberhornEnzian,
@@ -488,6 +489,7 @@ fn retransmits_past_the_shed_deadline_are_suppressed_not_fired() {
         fill: FaultSpec::loss(0.0),
         crash: None,
         nic: None,
+        tenant: None,
     };
     let mut wl = WorkloadSpec::open_poisson(20_000.0, 1, 0.0, SizeDist::Fixed { bytes: 64 }, 2, 13);
     wl.warmup = 0;
